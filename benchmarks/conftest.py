@@ -1,0 +1,65 @@
+"""Shared fixtures for the benchmark/reproduction harness.
+
+Every benchmark writes the regenerated table/figure data as plain text
+under ``benchmarks/out/`` (the per-experiment artifacts referenced by
+EXPERIMENTS.md) and also prints it, so a ``pytest benchmarks/
+--benchmark-only -s`` run shows the paper-style rows inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(out_dir):
+    def _save(name: str, text: str) -> None:
+        path = out_dir / name
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---\n{text}\n")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def calibrated_model():
+    """The Table-1-calibrated performance model shared by timing benches."""
+    from repro.parallel import PerformanceModel, SINDBIS_WORKLOAD
+
+    pm = PerformanceModel()
+    pm.calibrate(SINDBIS_WORKLOAD, 0, 4053.0)  # Table 1, 1-degree level
+    return pm
+
+
+@pytest.fixture(scope="session")
+def figure_experiment_cache():
+    """Expensive Figure 2/3/5/6 experiments, run once per kind per session."""
+    from repro.pipeline.config import ExperimentConfig, MiniWorkload
+    from repro.pipeline.experiments import run_figure_curves_experiment
+
+    cache: dict[str, object] = {}
+
+    def _get(kind: str):
+        if kind not in cache:
+            cfg = ExperimentConfig(
+                workload=MiniWorkload(f"{kind}-bench", kind, size=32, n_views=72),
+                r_max_sequence=(6.0, 8.0),
+                n_iterations=2,
+                max_slides=2,
+            )
+            cache[kind] = run_figure_curves_experiment(
+                kind=kind, size=32, n_views=72, snr=3.5, perturbation_deg=3.0, config=cfg
+            )
+        return cache[kind]
+
+    return _get

@@ -1,0 +1,43 @@
+"""E5 — Figure 5: Sindbis correlation-vs-resolution, old vs new orientations.
+
+The paper's headline result: reconstructions from the newly refined
+orientations give higher odd/even correlation coefficients at every shell,
+and the 0.5 crossing moves to a finer resolution (10.0 Å vs 11.2 Å on the
+real data).  We reproduce the *shape* on the synthetic Sindbis-like
+dataset: "old" = truth + 3° jitter (the legacy method's accuracy ceiling),
+"new" = the paper's algorithm refining from "old" without ever seeing the
+ground truth.
+"""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import format_curve
+
+
+def test_fig5_sindbis_fsc(benchmark, figure_experiment_cache, save_artifact):
+    res = benchmark.pedantic(lambda: figure_experiment_cache("sindbis"), rounds=1, iterations=1)
+
+    # --- the Figure 5 shape -------------------------------------------------
+    # new curve crosses 0.5 at a finer (smaller) resolution than old
+    assert res.new_crossing_angstrom <= res.old_crossing_angstrom
+    # and dominates the old curve through the transition band
+    mid = slice(2, 9)
+    assert res.new_curve.cc[mid].mean() > res.old_curve.cc[mid].mean()
+    # the refinement genuinely improved self-consistency without the truth
+    assert res.new_map_cc_truth >= res.old_map_cc_truth - 0.01
+
+    text = format_curve(
+        res.old_curve.resolution_angstrom,
+        {"cc_old": res.old_curve.cc, "cc_new": res.new_curve.cc},
+        title="Figure 5 (Sindbis-like): odd/even correlation vs resolution",
+    )
+    text += (
+        f"\n\n0.5 crossings:  old {res.old_crossing_angstrom:.2f} A"
+        f"  new {res.new_crossing_angstrom:.2f} A"
+        f"\npaper:          old 11.2 A  new 10.0 A (real Sindbis data)"
+        f"\nangular error:  old {res.old_angular_error_deg:.2f} deg"
+        f"  new {res.new_angular_error_deg:.2f} deg"
+        f"\nmap cc vs truth: old {res.old_map_cc_truth:.3f}  new {res.new_map_cc_truth:.3f}"
+    )
+    save_artifact("fig5_sindbis_fsc.txt", text)

@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the computational kernels.
+
+These are the hot paths of the algorithm — slice extraction (step f),
+batched distances (step g), slice insertion (reconstruction), the 3D FFT
+(step a) — timed individually with pytest-benchmark so performance
+regressions are visible.  The O(·) scaling claimed by the paper for each
+step is asserted where cheap to do.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import DistanceComputer
+from repro.density import sindbis_like_phantom
+from repro.fourier import centered_fftn, insert_slice
+from repro.fourier.slicing import extract_slice, extract_slices
+from repro.geometry import euler_to_matrix, random_orientations
+
+
+@pytest.fixture(scope="module")
+def vol48():
+    return sindbis_like_phantom(48).normalized()
+
+
+@pytest.fixture(scope="module")
+def vft48(vol48):
+    return vol48.fourier()
+
+
+def test_kernel_3d_fft(benchmark, vol48):
+    out = benchmark(centered_fftn, vol48.data)
+    assert out.shape == (48, 48, 48)
+
+
+def test_kernel_extract_single_slice(benchmark, vft48):
+    r = euler_to_matrix(40.0, 50.0, 60.0)
+    cut = benchmark(extract_slice, vft48, r)
+    assert cut.shape == (48, 48)
+
+
+def test_kernel_extract_window_of_cuts(benchmark, vft48):
+    rots = np.stack([o.matrix() for o in random_orientations(125, seed=0)])
+    cuts = benchmark(extract_slices, vft48, rots)
+    assert cuts.shape == (125, 48, 48)
+
+
+def test_kernel_distance_batch(benchmark, vft48):
+    rots = np.stack([o.matrix() for o in random_orientations(125, seed=1)])
+    cuts = extract_slices(vft48, rots)
+    dc = DistanceComputer(48, r_max=20)
+    view = cuts[0]
+    d = benchmark(dc.distance_batch, view, cuts)
+    assert d.shape == (125,)
+    assert d[0] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_kernel_insert_slice(benchmark, vft48):
+    r = euler_to_matrix(10.0, 20.0, 30.0)
+    cut = extract_slice(vft48, r)
+
+    def run():
+        accum = np.zeros((48, 48, 48), dtype=complex)
+        weights = np.zeros((48, 48, 48))
+        insert_slice(accum, weights, cut, r)
+        return weights
+
+    w = benchmark(run)
+    assert w.sum() > 0
+
+
+def test_kernel_center_shift_stack(benchmark, vft48):
+    from repro.refine.center_refine import _shift_stack
+
+    view = extract_slice(vft48, np.eye(3))
+    dxs = np.linspace(-1, 1, 25)
+    dys = np.linspace(-1, 1, 25)
+    stack = benchmark(_shift_stack, view, dxs, dys)
+    assert stack.shape == (25, 48, 48)
+
+
+def test_distance_cost_scales_with_band(vft48):
+    """Step g is O(r_map^2): halving r_map quarters the sample count."""
+    full = DistanceComputer(48, r_max=20)
+    half = DistanceComputer(48, r_max=10)
+    ratio = full.n_samples / half.n_samples
+    assert 3.0 < ratio < 5.0

@@ -1,0 +1,53 @@
+"""E10 — step (a): slab-decomposed parallel 3D DFT.
+
+Correctness (identical to ``numpy.fft.fftn``), per-phase cost accounting,
+and the model-vs-paper observation that the 3D DFT is a small fraction of
+an iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SINDBIS_WORKLOAD, parallel_fft3d_driver
+from repro.parallel.machine import SP2_LIKE
+from repro.pipeline import format_table
+
+
+def test_pfft_correct_and_timed(benchmark, calibrated_model, save_artifact):
+    rng = np.random.default_rng(0)
+    vol = rng.normal(size=(48, 48, 48))
+
+    def run():
+        return parallel_fft3d_driver(vol, 4, SP2_LIKE)
+
+    out, sim_seconds, timers = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert np.allclose(out, np.fft.fftn(vol), atol=1e-8)
+    assert sim_seconds > 0
+
+    # paper-scale model: the 3D DFT is a tiny fraction of an iteration
+    t_dft = calibrated_model.time_3d_dft(331, 16)
+    rows = calibrated_model.predict_table(SINDBIS_WORKLOAD)
+    total = rows[0]["Total"]
+    assert t_dft / total < 0.05
+
+    table = format_table(
+        ["quantity", "value"],
+        [
+            ["mini run size / ranks", "48^3 / 4"],
+            ["matches numpy fftn", "yes (atol 1e-8)"],
+            ["virtual seconds (SP2-like)", f"{sim_seconds:.4f}"],
+            ["model 3D DFT at paper scale (s)", f"{t_dft:.1f}"],
+            ["fraction of 1-deg iteration", f"{t_dft / total:.4f}"],
+        ],
+        title="Step (a): slab-decomposed parallel 3D DFT",
+    )
+    save_artifact("pfft.txt", table)
+
+
+@pytest.mark.parametrize("n_ranks", [1, 2, 4, 8])
+def test_pfft_wall_time_by_ranks(benchmark, n_ranks):
+    """Host wall time of the cooperative FFT at several rank counts."""
+    rng = np.random.default_rng(1)
+    vol = rng.normal(size=(32, 32, 32))
+    out, _, _ = benchmark(parallel_fft3d_driver, vol, n_ranks, SP2_LIKE)
+    assert out.shape == (32, 32, 32)

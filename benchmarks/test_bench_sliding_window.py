@@ -1,0 +1,47 @@
+"""E8 — §5 sliding-window observation.
+
+"at 0.01° instead of 9 matchings (search range) we needed 15 for the
+Sindbis virus" — the window slides when the minimum lands on its edge,
+spending extra matchings but recovering orientations outside the initial
+search domain.  We reproduce both effects on a live search: with sliding
+the truth (placed outside the window) is recovered at the cost of extra
+matchings; without sliding the search is stuck at the window edge.
+"""
+
+import pytest
+
+from repro.pipeline import format_table
+from repro.pipeline.experiments import run_sliding_window_experiment
+
+
+def test_sliding_window_recovery(benchmark, save_artifact):
+    out = benchmark.pedantic(
+        lambda: run_sliding_window_experiment(size=32, offset_deg=5.0, step_deg=1.0, half_steps=2),
+        rounds=1, iterations=1,
+    )
+
+    # truth is 5 deg away, the window covers +-2 deg
+    assert out["offset_deg"] > out["window_half_width_deg"]
+    # sliding recovers it, non-sliding cannot
+    assert out["slide_error_deg"] < 1.0
+    assert out["no_slide_error_deg"] > 2.0
+    # the price: more matching operations (the paper's 9 -> 15 pattern)
+    assert out["slide_matches"] > out["no_slide_matches"]
+    assert out["n_windows"] >= 2
+
+    ratio = out["slide_matches"] / out["no_slide_matches"]
+    table = format_table(
+        ["quantity", "no sliding", "with sliding"],
+        [
+            ["final error (deg)", f"{out['no_slide_error_deg']:.2f}", f"{out['slide_error_deg']:.2f}"],
+            ["matching operations", int(out["no_slide_matches"]), int(out["slide_matches"])],
+            ["windows evaluated", 1, int(out["n_windows"])],
+        ],
+        title="Sec. 5 sliding-window mechanism (truth 5 deg outside a +-2 deg window)",
+    )
+    table += (
+        f"\n\nmatch-count ratio {ratio:.2f}x"
+        "\npaper: 'at 0.01 instead of 9 matchings (search range) we needed 15'"
+        " - the same mechanism, expressed per angle"
+    )
+    save_artifact("sliding_window.txt", table)

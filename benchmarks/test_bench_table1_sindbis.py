@@ -1,0 +1,58 @@
+"""E1 — Table 1: per-step times of one Sindbis refinement iteration.
+
+Regenerates the table two ways:
+
+* **model rows** — the calibrated analytic model evaluated at the paper's
+  scale (l=331, m=7917, P=16, SP2-like machine).  Calibration uses only the
+  1°-level refinement cell; every other cell is a prediction, asserted
+  against the paper within 10%.
+* **measured mini run** — the full simulated-cluster pipeline actually
+  executed on a mini workload, establishing that the dataflow behind the
+  numbers exists and that orientation refinement dominates the iteration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SINDBIS_WORKLOAD
+from repro.pipeline import MiniWorkload, format_timing_table, run_timing_table_experiment
+from repro.refine.refiner import STEP_REFINEMENT
+
+PAPER_REFINEMENT_ROW = [4053.0, 4109.0, 7065.0, 26190.0]
+PAPER_TOTAL_ROW = [4364.0, 4308.0, 7282.0, 27161.0]
+
+
+def test_table1_sindbis(benchmark, calibrated_model, save_artifact):
+    mini = MiniWorkload("sindbis-mini", "sindbis", size=32, n_views=12, snr=np.inf, perturbation_deg=2.0)
+
+    def run():
+        return run_timing_table_experiment(
+            SINDBIS_WORKLOAD, mini=mini, n_ranks=4,
+            calibrate_level=0, calibrate_seconds=PAPER_REFINEMENT_ROW[0],
+        )
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = out["model_rows"]
+
+    # --- paper-shape assertions -------------------------------------------
+    for row, paper in zip(rows, PAPER_REFINEMENT_ROW):
+        assert row["Orientation refinement"] == pytest.approx(paper, rel=0.10)
+    # refinement dominates (the paper's "99% of the time")
+    assert all(r["Orientation refinement"] / r["Total"] > 0.95 for r in rows)
+    # the 0.002-deg level is by far the most expensive
+    assert rows[3]["Total"] == max(r["Total"] for r in rows)
+    # the measured mini run exhibits the same dominance
+    report = out["mini_report"]
+    assert report.refinement_fraction() > 0.5
+
+    text = format_timing_table(rows, title="Table 1 (model, paper scale: Sindbis, P=16, SP2-like)")
+    text += "\n\npaper refinement row:     " + "  ".join(f"{v:,.0f}" for v in PAPER_REFINEMENT_ROW)
+    text += "\npaper total row:          " + "  ".join(f"{v:,.0f}" for v in PAPER_TOTAL_ROW)
+    text += (
+        f"\n\nmeasured mini run ({report.n_ranks} ranks, l={mini.size}, m={mini.n_views}):"
+        f"\n  simulated step seconds: "
+        + ", ".join(f"{k}={v:.3g}" for k, v in report.simulated_step_seconds.items())
+        + f"\n  refinement fraction: {report.refinement_fraction():.3f}"
+        + f"\n  host wall seconds: {out['mini_wall_seconds']:.1f}"
+    )
+    save_artifact("table1_sindbis.txt", text)

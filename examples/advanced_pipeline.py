@@ -1,0 +1,79 @@
+"""Advanced pipeline: defocus estimation, adaptive refinement, SIRT, coverage.
+
+A tour of the extension layer around the paper's core algorithm:
+
+1. estimate the (shared) defocus of a view stack from its power spectrum;
+2. check Fourier-space coverage of the orientation set before committing;
+3. run the *adaptive* refine<->reconstruct loop (band limit and angular
+   step derived from the measured FSC each iteration — automating the
+   paper's "increase the resolution gradually");
+4. reconstruct with both direct Fourier inversion and SIRT and compare.
+
+Run:  python examples/advanced_pipeline.py   (takes a minute or two)
+"""
+
+import numpy as np
+
+from repro import CTFParams, reconstruct_from_views, simulate_views
+from repro.ctf import estimate_defocus
+from repro.density.map import DensityMap
+from repro.density.phantom import place_blobs
+from repro.reconstruct import sirt_reconstruct
+from repro.reconstruct.coverage import coverage_fraction, views_needed_estimate
+from repro.refine import adaptive_refinement_loop
+from repro.refine.stats import angular_errors
+from repro.utils import default_rng
+
+
+def main() -> None:
+    rng = default_rng(9)
+    print("1. synthetic specimen: 60 sharp blobs in a 64^3 box at 2.0 A/px")
+    positions = rng.uniform(-24, 24, size=(60, 3))
+    truth = DensityMap(place_blobs(64, positions, sigma=1.1), apix=2.0).normalized()
+
+    true_defocus = 3000.0
+    views = simulate_views(
+        truth, 48, snr=8.0, ctf=CTFParams(defocus_angstrom=true_defocus),
+        center_sigma_px=0.4, initial_angle_error_deg=3.0, seed=3,
+    )
+
+    print("2. estimating the micrograph defocus from the stack's power spectrum")
+    est, score = estimate_defocus(views.images, apix=2.0, search_range=(1000.0, 8000.0))
+    print(f"   true {true_defocus:.0f} A, estimated {est:.0f} A (score {score:.3f})")
+
+    print("3. checking Fourier coverage of the view set")
+    frac = coverage_fraction(views.true_orientations, truth.size, r_max=16)
+    crowther = views_needed_estimate(truth.size * truth.apix, 4 * truth.apix)
+    print(f"   {len(views)} views cover {frac:.1%} of the r<=16 band "
+          f"(Crowther estimate for this box: ~{crowther:.0f} equatorial views)")
+
+    print("4. adaptive refine<->reconstruct loop (self-chosen r_max and steps)")
+    initial_map = reconstruct_from_views(
+        views.images, views.initial_orientations, apix=views.apix, ctf_params=views.ctf_params
+    )
+    history = adaptive_refinement_loop(views, initial_map, max_iterations=2, half_steps=2)
+    for state in history:
+        print(
+            f"   iter {state.iteration}: r_max {state.r_max:.1f}, "
+            f"step {state.angular_step_deg:.2f} deg, "
+            f"odd/even resolution {state.resolution_angstrom:.2f} A"
+        )
+    refined = history[-1].orientations
+    e0 = angular_errors(views.initial_orientations, views.true_orientations).mean()
+    e1 = angular_errors(refined, views.true_orientations).mean()
+    print(f"   angular error vs hidden truth: {e0:.2f} -> {e1:.2f} deg")
+
+    print("5. direct-Fourier vs SIRT reconstruction from the refined orientations")
+    direct = reconstruct_from_views(
+        views.images, refined, apix=views.apix, ctf_params=views.ctf_params
+    )
+    sirt = sirt_reconstruct(
+        views.images, refined, n_iterations=8, apix=views.apix, ctf_params=views.ctf_params
+    )
+    print(f"   direct cc vs truth: {direct.normalized().correlation(truth):.4f}")
+    print(f"   SIRT   cc vs truth: {sirt.density.normalized().correlation(truth):.4f} "
+          f"(residual {sirt.residual_history[0]:.3f} -> {sirt.residual_history[-1]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The Figure 5 protocol on the Sindbis-like dataset.
+
+Reproduces the paper's central experiment end to end, never showing the
+algorithm the ground truth:
+
+1. "old" orientations = truth + 3 deg jitter (the legacy icosahedral
+   method's accuracy ceiling stands in for the production orientations);
+2. a map is reconstructed from the old orientations;
+3. the paper's refinement polishes the orientations against that map,
+   iterating reconstruct -> refine with a rising band limit;
+4. odd/even correlation-vs-resolution curves are compared: the refined
+   ("new") curve should cross 0.5 at a finer resolution — the paper saw
+   10.0 A vs 11.2 A on the real Sindbis data.
+
+Run:  python examples/sindbis_refinement.py   (takes a couple of minutes)
+"""
+
+from repro.pipeline import format_curve
+from repro.pipeline.config import ExperimentConfig, MiniWorkload
+from repro.pipeline.experiments import run_figure_curves_experiment
+
+
+def main() -> None:
+    print("running the Figure 5 protocol (72 views, 32^3 box, 2 outer iterations)...")
+    cfg = ExperimentConfig(
+        workload=MiniWorkload("fig5", "sindbis", size=32, n_views=72),
+        r_max_sequence=(6.0, 8.0),
+        n_iterations=2,
+        max_slides=2,
+    )
+    res = run_figure_curves_experiment(
+        kind="sindbis", size=32, n_views=72, snr=3.5, perturbation_deg=3.0, config=cfg
+    )
+
+    print()
+    print(
+        format_curve(
+            res.old_curve.resolution_angstrom,
+            {"cc_old": res.old_curve.cc, "cc_new": res.new_curve.cc},
+            title="Figure 5 (Sindbis-like): odd/even correlation vs resolution",
+        )
+    )
+    print()
+    print(f"0.5 crossing, old orientations: {res.old_crossing_angstrom:.2f} A")
+    print(f"0.5 crossing, new orientations: {res.new_crossing_angstrom:.2f} A")
+    print("paper (real data):  old 11.2 A, new 10.0 A -- same direction, same shape")
+    print()
+    print(f"angular error vs (hidden) truth: old {res.old_angular_error_deg:.2f} deg,"
+          f" new {res.new_angular_error_deg:.2f} deg")
+    print(f"map correlation vs truth: old {res.old_map_cc_truth:.4f}, new {res.new_map_cc_truth:.4f}")
+
+
+if __name__ == "__main__":
+    main()

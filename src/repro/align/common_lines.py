@@ -1,0 +1,225 @@
+"""Common-lines machinery: the classical initial-orientation baseline.
+
+Any two central slices of the same 3D transform intersect along a line
+through the origin (the *common line*).  Detecting, for a pair of views,
+the polar angles at which their transforms agree gives geometric
+constraints on their relative orientation — the basis of the common-lines
+method the paper cites ([12]) as one way to obtain the initial orientations
+``O_init`` that the refinement then polishes.
+
+We implement:
+
+* :func:`sinogram` — the stack of central-line profiles of a view's 2D DFT
+  over ``n`` polar angles (projection-slice dual of the Radon transform);
+* :func:`common_line_angles` — the best-correlating pair of line angles
+  between two views;
+* :func:`predicted_common_line` — the geometric ground truth for two known
+  orientations (used for validation and for candidate scoring);
+* :func:`initial_orientations_common_lines` — a candidate-grid angular
+  assigner: each view receives the orientation whose predicted common
+  lines with the already-assigned anchor views best match the detected
+  ones.  It is deliberately coarse (it seeds the refinement; it does not
+  replace it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fourier.transforms import centered_fft2, fourier_center
+from repro.geometry.euler import Orientation, euler_to_matrix
+from repro.utils import require_square
+
+__all__ = [
+    "sinogram",
+    "common_line_angles",
+    "predicted_common_line",
+    "initial_orientations_common_lines",
+]
+
+
+def sinogram(
+    image: np.ndarray, n_angles: int = 64, n_radii: int | None = None, min_radius: int = 1
+) -> np.ndarray:
+    """Central-line magnitude profiles of a view's 2D DFT.
+
+    Returns shape ``(n_angles, n_radii)``: row ``i`` is |F| sampled along
+    the half-line at polar angle ``180°·i/n_angles`` for radii
+    ``min_radius .. min_radius + n_radii − 1`` (bilinear interpolation).
+    Only half the circle is needed: for real images the opposite half-line
+    is the complex-conjugate mirror, so its magnitude is identical.
+
+    ``min_radius`` skips the lowest-frequency samples, which are nearly
+    identical across *all* central lines of a compact particle and would
+    otherwise drown the discriminating high-frequency signal.
+    """
+    img = np.asarray(image, dtype=float)
+    size = require_square(img)
+    ft = np.abs(centered_fft2(img))
+    c = fourier_center(size)
+    if min_radius < 1:
+        raise ValueError("min_radius must be >= 1")
+    nr = size // 2 - min_radius if n_radii is None else int(n_radii)
+    if nr < 1:
+        raise ValueError("image too small for a sinogram")
+    angles = np.pi * np.arange(n_angles) / n_angles
+    radii = np.arange(min_radius, min_radius + nr, dtype=float)
+    xs = np.cos(angles)[:, None] * radii[None, :]
+    ys = np.sin(angles)[:, None] * radii[None, :]
+    return _bilinear_2d(ft, c + ys, c + xs)
+
+
+def _bilinear_2d(arr: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    l = arr.shape[0]
+    r0 = np.floor(rows).astype(int)
+    c0 = np.floor(cols).astype(int)
+    fr = rows - r0
+    fc = cols - c0
+    out = np.zeros_like(rows, dtype=float)
+    for dr in (0, 1):
+        for dcol in (0, 1):
+            rr = r0 + dr
+            cc = c0 + dcol
+            valid = (rr >= 0) & (rr < l) & (cc >= 0) & (cc < l)
+            w = (fr if dr else 1 - fr) * (fc if dcol else 1 - fc)
+            out += np.where(valid, w * arr[np.clip(rr, 0, l - 1), np.clip(cc, 0, l - 1)], 0.0)
+    return out
+
+
+def sinogram_complex(
+    image: np.ndarray, n_angles: int = 64, n_radii: int | None = None, min_radius: int = 2
+) -> np.ndarray:
+    """Complex central-line profiles of a view's 2D DFT.
+
+    Like :func:`sinogram` but keeps the complex values: two views' *true*
+    common line has equal complex profiles (they sample the same 3D
+    transform points), which is a much sharper criterion than magnitude
+    agreement.
+    """
+    img = np.asarray(image, dtype=float)
+    size = require_square(img)
+    ft = centered_fft2(img)
+    c = fourier_center(size)
+    if min_radius < 1:
+        raise ValueError("min_radius must be >= 1")
+    nr = size // 2 - min_radius if n_radii is None else int(n_radii)
+    if nr < 1:
+        raise ValueError("image too small for a sinogram")
+    angles = np.pi * np.arange(n_angles) / n_angles
+    radii = np.arange(min_radius, min_radius + nr, dtype=float)
+    xs = np.cos(angles)[:, None] * radii[None, :]
+    ys = np.sin(angles)[:, None] * radii[None, :]
+    real = _bilinear_2d(ft.real, c + ys, c + xs)
+    imag = _bilinear_2d(ft.imag, c + ys, c + xs)
+    return real + 1j * imag
+
+
+def common_line_angles(
+    image_a: np.ndarray, image_b: np.ndarray, n_angles: int = 64, min_radius: int = 2
+) -> tuple[float, float, float]:
+    """Detect the common line between two views.
+
+    Returns ``(alpha_a_deg, alpha_b_deg, score)`` where the angles (mod 180°)
+    locate the best-correlating central-line pair and ``score`` is their
+    normalized correlation.  Matching uses *complex* line profiles — the
+    common line samples identical 3D transform values, so the real part of
+    the normalized complex correlation peaks there; the lowest
+    ``min_radius − 1`` radii are skipped (they carry almost no
+    line-discriminating information).  Both half-line pairings (v and −v,
+    i.e. the conjugate profile) are tried.
+    """
+    sa = sinogram_complex(image_a, n_angles, min_radius=min_radius)
+    sb = sinogram_complex(image_b, n_angles, min_radius=min_radius)
+    na = np.linalg.norm(sa, axis=1)
+    nb = np.linalg.norm(sb, axis=1)
+    na[na == 0] = 1.0
+    nb[nb == 0] = 1.0
+    ua = sa / na[:, None]
+    ub = sb / nb[:, None]
+    corr_same = (ua @ np.conj(ub).T).real
+    corr_conj = (ua @ ub.T).real  # b's opposite half-line
+    corr = np.maximum(corr_same, corr_conj)
+    i, j = np.unravel_index(int(np.argmax(corr)), corr.shape)
+    step = 180.0 / n_angles
+    return (float(i * step), float(j * step), float(corr[i, j]))
+
+
+def predicted_common_line(rotation_a: np.ndarray, rotation_b: np.ndarray) -> tuple[float, float]:
+    """Geometric common-line angles (degrees mod 180) for two orientations.
+
+    The slice planes with normals ``n_a = R_a·ẑ`` and ``n_b = R_b·ẑ``
+    intersect along ``v = n_a × n_b``; the in-plane polar angle of ``v`` in
+    slice ``a`` is measured against the basis ``(R_a·x̂, R_a·ŷ)``.
+    Parallel slice planes (identical view directions) raise ``ValueError``.
+    """
+    ra = np.asarray(rotation_a, dtype=float)
+    rb = np.asarray(rotation_b, dtype=float)
+    v = np.cross(ra[:, 2], rb[:, 2])
+    norm = np.linalg.norm(v)
+    if norm < 1e-9:
+        raise ValueError("views share an axis: common line undefined")
+    v = v / norm
+    alpha_a = np.rad2deg(np.arctan2(np.dot(v, ra[:, 1]), np.dot(v, ra[:, 0]))) % 180.0
+    alpha_b = np.rad2deg(np.arctan2(np.dot(v, rb[:, 1]), np.dot(v, rb[:, 0]))) % 180.0
+    return (float(alpha_a), float(alpha_b))
+
+
+def _circular_diff_180(a: float, b: float) -> float:
+    d = abs(a - b) % 180.0
+    return min(d, 180.0 - d)
+
+
+def initial_orientations_common_lines(
+    images: np.ndarray,
+    n_candidates: int = 500,
+    n_angles: int = 64,
+    n_anchors: int = 2,
+    seed: int = 0,
+) -> list[Orientation]:
+    """Assign coarse initial orientations to a stack of views.
+
+    View 0 is fixed at the identity (the global frame is arbitrary).  Each
+    subsequent view is assigned the candidate orientation (quasi-uniform
+    over SO(3)) whose predicted common-line angles with up to ``n_anchors``
+    already-assigned views best match the detected ones.
+
+    Accuracy is coarse by construction — tens of degrees on noisy data —
+    which is exactly the regime the paper's refinement is designed to start
+    from ("a rough estimation of the orientation, say at 3°").
+    """
+    imgs = np.asarray(images, dtype=float)
+    if imgs.ndim != 3:
+        raise ValueError("images must be a (m, l, l) stack")
+    m = imgs.shape[0]
+    if m < 2:
+        raise ValueError("need at least two views")
+    from repro.geometry.euler import random_orientations
+
+    candidates = random_orientations(n_candidates, seed=seed)
+    cand_mats = np.stack([c.matrix() for c in candidates])
+
+    assigned: list[Orientation] = [Orientation(0.0, 0.0, 0.0)]
+    detections: dict[tuple[int, int], tuple[float, float]] = {}
+    for q in range(1, m):
+        anchors = list(range(max(0, q - n_anchors), q))
+        for a in anchors:
+            if (a, q) not in detections:
+                aa, ab, _ = common_line_angles(imgs[a], imgs[q], n_angles)
+                detections[(a, q)] = (aa, ab)
+        best_idx, best_cost = 0, np.inf
+        for ci in range(n_candidates):
+            cost = 0.0
+            ok = True
+            for a in anchors:
+                try:
+                    pa, pb = predicted_common_line(assigned[a].matrix(), cand_mats[ci])
+                except ValueError:
+                    ok = False
+                    break
+                da, db = detections[(a, q)]
+                cost += _circular_diff_180(pa, da) + _circular_diff_180(pb, db)
+            if ok and cost < best_cost:
+                best_cost = cost
+                best_idx = ci
+        assigned.append(candidates[best_idx])
+    return assigned

@@ -1,0 +1,114 @@
+"""Orientation search grids (the window of candidate cuts, step f).
+
+A search window at angular resolution ``r_angular`` spans
+``w = w_θ · w_φ · w_ω`` candidate orientations centered on the view's
+current orientation.  :class:`OrientationGrid` keeps the 3D index structure
+so the sliding-window logic can ask "was the minimum on a face of the
+window?" per angle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.euler import Orientation, euler_to_matrix
+
+__all__ = ["OrientationGrid", "orientation_window"]
+
+
+@dataclass(frozen=True)
+class OrientationGrid:
+    """A separable (θ, φ, ω) grid of candidate orientations.
+
+    Attributes
+    ----------
+    thetas, phis, omegas:
+        The 1D angle arrays (degrees).
+    center:
+        The orientation the window was built around (pass-through of its
+        center offsets to all candidates).
+    """
+
+    thetas: np.ndarray
+    phis: np.ndarray
+    omegas: np.ndarray
+    center: Orientation
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (len(self.thetas), len(self.phis), len(self.omegas))
+
+    @property
+    def size(self) -> int:
+        """Total candidate count ``w`` (the paper's matching operations per window)."""
+        s = self.shape
+        return s[0] * s[1] * s[2]
+
+    def rotation_stack(self) -> np.ndarray:
+        """All candidate rotation matrices, shape ``(w, 3, 3)``.
+
+        Ordering is C-order over (θ, φ, ω), matching :meth:`unravel`.
+        """
+        tt, pp, oo = np.meshgrid(self.thetas, self.phis, self.omegas, indexing="ij")
+        return euler_to_matrix(tt.ravel(), pp.ravel(), oo.ravel())
+
+    def unravel(self, flat_index: int) -> tuple[int, int, int]:
+        """3D grid index of a flat candidate index."""
+        return tuple(int(v) for v in np.unravel_index(flat_index, self.shape))  # type: ignore[return-value]
+
+    def orientation_at(self, flat_index: int) -> Orientation:
+        """The candidate orientation for a flat index (keeps center offsets)."""
+        i, j, k = self.unravel(flat_index)
+        return Orientation(
+            float(self.thetas[i]),
+            float(self.phis[j]),
+            float(self.omegas[k]),
+            self.center.cx,
+            self.center.cy,
+        )
+
+    def on_edge(self, flat_index: int) -> tuple[bool, bool, bool]:
+        """Whether the candidate sits on the window boundary, per angle.
+
+        An axis with a single sample is never "on edge" (there is nowhere to
+        slide along it).
+        """
+        i, j, k = self.unravel(flat_index)
+        nt, np_, no = self.shape
+        return (
+            nt > 1 and (i == 0 or i == nt - 1),
+            np_ > 1 and (j == 0 or j == np_ - 1),
+            no > 1 and (k == 0 or k == no - 1),
+        )
+
+
+def orientation_window(
+    center: Orientation,
+    step_deg: float,
+    half_steps: int | tuple[int, int, int] = 4,
+) -> OrientationGrid:
+    """Build the window of candidates around ``center`` (step f).
+
+    ``half_steps`` is the number of grid steps on each side of the center
+    (scalar or per-angle); the per-angle width is ``2·half_steps + 1``, so
+    the paper's "typical w_θ = w_φ = w_ω = 10" window corresponds to
+    ``half_steps≈4..5``.  The grid is centered exactly on the current
+    estimate so a converged view re-finds itself at distance 0.
+    """
+    if step_deg <= 0:
+        raise ValueError("step_deg must be positive")
+    if isinstance(half_steps, int):
+        hs = (half_steps, half_steps, half_steps)
+    else:
+        hs = tuple(int(h) for h in half_steps)  # type: ignore[assignment]
+    if any(h < 0 for h in hs):
+        raise ValueError("half_steps must be non-negative")
+    offsets = [np.arange(-h, h + 1) * step_deg for h in hs]
+    return OrientationGrid(
+        thetas=center.theta + offsets[0],
+        phis=center.phi + offsets[1],
+        omegas=center.omega + offsets[2],
+        center=center,
+    )

@@ -1,0 +1,98 @@
+"""Matching one view against a window of calculated cuts (steps f, g, h).
+
+A *matching operation* — the unit the paper counts when analysing
+complexity — is: construct one cut ``C_s`` of D̂ at a candidate orientation
+and evaluate ``d(F, C_s)``.  :func:`match_view` performs one full window of
+``w`` matching operations, vectorized, and reports the minimum together
+with whether it lies on the window edge (which triggers the slide in
+step i).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer
+from repro.align.grid import OrientationGrid
+from repro.fourier.slicing import extract_slices
+from repro.geometry.euler import Orientation
+
+__all__ = ["MatchResult", "match_view"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of one window search for one view.
+
+    Attributes
+    ----------
+    orientation:
+        The minimum-distance candidate ``O_µ``.
+    distance:
+        The minimum distance ``d_µ``.
+    flat_index:
+        Index of the winner in the grid's C-ordering.
+    on_edge:
+        Per-angle booleans: winner on the window boundary (step i trigger).
+    distances:
+        The full distance array over the window (``w`` values), kept for
+        diagnostics and for the symmetry detector.
+    n_matches:
+        Matching operations performed (== grid size).
+    """
+
+    orientation: Orientation
+    distance: float
+    flat_index: int
+    on_edge: tuple[bool, bool, bool]
+    distances: np.ndarray
+    n_matches: int
+
+
+def match_view(
+    view_ft: np.ndarray,
+    volume_ft: np.ndarray,
+    grid: OrientationGrid,
+    distance_computer: DistanceComputer | None = None,
+    r_max: float | None = None,
+    weights: np.ndarray | None = None,
+    interpolation: str = "trilinear",
+    cut_modulation: np.ndarray | None = None,
+) -> MatchResult:
+    """Steps f–h for one view and one window.
+
+    Parameters
+    ----------
+    view_ft:
+        The (CTF-corrected, center-corrected) centered 2D DFT ``F``.
+    volume_ft:
+        The centered 3D DFT ``D̂`` of the current map.
+    grid:
+        Candidate orientations (from :func:`repro.align.orientation_window`).
+    distance_computer:
+        Reusable pre-masked computer; built on the fly from ``r_max`` /
+        ``weights`` when omitted.
+    interpolation:
+        Cut interpolation order (``"trilinear"`` default).
+    cut_modulation:
+        Optional per-view |CTF| imposed on every calculated cut before the
+        distance (the consistent forward model for phase-flipped views).
+    """
+    size = view_ft.shape[0]
+    dc = distance_computer or DistanceComputer(size, r_max=r_max, weights=weights)
+    rotations = grid.rotation_stack()
+    # volume_ft may be an oversampled (padded) transform; cuts come back at
+    # the view's size either way.
+    cuts = extract_slices(volume_ft, rotations, order=interpolation, out_size=size)
+    distances = dc.distance_batch(view_ft, cuts, cut_modulation=cut_modulation)
+    flat = int(np.argmin(distances))
+    return MatchResult(
+        orientation=grid.orientation_at(flat),
+        distance=float(distances[flat]),
+        flat_index=flat,
+        on_edge=grid.on_edge(flat),
+        distances=distances,
+        n_matches=grid.size,
+    )

@@ -1,0 +1,145 @@
+"""Multi-reference orientation assignment (heterogeneity substrate).
+
+The paper assumes "all virus particles frozen in the sample are identical"
+(§2) — real samples are not, and the natural extension of a
+no-symmetry-assumed refinement is no-homogeneity-assumed *classification*:
+match every view against K candidate maps, keep the best-fitting
+(reference, orientation) pair, rebuild each class's map from its members,
+repeat.  This module implements one such round plus the iteration driver,
+reusing the exact matching machinery of the refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer
+from repro.density.map import DensityMap
+from repro.fourier.transforms import centered_fft2
+from repro.geometry.euler import Orientation
+from repro.reconstruct.direct_fourier import reconstruct_from_views
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+from repro.refine.single import refine_view_at_level
+
+__all__ = ["ClassificationResult", "classify_views", "iterative_classification"]
+
+
+@dataclass
+class ClassificationResult:
+    """Outcome of one classification round.
+
+    ``assignments[q]`` is the winning reference index of view ``q``;
+    ``orientations[q]`` its refined orientation against that reference;
+    ``distances[q]`` the winning distance.
+    """
+
+    assignments: np.ndarray
+    orientations: list[Orientation]
+    distances: np.ndarray
+    class_maps: list[DensityMap] = field(default_factory=list)
+
+    def members(self, k: int) -> np.ndarray:
+        return np.nonzero(self.assignments == k)[0]
+
+
+def classify_views(
+    images: np.ndarray,
+    initial_orientations: list[Orientation],
+    references: list[DensityMap],
+    r_max: float | None = None,
+    angular_step_deg: float = 1.0,
+    half_steps: int = 2,
+    pad_factor: int = 2,
+    max_slides: int = 2,
+) -> ClassificationResult:
+    """One round: refine every view against every reference, keep the best.
+
+    Cost is K× one refinement level; the window search per reference means
+    assignment is robust to the initial orientation being a few steps off.
+    """
+    imgs = np.asarray(images, dtype=float)
+    if imgs.ndim != 3 or imgs.shape[1] != imgs.shape[2]:
+        raise ValueError("images must be (m, l, l)")
+    if not references:
+        raise ValueError("need at least one reference")
+    if len(initial_orientations) != imgs.shape[0]:
+        raise ValueError("need one initial orientation per view")
+    size = imgs.shape[1]
+    for ref in references:
+        if ref.size != size:
+            raise ValueError("reference size must match the views")
+
+    dc = DistanceComputer(size, r_max=r_max)
+    volume_fts = [ref.fourier_oversampled(pad_factor) for ref in references]
+    m = imgs.shape[0]
+    assignments = np.zeros(m, dtype=int)
+    distances = np.full(m, np.inf)
+    orientations: list[Orientation] = list(initial_orientations)
+    fts = centered_fft2(imgs)
+    for q in range(m):
+        for k, vft in enumerate(volume_fts):
+            res = refine_view_at_level(
+                fts[q],
+                vft,
+                initial_orientations[q],
+                angular_step_deg=angular_step_deg,
+                center_step_px=1.0,
+                half_steps=half_steps,
+                center_half_steps=1,
+                max_slides=max_slides,
+                distance_computer=dc,
+            )
+            if res.distance < distances[q]:
+                distances[q] = res.distance
+                assignments[q] = k
+                orientations[q] = res.orientation
+    return ClassificationResult(
+        assignments=assignments, orientations=orientations, distances=distances
+    )
+
+
+def iterative_classification(
+    images: np.ndarray,
+    initial_orientations: list[Orientation],
+    initial_references: list[DensityMap],
+    n_iterations: int = 2,
+    apix: float = 1.0,
+    r_max: float | None = None,
+    pad_factor: int = 2,
+    min_class_size: int = 2,
+) -> ClassificationResult:
+    """Alternate (assign views to classes) / (rebuild class maps).
+
+    Classes that collapse below ``min_class_size`` keep their previous map
+    (re-seeding strategies are an exercise for production systems).
+    """
+    if n_iterations < 1:
+        raise ValueError("n_iterations must be >= 1")
+    references = list(initial_references)
+    orientations = list(initial_orientations)
+    result: ClassificationResult | None = None
+    for _ in range(n_iterations):
+        result = classify_views(
+            images, orientations, references, r_max=r_max, pad_factor=pad_factor
+        )
+        orientations = result.orientations
+        new_refs: list[DensityMap] = []
+        for k, old in enumerate(references):
+            idx = result.members(k)
+            if idx.size >= min_class_size:
+                new_refs.append(
+                    reconstruct_from_views(
+                        np.asarray(images)[idx],
+                        [orientations[i] for i in idx],
+                        apix=apix,
+                        pad_factor=pad_factor,
+                    )
+                )
+            else:
+                new_refs.append(old)
+        references = new_refs
+    assert result is not None
+    result.class_maps = references
+    return result

@@ -1,0 +1,126 @@
+"""Classic projection matching — the "old method" comparison baseline.
+
+Programs like the one in the paper's reference [17] exploit known
+icosahedral symmetry: they compute a library of projections of the current
+map at orientations covering one asymmetric unit (~51 directions at 3°,
+Figure 1b), then assign each experimental view the library orientation with
+the best match.  This is embarrassingly parallel but (a) requires the
+symmetry to be known, and (b) its accuracy is capped by the library's
+angular spacing.  We implement it as the comparator whose refined maps form
+the "old" curves of Figures 2/3/5/6.
+
+To keep the comparison about *strategy* rather than metric, library
+matching uses the same Fourier-space distance as the new method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer
+from repro.density.map import DensityMap
+from repro.fourier.slicing import extract_slices
+from repro.geometry.euler import Orientation, euler_to_matrix
+from repro.geometry.sphere import icosahedral_asymmetric_unit_views, view_directions_grid
+from repro.geometry.symmetry import SymmetryGroup
+
+__all__ = [
+    "ProjectionLibrary",
+    "build_projection_library",
+    "match_against_library",
+    "refine_icosahedral",
+]
+
+
+@dataclass
+class ProjectionLibrary:
+    """A bank of calculated cuts at fixed library orientations.
+
+    Attributes
+    ----------
+    orientations:
+        One :class:`Orientation` per library entry.
+    cuts:
+        Complex stack ``(n, l, l)`` of the central cuts at those
+        orientations.
+    angular_resolution_deg:
+        The library spacing — also the accuracy ceiling of this method.
+    """
+
+    orientations: list[Orientation]
+    cuts: np.ndarray
+    angular_resolution_deg: float
+
+    def __len__(self) -> int:
+        return len(self.orientations)
+
+
+def build_projection_library(
+    density: DensityMap,
+    angular_resolution_deg: float,
+    symmetry: str = "icosahedral",
+    omega_step_deg: float | None = None,
+    pad_factor: int = 2,
+) -> ProjectionLibrary:
+    """Build the library of calculated views (the "old method" step).
+
+    ``symmetry="icosahedral"`` restricts directions to the asymmetric unit
+    (the small search domain of Figure 1a/b); ``symmetry="none"`` covers the
+    full sphere — included to demonstrate how the library explodes without
+    symmetry (benchmark E3).
+    """
+    if symmetry == "icosahedral":
+        directions = icosahedral_asymmetric_unit_views(angular_resolution_deg)
+    elif symmetry == "none":
+        directions = view_directions_grid(angular_resolution_deg)
+    else:
+        raise ValueError(f"unknown symmetry {symmetry!r} (use 'icosahedral' or 'none')")
+    omega_step = angular_resolution_deg if omega_step_deg is None else omega_step_deg
+    omegas = np.arange(0.0, 360.0, omega_step)
+    orientations = [
+        Orientation(theta, phi, float(om)) for theta, phi in directions for om in omegas
+    ]
+    rotations = np.stack([o.matrix() for o in orientations])
+    cuts = extract_slices(
+        density.fourier_oversampled(pad_factor), rotations, out_size=density.size
+    )
+    return ProjectionLibrary(orientations, cuts, angular_resolution_deg)
+
+
+def match_against_library(
+    view_ft: np.ndarray,
+    library: ProjectionLibrary,
+    distance_computer: DistanceComputer | None = None,
+    r_max: float | None = None,
+) -> tuple[Orientation, float]:
+    """Best library orientation for one view transform."""
+    size = view_ft.shape[0]
+    dc = distance_computer or DistanceComputer(size, r_max=r_max)
+    d = dc.distance_batch(view_ft, library.cuts)
+    i = int(np.argmin(d))
+    return library.orientations[i], float(d[i])
+
+
+def refine_icosahedral(
+    views_ft: np.ndarray,
+    density: DensityMap,
+    angular_resolution_deg: float,
+    r_max: float | None = None,
+) -> tuple[list[Orientation], np.ndarray]:
+    """Assign every view its best icosahedral-library orientation.
+
+    Returns ``(orientations, distances)``.  This is one iteration of the
+    traditional algorithm; its per-view cost is ``len(library)`` matching
+    operations, independent of any initial estimate.
+    """
+    library = build_projection_library(density, angular_resolution_deg, symmetry="icosahedral")
+    dc = DistanceComputer(views_ft.shape[1], r_max=r_max)
+    orientations: list[Orientation] = []
+    distances = np.empty(views_ft.shape[0])
+    for i in range(views_ft.shape[0]):
+        o, d = match_against_library(views_ft[i], library, distance_computer=dc)
+        orientations.append(o)
+        distances[i] = d
+    return orientations, distances

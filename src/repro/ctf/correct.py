@@ -1,0 +1,52 @@
+"""Applying and correcting the CTF on view transforms (steps in §3/step e).
+
+Two standard corrections are provided:
+
+* **phase flipping** — multiply by sign(CTF); restores phases exactly while
+  leaving amplitudes attenuated.  O(l²) per view, the cost the paper quotes
+  for step (e).
+* **Wiener filtering** — divide by CTF with an SNR-dependent regularizer,
+  restoring amplitudes where the CTF has signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ctf.model import CTFParams, ctf_2d
+from repro.utils import require_square
+
+__all__ = ["apply_ctf", "phase_flip", "wiener_correct"]
+
+
+def apply_ctf(image_ft: np.ndarray, params: CTFParams, apix: float) -> np.ndarray:
+    """Multiply a centered 2D DFT by the CTF (forward simulation)."""
+    size = require_square(image_ft, "image_ft")
+    return np.asarray(image_ft) * ctf_2d(params, size, apix)
+
+
+def phase_flip(image_ft: np.ndarray, params: CTFParams, apix: float) -> np.ndarray:
+    """Correct phase reversals: multiply by sign(CTF).
+
+    Zero-crossing pixels (CTF == 0) are left unchanged.
+    """
+    size = require_square(image_ft, "image_ft")
+    ctf = ctf_2d(params, size, apix)
+    sign = np.sign(ctf)
+    sign[sign == 0] = 1.0
+    return np.asarray(image_ft) * sign
+
+
+def wiener_correct(
+    image_ft: np.ndarray, params: CTFParams, apix: float, snr: float = 10.0
+) -> np.ndarray:
+    """Wiener-filter correction ``F · CTF / (CTF² + 1/SNR)``.
+
+    For large SNR this approaches division by the CTF away from its zeros
+    while staying bounded at them.
+    """
+    if snr <= 0:
+        raise ValueError("snr must be positive")
+    size = require_square(image_ft, "image_ft")
+    ctf = ctf_2d(params, size, apix)
+    return np.asarray(image_ft) * ctf / (ctf * ctf + 1.0 / snr)

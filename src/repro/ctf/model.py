@@ -1,0 +1,102 @@
+"""The weak-phase contrast transfer function.
+
+Standard single-particle model:
+
+    CTF(s) = -( sqrt(1 − A²)·sin χ(s) + A·cos χ(s) ) · E(s)
+    χ(s)   = π·λ·Δf·s² − (π/2)·Cs·λ³·s⁴
+    E(s)   = exp(−B·s² / 4)
+
+with ``s`` spatial frequency (1/Å), ``Δf`` defocus (Å, positive =
+underfocus), ``Cs`` spherical aberration (Å), ``A`` the amplitude-contrast
+fraction and ``B`` an envelope B-factor (Å²).  Electron wavelength λ comes
+from the relativistic accelerating-voltage formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fourier.transforms import fourier_center
+
+__all__ = ["CTFParams", "electron_wavelength", "ctf_1d", "ctf_2d"]
+
+
+def electron_wavelength(voltage_kv: float) -> float:
+    """Relativistic electron wavelength in Å for a voltage in kV.
+
+    λ = 12.2639 / sqrt(V + 0.97845e-6 · V²), V in volts.
+    """
+    if voltage_kv <= 0:
+        raise ValueError("voltage must be positive")
+    v = voltage_kv * 1e3
+    return 12.2639 / np.sqrt(v + 0.97845e-6 * v * v)
+
+
+@dataclass(frozen=True)
+class CTFParams:
+    """Microscope/imaging parameters of one micrograph.
+
+    Attributes
+    ----------
+    defocus_angstrom:
+        Underfocus in Å (positive; typical cryo values 10000–30000).
+    voltage_kv:
+        Accelerating voltage in kV.
+    cs_mm:
+        Spherical aberration in mm.
+    amplitude_contrast:
+        Fraction in [0, 1) (typically 0.07–0.1 for cryo).
+    bfactor:
+        Envelope B-factor in Å² (0 disables the envelope).
+    """
+
+    defocus_angstrom: float = 15000.0
+    voltage_kv: float = 300.0
+    cs_mm: float = 2.0
+    amplitude_contrast: float = 0.07
+    bfactor: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.defocus_angstrom < 0:
+            raise ValueError("defocus must be non-negative (underfocus convention)")
+        if not 0 <= self.amplitude_contrast < 1:
+            raise ValueError("amplitude_contrast must be in [0, 1)")
+        if self.voltage_kv <= 0:
+            raise ValueError("voltage must be positive")
+        if self.bfactor < 0:
+            raise ValueError("bfactor must be non-negative")
+
+    @property
+    def wavelength(self) -> float:
+        return electron_wavelength(self.voltage_kv)
+
+
+def ctf_1d(params: CTFParams, s: np.ndarray) -> np.ndarray:
+    """Evaluate the CTF at spatial frequencies ``s`` (1/Å)."""
+    s = np.asarray(s, dtype=float)
+    lam = params.wavelength
+    cs = params.cs_mm * 1e7  # mm → Å
+    chi = np.pi * lam * params.defocus_angstrom * s**2 - 0.5 * np.pi * cs * lam**3 * s**4
+    a = params.amplitude_contrast
+    ctf = -(np.sqrt(1.0 - a * a) * np.sin(chi) + a * np.cos(chi))
+    if params.bfactor > 0:
+        ctf = ctf * np.exp(-params.bfactor * s**2 / 4.0)
+    return ctf
+
+
+def ctf_2d(params: CTFParams, size: int, apix: float) -> np.ndarray:
+    """The CTF sampled on the centered ``size×size`` Fourier grid.
+
+    Returned array multiplies a centered 2D DFT elementwise (no astigmatism;
+    the paper's views are CTF-corrected per micrograph with a single
+    defocus).
+    """
+    if size <= 0 or apix <= 0:
+        raise ValueError("size and apix must be positive")
+    c = fourier_center(size)
+    k = np.arange(size) - c
+    ky, kx = np.meshgrid(k, k, indexing="ij")
+    s = np.sqrt(kx * kx + ky * ky) / (size * apix)
+    return ctf_1d(params, s)

@@ -1,0 +1,27 @@
+"""Electron-density maps: container, synthetic phantoms and MRC file I/O."""
+
+from repro.density.map import DensityMap
+from repro.density.mrcio import read_mrc, write_mrc
+from repro.density.resample import crop_box, fourier_crop, fourier_pad, pad_box
+from repro.density.phantom import (
+    asymmetric_phantom,
+    cyclic_phantom,
+    icosahedral_capsid_phantom,
+    reo_like_phantom,
+    sindbis_like_phantom,
+)
+
+__all__ = [
+    "DensityMap",
+    "read_mrc",
+    "write_mrc",
+    "fourier_crop",
+    "fourier_pad",
+    "crop_box",
+    "pad_box",
+    "asymmetric_phantom",
+    "cyclic_phantom",
+    "icosahedral_capsid_phantom",
+    "sindbis_like_phantom",
+    "reo_like_phantom",
+]

@@ -1,0 +1,164 @@
+"""The :class:`DensityMap` container.
+
+A density map is the ``l³`` real-space lattice ``D`` of §3, together with
+its physical sampling rate (``apix``, Å per voxel).  The container caches
+the centered 3D DFT ``D̂`` — the paper computes ``D̂`` once per refinement
+iteration (step a) and reuses it for every cut — and offers the small set of
+operations the pipeline needs (masking, normalization, cross-sections,
+correlation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fourier.transforms import centered_fftn, centered_ifftn
+from repro.utils import require_cube, require_positive
+
+__all__ = ["DensityMap"]
+
+
+class DensityMap:
+    """A cubic electron-density map with voxel size in Å.
+
+    Parameters
+    ----------
+    data:
+        Real 3D cubic array, indexed ``[z, y, x]``.
+    apix:
+        Voxel size in Å/pixel.
+    """
+
+    def __init__(self, data: np.ndarray, apix: float = 1.0) -> None:
+        arr = np.asarray(data, dtype=float)
+        require_cube(arr, "density data")
+        require_positive(apix, "apix")
+        self.data = arr
+        self.apix = float(apix)
+        self._ft_cache: np.ndarray | None = None
+        self._padded_cache: dict[int, np.ndarray] = {}
+
+    # -- basic properties -------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Side length ``l`` in voxels."""
+        return self.data.shape[0]
+
+    @property
+    def box_angstrom(self) -> float:
+        """Physical box side in Å."""
+        return self.size * self.apix
+
+    def copy(self) -> "DensityMap":
+        return DensityMap(self.data.copy(), self.apix)
+
+    # -- Fourier ----------------------------------------------------------
+    def fourier(self, refresh: bool = False) -> np.ndarray:
+        """Centered 3D DFT ``D̂`` of the map (cached).
+
+        Pass ``refresh=True`` after mutating :attr:`data` in place.
+        """
+        if self._ft_cache is None or refresh:
+            self._ft_cache = centered_fftn(self.data)
+        return self._ft_cache
+
+    def invalidate(self) -> None:
+        """Drop the cached transforms (call after in-place edits)."""
+        self._ft_cache = None
+        self._padded_cache = {}
+
+    def fourier_oversampled(self, pad_factor: int = 2) -> np.ndarray:
+        """Centered 3D DFT of the zero-padded map (cached per factor).
+
+        Padding the map ``pad_factor×`` in real space samples the same
+        continuous transform ``pad_factor×`` more finely, which reduces the
+        trilinear slice-interpolation error by roughly that factor — the
+        standard gridding trick.  ``pad_factor=1`` is :meth:`fourier`.
+        """
+        if pad_factor < 1 or int(pad_factor) != pad_factor:
+            raise ValueError("pad_factor must be a positive integer")
+        pad_factor = int(pad_factor)
+        if pad_factor == 1:
+            return self.fourier()
+        if not hasattr(self, "_padded_cache"):
+            self._padded_cache: dict[int, np.ndarray] = {}
+        cached = self._padded_cache.get(pad_factor)
+        if cached is not None:
+            return cached
+        l = self.size
+        big = pad_factor * l
+        padded = np.zeros((big, big, big))
+        off = (big - l) // 2
+        padded[off : off + l, off : off + l, off : off + l] = self.data
+        ft = centered_fftn(padded)
+        self._padded_cache[pad_factor] = ft
+        return ft
+
+    @staticmethod
+    def from_fourier(volume_ft: np.ndarray, apix: float = 1.0) -> "DensityMap":
+        """Build a map from a centered 3D DFT (imaginary part discarded)."""
+        data = centered_ifftn(volume_ft).real
+        return DensityMap(data, apix)
+
+    # -- transformations ---------------------------------------------------
+    def normalized(self) -> "DensityMap":
+        """Zero-mean, unit-std copy (degenerate maps raise)."""
+        std = float(self.data.std())
+        if std == 0:
+            raise ValueError("cannot normalize a constant map")
+        return DensityMap((self.data - self.data.mean()) / std, self.apix)
+
+    def low_pass(self, resolution_angstrom: float) -> "DensityMap":
+        """Copy band-limited to the given resolution (hard spherical cutoff)."""
+        from repro.fourier.shells import spherical_mask
+        from repro.utils import resolution_to_shell_radius
+
+        radius = resolution_to_shell_radius(resolution_angstrom, self.size, self.apix)
+        ft = self.fourier().copy()
+        ft[~spherical_mask(self.size, radius)] = 0.0
+        return DensityMap.from_fourier(ft, self.apix)
+
+    def radial_mask(self, inner: float = 0.0, outer: float | None = None) -> "DensityMap":
+        """Copy with density kept only in the real-space shell [inner, outer] voxels.
+
+        The paper notes that icosahedral comparisons can use only the capsid
+        shell; this implements that masking for any map.
+        """
+        l = self.size
+        c = l // 2
+        k = np.arange(l) - c
+        kz, ky, kx = np.meshgrid(k, k, k, indexing="ij")
+        r = np.sqrt(kz * kz + ky * ky + kx * kx)
+        hi = (l // 2) if outer is None else outer
+        mask = (r >= inner) & (r <= hi)
+        return DensityMap(np.where(mask, self.data, 0.0), self.apix)
+
+    # -- analysis -----------------------------------------------------------
+    def cross_section(self, axis: str = "z", index: int | None = None) -> np.ndarray:
+        """A central (or specified) planar cross-section, as in Figure 2."""
+        i = self.size // 2 if index is None else int(index)
+        if not 0 <= i < self.size:
+            raise IndexError(f"section index {i} outside [0, {self.size})")
+        if axis == "z":
+            return self.data[i, :, :].copy()
+        if axis == "y":
+            return self.data[:, i, :].copy()
+        if axis == "x":
+            return self.data[:, :, i].copy()
+        raise ValueError(f"axis must be x, y or z, got {axis!r}")
+
+    def correlation(self, other: "DensityMap") -> float:
+        """Global real-space Pearson correlation with another map."""
+        if other.size != self.size:
+            raise ValueError("maps must have the same size")
+        a = self.data.ravel()
+        b = other.data.ravel()
+        a = a - a.mean()
+        b = b - b.mean()
+        denom = np.linalg.norm(a) * np.linalg.norm(b)
+        if denom == 0:
+            raise ValueError("cannot correlate constant maps")
+        return float(np.dot(a, b) / denom)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DensityMap(size={self.size}, apix={self.apix:.3g} A/px)"

@@ -1,0 +1,95 @@
+"""Map resampling: Fourier cropping/padding and real-space box operations.
+
+Production pipelines constantly change sampling: coarse maps for early
+refinement iterations (the paper's "increase the resolution gradually"),
+fine maps at the end.  Fourier cropping is the exact band-limited
+downsampling operator (it commutes with the central-slice extraction the
+refinement performs), Fourier padding its interpolating inverse.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.density.map import DensityMap
+from repro.fourier.transforms import centered_fftn, centered_ifftn, fourier_center
+from repro.utils import require_cube
+
+__all__ = ["fourier_crop", "fourier_pad", "crop_box", "pad_box"]
+
+
+def _central_block(size_out: int, size_in: int) -> slice:
+    lo = fourier_center(size_in) - fourier_center(size_out)
+    return slice(lo, lo + size_out)
+
+
+def fourier_crop(density: DensityMap, new_size: int) -> DensityMap:
+    """Band-limited downsampling to ``new_size`` voxels per side.
+
+    Keeps the central ``new_size³`` block of the transform — exactly the
+    frequencies a ``new_size`` grid can represent — and renormalizes so
+    density *values* are preserved (the mean of the map is unchanged).
+    The voxel size grows by ``size/new_size``.
+    """
+    l = density.size
+    if not 0 < new_size <= l:
+        raise ValueError(f"new_size must be in (0, {l}]")
+    if new_size == l:
+        return density.copy()
+    ft = density.fourier()
+    sl = _central_block(new_size, l)
+    cropped = ft[sl, sl, sl]
+    data = centered_ifftn(cropped).real * (new_size**3 / l**3)
+    return DensityMap(np.ascontiguousarray(data), density.apix * l / new_size)
+
+
+def fourier_pad(density: DensityMap, new_size: int) -> DensityMap:
+    """Band-limited upsampling (sinc interpolation) to ``new_size``.
+
+    The inverse of :func:`fourier_crop` on band-limited maps; adds no new
+    information, only finer sampling.  The voxel size shrinks accordingly.
+    """
+    l = density.size
+    if new_size < l:
+        raise ValueError("new_size must be >= current size (use fourier_crop to shrink)")
+    if new_size == l:
+        return density.copy()
+    ft = density.fourier()
+    big = np.zeros((new_size, new_size, new_size), dtype=complex)
+    sl = _central_block(l, new_size)
+    big[sl, sl, sl] = ft
+    data = centered_ifftn(big).real * (new_size**3 / l**3)
+    return DensityMap(np.ascontiguousarray(data), density.apix * l / new_size)
+
+
+def crop_box(density: DensityMap, new_size: int) -> DensityMap:
+    """Real-space crop of the central ``new_size³`` box (voxel size kept).
+
+    Use when the particle occupies a fraction of the box; raises if density
+    outside the kept region exceeds 5% of the total absolute mass (a
+    guard against silently truncating the particle).
+    """
+    l = density.size
+    if not 0 < new_size <= l:
+        raise ValueError(f"new_size must be in (0, {l}]")
+    if new_size == l:
+        return density.copy()
+    sl = _central_block(new_size, l)
+    kept = density.data[sl, sl, sl]
+    total = float(np.abs(density.data).sum())
+    if total > 0 and (total - float(np.abs(kept).sum())) > 0.05 * total:
+        raise ValueError("crop would discard more than 5% of the map's mass")
+    return DensityMap(np.ascontiguousarray(kept), density.apix)
+
+
+def pad_box(density: DensityMap, new_size: int, fill: float = 0.0) -> DensityMap:
+    """Real-space zero-pad (or constant-pad) to a larger box (voxel size kept)."""
+    l = density.size
+    if new_size < l:
+        raise ValueError("new_size must be >= current size (use crop_box to shrink)")
+    if new_size == l:
+        return density.copy()
+    out = np.full((new_size, new_size, new_size), float(fill))
+    sl = _central_block(l, new_size)
+    out[sl, sl, sl] = density.data
+    return DensityMap(out, density.apix)

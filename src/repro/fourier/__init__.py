@@ -1,0 +1,61 @@
+"""Fourier-space substrate: centered FFTs, central slices, insertion, shells.
+
+All transforms use the *centered* convention
+``F = fftshift(fftn(ifftshift(d)))`` so the zero-frequency sample sits at
+index ``l // 2`` along every axis and a slice/plane through the origin is a
+plane through the array center.  This matches the geometry of the paper's
+"2D cuts of D̂" and keeps interpolation code free of wrap-around logic.
+"""
+
+from repro.fourier.transforms import (
+    centered_fft2,
+    centered_fftn,
+    centered_ifft2,
+    centered_ifftn,
+    fourier_center,
+    frequency_grid_2d,
+    frequency_grid_3d,
+)
+from repro.fourier.slicing import (
+    extract_slice,
+    extract_slices,
+    slice_coordinates,
+)
+from repro.fourier.insertion import insert_slice, normalize_insertion
+from repro.fourier.gridding import (
+    KaiserBesselKernel,
+    gridding_extract_slice,
+    prepare_gridding_volume,
+)
+from repro.fourier.shells import (
+    fsc_curve,
+    radial_shell_indices_2d,
+    radial_shell_indices_3d,
+    ring_correlation,
+    shell_average,
+    spherical_mask,
+)
+
+__all__ = [
+    "centered_fftn",
+    "centered_ifftn",
+    "centered_fft2",
+    "centered_ifft2",
+    "fourier_center",
+    "frequency_grid_2d",
+    "frequency_grid_3d",
+    "slice_coordinates",
+    "extract_slice",
+    "extract_slices",
+    "insert_slice",
+    "normalize_insertion",
+    "KaiserBesselKernel",
+    "prepare_gridding_volume",
+    "gridding_extract_slice",
+    "radial_shell_indices_2d",
+    "radial_shell_indices_3d",
+    "shell_average",
+    "fsc_curve",
+    "ring_correlation",
+    "spherical_mask",
+]

@@ -1,0 +1,176 @@
+"""Kaiser–Bessel gridding interpolation — a higher-order alternative to the
+paper's trilinear cuts.
+
+Trilinear interpolation of an oversampled transform (the paper-era choice,
+implemented in :mod:`repro.fourier.slicing`) leaves a few-percent error at
+high frequency.  The modern standard is to interpolate with a compact
+Kaiser–Bessel (KB) window and *pre-compensate* the real-space map by the
+window's inverse Fourier transform, which makes the interpolation nearly
+exact for band-limited data.  This module provides that as an optional
+upgrade (ablation E13 quantifies the gain):
+
+    vol_ft = prepare_gridding_volume(density, kernel, pad_factor)
+    cut    = gridding_extract_slice(vol_ft, R, kernel, out_size=density.size)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fourier.transforms import centered_fftn, fourier_center
+from repro.utils import require_cube
+
+__all__ = ["KaiserBesselKernel", "prepare_gridding_volume", "gridding_extract_slice"]
+
+
+def _i0(x: np.ndarray) -> np.ndarray:
+    # modified Bessel function of the first kind, order 0
+    from scipy.special import i0
+
+    return i0(x)
+
+
+@dataclass(frozen=True)
+class KaiserBesselKernel:
+    """A separable Kaiser–Bessel interpolation window.
+
+    Attributes
+    ----------
+    width:
+        Support in grid samples (per axis); 3–5 is typical.
+    beta:
+        Shape parameter.  The classic choice for oversampling factor ``σ``
+        is ``β = π·√((w/σ)²·(σ−0.5)² − 0.8)`` (Beatty et al.); use
+        :meth:`for_oversampling`.
+    """
+
+    width: float
+    beta: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.beta <= 0:
+            raise ValueError("width and beta must be positive")
+
+    @staticmethod
+    def for_oversampling(width: float = 4.0, oversampling: float = 2.0) -> "KaiserBesselKernel":
+        """The standard β for a given support and oversampling factor."""
+        if oversampling <= 0.5:
+            raise ValueError("oversampling must exceed 0.5")
+        arg = (width / oversampling) ** 2 * (oversampling - 0.5) ** 2 - 0.8
+        beta = np.pi * np.sqrt(max(arg, 0.1))
+        return KaiserBesselKernel(width=width, beta=float(beta))
+
+    def evaluate(self, u: np.ndarray) -> np.ndarray:
+        """Window value at offsets ``u`` (grid samples); 0 outside ±width/2."""
+        u = np.asarray(u, dtype=float)
+        half = self.width / 2.0
+        inside = np.abs(u) < half
+        t = np.zeros_like(u)
+        arg = 1.0 - (u[inside] / half) ** 2
+        t[inside] = _i0(self.beta * np.sqrt(arg)) / _i0(np.array(self.beta))
+        return t
+
+    def deapodization(self, size: int, total_size: int | None = None) -> np.ndarray:
+        """1D real-space compensation profile for a length-``size`` axis.
+
+        The KB window's inverse DFT evaluated at real-space coordinates;
+        dividing the map by the separable product of this profile before
+        transforming makes KB interpolation of the transform unbiased.
+
+        ``total_size`` is the length of the grid the kernel interpolates on
+        (the *padded* side when the transform is oversampled); the map
+        occupies the central ``size`` samples of that grid, so coordinates
+        are taken relative to ``total_size``.
+        """
+        total = size if total_size is None else int(total_size)
+        if total < size:
+            raise ValueError("total_size must be >= size")
+        half = self.width / 2.0
+        c = fourier_center(size)
+        x = (np.arange(size) - c) / total  # position in units of the padded box
+        arg = (np.pi * half * 2.0 * x) ** 2 - self.beta**2
+        out = np.empty_like(x)
+        pos = arg > 0
+        sq = np.sqrt(np.abs(arg))
+        # sin(x)/x analytic continuation: sinh below the cutoff
+        out[pos] = np.sin(sq[pos]) / sq[pos]
+        out[~pos] = np.sinh(sq[~pos]) / np.where(sq[~pos] == 0, 1.0, sq[~pos])
+        out[sq == 0] = 1.0
+        out /= out[c]
+        # guard against division blow-ups at the box corners
+        return np.clip(out, 1e-3, None)
+
+
+def prepare_gridding_volume(
+    density, kernel: KaiserBesselKernel, pad_factor: int = 2
+) -> np.ndarray:
+    """Pre-compensated, oversampled transform for KB slice extraction.
+
+    ``density`` is a :class:`repro.density.map.DensityMap`.  The map is
+    divided by the separable de-apodization profile, zero-padded by
+    ``pad_factor`` and transformed.
+    """
+    l = density.size
+    profile = kernel.deapodization(l, total_size=pad_factor * l)
+    comp = density.data / (
+        profile[:, None, None] * profile[None, :, None] * profile[None, None, :]
+    )
+    big = pad_factor * l
+    padded = np.zeros((big, big, big))
+    off = (big - l) // 2
+    padded[off : off + l, off : off + l, off : off + l] = comp
+    return centered_fftn(padded)
+
+
+def gridding_extract_slice(
+    volume_ft: np.ndarray,
+    rotation: np.ndarray,
+    kernel: KaiserBesselKernel,
+    out_size: int,
+) -> np.ndarray:
+    """One central cut interpolated with the KB window.
+
+    ``volume_ft`` must come from :func:`prepare_gridding_volume` with the
+    same kernel.  Complexity is O(width³) per output sample.
+    """
+    big = require_cube(volume_ft, "volume_ft")
+    if out_size > big:
+        raise ValueError("out_size must not exceed the volume side")
+    scale = big / out_size
+    cv = fourier_center(big)
+    c = fourier_center(out_size)
+    k = np.arange(out_size) - c
+    ky, kx = np.meshgrid(k, k, indexing="ij")
+    r = np.asarray(rotation, dtype=float)
+    coords_xyz = (kx[..., None] * r[:, 0] + ky[..., None] * r[:, 1]) * scale
+    pts = coords_xyz[..., ::-1].reshape(-1, 3) + cv  # (n, 3) in (z, y, x)
+
+    half = int(np.ceil(kernel.width / 2.0))
+    offsets = np.arange(-half, half + 1)
+    base = np.rint(pts).astype(np.int64)
+    out = np.zeros(pts.shape[0], dtype=volume_ft.dtype)
+    flat = volume_ft.ravel()
+    # kernel-sum normalization: the discrete window does not sum exactly to
+    # the continuous DC response, so normalize by the window's own discrete
+    # sum at the sample offsets (position-dependent); this is the standard
+    # "normalized convolutional gridding" correction
+    norm = np.zeros(pts.shape[0])
+    for dz in offsets:
+        wz = kernel.evaluate(base[:, 0] + dz - pts[:, 0])
+        for dy in offsets:
+            wy = kernel.evaluate(base[:, 1] + dy - pts[:, 1])
+            wzy = wz * wy
+            for dx in offsets:
+                wx = kernel.evaluate(base[:, 2] + dx - pts[:, 2])
+                w = wzy * wx
+                idx = base + np.array([dz, dy, dx])
+                valid = np.all((idx >= 0) & (idx < big), axis=1)
+                lin = (idx[:, 0] * big + idx[:, 1]) * big + idx[:, 2]
+                lin[~valid] = 0
+                w_valid = np.where(valid, w, 0.0)
+                out += w_valid * flat[lin]
+                norm += w  # full window sum, independent of cube clipping
+    norm[norm == 0] = 1.0
+    return (out / norm).reshape(out_size, out_size)

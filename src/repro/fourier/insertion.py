@@ -1,0 +1,145 @@
+"""Central-slice insertion — the adjoint of extraction, used by reconstruction.
+
+Direct-Fourier 3D reconstruction (the companion algorithm the paper uses in
+step C) scatters every view's 2D DFT into the 3D transform with trilinear
+weights, accumulates a weight volume alongside, and finally divides.  Each
+sample is inserted together with its Friedel mate (``F(−k) = conj F(k)``)
+so that real-valuedness of the reconstructed density is preserved and the
+Fourier cube fills twice as fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fourier.slicing import slice_coordinates
+from repro.fourier.transforms import fourier_center
+from repro.utils import require_cube, require_square
+
+__all__ = ["insert_slice", "normalize_insertion"]
+
+
+def _scatter_trilinear(
+    accum: np.ndarray, weights: np.ndarray, coords_zyx: np.ndarray, values: np.ndarray
+) -> None:
+    l = accum.shape[0]
+    pts = coords_zyx.reshape(-1, 3)
+    vals = values.ravel()
+    base = np.floor(pts).astype(np.int64)
+    frac = pts - base
+    flat_a = accum.ravel()
+    flat_w = weights.ravel()
+    for corner in range(8):
+        dz, dy, dx = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
+        idx = base + np.array([dz, dy, dx])
+        valid = np.all((idx >= 0) & (idx < l), axis=1)
+        w = (
+            (frac[:, 0] if dz else 1.0 - frac[:, 0])
+            * (frac[:, 1] if dy else 1.0 - frac[:, 1])
+            * (frac[:, 2] if dx else 1.0 - frac[:, 2])
+        )
+        w = np.where(valid, w, 0.0)
+        lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
+        lin[~valid] = 0
+        np.add.at(flat_a, lin, w * vals)
+        np.add.at(flat_w, lin, w)
+
+
+def insert_slice(
+    accum: np.ndarray,
+    weights: np.ndarray,
+    slice_ft: np.ndarray,
+    rotation: np.ndarray,
+    hermitian: bool = True,
+    sample_weights: np.ndarray | None = None,
+) -> None:
+    """Scatter one view's centered 2D DFT into the accumulation volume.
+
+    Parameters
+    ----------
+    accum, weights:
+        Complex ``(l, l, l)`` accumulator and real ``(l, l, l)`` weight
+        volume, modified in place.
+    slice_ft:
+        The view's centered 2D DFT, shape ``(l, l)``.
+    rotation:
+        The view's orientation matrix.
+    hermitian:
+        Also insert the conjugate at mirrored coordinates (default).
+    sample_weights:
+        Optional per-pixel real weights (e.g. |CTF| for Wiener-style
+        accumulation); multiplies both the value and the weight deposit.
+    """
+    l = require_cube(accum, "accum")
+    require_cube(weights, "weights")
+    ls = require_square(slice_ft, "slice_ft")
+    if ls > l:
+        raise ValueError(f"slice side {ls} exceeds volume side {l}")
+    coords = slice_coordinates(ls, rotation, volume_size=l)
+    values = np.asarray(slice_ft, dtype=accum.dtype)
+    if sample_weights is not None:
+        sw = np.asarray(sample_weights, dtype=float)
+        if sw.shape != values.shape:
+            raise ValueError("sample_weights must match slice shape")
+        # weight-aware deposit: accumulate w·F and w so the later division
+        # returns a weighted average of the contributing slices.
+        _scatter_weighted(accum, weights, coords, values, sw)
+        if hermitian:
+            c = fourier_center(l)
+            mirrored = 2 * c - coords
+            _scatter_weighted(accum, weights, mirrored, np.conj(values), sw)
+        return
+    _scatter_trilinear(accum, weights, coords, values)
+    if hermitian:
+        c = fourier_center(l)
+        mirrored = 2 * c - coords
+        _scatter_trilinear(accum, weights, mirrored, np.conj(values))
+
+
+def _scatter_weighted(
+    accum: np.ndarray,
+    weights: np.ndarray,
+    coords_zyx: np.ndarray,
+    values: np.ndarray,
+    sample_weights: np.ndarray,
+) -> None:
+    l = accum.shape[0]
+    pts = coords_zyx.reshape(-1, 3)
+    vals = values.ravel() * sample_weights.ravel()
+    wvals = sample_weights.ravel()
+    base = np.floor(pts).astype(np.int64)
+    frac = pts - base
+    flat_a = accum.ravel()
+    flat_w = weights.ravel()
+    for corner in range(8):
+        dz, dy, dx = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
+        idx = base + np.array([dz, dy, dx])
+        valid = np.all((idx >= 0) & (idx < l), axis=1)
+        w = (
+            (frac[:, 0] if dz else 1.0 - frac[:, 0])
+            * (frac[:, 1] if dy else 1.0 - frac[:, 1])
+            * (frac[:, 2] if dx else 1.0 - frac[:, 2])
+        )
+        w = np.where(valid, w, 0.0)
+        lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
+        lin[~valid] = 0
+        np.add.at(flat_a, lin, w * vals)
+        np.add.at(flat_w, lin, w * wvals)
+
+
+def normalize_insertion(
+    accum: np.ndarray, weights: np.ndarray, min_weight: float = 1e-3
+) -> np.ndarray:
+    """Divide the accumulated transform by its weights.
+
+    Voxels whose accumulated weight is below ``min_weight`` (unmeasured
+    regions of Fourier space) are set to zero rather than amplified.
+    """
+    a = np.asarray(accum)
+    w = np.asarray(weights, dtype=float)
+    if a.shape != w.shape:
+        raise ValueError("accum and weights must have the same shape")
+    out = np.zeros_like(a)
+    good = w >= min_weight
+    out[good] = a[good] / w[good]
+    return out

@@ -1,0 +1,161 @@
+"""Central-slice extraction from a 3D DFT (the paper's "2D cuts of D̂").
+
+By the projection-slice theorem the 2D DFT of the projection of a density
+``ρ`` along direction ``R·ẑ`` equals the central plane of the 3D DFT of ρ
+spanned by ``R·x̂`` and ``R·ŷ``:
+
+    F_proj(kx, ky) = F_ρ(kx·R[:,0] + ky·R[:,1]).
+
+The paper computes these cuts by interpolation in the 3D Fourier domain
+(step f).  We provide nearest-neighbour and trilinear complex interpolation;
+samples falling outside the transform cube evaluate to 0 (they lie beyond
+the measured band anyway once the ``r_map`` cutoff is applied).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fourier.transforms import fourier_center
+from repro.utils import require_cube
+
+__all__ = ["slice_coordinates", "extract_slice", "extract_slices"]
+
+
+def slice_coordinates(size: int, rotation: np.ndarray, volume_size: int | None = None) -> np.ndarray:
+    """Fractional array coordinates of the central slice for one rotation.
+
+    Returns an array of shape ``(size, size, 3)`` whose ``[i, j]`` entry is
+    the **(z, y, x) array index** (fractional) inside a centered 3D DFT at
+    which slice pixel ``(i, j)`` — i.e. frequency
+    ``(ky, kx) = (i − c, j − c)`` — must be sampled.
+
+    ``volume_size`` supports *oversampled* transforms: when the volume is a
+    zero-padded copy of the ``size``-box map (padded by ``p = volume_size /
+    size``), image frequency ``k`` lives at padded index ``k·p``, so
+    trilinear interpolation error drops by the padding factor.  Defaults to
+    ``size`` (no oversampling).
+    """
+    r = np.asarray(rotation, dtype=float)
+    if r.shape != (3, 3):
+        raise ValueError(f"rotation must be (3, 3), got {r.shape}")
+    vsize = size if volume_size is None else int(volume_size)
+    if vsize < size:
+        raise ValueError("volume_size must be >= slice size")
+    scale = vsize / size
+    cv = fourier_center(vsize)
+    c = fourier_center(size)
+    k = np.arange(size) - c
+    ky, kx = np.meshgrid(k, k, indexing="ij")
+    # Math frame is (x, y, z); k-vector of slice pixel = kx·u + ky·v.
+    u, v = r[:, 0], r[:, 1]
+    coords_xyz = (kx[..., None] * u + ky[..., None] * v) * scale
+    # Convert math (x, y, z) to array (z, y, x) index and re-center.
+    coords_zyx = coords_xyz[..., ::-1] + cv
+    return coords_zyx
+
+
+def _gather_trilinear(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
+    """Vectorized trilinear gather of complex samples at fractional coords.
+
+    ``coords_zyx`` has shape ``(..., 3)``; out-of-bounds samples return 0.
+    """
+    l = volume.shape[0]
+    pts = coords_zyx.reshape(-1, 3)
+    base = np.floor(pts).astype(np.int64)
+    frac = pts - base
+    out = np.zeros(pts.shape[0], dtype=volume.dtype)
+    flat = volume.ravel()
+    for corner in range(8):
+        dz, dy, dx = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
+        idx = base + np.array([dz, dy, dx])
+        valid = np.all((idx >= 0) & (idx < l), axis=1)
+        w = (
+            (frac[:, 0] if dz else 1.0 - frac[:, 0])
+            * (frac[:, 1] if dy else 1.0 - frac[:, 1])
+            * (frac[:, 2] if dx else 1.0 - frac[:, 2])
+        )
+        lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
+        lin[~valid] = 0
+        out += np.where(valid, w, 0.0) * flat[lin]
+    return out.reshape(coords_zyx.shape[:-1])
+
+
+def _gather_nearest(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
+    l = volume.shape[0]
+    pts = coords_zyx.reshape(-1, 3)
+    idx = np.rint(pts).astype(np.int64)
+    valid = np.all((idx >= 0) & (idx < l), axis=1)
+    lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
+    lin[~valid] = 0
+    out = volume.ravel()[lin]
+    out = np.where(valid, out, 0)
+    return out.reshape(coords_zyx.shape[:-1])
+
+
+def extract_slice(
+    volume_ft: np.ndarray,
+    rotation: np.ndarray,
+    order: str = "trilinear",
+    out_size: int | None = None,
+) -> np.ndarray:
+    """One central 2D cut ``C`` through a centered 3D DFT.
+
+    Parameters
+    ----------
+    volume_ft:
+        Centered 3D DFT of the density map (possibly oversampled), complex.
+    rotation:
+        3×3 rotation matrix of the candidate orientation.
+    order:
+        ``"trilinear"`` (paper's choice, default) or ``"nearest"``.
+    out_size:
+        Side of the output slice.  Defaults to the volume side; pass the
+        *unpadded* map size when ``volume_ft`` is an oversampled transform.
+    """
+    l = require_cube(volume_ft, "volume_ft")
+    size = l if out_size is None else int(out_size)
+    coords = slice_coordinates(size, rotation, volume_size=l)
+    if order == "trilinear":
+        return _gather_trilinear(np.asarray(volume_ft), coords)
+    if order == "nearest":
+        return _gather_nearest(np.asarray(volume_ft), coords)
+    raise ValueError(f"unknown interpolation order {order!r}")
+
+
+def extract_slices(
+    volume_ft: np.ndarray,
+    rotations: np.ndarray,
+    order: str = "trilinear",
+    out_size: int | None = None,
+) -> np.ndarray:
+    """Batch of central cuts, one per rotation.
+
+    ``rotations`` has shape ``(w, 3, 3)``; the result has shape
+    ``(w, size, size)`` where ``size`` is ``out_size`` (default: the volume
+    side).  This is the kernel of step (f): a full search window of
+    ``w = w_θ·w_φ·w_ω`` cuts is produced in one vectorized gather.
+    """
+    l = require_cube(volume_ft, "volume_ft")
+    size = l if out_size is None else int(out_size)
+    if size > l:
+        raise ValueError("out_size must be <= volume side")
+    rots = np.asarray(rotations, dtype=float)
+    if rots.ndim != 3 or rots.shape[1:] != (3, 3):
+        raise ValueError(f"rotations must be (w, 3, 3), got {rots.shape}")
+    scale = l / size
+    cv = fourier_center(l)
+    c = fourier_center(size)
+    k = np.arange(size) - c
+    ky, kx = np.meshgrid(k, k, indexing="ij")
+    u = rots[:, :, 0]  # (w, 3)
+    v = rots[:, :, 1]
+    coords_xyz = (
+        kx[None, ..., None] * u[:, None, None, :] + ky[None, ..., None] * v[:, None, None, :]
+    ) * scale
+    coords_zyx = coords_xyz[..., ::-1] + cv
+    if order == "trilinear":
+        return _gather_trilinear(np.asarray(volume_ft), coords_zyx)
+    if order == "nearest":
+        return _gather_nearest(np.asarray(volume_ft), coords_zyx)
+    raise ValueError(f"unknown interpolation order {order!r}")

@@ -1,0 +1,70 @@
+"""Orientation geometry: Euler angles, rotations, sphere sampling, symmetry.
+
+The paper parameterizes a view orientation by three angles ``(θ, φ, ω)``
+(Figure 1a).  We use the ZYZ convention ``R = Rz(φ)·Ry(θ)·Rz(ω)``; the view
+(projection) direction is ``R·ẑ`` and the in-plane rotation is ``ω``.
+"""
+
+from repro.geometry.euler import (
+    Orientation,
+    angular_distance_deg,
+    euler_to_matrix,
+    in_plane_distance_deg,
+    matrix_to_euler,
+    orientation_distance_deg,
+    random_orientations,
+)
+from repro.geometry.rotations import (
+    axis_angle_to_matrix,
+    is_rotation_matrix,
+    matrix_to_axis_angle,
+    matrix_to_quaternion,
+    quaternion_to_matrix,
+    rotation_angle_deg,
+    rotation_between,
+)
+from repro.geometry.sphere import (
+    count_orientations,
+    fibonacci_sphere,
+    search_space_cardinality,
+    view_directions_grid,
+)
+from repro.geometry.symmetry import (
+    SymmetryGroup,
+    cyclic_group,
+    dihedral_group,
+    icosahedral_group,
+    identify_point_group,
+    octahedral_group,
+    reduce_to_asymmetric_unit,
+    tetrahedral_group,
+)
+
+__all__ = [
+    "Orientation",
+    "euler_to_matrix",
+    "matrix_to_euler",
+    "random_orientations",
+    "angular_distance_deg",
+    "in_plane_distance_deg",
+    "orientation_distance_deg",
+    "axis_angle_to_matrix",
+    "matrix_to_axis_angle",
+    "quaternion_to_matrix",
+    "matrix_to_quaternion",
+    "is_rotation_matrix",
+    "rotation_angle_deg",
+    "rotation_between",
+    "fibonacci_sphere",
+    "view_directions_grid",
+    "count_orientations",
+    "search_space_cardinality",
+    "SymmetryGroup",
+    "cyclic_group",
+    "dihedral_group",
+    "tetrahedral_group",
+    "octahedral_group",
+    "icosahedral_group",
+    "identify_point_group",
+    "reduce_to_asymmetric_unit",
+]

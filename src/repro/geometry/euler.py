@@ -1,0 +1,182 @@
+"""Euler angles in the paper's (θ, φ, ω) parameterization.
+
+Convention (DESIGN.md §6): ``R(θ, φ, ω) = Rz(φ) · Ry(θ) · Rz(ω)`` with all
+angles in **degrees**.  The view direction of the projection is
+``n = R·ẑ = (sinθ·cosφ, sinθ·sinφ, cosθ)`` — matching Figure 1a of the
+paper where (θ=0, φ=0) is the Z axis, (90, 0) is X and (90, 90) is Y.
+``ω`` rotates the image in its own plane.
+
+The central slice through the 3D DFT for orientation ``R`` is spanned by the
+first two columns of ``R`` (projection-slice theorem), so this module is the
+single source of truth for how angles map to slice geometry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils import default_rng
+
+__all__ = [
+    "Orientation",
+    "euler_to_matrix",
+    "matrix_to_euler",
+    "random_orientations",
+    "angular_distance_deg",
+    "in_plane_distance_deg",
+    "orientation_distance_deg",
+]
+
+
+def _rot_z(angle_deg: float | np.ndarray) -> np.ndarray:
+    a = np.deg2rad(angle_deg)
+    c, s = np.cos(a), np.sin(a)
+    out = np.zeros(np.shape(a) + (3, 3))
+    out[..., 0, 0] = c
+    out[..., 0, 1] = -s
+    out[..., 1, 0] = s
+    out[..., 1, 1] = c
+    out[..., 2, 2] = 1.0
+    return out
+
+
+def _rot_y(angle_deg: float | np.ndarray) -> np.ndarray:
+    a = np.deg2rad(angle_deg)
+    c, s = np.cos(a), np.sin(a)
+    out = np.zeros(np.shape(a) + (3, 3))
+    out[..., 0, 0] = c
+    out[..., 0, 2] = s
+    out[..., 2, 0] = -s
+    out[..., 2, 2] = c
+    out[..., 1, 1] = 1.0
+    return out
+
+
+def euler_to_matrix(theta: float | np.ndarray, phi: float | np.ndarray, omega: float | np.ndarray) -> np.ndarray:
+    """Rotation matrix (or stack of matrices) for Euler angles in degrees.
+
+    Broadcasts over array inputs; scalar inputs yield a single ``(3, 3)``
+    matrix, arrays of shape ``(n,)`` yield ``(n, 3, 3)``.
+    """
+    theta, phi, omega = np.broadcast_arrays(
+        np.asarray(theta, dtype=float), np.asarray(phi, dtype=float), np.asarray(omega, dtype=float)
+    )
+    return _rot_z(phi) @ _rot_y(theta) @ _rot_z(omega)
+
+
+def matrix_to_euler(matrix: np.ndarray) -> tuple[float, float, float]:
+    """Inverse of :func:`euler_to_matrix` for a single matrix.
+
+    Returns ``(theta, phi, omega)`` in degrees with ``theta ∈ [0, 180]``,
+    ``phi, omega ∈ [0, 360)``.  At the gimbal-lock poles (θ = 0 or 180) the
+    split between φ and ω is degenerate; we set φ = 0 there.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.shape != (3, 3):
+        raise ValueError(f"expected a (3, 3) matrix, got {m.shape}")
+    # R = Rz(phi) Ry(theta) Rz(omega):
+    #   R[2,2] = cos(theta)
+    #   R[0,2] = sin(theta) cos(phi);  R[1,2] = sin(theta) sin(phi)
+    #   R[2,0] = -sin(theta) cos(omega); R[2,1] = sin(theta) sin(omega)
+    ct = float(np.clip(m[2, 2], -1.0, 1.0))
+    theta = np.rad2deg(np.arccos(ct))
+    st = np.sqrt(max(0.0, 1.0 - ct * ct))
+    # below this sine the off-pole formulas divide numerical noise by noise;
+    # the gimbal-lock branch is exact there (phi and omega merge)
+    if st < 1e-6:
+        # Gimbal lock: R = Rz(phi ± omega). Assign everything to omega.
+        phi = 0.0
+        if ct > 0:
+            omega = np.rad2deg(np.arctan2(m[1, 0], m[0, 0]))
+        else:
+            omega = np.rad2deg(np.arctan2(m[1, 0], -m[0, 0]))
+    else:
+        phi = np.rad2deg(np.arctan2(m[1, 2], m[0, 2]))
+        omega = np.rad2deg(np.arctan2(m[2, 1], -m[2, 0]))
+    return (float(theta), float(phi % 360.0), float(omega % 360.0))
+
+
+@dataclass(frozen=True)
+class Orientation:
+    """A refined/candidate orientation plus optional center shift.
+
+    ``theta``, ``phi``, ``omega`` are degrees.  ``cx``, ``cy`` are the view
+    center offsets **in pixels** relative to the geometric box center (step k
+    of the algorithm refines these).
+    """
+
+    theta: float
+    phi: float
+    omega: float
+    cx: float = 0.0
+    cy: float = 0.0
+
+    def matrix(self) -> np.ndarray:
+        """The 3×3 rotation matrix of this orientation."""
+        return euler_to_matrix(self.theta, self.phi, self.omega)
+
+    def view_direction(self) -> np.ndarray:
+        """Unit vector along which the particle was projected (R·ẑ)."""
+        return self.matrix()[:, 2]
+
+    def with_angles(self, theta: float, phi: float, omega: float) -> "Orientation":
+        return Orientation(theta, phi, omega, self.cx, self.cy)
+
+    def with_center(self, cx: float, cy: float) -> "Orientation":
+        return Orientation(self.theta, self.phi, self.omega, cx, cy)
+
+    def as_tuple(self) -> tuple[float, float, float, float, float]:
+        return (self.theta, self.phi, self.omega, self.cx, self.cy)
+
+    @staticmethod
+    def from_matrix(matrix: np.ndarray, cx: float = 0.0, cy: float = 0.0) -> "Orientation":
+        theta, phi, omega = matrix_to_euler(matrix)
+        return Orientation(theta, phi, omega, cx, cy)
+
+
+def random_orientations(
+    n: int, seed: int | np.random.Generator | None = 0, theta_range: tuple[float, float] = (0.0, 180.0)
+) -> list[Orientation]:
+    """Draw ``n`` orientations uniformly over SO(3) (restricted in θ if asked).
+
+    Uniformity over the sphere requires cos(θ) uniform; φ and ω are uniform
+    in [0, 360).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    rng = default_rng(seed)
+    lo, hi = np.cos(np.deg2rad(theta_range[1])), np.cos(np.deg2rad(theta_range[0]))
+    cos_t = rng.uniform(lo, hi, size=n)
+    thetas = np.rad2deg(np.arccos(cos_t))
+    phis = rng.uniform(0.0, 360.0, size=n)
+    omegas = rng.uniform(0.0, 360.0, size=n)
+    return [Orientation(float(t), float(p), float(o)) for t, p, o in zip(thetas, phis, omegas)]
+
+
+def angular_distance_deg(a: Orientation, b: Orientation) -> float:
+    """Angle (degrees) between the two view directions.
+
+    This ignores the in-plane angle ω; use :func:`orientation_distance_deg`
+    for the full SO(3) geodesic distance.
+    """
+    da, db = a.view_direction(), b.view_direction()
+    return float(np.rad2deg(np.arccos(np.clip(np.dot(da, db), -1.0, 1.0))))
+
+
+def in_plane_distance_deg(a: Orientation, b: Orientation) -> float:
+    """Circular distance between the two in-plane angles ω, in degrees."""
+    d = abs(a.omega - b.omega) % 360.0
+    return float(min(d, 360.0 - d))
+
+
+def orientation_distance_deg(a: Orientation, b: Orientation) -> float:
+    """Geodesic distance on SO(3) between two orientations, in degrees.
+
+    The rotation angle of ``R_a⁻¹·R_b``; zero iff the orientations produce
+    identical projections of an asymmetric object (up to center shifts).
+    """
+    rel = a.matrix().T @ b.matrix()
+    cos_angle = (np.trace(rel) - 1.0) / 2.0
+    return float(np.rad2deg(np.arccos(np.clip(cos_angle, -1.0, 1.0))))

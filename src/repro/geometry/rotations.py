@@ -1,0 +1,129 @@
+"""Rotation-matrix utilities: axis-angle, quaternions, validity checks.
+
+These are the substrate for symmetry-group construction (a point group is a
+finite set of rotation matrices) and for symmetry *detection*, which searches
+over candidate rotation axes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "axis_angle_to_matrix",
+    "matrix_to_axis_angle",
+    "quaternion_to_matrix",
+    "matrix_to_quaternion",
+    "is_rotation_matrix",
+    "rotation_angle_deg",
+    "rotation_between",
+]
+
+
+def axis_angle_to_matrix(axis: np.ndarray, angle_deg: float) -> np.ndarray:
+    """Rodrigues rotation matrix about ``axis`` by ``angle_deg`` degrees."""
+    axis = np.asarray(axis, dtype=float)
+    norm = np.linalg.norm(axis)
+    if norm == 0:
+        raise ValueError("rotation axis must be non-zero")
+    x, y, z = axis / norm
+    a = np.deg2rad(angle_deg)
+    c, s = np.cos(a), np.sin(a)
+    k = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return np.eye(3) + s * k + (1.0 - c) * (k @ k)
+
+
+def matrix_to_axis_angle(matrix: np.ndarray) -> tuple[np.ndarray, float]:
+    """Inverse of :func:`axis_angle_to_matrix`.
+
+    Returns ``(axis, angle_deg)`` with ``angle ∈ [0, 180]``.  For the
+    identity the axis is arbitrary (ẑ is returned).
+    """
+    m = np.asarray(matrix, dtype=float)
+    angle = np.arccos(np.clip((np.trace(m) - 1.0) / 2.0, -1.0, 1.0))
+    if angle < 1e-9:
+        return np.array([0.0, 0.0, 1.0]), 0.0
+    if np.pi - angle < 1e-6:
+        # 180 degrees: axis from the symmetric part, M = 2 a aᵀ - I.
+        sym = (m + np.eye(3)) / 2.0
+        axis = np.sqrt(np.clip(np.diag(sym), 0.0, None))
+        # fix signs using the largest component
+        i = int(np.argmax(axis))
+        if axis[i] > 0:
+            for j in range(3):
+                if j != i and sym[i, j] < 0:
+                    axis[j] = -axis[j]
+        return axis / np.linalg.norm(axis), 180.0
+    axis = np.array([m[2, 1] - m[1, 2], m[0, 2] - m[2, 0], m[1, 0] - m[0, 1]]) / (2.0 * np.sin(angle))
+    return axis / np.linalg.norm(axis), float(np.rad2deg(angle))
+
+
+def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
+    """Rotation matrix of a unit quaternion ``(w, x, y, z)``."""
+    q = np.asarray(q, dtype=float)
+    if q.shape != (4,):
+        raise ValueError("quaternion must have shape (4,)")
+    n = np.linalg.norm(q)
+    if n == 0:
+        raise ValueError("zero quaternion")
+    w, x, y, z = q / n
+    return np.array(
+        [
+            [1 - 2 * (y * y + z * z), 2 * (x * y - w * z), 2 * (x * z + w * y)],
+            [2 * (x * y + w * z), 1 - 2 * (x * x + z * z), 2 * (y * z - w * x)],
+            [2 * (x * z - w * y), 2 * (y * z + w * x), 1 - 2 * (x * x + y * y)],
+        ]
+    )
+
+
+def matrix_to_quaternion(matrix: np.ndarray) -> np.ndarray:
+    """Unit quaternion ``(w, x, y, z)`` with ``w >= 0`` for a rotation matrix."""
+    m = np.asarray(matrix, dtype=float)
+    t = np.trace(m)
+    if t > 0:
+        s = np.sqrt(t + 1.0) * 2.0
+        q = np.array(
+            [0.25 * s, (m[2, 1] - m[1, 2]) / s, (m[0, 2] - m[2, 0]) / s, (m[1, 0] - m[0, 1]) / s]
+        )
+    else:
+        i = int(np.argmax(np.diag(m)))
+        if i == 0:
+            s = np.sqrt(1.0 + m[0, 0] - m[1, 1] - m[2, 2]) * 2.0
+            q = np.array(
+                [(m[2, 1] - m[1, 2]) / s, 0.25 * s, (m[0, 1] + m[1, 0]) / s, (m[0, 2] + m[2, 0]) / s]
+            )
+        elif i == 1:
+            s = np.sqrt(1.0 + m[1, 1] - m[0, 0] - m[2, 2]) * 2.0
+            q = np.array(
+                [(m[0, 2] - m[2, 0]) / s, (m[0, 1] + m[1, 0]) / s, 0.25 * s, (m[1, 2] + m[2, 1]) / s]
+            )
+        else:
+            s = np.sqrt(1.0 + m[2, 2] - m[0, 0] - m[1, 1]) * 2.0
+            q = np.array(
+                [(m[1, 0] - m[0, 1]) / s, (m[0, 2] + m[2, 0]) / s, (m[1, 2] + m[2, 1]) / s, 0.25 * s]
+            )
+    q = q / np.linalg.norm(q)
+    if q[0] < 0:
+        q = -q
+    return q
+
+
+def is_rotation_matrix(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+    """True if ``matrix`` is orthogonal with determinant +1 (within ``tol``)."""
+    m = np.asarray(matrix, dtype=float)
+    if m.shape != (3, 3):
+        return False
+    return bool(
+        np.allclose(m @ m.T, np.eye(3), atol=tol) and abs(np.linalg.det(m) - 1.0) < max(tol, 1e-6)
+    )
+
+
+def rotation_angle_deg(matrix: np.ndarray) -> float:
+    """The rotation angle (degrees, in [0, 180]) of a rotation matrix."""
+    t = np.clip((np.trace(np.asarray(matrix, dtype=float)) - 1.0) / 2.0, -1.0, 1.0)
+    return float(np.rad2deg(np.arccos(t)))
+
+
+def rotation_between(a: np.ndarray, b: np.ndarray) -> float:
+    """Geodesic distance (degrees) between two rotation matrices."""
+    return rotation_angle_deg(np.asarray(a).T @ np.asarray(b))

@@ -1,0 +1,231 @@
+"""Point symmetry groups of virus capsids.
+
+A capsid with point group ``G`` produces identical projections at
+orientations ``R`` and ``g·R`` for every ``g ∈ G`` (the map satisfies
+``ρ(g⁻¹r) = ρ(r)``, so its Fourier transform satisfies ``F(g·k) = F(k)``).
+The classic "known-symmetry" algorithms exploit this by restricting the
+search to one asymmetric unit; the paper's algorithm does not, but *detects*
+the group after the fact (module :mod:`repro.refine.symmetry_detect`).  This
+module builds the groups themselves: C_n, D_n, T, O and I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.geometry.euler import Orientation
+from repro.geometry.rotations import (
+    axis_angle_to_matrix,
+    matrix_to_axis_angle,
+    matrix_to_quaternion,
+    rotation_angle_deg,
+)
+
+__all__ = [
+    "SymmetryGroup",
+    "cyclic_group",
+    "dihedral_group",
+    "tetrahedral_group",
+    "octahedral_group",
+    "icosahedral_group",
+    "identify_point_group",
+    "reduce_to_asymmetric_unit",
+    "close_group",
+]
+
+_GOLDEN = (1.0 + np.sqrt(5.0)) / 2.0
+
+
+def close_group(generators: list[np.ndarray], max_order: int = 120, tol: float = 1e-6) -> np.ndarray:
+    """Close a set of rotation generators under multiplication.
+
+    Returns the full group as an array of shape ``(order, 3, 3)``.  Raises if
+    the closure exceeds ``max_order`` (a guard against non-finite generator
+    sets caused by inexact axes).
+    """
+
+    elements: list[np.ndarray] = [np.eye(3)]
+
+    def find(m: np.ndarray) -> bool:
+        stack = np.stack(elements)
+        return bool(np.any(np.all(np.abs(stack - m) < 10 * tol, axis=(1, 2))))
+
+    frontier = [np.asarray(g, dtype=float) for g in generators]
+    for g in frontier:
+        if not find(g):
+            elements.append(g)
+    frontier = list(elements)
+    while frontier:
+        m = frontier.pop()
+        for g in generators:
+            for prod in (m @ g, g @ m):
+                if not find(prod):
+                    if len(elements) >= max_order:
+                        raise ValueError("group closure exceeded max_order; check generators")
+                    elements.append(prod)
+                    frontier.append(prod)
+    return np.stack(elements)
+
+
+@dataclass(frozen=True)
+class SymmetryGroup:
+    """A finite rotation group with a human-readable Schoenflies name."""
+
+    name: str
+    matrices: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        m = np.asarray(self.matrices, dtype=float)
+        if m.ndim != 3 or m.shape[1:] != (3, 3):
+            raise ValueError("matrices must have shape (order, 3, 3)")
+        object.__setattr__(self, "matrices", m)
+
+    @property
+    def order(self) -> int:
+        return int(self.matrices.shape[0])
+
+    def contains(self, rotation: np.ndarray, tol_deg: float = 0.5) -> bool:
+        """True if ``rotation`` is within ``tol_deg`` of a group element."""
+        r = np.asarray(rotation, dtype=float)
+        for g in self.matrices:
+            if rotation_angle_deg(g.T @ r) <= tol_deg:
+                return True
+        return False
+
+    def axis_orders(self) -> dict[int, int]:
+        """Histogram ``{rotation order: number of distinct axes}``.
+
+        The identity is excluded.  An axis of order ``n`` contributes its
+        ``n−1`` non-identity powers; we count distinct (axis, order) pairs
+        where ``order`` is the maximal order observed on that axis.
+        """
+        axes: list[tuple[np.ndarray, int]] = []
+        for g in self.matrices:
+            angle = rotation_angle_deg(g)
+            if angle < 1e-6:
+                continue
+            axis, ang = matrix_to_axis_angle(g)
+            order = int(round(360.0 / ang)) if ang > 1e-9 else 1
+            if order < 2:
+                continue
+            # canonical axis sign
+            for i in range(3):
+                if abs(axis[i]) > 1e-9:
+                    if axis[i] < 0:
+                        axis = -axis
+                    break
+            found = False
+            for j, (a, o) in enumerate(axes):
+                if np.allclose(a, axis, atol=1e-5):
+                    axes[j] = (a, max(o, order))
+                    found = True
+                    break
+            if not found:
+                axes.append((axis, order))
+        hist: dict[int, int] = {}
+        for _, o in axes:
+            hist[o] = hist.get(o, 0) + 1
+        return hist
+
+    def __iter__(self):
+        return iter(self.matrices)
+
+    def __len__(self) -> int:
+        return self.order
+
+
+def cyclic_group(n: int, axis: np.ndarray | None = None) -> SymmetryGroup:
+    """C_n: ``n`` rotations about one axis (default ẑ)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    ax = np.array([0.0, 0.0, 1.0]) if axis is None else np.asarray(axis, dtype=float)
+    mats = np.stack([axis_angle_to_matrix(ax, 360.0 * k / n) for k in range(n)])
+    return SymmetryGroup(f"C{n}", mats)
+
+
+def dihedral_group(n: int) -> SymmetryGroup:
+    """D_n: C_n about ẑ plus ``n`` 2-folds perpendicular to ẑ (order 2n)."""
+    if n < 2:
+        raise ValueError("n must be >= 2 for a dihedral group")
+    gens = [axis_angle_to_matrix([0, 0, 1], 360.0 / n), axis_angle_to_matrix([1, 0, 0], 180.0)]
+    return SymmetryGroup(f"D{n}", close_group(gens, max_order=2 * n))
+
+
+def tetrahedral_group() -> SymmetryGroup:
+    """T: the 12 rotations of the tetrahedron (2-folds on axes, 3-folds on diagonals)."""
+    gens = [axis_angle_to_matrix([0, 0, 1], 180.0), axis_angle_to_matrix([1, 1, 1], 120.0)]
+    return SymmetryGroup("T", close_group(gens, max_order=12))
+
+
+def octahedral_group() -> SymmetryGroup:
+    """O: the 24 rotations of the octahedron/cube."""
+    gens = [axis_angle_to_matrix([0, 0, 1], 90.0), axis_angle_to_matrix([1, 1, 1], 120.0)]
+    return SymmetryGroup("O", close_group(gens, max_order=24))
+
+
+def icosahedral_group() -> SymmetryGroup:
+    """I: the 60 rotations of the icosahedron, in the 222 (2-folds on x, y, z) setting.
+
+    The 5-fold axes point along the cyclic permutations of ``(0, ±1, ±φ)``
+    where φ is the golden ratio — the convention of Figure 1b.
+    """
+    five_fold_axis = np.array([0.0, 1.0, _GOLDEN])
+    gens = [
+        axis_angle_to_matrix([0, 0, 1], 180.0),
+        axis_angle_to_matrix(five_fold_axis, 72.0),
+    ]
+    return SymmetryGroup("I", close_group(gens, max_order=60))
+
+
+def identify_point_group(matrices: np.ndarray, tol_deg: float = 1.0) -> str:
+    """Classify a finite set of rotations into a Schoenflies symbol.
+
+    Accepts the raw matrices found by symmetry detection (possibly noisy up
+    to ``tol_deg``) and returns one of ``"C1"``, ``"Cn"``, ``"Dn"``, ``"T"``,
+    ``"O"``, ``"I"``.
+    """
+    group = SymmetryGroup("?", np.asarray(matrices, dtype=float))
+    order = group.order
+    if order <= 1:
+        return "C1"
+    hist = group.axis_orders()
+    n_axes = sum(hist.values())
+    max_fold = max(hist) if hist else 1
+    if order == 60 and hist.get(5, 0) == 6:
+        return "I"
+    if order == 24 and hist.get(4, 0) == 3:
+        return "O"
+    if order == 12 and hist.get(3, 0) == 4 and 4 not in hist and 5 not in hist:
+        return "T"
+    if n_axes == 1:
+        return f"C{max_fold}"
+    # dihedral: one n-fold axis plus n perpendicular 2-folds, order 2n
+    if max_fold >= 2 and hist.get(2, 0) >= 2:
+        n = max_fold if max_fold > 2 else order // 2
+        if order == 2 * n:
+            return f"D{n}"
+    return f"C{max_fold}"
+
+
+def reduce_to_asymmetric_unit(orientation: Orientation, group: SymmetryGroup) -> Orientation:
+    """Canonical representative of ``orientation`` under the group action.
+
+    Orientations ``R`` and ``g·R`` yield the same projection of a
+    ``G``-symmetric object; we pick the equivalent whose view direction has
+    the largest z-component (ties broken by x, then y).  Used to compare
+    refined orientations of a symmetric particle against ground truth.
+    """
+    best: Orientation | None = None
+    best_key: tuple[float, float, float] | None = None
+    r = orientation.matrix()
+    for g in group.matrices:
+        cand = g @ r
+        d = cand[:, 2]
+        key = (round(float(d[2]), 9), round(float(d[0]), 9), round(float(d[1]), 9))
+        if best_key is None or key > best_key:
+            best_key = key
+            best = Orientation.from_matrix(cand, orientation.cx, orientation.cy)
+    assert best is not None
+    return best

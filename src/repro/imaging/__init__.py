@@ -1,0 +1,41 @@
+"""Image formation: projectors, view simulation, micrographs, noise, centers.
+
+This package is the Step-A substrate of the paper's pipeline: it produces
+the set of experimental views ``E`` (with CTF, noise and center errors) that
+the orientation refinement consumes, either directly or by synthesizing and
+re-picking whole micrographs.
+"""
+
+from repro.imaging.project import fourier_project, project_map, real_project
+from repro.imaging.noise import add_noise, estimate_snr
+from repro.imaging.center import (
+    center_of_mass_shift,
+    cross_correlation_shift,
+    phase_shift_ft,
+    shift_image,
+)
+from repro.imaging.simulate import SimulatedViews, simulate_views
+from repro.imaging.micrograph import (
+    Micrograph,
+    extract_particles,
+    pick_particles,
+    synthesize_micrograph,
+)
+
+__all__ = [
+    "real_project",
+    "fourier_project",
+    "project_map",
+    "add_noise",
+    "estimate_snr",
+    "phase_shift_ft",
+    "shift_image",
+    "center_of_mass_shift",
+    "cross_correlation_shift",
+    "SimulatedViews",
+    "simulate_views",
+    "Micrograph",
+    "synthesize_micrograph",
+    "pick_particles",
+    "extract_particles",
+]

@@ -1,0 +1,108 @@
+"""Center (translation) handling for views.
+
+A particle boxed slightly off-center shows up, in Fourier space, as a phase
+ramp on its transform.  Step (k) of the algorithm refines the center by
+scanning a small box of candidate shifts; step (l) corrects the view for
+the winning shift.  Both are implemented with exact Fourier phase ramps, so
+subpixel shifts cost O(l²) and introduce no interpolation error.
+
+Sign convention: ``shift_image(img, dx, dy)`` moves image content by
+``(+dx, +dy)`` pixels in (x, y); :func:`phase_shift_ft` is its Fourier-side
+equivalent.  A view whose particle sits at offset ``(cx, cy)`` from the box
+center is re-centered by shifting content by ``(−cx, −cy)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fourier.transforms import centered_fft2, centered_ifft2, fourier_center
+from repro.utils import require_square
+
+__all__ = [
+    "phase_shift_ft",
+    "shift_image",
+    "center_of_mass_shift",
+    "cross_correlation_shift",
+]
+
+
+def phase_shift_ft(image_ft: np.ndarray, dx: float, dy: float) -> np.ndarray:
+    """Multiply a centered 2D DFT by the phase ramp that shifts content by (dx, dy)."""
+    size = require_square(image_ft, "image_ft")
+    c = fourier_center(size)
+    k = np.arange(size) - c
+    ky, kx = np.meshgrid(k, k, indexing="ij")
+    ramp = np.exp(-2j * np.pi * (kx * dx + ky * dy) / size)
+    return np.asarray(image_ft) * ramp
+
+
+def shift_image(image: np.ndarray, dx: float, dy: float) -> np.ndarray:
+    """Shift a real image's content by ``(dx, dy)`` pixels (subpixel-exact).
+
+    Implemented as FFT → phase ramp → IFFT; periodic boundary.
+    """
+    ft = centered_fft2(np.asarray(image, dtype=float))
+    return centered_ifft2(phase_shift_ft(ft, dx, dy)).real
+
+
+def center_of_mass_shift(image: np.ndarray) -> tuple[float, float]:
+    """Offset ``(cx, cy)`` of the intensity center of mass from the box center.
+
+    Negative-going densities are clipped to zero first so noise does not
+    dominate.  Returns the offset of the particle, i.e. the amount by which
+    the view should be shifted by ``(−cx, −cy)`` to center it.
+    """
+    img = np.asarray(image, dtype=float)
+    size = require_square(img)
+    w = np.clip(img, 0.0, None)
+    total = w.sum()
+    if total == 0:
+        return (0.0, 0.0)
+    c = size // 2
+    ys, xs = np.mgrid[0:size, 0:size]
+    cy = float((w * ys).sum() / total) - c
+    cx = float((w * xs).sum() / total) - c
+    return (cx, cy)
+
+
+def cross_correlation_shift(image: np.ndarray, reference: np.ndarray, upsample: int = 1) -> tuple[float, float]:
+    """Shift ``(dx, dy)`` that best aligns ``image`` onto ``reference``.
+
+    Peak of the (optionally zero-padded/upsampled) phase-weighted cross
+    correlation.  ``upsample > 1`` refines to 1/upsample pixel by local
+    quadratic fit around the integer peak.
+    """
+    img = np.asarray(image, dtype=float)
+    ref = np.asarray(reference, dtype=float)
+    if img.shape != ref.shape:
+        raise ValueError("image and reference must share a shape")
+    size = require_square(img)
+    fi = centered_fft2(img)
+    fr = centered_fft2(ref)
+    cc = centered_ifft2(fr * np.conj(fi)).real
+    peak = np.unravel_index(int(np.argmax(cc)), cc.shape)
+    c = fourier_center(size)
+    dy = float(peak[0] - c)
+    dx = float(peak[1] - c)
+    if upsample > 1:
+        dy += _parabolic_offset(cc, peak, axis=0)
+        dx += _parabolic_offset(cc, peak, axis=1)
+    return (dx, dy)
+
+
+def _parabolic_offset(cc: np.ndarray, peak: tuple[int, ...], axis: int) -> float:
+    """Subpixel offset of a correlation peak along one axis (3-point parabola)."""
+    i = peak[axis]
+    if i <= 0 or i >= cc.shape[axis] - 1:
+        return 0.0
+    sl = list(peak)
+    sl[axis] = i - 1
+    ym = cc[tuple(sl)]
+    y0 = cc[peak]
+    sl[axis] = i + 1
+    yp = cc[tuple(sl)]
+    denom = ym - 2.0 * y0 + yp
+    if abs(denom) < 1e-12:
+        return 0.0
+    return float(0.5 * (ym - yp) / denom)

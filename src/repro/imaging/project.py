@@ -1,0 +1,87 @@
+"""Projection operators: real-space (reference) and Fourier-space (fast).
+
+``real_project`` resamples the rotated volume with cubic spline
+interpolation and integrates along z — the textbook definition
+``P(x, y) = Σ_z ρ(R·(x, y, z))``.  ``fourier_project`` extracts the central
+slice of the cached 3D DFT and inverse-transforms it, which by the
+projection-slice theorem computes the same image up to interpolation error.
+The refinement algorithm itself never leaves Fourier space; the real-space
+projector exists for ground-truth simulation and for validating the slice
+machinery against an independent implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from repro.density.map import DensityMap
+from repro.fourier.slicing import extract_slice
+from repro.fourier.transforms import centered_ifft2
+from repro.geometry.euler import Orientation
+
+__all__ = ["real_project", "fourier_project", "project_map"]
+
+
+def real_project(volume: np.ndarray, rotation: np.ndarray, order: int = 3) -> np.ndarray:
+    """Real-space projection of ``volume`` along the view axis of ``rotation``.
+
+    Samples ρ at points ``R·(x, y, z)`` for every output pixel ``(x, y)``
+    and depth ``z``, then sums over z.  Values outside the box are zero.
+    """
+    vol = np.asarray(volume, dtype=float)
+    l = vol.shape[0]
+    c = l // 2
+    r = np.asarray(rotation, dtype=float)
+    k = np.arange(l) - c
+    # output grid (y, x) and integration depth z — math frame (x, y, z)
+    zz, yy, xx = np.meshgrid(k, k, k, indexing="ij")  # [z, y, x]
+    pts_xyz = np.stack([xx, yy, zz], axis=-1).reshape(-1, 3)
+    rotated = pts_xyz @ r.T  # R · p for each point
+    # convert math (x, y, z) to array (z, y, x) indices
+    coords = (rotated[:, ::-1] + c).T.reshape(3, l, l, l)
+    sampled = ndimage.map_coordinates(vol, coords, order=order, mode="constant", cval=0.0)
+    return sampled.sum(axis=0)
+
+
+def fourier_project(
+    volume_ft: np.ndarray,
+    rotation: np.ndarray,
+    order: str = "trilinear",
+    out_size: int | None = None,
+) -> np.ndarray:
+    """Projection computed via the central-slice theorem (returns a real image).
+
+    ``volume_ft`` may be an oversampled transform; pass ``out_size`` as the
+    un-padded map side in that case.
+    """
+    cut = extract_slice(volume_ft, rotation, order=order, out_size=out_size)
+    return centered_ifft2(cut).real
+
+
+def project_map(
+    density: DensityMap,
+    orientation: Orientation,
+    method: str = "real",
+    order: int | str | None = None,
+    pad_factor: int = 2,
+) -> np.ndarray:
+    """Project a :class:`DensityMap` at an :class:`Orientation`.
+
+    ``method`` is ``"real"`` (spline resampling, used to generate ground
+    truth) or ``"fourier"`` (slice extraction from the ``pad_factor``-
+    oversampled transform — the algorithm's own view of the map).  The
+    orientation's center offsets are NOT applied here; shifting is a
+    separate, explicit step (see :mod:`repro.imaging.center`).
+    """
+    r = orientation.matrix()
+    if method == "real":
+        return real_project(density.data, r, order=3 if order is None else int(order))
+    if method == "fourier":
+        return fourier_project(
+            density.fourier_oversampled(pad_factor),
+            r,
+            order="trilinear" if order is None else str(order),
+            out_size=density.size,
+        )
+    raise ValueError(f"unknown projection method {method!r}")

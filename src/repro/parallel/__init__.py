@@ -1,0 +1,82 @@
+"""Simulated distributed-memory parallel substrate.
+
+The paper ran on a 64-node IBM SP2 (four processors per node, MPI).  That
+hardware is simulated here (DESIGN.md §2): an SPMD harness runs one thread
+per rank with an MPI-like communicator (:mod:`repro.parallel.comm`) whose
+operations *really move the data* — the slab-decomposed parallel 3D FFT is
+verified against ``numpy.fft.fftn`` — while a virtual clock charges each
+rank compute and communication costs from a machine model
+(:mod:`repro.parallel.machine`), so Tables 1 and 2 can be regenerated at
+the paper's scale without the paper's hardware.
+"""
+
+from repro.parallel.machine import MachineSpec, SP2_LIKE, LAPTOP_LIKE
+from repro.parallel.clock import VirtualClock
+from repro.parallel.comm import SimComm, run_spmd
+from repro.parallel.partition import (
+    block_distribution,
+    slab_bounds,
+    slab_sizes,
+)
+from repro.parallel.pfft import parallel_fft3d, parallel_fft3d_driver
+from repro.parallel.master_io import (
+    distribute_orientations,
+    distribute_views,
+    distribute_volume_slabs,
+    gather_orientations,
+)
+from repro.parallel.prefine import ParallelRefinementReport, parallel_refine
+from repro.parallel.perf_model import (
+    PaperWorkload,
+    PerformanceModel,
+    REO_WORKLOAD,
+    SINDBIS_WORKLOAD,
+)
+from repro.parallel.bricks import (
+    BrickAccessStats,
+    BrickStore,
+    compare_replication_vs_bricks,
+)
+from repro.parallel.schedule import (
+    imbalance_factor,
+    lpt_makespan,
+    lpt_schedule,
+    static_block_makespan,
+    work_stealing_makespan,
+)
+from repro.parallel.trace import Span, TraceRecorder, render_gantt
+
+__all__ = [
+    "MachineSpec",
+    "SP2_LIKE",
+    "LAPTOP_LIKE",
+    "VirtualClock",
+    "SimComm",
+    "run_spmd",
+    "slab_bounds",
+    "slab_sizes",
+    "block_distribution",
+    "parallel_fft3d",
+    "parallel_fft3d_driver",
+    "distribute_volume_slabs",
+    "distribute_views",
+    "distribute_orientations",
+    "gather_orientations",
+    "parallel_refine",
+    "ParallelRefinementReport",
+    "PerformanceModel",
+    "PaperWorkload",
+    "SINDBIS_WORKLOAD",
+    "REO_WORKLOAD",
+    "BrickStore",
+    "BrickAccessStats",
+    "compare_replication_vs_bricks",
+    "static_block_makespan",
+    "lpt_schedule",
+    "lpt_makespan",
+    "work_stealing_makespan",
+    "imbalance_factor",
+    "Span",
+    "TraceRecorder",
+    "render_gantt",
+]

@@ -1,0 +1,70 @@
+"""Per-rank virtual clocks for the simulated cluster.
+
+Every rank accumulates simulated seconds for the compute and communication
+it performs; synchronization points (barriers, blocking receives) advance
+the participants to the maximum of their clocks, exactly as wall time would
+on a real machine.  The final "wall time" of a simulated run is the maximum
+rank clock.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """Thread-safe simulated time for ``n_ranks`` ranks."""
+
+    def __init__(self, n_ranks: int) -> None:
+        if n_ranks <= 0:
+            raise ValueError("n_ranks must be positive")
+        self._times = np.zeros(n_ranks)
+        self._lock = threading.Lock()
+
+    @property
+    def n_ranks(self) -> int:
+        return int(self._times.size)
+
+    def advance(self, rank: int, seconds: float) -> None:
+        """Add ``seconds`` of simulated time to one rank."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        with self._lock:
+            self._times[rank] += seconds
+
+    def now(self, rank: int) -> float:
+        with self._lock:
+            return float(self._times[rank])
+
+    def synchronize(self, ranks: list[int] | None = None) -> float:
+        """Advance the given ranks (default: all) to their common maximum.
+
+        Returns the synchronized time.  This is what a barrier does to
+        simulated wall time.
+        """
+        with self._lock:
+            idx = slice(None) if ranks is None else list(ranks)
+            t = float(np.max(self._times[idx]))
+            self._times[idx] = t
+            return t
+
+    def meet(self, rank_a: int, rank_b: int) -> float:
+        """Synchronize two ranks (a blocking send/recv pair)."""
+        with self._lock:
+            t = float(max(self._times[rank_a], self._times[rank_b]))
+            self._times[rank_a] = t
+            self._times[rank_b] = t
+            return t
+
+    def elapsed(self) -> float:
+        """The simulated wall time so far (max over ranks)."""
+        with self._lock:
+            return float(self._times.max())
+
+    def snapshot(self) -> np.ndarray:
+        with self._lock:
+            return self._times.copy()

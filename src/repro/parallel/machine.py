@@ -1,0 +1,86 @@
+"""Machine cost models for the virtual clock.
+
+A :class:`MachineSpec` prices the three things the algorithm spends time
+on: floating-point work, message transfer (latency + bandwidth — the
+classic α–β model) and file I/O at the master node.  ``SP2_LIKE``
+approximates a 2002-era IBM SP2 node as used in the paper; its constants
+are deliberately round numbers — the performance model additionally
+supports calibrating the matching-cost constant against a measured table
+cell (see :mod:`repro.parallel.perf_model`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineSpec", "SP2_LIKE", "LAPTOP_LIKE"]
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Cost constants of one simulated cluster.
+
+    Attributes
+    ----------
+    name:
+        Label for reports.
+    flops:
+        Sustained floating-point rate per processor (flop/s).
+    net_latency:
+        Per-message latency α in seconds.
+    net_bandwidth:
+        Per-link bandwidth β in bytes/s.
+    io_bandwidth:
+        Master-node file read/write rate in bytes/s.
+    """
+
+    name: str
+    flops: float
+    net_latency: float
+    net_bandwidth: float
+    io_bandwidth: float
+
+    def __post_init__(self) -> None:
+        for field_name in ("flops", "net_bandwidth", "io_bandwidth"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.net_latency < 0:
+            raise ValueError("net_latency must be non-negative")
+
+    def compute_time(self, flops: float) -> float:
+        """Seconds to execute ``flops`` floating-point operations."""
+        if flops < 0:
+            raise ValueError("flops must be non-negative")
+        return flops / self.flops
+
+    def message_time(self, nbytes: int) -> float:
+        """Seconds for one point-to-point message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return self.net_latency + nbytes / self.net_bandwidth
+
+    def io_time(self, nbytes: int) -> float:
+        """Seconds for the master to read or write ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        return nbytes / self.io_bandwidth
+
+
+#: A 2002-era IBM SP2 node: ~200 Mflop/s sustained per processor,
+#: ~30 µs MPI latency, ~100 MB/s link, ~50 MB/s file system.
+SP2_LIKE = MachineSpec(
+    name="SP2-like",
+    flops=2.0e8,
+    net_latency=3.0e-5,
+    net_bandwidth=1.0e8,
+    io_bandwidth=5.0e7,
+)
+
+#: A modern laptop core, for comparing simulated eras in ablations.
+LAPTOP_LIKE = MachineSpec(
+    name="laptop-like",
+    flops=2.0e10,
+    net_latency=1.0e-6,
+    net_bandwidth=1.0e10,
+    io_bandwidth=2.0e9,
+)

@@ -1,0 +1,118 @@
+"""Master-node I/O and distribution patterns (steps a.1–a.2, b, c, o).
+
+The paper avoids assuming a parallel file system: "a master node typically
+reads an entire data file and distributes data segments to the nodes as
+needed" (§3).  These helpers implement that pattern over the simulated
+communicator, charging the master's file time and the per-segment message
+costs.  Data can come from an in-memory array (synthetic runs) or from an
+MRC stack / orientation file on disk (the real pipeline path).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.euler import Orientation
+from repro.parallel.comm import SimComm
+from repro.parallel.partition import block_distribution, slab_bounds
+from repro.refine.orientfile import write_orientation_file
+
+__all__ = [
+    "distribute_volume_slabs",
+    "distribute_views",
+    "distribute_orientations",
+    "gather_orientations",
+]
+
+#: Bytes per stored image pixel ("In our experiments b = 2", §4 step b).
+BYTES_PER_PIXEL = 2
+
+
+def distribute_volume_slabs(
+    comm: SimComm, volume: np.ndarray | None, step_name: str = "3D DFT"
+) -> np.ndarray:
+    """Steps a.1–a.2: master reads the map and deals z-slabs.
+
+    Only the master (rank 0) passes the volume; other ranks pass ``None``.
+    Returns this rank's slab.
+    """
+    if comm.rank == 0:
+        if volume is None:
+            raise ValueError("master must provide the volume")
+        vol = np.asarray(volume)
+        size = vol.shape[0]
+        comm.account_io(vol.nbytes, step_name)  # a.1
+        slabs = [
+            vol[slab_bounds(size, comm.size, r)[0] : slab_bounds(size, comm.size, r)[1]]
+            for r in range(comm.size)
+        ]
+    else:
+        slabs = None
+    return comm.scatter(slabs, root=0)  # a.2
+
+
+def distribute_views(
+    comm: SimComm, images: np.ndarray | None, step_name: str = "Read image"
+) -> tuple[np.ndarray, np.ndarray]:
+    """Step b: master reads the view file and deals blocks of m/P views.
+
+    Returns ``(local_images, local_indices)`` so each rank knows which
+    global views it owns.  The master's read is charged at the paper's 2
+    bytes/pixel; messages carry the in-memory float arrays.
+    """
+    if comm.rank == 0:
+        if images is None:
+            raise ValueError("master must provide the images")
+        imgs = np.asarray(images, dtype=float)
+        m, l, _ = imgs.shape
+        comm.account_io(m * l * l * BYTES_PER_PIXEL, step_name)
+        blocks = block_distribution(m, comm.size)
+        parts = [(imgs[idx], idx) for idx in blocks]
+    else:
+        parts = None
+    local, idx = comm.scatter(parts, root=0)
+    return local, idx
+
+
+def distribute_orientations(
+    comm: SimComm, orientations: list[Orientation] | None, step_name: str = "Read image"
+) -> list[Orientation]:
+    """Step c: deal initial orientations so each view travels with its O_init."""
+    if comm.rank == 0:
+        if orientations is None:
+            raise ValueError("master must provide the orientations")
+        blocks = block_distribution(len(orientations), comm.size)
+        comm.account_io(len(orientations) * 48, step_name)
+        parts = [[orientations[i] for i in idx] for idx in blocks]
+    else:
+        parts = None
+    return comm.scatter(parts, root=0)
+
+
+def gather_orientations(
+    comm: SimComm,
+    local: list[Orientation],
+    path: str | None = None,
+    scores: list[float] | None = None,
+    step_name: str = "Write orientations",
+) -> list[Orientation] | None:
+    """Step o: gather refined orientations to the master (and write the file).
+
+    Returns the full ordered list on rank 0, ``None`` elsewhere.
+    """
+    gathered = comm.gather((local, scores), root=0)
+    if comm.rank != 0:
+        return None
+    assert gathered is not None
+    all_orients: list[Orientation] = []
+    all_scores: list[float] = []
+    for part, sc in gathered:
+        all_orients.extend(part)
+        if sc is not None:
+            all_scores.extend(sc)
+    comm.account_io(len(all_orients) * 64, step_name)
+    if path is not None:
+        write_orientation_file(
+            path, all_orients, scores=all_scores if all_scores else None
+        )
+    return all_orients

@@ -1,0 +1,43 @@
+"""Data partitioning: slabs of the volume and blocks of the view set.
+
+The paper distributes the ``l³`` lattice as *z-slabs* of ``l/P``
+consecutive xy-planes (step a.2) and the ``m`` views in groups of ``m/P``
+(step b).  Neither ``l`` nor ``m`` is generally divisible by ``P``; these
+helpers produce the canonical balanced split (first ``remainder`` parts get
+one extra element) used consistently by the FFT, the I/O distribution and
+the refinement driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["slab_bounds", "slab_sizes", "block_distribution"]
+
+
+def slab_sizes(total: int, parts: int) -> list[int]:
+    """Balanced part sizes: ``total`` split into ``parts`` contiguous chunks."""
+    if total < 0:
+        raise ValueError("total must be non-negative")
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, rem = divmod(total, parts)
+    return [base + (1 if p < rem else 0) for p in range(parts)]
+
+
+def slab_bounds(total: int, parts: int, rank: int) -> tuple[int, int]:
+    """Half-open ``[start, stop)`` range owned by ``rank``."""
+    if not 0 <= rank < parts:
+        raise ValueError(f"rank {rank} outside [0, {parts})")
+    sizes = slab_sizes(total, parts)
+    start = int(np.sum(sizes[:rank], dtype=int))
+    return start, start + sizes[rank]
+
+
+def block_distribution(total: int, parts: int) -> list[np.ndarray]:
+    """Index arrays of each rank's block (contiguous, balanced)."""
+    out: list[np.ndarray] = []
+    for rank in range(parts):
+        lo, hi = slab_bounds(total, parts, rank)
+        out.append(np.arange(lo, hi))
+    return out

@@ -1,0 +1,37 @@
+"""Experiment pipeline: dataset presets, experiment runners, paper-style reports.
+
+Everything the benchmarks and examples share lives here, so a table or
+figure can be regenerated either by ``pytest benchmarks/`` or by running an
+example script, with identical numbers.
+"""
+
+from repro.pipeline.config import ExperimentConfig, MiniWorkload
+from repro.pipeline.datasets import make_dataset, reo_like_dataset, sindbis_like_dataset
+from repro.pipeline.reporting import format_curve, format_table, format_timing_table
+from repro.pipeline.experiments import (
+    FigureCurves,
+    run_figure_curves_experiment,
+    run_map_comparison_experiment,
+    run_search_space_report,
+    run_sliding_window_experiment,
+    run_symmetry_detection_experiment,
+    run_timing_table_experiment,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "MiniWorkload",
+    "make_dataset",
+    "sindbis_like_dataset",
+    "reo_like_dataset",
+    "format_table",
+    "format_curve",
+    "format_timing_table",
+    "FigureCurves",
+    "run_figure_curves_experiment",
+    "run_map_comparison_experiment",
+    "run_search_space_report",
+    "run_sliding_window_experiment",
+    "run_symmetry_detection_experiment",
+    "run_timing_table_experiment",
+]

@@ -1,0 +1,57 @@
+"""Experiment configuration records.
+
+:class:`MiniWorkload` is the laptop-scale stand-in for a paper workload —
+same pipeline, smaller box/view count — used by the measured halves of the
+benchmark harness; the paper-scale analytic halves use
+:class:`repro.parallel.perf_model.PaperWorkload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+
+__all__ = ["ExperimentConfig", "MiniWorkload", "mini_schedule"]
+
+
+def mini_schedule() -> MultiResolutionSchedule:
+    """A schedule proportioned like the paper's but ending at 0.25°.
+
+    At test box sizes (l = 32–48) the distance landscape cannot resolve
+    0.002°; the mini schedule keeps the multi-resolution *structure* (each
+    level refines the previous step) at resolutions the box supports.
+    """
+    return MultiResolutionSchedule(
+        (
+            RefinementLevel(1.0, 1.0, half_steps=3),
+            RefinementLevel(0.5, 0.5, half_steps=2),
+            RefinementLevel(0.25, 0.25, half_steps=2),
+        )
+    )
+
+
+@dataclass(frozen=True)
+class MiniWorkload:
+    """A scaled-down dataset + schedule for measured experiments."""
+
+    name: str
+    kind: str  # "sindbis" | "reo" | "asymmetric" | "cyclic"
+    size: int = 32
+    n_views: int = 80
+    snr: float = 3.0
+    center_sigma_px: float = 0.5
+    perturbation_deg: float = 3.0
+    apix: float = 1.0
+    seed: int = 2
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the figure experiments."""
+
+    workload: MiniWorkload
+    r_max_sequence: tuple[float, ...] = (5.0, 7.0, 9.0)
+    n_iterations: int = 3
+    pad_factor: int = 2
+    max_slides: int = 2

@@ -1,0 +1,72 @@
+"""Synthetic dataset presets standing in for the paper's two specimens."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ctf.model import CTFParams
+from repro.density.map import DensityMap
+from repro.density.phantom import (
+    asymmetric_phantom,
+    cyclic_phantom,
+    reo_like_phantom,
+    sindbis_like_phantom,
+)
+from repro.imaging.simulate import SimulatedViews, simulate_views
+from repro.pipeline.config import MiniWorkload
+
+__all__ = ["make_dataset", "sindbis_like_dataset", "reo_like_dataset", "phantom_for"]
+
+
+def phantom_for(kind: str, size: int, apix: float = 1.0, seed: int = 0) -> DensityMap:
+    """The ground-truth map for a workload kind."""
+    if kind == "sindbis":
+        return sindbis_like_phantom(size, apix=apix).normalized()
+    if kind == "reo":
+        return reo_like_phantom(size, apix=apix).normalized()
+    if kind == "asymmetric":
+        return asymmetric_phantom(size, seed=seed, apix=apix).normalized()
+    if kind.startswith("c") and kind[1:].isdigit():
+        return cyclic_phantom(size, n=int(kind[1:]), seed=seed, apix=apix).normalized()
+    raise ValueError(f"unknown phantom kind {kind!r}")
+
+
+def make_dataset(
+    workload: MiniWorkload,
+    ctf: CTFParams | None = None,
+    projection_method: str = "real",
+) -> SimulatedViews:
+    """Views + ground truth for a mini workload.
+
+    Initial orientations are the truth perturbed by the workload's
+    ``perturbation_deg`` (the stand-in for "old method" output); the true
+    centers are offset by ``center_sigma_px`` and the initial estimates
+    start from zero offset.
+    """
+    density = phantom_for(workload.kind, workload.size, workload.apix, workload.seed)
+    return simulate_views(
+        density,
+        workload.n_views,
+        snr=workload.snr,
+        ctf=ctf,
+        center_sigma_px=workload.center_sigma_px,
+        initial_angle_error_deg=workload.perturbation_deg,
+        seed=workload.seed,
+        projection_method=projection_method,
+    )
+
+
+def sindbis_like_dataset(
+    size: int = 32, n_views: int = 80, snr: float = 3.0, seed: int = 2, **kwargs
+) -> SimulatedViews:
+    """The mini Sindbis-like dataset used across figures 2/3/5."""
+    wl = MiniWorkload("sindbis-mini", "sindbis", size=size, n_views=n_views, snr=snr, seed=seed, **kwargs)
+    return make_dataset(wl)
+
+
+def reo_like_dataset(
+    size: int = 32, n_views: int = 80, snr: float = 3.0, seed: int = 5, **kwargs
+) -> SimulatedViews:
+    """The mini reovirus-like dataset used in figure 6."""
+    wl = MiniWorkload("reo-mini", "reo", size=size, n_views=n_views, snr=snr, seed=seed, **kwargs)
+    return make_dataset(wl)

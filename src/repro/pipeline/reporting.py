@@ -1,0 +1,71 @@
+"""Plain-text tables and curves in the layout of the paper's artifacts."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["format_table", "format_timing_table", "format_curve"]
+
+
+def format_table(headers: list[str], rows: list[list[object]], title: str = "") -> str:
+    """Fixed-width text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(v: object) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 1:
+            return f"{v:.2f}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_timing_table(rows: list[dict[str, float]], title: str = "") -> str:
+    """Render model/measured rows in the transposed layout of Tables 1–2.
+
+    ``rows`` is one dict per angular-resolution level with the keys produced
+    by :meth:`repro.parallel.perf_model.PerformanceModel.predict_table`.
+    """
+    if not rows:
+        raise ValueError("no rows")
+    resolutions = [r["angular_resolution_deg"] for r in rows]
+    headers = ["Angular resolution (deg)"] + [f"{r:g}" for r in resolutions]
+    fields = ["search_range", "3D DFT", "Read image", "FFT analysis", "Orientation refinement", "Total"]
+    labels = {
+        "search_range": "Search range (matchings)",
+        "3D DFT": "3D DFT (s)",
+        "Read image": "Read image (s)",
+        "FFT analysis": "FFT analysis (s)",
+        "Orientation refinement": "Orientation refinement (s)",
+        "Total": "Total time (s)",
+    }
+    body = []
+    for f in fields:
+        if all(f in r for r in rows):
+            body.append([labels[f]] + [r[f] for r in rows])
+    return format_table(headers, body, title=title)
+
+
+def format_curve(
+    x: np.ndarray, series: dict[str, np.ndarray], x_label: str = "resolution (A)", title: str = ""
+) -> str:
+    """Multi-series curve as a text table (one row per x sample)."""
+    headers = [x_label] + list(series.keys())
+    rows = []
+    for i, xv in enumerate(np.asarray(x)):
+        rows.append([float(xv)] + [float(np.asarray(s)[i]) for s in series.values()])
+    return format_table(headers, rows, title=title)

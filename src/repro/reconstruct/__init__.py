@@ -1,0 +1,41 @@
+"""3D reconstruction (step C) and resolution assessment (Figure 4 procedure).
+
+The paper pairs its orientation refinement with a Cartesian-coordinates
+reconstruction algorithm for objects without symmetry (its refs [18], [20]).
+We implement the direct-Fourier equivalent: insert every view's 2D DFT into
+an (oversampled) 3D transform with trilinear weights, normalize, and invert
+— plus the odd/even half-map correlation procedure used to estimate
+resolution, and the refine↔reconstruct iteration loop.
+"""
+
+from repro.reconstruct.direct_fourier import reconstruct_from_views
+from repro.reconstruct.resolution import (
+    correlation_curve,
+    half_map_fsc,
+    resolution_at_threshold,
+    split_odd_even,
+)
+from repro.reconstruct.iterate import IterationRecord, structure_determination_loop
+from repro.reconstruct.sirt import SIRTResult, sirt_reconstruct
+from repro.reconstruct.coverage import (
+    coverage_fraction,
+    coverage_volume,
+    shell_coverage,
+    views_needed_estimate,
+)
+
+__all__ = [
+    "reconstruct_from_views",
+    "split_odd_even",
+    "half_map_fsc",
+    "correlation_curve",
+    "resolution_at_threshold",
+    "structure_determination_loop",
+    "IterationRecord",
+    "sirt_reconstruct",
+    "SIRTResult",
+    "coverage_volume",
+    "coverage_fraction",
+    "shell_coverage",
+    "views_needed_estimate",
+]

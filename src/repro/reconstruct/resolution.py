@@ -1,0 +1,141 @@
+"""Resolution assessment by odd/even half-map correlation (Figure 4).
+
+The paper's procedure: after refinement, reconstruct two maps — one from
+the odd-numbered views, one from the even-numbered — and plot their
+shell-wise correlation coefficient against resolution; the conservative
+resolution estimate is where the curve crosses 0.5.  This module produces
+exactly those curves (Figures 5 and 6 are two instances of them) and the
+crossing estimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ctf.model import CTFParams
+from repro.density.map import DensityMap
+from repro.fourier.shells import fsc_curve
+from repro.geometry.euler import Orientation
+from repro.reconstruct.direct_fourier import reconstruct_from_views
+from repro.utils import shell_radius_to_resolution
+
+__all__ = [
+    "split_odd_even",
+    "half_map_fsc",
+    "correlation_curve",
+    "resolution_at_threshold",
+    "CorrelationCurve",
+]
+
+
+def split_odd_even(n: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index arrays of the odd-numbered and even-numbered views.
+
+    Views are numbered 1..n as in the paper, so "odd" is 0-based indices
+    0, 2, 4, … — the convention only matters for reproducibility.
+    """
+    if n < 2:
+        raise ValueError("need at least two views to split")
+    idx = np.arange(n)
+    return idx[idx % 2 == 0], idx[idx % 2 == 1]
+
+
+@dataclass
+class CorrelationCurve:
+    """A correlation-vs-resolution series (one line of Figure 5/6).
+
+    ``shells`` are integer Fourier radii, ``resolution_angstrom`` the
+    corresponding resolutions, ``cc`` the correlation coefficients.
+    """
+
+    shells: np.ndarray
+    resolution_angstrom: np.ndarray
+    cc: np.ndarray
+    label: str = ""
+
+    def crossing(self, threshold: float = 0.5) -> float:
+        """Resolution (Å) at which the curve first drops below ``threshold``."""
+        return resolution_at_threshold(
+            self.cc, self.resolution_angstrom, threshold=threshold
+        )
+
+
+def half_map_fsc(
+    images: np.ndarray,
+    orientations: list[Orientation],
+    apix: float = 1.0,
+    pad_factor: int = 2,
+    ctf_params: list[CTFParams] | None = None,
+) -> tuple[np.ndarray, DensityMap, DensityMap]:
+    """Reconstruct odd/even half maps and return their FSC + both maps."""
+    imgs = np.asarray(images, dtype=float)
+    odd, even = split_odd_even(imgs.shape[0])
+    map_odd = reconstruct_from_views(
+        imgs[odd],
+        [orientations[i] for i in odd],
+        apix=apix,
+        pad_factor=pad_factor,
+        ctf_params=None if ctf_params is None else [ctf_params[i] for i in odd],
+    )
+    map_even = reconstruct_from_views(
+        imgs[even],
+        [orientations[i] for i in even],
+        apix=apix,
+        pad_factor=pad_factor,
+        ctf_params=None if ctf_params is None else [ctf_params[i] for i in even],
+    )
+    return fsc_curve(map_odd.data, map_even.data), map_odd, map_even
+
+
+def correlation_curve(
+    images: np.ndarray,
+    orientations: list[Orientation],
+    apix: float = 1.0,
+    label: str = "",
+    pad_factor: int = 2,
+    ctf_params: list[CTFParams] | None = None,
+) -> CorrelationCurve:
+    """The Figure 5/6 curve for one orientation set.
+
+    Shell 0 (DC) is dropped; the x-axis is resolution in Å, decreasing
+    (i.e. improving) with shell radius.
+    """
+    fsc, _, _ = half_map_fsc(
+        images, orientations, apix=apix, pad_factor=pad_factor, ctf_params=ctf_params
+    )
+    size = np.asarray(images).shape[1]
+    shells = np.arange(1, len(fsc))
+    res = np.array([shell_radius_to_resolution(int(s), size, apix) for s in shells])
+    return CorrelationCurve(shells=shells, resolution_angstrom=res, cc=fsc[1:], label=label)
+
+
+def resolution_at_threshold(
+    cc: np.ndarray, resolution_angstrom: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Resolution where the correlation curve crosses ``threshold``.
+
+    Scans from low resolution (large Å) toward high; linearly interpolates
+    the crossing between the last shell above and the first below the
+    threshold.  If the curve never drops below, the finest sampled
+    resolution is returned (the estimate is bounded by the data); if it
+    starts below, the coarsest is returned.
+    """
+    cc = np.asarray(cc, dtype=float)
+    res = np.asarray(resolution_angstrom, dtype=float)
+    if cc.shape != res.shape or cc.ndim != 1:
+        raise ValueError("cc and resolution arrays must be 1D and matching")
+    if cc.size == 0:
+        raise ValueError("empty curve")
+    if cc[0] < threshold:
+        return float(res[0])
+    for i in range(1, cc.size):
+        if cc[i] < threshold:
+            hi, lo = cc[i - 1], cc[i]
+            frac = (hi - threshold) / (hi - lo) if hi != lo else 0.0
+            # interpolate in spatial frequency (1/res), the natural axis
+            f_prev, f_cur = 1.0 / res[i - 1], 1.0 / res[i]
+            f_cross = f_prev + frac * (f_cur - f_prev)
+            return float(1.0 / f_cross)
+    return float(res[-1])

@@ -1,0 +1,135 @@
+"""Adaptive control of the refine↔reconstruct loop.
+
+The paper raises resolution "gradually" and stops "until we cannot further
+refine the structure at that particular resolution" — decisions its
+operators made by hand.  This module automates them:
+
+* the next band limit ``r_max`` is set from the current odd/even FSC
+  (refine only where the map is self-consistent, plus a small extension);
+* the next angular step is matched to the arc the band edge can resolve;
+* the loop stops when the estimated resolution stops improving.
+
+This is the "future work" quality-of-life layer a production port would
+need; benchmark E13 compares it against fixed schedules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.density.map import DensityMap
+from repro.geometry.euler import Orientation
+from repro.imaging.simulate import SimulatedViews
+from repro.reconstruct.direct_fourier import reconstruct_from_views
+from repro.reconstruct.resolution import correlation_curve
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+from repro.refine.refiner import OrientationRefiner
+
+__all__ = ["AdaptiveState", "choose_band_limit", "choose_angular_step", "adaptive_refinement_loop"]
+
+
+@dataclass
+class AdaptiveState:
+    """One adaptive iteration's decisions and outcome."""
+
+    iteration: int
+    r_max: float
+    angular_step_deg: float
+    resolution_angstrom: float
+    fsc_crossing_shell: float
+    orientations: list[Orientation] = field(repr=False, default_factory=list)
+
+
+def choose_band_limit(
+    fsc: np.ndarray, threshold: float = 0.5, extend: float = 1.25, floor: float = 3.0
+) -> float:
+    """Band limit for the next refinement pass, from the current FSC.
+
+    The last shell with FSC ≥ threshold, extended by ``extend`` (the next
+    pass should look slightly beyond today's consistency to make progress),
+    floored so the match never collapses to the DC region.
+    """
+    fsc = np.asarray(fsc, dtype=float)
+    good = np.nonzero(fsc[1:] >= threshold)[0]
+    crossing = (good[-1] + 1) if good.size else 1
+    return float(max(floor, extend * crossing))
+
+
+def choose_angular_step(r_max: float, arc_pixels: float = 0.5, coarsest: float = 2.0, finest: float = 0.05) -> float:
+    """Angular step whose band-edge arc is ``arc_pixels``.
+
+    A rotation by step δ moves the outermost matched sample by
+    ``r_max·sin(δ)`` pixels; steps much finer than the interpolation error
+    are wasted, much coarser ones skip over the minimum.
+    """
+    if r_max <= 0:
+        raise ValueError("r_max must be positive")
+    step = np.rad2deg(np.arcsin(min(1.0, arc_pixels / r_max)))
+    return float(np.clip(step, finest, coarsest))
+
+
+def adaptive_refinement_loop(
+    views: SimulatedViews,
+    initial_map: DensityMap,
+    max_iterations: int = 4,
+    min_improvement_angstrom: float = 0.01,
+    half_steps: int = 3,
+    pad_factor: int = 2,
+    max_slides: int = 2,
+) -> list[AdaptiveState]:
+    """Self-scheduling refine↔reconstruct loop.
+
+    Each iteration measures the odd/even FSC of the current orientations,
+    derives (r_max, angular step) from it, refines, reconstructs, and stops
+    once the 0.5-crossing resolution stops improving.
+    """
+    if max_iterations < 1:
+        raise ValueError("max_iterations must be >= 1")
+    orientations = list(views.initial_orientations)
+    current = initial_map
+    history: list[AdaptiveState] = []
+    best_res = np.inf
+    for it in range(max_iterations):
+        curve = correlation_curve(
+            views.images, orientations, apix=views.apix, pad_factor=pad_factor,
+            ctf_params=views.ctf_params,
+        )
+        fsc = np.concatenate([[1.0], curve.cc])
+        r_max = min(choose_band_limit(fsc), views.size / 2 - 1)
+        step = choose_angular_step(r_max)
+        schedule = MultiResolutionSchedule(
+            (
+                RefinementLevel(2.0 * step, 2.0 * step, half_steps=half_steps),
+                RefinementLevel(step, step, half_steps=max(2, half_steps - 1)),
+            )
+        )
+        refiner = OrientationRefiner(
+            current, r_max=r_max, pad_factor=pad_factor, max_slides=max_slides
+        )
+        result = refiner.refine(views, initial_orientations=orientations, schedule=schedule)
+        orientations = result.orientations
+        current = reconstruct_from_views(
+            views.images, orientations, apix=views.apix, pad_factor=pad_factor,
+            ctf_params=views.ctf_params,
+        )
+        post = correlation_curve(
+            views.images, orientations, apix=views.apix, pad_factor=pad_factor,
+            ctf_params=views.ctf_params,
+        )
+        res = post.crossing(0.5)
+        history.append(
+            AdaptiveState(
+                iteration=it,
+                r_max=r_max,
+                angular_step_deg=step,
+                resolution_angstrom=res,
+                fsc_crossing_shell=float(choose_band_limit(fsc, extend=1.0)),
+                orientations=orientations,
+            )
+        )
+        if res > best_res - min_improvement_angstrom and it > 0:
+            break
+        best_res = min(best_res, res)
+    return history

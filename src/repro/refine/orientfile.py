@@ -1,0 +1,65 @@
+"""Orientation files (steps c and o): the plain-text exchange format.
+
+One line per view::
+
+    <id> <theta> <phi> <omega> <cx> <cy> [<score>]
+
+Angles in degrees, centers in pixels, optional match score.  Comment lines
+start with ``#``.  This mirrors the role of the parameter files the
+production programs read in step (c) and write in step (o); the master node
+of the parallel driver uses exactly these functions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.euler import Orientation
+
+__all__ = ["write_orientation_file", "read_orientation_file"]
+
+
+def write_orientation_file(
+    path: str,
+    orientations: list[Orientation],
+    scores: np.ndarray | list[float] | None = None,
+    header: str | None = None,
+) -> None:
+    """Write the refined orientation set O^refined (step o)."""
+    if scores is not None and len(scores) != len(orientations):
+        raise ValueError("scores length must match orientations")
+    with open(path, "w") as fh:
+        fh.write("# id theta phi omega cx cy score\n")
+        if header:
+            for line in header.splitlines():
+                fh.write(f"# {line}\n")
+        for i, o in enumerate(orientations):
+            s = float(scores[i]) if scores is not None else 0.0
+            fh.write(
+                f"{i} {o.theta:.6f} {o.phi:.6f} {o.omega:.6f} {o.cx:.6f} {o.cy:.6f} {s:.8g}\n"
+            )
+
+
+def read_orientation_file(path: str) -> tuple[list[Orientation], np.ndarray]:
+    """Read an orientation file (step c); returns ``(orientations, scores)``.
+
+    Rows must appear in id order starting at 0 (the format is positional,
+    like the production parameter files).
+    """
+    orientations: list[Orientation] = []
+    scores: list[float] = []
+    with open(path) as fh:
+        for lineno, line in enumerate(fh, 1):
+            text = line.strip()
+            if not text or text.startswith("#"):
+                continue
+            parts = text.split()
+            if len(parts) not in (6, 7):
+                raise ValueError(f"{path}:{lineno}: expected 6 or 7 fields, got {len(parts)}")
+            idx = int(parts[0])
+            if idx != len(orientations):
+                raise ValueError(f"{path}:{lineno}: ids must be consecutive from 0 (got {idx})")
+            theta, phi, omega, cx, cy = (float(v) for v in parts[1:6])
+            orientations.append(Orientation(theta, phi, omega, cx, cy))
+            scores.append(float(parts[6]) if len(parts) == 7 else 0.0)
+    return orientations, np.asarray(scores)

@@ -1,0 +1,242 @@
+"""The serial orientation-refinement driver (steps a–o, single process).
+
+:class:`OrientationRefiner` runs the complete per-iteration pipeline for a
+whole view set: build D̂ once (step a), transform and CTF-correct each view
+(steps d–e), then for each level of the multi-resolution schedule run the
+sliding-window angular search and the center box search per view
+(steps f–l), synchronizing between levels (steps m–n) and returning the
+refined orientation set (step o).
+
+Step times are accumulated under the same names as Tables 1 and 2 so the
+serial and simulated-parallel drivers print identical table layouts.  The
+distributed-memory version lives in :mod:`repro.parallel.prefine` and
+reuses the same per-view kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer, radius_weights
+from repro.ctf.correct import phase_flip
+from repro.ctf.model import CTFParams
+from repro.density.map import DensityMap
+from repro.fourier.transforms import centered_fft2
+from repro.geometry.euler import Orientation
+from repro.imaging.simulate import SimulatedViews
+from repro.refine.multires import MultiResolutionSchedule, default_schedule
+from repro.refine.single import refine_view_at_level
+from repro.refine.stats import RefinementStats
+from repro.utils import StepTimer
+
+__all__ = ["OrientationRefiner", "RefinementResult"]
+
+# Canonical step names, matching the row labels of Tables 1 and 2.
+STEP_3D_DFT = "3D DFT"
+STEP_READ_IMAGE = "Read image"
+STEP_FFT_ANALYSIS = "FFT analysis"
+STEP_REFINEMENT = "Orientation refinement"
+
+
+@dataclass
+class RefinementResult:
+    """Everything one refinement iteration produces.
+
+    Attributes
+    ----------
+    orientations:
+        Refined orientation (with center) per view.
+    distances:
+        Final minimum distance per view.
+    stats:
+        Operation counters per level.
+    timer:
+        Wall-clock per named step (Tables 1/2 rows).
+    per_level_orientations:
+        Snapshot of the orientations after each level (for convergence
+        studies).
+    """
+
+    orientations: list[Orientation]
+    distances: np.ndarray
+    stats: RefinementStats
+    timer: StepTimer
+    per_level_orientations: list[list[Orientation]] = field(default_factory=list)
+
+
+class OrientationRefiner:
+    """Serial refinement engine bound to one current density map.
+
+    Parameters
+    ----------
+    density:
+        The current 3D electron-density map ``D``.
+    r_max:
+        Fourier radius cutoff ``r_map`` (defaults to the full band).
+    weighting:
+        Radial weighting kind for the distance (``"none"``, ``"radius"``,
+        ``"radius2"``).
+    interpolation:
+        Cut interpolation, ``"trilinear"`` or ``"nearest"``.
+    ctf_correction:
+        ``"phase_flip"`` (default), ``"none"`` — how step (e) corrects view
+        transforms when CTF parameters are provided.
+    pad_factor:
+        Oversampling of D̂ (zero-padding factor).  2 (default) keeps the
+        trilinear slice error well below the signal differences the search
+        must resolve; 1 reproduces the raw-grid behaviour for ablations.
+    """
+
+    def __init__(
+        self,
+        density: DensityMap,
+        r_max: float | None = None,
+        weighting: str = "none",
+        interpolation: str = "trilinear",
+        ctf_correction: str = "phase_flip",
+        max_slides: int = 8,
+        pad_factor: int = 2,
+        normalized_distance: bool = False,
+    ) -> None:
+        self.density = density
+        self.size = density.size
+        self.r_max = float(self.size // 2 if r_max is None else r_max)
+        w = None if weighting == "none" else radius_weights(self.size, weighting, self.r_max)
+        self.distance_computer = DistanceComputer(
+            self.size, r_max=self.r_max, weights=w, normalized=normalized_distance
+        )
+        self.interpolation = interpolation
+        if ctf_correction not in ("phase_flip", "none"):
+            raise ValueError(f"unknown ctf_correction {ctf_correction!r}")
+        self.ctf_correction = ctf_correction
+        self.max_slides = max_slides
+        self.pad_factor = int(pad_factor)
+        self._volume_ft: np.ndarray | None = None
+
+    # -- step a -------------------------------------------------------------
+    def volume_ft(self, timer: StepTimer | None = None) -> np.ndarray:
+        """D̂ = DFT(D) (oversampled), built once and cached (step a)."""
+        if self._volume_ft is None:
+            t = timer or StepTimer()
+            with t.step(STEP_3D_DFT):
+                self._volume_ft = self.density.fourier_oversampled(self.pad_factor)
+        return self._volume_ft
+
+    # -- steps d–e ----------------------------------------------------------
+    def prepare_views(
+        self,
+        images: np.ndarray,
+        ctf_params: list[CTFParams] | None,
+        apix: float,
+        timer: StepTimer | None = None,
+    ) -> tuple[np.ndarray, list[np.ndarray | None]]:
+        """2D DFT + CTF correction of every view (steps d and e).
+
+        Returns ``(transforms, cut_modulations)``.  With phase flipping the
+        view keeps |CTF|-attenuated amplitudes, so the matching loop must
+        impose the same |CTF| on every calculated cut — the returned
+        per-view modulation vectors (pre-gathered onto the distance band)
+        do exactly that.  Views from the same micrograph share a CTF, so
+        modulations are cached per parameter set.
+        """
+        t = timer or StepTimer()
+        with t.step(STEP_FFT_ANALYSIS):
+            fts = centered_fft2(np.asarray(images, dtype=float))
+        modulations: list[np.ndarray | None] = [None] * fts.shape[0]
+        if ctf_params is not None and self.ctf_correction == "phase_flip":
+            from repro.ctf.model import ctf_2d
+
+            cache: dict[CTFParams, np.ndarray] = {}
+            with t.step(STEP_FFT_ANALYSIS):
+                for i, p in enumerate(ctf_params):
+                    fts[i] = phase_flip(fts[i], p, apix)
+                    if p not in cache:
+                        cache[p] = self.distance_computer.gather_modulation(
+                            np.abs(ctf_2d(p, self.size, apix))
+                        )
+                    modulations[i] = cache[p]
+        return fts, modulations
+
+    # -- the full iteration ---------------------------------------------------
+    def refine(
+        self,
+        views: SimulatedViews | np.ndarray,
+        initial_orientations: list[Orientation] | None = None,
+        schedule: MultiResolutionSchedule | None = None,
+        ctf_params: list[CTFParams] | None = None,
+        apix: float | None = None,
+        refine_centers: bool = True,
+        keep_level_snapshots: bool = False,
+    ) -> RefinementResult:
+        """Run one full refinement iteration over a view set.
+
+        ``views`` may be a :class:`SimulatedViews` (orientations/CTF taken
+        from it unless overridden) or a raw ``(m, l, l)`` image stack with
+        explicit ``initial_orientations``.
+        """
+        if isinstance(views, SimulatedViews):
+            images = views.images
+            init = initial_orientations or views.initial_orientations
+            ctf = ctf_params if ctf_params is not None else views.ctf_params
+            pix = apix if apix is not None else views.apix
+        else:
+            images = np.asarray(views, dtype=float)
+            if initial_orientations is None:
+                raise ValueError("raw image stacks need explicit initial orientations")
+            init = initial_orientations
+            ctf = ctf_params
+            pix = apix if apix is not None else self.density.apix
+        if images.shape[1] != self.size:
+            raise ValueError(
+                f"view size {images.shape[1]} does not match map size {self.size}"
+            )
+        if len(init) != images.shape[0]:
+            raise ValueError("need one initial orientation per view")
+        sched = schedule or default_schedule()
+
+        timer = StepTimer()
+        volume_ft = self.volume_ft(timer)
+        with timer.step(STEP_READ_IMAGE):
+            images = np.ascontiguousarray(images, dtype=float)
+        fts, modulations = self.prepare_views(images, ctf, pix, timer)
+
+        stats = RefinementStats(n_views=images.shape[0])
+        orientations = list(init)
+        distances = np.full(images.shape[0], np.inf)
+        snapshots: list[list[Orientation]] = []
+        for level in sched:
+            n_matches = n_center = n_wslides = n_cslides = 0
+            with timer.step(STEP_REFINEMENT):
+                for q in range(images.shape[0]):
+                    res = refine_view_at_level(
+                        fts[q],
+                        volume_ft,
+                        orientations[q],
+                        angular_step_deg=level.angular_step_deg,
+                        center_step_px=level.center_step_px,
+                        half_steps=level.half_steps,
+                        center_half_steps=level.center_half_steps,
+                        max_slides=self.max_slides,
+                        distance_computer=self.distance_computer,
+                        interpolation=self.interpolation,
+                        refine_centers=refine_centers,
+                        cut_modulation=modulations[q],
+                    )
+                    orientations[q] = res.orientation
+                    distances[q] = res.distance
+                    n_matches += res.n_matches
+                    n_center += res.n_center_evals
+                    n_wslides += int(res.slid_window)
+                    n_cslides += int(res.slid_center)
+            stats.record_level(level.angular_step_deg, n_matches, n_center, n_wslides, n_cslides)
+            if keep_level_snapshots:
+                snapshots.append(list(orientations))
+        return RefinementResult(
+            orientations=orientations,
+            distances=distances,
+            stats=stats,
+            timer=timer,
+            per_level_orientations=snapshots,
+        )

@@ -1,0 +1,146 @@
+"""Per-view refinement at one resolution level (steps f–l combined).
+
+One level of refinement for one view alternates the angular sliding-window
+search (with the view corrected to its current center estimate) and the
+center box search (against the winning cut).  The orientation *and* center
+both live in the :class:`~repro.geometry.euler.Orientation` record, so the
+multi-resolution driver simply threads it through the levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer
+from repro.fourier.slicing import extract_slice
+from repro.geometry.euler import Orientation
+from repro.imaging.center import phase_shift_ft
+from repro.refine.center_refine import refine_center
+from repro.refine.window import sliding_window_search
+
+__all__ = ["ViewRefinementResult", "refine_view_at_level"]
+
+
+@dataclass(frozen=True)
+class ViewRefinementResult:
+    """Bookkeeping for one view × one level.
+
+    ``n_matches`` counts angular matching operations, ``n_center_evals``
+    center evaluations; ``slid_window`` / ``slid_center`` record whether the
+    respective sliding mechanisms fired (the §5 observation).
+    """
+
+    orientation: Orientation
+    distance: float
+    n_windows: int
+    n_matches: int
+    n_center_evals: int
+    slid_window: bool
+    slid_center: bool
+
+
+def refine_view_at_level(
+    view_ft: np.ndarray,
+    volume_ft: np.ndarray,
+    orientation: Orientation,
+    angular_step_deg: float,
+    center_step_px: float,
+    half_steps: int | tuple[int, int, int] = 4,
+    center_half_steps: int = 1,
+    max_slides: int = 8,
+    distance_computer: DistanceComputer | None = None,
+    interpolation: str = "trilinear",
+    refine_centers: bool = True,
+    inner_iterations: int = 2,
+    cut_modulation: np.ndarray | None = None,
+) -> ViewRefinementResult:
+    """Steps f–l for one view at one (r_angular, δ_center) level.
+
+    ``view_ft`` must already be CTF-corrected (step e) but NOT
+    center-corrected: the current center estimate in ``orientation`` is
+    applied here, and the refined center replaces it in the result.
+
+    ``inner_iterations`` alternates the center search and the angular
+    search: the two estimates are coupled (a wrong center superimposes a
+    phase ramp on the whole band, corrupting the angular landscape, and
+    vice versa).  Each inner iteration therefore refines the center
+    *first*, against the cut at the current orientation — the center fit is
+    robust to moderate angular error, the reverse is not — and then runs
+    the angular window with the corrected center.  The loop exits early
+    once neither estimate changes.
+    """
+    if inner_iterations < 1:
+        raise ValueError("inner_iterations must be >= 1")
+
+    def _center_pass(current: Orientation) -> tuple[Orientation, float, int, bool]:
+        cut = extract_slice(
+            volume_ft, current.matrix(), order=interpolation, out_size=view_ft.shape[0]
+        )
+        center = refine_center(
+            view_ft,
+            cut,
+            center=(current.cx, current.cy),
+            step_px=center_step_px,
+            half_steps=center_half_steps,
+            max_slides=max_slides,
+            distance_computer=distance_computer,
+            cut_modulation=cut_modulation,
+        )
+        return (
+            current.with_center(center.cx, center.cy),
+            center.distance,
+            center.n_evaluations,
+            center.slid,
+        )
+
+    current = orientation
+    n_windows_total = 0
+    n_matches_total = 0
+    n_center_total = 0
+    slid_window = False
+    slid_center = False
+    distance = np.inf
+    for _ in range(inner_iterations if refine_centers else 1):
+        previous = current
+        if refine_centers:
+            current, distance, n_evals, slid = _center_pass(current)
+            n_center_total += n_evals
+            slid_center = slid_center or slid
+        # step f prerequisite: correct the view to the current center estimate
+        corrected = view_ft
+        if current.cx != 0.0 or current.cy != 0.0:
+            corrected = phase_shift_ft(view_ft, -current.cx, -current.cy)
+        window = sliding_window_search(
+            corrected,
+            volume_ft,
+            current,
+            step_deg=angular_step_deg,
+            half_steps=half_steps,
+            max_slides=max_slides,
+            distance_computer=distance_computer,
+            interpolation=interpolation,
+            cut_modulation=cut_modulation,
+        )
+        current = window.orientation
+        distance = window.distance
+        n_windows_total += window.n_windows
+        n_matches_total += window.n_matches
+        slid_window = slid_window or window.slid
+        if current.as_tuple() == previous.as_tuple():
+            break
+    if refine_centers:
+        # final polish: the last angular winner deserves a matching center
+        current, distance, n_evals, slid = _center_pass(current)
+        n_center_total += n_evals
+        slid_center = slid_center or slid
+    return ViewRefinementResult(
+        orientation=current,
+        distance=distance,
+        n_windows=n_windows_total,
+        n_matches=n_matches_total,
+        n_center_evals=n_center_total,
+        slid_window=slid_window,
+        slid_center=slid_center,
+    )

@@ -1,0 +1,36 @@
+"""Shared numeric utilities: RNG seeding, timers, validation, unit conversion.
+
+These helpers are deliberately dependency-light; every other subpackage may
+import from :mod:`repro.utils` but not vice versa.
+"""
+
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.timing import StepTimer, Timer, format_seconds
+from repro.utils.units import (
+    frequency_to_resolution,
+    resolution_to_shell_radius,
+    shell_radius_to_resolution,
+)
+from repro.utils.validation import (
+    require,
+    require_cube,
+    require_odd_or_even_square,
+    require_positive,
+    require_square,
+)
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "Timer",
+    "StepTimer",
+    "format_seconds",
+    "require",
+    "require_positive",
+    "require_square",
+    "require_cube",
+    "require_odd_or_even_square",
+    "resolution_to_shell_radius",
+    "shell_radius_to_resolution",
+    "frequency_to_resolution",
+]

@@ -1,0 +1,111 @@
+"""Wall-clock timing helpers used to build paper-style per-step time tables.
+
+Tables 1 and 2 of the paper break one refinement iteration into named steps
+(3D DFT, read image, FFT analysis, orientation refinement).  The
+:class:`StepTimer` accumulates named durations the same way, so both the
+serial and the simulated-parallel drivers can emit identical table rows.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+
+__all__ = ["Timer", "StepTimer", "format_seconds"]
+
+
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    Can be used as a context manager::
+
+        with Timer() as t:
+            work()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class StepTimer:
+    """Accumulate wall-clock time under named steps.
+
+    >>> st = StepTimer()
+    >>> with st.step("fft analysis"):
+    ...     pass
+    >>> "fft analysis" in st.totals
+    True
+    """
+
+    def __init__(self) -> None:
+        self.totals: OrderedDict[str, float] = OrderedDict()
+        self.counts: OrderedDict[str, int] = OrderedDict()
+
+    @contextmanager
+    def step(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            dt = time.perf_counter() - t0
+            self.add(name, dt)
+
+    def add(self, name: str, seconds: float, count: int = 1) -> None:
+        """Record ``seconds`` (possibly simulated time) under ``name``."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + count
+
+    def merge(self, other: "StepTimer") -> None:
+        for name, seconds in other.totals.items():
+            self.add(name, seconds, other.counts.get(name, 1))
+
+    @property
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def fraction(self, name: str) -> float:
+        """Fraction of total time spent in ``name`` (0 if nothing recorded)."""
+        total = self.total
+        return self.totals.get(name, 0.0) / total if total > 0 else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(self.totals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        rows = ", ".join(f"{k}={v:.3g}s" for k, v in self.totals.items())
+        return f"StepTimer({rows})"
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-friendly rendering used in the reported tables."""
+    if seconds < 0:
+        raise ValueError("negative duration")
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f}min"
+    return f"{seconds / 3600.0:.2f}h"

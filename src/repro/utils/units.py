@@ -1,0 +1,65 @@
+"""Unit conversions between resolution (Å), spatial frequency and shell radius.
+
+Conventions (see DESIGN.md §6): a cubic map of side ``l`` voxels sampled at
+``apix`` Å/pixel has Fourier samples at integer radii ``r = 0 .. l//2``.
+Shell radius ``r`` corresponds to spatial frequency ``r / (l * apix)``
+cycles/Å, hence to resolution ``l * apix / r`` Å.  These conversions are used
+everywhere a "resolution" appears: the ``r_map`` cutoff of the distance
+computation, and the x-axis of the Figure 5/6 correlation plots.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "resolution_to_shell_radius",
+    "shell_radius_to_resolution",
+    "frequency_to_resolution",
+    "resolution_to_frequency",
+    "nyquist_resolution",
+]
+
+
+def resolution_to_shell_radius(resolution_angstrom: float, box_size: int, apix: float) -> float:
+    """Shell radius (in Fourier pixels) corresponding to a resolution in Å."""
+    if resolution_angstrom <= 0:
+        raise ValueError("resolution must be positive")
+    if box_size <= 0 or apix <= 0:
+        raise ValueError("box_size and apix must be positive")
+    return box_size * apix / resolution_angstrom
+
+
+def shell_radius_to_resolution(radius_pixels: float, box_size: int, apix: float) -> float:
+    """Resolution in Å corresponding to a Fourier shell radius in pixels."""
+    if radius_pixels <= 0:
+        raise ValueError("shell radius must be positive")
+    return box_size * apix / radius_pixels
+
+
+def frequency_to_resolution(frequency_per_angstrom: float) -> float:
+    """Resolution (Å) of a spatial frequency given in cycles/Å."""
+    if frequency_per_angstrom <= 0:
+        raise ValueError("frequency must be positive")
+    return 1.0 / frequency_per_angstrom
+
+
+def resolution_to_frequency(resolution_angstrom: float) -> float:
+    """Spatial frequency (cycles/Å) of a resolution given in Å."""
+    if resolution_angstrom <= 0:
+        raise ValueError("resolution must be positive")
+    return 1.0 / resolution_angstrom
+
+
+def nyquist_resolution(apix: float) -> float:
+    """The best (smallest) resolution representable at sampling ``apix``."""
+    if apix <= 0:
+        raise ValueError("apix must be positive")
+    return 2.0 * apix
+
+
+def shell_radii(box_size: int) -> np.ndarray:
+    """Integer shell radii available in a box of side ``box_size``."""
+    if box_size <= 0:
+        raise ValueError("box_size must be positive")
+    return np.arange(1, box_size // 2 + 1)

@@ -1,0 +1,45 @@
+"""Argument validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "require_positive",
+    "require_square",
+    "require_cube",
+    "require_odd_or_even_square",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_positive(value: float, name: str) -> None:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_square(array: np.ndarray, name: str = "image") -> int:
+    """Check that ``array`` is a 2D square array; return its side length."""
+    arr = np.asarray(array)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be a square 2D array, got shape {arr.shape}")
+    return arr.shape[0]
+
+
+def require_cube(array: np.ndarray, name: str = "volume") -> int:
+    """Check that ``array`` is a 3D cubic array; return its side length."""
+    arr = np.asarray(array)
+    if arr.ndim != 3 or len(set(arr.shape)) != 1:
+        raise ValueError(f"{name} must be a cubic 3D array, got shape {arr.shape}")
+    return arr.shape[0]
+
+
+def require_odd_or_even_square(array: np.ndarray, name: str = "image") -> int:
+    """Like :func:`require_square` but tolerates any parity (documented alias)."""
+    return require_square(array, name)

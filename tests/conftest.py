@@ -1,0 +1,37 @@
+"""Shared fixtures: small cached phantoms and RNGs for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.density import DensityMap, asymmetric_phantom, sindbis_like_phantom
+from repro.geometry import Orientation
+
+
+@pytest.fixture(scope="session")
+def phantom16() -> DensityMap:
+    """A 16³ asymmetric phantom (cheap; transforms cached for the session)."""
+    return asymmetric_phantom(16, seed=0).normalized()
+
+
+@pytest.fixture(scope="session")
+def phantom24() -> DensityMap:
+    """A 24³ asymmetric phantom for tests needing angular resolution."""
+    return asymmetric_phantom(24, seed=1).normalized()
+
+
+@pytest.fixture(scope="session")
+def capsid32() -> DensityMap:
+    """A 32³ icosahedral (Sindbis-like) phantom for symmetric-object tests."""
+    return sindbis_like_phantom(32).normalized()
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def some_orientation() -> Orientation:
+    return Orientation(57.3, 123.4, 31.2)

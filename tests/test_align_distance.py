@@ -1,0 +1,133 @@
+"""Tests for the paper's Fourier distance (§3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align import DistanceComputer, fourier_distance, fourier_distance_batch, radius_weights
+
+
+def _rand_ft(rng, l=16):
+    return rng.normal(size=(l, l)) + 1j * rng.normal(size=(l, l))
+
+
+def test_distance_zero_for_identical(rng):
+    f = _rand_ft(rng)
+    assert fourier_distance(f, f) == 0.0
+
+
+def test_distance_formula_matches_definition(rng):
+    # full-band distance (r_max covering everything) must equal the explicit
+    # 1/l^2 * sqrt(sum |F-C|^2) over the in-band pixels
+    f, c = _rand_ft(rng), _rand_ft(rng)
+    dc = DistanceComputer(16, r_max=8)
+    from repro.fourier import radial_shell_indices_2d
+
+    band = radial_shell_indices_2d(16) <= 8
+    expected = np.sqrt((np.abs(f - c)[band] ** 2).sum()) / 16**2
+    assert dc.distance(f, c) == pytest.approx(expected, rel=1e-12)
+
+
+def test_distance_symmetry(rng):
+    f, c = _rand_ft(rng), _rand_ft(rng)
+    dc = DistanceComputer(16)
+    assert dc.distance(f, c) == pytest.approx(dc.distance(c, f))
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_triangle_inequality(seed):
+    rng = np.random.default_rng(seed)
+    a, b, c = (_rand_ft(rng, 8) for _ in range(3))
+    dc = DistanceComputer(8)
+    assert dc.distance(a, c) <= dc.distance(a, b) + dc.distance(b, c) + 1e-12
+
+
+def test_rmax_restricts_band(rng):
+    f, c = _rand_ft(rng), _rand_ft(rng)
+    # difference only outside radius 4
+    from repro.fourier import radial_shell_indices_2d
+
+    shells = radial_shell_indices_2d(16)
+    c2 = f.copy()
+    c2[shells > 4] = c[shells > 4]
+    assert DistanceComputer(16, r_max=4).distance(f, c2) == 0.0
+    assert DistanceComputer(16, r_max=8).distance(f, c2) > 0.0
+
+
+def test_batch_matches_scalar(rng):
+    f = _rand_ft(rng)
+    cuts = np.stack([_rand_ft(rng) for _ in range(5)])
+    dc = DistanceComputer(16, r_max=6)
+    batch = dc.distance_batch(f, cuts)
+    for i in range(5):
+        assert batch[i] == pytest.approx(dc.distance(f, cuts[i]))
+    assert np.allclose(fourier_distance_batch(f, cuts, r_max=6), batch)
+
+
+def test_many_to_one_matches_scalar(rng):
+    views = np.stack([_rand_ft(rng) for _ in range(4)])
+    c = _rand_ft(rng)
+    dc = DistanceComputer(16, r_max=6)
+    d = dc.distance_many_to_one(views, c)
+    for i in range(4):
+        assert d[i] == pytest.approx(dc.distance(views[i], c))
+
+
+def test_weights_change_distance(rng):
+    f, c = _rand_ft(rng), _rand_ft(rng)
+    w = radius_weights(16, "radius", r_max=8)
+    d_plain = DistanceComputer(16, r_max=8).distance(f, c)
+    d_weighted = DistanceComputer(16, r_max=8, weights=w).distance(f, c)
+    assert d_plain != pytest.approx(d_weighted)
+
+
+def test_radius_weights_properties():
+    for kind in ("none", "radius", "radius2"):
+        w = radius_weights(16, kind, r_max=8)
+        assert w.shape == (16, 16)
+        assert np.all(w >= 0)
+        from repro.fourier import radial_shell_indices_2d
+
+        band = radial_shell_indices_2d(16) <= 8
+        assert w[band].mean() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        radius_weights(16, "cubic")
+
+
+def test_radius2_emphasizes_high_frequencies():
+    w = radius_weights(16, "radius2", r_max=8)
+    c = 8
+    assert w[c, c + 7] > w[c, c + 2]
+
+
+def test_normalized_mode_scale_invariant(rng):
+    f = _rand_ft(rng)
+    c = _rand_ft(rng)
+    dc = DistanceComputer(16, normalized=True)
+    assert dc.distance(f, 100.0 * c) == pytest.approx(dc.distance(f, c), rel=1e-9)
+    assert dc.distance(f, 5.0 * f) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_normalized_batch_consistent(rng):
+    f = _rand_ft(rng)
+    cuts = np.stack([_rand_ft(rng) for _ in range(3)])
+    dc = DistanceComputer(16, normalized=True)
+    batch = dc.distance_batch(f, cuts)
+    for i in range(3):
+        assert batch[i] == pytest.approx(dc.distance(f, cuts[i]))
+
+
+def test_gather_and_validation(rng):
+    dc = DistanceComputer(16, r_max=4)
+    assert dc.n_samples == int((dc.gather(_rand_ft(rng)) != object()).size)
+    with pytest.raises(ValueError):
+        dc.gather(np.zeros((8, 8)))
+    with pytest.raises(ValueError):
+        dc.distance_batch(_rand_ft(rng), np.zeros((3, 8, 8)))
+    with pytest.raises(ValueError):
+        DistanceComputer(0)
+    with pytest.raises(ValueError):
+        DistanceComputer(16, r_max=-1)
+    with pytest.raises(ValueError):
+        DistanceComputer(16, weights=np.ones((4, 4)))

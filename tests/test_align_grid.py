@@ -1,0 +1,76 @@
+"""Tests for orientation search windows."""
+
+import numpy as np
+import pytest
+
+from repro.align import orientation_window
+from repro.geometry import Orientation
+
+
+def test_window_centered_on_current_estimate():
+    o = Orientation(50.0, 60.0, 70.0)
+    g = orientation_window(o, step_deg=1.0, half_steps=2)
+    assert g.shape == (5, 5, 5)
+    assert g.size == 125
+    assert g.thetas[2] == pytest.approx(50.0)
+    assert g.phis[2] == pytest.approx(60.0)
+    assert g.omegas[2] == pytest.approx(70.0)
+
+
+def test_window_asymmetric_half_steps():
+    g = orientation_window(Orientation(0, 0, 0), 1.0, half_steps=(1, 2, 0))
+    assert g.shape == (3, 5, 1)
+    assert g.size == 15
+
+
+def test_paper_typical_window_size():
+    # §4: typical w_theta = w_phi = w_omega ~ 10 -> w ~ 1000
+    g = orientation_window(Orientation(0, 0, 0), 0.1, half_steps=4)
+    assert g.size == 9**3
+
+
+def test_rotation_stack_order_matches_unravel():
+    o = Orientation(10.0, 20.0, 30.0)
+    g = orientation_window(o, 2.0, half_steps=1)
+    stack = g.rotation_stack()
+    assert stack.shape == (27, 3, 3)
+    for flat in (0, 13, 26):
+        cand = g.orientation_at(flat)
+        assert np.allclose(stack[flat], cand.matrix(), atol=1e-12)
+
+
+def test_center_orientation_is_in_grid():
+    o = Orientation(10.0, 20.0, 30.0, 0.5, -0.5)
+    g = orientation_window(o, 1.0, half_steps=2)
+    center_flat = 2 * 25 + 2 * 5 + 2
+    cand = g.orientation_at(center_flat)
+    assert cand.as_tuple() == pytest.approx(o.as_tuple())
+
+
+def test_center_offsets_propagate():
+    o = Orientation(1, 2, 3, 1.5, 2.5)
+    g = orientation_window(o, 1.0, half_steps=1)
+    assert g.orientation_at(0).cx == 1.5
+    assert g.orientation_at(0).cy == 2.5
+
+
+def test_on_edge_detection():
+    g = orientation_window(Orientation(0, 0, 0), 1.0, half_steps=1)
+    assert g.on_edge(0) == (True, True, True)
+    center = 1 * 9 + 1 * 3 + 1
+    assert g.on_edge(center) == (False, False, False)
+    corner_mixed = 1 * 9 + 0 * 3 + 1  # center theta, edge phi, center omega
+    assert g.on_edge(corner_mixed) == (False, True, False)
+
+
+def test_single_sample_axis_never_on_edge():
+    g = orientation_window(Orientation(0, 0, 0), 1.0, half_steps=(1, 1, 0))
+    for flat in range(g.size):
+        assert g.on_edge(flat)[2] is False
+
+
+def test_window_validation():
+    with pytest.raises(ValueError):
+        orientation_window(Orientation(0, 0, 0), 0.0)
+    with pytest.raises(ValueError):
+        orientation_window(Orientation(0, 0, 0), 1.0, half_steps=-1)

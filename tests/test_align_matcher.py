@@ -1,0 +1,64 @@
+"""Tests for window matching (steps f-h)."""
+
+import numpy as np
+import pytest
+
+from repro.align import DistanceComputer, match_view, orientation_window
+from repro.fourier.slicing import extract_slice
+from repro.geometry import Orientation
+
+
+def test_match_recovers_exact_grid_orientation(phantom24):
+    truth = Orientation(40.0, 55.0, 20.0)
+    vft = phantom24.fourier_oversampled(2)
+    view = extract_slice(vft, truth.matrix(), out_size=24)
+    grid = orientation_window(truth, step_deg=2.0, half_steps=2)
+    res = match_view(view, vft, grid, r_max=10)
+    assert res.orientation.as_tuple() == pytest.approx(truth.as_tuple())
+    assert res.distance == pytest.approx(0.0, abs=1e-9)
+    assert res.n_matches == grid.size
+    assert res.on_edge == (False, False, False)
+
+
+def test_match_finds_nearest_when_truth_off_grid(phantom24):
+    truth = Orientation(40.7, 55.0, 20.0)
+    vft = phantom24.fourier_oversampled(2)
+    view = extract_slice(vft, truth.matrix(), out_size=24)
+    center = Orientation(40.0, 55.0, 20.0)
+    grid = orientation_window(center, step_deg=1.0, half_steps=2)
+    res = match_view(view, vft, grid, r_max=10)
+    assert res.orientation.theta == pytest.approx(41.0)
+
+
+def test_match_edge_flag_set_when_truth_outside(phantom24):
+    truth = Orientation(46.0, 55.0, 20.0)
+    vft = phantom24.fourier_oversampled(2)
+    view = extract_slice(vft, truth.matrix(), out_size=24)
+    center = Orientation(42.0, 55.0, 20.0)  # truth 4 deg away, window +-2
+    grid = orientation_window(center, step_deg=1.0, half_steps=2)
+    res = match_view(view, vft, grid, r_max=10)
+    assert res.on_edge[0] is True
+    assert res.orientation.theta == pytest.approx(44.0)
+
+
+def test_match_distances_array_complete(phantom24):
+    truth = Orientation(40.0, 55.0, 20.0)
+    vft = phantom24.fourier_oversampled(2)
+    view = extract_slice(vft, truth.matrix(), out_size=24)
+    grid = orientation_window(truth, 1.0, half_steps=1)
+    res = match_view(view, vft, grid, r_max=10)
+    assert res.distances.shape == (27,)
+    assert res.distances[res.flat_index] == res.distance
+    assert np.all(res.distances >= res.distance)
+
+
+def test_match_reuses_distance_computer(phantom24):
+    truth = Orientation(40.0, 55.0, 20.0)
+    vft = phantom24.fourier_oversampled(2)
+    view = extract_slice(vft, truth.matrix(), out_size=24)
+    dc = DistanceComputer(24, r_max=10)
+    grid = orientation_window(truth, 1.0, half_steps=1)
+    a = match_view(view, vft, grid, distance_computer=dc)
+    b = match_view(view, vft, grid, r_max=10)
+    assert a.distance == pytest.approx(b.distance)
+    assert a.flat_index == b.flat_index

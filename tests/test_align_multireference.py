@@ -1,0 +1,73 @@
+"""Tests for multi-reference classification (heterogeneity substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.align.multireference import classify_views, iterative_classification
+from repro.density import asymmetric_phantom
+from repro.imaging import simulate_views
+
+
+@pytest.fixture(scope="module")
+def two_species():
+    a = asymmetric_phantom(24, seed=10).normalized()
+    b = asymmetric_phantom(24, seed=20).normalized()
+    va = simulate_views(a, 8, snr=6.0, initial_angle_error_deg=1.5, seed=1)
+    vb = simulate_views(b, 8, snr=6.0, initial_angle_error_deg=1.5, seed=2)
+    images = np.concatenate([va.images, vb.images])
+    init = va.initial_orientations + vb.initial_orientations
+    truth_labels = np.array([0] * 8 + [1] * 8)
+    return a, b, images, init, truth_labels
+
+
+def test_classification_separates_species(two_species):
+    a, b, images, init, truth = two_species
+    result = classify_views(images, init, [a, b], r_max=9, half_steps=2)
+    accuracy = np.mean(result.assignments == truth)
+    assert accuracy >= 0.9
+    assert result.distances.shape == (16,)
+    assert len(result.orientations) == 16
+
+
+def test_members_helper(two_species):
+    a, b, images, init, truth = two_species
+    result = classify_views(images, init, [a, b], r_max=9, half_steps=1)
+    m0 = result.members(0)
+    m1 = result.members(1)
+    assert set(m0.tolist()) | set(m1.tolist()) == set(range(16))
+    assert set(m0.tolist()) & set(m1.tolist()) == set()
+
+
+def test_single_reference_assigns_all_to_it(two_species):
+    a, _, images, init, _ = two_species
+    result = classify_views(images[:4], init[:4], [a], r_max=9, half_steps=1)
+    assert np.all(result.assignments == 0)
+
+
+def test_iterative_classification_rebuilds_maps(two_species):
+    a, b, images, init, truth = two_species
+    # start from degraded references: low-passed versions of the truths
+    start = [a.low_pass(6.0), b.low_pass(6.0)]
+    result = iterative_classification(
+        images, init, start, n_iterations=2, r_max=8, min_class_size=2
+    )
+    assert len(result.class_maps) == 2
+    accuracy = np.mean(result.assignments == truth)
+    accuracy_flipped = np.mean(result.assignments == 1 - truth)
+    assert max(accuracy, accuracy_flipped) >= 0.8
+    # the rebuilt maps correlate with their own species
+    cc_aa = result.class_maps[0].normalized().correlation(a)
+    cc_bb = result.class_maps[1].normalized().correlation(b)
+    assert max(cc_aa, cc_bb) > 0.5
+
+
+def test_validation(two_species):
+    a, b, images, init, _ = two_species
+    with pytest.raises(ValueError):
+        classify_views(images, init, [])
+    with pytest.raises(ValueError):
+        classify_views(images, init[:3], [a])
+    with pytest.raises(ValueError):
+        classify_views(images[:, :12, :12], init, [a])
+    with pytest.raises(ValueError):
+        iterative_classification(images, init, [a, b], n_iterations=0)

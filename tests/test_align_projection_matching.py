@@ -1,0 +1,56 @@
+"""Tests for the icosahedral projection-matching baseline ("old method")."""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    build_projection_library,
+    match_against_library,
+    refine_icosahedral,
+)
+from repro.fourier import centered_fft2
+from repro.geometry import Orientation, icosahedral_group, reduce_to_asymmetric_unit
+from repro.imaging import project_map
+
+
+def test_library_covers_asymmetric_unit(capsid32):
+    lib = build_projection_library(capsid32, angular_resolution_deg=12.0, omega_step_deg=60.0)
+    assert len(lib) > 10
+    assert lib.cuts.shape == (len(lib), 32, 32)
+    for o in lib.orientations:
+        assert 69.0 <= o.theta <= 90.0 + 1e-9
+
+
+def test_library_no_symmetry_is_larger(capsid32):
+    lib_icos = build_projection_library(capsid32, 12.0, omega_step_deg=120.0)
+    lib_full = build_projection_library(capsid32, 12.0, symmetry="none", omega_step_deg=120.0)
+    assert len(lib_full) > 10 * len(lib_icos)
+
+
+def test_library_bad_symmetry(capsid32):
+    with pytest.raises(ValueError):
+        build_projection_library(capsid32, 12.0, symmetry="helical")
+
+
+def test_match_against_library_finds_neighbourhood(capsid32):
+    lib = build_projection_library(capsid32, 6.0, omega_step_deg=30.0)
+    truth = Orientation(80.0, 10.0, 45.0)
+    img = project_map(capsid32, truth, method="fourier")
+    best, d = match_against_library(centered_fft2(img), lib, r_max=12)
+    # the match is defined up to the icosahedral group: reduce both
+    group = icosahedral_group()
+    from repro.refine.stats import angular_errors
+
+    err = angular_errors([best], [truth], symmetry=group)[0]
+    assert err < 15.0  # library spacing 6 deg in-plane x30 omega
+
+
+def test_refine_icosahedral_runs_over_stack(capsid32):
+    from repro.imaging import simulate_views
+
+    views = simulate_views(capsid32, 3, seed=1, projection_method="fourier")
+    fts = centered_fft2(views.images)
+    orients, dists = refine_icosahedral(fts, capsid32, angular_resolution_deg=10.0, r_max=10)
+    assert len(orients) == 3
+    assert dists.shape == (3,)
+    assert np.all(np.isfinite(dists))

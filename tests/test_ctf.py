@@ -1,0 +1,119 @@
+"""Tests for the CTF model and corrections."""
+
+import numpy as np
+import pytest
+
+from repro.ctf import CTFParams, apply_ctf, ctf_1d, ctf_2d, phase_flip, wiener_correct
+from repro.ctf.model import electron_wavelength
+
+
+def test_electron_wavelength_known_values():
+    # 300 kV ~ 0.0197 A; 200 kV ~ 0.0251 A; 100 kV ~ 0.037 A
+    assert electron_wavelength(300.0) == pytest.approx(0.0197, abs=5e-4)
+    assert electron_wavelength(200.0) == pytest.approx(0.0251, abs=5e-4)
+    with pytest.raises(ValueError):
+        electron_wavelength(0.0)
+
+
+def test_ctf_params_validation():
+    with pytest.raises(ValueError):
+        CTFParams(defocus_angstrom=-1.0)
+    with pytest.raises(ValueError):
+        CTFParams(amplitude_contrast=1.5)
+    with pytest.raises(ValueError):
+        CTFParams(voltage_kv=-300)
+    with pytest.raises(ValueError):
+        CTFParams(bfactor=-10)
+
+
+def test_ctf_at_zero_frequency_is_amplitude_term():
+    p = CTFParams(amplitude_contrast=0.1)
+    assert ctf_1d(p, np.array([0.0]))[0] == pytest.approx(-0.1)
+
+
+def test_ctf_oscillates_and_flips_sign():
+    p = CTFParams(defocus_angstrom=20000.0, amplitude_contrast=0.07)
+    s = np.linspace(0.0, 0.2, 2000)
+    c = ctf_1d(p, s)
+    signs = np.sign(c)
+    flips = np.sum(signs[1:] * signs[:-1] < 0)
+    assert flips >= 3  # several zero crossings within the band
+
+
+def test_higher_defocus_means_earlier_first_zero():
+    s = np.linspace(1e-4, 0.1, 5000)
+    def first_zero(df):
+        c = ctf_1d(CTFParams(defocus_angstrom=df), s)
+        idx = np.where(np.sign(c[1:]) != np.sign(c[:-1]))[0]
+        return s[idx[0]]
+    assert first_zero(30000.0) < first_zero(10000.0)
+
+
+def test_envelope_attenuates_high_frequencies():
+    s = np.array([0.05, 0.25])
+    plain = np.abs(ctf_1d(CTFParams(bfactor=0.0), s))
+    damped = np.abs(ctf_1d(CTFParams(bfactor=200.0), s))
+    assert damped[1] < plain[1]
+    assert damped[0] / plain[0] > damped[1] / plain[1]
+
+
+def test_ctf_2d_is_radial():
+    c = ctf_2d(CTFParams(), 32, apix=2.0)
+    assert c.shape == (32, 32)
+    center = 16
+    assert c[center, center + 5] == pytest.approx(c[center + 5, center])
+    assert c[center, center + 5] == pytest.approx(c[center, center - 5])
+
+
+def test_ctf_2d_validation():
+    with pytest.raises(ValueError):
+        ctf_2d(CTFParams(), 0, 1.0)
+    with pytest.raises(ValueError):
+        ctf_2d(CTFParams(), 16, -1.0)
+
+
+def test_apply_then_phase_flip_restores_phases(phantom16):
+    from repro.fourier import centered_fft2
+
+    img = phantom16.data.sum(axis=0)
+    ft = centered_fft2(img)
+    p = CTFParams(defocus_angstrom=25000.0, bfactor=0.0)
+    damaged = apply_ctf(ft, p, apix=2.0)
+    fixed = phase_flip(damaged, p, apix=2.0)
+    # after flipping, every sample is a non-negative multiple of the truth
+    ratio = fixed / np.where(np.abs(ft) < 1e-12, 1.0, ft)
+    mask = np.abs(ft) > 1e-6 * np.abs(ft).max()
+    assert np.abs(ratio[mask].imag).max() < 1e-8
+    assert ratio[mask].real.min() >= -1e-8
+
+
+def test_phase_flip_is_involution_free_magnitude(phantom16):
+    from repro.fourier import centered_fft2
+
+    img = phantom16.data.sum(axis=0)
+    ft = centered_fft2(img)
+    p = CTFParams()
+    flipped = phase_flip(ft, p, apix=2.0)
+    assert np.allclose(np.abs(flipped), np.abs(ft))
+
+
+def test_wiener_correct_boosts_toward_truth(phantom16):
+    from repro.fourier import centered_fft2
+
+    img = phantom16.data.sum(axis=0)
+    ft = centered_fft2(img)
+    p = CTFParams(defocus_angstrom=15000.0)
+    damaged = apply_ctf(ft, p, apix=2.0)
+    restored = wiener_correct(damaged, p, apix=2.0, snr=100.0)
+    mask = np.abs(ctf_2d(p, 16, 2.0)) > 0.5
+    err_damaged = np.abs(damaged - ft)[mask].mean()
+    err_restored = np.abs(restored - ft)[mask].mean()
+    assert err_restored < err_damaged
+
+
+def test_wiener_rejects_bad_snr(phantom16):
+    from repro.fourier import centered_fft2
+
+    ft = centered_fft2(phantom16.data.sum(axis=0))
+    with pytest.raises(ValueError):
+        wiener_correct(ft, CTFParams(), apix=2.0, snr=0.0)

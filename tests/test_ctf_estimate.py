@@ -1,0 +1,64 @@
+"""Tests for defocus estimation from power spectra."""
+
+import numpy as np
+import pytest
+
+from repro.ctf import CTFParams, estimate_defocus, radial_power_spectrum
+from repro.ctf.estimate import defocus_fit_score
+from repro.imaging import simulate_views
+
+
+@pytest.fixture(scope="module")
+def ctf_dataset():
+    # estimation needs (a) CTF zeros inside the band the specimen actually
+    # fills — sharp blobs put signal out to shell ~25 — and (b) oscillations
+    # slow enough for the 32-shell radial sampling (3000 A at apix 2)
+    from repro.density.map import DensityMap
+    from repro.density.phantom import place_blobs
+    from repro.utils import default_rng
+
+    rng = default_rng(9)
+    positions = rng.uniform(-24, 24, size=(60, 3))
+    density = DensityMap(place_blobs(64, positions, sigma=1.1), apix=2.0)
+    true_df = 3000.0
+    views = simulate_views(
+        density, 12, snr=8.0, ctf=CTFParams(defocus_angstrom=true_df), seed=0
+    )
+    return views, true_df
+
+
+def test_radial_power_spectrum_shape(phantom24):
+    ps = radial_power_spectrum(phantom24.data.sum(axis=0))
+    assert ps.shape == (13,)
+    assert np.all(ps >= 0)
+
+
+def test_estimate_defocus_recovers_truth(ctf_dataset):
+    views, true_df = ctf_dataset
+    est, score = estimate_defocus(views.images, apix=2.0, search_range=(1000.0, 8000.0))
+    assert est == pytest.approx(true_df, rel=0.2)
+    assert score > 0.05
+
+
+def test_score_peaks_near_truth(ctf_dataset):
+    views, true_df = ctf_dataset
+    spectrum = np.zeros(views.size // 2 + 1)
+    for img in views.images:
+        spectrum += radial_power_spectrum(img)
+    s_true = defocus_fit_score(spectrum, true_df, views.size, 2.0, CTFParams())
+    s_far = defocus_fit_score(spectrum, true_df * 2.5, views.size, 2.0, CTFParams())
+    assert s_true > s_far
+
+
+def test_estimate_defocus_validation(ctf_dataset):
+    views, _ = ctf_dataset
+    with pytest.raises(ValueError):
+        estimate_defocus(views.images, apix=2.0, search_range=(5000.0, 1000.0))
+    with pytest.raises(ValueError):
+        estimate_defocus(np.zeros((3, 4)), apix=2.0)
+
+
+def test_single_image_accepted(ctf_dataset):
+    views, _ = ctf_dataset
+    est, _ = estimate_defocus(views.images[0], apix=2.0, search_range=(1000.0, 8000.0), n_grid=60)
+    assert 1000.0 <= est <= 8000.0

@@ -1,0 +1,106 @@
+"""Tests for the DensityMap container."""
+
+import numpy as np
+import pytest
+
+from repro.density import DensityMap
+
+
+def test_construction_validates(rng):
+    with pytest.raises(ValueError):
+        DensityMap(rng.normal(size=(4, 4)))
+    with pytest.raises(ValueError):
+        DensityMap(rng.normal(size=(4, 4, 5)))
+    with pytest.raises(ValueError):
+        DensityMap(rng.normal(size=(4, 4, 4)), apix=0.0)
+
+
+def test_basic_properties(rng):
+    m = DensityMap(rng.normal(size=(8, 8, 8)), apix=1.5)
+    assert m.size == 8
+    assert m.box_angstrom == 12.0
+
+
+def test_fourier_cache_and_invalidate(rng):
+    m = DensityMap(rng.normal(size=(8, 8, 8)))
+    ft1 = m.fourier()
+    assert m.fourier() is ft1
+    m.data[0, 0, 0] += 1.0
+    m.invalidate()
+    ft2 = m.fourier()
+    assert ft2 is not ft1
+    assert not np.allclose(ft1, ft2)
+
+
+def test_from_fourier_roundtrip(rng):
+    m = DensityMap(rng.normal(size=(8, 8, 8)), apix=2.0)
+    back = DensityMap.from_fourier(m.fourier(), apix=2.0)
+    assert np.allclose(back.data, m.data, atol=1e-12)
+    assert back.apix == 2.0
+
+
+def test_fourier_oversampled_matches_continuous_ft(phantom16):
+    # padded transform sampled at even indices equals the unpadded transform
+    ft1 = phantom16.fourier()
+    ft2 = phantom16.fourier_oversampled(2)
+    c1, c2 = 8, 16
+    assert ft2[c2, c2, c2] == pytest.approx(ft1[c1, c1, c1])
+    assert ft2[c2, c2, c2 + 2] == pytest.approx(ft1[c1, c1, c1 + 1], rel=1e-9)
+
+
+def test_fourier_oversampled_cached_and_validated(phantom16):
+    a = phantom16.fourier_oversampled(2)
+    assert phantom16.fourier_oversampled(2) is a
+    with pytest.raises(ValueError):
+        phantom16.fourier_oversampled(0)
+
+
+def test_normalized(rng):
+    m = DensityMap(rng.normal(size=(8, 8, 8)) * 3 + 7)
+    n = m.normalized()
+    assert n.data.mean() == pytest.approx(0.0, abs=1e-12)
+    assert n.data.std() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        DensityMap(np.ones((4, 4, 4))).normalized()
+
+
+def test_low_pass_removes_high_frequencies(phantom16):
+    lp = phantom16.low_pass(resolution_angstrom=8.0)  # keep only r <= 2
+    ft = np.abs(lp.fourier(refresh=True))
+    from repro.fourier import radial_shell_indices_3d
+
+    shells = radial_shell_indices_3d(16)
+    assert ft[shells > 3].max() < 1e-6 * ft.max()
+
+
+def test_radial_mask(phantom16):
+    shell = phantom16.radial_mask(inner=3.0, outer=6.0)
+    c = 8
+    assert shell.data[c, c, c] == 0.0  # center removed
+    assert np.any(shell.data != 0.0)
+
+
+def test_cross_section(phantom16):
+    z = phantom16.cross_section("z")
+    assert z.shape == (16, 16)
+    assert np.allclose(z, phantom16.data[8])
+    x = phantom16.cross_section("x", index=3)
+    assert np.allclose(x, phantom16.data[:, :, 3])
+    with pytest.raises(ValueError):
+        phantom16.cross_section("w")
+    with pytest.raises(IndexError):
+        phantom16.cross_section("z", index=99)
+
+
+def test_correlation(phantom16):
+    assert phantom16.correlation(phantom16) == pytest.approx(1.0)
+    flipped = DensityMap(-phantom16.data, phantom16.apix)
+    assert phantom16.correlation(flipped) == pytest.approx(-1.0)
+    with pytest.raises(ValueError):
+        phantom16.correlation(DensityMap(np.zeros((8, 8, 8))))
+
+
+def test_copy_is_independent(phantom16):
+    c = phantom16.copy()
+    c.data[0, 0, 0] += 5
+    assert phantom16.data[0, 0, 0] != c.data[0, 0, 0]

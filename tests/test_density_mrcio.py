@@ -1,0 +1,90 @@
+"""Tests for the MRC2014 reader/writer."""
+
+import numpy as np
+import pytest
+
+from repro.density import read_mrc, write_mrc
+from repro.density.mrcio import MRC_HEADER_BYTES
+
+
+def test_volume_roundtrip(tmp_path, rng):
+    vol = rng.normal(size=(8, 10, 12)).astype(np.float32)
+    path = str(tmp_path / "v.mrc")
+    write_mrc(path, vol, apix=1.7)
+    data, apix = read_mrc(path)
+    assert data.shape == (8, 10, 12)
+    assert np.allclose(data, vol)
+    assert apix == pytest.approx(1.7, rel=1e-5)
+
+
+def test_image_roundtrip(tmp_path, rng):
+    img = rng.normal(size=(16, 16))
+    path = str(tmp_path / "i.mrc")
+    write_mrc(path, img, apix=2.0)
+    data, apix = read_mrc(path)
+    assert data.shape == (16, 16)
+    assert np.allclose(data, img.astype(np.float32))
+
+
+def test_stack_roundtrip(tmp_path, rng):
+    stack = rng.normal(size=(5, 8, 8))
+    path = str(tmp_path / "s.mrc")
+    write_mrc(path, stack)
+    data, _ = read_mrc(path)
+    assert data.shape == (5, 8, 8)
+
+
+def test_header_fields(tmp_path, rng):
+    vol = rng.normal(size=(4, 4, 4))
+    path = str(tmp_path / "h.mrc")
+    write_mrc(path, vol, apix=1.0)
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    assert len(raw) == MRC_HEADER_BYTES + 4**3 * 4
+    assert raw[208:212] == b"MAP "
+    # mode 2 little-endian at offset 12
+    assert int.from_bytes(raw[12:16], "little") == 2
+
+
+def test_write_rejects_bad_shapes(tmp_path):
+    with pytest.raises(ValueError):
+        write_mrc(str(tmp_path / "x.mrc"), np.zeros(10))
+    with pytest.raises(ValueError):
+        write_mrc(str(tmp_path / "x.mrc"), np.zeros((2, 2, 2, 2)))
+    with pytest.raises(ValueError):
+        write_mrc(str(tmp_path / "x.mrc"), np.zeros((4, 4)), apix=-1)
+
+
+def test_read_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.mrc"
+    path.write_bytes(b"not an mrc file")
+    with pytest.raises(ValueError, match="too short"):
+        read_mrc(str(path))
+
+
+def test_read_rejects_wrong_magic(tmp_path, rng):
+    path = tmp_path / "m.mrc"
+    vol = rng.normal(size=(4, 4, 4))
+    write_mrc(str(path), vol)
+    raw = bytearray(path.read_bytes())
+    raw[208:212] = b"XXXX"
+    path.write_bytes(bytes(raw))
+    with pytest.raises(ValueError, match="magic"):
+        read_mrc(str(path))
+
+
+def test_read_rejects_truncated(tmp_path, rng):
+    path = tmp_path / "t.mrc"
+    write_mrc(str(path), rng.normal(size=(8, 8, 8)))
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - 100])
+    with pytest.raises(ValueError, match="truncated"):
+        read_mrc(str(path))
+
+
+def test_roundtrip_preserves_statistics(tmp_path, phantom16):
+    path = str(tmp_path / "p.mrc")
+    write_mrc(path, phantom16.data, apix=phantom16.apix)
+    data, _ = read_mrc(path)
+    assert data.mean() == pytest.approx(phantom16.data.mean(), abs=1e-6)
+    assert data.std() == pytest.approx(phantom16.data.std(), rel=1e-5)

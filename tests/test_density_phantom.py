@@ -1,0 +1,120 @@
+"""Tests for phantom builders (symmetry properties, determinism)."""
+
+import numpy as np
+import pytest
+
+from repro.density import (
+    asymmetric_phantom,
+    cyclic_phantom,
+    icosahedral_capsid_phantom,
+    reo_like_phantom,
+    sindbis_like_phantom,
+)
+from repro.density.phantom import gaussian_blob, place_blobs, spherical_shell
+from repro.geometry import cyclic_group, icosahedral_group
+from scipy import ndimage
+
+
+def _rotated_correlation(data, rotation):
+    l = data.shape[0]
+    c = l // 2
+    k = np.arange(l) - c
+    zz, yy, xx = np.meshgrid(k, k, k, indexing="ij")
+    pts = np.stack([xx, yy, zz], axis=-1).reshape(-1, 3) @ rotation.T
+    coords = (pts[:, ::-1] + c).T.reshape(3, l, l, l)
+    rot = ndimage.map_coordinates(data, coords, order=1, mode="constant")
+    a = data.ravel() - data.mean()
+    b = rot.ravel() - rot.mean()
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+
+def test_gaussian_blob_peak_location():
+    b = gaussian_blob(16, [3, -2, 1], sigma=1.5)
+    z, y, x = np.unravel_index(np.argmax(b), b.shape)
+    assert (x - 8, y - 8, z - 8) == (3, -2, 1)
+
+
+def test_gaussian_blob_validation():
+    with pytest.raises(ValueError):
+        gaussian_blob(16, [0, 0, 0], sigma=0.0)
+
+
+def test_spherical_shell_profile():
+    s = spherical_shell(32, radius=10.0, thickness=1.5)
+    c = 16
+    assert s[c, c, c + 10] == pytest.approx(1.0, rel=1e-6)
+    assert s[c, c, c] < 0.01
+
+
+def test_spherical_shell_validation():
+    with pytest.raises(ValueError):
+        spherical_shell(16, radius=-1, thickness=1)
+
+
+def test_place_blobs_superposition():
+    a = place_blobs(16, [[2, 0, 0]], sigma=1.0)
+    b = place_blobs(16, [[0, 3, 0]], sigma=1.0)
+    both = place_blobs(16, [[2, 0, 0], [0, 3, 0]], sigma=1.0)
+    assert np.allclose(both, a + b, atol=1e-12)
+
+
+def test_asymmetric_phantom_reproducible():
+    a = asymmetric_phantom(16, seed=4)
+    b = asymmetric_phantom(16, seed=4)
+    assert np.array_equal(a.data, b.data)
+    c = asymmetric_phantom(16, seed=5)
+    assert not np.allclose(a.data, c.data)
+
+
+def test_asymmetric_phantom_has_no_twofold():
+    m = asymmetric_phantom(24, seed=0)
+    from repro.geometry.rotations import axis_angle_to_matrix
+
+    for axis in ([0, 0, 1], [1, 0, 0], [0, 1, 0]):
+        cc = _rotated_correlation(m.data, axis_angle_to_matrix(axis, 180.0))
+        assert cc < 0.9
+
+
+def test_cyclic_phantom_symmetric_under_its_group():
+    m = cyclic_phantom(24, n=4, seed=0)
+    for g in cyclic_group(4).matrices[1:]:
+        assert _rotated_correlation(m.data, g) > 0.98
+
+
+def test_cyclic_phantom_not_higher_symmetry():
+    m = cyclic_phantom(24, n=4, seed=0)
+    from repro.geometry.rotations import axis_angle_to_matrix
+
+    cc = _rotated_correlation(m.data, axis_angle_to_matrix([0, 0, 1], 45.0))
+    assert cc < 0.95
+
+
+def test_icosahedral_phantom_symmetric():
+    m = icosahedral_capsid_phantom(24, seed=0)
+    group = icosahedral_group()
+    for g in group.matrices[1:10]:
+        assert _rotated_correlation(m.data, g) > 0.97
+
+
+def test_icosahedral_phantom_not_spherical():
+    # the subunits must break full rotational symmetry
+    m = icosahedral_capsid_phantom(24, seed=0)
+    from repro.geometry.rotations import axis_angle_to_matrix
+
+    cc = _rotated_correlation(m.data, axis_angle_to_matrix([0, 0, 1], 36.0))
+    assert cc < 0.995
+
+
+def test_named_presets_build_and_differ():
+    s = sindbis_like_phantom(16)
+    r = reo_like_phantom(16)
+    assert s.size == r.size == 16
+    sd = s.normalized().data
+    rd = r.normalized().data
+    assert np.abs(sd - rd).max() > 0.1
+
+
+def test_phantom_density_nonnegative():
+    for m in (sindbis_like_phantom(16), reo_like_phantom(16), asymmetric_phantom(16)):
+        assert m.data.min() >= 0.0
+        assert m.data.max() > 0.0

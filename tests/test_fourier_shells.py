@@ -1,0 +1,113 @@
+"""Tests for shells, masks and FSC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fourier import (
+    fsc_curve,
+    radial_shell_indices_2d,
+    radial_shell_indices_3d,
+    ring_correlation,
+    shell_average,
+    spherical_mask,
+)
+from repro.fourier.shells import circular_mask
+
+
+def test_shell_indices_center_zero():
+    s2 = radial_shell_indices_2d(16)
+    assert s2[8, 8] == 0
+    s3 = radial_shell_indices_3d(8)
+    assert s3[4, 4, 4] == 0
+
+
+def test_shell_indices_values():
+    s = radial_shell_indices_2d(16)
+    assert s[8, 9] == 1
+    assert s[8, 12] == 4
+    assert s[9, 9] == 1  # rounds sqrt(2) to 1
+
+
+@given(size=st.integers(min_value=4, max_value=40))
+@settings(max_examples=20)
+def test_shells_partition_all_pixels(size):
+    s = radial_shell_indices_2d(size)
+    assert s.min() == 0
+    assert s.max() <= int(np.ceil(np.sqrt(2) * size / 2)) + 1
+
+
+def test_masks_monotone_in_radius():
+    small = spherical_mask(16, 3.0)
+    large = spherical_mask(16, 6.0)
+    assert small.sum() < large.sum()
+    assert np.all(large[small])
+
+
+def test_circular_mask_counts():
+    m = circular_mask(32, 5.0)
+    assert abs(m.sum() - np.pi * 25) / (np.pi * 25) < 0.15
+
+
+def test_shell_average_constant_field():
+    x = np.full((16, 16), 3.0)
+    avg = shell_average(x)
+    assert np.allclose(avg, 3.0)
+
+
+def test_shell_average_radial_field():
+    s = radial_shell_indices_2d(32).astype(float)
+    avg = shell_average(s)
+    assert np.allclose(avg, np.arange(len(avg)), atol=1e-9)
+
+
+def test_shell_average_3d_and_complex(rng):
+    x = rng.normal(size=(8, 8, 8)) + 1j * rng.normal(size=(8, 8, 8))
+    avg = shell_average(x)
+    assert np.iscomplexobj(avg)
+    assert len(avg) == 5
+
+
+def test_shell_average_rejects_1d():
+    with pytest.raises(ValueError):
+        shell_average(np.zeros(8))
+
+
+def test_fsc_identical_maps_is_one(phantom16):
+    fsc = fsc_curve(phantom16.data, phantom16.data)
+    assert np.allclose(fsc, 1.0, atol=1e-9)
+
+
+def test_fsc_independent_noise_near_zero(rng):
+    a = rng.normal(size=(16, 16, 16))
+    b = rng.normal(size=(16, 16, 16))
+    fsc = fsc_curve(a, b)
+    assert np.abs(fsc[2:]).mean() < 0.3
+
+
+def test_fsc_degrades_with_noise(phantom16, rng):
+    clean = phantom16.data
+    noisy = clean + 2.0 * clean.std() * rng.normal(size=clean.shape)
+    fsc = fsc_curve(clean, noisy)
+    assert fsc[1] > 0.5
+    assert fsc[1] > fsc[7]
+
+
+def test_fsc_scale_invariant(phantom16):
+    fsc = fsc_curve(phantom16.data, 7.5 * phantom16.data)
+    # shell 0 is the DC term, which is ~0 for a normalized (zero-mean) map
+    # and therefore numerically unstable; the physical shells must all be 1
+    assert np.allclose(fsc[1:], 1.0, atol=1e-9)
+
+
+def test_fsc_shape_mismatch():
+    with pytest.raises(ValueError):
+        fsc_curve(np.zeros((8, 8, 8)), np.zeros((16, 16, 16)))
+
+
+def test_ring_correlation_2d(phantom16, rng):
+    img = phantom16.data.sum(axis=0)
+    frc = ring_correlation(img, img + 0.1 * img.std() * rng.normal(size=img.shape))
+    assert frc[1] > 0.9
+    frc_self = ring_correlation(img, img)
+    assert np.allclose(frc_self, 1.0, atol=1e-9)

@@ -1,0 +1,133 @@
+"""Tests for central-slice extraction (the projection-slice theorem)."""
+
+import numpy as np
+import pytest
+
+from repro.fourier import centered_fftn, extract_slice, extract_slices, slice_coordinates
+from repro.geometry import Orientation, euler_to_matrix
+
+
+def _cc(a, b):
+    a = a - a.mean()
+    b = b - b.mean()
+    return float(np.real(np.vdot(a, b)) / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-30))
+
+
+def test_identity_slice_equals_axis_projection(phantom16):
+    ft = centered_fftn(phantom16.data)
+    cut = extract_slice(ft, np.eye(3))
+    proj = phantom16.data.sum(axis=0)
+    expected = np.fft.fftshift(np.fft.fft2(np.fft.ifftshift(proj)))
+    assert np.allclose(cut, expected, atol=1e-8 * np.abs(expected).max())
+
+
+def test_view_along_x_slice_indexing(phantom16):
+    # R(90, 0, 0) maps x->-z, y->y: slice pixel (i, j) with frequencies
+    # (ky, kx) = (i-c, j-c) must sample V[c-kx (z), c+ky (y), c (x)] exactly
+    ft = centered_fftn(phantom16.data)
+    cut = extract_slice(ft, Orientation(90, 0, 0).matrix())
+    c = 8
+    for i, j in [(8, 8), (8, 10), (11, 8), (5, 3), (2, 13)]:
+        ky, kx = i - c, j - c
+        if not (0 <= c - kx < 16):
+            continue
+        assert cut[i, j] == pytest.approx(ft[c - kx, c + ky, c], rel=1e-9, abs=1e-9)
+
+
+def test_view_along_y_slice_indexing(phantom16):
+    # R(90, 90, 0) maps x->-z, y->-x... derive from the matrix directly and
+    # verify the gather agrees with explicit coordinate computation
+    ft = centered_fftn(phantom16.data)
+    r = Orientation(90, 90, 0).matrix()
+    cut = extract_slice(ft, r)
+    c = 8
+    for i, j in [(8, 8), (9, 8), (8, 11), (4, 6)]:
+        ky, kx = i - c, j - c
+        k_xyz = kx * r[:, 0] + ky * r[:, 1]
+        idx = np.rint(k_xyz[::-1] + c).astype(int)
+        if np.any(idx < 0) or np.any(idx >= 16):
+            continue
+        assert cut[i, j] == pytest.approx(ft[tuple(idx)], rel=1e-9, abs=1e-9)
+
+
+def test_rotated_slice_matches_real_projection(phantom24):
+    from repro.imaging import real_project
+    from repro.fourier.transforms import centered_ifft2
+
+    r = euler_to_matrix(35.0, 60.0, 20.0)
+    cut = extract_slice(phantom24.fourier_oversampled(2), r, out_size=24)
+    proj_f = centered_ifft2(cut).real
+    proj_r = real_project(phantom24.data, r)
+    assert _cc(proj_f, proj_r) > 0.98
+
+
+def test_oversampling_reduces_error(phantom24):
+    from repro.imaging import real_project
+
+    r = euler_to_matrix(50.0, 10.0, 70.0)
+    ref = np.fft.fftshift(np.fft.fft2(np.fft.ifftshift(real_project(phantom24.data, r))))
+    err1 = np.abs(extract_slice(phantom24.fourier(), r) - ref).sum()
+    err2 = np.abs(extract_slice(phantom24.fourier_oversampled(2), r, out_size=24) - ref).sum()
+    assert err2 < err1
+
+
+def test_extract_slices_batch_matches_single(phantom16):
+    ft = phantom16.fourier()
+    rots = np.stack([euler_to_matrix(a, 2 * a, 3 * a) for a in (10.0, 40.0, 110.0)])
+    batch = extract_slices(ft, rots)
+    for i, r in enumerate(rots):
+        assert np.allclose(batch[i], extract_slice(ft, r))
+
+
+def test_extract_slices_batch_oversampled(phantom16):
+    ft = phantom16.fourier_oversampled(2)
+    rots = np.stack([euler_to_matrix(25.0, 35.0, 45.0)])
+    batch = extract_slices(ft, rots, out_size=16)
+    single = extract_slice(ft, rots[0], out_size=16)
+    assert np.allclose(batch[0], single)
+
+
+def test_nearest_interpolation_exact_on_axis(phantom16):
+    ft = phantom16.fourier()
+    cut = extract_slice(ft, np.eye(3), order="nearest")
+    cut_tri = extract_slice(ft, np.eye(3), order="trilinear")
+    assert np.allclose(cut, cut_tri, atol=1e-9 * np.abs(cut).max())
+
+
+def test_slice_dc_is_total_mass(phantom16):
+    ft = phantom16.fourier()
+    for r in (np.eye(3), euler_to_matrix(33.0, 44.0, 55.0)):
+        cut = extract_slice(ft, r)
+        assert cut[8, 8] == pytest.approx(phantom16.data.sum(), rel=1e-6)
+
+
+def test_slice_coordinates_shape_and_center():
+    coords = slice_coordinates(16, np.eye(3))
+    assert coords.shape == (16, 16, 3)
+    assert np.allclose(coords[8, 8], [8, 8, 8])  # DC at the volume center
+
+
+def test_slice_coordinates_oversampled_center():
+    coords = slice_coordinates(16, np.eye(3), volume_size=32)
+    assert np.allclose(coords[8, 8], [16, 16, 16])
+    # one image-frequency step = two padded voxels
+    assert np.allclose(coords[8, 9] - coords[8, 8], [0, 0, 2])
+
+
+def test_invalid_inputs():
+    with pytest.raises(ValueError):
+        slice_coordinates(16, np.eye(4))
+    with pytest.raises(ValueError):
+        slice_coordinates(16, np.eye(3), volume_size=8)
+    with pytest.raises(ValueError):
+        extract_slice(np.zeros((4, 4, 4), dtype=complex), np.eye(3), order="quintic")
+    with pytest.raises(ValueError):
+        extract_slices(np.zeros((4, 4, 4), dtype=complex), np.eye(3))  # missing stack dim
+
+
+def test_out_of_band_samples_are_zero(phantom16):
+    # corners of the slice lie outside the inscribed sphere but inside the
+    # cube only along some directions; rotating 45 deg pushes corners out
+    ft = phantom16.fourier()
+    cut = extract_slice(ft, euler_to_matrix(0.0, 0.0, 45.0))
+    assert cut[0, 0] == 0.0  # corner rotated out of the cube

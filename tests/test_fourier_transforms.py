@@ -1,0 +1,83 @@
+"""Tests for centered FFT conventions."""
+
+import numpy as np
+import pytest
+
+from repro.fourier import (
+    centered_fft2,
+    centered_fftn,
+    centered_ifft2,
+    centered_ifftn,
+    fourier_center,
+    frequency_grid_2d,
+    frequency_grid_3d,
+)
+from repro.fourier.transforms import centered_fft1, centered_ifft1
+
+
+def test_fourier_center():
+    assert fourier_center(32) == 16
+    assert fourier_center(33) == 16
+    with pytest.raises(ValueError):
+        fourier_center(0)
+
+
+def test_roundtrip_3d(rng):
+    x = rng.normal(size=(12, 12, 12))
+    assert np.allclose(centered_ifftn(centered_fftn(x)).real, x, atol=1e-12)
+
+
+def test_roundtrip_2d(rng):
+    x = rng.normal(size=(16, 16))
+    assert np.allclose(centered_ifft2(centered_fft2(x)).real, x, atol=1e-12)
+
+
+def test_roundtrip_1d(rng):
+    x = rng.normal(size=32)
+    assert np.allclose(centered_ifft1(centered_fft1(x)).real, x, atol=1e-12)
+
+
+def test_dc_at_center(rng):
+    x = rng.normal(size=(16, 16)) + 5.0
+    ft = centered_fft2(x)
+    c = fourier_center(16)
+    assert ft[c, c] == pytest.approx(x.sum())
+
+
+def test_dc_at_center_3d(rng):
+    x = rng.normal(size=(8, 8, 8))
+    ft = centered_fftn(x)
+    c = fourier_center(8)
+    assert ft[c, c, c] == pytest.approx(x.sum())
+
+
+def test_real_input_hermitian_symmetry(rng):
+    x = rng.normal(size=(16, 16))
+    ft = centered_fft2(x)
+    c = fourier_center(16)
+    # F(-k) = conj F(k) about the center (skip the unpaired Nyquist row/col)
+    for ky in range(-5, 6):
+        for kx in range(-5, 6):
+            assert ft[c + ky, c + kx] == pytest.approx(np.conj(ft[c - ky, c - kx]), rel=1e-9, abs=1e-9)
+
+
+def test_centered_fft2_batched(rng):
+    stack = rng.normal(size=(3, 8, 8))
+    batched = centered_fft2(stack)
+    for i in range(3):
+        assert np.allclose(batched[i], centered_fft2(stack[i]))
+
+
+def test_frequency_grids():
+    ky, kx = frequency_grid_2d(8)
+    assert ky.shape == (8, 8)
+    assert ky[4, 0] == 0 and kx[0, 4] == 0
+    assert ky.min() == -4 and ky.max() == 3
+    kz, ky3, kx3 = frequency_grid_3d(6)
+    assert kz[3, 0, 0] == 0 and ky3[0, 3, 0] == 0 and kx3[0, 0, 3] == 0
+
+
+def test_parseval_2d(rng):
+    x = rng.normal(size=(16, 16))
+    ft = centered_fft2(x)
+    assert np.sum(np.abs(ft) ** 2) / 16**2 == pytest.approx(np.sum(x**2))

@@ -1,0 +1,123 @@
+"""Tests for Euler angles and the Orientation record."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    Orientation,
+    angular_distance_deg,
+    euler_to_matrix,
+    in_plane_distance_deg,
+    matrix_to_euler,
+    orientation_distance_deg,
+    random_orientations,
+)
+from repro.geometry.rotations import is_rotation_matrix
+
+angles = st.floats(min_value=-360.0, max_value=720.0, allow_nan=False)
+theta_interior = st.floats(min_value=1.0, max_value=179.0)
+
+
+def test_identity_orientation():
+    assert np.allclose(euler_to_matrix(0, 0, 0), np.eye(3))
+
+
+def test_view_direction_matches_figure_1a():
+    # Figure 1a: (theta, phi) of Z = (0,0), X = (90,0), Y = (90,90)
+    assert np.allclose(Orientation(0, 0, 0).view_direction(), [0, 0, 1], atol=1e-12)
+    assert np.allclose(Orientation(90, 0, 0).view_direction(), [1, 0, 0], atol=1e-12)
+    assert np.allclose(Orientation(90, 90, 0).view_direction(), [0, 1, 0], atol=1e-12)
+
+
+@given(theta=angles, phi=angles, omega=angles)
+@settings(max_examples=100)
+def test_euler_matrices_are_rotations(theta, phi, omega):
+    assert is_rotation_matrix(euler_to_matrix(theta, phi, omega))
+
+
+@given(theta=theta_interior, phi=angles, omega=angles)
+@settings(max_examples=100)
+def test_euler_roundtrip_away_from_poles(theta, phi, omega):
+    m = euler_to_matrix(theta, phi, omega)
+    t2, p2, o2 = matrix_to_euler(m)
+    assert np.allclose(euler_to_matrix(t2, p2, o2), m, atol=1e-9)
+
+
+@pytest.mark.parametrize("theta", [0.0, 180.0])
+def test_euler_roundtrip_at_poles(theta):
+    m = euler_to_matrix(theta, 33.0, 21.0)
+    t2, p2, o2 = matrix_to_euler(m)
+    assert np.allclose(euler_to_matrix(t2, p2, o2), m, atol=1e-9)
+
+
+def test_euler_broadcasting():
+    thetas = np.array([10.0, 20.0, 30.0])
+    out = euler_to_matrix(thetas, 5.0, 7.0)
+    assert out.shape == (3, 3, 3)
+    assert np.allclose(out[1], euler_to_matrix(20.0, 5.0, 7.0))
+
+
+def test_matrix_to_euler_rejects_bad_shape():
+    with pytest.raises(ValueError):
+        matrix_to_euler(np.eye(4))
+
+
+def test_omega_only_affects_in_plane():
+    a = Orientation(40, 50, 0)
+    b = Orientation(40, 50, 120)
+    assert angular_distance_deg(a, b) == pytest.approx(0.0, abs=1e-5)
+    assert in_plane_distance_deg(a, b) == pytest.approx(120.0)
+    assert orientation_distance_deg(a, b) == pytest.approx(120.0, abs=1e-5)
+
+
+def test_in_plane_distance_wraps():
+    a = Orientation(10, 10, 350)
+    b = Orientation(10, 10, 10)
+    assert in_plane_distance_deg(a, b) == pytest.approx(20.0)
+
+
+def test_orientation_distance_symmetry():
+    a, b = Orientation(10, 20, 30), Orientation(50, 60, 70)
+    assert orientation_distance_deg(a, b) == pytest.approx(orientation_distance_deg(b, a))
+
+
+def test_orientation_distance_zero_iff_same():
+    a = Orientation(33, 44, 55)
+    assert orientation_distance_deg(a, a) == pytest.approx(0.0, abs=1e-9)
+
+
+def test_random_orientations_deterministic_and_distinct():
+    a = random_orientations(5, seed=3)
+    b = random_orientations(5, seed=3)
+    assert [o.as_tuple() for o in a] == [o.as_tuple() for o in b]
+    assert len({o.as_tuple() for o in a}) == 5
+
+
+def test_random_orientations_theta_range():
+    orients = random_orientations(100, seed=0, theta_range=(30.0, 60.0))
+    assert all(30.0 <= o.theta <= 60.0 for o in orients)
+
+
+def test_random_orientations_negative_raises():
+    with pytest.raises(ValueError):
+        random_orientations(-1)
+
+
+def test_orientation_with_helpers():
+    o = Orientation(1, 2, 3, 0.5, -0.5)
+    assert o.with_angles(9, 8, 7).as_tuple() == (9, 8, 7, 0.5, -0.5)
+    assert o.with_center(1.5, 2.5).as_tuple() == (1, 2, 3, 1.5, 2.5)
+
+
+def test_orientation_from_matrix_roundtrip(some_orientation):
+    rebuilt = Orientation.from_matrix(some_orientation.matrix())
+    assert np.allclose(rebuilt.matrix(), some_orientation.matrix(), atol=1e-9)
+
+
+def test_random_orientations_cover_sphere_roughly():
+    orients = random_orientations(400, seed=9)
+    zs = np.array([o.view_direction()[2] for o in orients])
+    # cos(theta) uniform: mean near 0, spread near 1/sqrt(3)
+    assert abs(zs.mean()) < 0.12
+    assert 0.45 < zs.std() < 0.70

@@ -1,0 +1,86 @@
+"""Tests for rotation utilities: axis-angle, quaternions, checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    axis_angle_to_matrix,
+    is_rotation_matrix,
+    matrix_to_axis_angle,
+    matrix_to_quaternion,
+    quaternion_to_matrix,
+    rotation_angle_deg,
+    rotation_between,
+)
+
+unit_angles = st.floats(min_value=0.5, max_value=179.5)
+components = st.floats(min_value=-1.0, max_value=1.0)
+
+
+def test_axis_angle_basic():
+    m = axis_angle_to_matrix([0, 0, 1], 90.0)
+    assert np.allclose(m @ [1, 0, 0], [0, 1, 0], atol=1e-12)
+
+
+def test_axis_angle_zero_axis_raises():
+    with pytest.raises(ValueError):
+        axis_angle_to_matrix([0, 0, 0], 10.0)
+
+
+@given(ax=components, ay=components, az=components, angle=unit_angles)
+@settings(max_examples=100)
+def test_axis_angle_roundtrip(ax, ay, az, angle):
+    axis = np.array([ax, ay, az])
+    if np.linalg.norm(axis) < 1e-3:
+        axis = np.array([0.0, 0.0, 1.0])
+    m = axis_angle_to_matrix(axis, angle)
+    axis2, angle2 = matrix_to_axis_angle(m)
+    assert np.allclose(axis_angle_to_matrix(axis2, angle2), m, atol=1e-8)
+
+
+def test_axis_angle_identity():
+    axis, angle = matrix_to_axis_angle(np.eye(3))
+    assert angle == 0.0
+
+
+def test_axis_angle_180_degrees():
+    for axis in ([1, 0, 0], [0, 1, 0], [0, 0, 1], [1, 1, 0], [1, 1, 1]):
+        m = axis_angle_to_matrix(axis, 180.0)
+        axis2, angle2 = matrix_to_axis_angle(m)
+        assert angle2 == pytest.approx(180.0)
+        assert np.allclose(axis_angle_to_matrix(axis2, 180.0), m, atol=1e-6)
+
+
+@given(ax=components, ay=components, az=components, angle=unit_angles)
+@settings(max_examples=100)
+def test_quaternion_roundtrip(ax, ay, az, angle):
+    axis = np.array([ax, ay, az])
+    if np.linalg.norm(axis) < 1e-3:
+        axis = np.array([1.0, 0.0, 0.0])
+    m = axis_angle_to_matrix(axis, angle)
+    q = matrix_to_quaternion(m)
+    assert q[0] >= 0
+    assert np.allclose(quaternion_to_matrix(q), m, atol=1e-9)
+
+
+def test_quaternion_bad_inputs():
+    with pytest.raises(ValueError):
+        quaternion_to_matrix(np.zeros(4))
+    with pytest.raises(ValueError):
+        quaternion_to_matrix(np.ones(3))
+
+
+def test_is_rotation_matrix_rejects():
+    assert not is_rotation_matrix(np.eye(4))
+    assert not is_rotation_matrix(2 * np.eye(3))
+    reflect = np.diag([1.0, 1.0, -1.0])
+    assert not is_rotation_matrix(reflect)
+    assert is_rotation_matrix(np.eye(3))
+
+
+def test_rotation_angle_and_between():
+    a = axis_angle_to_matrix([0, 0, 1], 30.0)
+    b = axis_angle_to_matrix([0, 0, 1], 75.0)
+    assert rotation_angle_deg(a) == pytest.approx(30.0)
+    assert rotation_between(a, b) == pytest.approx(45.0)

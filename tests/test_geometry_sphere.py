@@ -1,0 +1,88 @@
+"""Tests for sphere sampling and the Figure 1b / §3 counting functions."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    count_orientations,
+    fibonacci_sphere,
+    search_space_cardinality,
+    view_directions_grid,
+)
+from repro.geometry.sphere import icosahedral_asymmetric_unit_views
+
+
+def test_fibonacci_sphere_unit_norm():
+    pts = fibonacci_sphere(128)
+    assert pts.shape == (128, 3)
+    assert np.allclose(np.linalg.norm(pts, axis=1), 1.0)
+
+
+def test_fibonacci_sphere_roughly_uniform():
+    pts = fibonacci_sphere(2000)
+    assert abs(pts[:, 2].mean()) < 0.01
+    # octant occupancy within 25% of uniform
+    octant = ((pts[:, 0] > 0) & (pts[:, 1] > 0) & (pts[:, 2] > 0)).mean()
+    assert 0.09 < octant < 0.16
+
+
+def test_fibonacci_sphere_invalid():
+    with pytest.raises(ValueError):
+        fibonacci_sphere(0)
+
+
+def test_view_directions_grid_has_sin_correction():
+    views = view_directions_grid(10.0)
+    thetas = np.array([t for t, _ in views])
+    # near the pole, far fewer phi samples than at the equator
+    n_pole = np.sum(np.isclose(thetas, 10.0))
+    n_equator = np.sum(np.isclose(thetas, 90.0))
+    assert n_equator > 3 * n_pole
+
+
+def test_view_directions_grid_counts_scale_quadratically():
+    n3 = len(view_directions_grid(3.0))
+    n6 = len(view_directions_grid(6.0))
+    assert 2.5 < n3 / n6 < 5.5
+
+
+def test_view_directions_grid_invalid():
+    with pytest.raises(ValueError):
+        view_directions_grid(0.0)
+    with pytest.raises(ValueError):
+        view_directions_grid(3.0, theta_range=(90.0, 10.0))
+
+
+def test_search_space_cardinality_paper_example():
+    # §3: at 0.1 deg over 180 deg per angle, |P| = 1800^3
+    assert search_space_cardinality(0.1) == 1800**3
+
+
+def test_search_space_cardinality_monotone():
+    assert search_space_cardinality(0.1) > search_space_cardinality(1.0)
+
+
+def test_icosahedral_asymmetric_unit_figure_1b():
+    # Figure 1b: about 5x10 views at 3 degrees (paper text: ~51)
+    views = icosahedral_asymmetric_unit_views(3.0)
+    assert 30 <= len(views) <= 80
+    # all within the asymmetric unit bounds
+    for theta, phi in views:
+        assert 69.0 <= theta <= 90.0 + 1e-9
+        assert abs(phi) <= 31.8
+
+
+def test_asymmetric_vs_icosahedral_many_orders_of_magnitude():
+    # §3: the asymmetric search at 0.1 deg dwarfs the icosahedral one.  The
+    # paper quotes ~4000 icosahedral views (six orders); our area-exact
+    # asymmetric-unit sampler yields ~66k directions, still 4-5 orders
+    # below the 5.8e9 brute-force cardinality.
+    icos = len(icosahedral_asymmetric_unit_views(0.1))
+    asym = search_space_cardinality(0.1)
+    assert 1e4 < asym / icos < 1e8
+
+
+def test_count_orientations_with_omega():
+    with_omega = count_orientations(10.0)
+    directions_only = count_orientations(10.0, omega_range=None)
+    assert with_omega == directions_only * 36

@@ -1,0 +1,136 @@
+"""Tests for point-group construction, classification and reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    Orientation,
+    cyclic_group,
+    dihedral_group,
+    icosahedral_group,
+    identify_point_group,
+    octahedral_group,
+    reduce_to_asymmetric_unit,
+    tetrahedral_group,
+)
+from repro.geometry.rotations import is_rotation_matrix, rotation_angle_deg
+from repro.geometry.symmetry import SymmetryGroup, close_group
+
+
+@pytest.mark.parametrize(
+    "group,order",
+    [
+        (cyclic_group(1), 1),
+        (cyclic_group(5), 5),
+        (dihedral_group(3), 6),
+        (tetrahedral_group(), 12),
+        (octahedral_group(), 24),
+        (icosahedral_group(), 60),
+    ],
+)
+def test_group_orders(group, order):
+    assert group.order == order
+    assert len(group) == order
+
+
+@pytest.mark.parametrize(
+    "group",
+    [cyclic_group(4), dihedral_group(5), tetrahedral_group(), octahedral_group(), icosahedral_group()],
+)
+def test_groups_closed_under_multiplication(group):
+    mats = group.matrices
+    for a in mats[:6]:
+        for b in mats[:6]:
+            assert group.contains(a @ b, tol_deg=0.01)
+
+
+@pytest.mark.parametrize(
+    "group", [cyclic_group(3), dihedral_group(4), tetrahedral_group(), icosahedral_group()]
+)
+def test_groups_contain_inverses_and_identity(group):
+    assert group.contains(np.eye(3), tol_deg=1e-6)
+    for m in group.matrices[:8]:
+        assert group.contains(m.T, tol_deg=0.01)
+
+
+def test_all_elements_are_rotations():
+    for g in icosahedral_group().matrices:
+        assert is_rotation_matrix(g, tol=1e-8)
+
+
+def test_icosahedral_axis_census():
+    hist = icosahedral_group().axis_orders()
+    assert hist == {2: 15, 3: 10, 5: 6}
+
+
+def test_octahedral_axis_census():
+    hist = octahedral_group().axis_orders()
+    assert hist == {2: 6, 3: 4, 4: 3}
+
+
+@pytest.mark.parametrize(
+    "group,name",
+    [
+        (cyclic_group(1), "C1"),
+        (cyclic_group(7), "C7"),
+        (dihedral_group(2), "D2"),
+        (dihedral_group(6), "D6"),
+        (tetrahedral_group(), "T"),
+        (octahedral_group(), "O"),
+        (icosahedral_group(), "I"),
+    ],
+)
+def test_identify_point_group(group, name):
+    assert identify_point_group(group.matrices) == name
+
+
+def test_close_group_guard():
+    # an irrational-angle generator never closes: the guard must fire
+    from repro.geometry.rotations import axis_angle_to_matrix
+
+    with pytest.raises(ValueError):
+        close_group([axis_angle_to_matrix([0, 0, 1], 360.0 * np.sqrt(2) / 7)], max_order=24)
+
+
+def test_symmetry_group_shape_validation():
+    with pytest.raises(ValueError):
+        SymmetryGroup("bad", np.eye(3))  # missing stack dimension
+
+
+@given(theta=st.floats(5, 175), phi=st.floats(0, 359), omega=st.floats(0, 359))
+@settings(max_examples=25, deadline=None)
+def test_reduce_to_asymmetric_unit_is_equivalent(theta, phi, omega):
+    group = icosahedral_group()
+    o = Orientation(theta, phi, omega)
+    reduced = reduce_to_asymmetric_unit(o, group)
+    # reduced must be g·R for some group element: R_red · R^-1 in group
+    rel = reduced.matrix() @ o.matrix().T
+    assert group.contains(rel, tol_deg=0.01)
+
+
+def test_reduce_to_asymmetric_unit_idempotent():
+    group = icosahedral_group()
+    o = Orientation(77.0, 33.0, 10.0)
+    once = reduce_to_asymmetric_unit(o, group)
+    twice = reduce_to_asymmetric_unit(once, group)
+    assert np.allclose(once.matrix(), twice.matrix(), atol=1e-9)
+
+
+def test_reduce_same_class_to_same_representative():
+    group = icosahedral_group()
+    o = Orientation(50.0, 120.0, 40.0)
+    g = group.matrices[17]
+    other = Orientation.from_matrix(g @ o.matrix())
+    a = reduce_to_asymmetric_unit(o, group)
+    b = reduce_to_asymmetric_unit(other, group)
+    assert np.allclose(a.matrix(), b.matrix(), atol=1e-7)
+
+
+def test_contains_tolerance():
+    group = cyclic_group(4)
+    from repro.geometry.rotations import axis_angle_to_matrix
+
+    near = axis_angle_to_matrix([0, 0, 1], 90.3)
+    assert group.contains(near, tol_deg=0.5)
+    assert not group.contains(near, tol_deg=0.1)

@@ -1,0 +1,86 @@
+"""Tests for center/shift handling (phase ramps, CoM, cross-correlation)."""
+
+import numpy as np
+import pytest
+
+from repro.fourier import centered_fft2
+from repro.imaging import (
+    center_of_mass_shift,
+    cross_correlation_shift,
+    phase_shift_ft,
+    shift_image,
+)
+from repro.density.phantom import gaussian_blob
+
+
+def _blob_image(cx=0.0, cy=0.0, size=32, sigma=2.0):
+    vol = gaussian_blob(size, [cx, cy, 0.0], sigma)
+    return vol[size // 2]
+
+
+def test_shift_image_moves_peak():
+    img = _blob_image()
+    shifted = shift_image(img, 3.0, -2.0)
+    y, x = np.unravel_index(np.argmax(shifted), shifted.shape)
+    assert (x - 16, y - 16) == (3, -2)
+
+
+def test_shift_image_subpixel_exact_roundtrip():
+    # use a band-limited image: taking .real after a subpixel shift loses
+    # the asymmetric Nyquist component of white noise, which would break
+    # exactness for reasons unrelated to the shift itself
+    img = _blob_image(cx=1.0, cy=-2.0)
+    out = shift_image(shift_image(img, 0.37, -1.21), -0.37, 1.21)
+    assert np.allclose(out, img, atol=1e-9)
+
+
+def test_phase_shift_ft_equals_real_shift(rng):
+    img = rng.normal(size=(16, 16))
+    from repro.fourier import centered_ifft2
+
+    via_ft = centered_ifft2(phase_shift_ft(centered_fft2(img), 2.0, 5.0)).real
+    direct = shift_image(img, 2.0, 5.0)
+    assert np.allclose(via_ft, direct, atol=1e-10)
+
+
+def test_phase_shift_zero_is_identity(rng):
+    ft = centered_fft2(rng.normal(size=(8, 8)))
+    assert np.allclose(phase_shift_ft(ft, 0.0, 0.0), ft)
+
+
+def test_phase_shift_composes(rng):
+    ft = centered_fft2(rng.normal(size=(8, 8)))
+    a = phase_shift_ft(phase_shift_ft(ft, 1.0, 2.0), 3.0, -1.0)
+    b = phase_shift_ft(ft, 4.0, 1.0)
+    assert np.allclose(a, b, atol=1e-10)
+
+
+def test_center_of_mass_shift_detects_offset():
+    img = _blob_image(cx=4.0, cy=-3.0)
+    cx, cy = center_of_mass_shift(img)
+    assert cx == pytest.approx(4.0, abs=0.1)
+    assert cy == pytest.approx(-3.0, abs=0.1)
+
+
+def test_center_of_mass_zero_image():
+    assert center_of_mass_shift(np.zeros((8, 8))) == (0.0, 0.0)
+
+
+def test_cross_correlation_shift_integer():
+    ref = _blob_image()
+    moved = shift_image(ref, 3.0, -2.0)
+    dx, dy = cross_correlation_shift(moved, ref)
+    assert (dx, dy) == pytest.approx((-3.0, 2.0), abs=0.5)
+
+
+def test_cross_correlation_shift_subpixel():
+    ref = _blob_image()
+    moved = shift_image(ref, 1.4, -0.6)
+    dx, dy = cross_correlation_shift(moved, ref, upsample=4)
+    assert dx == pytest.approx(-1.4, abs=0.25)
+    assert dy == pytest.approx(0.6, abs=0.25)
+
+
+def test_cross_correlation_shift_shape_mismatch():
+    with pytest.raises(ValueError):
+        cross_correlation_shift(np.zeros((8, 8)), np.zeros((16, 16)))

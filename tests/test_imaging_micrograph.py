@@ -1,0 +1,77 @@
+"""Tests for micrograph synthesis and particle picking (Step A substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import (
+    extract_particles,
+    pick_particles,
+    synthesize_micrograph,
+)
+
+
+def test_synthesize_micrograph_basic(phantom16):
+    mg = synthesize_micrograph(phantom16, shape=(128, 128), n_particles=6, snr=2.0, seed=0)
+    assert mg.image.shape == (128, 128)
+    assert len(mg.true_positions) == 6
+    assert len(mg.true_orientations) == 6
+    assert mg.box_size == 16
+
+
+def test_particles_respect_separation(phantom16):
+    mg = synthesize_micrograph(phantom16, shape=(160, 160), n_particles=8, seed=1)
+    pos = mg.true_positions
+    for i in range(len(pos)):
+        for j in range(i + 1, len(pos)):
+            d = np.hypot(pos[i][0] - pos[j][0], pos[i][1] - pos[j][1])
+            assert d >= 16.0 - 1e-9
+
+
+def test_synthesize_raises_when_too_crowded(phantom16):
+    with pytest.raises(ValueError):
+        synthesize_micrograph(phantom16, shape=(40, 40), n_particles=50, seed=0)
+
+
+def test_synthesize_too_small_field(phantom16):
+    with pytest.raises(ValueError):
+        synthesize_micrograph(phantom16, shape=(10, 10), n_particles=1)
+
+
+def test_pick_particles_recall(phantom16):
+    mg = synthesize_micrograph(phantom16, shape=(160, 160), n_particles=6, snr=3.0, seed=2)
+    picks = pick_particles(mg.image, box_size=16, n_expected=6)
+    assert len(picks) == 6
+    hits = 0
+    for r, c in mg.true_positions:
+        best = min(np.hypot(r - pr, c - pc) for pr, pc in picks)
+        if best <= 4.0:
+            hits += 1
+    assert hits >= 5  # at least 5/6 recovered within 4 px
+
+
+def test_extract_particles_shapes(phantom16):
+    mg = synthesize_micrograph(phantom16, shape=(128, 128), n_particles=4, seed=3)
+    stack = extract_particles(mg.image, mg.true_positions, box_size=16)
+    assert stack.shape == (4, 16, 16)
+
+
+def test_extract_particles_content_matches(phantom16):
+    mg = synthesize_micrograph(phantom16, shape=(128, 128), n_particles=1, snr=np.inf, seed=4)
+    stack = extract_particles(mg.image, mg.true_positions, box_size=16)
+    from repro.imaging import project_map
+
+    expected = project_map(phantom16, mg.true_orientations[0], method="real")
+    assert np.allclose(stack[0], expected, atol=1e-9)
+
+
+def test_extract_particles_edge_rejected(phantom16):
+    img = np.zeros((64, 64))
+    with pytest.raises(ValueError):
+        extract_particles(img, [(2, 30)], box_size=16)
+
+
+def test_micrograph_deterministic(phantom16):
+    a = synthesize_micrograph(phantom16, n_particles=3, seed=9)
+    b = synthesize_micrograph(phantom16, n_particles=3, seed=9)
+    assert np.array_equal(a.image, b.image)
+    assert a.true_positions == b.true_positions

@@ -1,0 +1,46 @@
+"""Tests for noise injection and SNR estimation."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import add_noise, estimate_snr
+
+
+def test_add_noise_hits_requested_snr(phantom16, rng):
+    img = phantom16.data.sum(axis=0)
+    big = np.tile(img, (4, 4))  # more pixels -> tighter variance estimate
+    noisy = add_noise(big, snr=2.0, seed=0)
+    measured = estimate_snr(noisy, big)
+    assert measured == pytest.approx(2.0, rel=0.15)
+
+
+def test_add_noise_infinite_snr_is_copy(phantom16):
+    img = phantom16.data.sum(axis=0)
+    out = add_noise(img, snr=np.inf)
+    assert np.array_equal(out, img)
+    assert out is not img
+
+
+def test_add_noise_deterministic(phantom16):
+    img = phantom16.data.sum(axis=0)
+    a = add_noise(img, 1.0, seed=5)
+    b = add_noise(img, 1.0, seed=5)
+    assert np.array_equal(a, b)
+
+
+def test_add_noise_validation(phantom16):
+    img = phantom16.data.sum(axis=0)
+    with pytest.raises(ValueError):
+        add_noise(img, snr=0.0)
+    with pytest.raises(ValueError):
+        add_noise(np.zeros((8, 8)), snr=1.0)
+
+
+def test_estimate_snr_perfect():
+    img = np.arange(64.0).reshape(8, 8)
+    assert estimate_snr(img, img) == np.inf
+
+
+def test_estimate_snr_shape_mismatch():
+    with pytest.raises(ValueError):
+        estimate_snr(np.zeros((4, 4)), np.zeros((8, 8)))

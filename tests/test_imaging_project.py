@@ -1,0 +1,94 @@
+"""Tests for the projectors (real-space vs Fourier-space agreement)."""
+
+import numpy as np
+import pytest
+
+from repro.density import DensityMap
+from repro.density.phantom import gaussian_blob
+from repro.geometry import Orientation, euler_to_matrix
+from repro.imaging import fourier_project, project_map, real_project
+
+
+def _cc(a, b):
+    a = a - a.mean()
+    b = b - b.mean()
+    return float((a * b).sum() / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-30))
+
+
+def test_real_project_identity_is_axis_sum(phantom16):
+    p = real_project(phantom16.data, np.eye(3))
+    assert np.allclose(p, phantom16.data.sum(axis=0), atol=1e-10)
+
+
+def test_real_project_matches_analytic_gaussian():
+    l = 32
+    pos = np.array([4.0, -3.0, 5.0])
+    sigma = 2.0
+    vol = gaussian_blob(l, pos, sigma)
+    r = euler_to_matrix(57.3, 123.4, 31.2)
+    proj = real_project(vol, r)
+    center2d = r.T @ pos
+    k = np.arange(l) - l // 2
+    yy, xx = np.meshgrid(k, k, indexing="ij")
+    expected = sigma * np.sqrt(2 * np.pi) * np.exp(
+        -((xx - center2d[0]) ** 2 + (yy - center2d[1]) ** 2) / (2 * sigma**2)
+    )
+    assert np.abs(proj - expected).max() < 1e-3 * expected.max()
+
+
+def test_real_project_mass_preserved_for_interior_object():
+    vol = gaussian_blob(32, [2.0, 1.0, -2.0], 2.0)
+    for angles in [(0, 0, 0), (45, 30, 60), (120, 200, 10)]:
+        proj = real_project(vol, euler_to_matrix(*angles))
+        assert proj.sum() == pytest.approx(vol.sum(), rel=1e-3)
+
+
+def test_fourier_project_agrees_with_real(phantom24):
+    r = euler_to_matrix(35.0, 60.0, 20.0)
+    pf = fourier_project(phantom24.fourier_oversampled(2), r, out_size=24)
+    pr = real_project(phantom24.data, r)
+    assert _cc(pf, pr) > 0.98
+
+
+def test_project_map_dispatch(phantom16, some_orientation):
+    a = project_map(phantom16, some_orientation, method="real")
+    b = project_map(phantom16, some_orientation, method="fourier")
+    assert a.shape == b.shape == (16, 16)
+    assert _cc(a, b) > 0.9
+    with pytest.raises(ValueError):
+        project_map(phantom16, some_orientation, method="hologram")
+
+
+def test_projection_rotation_invariance_of_omega(phantom24):
+    # changing omega only rotates the projection in-plane: the radial power
+    # spectrum must be unchanged
+    from repro.fourier import centered_fft2, shell_average
+
+    o1 = Orientation(40.0, 70.0, 0.0)
+    o2 = Orientation(40.0, 70.0, 90.0)
+    p1 = project_map(phantom24, o1, method="real")
+    p2 = project_map(phantom24, o2, method="real")
+    s1 = shell_average(np.abs(centered_fft2(p1)) ** 2)
+    s2 = shell_average(np.abs(centered_fft2(p2)) ** 2)
+    assert np.allclose(s1[:8] / s1[0], s2[:8] / s2[0], rtol=0.1)
+
+
+def test_omega_90_is_inplane_rotation(phantom24):
+    p0 = project_map(phantom24, Orientation(40.0, 70.0, 0.0), method="real")
+    p90 = project_map(phantom24, Orientation(40.0, 70.0, 90.0), method="real")
+    # rotating the image by -90 deg (numpy rot) should recover p0 up to
+    # interpolation; compare interior to dodge edge effects
+    rot = np.rot90(p90, k=-1)  # try one direction
+    rot2 = np.rot90(p90, k=1)
+    # np.rot90 rotates about the array center (l/2 - 0.5) while the
+    # projector rotates about the voxel l//2, so a half-pixel registration
+    # error is built into this comparison; 0.92 still uniquely identifies
+    # the in-plane rotation (other omegas correlate far lower)
+    cc = max(_cc(rot[4:-4, 4:-4], p0[4:-4, 4:-4]), _cc(rot2[4:-4, 4:-4], p0[4:-4, 4:-4]))
+    assert cc > 0.92
+
+
+def test_projections_differ_between_orientations(phantom24):
+    a = project_map(phantom24, Orientation(0, 0, 0), method="real")
+    b = project_map(phantom24, Orientation(90, 40, 10), method="real")
+    assert _cc(a, b) < 0.9

@@ -1,0 +1,91 @@
+"""Tests for the view simulator (the synthetic dataset generator)."""
+
+import numpy as np
+import pytest
+
+from repro.ctf import CTFParams
+from repro.geometry import Orientation
+from repro.imaging import simulate_views
+from repro.imaging.project import project_map
+
+
+def test_simulate_views_shapes_and_truth(phantom16):
+    views = simulate_views(phantom16, 5, seed=0)
+    assert views.images.shape == (5, 16, 16)
+    assert len(views.true_orientations) == 5
+    assert len(views.initial_orientations) == 5
+    assert views.ground_truth is phantom16
+    assert len(views) == 5
+    assert views.size == 16
+
+
+def test_clean_views_match_direct_projection(phantom16):
+    o = Orientation(40.0, 50.0, 60.0)
+    views = simulate_views(phantom16, 1, orientations=[o], seed=0)
+    direct = project_map(phantom16, o, method="real")
+    assert np.allclose(views.images[0], direct, atol=1e-10)
+
+
+def test_center_shift_is_recorded_and_applied(phantom16):
+    views = simulate_views(phantom16, 4, center_sigma_px=2.0, seed=1)
+    offsets = [(o.cx, o.cy) for o in views.true_orientations]
+    assert any(abs(c[0]) > 0.1 or abs(c[1]) > 0.1 for c in offsets)
+    # initial orientations start with zero center estimate
+    assert all(o.cx == 0.0 and o.cy == 0.0 for o in views.initial_orientations)
+
+
+def test_center_shift_moves_image_content(phantom16):
+    o = Orientation(0.0, 0.0, 0.0)
+    clean = simulate_views(phantom16, 1, orientations=[o], seed=3)
+    shifted = simulate_views(phantom16, 1, orientations=[o], center_sigma_px=3.0, seed=3)
+    t = shifted.true_orientations[0]
+    from repro.imaging import shift_image
+
+    undone = shift_image(shifted.images[0], -t.cx, -t.cy)
+    # shifting wraps periodically and drops the asymmetric Nyquist term, so
+    # agreement is near-exact in the interior, approximate at the border
+    interior = (slice(3, -3), slice(3, -3))
+    scale = np.abs(clean.images[0]).max()
+    assert np.allclose(undone[interior], clean.images[0][interior], atol=5e-3 * scale)
+
+
+def test_initial_orientation_perturbation(phantom16):
+    views = simulate_views(phantom16, 10, initial_angle_error_deg=5.0, seed=2)
+    from repro.refine.stats import angular_errors
+
+    errs = angular_errors(views.initial_orientations, views.true_orientations)
+    assert errs.mean() > 1.0
+    clean = simulate_views(phantom16, 10, initial_angle_error_deg=0.0, seed=2)
+    errs0 = angular_errors(clean.initial_orientations, clean.true_orientations)
+    assert np.allclose(errs0, 0.0, atol=1e-4)
+
+
+def test_ctf_single_params_shared(phantom16):
+    p = CTFParams(defocus_angstrom=18000.0)
+    views = simulate_views(phantom16, 3, ctf=p, seed=0)
+    assert views.ctf_params == [p, p, p]
+
+
+def test_ctf_list_length_checked(phantom16):
+    with pytest.raises(ValueError):
+        simulate_views(phantom16, 3, ctf=[CTFParams()], seed=0)
+
+
+def test_snr_noise_applied(phantom16):
+    clean = simulate_views(phantom16, 2, seed=7)
+    noisy = simulate_views(phantom16, 2, snr=1.0, seed=7)
+    assert not np.allclose(clean.images, noisy.images)
+
+
+def test_subset(phantom16):
+    views = simulate_views(phantom16, 6, seed=0, ctf=CTFParams())
+    sub = views.subset([0, 2, 4])
+    assert sub.images.shape[0] == 3
+    assert sub.true_orientations[1].as_tuple() == views.true_orientations[2].as_tuple()
+    assert len(sub.ctf_params) == 3
+
+
+def test_simulation_deterministic(phantom16):
+    a = simulate_views(phantom16, 3, snr=2.0, center_sigma_px=1.0, seed=11)
+    b = simulate_views(phantom16, 3, snr=2.0, center_sigma_px=1.0, seed=11)
+    assert np.array_equal(a.images, b.images)

@@ -1,0 +1,82 @@
+"""Tests for the brick-cache alternative design (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation
+from repro.parallel import BrickStore, compare_replication_vs_bricks
+from repro.parallel.machine import MachineSpec
+
+FAST = MachineSpec("fast", flops=1e12, net_latency=1e-5, net_bandwidth=1e8, io_bandwidth=1e9)
+
+
+def test_brick_store_geometry():
+    store = BrickStore(64, brick_size=8, n_ranks=4, rank=1)
+    assert store.bricks_per_axis == 8
+    assert store.n_bricks == 512
+    assert store.owner_of(0) == 0
+    assert store.owner_of(5) == 1
+    assert store.brick_bytes() == 8**3 * 16
+
+
+def test_brick_store_validation():
+    with pytest.raises(ValueError):
+        BrickStore(0)
+    with pytest.raises(ValueError):
+        BrickStore(64, n_ranks=4, rank=4)
+
+
+def test_bricks_for_slice_reasonable_count():
+    store = BrickStore(64, brick_size=8, n_ranks=4)
+    bricks = store.bricks_for_slice(Orientation(30, 40, 50), out_size=32)
+    # a 32x32 slice through a 64-cube at scale 2 touches on the order of
+    # the slice area / brick cross-section worth of bricks
+    assert 10 <= len(bricks) <= 200
+    assert len(np.unique(bricks)) == len(bricks)
+
+
+def test_cache_hits_on_repeat_access():
+    store = BrickStore(64, brick_size=8, n_ranks=4, rank=0, cache_bricks=512, machine=FAST)
+    o = Orientation(30, 40, 50)
+    first = store.access_slice(o, 32)
+    second = store.access_slice(o, 32)
+    assert first > 0  # remote bricks had to be fetched once
+    assert second == 0  # then everything is cached
+    assert store.stats.hits > 0
+
+
+def test_nearby_orientations_share_bricks():
+    store = BrickStore(64, brick_size=8, n_ranks=8, rank=0, cache_bricks=512, machine=FAST)
+    store.access_slice(Orientation(30, 40, 50), 32)
+    fetches_near = store.access_slice(Orientation(30.5, 40, 50), 32)
+    store2 = BrickStore(64, brick_size=8, n_ranks=8, rank=0, cache_bricks=512, machine=FAST)
+    store2.access_slice(Orientation(30, 40, 50), 32)
+    fetches_far = store2.access_slice(Orientation(120, 200, 10), 32)
+    assert fetches_near < fetches_far
+
+
+def test_lru_eviction():
+    store = BrickStore(64, brick_size=8, n_ranks=2, rank=0, cache_bricks=4, machine=FAST)
+    store.access_slice(Orientation(30, 40, 50), 32)
+    assert len(store._cache) <= 4
+
+
+def test_comm_seconds_accumulate():
+    store = BrickStore(64, brick_size=8, n_ranks=16, rank=0, cache_bricks=16, machine=FAST)
+    store.access_slice(Orientation(10, 20, 30), 32)
+    assert store.stats.comm_seconds > 0
+    expected = store.stats.remote_fetches * FAST.message_time(store.brick_bytes())
+    assert store.stats.comm_seconds == pytest.approx(expected)
+
+
+def test_compare_replication_vs_bricks_tradeoff():
+    out = compare_replication_vs_bricks(
+        volume_size=64, out_size=32, n_windows=6, window_candidates=9,
+        n_ranks=16, cache_bricks=64, machine=FAST, seed=0,
+    )
+    # the SS6 tradeoff: bricks save a lot of memory but cost communication
+    assert out["memory_ratio"] > 3.0
+    assert out["comm_seconds"] > 0.0
+    assert out["comm_seconds_replicated"] == 0.0
+    assert 0.0 <= out["hit_rate"] <= 1.0
+    assert out["requests"] == 54

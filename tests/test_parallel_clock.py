@@ -1,0 +1,57 @@
+"""Tests for the virtual clock."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import VirtualClock
+
+
+def test_advance_and_now():
+    c = VirtualClock(3)
+    c.advance(0, 1.5)
+    c.advance(0, 0.5)
+    assert c.now(0) == pytest.approx(2.0)
+    assert c.now(1) == 0.0
+
+
+def test_negative_advance_rejected():
+    c = VirtualClock(2)
+    with pytest.raises(ValueError):
+        c.advance(0, -1.0)
+    with pytest.raises(ValueError):
+        VirtualClock(0)
+
+
+def test_synchronize_all():
+    c = VirtualClock(3)
+    c.advance(0, 1.0)
+    c.advance(1, 5.0)
+    t = c.synchronize()
+    assert t == 5.0
+    assert all(c.now(r) == 5.0 for r in range(3))
+
+
+def test_synchronize_subset():
+    c = VirtualClock(3)
+    c.advance(0, 1.0)
+    c.advance(1, 5.0)
+    c.advance(2, 9.0)
+    c.synchronize([0, 1])
+    assert c.now(0) == 5.0 and c.now(1) == 5.0
+    assert c.now(2) == 9.0
+
+
+def test_meet_two_ranks():
+    c = VirtualClock(2)
+    c.advance(0, 3.0)
+    t = c.meet(0, 1)
+    assert t == 3.0
+    assert c.now(1) == 3.0
+
+
+def test_elapsed_is_max():
+    c = VirtualClock(4)
+    c.advance(2, 7.0)
+    assert c.elapsed() == 7.0
+    snap = c.snapshot()
+    assert np.array_equal(snap, [0, 0, 7.0, 0])

@@ -1,0 +1,167 @@
+"""Tests for the thread-SPMD communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimComm, run_spmd
+from repro.parallel.machine import MachineSpec
+
+FAST = MachineSpec("fast", flops=1e12, net_latency=1e-5, net_bandwidth=1e9, io_bandwidth=1e9)
+
+
+def test_send_recv_pairwise():
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(np.arange(5), 1)
+            return None
+        return comm.recv(0)
+
+    results, _ = run_spmd(2, worker, FAST)
+    assert np.array_equal(results[1], np.arange(5))
+
+
+def test_send_copies_buffers():
+    def worker(comm):
+        if comm.rank == 0:
+            data = np.zeros(3)
+            comm.send(data, 1)
+            data += 99  # must not affect the receiver
+            return None
+        comm.barrier()
+        return comm.recv(0)
+
+    def worker2(comm):
+        if comm.rank == 0:
+            data = np.zeros(3)
+            comm.send(data, 1)
+            data += 99
+            comm.barrier()
+            return None
+        comm.barrier()
+        return comm.recv(0)
+
+    results, _ = run_spmd(2, worker2, FAST)
+    assert np.array_equal(results[1], np.zeros(3))
+
+
+def test_bcast():
+    def worker(comm):
+        value = np.array([42.0]) if comm.rank == 0 else None
+        return comm.bcast(value, root=0)
+
+    results, _ = run_spmd(4, worker, FAST)
+    for r in results:
+        assert np.array_equal(r, [42.0])
+
+
+def test_scatter_gather_roundtrip():
+    def worker(comm):
+        parts = [np.full(2, r) for r in range(comm.size)] if comm.rank == 0 else None
+        mine = comm.scatter(parts, root=0)
+        assert np.all(mine == comm.rank)
+        return comm.gather(mine * 10, root=0)
+
+    results, _ = run_spmd(3, worker, FAST)
+    gathered = results[0]
+    assert [int(g[0]) for g in gathered] == [0, 10, 20]
+    assert results[1] is None
+
+
+def test_allgather_order():
+    def worker(comm):
+        return comm.allgather(np.array([comm.rank]))
+
+    results, _ = run_spmd(5, worker, FAST)
+    for r in range(5):
+        assert [int(x[0]) for x in results[r]] == [0, 1, 2, 3, 4]
+
+
+def test_alltoall_transpose():
+    def worker(comm):
+        parts = [np.array([comm.rank * 10 + d]) for d in range(comm.size)]
+        return comm.alltoall(parts)
+
+    results, _ = run_spmd(4, worker, FAST)
+    for dst in range(4):
+        assert [int(x[0]) for x in results[dst]] == [src * 10 + dst for src in range(4)]
+
+
+def test_allreduce_sum_and_custom_op():
+    def worker(comm):
+        s = comm.allreduce(float(comm.rank + 1))
+        m = comm.allreduce(float(comm.rank + 1), op=max)
+        return s, m
+
+    results, _ = run_spmd(4, worker, FAST)
+    for s, m in results:
+        assert s == 10.0
+        assert m == 4.0
+
+
+def test_barrier_synchronizes_clocks():
+    def worker(comm):
+        comm.account_compute(float(comm.rank))  # rank r works r seconds
+        comm.barrier()
+        return comm.elapsed()
+
+    results, clock = run_spmd(4, worker, FAST)
+    assert all(t == pytest.approx(3.0) for t in results)
+    assert clock.elapsed() == pytest.approx(3.0)
+
+
+def test_message_time_charged():
+    spec = MachineSpec("slow", flops=1e9, net_latency=0.5, net_bandwidth=1e6, io_bandwidth=1e9)
+
+    def worker(comm):
+        if comm.rank == 0:
+            comm.send(np.zeros(125_000), 1)  # 1 MB -> 1 s transfer + 0.5 s latency
+        else:
+            comm.recv(0)
+        return comm.elapsed()
+
+    results, _ = run_spmd(2, worker, spec)
+    assert results[0] == pytest.approx(1.5, rel=0.01)
+    assert results[1] >= results[0] - 1e-9
+
+
+def test_exception_propagates_with_rank():
+    def worker(comm):
+        if comm.rank == 2:
+            raise RuntimeError("boom")
+        comm.barrier()
+
+    with pytest.raises(RuntimeError, match="rank 2"):
+        run_spmd(3, worker, FAST)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        run_spmd(0, lambda c: None, FAST)
+
+    def worker(comm):
+        with pytest.raises(ValueError):
+            comm.send(1, 99)
+        with pytest.raises(ValueError):
+            comm.recv(-1)
+        if comm.rank == 0:
+            with pytest.raises(ValueError):
+                comm.scatter([1], root=0)  # wrong part count
+        return True
+
+    results, _ = run_spmd(2, worker, FAST)
+    assert all(results)
+
+
+def test_account_flops_and_io():
+    spec = MachineSpec("m", flops=100.0, net_latency=0.0, net_bandwidth=1e9, io_bandwidth=10.0)
+
+    def worker(comm):
+        comm.account_flops(200.0, "calc")
+        if comm.rank == 0:
+            comm.account_io(50, "read")
+        return comm.timer.totals
+
+    results, clock = run_spmd(2, worker, spec)
+    assert results[0]["calc"] == pytest.approx(2.0)
+    assert results[0]["read"] == pytest.approx(5.0)
+    assert clock.elapsed() == pytest.approx(7.0)

@@ -1,0 +1,94 @@
+"""Tests for master-node distribution patterns (steps a.1-a.2, b, c, o)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation
+from repro.parallel import run_spmd
+from repro.parallel.machine import MachineSpec
+from repro.parallel.master_io import (
+    distribute_orientations,
+    distribute_views,
+    distribute_volume_slabs,
+    gather_orientations,
+)
+
+FAST = MachineSpec("fast", flops=1e12, net_latency=1e-6, net_bandwidth=1e10, io_bandwidth=1e10)
+
+
+def test_distribute_volume_slabs(rng):
+    vol = rng.normal(size=(10, 10, 10))
+
+    def worker(comm):
+        slab = distribute_volume_slabs(comm, vol if comm.rank == 0 else None)
+        return slab
+
+    results, _ = run_spmd(3, worker, FAST)
+    assert np.allclose(np.concatenate(results, axis=0), vol)
+
+
+def test_distribute_volume_requires_master_data():
+    def worker(comm):
+        return distribute_volume_slabs(comm, None)
+
+    with pytest.raises(RuntimeError, match="rank 0"):
+        run_spmd(2, worker, FAST)
+
+
+def test_distribute_views_with_indices(rng):
+    images = rng.normal(size=(7, 4, 4))
+
+    def worker(comm):
+        local, idx = distribute_views(comm, images if comm.rank == 0 else None)
+        return local, idx
+
+    results, _ = run_spmd(3, worker, FAST)
+    all_idx = np.concatenate([r[1] for r in results])
+    assert np.array_equal(np.sort(all_idx), np.arange(7))
+    for local, idx in results:
+        assert np.allclose(local, images[idx])
+
+
+def test_distribute_orientations_aligned_with_views(rng):
+    images = rng.normal(size=(5, 4, 4))
+    orients = [Orientation(i, i, i) for i in range(5)]
+
+    def worker(comm):
+        local, idx = distribute_views(comm, images if comm.rank == 0 else None)
+        local_o = distribute_orientations(comm, orients if comm.rank == 0 else None)
+        return idx, local_o
+
+    results, _ = run_spmd(2, worker, FAST)
+    for idx, local_o in results:
+        for i, o in zip(idx, local_o):
+            assert o.theta == float(i)
+
+
+def test_gather_orientations_restores_order_and_writes(tmp_path, rng):
+    orients = [Orientation(i, 0, 0) for i in range(6)]
+    path = str(tmp_path / "refined.txt")
+
+    def worker(comm):
+        local_o = distribute_orientations(comm, orients if comm.rank == 0 else None)
+        return gather_orientations(comm, local_o, path=path if comm.rank == 0 else None)
+
+    results, _ = run_spmd(3, worker, FAST)
+    assert results[1] is None
+    gathered = results[0]
+    assert [o.theta for o in gathered] == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+    from repro.refine import read_orientation_file
+
+    back, _ = read_orientation_file(path)
+    assert len(back) == 6
+
+
+def test_io_time_charged_to_master(rng):
+    slow_io = MachineSpec("s", flops=1e12, net_latency=0.0, net_bandwidth=1e12, io_bandwidth=1000.0)
+    vol = rng.normal(size=(8, 8, 8))  # 4096 B -> 4.096 s read... wait 8^3*8 = 4096 B
+
+    def worker(comm):
+        distribute_volume_slabs(comm, vol if comm.rank == 0 else None)
+        return comm.elapsed()
+
+    results, _ = run_spmd(2, worker, slow_io)
+    assert results[0] >= 4.0  # master paid the read

@@ -1,0 +1,53 @@
+"""Tests for slab/block partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import block_distribution, slab_bounds, slab_sizes
+
+
+@given(total=st.integers(0, 500), parts=st.integers(1, 64))
+@settings(max_examples=100)
+def test_slab_sizes_partition_exactly(total, parts):
+    sizes = slab_sizes(total, parts)
+    assert len(sizes) == parts
+    assert sum(sizes) == total
+    assert max(sizes) - min(sizes) <= 1  # balanced
+
+
+@given(total=st.integers(1, 300), parts=st.integers(1, 32))
+@settings(max_examples=100)
+def test_slab_bounds_cover_contiguously(total, parts):
+    stops = []
+    prev_stop = 0
+    for rank in range(parts):
+        lo, hi = slab_bounds(total, parts, rank)
+        assert lo == prev_stop
+        assert hi >= lo
+        prev_stop = hi
+    assert prev_stop == total
+
+
+def test_slab_bounds_rank_validation():
+    with pytest.raises(ValueError):
+        slab_bounds(10, 4, 4)
+    with pytest.raises(ValueError):
+        slab_bounds(10, 4, -1)
+    with pytest.raises(ValueError):
+        slab_sizes(10, 0)
+    with pytest.raises(ValueError):
+        slab_sizes(-1, 4)
+
+
+def test_block_distribution_matches_bounds():
+    blocks = block_distribution(10, 3)
+    assert [len(b) for b in blocks] == [4, 3, 3]
+    assert np.array_equal(np.concatenate(blocks), np.arange(10))
+
+
+def test_paper_case_l331_p16():
+    # the Sindbis map: 331 planes over 16 processors
+    sizes = slab_sizes(331, 16)
+    assert sum(sizes) == 331
+    assert set(sizes) == {20, 21}

@@ -1,0 +1,113 @@
+"""Tests for the analytic performance model (Tables 1/2 regeneration)."""
+
+import pytest
+
+from repro.parallel import (
+    PerformanceModel,
+    REO_WORKLOAD,
+    SINDBIS_WORKLOAD,
+)
+from repro.parallel.machine import LAPTOP_LIKE, MachineSpec, SP2_LIKE
+from repro.parallel.perf_model import LevelSpec, PaperWorkload
+
+# Refinement-row seconds from the paper's tables (level 4 of reo carries a
+# scan-corrupted leading digit; EXPERIMENTS.md documents the restoration).
+PAPER_SINDBIS = [4053.0, 4109.0, 7065.0, 26190.0]
+PAPER_REO = [19942.0, 21957.0, 69672.0, 143786.0]
+
+
+@pytest.fixture()
+def calibrated():
+    pm = PerformanceModel()
+    pm.calibrate(SINDBIS_WORKLOAD, 0, PAPER_SINDBIS[0])
+    return pm
+
+
+def test_machine_spec_validation():
+    with pytest.raises(ValueError):
+        MachineSpec("x", flops=0, net_latency=0, net_bandwidth=1, io_bandwidth=1)
+    with pytest.raises(ValueError):
+        MachineSpec("x", flops=1, net_latency=-1, net_bandwidth=1, io_bandwidth=1)
+    assert SP2_LIKE.compute_time(2e8) == pytest.approx(1.0)
+    assert SP2_LIKE.message_time(0) == SP2_LIKE.net_latency
+    with pytest.raises(ValueError):
+        SP2_LIKE.compute_time(-1)
+
+
+def test_workload_definitions():
+    assert SINDBIS_WORKLOAD.n_views == 7917
+    assert SINDBIS_WORKLOAD.image_size == 331
+    assert REO_WORKLOAD.n_views == 4422
+    assert REO_WORKLOAD.image_size == 511
+    assert len(SINDBIS_WORKLOAD.levels) == 4
+    assert SINDBIS_WORKLOAD.levels[0].matchings_per_view == 729
+
+
+def test_calibrated_model_reproduces_sindbis_table(calibrated):
+    rows = calibrated.predict_table(SINDBIS_WORKLOAD)
+    for row, paper in zip(rows, PAPER_SINDBIS):
+        assert row["Orientation refinement"] == pytest.approx(paper, rel=0.10)
+
+
+def test_calibrated_model_reproduces_reo_table(calibrated):
+    # calibrated on a SINDBIS cell: reo rows are pure predictions
+    rows = calibrated.predict_table(REO_WORKLOAD)
+    for row, paper in zip(rows, PAPER_REO):
+        assert row["Orientation refinement"] == pytest.approx(paper, rel=0.15)
+
+
+def test_refinement_dominates_total(calibrated):
+    # §5: "99% of the time for orientation refinement"
+    for wl in (SINDBIS_WORKLOAD, REO_WORKLOAD):
+        rows = calibrated.predict_table(wl)
+        for row in rows[2:]:  # the fine-resolution levels
+            assert row["Orientation refinement"] / row["Total"] > 0.95
+
+
+def test_sliding_window_shows_in_level3(calibrated):
+    rows = calibrated.predict_table(SINDBIS_WORKLOAD)
+    # level 3 slid (9 -> 15 along one angle): more time than level 2
+    assert rows[2]["Orientation refinement"] > 1.3 * rows[1]["Orientation refinement"]
+
+
+def test_speedup_near_linear(calibrated):
+    curve = calibrated.speedup_curve(SINDBIS_WORKLOAD, [1, 2, 4, 8, 16])
+    ps = [p for p, _, _ in curve]
+    speedups = [s for _, _, s in curve]
+    assert ps == [1, 2, 4, 8, 16]
+    assert speedups[0] == pytest.approx(1.0)
+    assert speedups[-1] > 12.0  # near-linear at paper scale
+    # totals decrease with P
+    totals = [t for _, t, _ in curve]
+    assert all(a > b for a, b in zip(totals, totals[1:]))
+
+
+def test_calibration_validation(calibrated):
+    with pytest.raises(ValueError):
+        calibrated.calibrate(SINDBIS_WORKLOAD, 0, -5.0)
+
+
+def test_memory_model_replicated_vs_bricked(calibrated):
+    rep = calibrated.memory_per_node_bytes(331, replicate=True)
+    brick = calibrated.memory_per_node_bytes(331, replicate=False, n_procs=16)
+    assert rep > 10 * brick  # the paper's §6 tradeoff: replication costs memory
+    # replicated D-hat of a 331 box is ~0.5-1 GB: consistent with the paper's
+    # 2 GB nodes being tight
+    assert 4e8 < rep < 2e9
+
+
+def test_modern_machine_far_faster(calibrated):
+    modern = PerformanceModel(machine=LAPTOP_LIKE, flops_per_match_sample=calibrated.flops_per_match_sample)
+    old_total = sum(r["Total"] for r in calibrated.predict_table(SINDBIS_WORKLOAD))
+    new_total = sum(r["Total"] for r in modern.predict_table(SINDBIS_WORKLOAD))
+    assert new_total < old_total / 50
+
+
+def test_custom_workload():
+    wl = PaperWorkload(
+        name="tiny", n_views=10, image_size=64,
+        levels=(LevelSpec(1.0, (3, 3, 3)),), n_processors=2,
+    )
+    rows = PerformanceModel().predict_table(wl)
+    assert len(rows) == 1
+    assert rows[0]["search_range"] == 27

@@ -1,0 +1,85 @@
+"""Tests for view scheduling policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.parallel import (
+    imbalance_factor,
+    lpt_makespan,
+    lpt_schedule,
+    static_block_makespan,
+    work_stealing_makespan,
+)
+
+
+def test_uniform_costs_all_policies_balanced():
+    costs = np.ones(32)
+    for policy in ("static", "lpt", "stealing"):
+        assert imbalance_factor(costs, 8, policy) == pytest.approx(1.0)
+
+
+def test_static_blocks_suffer_from_clustered_slides():
+    # sliding views (2x cost) clustered in the first block: the paper's
+    # contiguous distribution loads rank 0 with all of them
+    costs = np.ones(32)
+    costs[:8] = 2.0
+    static = static_block_makespan(costs, 4)
+    lpt = lpt_makespan(costs, 4)
+    assert static == pytest.approx(16.0)  # rank 0 got all the 2x views
+    assert lpt == pytest.approx(10.0)
+    assert work_stealing_makespan(costs, 4) <= static
+
+
+def test_lpt_schedule_is_partition():
+    rng = np.random.default_rng(0)
+    costs = rng.uniform(1, 5, size=23)
+    parts = lpt_schedule(costs, 5)
+    assert len(parts) == 5
+    all_idx = np.concatenate(parts)
+    assert sorted(all_idx.tolist()) == list(range(23))
+
+
+@given(
+    seed=st.integers(0, 200),
+    n=st.integers(1, 60),
+    p=st.integers(1, 8),
+)
+@settings(max_examples=60)
+def test_makespans_bracket_the_ideal(seed, n, p):
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.1, 3.0, size=n)
+    ideal = costs.sum() / p
+    longest = costs.max()
+    for fn in (static_block_makespan, lpt_makespan, work_stealing_makespan):
+        ms = fn(costs, p)
+        assert ms >= max(ideal, longest) - 1e-9  # lower bounds
+        assert ms <= costs.sum() + 1e-9  # never worse than serial
+
+
+@given(seed=st.integers(0, 100), n=st.integers(2, 50), p=st.integers(2, 6))
+@settings(max_examples=60)
+def test_lpt_never_worse_than_static(seed, n, p):
+    rng = np.random.default_rng(seed)
+    costs = rng.uniform(0.1, 3.0, size=n)
+    assert lpt_makespan(costs, p) <= static_block_makespan(costs, p) + 1e-9
+
+
+def test_dispatch_overhead_charged():
+    costs = np.ones(8)
+    free = work_stealing_makespan(costs, 2)
+    taxed = work_stealing_makespan(costs, 2, dispatch_overhead=0.5)
+    assert taxed == pytest.approx(free + 4 * 0.5)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        static_block_makespan(np.array([]), 2)
+    with pytest.raises(ValueError):
+        static_block_makespan(np.array([-1.0]), 2)
+    with pytest.raises(ValueError):
+        lpt_makespan(np.ones(4), 0)
+    with pytest.raises(ValueError):
+        work_stealing_makespan(np.ones(4), 2, dispatch_overhead=-1)
+    with pytest.raises(ValueError):
+        imbalance_factor(np.ones(4), 2, policy="magic")

@@ -1,0 +1,83 @@
+"""Tests for simulated-run tracing and Gantt rendering."""
+
+import pytest
+
+from repro.parallel.trace import Span, TraceRecorder, render_gantt
+
+
+def _sample_trace():
+    tr = TraceRecorder()
+    tr.record(0, "fft", 0.0, 1.0)
+    tr.record(0, "refine", 1.0, 4.0)
+    tr.record(1, "fft", 0.0, 1.0)
+    tr.record(1, "refine", 1.0, 3.0)
+    tr.record(1, "wait", 3.0, 4.0)
+    return tr
+
+
+def test_span_validation():
+    with pytest.raises(ValueError):
+        Span(0, "x", 2.0, 1.0)
+    with pytest.raises(ValueError):
+        Span(-1, "x", 0.0, 1.0)
+    assert Span(0, "x", 1.0, 2.5).duration == pytest.approx(1.5)
+
+
+def test_totals_by_step_and_rank():
+    tr = _sample_trace()
+    by_step = tr.total_by_step()
+    assert by_step["fft"] == pytest.approx(2.0)
+    assert by_step["refine"] == pytest.approx(5.0)
+    by_rank = tr.total_by_rank()
+    assert by_rank[0] == pytest.approx(4.0)
+    assert by_rank[1] == pytest.approx(4.0)
+    assert tr.makespan() == pytest.approx(4.0)
+
+
+def test_idle_fraction():
+    tr = TraceRecorder()
+    tr.record(0, "work", 0.0, 4.0)
+    tr.record(1, "work", 0.0, 2.0)  # rank 1 idle half the time
+    assert tr.idle_fraction() == pytest.approx(0.25)
+    assert TraceRecorder().idle_fraction() == 0.0
+
+
+def test_render_gantt_structure():
+    text = render_gantt(_sample_trace(), width=40)
+    lines = text.splitlines()
+    assert lines[0].startswith("rank  0 |")
+    assert lines[1].startswith("rank  1 |")
+    assert "legend:" in lines[-1]
+    assert "A=fft" in lines[-1]
+    # the refine band is longer than the fft band on rank 0
+    row0 = lines[0]
+    assert row0.count("B") > row0.count("A")
+
+
+def test_render_gantt_edge_cases():
+    assert render_gantt(TraceRecorder()) == "(empty trace)"
+    tr = TraceRecorder()
+    tr.record(0, "x", 0.0, 0.0)
+    assert render_gantt(tr) == "(zero-length trace)"
+    with pytest.raises(ValueError):
+        render_gantt(_sample_trace(), width=5)
+
+
+def test_run_spmd_populates_trace():
+    from repro.parallel import run_spmd
+    from repro.parallel.machine import MachineSpec
+
+    spec = MachineSpec("m", flops=100.0, net_latency=0.0, net_bandwidth=1e9, io_bandwidth=1e9)
+    tr = TraceRecorder()
+
+    def worker(comm):
+        comm.account_flops(100.0 * (comm.rank + 1), "work")
+        comm.barrier()
+        return comm.rank
+
+    run_spmd(3, worker, spec, trace=tr)
+    by_rank = tr.total_by_rank()
+    assert by_rank[0] == pytest.approx(1.0)
+    assert by_rank[2] == pytest.approx(3.0)
+    text = render_gantt(tr, width=30)
+    assert "A=work" in text

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface (filesystem-composed pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def dataset_files(tmp_path_factory):
+    """A simulated dataset written through the CLI itself."""
+    root = tmp_path_factory.mktemp("cli")
+    paths = {
+        "map": str(root / "map.mrc"),
+        "stack": str(root / "stack.mrc"),
+        "orient": str(root / "init.txt"),
+        "truth": str(root / "truth.txt"),
+    }
+    rc = main(
+        [
+            "simulate", "--kind", "sindbis", "--size", "24", "--views", "6",
+            "--snr", "6", "--initial-error", "2.0", "--center-sigma", "0.3",
+            "--seed", "1",
+            "--out-map", paths["map"], "--out-stack", paths["stack"],
+            "--out-orient", paths["orient"], "--out-truth-orient", paths["truth"],
+        ]
+    )
+    assert rc == 0
+    return root, paths
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_simulate_outputs_exist(dataset_files):
+    root, paths = dataset_files
+    from repro.density import read_mrc
+    from repro.refine import read_orientation_file
+
+    data, apix = read_mrc(paths["map"])
+    assert data.shape == (24, 24, 24)
+    stack, _ = read_mrc(paths["stack"])
+    assert stack.shape == (6, 24, 24)
+    orients, _ = read_orientation_file(paths["orient"])
+    assert len(orients) == 6
+
+
+def test_refine_and_reconstruct_roundtrip(dataset_files, capsys):
+    root, paths = dataset_files
+    refined = str(root / "refined.txt")
+    rc = main(
+        [
+            "refine", "--map", paths["map"], "--stack", paths["stack"],
+            "--orient", paths["orient"], "--out", refined,
+            "--levels", "1.0", "--half-steps", "2", "--r-max", "9",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "matchings" in out
+
+    from repro.refine import read_orientation_file
+    from repro.refine.stats import angular_errors
+
+    new, _ = read_orientation_file(refined)
+    truth, _ = read_orientation_file(paths["truth"])
+    init, _ = read_orientation_file(paths["orient"])
+    assert angular_errors(new, truth).mean() <= angular_errors(init, truth).mean() + 0.3
+
+    out_map = str(root / "rec.mrc")
+    rc = main(["reconstruct", "--stack", paths["stack"], "--orient", refined, "--out", out_map])
+    assert rc == 0
+    from repro.density import read_mrc
+
+    rec, _ = read_mrc(out_map)
+    assert rec.shape == (24, 24, 24)
+
+
+def test_refine_on_simulated_cluster(dataset_files, capsys):
+    root, paths = dataset_files
+    refined = str(root / "refined_par.txt")
+    rc = main(
+        [
+            "refine", "--map", paths["map"], "--stack", paths["stack"],
+            "--orient", paths["orient"], "--out", refined,
+            "--levels", "1.0", "--half-steps", "1", "--r-max", "8", "--ranks", "2",
+        ]
+    )
+    assert rc == 0
+    assert "simulated ranks" in capsys.readouterr().out
+
+
+def test_resolution_command(dataset_files, capsys):
+    root, paths = dataset_files
+    rc = main(["resolution", "--stack", paths["stack"], "--orient", paths["truth"]])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "crossing resolution" in out
+
+
+def test_reconstruct_count_mismatch(dataset_files, capsys, tmp_path):
+    root, paths = dataset_files
+    from repro.geometry import Orientation
+    from repro.refine import write_orientation_file
+
+    short = str(tmp_path / "short.txt")
+    write_orientation_file(short, [Orientation(0, 0, 0)])
+    rc = main(
+        ["reconstruct", "--stack", paths["stack"], "--orient", short, "--out", str(tmp_path / "x.mrc")]
+    )
+    assert rc == 2
+
+
+def test_detect_symmetry_command(tmp_path, capsys):
+    from repro.density import write_mrc, cyclic_phantom
+
+    density = cyclic_phantom(20, n=4, seed=0).normalized()
+    path = str(tmp_path / "c4.mrc")
+    write_mrc(path, density.data)
+    rc = main(["detect-symmetry", "--map", path, "--axes", "80", "--max-order", "4"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "group:" in out

@@ -1,0 +1,54 @@
+"""Tests for dataset presets and configs."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import MiniWorkload, make_dataset, reo_like_dataset, sindbis_like_dataset
+from repro.pipeline.config import ExperimentConfig, mini_schedule
+from repro.pipeline.datasets import phantom_for
+
+
+def test_phantom_for_kinds():
+    assert phantom_for("sindbis", 16).size == 16
+    assert phantom_for("reo", 16).size == 16
+    assert phantom_for("asymmetric", 16).size == 16
+    assert phantom_for("c5", 16).size == 16
+    with pytest.raises(ValueError):
+        phantom_for("weird", 16)
+
+
+def test_make_dataset_respects_workload():
+    wl = MiniWorkload("t", "sindbis", size=16, n_views=6, snr=5.0, perturbation_deg=2.0, seed=3)
+    views = make_dataset(wl)
+    assert views.images.shape == (6, 16, 16)
+    from repro.refine.stats import angular_errors
+
+    errs = angular_errors(views.initial_orientations, views.true_orientations)
+    assert errs.mean() > 0.5
+
+
+def test_named_presets():
+    s = sindbis_like_dataset(size=16, n_views=4, snr=np.inf)
+    r = reo_like_dataset(size=16, n_views=4, snr=np.inf)
+    assert s.images.shape == r.images.shape == (4, 16, 16)
+    assert not np.allclose(s.images, r.images)
+
+
+def test_dataset_deterministic():
+    a = sindbis_like_dataset(size=16, n_views=3, seed=5)
+    b = sindbis_like_dataset(size=16, n_views=3, seed=5)
+    assert np.array_equal(a.images, b.images)
+
+
+def test_mini_schedule_is_multiresolution():
+    sched = mini_schedule()
+    steps = [lv.angular_step_deg for lv in sched]
+    assert steps == sorted(steps, reverse=True)
+    assert len(sched) == 3
+
+
+def test_experiment_config_defaults():
+    wl = MiniWorkload("t", "sindbis")
+    cfg = ExperimentConfig(workload=wl)
+    assert cfg.n_iterations == 3
+    assert len(cfg.r_max_sequence) >= cfg.n_iterations

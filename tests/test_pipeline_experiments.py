@@ -1,0 +1,56 @@
+"""Tests for the experiment runners (small-scale smoke + shape checks)."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SINDBIS_WORKLOAD
+from repro.parallel.machine import MachineSpec
+from repro.pipeline import (
+    MiniWorkload,
+    run_search_space_report,
+    run_sliding_window_experiment,
+    run_symmetry_detection_experiment,
+    run_timing_table_experiment,
+)
+
+FAST = MachineSpec("fast", flops=1e12, net_latency=1e-6, net_bandwidth=1e10, io_bandwidth=1e10)
+
+
+def test_search_space_report_rows():
+    rows = run_search_space_report(angular_resolutions=(3.0, 1.0))
+    assert len(rows) == 2
+    r3 = rows[0]
+    assert 30 <= r3["icosahedral_views"] <= 80  # Figure 1b: ~51 views at 3 deg
+    assert r3["asymmetric_cardinality"] == 60**3
+    assert r3["ratio"] > 1e3
+    # finer resolution -> bigger ratio
+    assert rows[1]["ratio"] > rows[0]["ratio"]
+
+
+def test_sliding_window_experiment():
+    out = run_sliding_window_experiment(size=24, offset_deg=5.0, step_deg=1.0, half_steps=2)
+    # without sliding the window cannot reach the truth; with it, it must
+    assert out["no_slide_error_deg"] > 2.0
+    assert out["slide_error_deg"] < 1.5
+    assert out["slide_matches"] > out["no_slide_matches"]
+    assert out["n_windows"] > 1
+
+
+def test_symmetry_detection_experiment():
+    out = run_symmetry_detection_experiment(kinds=("c4", "asymmetric"), size=24)
+    assert out["c4"] == "C4"
+    assert out["asymmetric"] == "C1"
+
+
+def test_timing_table_experiment_structure():
+    mini = MiniWorkload("t", "sindbis", size=24, n_views=8, snr=np.inf, perturbation_deg=1.0)
+    out = run_timing_table_experiment(
+        SINDBIS_WORKLOAD, mini=mini, n_ranks=2, machine=FAST,
+        calibrate_level=0, calibrate_seconds=4053.0,
+    )
+    rows = out["model_rows"]
+    assert len(rows) == 4
+    assert rows[0]["Orientation refinement"] == pytest.approx(4053.0, rel=1e-6)
+    report = out["mini_report"]
+    assert len(report.orientations) == 8
+    assert out["mini_wall_seconds"] > 0

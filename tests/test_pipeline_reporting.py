@@ -1,0 +1,59 @@
+"""Tests for the paper-style text reporting."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import format_curve, format_table, format_timing_table
+
+
+def test_format_table_basic():
+    text = format_table(["a", "bb"], [[1, 2.5], [30, "x"]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_format_table_large_numbers():
+    text = format_table(["n"], [[12345.0]])
+    assert "12,345" in text
+
+
+def test_format_timing_table_layout():
+    rows = [
+        {
+            "angular_resolution_deg": 1.0,
+            "search_range": 729.0,
+            "3D DFT": 10.0,
+            "Read image": 5.0,
+            "FFT analysis": 2.0,
+            "Orientation refinement": 4000.0,
+            "Total": 4017.0,
+        },
+        {
+            "angular_resolution_deg": 0.1,
+            "search_range": 729.0,
+            "3D DFT": 10.0,
+            "Read image": 5.0,
+            "FFT analysis": 2.0,
+            "Orientation refinement": 4100.0,
+            "Total": 4117.0,
+        },
+    ]
+    text = format_timing_table(rows, title="Table 1")
+    assert "Table 1" in text
+    assert "Orientation refinement (s)" in text
+    assert "4,100" in text
+    assert "0.1" in text.splitlines()[1]
+
+
+def test_format_timing_table_empty():
+    with pytest.raises(ValueError):
+        format_timing_table([])
+
+
+def test_format_curve():
+    x = np.array([20.0, 10.0, 5.0])
+    text = format_curve(x, {"old": np.array([0.9, 0.5, 0.1]), "new": np.array([0.95, 0.7, 0.2])})
+    assert "old" in text and "new" in text
+    assert len(text.splitlines()) == 5

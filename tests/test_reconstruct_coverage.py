@@ -1,0 +1,57 @@
+"""Tests for Fourier-coverage diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation, random_orientations
+from repro.reconstruct.coverage import (
+    coverage_fraction,
+    coverage_volume,
+    shell_coverage,
+    views_needed_estimate,
+)
+
+
+def test_coverage_volume_single_slice():
+    w = coverage_volume([Orientation(0, 0, 0)], 16)
+    # the central z-plane is hit (hermitian doubles the deposit)
+    assert w[8].sum() > 0
+    assert w[0].sum() == 0  # far planes untouched
+
+
+def test_coverage_grows_with_views():
+    few = coverage_fraction(random_orientations(3, seed=0), 16, r_max=7)
+    many = coverage_fraction(random_orientations(40, seed=0), 16, r_max=7)
+    assert many > few
+    assert 0.0 < few < 1.0
+
+
+def test_full_coverage_at_high_view_count():
+    frac = coverage_fraction(random_orientations(200, seed=1), 16, r_max=6)
+    assert frac > 0.95
+
+
+def test_shell_coverage_monotone_trend():
+    cov = shell_coverage(random_orientations(10, seed=2), 24)
+    # the DC/first shells are always fully covered; the edge is thinner
+    assert cov[1] == pytest.approx(1.0)
+    assert cov[-1] < cov[1]
+
+
+def test_single_axis_views_leave_gaps():
+    # views rotated only about omega share one plane: coverage stays thin
+    orients = [Orientation(0, 0, o * 13.0) for o in range(20)]
+    frac = coverage_fraction(orients, 16, r_max=7)
+    assert frac < 0.35
+
+
+def test_views_needed_crowther():
+    # D = 1000 A at d = 10 A: pi * 100 ~ 314 equatorial views
+    assert views_needed_estimate(1000.0, 10.0) == pytest.approx(np.pi * 100.0)
+    with pytest.raises(ValueError):
+        views_needed_estimate(-1, 10)
+
+
+def test_coverage_validation():
+    with pytest.raises(ValueError):
+        coverage_volume([], 0)

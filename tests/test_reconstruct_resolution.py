@@ -1,0 +1,82 @@
+"""Tests for the odd/even resolution procedure (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation
+from repro.imaging import simulate_views
+from repro.reconstruct import correlation_curve, half_map_fsc, split_odd_even
+from repro.reconstruct.resolution import resolution_at_threshold
+from repro.utils import default_rng
+
+
+def test_split_odd_even():
+    odd, even = split_odd_even(7)
+    assert list(odd) == [0, 2, 4, 6]
+    assert list(even) == [1, 3, 5]
+    with pytest.raises(ValueError):
+        split_odd_even(1)
+
+
+def test_half_map_fsc_high_at_low_resolution(phantom24):
+    views = simulate_views(phantom24, 60, snr=4.0, seed=0)
+    fsc, m_odd, m_even = half_map_fsc(views.images, views.true_orientations)
+    assert fsc[1] > 0.8
+    assert m_odd.size == 24 and m_even.size == 24
+
+
+def test_correlation_curve_structure(phantom24):
+    views = simulate_views(phantom24, 40, snr=3.0, seed=1)
+    curve = correlation_curve(views.images, views.true_orientations, apix=2.0, label="x")
+    assert curve.label == "x"
+    assert len(curve.shells) == len(curve.cc) == len(curve.resolution_angstrom)
+    assert curve.shells[0] == 1
+    # resolution decreases (improves) with shell radius
+    assert np.all(np.diff(curve.resolution_angstrom) < 0)
+    assert curve.resolution_angstrom[0] == pytest.approx(48.0)  # l*apix/1
+
+
+def test_noisier_data_gives_worse_crossing(phantom24):
+    clean = simulate_views(phantom24, 60, snr=20.0, seed=2)
+    noisy = simulate_views(phantom24, 60, snr=0.3, seed=2)
+    c_clean = correlation_curve(clean.images, clean.true_orientations)
+    c_noisy = correlation_curve(noisy.images, noisy.true_orientations)
+    assert c_clean.crossing(0.5) <= c_noisy.crossing(0.5)
+
+
+def test_resolution_at_threshold_interpolates():
+    cc = np.array([0.9, 0.7, 0.3, 0.1])
+    res = np.array([20.0, 10.0, 5.0, 2.5])
+    r = resolution_at_threshold(cc, res, threshold=0.5)
+    assert 5.0 < r < 10.0
+    # exactly at midpoint of the 0.7 -> 0.3 drop in frequency space
+    assert r == pytest.approx(1.0 / (0.1 + 0.5 * 0.1), rel=1e-6)
+
+
+def test_resolution_at_threshold_edges():
+    res = np.array([20.0, 10.0])
+    assert resolution_at_threshold(np.array([0.4, 0.3]), res) == 20.0  # starts below
+    assert resolution_at_threshold(np.array([0.9, 0.8]), res) == 10.0  # never drops
+
+
+def test_resolution_at_threshold_validation():
+    with pytest.raises(ValueError):
+        resolution_at_threshold(np.array([1.0]), np.array([1.0, 2.0]))
+    with pytest.raises(ValueError):
+        resolution_at_threshold(np.array([]), np.array([]))
+
+
+def test_perturbed_orientations_lower_curve(phantom24):
+    # the core Figure 5/6 mechanism, in miniature with true orientations
+    views = simulate_views(phantom24, 80, snr=4.0, seed=3)
+    rng = default_rng(0)
+    bad = [
+        Orientation(
+            o.theta + rng.normal(0, 6.0), o.phi + rng.normal(0, 6.0), o.omega + rng.normal(0, 6.0)
+        )
+        for o in views.true_orientations
+    ]
+    c_true = correlation_curve(views.images, views.true_orientations)
+    c_bad = correlation_curve(views.images, bad)
+    mid = slice(2, 8)
+    assert c_true.cc[mid].mean() > c_bad.cc[mid].mean()

@@ -1,0 +1,56 @@
+"""Tests for the adaptive refine<->reconstruct control loop."""
+
+import numpy as np
+import pytest
+
+from repro.imaging import simulate_views
+from repro.reconstruct import reconstruct_from_views
+from repro.refine import (
+    adaptive_refinement_loop,
+    choose_angular_step,
+    choose_band_limit,
+)
+
+
+def test_choose_band_limit_tracks_fsc():
+    fsc = np.array([1.0, 0.95, 0.9, 0.7, 0.55, 0.3, 0.1])
+    # last shell >= 0.5 is shell 4; extended by 1.25 -> 5
+    assert choose_band_limit(fsc) == pytest.approx(5.0)
+    # collapsed FSC still returns the floor
+    assert choose_band_limit(np.array([1.0, 0.1, 0.1])) == 3.0
+
+
+def test_choose_angular_step_scales_inverse_with_band():
+    coarse = choose_angular_step(4.0)
+    fine = choose_angular_step(16.0)
+    assert fine < coarse
+    # 0.5 px arc at radius 16 is ~1.79 deg
+    assert fine == pytest.approx(np.rad2deg(np.arcsin(0.5 / 16.0)), rel=1e-6)
+    assert choose_angular_step(1000.0) == 0.05  # clamped
+    with pytest.raises(ValueError):
+        choose_angular_step(0.0)
+
+
+def test_adaptive_loop_runs_and_improves(phantom24):
+    views = simulate_views(
+        phantom24, 32, snr=4.0, initial_angle_error_deg=3.0, seed=0,
+    )
+    initial_map = reconstruct_from_views(views.images, views.initial_orientations)
+    history = adaptive_refinement_loop(views, initial_map, max_iterations=2, half_steps=2)
+    assert 1 <= len(history) <= 2
+    first = history[0]
+    assert first.r_max >= 3.0
+    assert 0.05 <= first.angular_step_deg <= 2.0
+    assert np.isfinite(first.resolution_angstrom)
+    assert len(first.orientations) == 32
+    from repro.refine.stats import angular_errors
+
+    e0 = angular_errors(views.initial_orientations, views.true_orientations).mean()
+    e1 = angular_errors(history[-1].orientations, views.true_orientations).mean()
+    assert e1 < e0 + 0.5  # must not diverge; typically improves
+
+
+def test_adaptive_loop_validation(phantom24):
+    views = simulate_views(phantom24, 4, seed=1)
+    with pytest.raises(ValueError):
+        adaptive_refinement_loop(views, phantom24, max_iterations=0)

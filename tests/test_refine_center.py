@@ -1,0 +1,78 @@
+"""Tests for center refinement (steps k–l)."""
+
+import numpy as np
+import pytest
+
+from repro.align import DistanceComputer
+from repro.fourier import centered_fft2
+from repro.fourier.slicing import extract_slice
+from repro.geometry import Orientation
+from repro.imaging import phase_shift_ft
+from repro.refine import refine_center
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.density import asymmetric_phantom
+
+    density = asymmetric_phantom(24, seed=3).normalized()
+    vft = density.fourier_oversampled(2)
+    truth = Orientation(60.0, 40.0, 25.0)
+    cut = extract_slice(vft, truth.matrix(), out_size=24)
+    dc = DistanceComputer(24, r_max=10)
+    return cut, dc
+
+
+def _shifted_view(cut, cx, cy):
+    """A view whose particle sits at offset (cx, cy)."""
+    return phase_shift_ft(cut, cx, cy)
+
+
+def test_recovers_integer_shift(setup):
+    cut, dc = setup
+    view = _shifted_view(cut, 2.0, -1.0)
+    res = refine_center(view, cut, center=(0.0, 0.0), step_px=1.0, half_steps=2, distance_computer=dc)
+    assert res.cx == pytest.approx(2.0)
+    assert res.cy == pytest.approx(-1.0)
+    assert res.distance == pytest.approx(0.0, abs=1e-9)
+
+
+def test_recovers_subpixel_shift_with_fine_steps(setup):
+    cut, dc = setup
+    view = _shifted_view(cut, 0.3, -0.7)
+    res = refine_center(view, cut, center=(0.0, 0.0), step_px=0.1, half_steps=4, max_slides=10, distance_computer=dc)
+    assert res.cx == pytest.approx(0.3, abs=0.05)
+    assert res.cy == pytest.approx(-0.7, abs=0.05)
+
+
+def test_slides_when_shift_outside_box(setup):
+    cut, dc = setup
+    view = _shifted_view(cut, 3.0, 0.0)
+    res = refine_center(view, cut, center=(0.0, 0.0), step_px=1.0, half_steps=1, max_slides=10, distance_computer=dc)
+    assert res.slid
+    assert res.n_boxes > 1
+    assert res.cx == pytest.approx(3.0)
+    # paper's 3x3 box: n_center = 9 per box
+    assert res.n_evaluations == res.n_boxes * 9
+
+
+def test_no_shift_stays_put(setup):
+    cut, dc = setup
+    res = refine_center(cut, cut, center=(0.0, 0.0), step_px=0.5, half_steps=1, distance_computer=dc)
+    assert res.cx == 0.0 and res.cy == 0.0
+    assert not res.slid
+
+
+def test_validation(setup):
+    cut, dc = setup
+    with pytest.raises(ValueError):
+        refine_center(cut, cut, (0, 0), step_px=0.0, distance_computer=dc)
+    with pytest.raises(ValueError):
+        refine_center(cut, cut, (0, 0), step_px=1.0, half_steps=-1, distance_computer=dc)
+
+
+def test_half_steps_zero_evaluates_single_center(setup):
+    cut, dc = setup
+    res = refine_center(cut, cut, center=(1.0, 1.0), step_px=1.0, half_steps=0, distance_computer=dc)
+    assert res.n_evaluations == 1
+    assert res.cx == 1.0 and res.cy == 1.0

@@ -1,0 +1,85 @@
+"""Tests for polyhedral group fitting from detected axes."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import icosahedral_group, octahedral_group, tetrahedral_group
+from repro.geometry.rotations import axis_angle_to_matrix, rotation_between
+from repro.refine.group_fit import fit_polyhedral_group, frame_from_axis_pair, group_axes
+
+
+def test_group_axes_census():
+    axes_i = group_axes(icosahedral_group())
+    orders = sorted(o for _, o in axes_i)
+    assert orders.count(2) == 15
+    assert orders.count(3) == 10
+    assert orders.count(5) == 6
+    axes_o = group_axes(octahedral_group())
+    assert sorted(o for _, o in axes_o).count(4) == 3
+
+
+def test_frame_from_axis_pair_exact():
+    ca = np.array([0.0, 0.0, 1.0])
+    cb = np.array([1.0, 1.0, 1.0]) / np.sqrt(3)
+    r_true = axis_angle_to_matrix([1, 2, 3], 40.0)
+    da, db = r_true @ ca, r_true @ cb
+    u = frame_from_axis_pair(ca, cb, da, db)
+    assert rotation_between(u, r_true) < 1e-6
+
+
+def test_frame_from_axis_pair_degenerate_parallel():
+    ca = np.array([0.0, 0.0, 1.0])
+    u = frame_from_axis_pair(ca, ca, ca, ca)
+    assert np.allclose(u @ ca, ca, atol=1e-9)
+
+
+def _synthetic_scorer(true_group_matrices, noise=0.0):
+    """Score = geodesic distance to the nearest true group element (deg/100)."""
+
+    def scorer(rotation: np.ndarray) -> float:
+        best = min(rotation_between(g, rotation) for g in true_group_matrices)
+        return best / 100.0 + noise
+
+    return scorer
+
+
+@pytest.mark.parametrize("builder,name", [(tetrahedral_group, "T"), (octahedral_group, "O"), (icosahedral_group, "I")])
+def test_fit_recovers_rotated_group(builder, name):
+    canon = builder()
+    r = axis_angle_to_matrix([2, -1, 3], 33.0)
+    true = np.einsum("ij,njk,lk->nil", r, canon.matrices, r)
+    scorer = _synthetic_scorer(true)
+    # feed two true axes (rotated canonical ones), slightly perturbed
+    axes = group_axes(canon)
+    a2 = next(a for a, o in axes if o == 2)
+    a3 = next(a for a, o in axes if o == 3)
+    jitter = axis_angle_to_matrix([1, 1, 0], 1.0)
+    detected = [
+        (jitter @ r @ a2, 2, 0.001),
+        (r @ a3, 3, 0.002),
+    ]
+    fit = fit_polyhedral_group(scorer, detected, threshold=0.02, candidates=(name,))
+    assert fit is not None
+    got_name, group = fit
+    assert got_name == name
+    assert group.order == canon.order
+    # every fitted element is close to a true element
+    for g in group.matrices[::7]:
+        assert min(rotation_between(g, t) for t in true) < 1.0
+
+
+def test_fit_rejects_wrong_group():
+    canon = tetrahedral_group()
+    scorer = _synthetic_scorer(canon.matrices)
+    axes = group_axes(canon)
+    a2 = next(a for a, o in axes if o == 2)
+    a3 = next(a for a, o in axes if o == 3)
+    detected = [(a2, 2, 0.001), (a3, 3, 0.002)]
+    # an octahedral explanation requires 4-folds the scorer will reject
+    fit = fit_polyhedral_group(scorer, detected, threshold=0.02, candidates=("O",))
+    assert fit is None
+
+
+def test_fit_needs_two_axes():
+    scorer = _synthetic_scorer(tetrahedral_group().matrices)
+    assert fit_polyhedral_group(scorer, [(np.array([0, 0, 1.0]), 2, 0.001)], threshold=0.05) is None

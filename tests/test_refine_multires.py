@@ -1,0 +1,68 @@
+"""Tests for multi-resolution schedules and the §4 operation arithmetic."""
+
+import pytest
+
+from repro.refine import (
+    MultiResolutionSchedule,
+    RefinementLevel,
+    default_schedule,
+    matching_operations_multires,
+    matching_operations_single_step,
+)
+
+
+def test_default_schedule_matches_paper():
+    sched = default_schedule()
+    assert [lv.angular_step_deg for lv in sched] == [1.0, 0.1, 0.01, 0.002]
+    assert [lv.center_step_px for lv in sched] == [1.0, 0.1, 0.01, 0.002]
+    assert sched.final_angular_step == 0.002
+
+
+def test_level_validation():
+    with pytest.raises(ValueError):
+        RefinementLevel(0.0, 1.0)
+    with pytest.raises(ValueError):
+        RefinementLevel(1.0, -1.0)
+    with pytest.raises(ValueError):
+        RefinementLevel(1.0, 1.0, half_steps=-1)
+
+
+def test_window_matches_per_level():
+    lv = RefinementLevel(1.0, 1.0, half_steps=4)
+    assert lv.window_matches == 9**3
+
+
+def test_schedule_total_matches():
+    sched = MultiResolutionSchedule((RefinementLevel(1, 1, half_steps=1), RefinementLevel(0.1, 0.1, half_steps=2)))
+    assert sched.total_window_matches() == 27 + 125
+    assert len(sched) == 2
+
+
+def test_empty_schedule_rejected():
+    with pytest.raises(ValueError):
+        MultiResolutionSchedule(())
+
+
+def test_paper_worked_example_single_step():
+    # §4: domain 60..70 deg at 0.002 deg -> 5000 matchings for one angle
+    assert matching_operations_single_step(10.0, 0.002) == 5000
+
+
+def test_paper_worked_example_multires():
+    # §4: 1 -> 0.1 -> 0.01 -> 0.002 gives 35 matchings for one angle
+    assert matching_operations_multires(10.0, [1.0, 0.1, 0.01, 0.002]) == 35
+
+
+def test_three_angle_reduction_four_orders():
+    single = matching_operations_single_step(10.0, 0.002, n_angles=3)
+    multi = matching_operations_multires(10.0, [1.0, 0.1, 0.01, 0.002], n_angles=3)
+    assert single / multi > 1e3  # "almost four orders of magnitude"
+    assert single == 5000**3
+    assert multi == 35**3
+
+
+def test_operation_count_validation():
+    with pytest.raises(ValueError):
+        matching_operations_single_step(0.0, 1.0)
+    with pytest.raises(ValueError):
+        matching_operations_multires(10.0, [])

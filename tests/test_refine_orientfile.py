@@ -1,0 +1,58 @@
+"""Tests for the orientation file format (steps c and o)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation
+from repro.refine import read_orientation_file, write_orientation_file
+
+
+def test_roundtrip(tmp_path):
+    orients = [
+        Orientation(10.5, 20.25, 30.125, 0.5, -0.25),
+        Orientation(0.0, 0.0, 0.0),
+        Orientation(179.9, 359.9, 359.9, -3.0, 3.0),
+    ]
+    scores = [0.1, 0.2, 0.3]
+    path = str(tmp_path / "orients.txt")
+    write_orientation_file(path, orients, scores=scores, header="iteration 3")
+    back, back_scores = read_orientation_file(path)
+    assert len(back) == 3
+    for a, b in zip(orients, back):
+        assert a.as_tuple() == pytest.approx(b.as_tuple(), abs=1e-5)
+    assert np.allclose(back_scores, scores)
+
+
+def test_roundtrip_without_scores(tmp_path):
+    path = str(tmp_path / "o.txt")
+    write_orientation_file(path, [Orientation(1, 2, 3)])
+    back, scores = read_orientation_file(path)
+    assert len(back) == 1
+    assert scores[0] == 0.0
+
+
+def test_score_length_checked(tmp_path):
+    with pytest.raises(ValueError):
+        write_orientation_file(str(tmp_path / "x.txt"), [Orientation(1, 2, 3)], scores=[1.0, 2.0])
+
+
+def test_read_rejects_bad_field_count(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("0 1.0 2.0\n")
+    with pytest.raises(ValueError, match="fields"):
+        read_orientation_file(str(p))
+
+
+def test_read_rejects_non_consecutive_ids(tmp_path):
+    p = tmp_path / "bad.txt"
+    p.write_text("1 1 2 3 0 0\n")
+    with pytest.raises(ValueError, match="consecutive"):
+        read_orientation_file(str(p))
+
+
+def test_read_skips_comments_and_blanks(tmp_path):
+    p = tmp_path / "ok.txt"
+    p.write_text("# header\n\n0 1 2 3 0 0 0.5\n# trailing comment\n")
+    orients, scores = read_orientation_file(str(p))
+    assert len(orients) == 1
+    assert scores[0] == 0.5

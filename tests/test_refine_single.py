@@ -1,0 +1,96 @@
+"""Tests for per-view per-level refinement (steps f–l combined)."""
+
+import numpy as np
+import pytest
+
+from repro.align import DistanceComputer
+from repro.fourier.slicing import extract_slice
+from repro.geometry import Orientation, orientation_distance_deg
+from repro.imaging import phase_shift_ft
+from repro.refine import refine_view_at_level
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.density import asymmetric_phantom
+
+    density = asymmetric_phantom(24, seed=3).normalized()
+    vft = density.fourier_oversampled(2)
+    truth = Orientation(60.0, 40.0, 25.0, 1.0, -0.5)
+    clean_cut = extract_slice(vft, truth.matrix(), out_size=24)
+    view_ft = phase_shift_ft(clean_cut, truth.cx, truth.cy)
+    dc = DistanceComputer(24, r_max=10)
+    return vft, truth, view_ft, dc
+
+
+def test_joint_angle_and_center_recovery(setup):
+    vft, truth, view_ft, dc = setup
+    start = Orientation(truth.theta + 1.5, truth.phi - 1.0, truth.omega + 1.0, 0.0, 0.0)
+    res = refine_view_at_level(
+        view_ft, vft, start,
+        angular_step_deg=0.5, center_step_px=0.25,
+        half_steps=4, center_half_steps=3, max_slides=4,
+        distance_computer=dc,
+    )
+    assert orientation_distance_deg(res.orientation, truth) < 0.8
+    assert res.orientation.cx == pytest.approx(truth.cx, abs=0.3)
+    assert res.orientation.cy == pytest.approx(truth.cy, abs=0.3)
+
+
+def test_counters_populated(setup):
+    vft, truth, view_ft, dc = setup
+    res = refine_view_at_level(
+        view_ft, vft, truth, angular_step_deg=1.0, center_step_px=0.5,
+        half_steps=1, center_half_steps=1, distance_computer=dc,
+    )
+    assert res.n_matches >= 27
+    assert res.n_center_evals >= 9
+    assert res.n_windows >= 1
+
+
+def test_no_center_refinement_mode(setup):
+    vft, truth, view_ft, dc = setup
+    start = truth.with_center(truth.cx, truth.cy)
+    res = refine_view_at_level(
+        view_ft, vft, start, angular_step_deg=1.0, center_step_px=1.0,
+        half_steps=1, distance_computer=dc, refine_centers=False,
+    )
+    assert res.n_center_evals == 0
+    assert res.orientation.cx == truth.cx  # untouched
+
+
+def test_early_exit_when_converged(setup):
+    vft, truth, view_ft, dc = setup
+    # start exactly at the truth: the second inner iteration must detect no
+    # change and stop (n_windows stays at 1)
+    res = refine_view_at_level(
+        view_ft, vft, truth, angular_step_deg=1.0, center_step_px=0.5,
+        half_steps=1, center_half_steps=1, distance_computer=dc, inner_iterations=3,
+    )
+    assert res.n_windows == 1
+
+
+def test_inner_iterations_validated(setup):
+    vft, truth, view_ft, dc = setup
+    with pytest.raises(ValueError):
+        refine_view_at_level(
+            view_ft, vft, truth, 1.0, 1.0, distance_computer=dc, inner_iterations=0
+        )
+
+
+def test_center_error_corrupts_then_inner_loop_fixes(setup):
+    # with a 1.5 px center error the first angular pass is biased; the
+    # second inner pass (after center correction) must land closer
+    vft, truth, view_ft, dc = setup
+    start = Orientation(truth.theta + 1.0, truth.phi, truth.omega, 0.0, 0.0)
+    res1 = refine_view_at_level(
+        view_ft, vft, start, 0.5, 0.5, half_steps=3, center_half_steps=3,
+        distance_computer=dc, inner_iterations=1,
+    )
+    res2 = refine_view_at_level(
+        view_ft, vft, start, 0.5, 0.5, half_steps=3, center_half_steps=3,
+        distance_computer=dc, inner_iterations=2,
+    )
+    e1 = orientation_distance_deg(res1.orientation, truth)
+    e2 = orientation_distance_deg(res2.orientation, truth)
+    assert e2 <= e1 + 1e-9

@@ -1,0 +1,54 @@
+"""Tests for refinement statistics and error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Orientation, icosahedral_group
+from repro.refine import RefinementStats, angular_errors, center_errors
+
+
+def test_stats_accumulation():
+    st = RefinementStats(n_views=10)
+    st.record_level(1.0, 1000, 90, 3, 1)
+    st.record_level(0.1, 2000, 90, 5, 0)
+    assert st.total_matches == 3000
+    assert st.total_center_evals == 180
+    assert st.level_steps_deg == [1.0, 0.1]
+    assert st.window_slides_per_level == [3, 5]
+
+
+def test_angular_errors_zero_for_identical():
+    orients = [Orientation(10, 20, 30), Orientation(40, 50, 60)]
+    errs = angular_errors(orients, orients)
+    assert np.allclose(errs, 0.0, atol=1e-6)
+
+
+def test_angular_errors_known_rotation():
+    a = [Orientation(10, 20, 30)]
+    b = [Orientation(10, 20, 75)]
+    assert angular_errors(a, b)[0] == pytest.approx(45.0, abs=1e-6)
+
+
+def test_angular_errors_modulo_symmetry():
+    group = icosahedral_group()
+    truth = Orientation(50, 60, 70)
+    # apply a group rotation: without symmetry the error is large, with it ~0
+    g = group.matrices[7]
+    equivalent = Orientation.from_matrix(g @ truth.matrix())
+    raw = angular_errors([equivalent], [truth])[0]
+    sym = angular_errors([equivalent], [truth], symmetry=group)[0]
+    assert raw > 10.0
+    assert sym == pytest.approx(0.0, abs=1e-5)
+
+
+def test_length_mismatch():
+    with pytest.raises(ValueError):
+        angular_errors([Orientation(1, 2, 3)], [])
+    with pytest.raises(ValueError):
+        center_errors([Orientation(1, 2, 3)], [])
+
+
+def test_center_errors():
+    a = [Orientation(0, 0, 0, 1.0, 2.0)]
+    b = [Orientation(0, 0, 0, 4.0, 6.0)]
+    assert center_errors(a, b)[0] == pytest.approx(5.0)

@@ -1,0 +1,112 @@
+"""Tests for symmetry detection (§3/§6 claim: detect symmetry if it exists)."""
+
+import numpy as np
+import pytest
+
+from repro.align import DistanceComputer
+from repro.density import asymmetric_phantom, cyclic_phantom, icosahedral_capsid_phantom
+from repro.density import sindbis_like_phantom
+from repro.geometry import random_orientations
+from repro.geometry.rotations import axis_angle_to_matrix
+from repro.refine import detect_symmetry, score_rotation
+from repro.refine.symmetry_detect import (
+    make_rotation_scorer,
+    remove_radial_average,
+    score_rotation_real,
+)
+
+
+def test_fourier_score_low_for_true_symmetry():
+    m = cyclic_phantom(24, n=4, seed=0).normalized()
+    vft = m.fourier_oversampled(2)
+    dc = DistanceComputer(24, r_max=10)
+    probes = np.stack([o.matrix() for o in random_orientations(3, seed=1)])
+    g = axis_angle_to_matrix([0, 0, 1], 90.0)
+    sym_score = score_rotation(vft, g, probes, dc)
+    rnd = axis_angle_to_matrix([1, 2, 3], 77.0)
+    rnd_score = score_rotation(vft, rnd, probes, dc)
+    assert sym_score < 0.3 * rnd_score
+
+
+def test_real_score_low_for_true_symmetry():
+    m = cyclic_phantom(24, n=4, seed=0).normalized()
+    data = remove_radial_average(m.data)
+    g = axis_angle_to_matrix([0, 0, 1], 90.0)
+    rnd = axis_angle_to_matrix([1, 2, 3], 77.0)
+    assert score_rotation_real(data, g) < 0.3 * score_rotation_real(data, rnd)
+
+
+def test_remove_radial_average_kills_spherical_part():
+    from repro.density.phantom import spherical_shell
+    from repro.fourier.shells import radial_shell_indices_3d
+
+    shell = spherical_shell(24, radius=8.0, thickness=2.0)
+    flat = remove_radial_average(shell)
+    # integer-shell binning leaves a sub-bin angular residual; what matters
+    # is that every shell's MEAN is exactly zero (the rotation-invariant
+    # component is gone) and that the operation is idempotent
+    shells = radial_shell_indices_3d(24)
+    for r in (4, 8, 10):
+        assert abs(flat[shells == r].mean()) < 1e-10
+    again = remove_radial_average(flat)
+    assert np.allclose(again, flat, atol=1e-12)
+    assert np.abs(flat).max() < 0.3 * shell.max()
+
+
+def test_make_scorer_validation(phantom16):
+    with pytest.raises(ValueError):
+        make_rotation_scorer(phantom16, method="psychic")
+
+
+def test_detect_c4():
+    m = cyclic_phantom(24, n=4, seed=0).normalized()
+    result = detect_symmetry(m, max_order=6, n_axes=120, seed=0)
+    assert result.group_name == "C4"
+    assert result.group.order == 4
+
+
+def test_detect_c3():
+    m = cyclic_phantom(24, n=3, seed=2).normalized()
+    result = detect_symmetry(m, max_order=6, n_axes=120, seed=0)
+    assert result.group_name == "C3"
+
+
+def test_detect_asymmetric_returns_c1():
+    m = asymmetric_phantom(24, seed=0).normalized()
+    result = detect_symmetry(m, max_order=5, n_axes=80, seed=0)
+    assert result.group_name == "C1"
+    assert result.group.order == 1
+    assert result.axes == []
+
+
+def test_detect_sindbis_full_icosahedral():
+    """The flagship case: the Sindbis-like capsid is identified as I."""
+    m = sindbis_like_phantom(32).normalized()
+    result = detect_symmetry(m, max_order=6, n_axes=150, seed=0)
+    assert result.group_name == "I"
+    assert result.group.order == 60
+    orders = {o for _, o, _ in result.axes}
+    assert 5 in orders  # a genuine 5-fold was found, not just inferred
+
+
+def test_detect_icosahedral_capsid_at_least_polyhedral():
+    """Smooth single-blob capsids may resolve only a polyhedral subgroup of
+    I (T shares all its 2-folds); any of I/T with order >= 12 counts as a
+    successful symmetric-particle detection."""
+    m = icosahedral_capsid_phantom(32, seed=0).normalized()
+    result = detect_symmetry(m, max_order=6, n_axes=150, seed=0)
+    assert result.group_name in ("I", "T")
+    assert result.group.order >= 12
+
+
+def test_fourier_backend_still_works_for_cyclic():
+    m = cyclic_phantom(24, n=4, seed=0).normalized()
+    result = detect_symmetry(m, max_order=4, n_axes=80, seed=0, method="fourier")
+    assert result.group_name in ("C4", "C2")  # noisier backend, weaker guarantee
+
+
+def test_null_statistics_populated():
+    m = cyclic_phantom(24, n=4, seed=0).normalized()
+    result = detect_symmetry(m, max_order=4, n_axes=60, seed=0)
+    assert result.null_mean > 0
+    assert result.threshold == pytest.approx(0.2 * result.null_mean)

@@ -1,0 +1,39 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils import default_rng, spawn_rngs
+
+
+def test_default_rng_from_int_is_deterministic():
+    a = default_rng(42).normal(size=5)
+    b = default_rng(42).normal(size=5)
+    assert np.array_equal(a, b)
+
+
+def test_default_rng_passthrough_generator():
+    g = np.random.default_rng(7)
+    assert default_rng(g) is g
+
+
+def test_default_rng_different_seeds_differ():
+    assert not np.array_equal(default_rng(1).normal(size=8), default_rng(2).normal(size=8))
+
+
+def test_spawn_rngs_independent_and_deterministic():
+    kids_a = spawn_rngs(0, 3)
+    kids_b = spawn_rngs(0, 3)
+    for a, b in zip(kids_a, kids_b):
+        assert np.array_equal(a.normal(size=4), b.normal(size=4))
+    draws = [g.normal() for g in spawn_rngs(0, 3)]
+    assert len(set(draws)) == 3
+
+
+def test_spawn_rngs_zero():
+    assert spawn_rngs(0, 0) == []
+
+
+def test_spawn_rngs_negative_raises():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, -1)

@@ -1,0 +1,83 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils import StepTimer, Timer, format_seconds
+
+
+def test_timer_context_manager_measures_elapsed():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_timer_stop_without_start_raises():
+    with pytest.raises(RuntimeError):
+        Timer().stop()
+
+
+def test_timer_accumulates_over_restarts():
+    t = Timer()
+    t.start()
+    t.stop()
+    first = t.elapsed
+    t.start()
+    t.stop()
+    assert t.elapsed >= first
+
+
+def test_steptimer_records_named_steps():
+    st = StepTimer()
+    with st.step("a"):
+        pass
+    st.add("b", 2.0)
+    assert set(st.totals) == {"a", "b"}
+    assert st.totals["b"] == 2.0
+    assert st.counts["b"] == 1
+
+
+def test_steptimer_add_accumulates():
+    st = StepTimer()
+    st.add("x", 1.0)
+    st.add("x", 2.5)
+    assert st.totals["x"] == pytest.approx(3.5)
+    assert st.counts["x"] == 2
+
+
+def test_steptimer_total_and_fraction():
+    st = StepTimer()
+    st.add("a", 1.0)
+    st.add("b", 3.0)
+    assert st.total == pytest.approx(4.0)
+    assert st.fraction("b") == pytest.approx(0.75)
+    assert st.fraction("missing") == 0.0
+
+
+def test_steptimer_fraction_empty_is_zero():
+    assert StepTimer().fraction("a") == 0.0
+
+
+def test_steptimer_merge():
+    a = StepTimer()
+    a.add("x", 1.0)
+    b = StepTimer()
+    b.add("x", 2.0)
+    b.add("y", 5.0)
+    a.merge(b)
+    assert a.totals["x"] == pytest.approx(3.0)
+    assert a.totals["y"] == pytest.approx(5.0)
+
+
+def test_format_seconds_ranges():
+    assert format_seconds(5e-7).endswith("us")
+    assert format_seconds(0.05).endswith("ms")
+    assert format_seconds(5).endswith("s")
+    assert format_seconds(600).endswith("min")
+    assert format_seconds(10000).endswith("h")
+
+
+def test_format_seconds_negative_raises():
+    with pytest.raises(ValueError):
+        format_seconds(-1.0)

@@ -1,0 +1,59 @@
+"""Tests for resolution/frequency/shell conversions."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    frequency_to_resolution,
+    resolution_to_shell_radius,
+    shell_radius_to_resolution,
+)
+from repro.utils.units import nyquist_resolution, resolution_to_frequency, shell_radii
+
+
+def test_shell_radius_resolution_roundtrip():
+    res = shell_radius_to_resolution(10, box_size=100, apix=2.0)
+    assert res == pytest.approx(20.0)
+    assert resolution_to_shell_radius(res, 100, 2.0) == pytest.approx(10.0)
+
+
+@given(
+    r=st.floats(min_value=1.0, max_value=200.0),
+    box=st.integers(min_value=8, max_value=1024),
+    apix=st.floats(min_value=0.2, max_value=5.0),
+)
+def test_roundtrip_property(r, box, apix):
+    res = shell_radius_to_resolution(r, box, apix)
+    assert resolution_to_shell_radius(res, box, apix) == pytest.approx(r, rel=1e-9)
+
+
+def test_nyquist_is_two_apix():
+    assert nyquist_resolution(1.5) == 3.0
+
+
+def test_frequency_resolution_inverse():
+    assert frequency_to_resolution(0.25) == pytest.approx(4.0)
+    assert resolution_to_frequency(4.0) == pytest.approx(0.25)
+
+
+def test_paper_scale_example():
+    # Sindbis: 331-pixel box; at ~2 A/px the 10 A shell sits near radius 66
+    r = resolution_to_shell_radius(10.0, 331, 2.0)
+    assert 60 < r < 70
+
+
+def test_shell_radii_covers_half_box():
+    radii = shell_radii(32)
+    assert radii[0] == 1 and radii[-1] == 16
+
+
+@pytest.mark.parametrize("bad", [0.0, -3.0])
+def test_invalid_inputs_raise(bad):
+    with pytest.raises(ValueError):
+        shell_radius_to_resolution(bad, 32, 1.0)
+    with pytest.raises(ValueError):
+        resolution_to_shell_radius(bad, 32, 1.0)
+    with pytest.raises(ValueError):
+        frequency_to_resolution(bad)
+    with pytest.raises(ValueError):
+        nyquist_resolution(bad)

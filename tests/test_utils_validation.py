@@ -1,0 +1,40 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils import require, require_cube, require_positive, require_square
+
+
+def test_require_passes_and_fails():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_require_positive():
+    require_positive(1e-9, "x")
+    with pytest.raises(ValueError):
+        require_positive(0.0, "x")
+    with pytest.raises(ValueError):
+        require_positive(-1.0, "x")
+
+
+def test_require_square_returns_side():
+    assert require_square(np.zeros((5, 5))) == 5
+
+
+@pytest.mark.parametrize("shape", [(5,), (4, 5), (3, 3, 3)])
+def test_require_square_rejects(shape):
+    with pytest.raises(ValueError):
+        require_square(np.zeros(shape))
+
+
+def test_require_cube_returns_side():
+    assert require_cube(np.zeros((4, 4, 4))) == 4
+
+
+@pytest.mark.parametrize("shape", [(4, 4), (4, 4, 5), (2, 3, 4)])
+def test_require_cube_rejects(shape):
+    with pytest.raises(ValueError):
+        require_cube(np.zeros(shape))
