@@ -1,0 +1,156 @@
+"""Kernel benchmark driver: fused vs reference, serial vs process pool.
+
+Measures the two performance claims of the fused-kernel work:
+
+* the fused in-band slice/distance kernel vs the reference
+  slice-then-distance path, on the full multi-resolution schedule at the
+  paper-scale view size (l = 64, oversampled D̂), and
+* the process-parallel view scheduler at 1 vs N workers (recorded, not
+  asserted — wall-clock scaling depends on the host's core count).
+
+Both measurements double as equivalence checks: the benchmark fails if
+fused and reference (or serial and pooled) results disagree.
+
+Run standalone to (re)generate ``BENCH_kernels.json`` at the repo root::
+
+    PYTHONPATH=src python benchmarks/run_bench.py
+
+or through the pytest harness (same numbers, plus artifact capture)::
+
+    PYTHONPATH=src python -m pytest benchmarks/test_bench_fused_kernel.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __package__ in (None, ""):  # standalone: make src/ importable
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+BENCH_FILE = REPO_ROOT / "BENCH_kernels.json"
+
+
+def _make_problem(size: int, n_views: int, seed: int = 0):
+    from repro.density import asymmetric_phantom
+    from repro.imaging.simulate import simulate_views
+
+    density = asymmetric_phantom(size, seed=seed).normalized()
+    views = simulate_views(
+        density, n_views, initial_angle_error_deg=2.0, center_sigma_px=0.5, seed=seed
+    )
+    return density, views
+
+
+def measure_fused_vs_reference(
+    size: int = 64,
+    n_views: int = 2,
+    r_max: float | None = None,
+    seed: int = 0,
+) -> dict:
+    """One full multi-resolution refinement per kernel; returns the timings.
+
+    The two kernels must return bit-identical orientations and distances —
+    a mismatch raises instead of reporting a meaningless speedup.
+    """
+    from repro.refine.refiner import OrientationRefiner
+
+    density, views = _make_problem(size, n_views, seed)
+    results = {}
+    timings = {}
+    for kernel in ("reference", "fused"):
+        refiner = OrientationRefiner(density, r_max=r_max, kernel=kernel)
+        refiner.volume_ft()  # step a excluded: both kernels share it unchanged
+        t0 = time.perf_counter()
+        results[kernel] = refiner.refine(views)
+        timings[kernel] = time.perf_counter() - t0
+    ref, fus = results["reference"], results["fused"]
+    if [o.as_tuple() for o in ref.orientations] != [o.as_tuple() for o in fus.orientations]:
+        raise AssertionError("fused kernel diverged from reference orientations")
+    if not np.array_equal(ref.distances, fus.distances):
+        raise AssertionError("fused kernel diverged from reference distances")
+    return {
+        "size": size,
+        "n_views": n_views,
+        "r_max": size // 2 if r_max is None else r_max,
+        "schedule": "default (1.0, 0.1, 0.01, 0.002 deg)",
+        "n_matches": ref.stats.total_matches,
+        "reference_seconds": round(timings["reference"], 3),
+        "fused_seconds": round(timings["fused"], 3),
+        "speedup": round(timings["reference"] / timings["fused"], 2),
+        "identical_results": True,
+    }
+
+
+def measure_worker_scaling(
+    size: int = 32,
+    n_views: int = 8,
+    worker_counts: tuple[int, ...] = (1, 2),
+    seed: int = 0,
+) -> dict:
+    """Wall time of the fused refinement at each worker count.
+
+    Results must be bit-identical at every count.  The speedup column is
+    recorded as measured — on a single-core host the pool can only add
+    overhead, which is itself worth knowing.
+    """
+    from repro.refine.refiner import OrientationRefiner
+
+    density, views = _make_problem(size, n_views, seed)
+    baseline = None
+    rows = []
+    for n in worker_counts:
+        refiner = OrientationRefiner(density, n_workers=n)
+        refiner.volume_ft()
+        t0 = time.perf_counter()
+        result = refiner.refine(views)
+        dt = time.perf_counter() - t0
+        if baseline is None:
+            baseline = result
+            base_dt = dt
+        else:
+            if [o.as_tuple() for o in result.orientations] != [
+                o.as_tuple() for o in baseline.orientations
+            ]:
+                raise AssertionError(f"n_workers={n} diverged from serial orientations")
+            if not np.array_equal(result.distances, baseline.distances):
+                raise AssertionError(f"n_workers={n} diverged from serial distances")
+        rows.append(
+            {
+                "n_workers": n,
+                "seconds": round(dt, 3),
+                "speedup_vs_serial": round(base_dt / dt, 2),
+            }
+        )
+    return {
+        "size": size,
+        "n_views": n_views,
+        "host_cpus": os.cpu_count(),
+        "identical_results": True,
+        "rows": rows,
+    }
+
+
+def run_all() -> dict:
+    return {
+        "fused_vs_reference": measure_fused_vs_reference(),
+        "worker_scaling": measure_worker_scaling(),
+    }
+
+
+def main() -> None:
+    data = run_all()
+    BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
+    print(json.dumps(data, indent=2))
+    print(f"\nwrote {BENCH_FILE}")
+
+
+if __name__ == "__main__":
+    main()

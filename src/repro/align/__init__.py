@@ -14,8 +14,9 @@ from repro.align.distance import (
     fourier_distance_batch,
     radius_weights,
 )
-from repro.align.grid import OrientationGrid, orientation_window
-from repro.align.matcher import MatchResult, match_view
+from repro.align.fused import MatchPlan, get_match_plan
+from repro.align.grid import OrientationGrid, orientation_window, step_offsets
+from repro.align.matcher import MatchResult, match_view, match_view_band
 from repro.align.common_lines import (
     common_line_angles,
     sinogram,
@@ -44,10 +45,14 @@ __all__ = [
     "fourier_distance_batch",
     "radius_weights",
     "DistanceComputer",
+    "MatchPlan",
+    "get_match_plan",
     "OrientationGrid",
     "orientation_window",
+    "step_offsets",
     "MatchResult",
     "match_view",
+    "match_view_band",
     "sinogram",
     "common_line_angles",
     "initial_orientations_common_lines",

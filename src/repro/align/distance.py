@@ -130,11 +130,29 @@ class DistanceComputer:
         self.normalized = bool(normalized)
         self.n_samples = int(self._flat_idx.size)
 
+    @property
+    def band_indices(self) -> np.ndarray:
+        """Flat (row-major) pixel indices of the in-band samples."""
+        return self._flat_idx
+
+    @property
+    def band_weights(self) -> np.ndarray | None:
+        """In-band weight vector ``wt`` aligned with :attr:`band_indices`."""
+        return self._w
+
     def _maybe_normalize(self, vec: np.ndarray) -> np.ndarray:
         if not self.normalized:
             return vec
-        n = np.linalg.norm(vec)
+        n = np.linalg.norm(np.ascontiguousarray(vec))
         return vec / n if n > 0 else vec
+
+    def _normalize_rows(self, mat: np.ndarray) -> np.ndarray:
+        if not self.normalized:
+            return mat
+        # Contiguous rows fix the pairwise-summation order (see distance_band).
+        norms = np.linalg.norm(np.ascontiguousarray(mat), axis=-1, keepdims=True)
+        norms[norms == 0] = 1.0
+        return mat / norms
 
     def gather_modulation(self, modulation: np.ndarray | None) -> np.ndarray | None:
         """Pre-gather a per-view cut modulation (e.g. |CTF|) onto the band.
@@ -172,13 +190,11 @@ class DistanceComputer:
         full (l, l) array) multiplies the cut before differencing — used to
         impose the view's |CTF| on the calculated cut.
         """
-        c = self.gather(cut_ft)
-        c = self._apply_modulation(c, cut_modulation)
-        diff = self._maybe_normalize(self.gather(view_ft)) - self._maybe_normalize(c)
-        sq = diff.real**2 + diff.imag**2
-        if self._w is not None:
-            sq = sq * self._w
-        return float(np.sqrt(sq.sum()) / (self.size * self.size))
+        return float(
+            self.distance_band(
+                self.gather(view_ft), self.gather(cut_ft), cut_modulation=cut_modulation
+            )
+        )
 
     def _apply_modulation(self, gathered_cut: np.ndarray, cut_modulation) -> np.ndarray:
         if cut_modulation is None:
@@ -190,6 +206,46 @@ class DistanceComputer:
             raise ValueError("cut_modulation does not match the band size")
         return gathered_cut * mod
 
+    def distance_band(
+        self,
+        view_band: np.ndarray,
+        cut_band: np.ndarray,
+        cut_modulation: np.ndarray | None = None,
+    ) -> np.ndarray | float:
+        """The §3 distance from pre-gathered in-band vectors — no (w, l, l) stacks.
+
+        Both arguments are flat band vectors (``(n_samples,)``) or stacks of
+        them (``(m, n_samples)``), as produced by :meth:`gather` or by the
+        fused kernel's in-band slice gather; broadcasting follows numpy
+        rules, so one view against ``w`` cuts or ``n`` shifted views against
+        one cut both work.  ``cut_modulation`` (a band vector or a full
+        ``(l, l)`` array) multiplies the cut(s) before differencing.
+
+        Returns a scalar when both inputs are single vectors, else an array
+        of distances.
+        """
+        f = np.asarray(view_band)
+        c = np.asarray(cut_band)
+        if f.shape[-1] != self.n_samples or c.shape[-1] != self.n_samples:
+            raise ValueError(
+                f"band vectors must have {self.n_samples} samples, "
+                f"got {f.shape} and {c.shape}"
+            )
+        if cut_modulation is not None:
+            c = self._apply_modulation(c, cut_modulation)
+        if self.normalized:
+            f = self._maybe_normalize(f) if f.ndim == 1 else self._normalize_rows(f)
+            c = self._maybe_normalize(c) if c.ndim == 1 else self._normalize_rows(c)
+        diff = c - f
+        sq = diff.real**2 + diff.imag**2
+        if self._w is not None:
+            sq = sq * self._w
+        # A contiguous reduction keeps the pairwise-summation order identical
+        # whether the band vectors came from a full-stack gather (reference
+        # kernel, non-contiguous fancy-indexed rows) or the fused kernel.
+        d = np.sqrt(np.ascontiguousarray(sq).sum(axis=-1)) / (self.size * self.size)
+        return float(d) if np.ndim(d) == 0 else d
+
     def distance_batch(
         self,
         view_ft: np.ndarray,
@@ -200,19 +256,8 @@ class DistanceComputer:
         cuts = np.asarray(cuts_ft)
         if cuts.ndim != 3 or cuts.shape[1:] != (self.size, self.size):
             raise ValueError(f"cuts must be (w, {self.size}, {self.size}), got {cuts.shape}")
-        f = self._maybe_normalize(self.gather(view_ft))
         c = cuts.reshape(cuts.shape[0], -1)[:, self._flat_idx]
-        if cut_modulation is not None:
-            c = self._apply_modulation(c, cut_modulation)
-        if self.normalized:
-            norms = np.linalg.norm(c, axis=1, keepdims=True)
-            norms[norms == 0] = 1.0
-            c = c / norms
-        diff = c - f[None, :]
-        sq = diff.real**2 + diff.imag**2
-        if self._w is not None:
-            sq = sq * self._w[None, :]
-        return np.sqrt(sq.sum(axis=1)) / (self.size * self.size)
+        return self.distance_band(self.gather(view_ft), c, cut_modulation=cut_modulation)
 
     def distance_many_to_one(
         self,
@@ -224,15 +269,5 @@ class DistanceComputer:
         views = np.asarray(views_ft)
         if views.ndim != 3 or views.shape[1:] != (self.size, self.size):
             raise ValueError("views must be (n, l, l)")
-        c = self._apply_modulation(self.gather(cut_ft), cut_modulation)
-        c = self._maybe_normalize(c)
         v = views.reshape(views.shape[0], -1)[:, self._flat_idx]
-        if self.normalized:
-            norms = np.linalg.norm(v, axis=1, keepdims=True)
-            norms[norms == 0] = 1.0
-            v = v / norms
-        diff = v - c[None, :]
-        sq = diff.real**2 + diff.imag**2
-        if self._w is not None:
-            sq = sq * self._w[None, :]
-        return np.sqrt(sq.sum(axis=1)) / (self.size * self.size)
+        return self.distance_band(v, self.gather(cut_ft), cut_modulation=cut_modulation)

@@ -1,0 +1,255 @@
+"""Fused in-band slice/distance kernel (steps f–h without the cut stacks).
+
+The reference matching path materializes a full ``(w, l, l)`` stack of
+central cuts (:func:`repro.fourier.slicing.extract_slices`) and only then
+masks it down to the band ``r ≤ r_map``
+(:meth:`repro.align.distance.DistanceComputer.distance_batch`).  Every
+sample outside the band is gathered from D̂, copied, and thrown away, and
+the coordinate meshgrids are rebuilt for every window of every slide.
+
+:class:`MatchPlan` fuses the two stages.  Once per ``(l, r_map, weights,
+volume_size, interpolation)`` it precomputes the in-band 2D frequency
+coordinates ``(kx, ky)`` and the band weight vector; per window it rotates
+*only those coordinates* into the volume frame and gathers trilinear
+samples of D̂ at them, so the per-candidate cost drops from ``l²`` to
+``≈ π·r_map²`` samples — a ``(l/2)²/r_map²`` FLOP and memory-traffic saving
+at coarse levels where ``r_map ≪ l/2``.  Because the band radius bounds
+every rotated coordinate, the interior/edge decision is made **once at
+plan time**: in the common oversampled case the 8-corner trilinear gather
+runs with no per-corner bounds checks at all.
+
+The kernel is numerically *identical* to the reference path (same
+coordinate arithmetic, same corner accumulation order, same reduction
+shapes), so ``kernel="reference"`` remains available purely as a checkable
+slow path.  The plan also carries the in-band phase-ramp machinery used by
+the fused center search (steps k–l), where a candidate center shift
+becomes an ``n_band``-element ramp instead of an ``l×l`` one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer
+from repro.fourier.slicing import _gather_nearest, _gather_trilinear, _gather_trilinear_interior
+from repro.fourier.transforms import fourier_center, frequency_grid_2d
+
+__all__ = ["MatchPlan", "get_match_plan"]
+
+#: Safety margin (in voxels) for the plan-time interior test.  Rotated
+#: coordinates are bounded by ``r_band·scale`` analytically; floating-point
+#: rounding can exceed that bound by a few ulp, far below this margin.
+_INTERIOR_MARGIN = 1e-9
+
+#: Target band samples per gather chunk.  Large windows are processed in
+#: rotation chunks of roughly this many samples so the coordinate and
+#: per-corner temporaries stay cache-resident instead of streaming
+#: tens-of-MB arrays through memory eight times per window.  Gathers and
+#: distances are per-point/per-row, so chunking cannot change any value.
+_CHUNK_SAMPLES = 1 << 18
+
+
+class MatchPlan:
+    """Precomputed in-band geometry for fused slice+distance evaluation.
+
+    Parameters
+    ----------
+    distance_computer:
+        The band mask, weights and normalization all come from here; the
+        fused distances are bit-identical to ``distance_computer`` applied
+        to reference cuts.
+    volume_size:
+        Side of the (possibly oversampled) 3D DFT the cuts are taken from.
+    interpolation:
+        ``"trilinear"`` (default) or ``"nearest"``.
+    """
+
+    def __init__(
+        self,
+        distance_computer: DistanceComputer,
+        volume_size: int,
+        interpolation: str = "trilinear",
+    ) -> None:
+        if interpolation not in ("trilinear", "nearest"):
+            raise ValueError(f"unknown interpolation order {interpolation!r}")
+        self.dc = distance_computer
+        self.size = distance_computer.size
+        self.volume_size = int(volume_size)
+        if self.volume_size < self.size:
+            raise ValueError("volume_size must be >= image size")
+        self.interpolation = interpolation
+        ky, kx = frequency_grid_2d(self.size)
+        idx = distance_computer.band_indices
+        # Integer band frequencies; int·float promotion reproduces the
+        # reference meshgrid arithmetic exactly.
+        self._kxb = kx.ravel()[idx]
+        self._kyb = ky.ravel()[idx]
+        self._scale = self.volume_size / self.size
+        self._cv = fourier_center(self.volume_size)
+        self.n_samples = distance_computer.n_samples
+        if idx.size:
+            r_band = float(
+                np.sqrt(self._kxb.astype(float) ** 2 + self._kyb.astype(float) ** 2).max()
+            )
+        else:
+            r_band = 0.0
+        #: Largest in-band frequency radius (image units); rotation cannot
+        #: push any sampled coordinate farther than ``r_band·scale`` from
+        #: the volume center, so interior-ness is known before any gather.
+        self.band_radius = r_band
+        reach = r_band * self._scale
+        self._interior = bool(
+            self._cv - reach >= _INTERIOR_MARGIN
+            and self._cv + reach <= self.volume_size - 1 - _INTERIOR_MARGIN
+        )
+
+    @property
+    def all_interior(self) -> bool:
+        """True when every possible sample has a full in-bounds 8-corner cell."""
+        return self._interior
+
+    # -- band gathers ------------------------------------------------------
+    def gather_view(self, view_ft: np.ndarray) -> np.ndarray:
+        """The view's in-band samples as a flat vector (alias of ``dc.gather``)."""
+        return self.dc.gather(view_ft)
+
+    def _band_coords(self, rotations: np.ndarray) -> tuple[np.ndarray, bool]:
+        rots = np.asarray(rotations, dtype=float)
+        single = rots.ndim == 2
+        if single:
+            rots = rots[None]
+        if rots.ndim != 3 or rots.shape[1:] != (3, 3):
+            raise ValueError(f"rotations must be (w, 3, 3) or (3, 3), got {rots.shape}")
+        u = rots[:, :, 0]  # (w, 3)
+        v = rots[:, :, 1]
+        coords_xyz = (
+            self._kxb[None, :, None] * u[:, None, :] + self._kyb[None, :, None] * v[:, None, :]
+        ) * self._scale
+        coords_zyx = coords_xyz[..., ::-1] + self._cv
+        return coords_zyx, single
+
+    def _rotation_chunk(self) -> int:
+        """Rotations per gather chunk (cache sizing, not a result knob)."""
+        return max(1, _CHUNK_SAMPLES // max(1, self.n_samples))
+
+    def _gather_chunk(self, vol: np.ndarray, rotations: np.ndarray) -> np.ndarray:
+        coords, single = self._band_coords(rotations)
+        if self.interpolation == "nearest":
+            out = _gather_nearest(vol, coords)
+        elif self._interior:
+            pts = coords.reshape(-1, 3)
+            base = np.floor(pts).astype(np.int64)
+            frac = pts - base
+            out = _gather_trilinear_interior(vol.ravel(), vol.shape[0], base, frac).reshape(
+                coords.shape[:-1]
+            )
+        else:
+            out = _gather_trilinear(vol, coords)
+        return out[0] if single else out
+
+    def cut_bands(self, volume_ft: np.ndarray, rotations: np.ndarray) -> np.ndarray:
+        """In-band samples of the central cut(s) of D̂ — never an (w, l, l) stack.
+
+        ``rotations`` is one ``(3, 3)`` matrix or a ``(w, 3, 3)`` stack; the
+        result is ``(n_band,)`` or ``(w, n_band)`` complex samples.
+        """
+        vol = np.asarray(volume_ft)
+        if vol.shape != (self.volume_size,) * 3:
+            raise ValueError(
+                f"volume_ft must be ({self.volume_size},)*3 for this plan, got {vol.shape}"
+            )
+        rots = np.asarray(rotations, dtype=float)
+        step = self._rotation_chunk()
+        if rots.ndim == 2 or rots.shape[0] <= step:
+            return self._gather_chunk(vol, rots)
+        out = np.empty((rots.shape[0], self.n_samples), dtype=vol.dtype)
+        for lo in range(0, rots.shape[0], step):
+            out[lo : lo + step] = self._gather_chunk(vol, rots[lo : lo + step])
+        return out
+
+    def cut_band(self, volume_ft: np.ndarray, rotation: np.ndarray) -> np.ndarray:
+        """In-band samples of one cut (the fused analog of ``extract_slice``)."""
+        return self.cut_bands(volume_ft, rotation)
+
+    # -- fused matching ----------------------------------------------------
+    def distances(
+        self,
+        volume_ft: np.ndarray,
+        view_band: np.ndarray,
+        rotations: np.ndarray,
+        cut_modulation: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """§3 distances from one view to all ``w`` candidates, fused.
+
+        ``view_band`` comes from :meth:`gather_view`; ``cut_modulation`` is
+        a band vector (or full ``(l, l)`` array) imposed on every cut.
+
+        Each rotation chunk is gathered *and* reduced while still hot in
+        cache; distances are per-row, so chunking is invisible in the
+        output.
+        """
+        rots = np.asarray(rotations, dtype=float)
+        if rots.ndim == 2:
+            rots = rots[None]
+        vol = np.asarray(volume_ft)
+        step = self._rotation_chunk()
+        if rots.shape[0] <= step:
+            cuts = self.cut_bands(vol, rots)
+            return np.asarray(
+                self.dc.distance_band(view_band, cuts, cut_modulation=cut_modulation)
+            )
+        out = np.empty(rots.shape[0])
+        for lo in range(0, rots.shape[0], step):
+            cuts = self.cut_bands(vol, rots[lo : lo + step])
+            out[lo : lo + step] = self.dc.distance_band(
+                view_band, cuts, cut_modulation=cut_modulation
+            )
+        return out
+
+    # -- fused center machinery (steps k–l) --------------------------------
+    def shift_ramps(self, dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+        """In-band phase ramps for a batch of candidate center corrections.
+
+        Row ``i`` equals the reference ``_shift_stack`` ramp for
+        ``(dxs[i], dys[i])`` restricted to the band.
+        """
+        dxs = np.asarray(dxs, dtype=float)
+        dys = np.asarray(dys, dtype=float)
+        return np.exp(
+            2j
+            * np.pi
+            * (self._kxb[None, :] * dxs[:, None] + self._kyb[None, :] * dys[:, None])
+            / self.size
+        )
+
+    def phase_shift_band(self, view_band: np.ndarray, dx: float, dy: float) -> np.ndarray:
+        """Band-restricted :func:`repro.imaging.center.phase_shift_ft`."""
+        if dx == 0.0 and dy == 0.0:
+            return view_band
+        ramp = np.exp(-2j * np.pi * (self._kxb * dx + self._kyb * dy) / self.size)
+        return np.asarray(view_band) * ramp
+
+
+def get_match_plan(
+    distance_computer: DistanceComputer,
+    volume_size: int,
+    interpolation: str = "trilinear",
+) -> MatchPlan:
+    """The cached :class:`MatchPlan` for a computer/volume/interpolation triple.
+
+    Plans attach to the :class:`DistanceComputer` instance (whose mask and
+    weights they bake in), so every slide, inner iteration, level and view
+    sharing a computer also shares one plan.
+    """
+    cache: dict[tuple[int, str], MatchPlan] | None = getattr(
+        distance_computer, "_match_plans", None
+    )
+    if cache is None:
+        cache = {}
+        distance_computer._match_plans = cache  # type: ignore[attr-defined]
+    key = (int(volume_size), interpolation)
+    plan = cache.get(key)
+    if plan is None:
+        plan = MatchPlan(distance_computer, volume_size, interpolation)
+        cache[key] = plan
+    return plan

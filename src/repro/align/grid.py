@@ -15,7 +15,23 @@ import numpy as np
 
 from repro.geometry.euler import Orientation, euler_to_matrix
 
-__all__ = ["OrientationGrid", "orientation_window"]
+__all__ = ["OrientationGrid", "orientation_window", "step_offsets"]
+
+# The symmetric offset vectors (-h..h)·step are rebuilt for every window of
+# every slide of every view; they depend only on (h, step), so cache them
+# read-only.  Shared with the center box search (refine.center_refine).
+_OFFSETS_CACHE: dict[tuple[int, float], np.ndarray] = {}
+
+
+def step_offsets(half_steps: int, step: float) -> np.ndarray:
+    """Cached read-only offsets ``(-h, …, h)·step`` around a window center."""
+    key = (int(half_steps), float(step))
+    cached = _OFFSETS_CACHE.get(key)
+    if cached is None:
+        cached = np.arange(-key[0], key[0] + 1) * key[1]
+        cached.setflags(write=False)
+        _OFFSETS_CACHE[key] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -105,7 +121,7 @@ def orientation_window(
         hs = tuple(int(h) for h in half_steps)  # type: ignore[assignment]
     if any(h < 0 for h in hs):
         raise ValueError("half_steps must be non-negative")
-    offsets = [np.arange(-h, h + 1) * step_deg for h in hs]
+    offsets = [step_offsets(h, step_deg) for h in hs]
     return OrientationGrid(
         thetas=center.theta + offsets[0],
         phis=center.phi + offsets[1],

@@ -15,11 +15,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.align.fused import MatchPlan
 from repro.align.grid import OrientationGrid
 from repro.fourier.slicing import extract_slices
 from repro.geometry.euler import Orientation
 
-__all__ = ["MatchResult", "match_view"]
+__all__ = ["MatchResult", "match_view", "match_view_band"]
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,33 @@ def match_view(
     # the view's size either way.
     cuts = extract_slices(volume_ft, rotations, order=interpolation, out_size=size)
     distances = dc.distance_batch(view_ft, cuts, cut_modulation=cut_modulation)
+    flat = int(np.argmin(distances))
+    return MatchResult(
+        orientation=grid.orientation_at(flat),
+        distance=float(distances[flat]),
+        flat_index=flat,
+        on_edge=grid.on_edge(flat),
+        distances=distances,
+        n_matches=grid.size,
+    )
+
+
+def match_view_band(
+    view_band: np.ndarray,
+    volume_ft: np.ndarray,
+    grid: OrientationGrid,
+    plan: MatchPlan,
+    cut_modulation: np.ndarray | None = None,
+) -> MatchResult:
+    """Steps f–h with the fused in-band kernel — no ``(w, l, l)`` cut stack.
+
+    ``view_band`` is the view's pre-gathered in-band vector
+    (:meth:`MatchPlan.gather_view`); the distances are numerically identical
+    to :func:`match_view` with the plan's distance computer.
+    """
+    distances = plan.distances(
+        volume_ft, view_band, grid.rotation_stack(), cut_modulation=cut_modulation
+    )
     flat = int(np.argmin(distances))
     return MatchResult(
         orientation=grid.orientation_at(flat),

@@ -26,20 +26,44 @@ __all__ = [
 ]
 
 
+# Shell-index grids are pure functions of ``size`` and sit on every hot
+# path (distance masks, weights, FSC); they are cached as read-only arrays
+# so repeated plan construction never rebuilds the meshgrids.
+_SHELL_2D_CACHE: dict[int, np.ndarray] = {}
+_SHELL_3D_CACHE: dict[int, np.ndarray] = {}
+
+
 def radial_shell_indices_2d(size: int) -> np.ndarray:
-    """Integer shell index (rounded radius) of every pixel of an l×l image."""
-    c = fourier_center(size)
-    k = np.arange(size) - c
-    ky, kx = np.meshgrid(k, k, indexing="ij")
-    return np.rint(np.sqrt(ky * ky + kx * kx)).astype(np.int64)
+    """Integer shell index (rounded radius) of every pixel of an l×l image.
+
+    The returned array is cached per ``size`` and marked read-only; copy it
+    before mutating.
+    """
+    cached = _SHELL_2D_CACHE.get(size)
+    if cached is None:
+        c = fourier_center(size)
+        k = np.arange(size) - c
+        ky, kx = np.meshgrid(k, k, indexing="ij")
+        cached = np.rint(np.sqrt(ky * ky + kx * kx)).astype(np.int64)
+        cached.setflags(write=False)
+        _SHELL_2D_CACHE[size] = cached
+    return cached
 
 
 def radial_shell_indices_3d(size: int) -> np.ndarray:
-    """Integer shell index (rounded radius) of every voxel of an l³ volume."""
-    c = fourier_center(size)
-    k = np.arange(size) - c
-    kz, ky, kx = np.meshgrid(k, k, k, indexing="ij")
-    return np.rint(np.sqrt(kz * kz + ky * ky + kx * kx)).astype(np.int64)
+    """Integer shell index (rounded radius) of every voxel of an l³ volume.
+
+    Cached per ``size`` (read-only), like the 2D variant.
+    """
+    cached = _SHELL_3D_CACHE.get(size)
+    if cached is None:
+        c = fourier_center(size)
+        k = np.arange(size) - c
+        kz, ky, kx = np.meshgrid(k, k, k, indexing="ij")
+        cached = np.rint(np.sqrt(kz * kz + ky * ky + kx * kx)).astype(np.int64)
+        cached.setflags(write=False)
+        _SHELL_3D_CACHE[size] = cached
+    return cached
 
 
 def circular_mask(size: int, radius: float) -> np.ndarray:

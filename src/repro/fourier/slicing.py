@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fourier.transforms import fourier_center
+from repro.fourier.transforms import fourier_center, frequency_grid_2d
 from repro.utils import require_cube
 
 __all__ = ["slice_coordinates", "extract_slice", "extract_slices"]
@@ -44,9 +44,7 @@ def slice_coordinates(size: int, rotation: np.ndarray, volume_size: int | None =
         raise ValueError("volume_size must be >= slice size")
     scale = vsize / size
     cv = fourier_center(vsize)
-    c = fourier_center(size)
-    k = np.arange(size) - c
-    ky, kx = np.meshgrid(k, k, indexing="ij")
+    ky, kx = frequency_grid_2d(size)
     # Math frame is (x, y, z); k-vector of slice pixel = kx·u + ky·v.
     u, v = r[:, 0], r[:, 1]
     coords_xyz = (kx[..., None] * u + ky[..., None] * v) * scale
@@ -55,29 +53,68 @@ def slice_coordinates(size: int, rotation: np.ndarray, volume_size: int | None =
     return coords_zyx
 
 
-def _gather_trilinear(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
-    """Vectorized trilinear gather of complex samples at fractional coords.
+def _gather_trilinear_interior(
+    flat: np.ndarray, l: int, base: np.ndarray, frac: np.ndarray
+) -> np.ndarray:
+    """Trilinear gather when every 8-corner neighbourhood is in bounds.
 
-    ``coords_zyx`` has shape ``(..., 3)``; out-of-bounds samples return 0.
+    The corner accumulation order and the weight-product association match
+    the bounds-checked path exactly, so both paths are bit-identical where
+    they overlap.
     """
-    l = volume.shape[0]
-    pts = coords_zyx.reshape(-1, 3)
-    base = np.floor(pts).astype(np.int64)
-    frac = pts - base
-    out = np.zeros(pts.shape[0], dtype=volume.dtype)
-    flat = volume.ravel()
+    out = np.zeros(base.shape[0], dtype=flat.dtype)
+    lin0 = (base[:, 0] * l + base[:, 1]) * l + base[:, 2]
     for corner in range(8):
         dz, dy, dx = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
-        idx = base + np.array([dz, dy, dx])
-        valid = np.all((idx >= 0) & (idx < l), axis=1)
         w = (
             (frac[:, 0] if dz else 1.0 - frac[:, 0])
             * (frac[:, 1] if dy else 1.0 - frac[:, 1])
             * (frac[:, 2] if dx else 1.0 - frac[:, 2])
         )
-        lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
-        lin[~valid] = 0
-        out += np.where(valid, w, 0.0) * flat[lin]
+        out += w * flat[lin0 + ((dz * l + dy) * l + dx)]
+    return out
+
+
+def _gather_trilinear(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
+    """Vectorized trilinear gather of complex samples at fractional coords.
+
+    ``coords_zyx`` has shape ``(..., 3)``; out-of-bounds samples return 0.
+    When every sample's 8-corner neighbourhood is interior — the common case
+    for an oversampled, band-limited search — a fast path skips the
+    per-corner bounds checks entirely (one range test up front).
+    """
+    l = volume.shape[0]
+    pts = coords_zyx.reshape(-1, 3)
+    base = np.floor(pts).astype(np.int64)
+    frac = pts - base
+    flat = volume.ravel()
+    if base.size and base.min() >= 0 and base.max() <= l - 2:
+        out = _gather_trilinear_interior(flat, l, base, frac)
+        return out.reshape(coords_zyx.shape[:-1])
+    # Mixed case: route each point down the cheapest path it qualifies for.
+    # Per-point values are elementwise (no cross-point reduction), so the
+    # split is bit-identical to running the checked loop on everything.
+    inner = np.all((base >= 0) & (base <= l - 2), axis=1)
+    out = np.zeros(pts.shape[0], dtype=volume.dtype)
+    if inner.any():
+        out[inner] = _gather_trilinear_interior(flat, l, base[inner], frac[inner])
+    edge = ~inner
+    if edge.any():
+        base_e, frac_e = base[edge], frac[edge]
+        acc = np.zeros(base_e.shape[0], dtype=volume.dtype)
+        for corner in range(8):
+            dz, dy, dx = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
+            idx = base_e + np.array([dz, dy, dx])
+            valid = np.all((idx >= 0) & (idx < l), axis=1)
+            w = (
+                (frac_e[:, 0] if dz else 1.0 - frac_e[:, 0])
+                * (frac_e[:, 1] if dy else 1.0 - frac_e[:, 1])
+                * (frac_e[:, 2] if dx else 1.0 - frac_e[:, 2])
+            )
+            lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
+            lin[~valid] = 0
+            acc += np.where(valid, w, 0.0) * flat[lin]
+        out[edge] = acc
     return out.reshape(coords_zyx.shape[:-1])
 
 
@@ -145,9 +182,7 @@ def extract_slices(
         raise ValueError(f"rotations must be (w, 3, 3), got {rots.shape}")
     scale = l / size
     cv = fourier_center(l)
-    c = fourier_center(size)
-    k = np.arange(size) - c
-    ky, kx = np.meshgrid(k, k, indexing="ij")
+    ky, kx = frequency_grid_2d(size)
     u = rots[:, :, 0]  # (w, 3)
     v = rots[:, :, 1]
     coords_xyz = (

@@ -68,16 +68,28 @@ def centered_ifft1(spectrum: np.ndarray, axis: int = -1) -> np.ndarray:
     return np.fft.fftshift(np.fft.ifft(np.fft.ifftshift(arr, axes=axis), axis=axis), axes=axis)
 
 
+# (ky, kx) meshgrids are rebuilt on every slice/shift/ramp call in the
+# matching loop; they only depend on ``size``, so cache them read-only.
+_FREQ_2D_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
 def frequency_grid_2d(size: int) -> tuple[np.ndarray, np.ndarray]:
     """Centered integer frequency coordinates ``(ky, kx)`` for an ``l×l`` image.
 
     Each returned array has shape ``(size, size)``; entry ``[i, j]`` holds the
-    frequency index of pixel ``(i, j)``.
+    frequency index of pixel ``(i, j)``.  Arrays are cached per ``size`` and
+    read-only; copy before mutating.
     """
-    c = fourier_center(size)
-    k = np.arange(size) - c
-    ky, kx = np.meshgrid(k, k, indexing="ij")
-    return ky, kx
+    cached = _FREQ_2D_CACHE.get(size)
+    if cached is None:
+        c = fourier_center(size)
+        k = np.arange(size) - c
+        ky, kx = np.meshgrid(k, k, indexing="ij")
+        ky.setflags(write=False)
+        kx.setflags(write=False)
+        cached = (ky, kx)
+        _FREQ_2D_CACHE[size] = cached
+    return cached
 
 
 def frequency_grid_3d(size: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:

@@ -26,6 +26,13 @@ from repro.parallel.master_io import (
     gather_orientations,
 )
 from repro.parallel.prefine import ParallelRefinementReport, parallel_refine
+from repro.parallel.viewsched import (
+    SharedVolume,
+    ViewLevelResult,
+    ViewScheduler,
+    chunk_indices,
+    refine_level_serial,
+)
 from repro.parallel.perf_model import (
     PaperWorkload,
     PerformanceModel,
@@ -64,6 +71,11 @@ __all__ = [
     "gather_orientations",
     "parallel_refine",
     "ParallelRefinementReport",
+    "ViewScheduler",
+    "ViewLevelResult",
+    "SharedVolume",
+    "refine_level_serial",
+    "chunk_indices",
     "PerformanceModel",
     "PaperWorkload",
     "SINDBIS_WORKLOAD",

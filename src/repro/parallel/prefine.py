@@ -44,7 +44,7 @@ from repro.refine.refiner import (
     STEP_READ_IMAGE,
     STEP_REFINEMENT,
 )
-from repro.refine.single import refine_view_at_level
+from repro.parallel.viewsched import refine_level_serial
 from repro.utils import StepTimer, Timer
 
 __all__ = ["ParallelRefinementReport", "parallel_refine", "FLOPS_PER_MATCH_SAMPLE"]
@@ -151,21 +151,19 @@ def parallel_refine(
         total_matches = 0
         for level in sched:
             n_matches_level = 0
-            for q in range(len(orients)):
-                res = refine_view_at_level(
-                    fts[q],
-                    volume_ft,
-                    orients[q],
-                    angular_step_deg=level.angular_step_deg,
-                    center_step_px=level.center_step_px,
-                    half_steps=level.half_steps,
-                    center_half_steps=level.center_half_steps,
-                    distance_computer=dc,
-                    refine_centers=refine_centers,
-                    cut_modulation=modulations[q],
-                )
-                orients[q] = res.orientation
-                dists[q] = res.distance
+            # Same per-view kernel as the serial refiner and the process
+            # pool — one shared loop, three drivers, identical numbers.
+            for res in refine_level_serial(
+                volume_ft,
+                fts,
+                orients,
+                modulations,
+                level,
+                distance_computer=dc,
+                refine_centers=refine_centers,
+            ):
+                orients[res.index] = res.orientation
+                dists[res.index] = res.distance
                 n_matches_level += res.n_matches + res.n_center_evals
             comm.account_flops(
                 n_matches_level * FLOPS_PER_MATCH_SAMPLE * dc.n_samples, STEP_REFINEMENT

@@ -1,0 +1,354 @@
+"""Process-parallel view scheduler (the paper's step-b fan-out, real processes).
+
+The simulated cluster in :mod:`repro.parallel.prefine` reproduces the
+paper's *accounting*; this module reproduces its *throughput* on real
+hardware.  Views are embarrassingly parallel within a resolution level
+(the only synchronization point is the per-level barrier, step m), so the
+scheduler:
+
+* shares the oversampled D̂ once per machine via
+  ``multiprocessing.shared_memory`` — the in-process analog of the paper's
+  one-replica-per-node decision (step b) — instead of pickling the volume
+  into every task;
+* fans views out in contiguous chunks over a ``concurrent.futures``
+  process pool, several chunks per worker so stragglers (views whose
+  windows slide) rebalance;
+* caches the per-process :class:`DistanceComputer` (and therefore its
+  fused :class:`~repro.align.fused.MatchPlan`) across chunks and levels,
+  so plans are built once per worker, not once per task;
+* falls back to a plain serial loop when ``n_workers == 1`` — the same
+  :func:`refine_level_serial` used by the serial refiner and the simulated
+  cluster, so all three drivers execute the identical per-view kernel and
+  return bit-identical results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from multiprocessing import shared_memory
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.align.distance import DistanceComputer
+from repro.geometry.euler import Orientation
+from repro.refine.multires import RefinementLevel
+from repro.refine.single import refine_view_at_level
+
+__all__ = [
+    "ViewLevelResult",
+    "SharedVolume",
+    "ViewScheduler",
+    "refine_level_serial",
+    "chunk_indices",
+]
+
+
+@dataclass(frozen=True)
+class ViewLevelResult:
+    """Outcome of one view × one level, tagged with the view's global index."""
+
+    index: int
+    orientation: Orientation
+    distance: float
+    n_windows: int
+    n_matches: int
+    n_center_evals: int
+    slid_window: bool
+    slid_center: bool
+
+
+def chunk_indices(n_items: int, n_chunks: int) -> list[np.ndarray]:
+    """Contiguous, near-equal index chunks covering ``range(n_items)``.
+
+    Returns at most ``n_chunks`` non-empty chunks (fewer when there are
+    fewer items than chunks).
+    """
+    if n_items < 0:
+        raise ValueError("n_items must be non-negative")
+    if n_chunks < 1:
+        raise ValueError("n_chunks must be positive")
+    if n_items == 0:
+        return []
+    return [c for c in np.array_split(np.arange(n_items), min(n_chunks, n_items)) if c.size]
+
+
+def refine_level_serial(
+    volume_ft: np.ndarray,
+    view_fts: np.ndarray,
+    orientations: Sequence[Orientation],
+    modulations: Sequence[np.ndarray | None] | None,
+    level: RefinementLevel,
+    *,
+    distance_computer: DistanceComputer | None = None,
+    kernel: str = "fused",
+    interpolation: str = "trilinear",
+    max_slides: int = 8,
+    refine_centers: bool = True,
+    inner_iterations: int = 2,
+) -> list[ViewLevelResult]:
+    """Steps f–l for a set of views at one level, serially in this process.
+
+    This is the single per-view loop shared by the serial refiner, the
+    simulated cluster and the process pool workers.
+    """
+    out: list[ViewLevelResult] = []
+    for q in range(len(orientations)):
+        res = refine_view_at_level(
+            view_fts[q],
+            volume_ft,
+            orientations[q],
+            angular_step_deg=level.angular_step_deg,
+            center_step_px=level.center_step_px,
+            half_steps=level.half_steps,
+            center_half_steps=level.center_half_steps,
+            max_slides=max_slides,
+            distance_computer=distance_computer,
+            interpolation=interpolation,
+            refine_centers=refine_centers,
+            inner_iterations=inner_iterations,
+            cut_modulation=None if modulations is None else modulations[q],
+            kernel=kernel,
+        )
+        out.append(
+            ViewLevelResult(
+                index=q,
+                orientation=res.orientation,
+                distance=res.distance,
+                n_windows=res.n_windows,
+                n_matches=res.n_matches,
+                n_center_evals=res.n_center_evals,
+                slid_window=res.slid_window,
+                slid_center=res.slid_center,
+            )
+        )
+    return out
+
+
+class SharedVolume:
+    """A copy of an ndarray in POSIX shared memory, attachable by name.
+
+    One replica of D̂ per machine, exactly as the paper replicates D̂ once
+    per node: workers attach read-only by name instead of receiving a
+    pickled copy per task.
+    """
+
+    def __init__(self, array: np.ndarray) -> None:
+        arr = np.ascontiguousarray(array)
+        self._shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        self.shape = arr.shape
+        self.dtype = arr.dtype
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf)
+        view[...] = arr
+        self.name = self._shm.name
+
+    def descriptor(self) -> tuple[str, tuple[int, ...], str]:
+        """Picklable (name, shape, dtype) handle for workers."""
+        return (self.name, self.shape, self.dtype.str)
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        self._shm = None  # type: ignore[assignment]
+
+
+# -- worker side ------------------------------------------------------------
+# Per-process caches: the attached D̂ replica (keyed by segment name) and
+# the distance computer / plan state (keyed by the scheduler's spec id).
+_WORKER_VOLUMES: dict[str, tuple[Any, np.ndarray]] = {}
+_WORKER_SPECS: dict[str, DistanceComputer | None] = {}
+
+
+def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> np.ndarray:
+    name, shape, dtype = descriptor
+    cached = _WORKER_VOLUMES.get(name)
+    if cached is None:
+        shm = shared_memory.SharedMemory(name=name)
+        arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        arr.setflags(write=False)
+        # keep the SharedMemory object alive for the array's lifetime
+        _WORKER_VOLUMES[name] = (shm, arr)
+        return arr
+    return cached[1]
+
+
+def _worker_refine_chunk(payload: dict[str, Any]) -> list[ViewLevelResult]:
+    """Run one chunk of views in a worker process (module-level: picklable)."""
+    volume = _attach_volume(payload["volume"])
+    spec_id = payload["spec_id"]
+    if spec_id not in _WORKER_SPECS:
+        _WORKER_SPECS[spec_id] = payload["distance_computer"]
+    dc = _WORKER_SPECS[spec_id]
+    results = refine_level_serial(
+        volume,
+        payload["view_fts"],
+        payload["orientations"],
+        payload["modulations"],
+        payload["level"],
+        distance_computer=dc,
+        kernel=payload["kernel"],
+        interpolation=payload["interpolation"],
+        max_slides=payload["max_slides"],
+        refine_centers=payload["refine_centers"],
+        inner_iterations=payload["inner_iterations"],
+    )
+    indices = payload["indices"]
+    return [replace(r, index=int(indices[r.index])) for r in results]
+
+
+# -- scheduler --------------------------------------------------------------
+class ViewScheduler:
+    """Fans per-view refinement out over a process pool (or runs serially).
+
+    Parameters
+    ----------
+    n_workers:
+        Process count; ``1`` (default) runs everything inline with no pool
+        and no shared memory — the exact serial code path.
+    chunks_per_worker:
+        Oversubscription factor: each level is split into
+        ``n_workers · chunks_per_worker`` chunks so a straggler chunk (a
+        view whose windows slide) does not idle the other workers.
+    mp_context:
+        Optional multiprocessing start method (``"fork"``, ``"spawn"``, …);
+        platform default when ``None``.
+
+    Use as a context manager, or call :meth:`close` when done — it shuts
+    the pool down and unlinks the shared D̂ replica.
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        chunks_per_worker: int = 4,
+        mp_context: str | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        if chunks_per_worker < 1:
+            raise ValueError("chunks_per_worker must be >= 1")
+        self.n_workers = int(n_workers)
+        self.chunks_per_worker = int(chunks_per_worker)
+        self._mp_context = mp_context
+        self._executor: ProcessPoolExecutor | None = None
+        self._shared: SharedVolume | None = None
+        self._shared_key: int | None = None
+        self._spec_ids: dict[int, str] = {}
+
+    # -- lifecycle ----------------------------------------------------------
+    def __enter__(self) -> "ViewScheduler":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the pool and unlink the shared volume (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        if self._shared is not None:
+            self._shared.close()
+            self._shared = None
+            self._shared_key = None
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            import multiprocessing as mp
+
+            ctx = mp.get_context(self._mp_context) if self._mp_context else mp.get_context()
+            self._executor = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=ctx)
+        return self._executor
+
+    def _share(self, volume_ft: np.ndarray) -> SharedVolume:
+        # The caller keeps volume_ft alive for the scheduler's lifetime
+        # (the refiner holds it for the whole run), so id() is a stable key.
+        key = id(volume_ft)
+        if self._shared is not None and self._shared_key == key:
+            return self._shared
+        if self._shared is not None:
+            self._shared.close()
+        self._shared = SharedVolume(volume_ft)
+        self._shared_key = key
+        return self._shared
+
+    def _spec_id(self, distance_computer: DistanceComputer | None) -> str:
+        key = id(distance_computer)
+        spec = self._spec_ids.get(key)
+        if spec is None:
+            spec = f"spec-{id(self):x}-{len(self._spec_ids)}"
+            self._spec_ids[key] = spec
+        return spec
+
+    # -- the level fan-out ---------------------------------------------------
+    def run_level(
+        self,
+        volume_ft: np.ndarray,
+        view_fts: np.ndarray,
+        orientations: Sequence[Orientation],
+        modulations: Sequence[np.ndarray | None] | None,
+        level: RefinementLevel,
+        *,
+        distance_computer: DistanceComputer | None = None,
+        kernel: str = "fused",
+        interpolation: str = "trilinear",
+        max_slides: int = 8,
+        refine_centers: bool = True,
+        inner_iterations: int = 2,
+    ) -> list[ViewLevelResult]:
+        """Steps f–l for every view at one level; results ordered by view index.
+
+        Results are bit-identical to :func:`refine_level_serial` regardless
+        of worker count or chunking, since views are independent.
+        """
+        m = len(orientations)
+        if self.n_workers == 1 or m < 2:
+            return refine_level_serial(
+                volume_ft,
+                view_fts,
+                orientations,
+                modulations,
+                level,
+                distance_computer=distance_computer,
+                kernel=kernel,
+                interpolation=interpolation,
+                max_slides=max_slides,
+                refine_centers=refine_centers,
+                inner_iterations=inner_iterations,
+            )
+        shared = self._share(volume_ft)
+        spec_id = self._spec_id(distance_computer)
+        chunks = chunk_indices(m, self.n_workers * self.chunks_per_worker)
+        executor = self._ensure_executor()
+        futures = []
+        for chunk in chunks:
+            payload = {
+                "volume": shared.descriptor(),
+                "spec_id": spec_id,
+                "distance_computer": distance_computer,
+                "view_fts": np.asarray(view_fts)[chunk],
+                "orientations": [orientations[i] for i in chunk],
+                "modulations": None
+                if modulations is None
+                else [modulations[i] for i in chunk],
+                "level": level,
+                "kernel": kernel,
+                "interpolation": interpolation,
+                "max_slides": max_slides,
+                "refine_centers": refine_centers,
+                "inner_iterations": inner_iterations,
+                "indices": chunk,
+            }
+            futures.append(executor.submit(_worker_refine_chunk, payload))
+        results: list[ViewLevelResult] = []
+        for future in futures:
+            results.extend(future.result())
+        results.sort(key=lambda r: r.index)
+        return results

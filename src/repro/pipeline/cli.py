@@ -57,6 +57,14 @@ def build_parser() -> argparse.ArgumentParser:
     ref.add_argument("--max-slides", type=int, default=2)
     ref.add_argument("--no-centers", action="store_true")
     ref.add_argument("--ranks", type=int, default=0, help=">0: run on the simulated cluster")
+    ref.add_argument(
+        "--kernel", choices=("fused", "reference"), default="fused",
+        help="matching kernel: fused in-band (default) or the reference slow path",
+    )
+    ref.add_argument(
+        "--workers", type=int, default=1,
+        help="process count for the per-view fan-out (1 = serial)",
+    )
 
     rec = sub.add_parser("reconstruct", help="direct-Fourier reconstruction from a stack + orientations")
     rec.add_argument("--stack", required=True)
@@ -136,7 +144,10 @@ def _cmd_refine(args: argparse.Namespace) -> int:
             f"virtual time {report.simulated_total_seconds:.2f} s; wrote {args.out}"
         )
         return 0
-    refiner = OrientationRefiner(density, r_max=args.r_max, max_slides=args.max_slides)
+    refiner = OrientationRefiner(
+        density, r_max=args.r_max, max_slides=args.max_slides,
+        kernel=args.kernel, n_workers=args.workers,
+    )
     result = refiner.refine(
         stack, initial_orientations=init, schedule=schedule,
         refine_centers=not args.no_centers,

@@ -7,16 +7,25 @@ the view's transform (O(l²), no interpolation), so arbitrarily fine
 sub-pixel steps — the paper goes down to 0.002 pixel — cost the same as
 whole-pixel ones.  The same edge-triggered sliding rule as the angular
 window applies.
+
+Two evaluation kernels share the sliding-box loop: the reference path
+builds full ``(n, l, l)`` shifted-transform stacks, the fused path
+(default) applies the phase ramps only at the in-band samples via a
+:class:`~repro.align.fused.MatchPlan`, cutting the per-candidate cost from
+``l²`` to ``n_band`` with numerically identical distances.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.align.distance import DistanceComputer
-from repro.fourier.transforms import fourier_center
+from repro.align.fused import MatchPlan, get_match_plan
+from repro.align.grid import step_offsets
+from repro.fourier.transforms import frequency_grid_2d
 from repro.utils import require_square
 
 __all__ = ["CenterRefineResult", "refine_center"]
@@ -46,59 +55,35 @@ def _shift_stack(view_ft: np.ndarray, dxs: np.ndarray, dys: np.ndarray) -> np.nd
     ``(−dx, −dy)``: multiply by ``exp(+2πi(kx·dx + ky·dy)/l)``.
     """
     size = view_ft.shape[0]
-    c = fourier_center(size)
-    k = np.arange(size) - c
-    ky, kx = np.meshgrid(k, k, indexing="ij")
+    ky, kx = frequency_grid_2d(size)
     phase = np.exp(
         2j * np.pi * (kx[None] * dxs[:, None, None] + ky[None] * dys[:, None, None]) / size
     )
     return view_ft[None] * phase
 
 
-def refine_center(
-    view_ft: np.ndarray,
-    cut_ft: np.ndarray,
-    center: tuple[float, float],
+def _box_search(
+    evaluate: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    cx: float,
+    cy: float,
     step_px: float,
-    half_steps: int = 1,
-    max_slides: int = 8,
-    distance_computer: DistanceComputer | None = None,
-    cut_modulation: np.ndarray | None = None,
+    half_steps: int,
+    max_slides: int,
 ) -> CenterRefineResult:
-    """Steps k–l for one view against its best-fit cut.
+    """The sliding center-box loop, independent of the distance kernel.
 
-    Parameters
-    ----------
-    view_ft:
-        The *uncorrected* view transform (center offsets are applied here,
-        not baked in, so successive levels can re-derive finer centers).
-    cut_ft:
-        The minimum-distance cut ``C_µ`` from the angular search.
-    center:
-        Current center estimate ``(cx, cy)`` in pixels.
-    step_px:
-        Center resolution ``δ_center`` of this level.
-    half_steps:
-        Box half-width in steps (1 gives the paper's example 3×3 box,
-        ``n_center = 9``).
+    ``evaluate(dxs, dys)`` returns the distance per candidate absolute
+    center; the box recenters on an edge winner up to ``max_slides`` times.
     """
-    if step_px <= 0:
-        raise ValueError("step_px must be positive")
-    if half_steps < 0:
-        raise ValueError("half_steps must be non-negative")
-    size = require_square(view_ft, "view_ft")
-    dc = distance_computer or DistanceComputer(size)
-    cx, cy = float(center[0]), float(center[1])
     n_boxes = 0
     n_evals = 0
     slid = False
     nside = 2 * half_steps + 1
     while True:
-        offs = (np.arange(nside) - half_steps) * step_px
+        offs = step_offsets(half_steps, step_px)
         dxs = (cx + offs)[:, None].repeat(nside, axis=1).ravel()
         dys = (cy + offs)[None, :].repeat(nside, axis=0).ravel()
-        stack = _shift_stack(np.asarray(view_ft), dxs, dys)
-        d = dc.distance_many_to_one(stack, cut_ft, cut_modulation=cut_modulation)
+        d = evaluate(dxs, dys)
         i = int(np.argmin(d))
         n_boxes += 1
         n_evals += d.size
@@ -114,3 +99,89 @@ def refine_center(
         return CenterRefineResult(
             cx=best_cx, cy=best_cy, distance=best_d, n_boxes=n_boxes, n_evaluations=n_evals, slid=slid
         )
+
+
+def refine_center(
+    view_ft: np.ndarray | None,
+    cut_ft: np.ndarray | None,
+    center: tuple[float, float],
+    step_px: float,
+    half_steps: int = 1,
+    max_slides: int = 8,
+    distance_computer: DistanceComputer | None = None,
+    cut_modulation: np.ndarray | None = None,
+    kernel: str = "fused",
+    plan: MatchPlan | None = None,
+    view_band: np.ndarray | None = None,
+    cut_band: np.ndarray | None = None,
+) -> CenterRefineResult:
+    """Steps k–l for one view against its best-fit cut.
+
+    Parameters
+    ----------
+    view_ft:
+        The *uncorrected* view transform (center offsets are applied here,
+        not baked in, so successive levels can re-derive finer centers).
+        May be ``None`` when ``view_band`` (and a fused kernel) is supplied.
+    cut_ft:
+        The minimum-distance cut ``C_µ`` from the angular search.  May be
+        ``None`` when ``cut_band`` is supplied.
+    center:
+        Current center estimate ``(cx, cy)`` in pixels.
+    step_px:
+        Center resolution ``δ_center`` of this level.
+    half_steps:
+        Box half-width in steps (1 gives the paper's example 3×3 box,
+        ``n_center = 9``).
+    kernel:
+        ``"fused"`` (default) evaluates candidates on the in-band samples
+        only; ``"reference"`` builds full shifted-transform stacks.  Both
+        produce identical distances.
+    plan / view_band / cut_band:
+        Optional precomputed fused-kernel state (from the per-view driver);
+        derived on the fly from the full arrays when omitted.
+    """
+    if step_px <= 0:
+        raise ValueError("step_px must be positive")
+    if half_steps < 0:
+        raise ValueError("half_steps must be non-negative")
+    if kernel not in ("fused", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
+    cx, cy = float(center[0]), float(center[1])
+
+    if kernel == "reference":
+        if view_ft is None or cut_ft is None:
+            raise ValueError("the reference kernel needs full view_ft and cut_ft arrays")
+        size = require_square(view_ft, "view_ft")
+        dc = distance_computer or DistanceComputer(size)
+
+        def evaluate(dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+            stack = _shift_stack(np.asarray(view_ft), dxs, dys)
+            return dc.distance_many_to_one(stack, cut_ft, cut_modulation=cut_modulation)
+
+        return _box_search(evaluate, cx, cy, step_px, half_steps, max_slides)
+
+    # fused kernel: everything happens on the band vectors
+    if plan is None:
+        if view_ft is None:
+            raise ValueError("need view_ft or an explicit plan for the fused kernel")
+        size = require_square(view_ft, "view_ft")
+        dc = distance_computer or DistanceComputer(size)
+        plan = get_match_plan(dc, size)
+    dc = plan.dc
+    if view_band is None:
+        if view_ft is None:
+            raise ValueError("need view_ft or view_band")
+        view_band = dc.gather(view_ft)
+    if cut_band is None:
+        if cut_ft is None:
+            raise ValueError("need cut_ft or cut_band")
+        cut_band = dc.gather(cut_ft)
+
+    def evaluate_band(dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+        stack_band = view_band[None, :] * plan.shift_ramps(dxs, dys)
+        return np.asarray(
+            dc.distance_band(stack_band, cut_band, cut_modulation=cut_modulation)
+        )
+
+    return _box_search(evaluate_band, cx, cy, step_px, half_steps, max_slides)

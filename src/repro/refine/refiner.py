@@ -27,7 +27,6 @@ from repro.fourier.transforms import centered_fft2
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
 from repro.refine.multires import MultiResolutionSchedule, default_schedule
-from repro.refine.single import refine_view_at_level
 from repro.refine.stats import RefinementStats
 from repro.utils import StepTimer
 
@@ -87,6 +86,15 @@ class OrientationRefiner:
         Oversampling of D̂ (zero-padding factor).  2 (default) keeps the
         trilinear slice error well below the signal differences the search
         must resolve; 1 reproduces the raw-grid behaviour for ablations.
+    kernel:
+        ``"fused"`` (default) matches on in-band samples only (the fused
+        slice/distance kernel, :mod:`repro.align.fused`); ``"reference"``
+        is the original slice-then-distance path kept for verification.
+        Both produce numerically identical results.
+    n_workers:
+        Process count for the view fan-out (``1`` = serial, the default).
+        Workers share one D̂ replica via ``multiprocessing.shared_memory``
+        and return bit-identical results to the serial loop.
     """
 
     def __init__(
@@ -99,6 +107,8 @@ class OrientationRefiner:
         max_slides: int = 8,
         pad_factor: int = 2,
         normalized_distance: bool = False,
+        kernel: str = "fused",
+        n_workers: int = 1,
     ) -> None:
         self.density = density
         self.size = density.size
@@ -111,9 +121,19 @@ class OrientationRefiner:
         if ctf_correction not in ("phase_flip", "none"):
             raise ValueError(f"unknown ctf_correction {ctf_correction!r}")
         self.ctf_correction = ctf_correction
+        if kernel not in ("fused", "reference"):
+            raise ValueError(f"unknown kernel {kernel!r}")
+        self.kernel = kernel
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = int(n_workers)
         self.max_slides = max_slides
         self.pad_factor = int(pad_factor)
         self._volume_ft: np.ndarray | None = None
+        # |CTF| band modulations are pure functions of (params, apix) for a
+        # fixed distance computer; cache them across refine() calls so
+        # repeated iterations over the same micrographs rebuild nothing.
+        self._modulation_cache: dict[tuple[CTFParams, float], np.ndarray] = {}
 
     # -- step a -------------------------------------------------------------
     def volume_ft(self, timer: StepTimer | None = None) -> np.ndarray:
@@ -148,15 +168,15 @@ class OrientationRefiner:
         if ctf_params is not None and self.ctf_correction == "phase_flip":
             from repro.ctf.model import ctf_2d
 
-            cache: dict[CTFParams, np.ndarray] = {}
             with t.step(STEP_FFT_ANALYSIS):
                 for i, p in enumerate(ctf_params):
                     fts[i] = phase_flip(fts[i], p, apix)
-                    if p not in cache:
-                        cache[p] = self.distance_computer.gather_modulation(
+                    key = (p, float(apix))
+                    if key not in self._modulation_cache:
+                        self._modulation_cache[key] = self.distance_computer.gather_modulation(
                             np.abs(ctf_2d(p, self.size, apix))
                         )
-                    modulations[i] = cache[p]
+                    modulations[i] = self._modulation_cache[key]
         return fts, modulations
 
     # -- the full iteration ---------------------------------------------------
@@ -169,12 +189,19 @@ class OrientationRefiner:
         apix: float | None = None,
         refine_centers: bool = True,
         keep_level_snapshots: bool = False,
+        n_workers: int | None = None,
+        scheduler=None,
     ) -> RefinementResult:
         """Run one full refinement iteration over a view set.
 
         ``views`` may be a :class:`SimulatedViews` (orientations/CTF taken
         from it unless overridden) or a raw ``(m, l, l)`` image stack with
         explicit ``initial_orientations``.
+
+        ``n_workers`` overrides the constructor's worker count for this
+        call; ``scheduler`` injects a pre-built (possibly shared)
+        :class:`~repro.parallel.viewsched.ViewScheduler` instead — the
+        caller then owns its lifetime.
         """
         if isinstance(views, SimulatedViews):
             images = views.images
@@ -206,33 +233,44 @@ class OrientationRefiner:
         orientations = list(init)
         distances = np.full(images.shape[0], np.inf)
         snapshots: list[list[Orientation]] = []
-        for level in sched:
-            n_matches = n_center = n_wslides = n_cslides = 0
-            with timer.step(STEP_REFINEMENT):
-                for q in range(images.shape[0]):
-                    res = refine_view_at_level(
-                        fts[q],
+        # Imported lazily: repro.parallel pulls in this module at package
+        # import time, so a top-level import would be circular.
+        from repro.parallel.viewsched import ViewScheduler
+
+        workers = self.n_workers if n_workers is None else int(n_workers)
+        own_scheduler = scheduler is None
+        sched_obj = scheduler or ViewScheduler(n_workers=workers)
+        try:
+            for level in sched:
+                n_matches = n_center = n_wslides = n_cslides = 0
+                with timer.step(STEP_REFINEMENT):
+                    results = sched_obj.run_level(
                         volume_ft,
-                        orientations[q],
-                        angular_step_deg=level.angular_step_deg,
-                        center_step_px=level.center_step_px,
-                        half_steps=level.half_steps,
-                        center_half_steps=level.center_half_steps,
-                        max_slides=self.max_slides,
+                        fts,
+                        orientations,
+                        modulations,
+                        level,
                         distance_computer=self.distance_computer,
+                        kernel=self.kernel,
                         interpolation=self.interpolation,
+                        max_slides=self.max_slides,
                         refine_centers=refine_centers,
-                        cut_modulation=modulations[q],
                     )
-                    orientations[q] = res.orientation
-                    distances[q] = res.distance
-                    n_matches += res.n_matches
-                    n_center += res.n_center_evals
-                    n_wslides += int(res.slid_window)
-                    n_cslides += int(res.slid_center)
-            stats.record_level(level.angular_step_deg, n_matches, n_center, n_wslides, n_cslides)
-            if keep_level_snapshots:
-                snapshots.append(list(orientations))
+                    for res in results:
+                        orientations[res.index] = res.orientation
+                        distances[res.index] = res.distance
+                        n_matches += res.n_matches
+                        n_center += res.n_center_evals
+                        n_wslides += int(res.slid_window)
+                        n_cslides += int(res.slid_center)
+                stats.record_level(
+                    level.angular_step_deg, n_matches, n_center, n_wslides, n_cslides
+                )
+                if keep_level_snapshots:
+                    snapshots.append(list(orientations))
+        finally:
+            if own_scheduler:
+                sched_obj.close()
         return RefinementResult(
             orientations=orientations,
             distances=distances,

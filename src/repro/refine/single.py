@@ -5,6 +5,12 @@ search (with the view corrected to its current center estimate) and the
 center box search (against the winning cut).  The orientation *and* center
 both live in the :class:`~repro.geometry.euler.Orientation` record, so the
 multi-resolution driver simply threads it through the levels.
+
+Two kernels are available.  The default ``kernel="fused"`` gathers the
+view's in-band samples once and runs every window, slide, and center box
+on band vectors only (see :mod:`repro.align.fused`); ``kernel="reference"``
+is the original slice-then-distance path, kept as a checkable slow
+implementation — the two produce numerically identical results.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.align.fused import get_match_plan
 from repro.fourier.slicing import extract_slice
 from repro.geometry.euler import Orientation
 from repro.imaging.center import phase_shift_ft
@@ -55,6 +62,7 @@ def refine_view_at_level(
     refine_centers: bool = True,
     inner_iterations: int = 2,
     cut_modulation: np.ndarray | None = None,
+    kernel: str = "fused",
 ) -> ViewRefinementResult:
     """Steps f–l for one view at one (r_angular, δ_center) level.
 
@@ -70,24 +78,55 @@ def refine_view_at_level(
     robust to moderate angular error, the reverse is not — and then runs
     the angular window with the corrected center.  The loop exits early
     once neither estimate changes.
+
+    ``kernel`` selects the matching implementation: ``"fused"`` (default,
+    in-band only) or ``"reference"`` (full cut stacks, identical numbers).
     """
     if inner_iterations < 1:
         raise ValueError("inner_iterations must be >= 1")
+    if kernel not in ("fused", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
+    fused = kernel == "fused"
+    if fused:
+        dc = distance_computer or DistanceComputer(view_ft.shape[0])
+        plan = get_match_plan(dc, volume_ft.shape[0], interpolation)
+        view_band = plan.gather_view(view_ft)
+    else:
+        dc = distance_computer
+        plan = None
+        view_band = None
 
     def _center_pass(current: Orientation) -> tuple[Orientation, float, int, bool]:
-        cut = extract_slice(
-            volume_ft, current.matrix(), order=interpolation, out_size=view_ft.shape[0]
-        )
-        center = refine_center(
-            view_ft,
-            cut,
-            center=(current.cx, current.cy),
-            step_px=center_step_px,
-            half_steps=center_half_steps,
-            max_slides=max_slides,
-            distance_computer=distance_computer,
-            cut_modulation=cut_modulation,
-        )
+        if fused:
+            cut_band = plan.cut_band(volume_ft, current.matrix())
+            center = refine_center(
+                None,
+                None,
+                center=(current.cx, current.cy),
+                step_px=center_step_px,
+                half_steps=center_half_steps,
+                max_slides=max_slides,
+                cut_modulation=cut_modulation,
+                kernel="fused",
+                plan=plan,
+                view_band=view_band,
+                cut_band=cut_band,
+            )
+        else:
+            cut = extract_slice(
+                volume_ft, current.matrix(), order=interpolation, out_size=view_ft.shape[0]
+            )
+            center = refine_center(
+                view_ft,
+                cut,
+                center=(current.cx, current.cy),
+                step_px=center_step_px,
+                half_steps=center_half_steps,
+                max_slides=max_slides,
+                distance_computer=dc,
+                cut_modulation=cut_modulation,
+                kernel="reference",
+            )
         return (
             current.with_center(center.cx, center.cy),
             center.distance,
@@ -109,20 +148,36 @@ def refine_view_at_level(
             n_center_total += n_evals
             slid_center = slid_center or slid
         # step f prerequisite: correct the view to the current center estimate
-        corrected = view_ft
-        if current.cx != 0.0 or current.cy != 0.0:
-            corrected = phase_shift_ft(view_ft, -current.cx, -current.cy)
-        window = sliding_window_search(
-            corrected,
-            volume_ft,
-            current,
-            step_deg=angular_step_deg,
-            half_steps=half_steps,
-            max_slides=max_slides,
-            distance_computer=distance_computer,
-            interpolation=interpolation,
-            cut_modulation=cut_modulation,
-        )
+        if fused:
+            corrected_band = plan.phase_shift_band(view_band, -current.cx, -current.cy)
+            window = sliding_window_search(
+                None,
+                volume_ft,
+                current,
+                step_deg=angular_step_deg,
+                half_steps=half_steps,
+                max_slides=max_slides,
+                cut_modulation=cut_modulation,
+                kernel="fused",
+                plan=plan,
+                view_band=corrected_band,
+            )
+        else:
+            corrected = view_ft
+            if current.cx != 0.0 or current.cy != 0.0:
+                corrected = phase_shift_ft(view_ft, -current.cx, -current.cy)
+            window = sliding_window_search(
+                corrected,
+                volume_ft,
+                current,
+                step_deg=angular_step_deg,
+                half_steps=half_steps,
+                max_slides=max_slides,
+                distance_computer=dc,
+                interpolation=interpolation,
+                cut_modulation=cut_modulation,
+                kernel="reference",
+            )
         current = window.orientation
         distance = window.distance
         n_windows_total += window.n_windows

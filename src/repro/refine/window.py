@@ -15,8 +15,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.align.fused import MatchPlan, get_match_plan
 from repro.align.grid import orientation_window
-from repro.align.matcher import MatchResult, match_view
+from repro.align.matcher import MatchResult, match_view, match_view_band
 from repro.geometry.euler import Orientation
 
 __all__ = ["SlidingWindowResult", "sliding_window_search"]
@@ -49,7 +50,7 @@ class SlidingWindowResult:
 
 
 def sliding_window_search(
-    view_ft: np.ndarray,
+    view_ft: np.ndarray | None,
     volume_ft: np.ndarray,
     center: Orientation,
     step_deg: float,
@@ -58,13 +59,17 @@ def sliding_window_search(
     distance_computer: DistanceComputer | None = None,
     interpolation: str = "trilinear",
     cut_modulation: np.ndarray | None = None,
+    kernel: str = "fused",
+    plan: MatchPlan | None = None,
+    view_band: np.ndarray | None = None,
 ) -> SlidingWindowResult:
     """Steps f–i for one view at one angular resolution.
 
     Parameters
     ----------
     view_ft:
-        Center-corrected, CTF-corrected centered 2D DFT of the view.
+        Center-corrected, CTF-corrected centered 2D DFT of the view.  May
+        be ``None`` when ``view_band`` (fused kernel) is supplied instead.
     volume_ft:
         Centered 3D DFT of the current map.
     center:
@@ -76,9 +81,28 @@ def sliding_window_search(
     max_slides:
         Safety bound on re-centerings (the paper's data slid at most once
         per level; noisy data could otherwise walk indefinitely).
+    kernel:
+        ``"fused"`` (default) matches on in-band samples only via a
+        :class:`MatchPlan`; ``"reference"`` extracts full cut stacks.  Both
+        produce identical distances.
+    plan / view_band:
+        Optional precomputed fused state; derived from ``view_ft`` and the
+        volume when omitted.
     """
     if max_slides < 0:
         raise ValueError("max_slides must be non-negative")
+    if kernel not in ("fused", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
+    if kernel == "fused":
+        if plan is None:
+            if view_ft is None:
+                raise ValueError("need view_ft or an explicit plan for the fused kernel")
+            dc = distance_computer or DistanceComputer(view_ft.shape[0])
+            plan = get_match_plan(dc, volume_ft.shape[0], interpolation)
+        if view_band is None:
+            if view_ft is None:
+                raise ValueError("need view_ft or view_band")
+            view_band = plan.gather_view(view_ft)
     current = center
     n_windows = 0
     n_matches = 0
@@ -86,14 +110,20 @@ def sliding_window_search(
     best: MatchResult | None = None
     while True:
         grid = orientation_window(current, step_deg, half_steps)
-        best = match_view(
-            view_ft,
-            volume_ft,
-            grid,
-            distance_computer=distance_computer,
-            interpolation=interpolation,
-            cut_modulation=cut_modulation,
-        )
+        if kernel == "fused":
+            assert plan is not None and view_band is not None
+            best = match_view_band(
+                view_band, volume_ft, grid, plan, cut_modulation=cut_modulation
+            )
+        else:
+            best = match_view(
+                view_ft,
+                volume_ft,
+                grid,
+                distance_computer=distance_computer,
+                interpolation=interpolation,
+                cut_modulation=cut_modulation,
+            )
         n_windows += 1
         n_matches += best.n_matches
         if any(best.on_edge) and n_windows <= max_slides:

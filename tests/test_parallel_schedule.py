@@ -59,10 +59,15 @@ def test_makespans_bracket_the_ideal(seed, n, p):
 
 @given(seed=st.integers(0, 100), n=st.integers(2, 50), p=st.integers(2, 6))
 @settings(max_examples=60)
-def test_lpt_never_worse_than_static(seed, n, p):
+def test_lpt_within_graham_bound_of_static(seed, n, p):
+    """LPT ≤ (4/3 − 1/(3p))·OPT (Graham 1969) and OPT ≤ any feasible
+    schedule, so LPT is provably within that factor of the static block
+    distribution.  (Plain "LPT ≤ static" is *not* a theorem — LPT can lose
+    to a contiguous split by a hair, e.g. seed=44, n=47, p=2.)"""
     rng = np.random.default_rng(seed)
     costs = rng.uniform(0.1, 3.0, size=n)
-    assert lpt_makespan(costs, p) <= static_block_makespan(costs, p) + 1e-9
+    bound = (4.0 / 3.0 - 1.0 / (3.0 * p)) * static_block_makespan(costs, p)
+    assert lpt_makespan(costs, p) <= bound + 1e-9
 
 
 def test_dispatch_overhead_charged():

@@ -1,0 +1,120 @@
+"""The process-parallel view scheduler must be invisible to the numbers.
+
+Whatever the worker count or chunking, the scheduler is required to return
+*bit-identical* orientations and distances to the plain serial loop —
+views are independent within a level, so parallelism is pure scheduling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.euler import Orientation
+from repro.imaging.simulate import simulate_views
+from repro.parallel.viewsched import (
+    SharedVolume,
+    ViewScheduler,
+    chunk_indices,
+    refine_level_serial,
+)
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+from repro.refine.refiner import OrientationRefiner
+
+
+def test_chunk_indices_cover_and_order():
+    chunks = chunk_indices(10, 3)
+    assert len(chunks) == 3
+    assert np.array_equal(np.concatenate(chunks), np.arange(10))
+    # more chunks than items: one chunk per item, none empty
+    chunks = chunk_indices(2, 8)
+    assert [c.tolist() for c in chunks] == [[0], [1]]
+    assert chunk_indices(0, 4) == []
+    with pytest.raises(ValueError):
+        chunk_indices(-1, 2)
+    with pytest.raises(ValueError):
+        chunk_indices(3, 0)
+
+
+def test_shared_volume_roundtrip():
+    arr = np.arange(24, dtype=complex).reshape(2, 3, 4) * (1 + 2j)
+    sv = SharedVolume(arr)
+    try:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=sv.descriptor()[0])
+        view = np.ndarray(sv.shape, dtype=sv.dtype, buffer=shm.buf)
+        assert np.array_equal(view, arr)
+        shm.close()
+    finally:
+        sv.close()
+        sv.close()  # idempotent
+
+
+def test_scheduler_validates_args():
+    with pytest.raises(ValueError):
+        ViewScheduler(n_workers=0)
+    with pytest.raises(ValueError):
+        ViewScheduler(chunks_per_worker=0)
+
+
+@pytest.fixture(scope="module")
+def small_problem(phantom16):
+    views = simulate_views(
+        phantom16, 5, initial_angle_error_deg=3.0, center_sigma_px=0.5, seed=11
+    )
+    volume_ft = phantom16.fourier_oversampled(2)
+    from repro.fourier.transforms import centered_fft2
+
+    fts = centered_fft2(np.asarray(views.images, dtype=float))
+    return views, volume_ft, fts
+
+
+def test_run_level_serial_fallback_is_serial_loop(small_problem):
+    """n_workers=1 must take the exact refine_level_serial code path."""
+    views, volume_ft, fts = small_problem
+    level = RefinementLevel(2.0, 0.5, half_steps=2)
+    orients = views.initial_orientations
+    expected = refine_level_serial(volume_ft, fts, orients, None, level)
+    with ViewScheduler(n_workers=1) as sched:
+        got = sched.run_level(volume_ft, fts, orients, None, level)
+    assert got == expected
+
+
+def test_process_pool_bit_identical_to_serial(small_problem):
+    views, volume_ft, fts = small_problem
+    level = RefinementLevel(2.0, 0.5, half_steps=2)
+    orients = views.initial_orientations
+    serial = refine_level_serial(volume_ft, fts, orients, None, level)
+    with ViewScheduler(n_workers=2, chunks_per_worker=2) as sched:
+        pooled = sched.run_level(volume_ft, fts, orients, None, level)
+    # frozen dataclasses with float fields: == is bitwise on every field
+    assert pooled == serial
+
+
+def test_refiner_n_workers_bit_identical(phantom16):
+    """End-to-end: the full multi-level refinement matches serially."""
+    views = simulate_views(
+        phantom16, 4, initial_angle_error_deg=2.0, center_sigma_px=0.5, seed=5
+    )
+    sched = MultiResolutionSchedule(
+        [RefinementLevel(2.0, 0.5, half_steps=2), RefinementLevel(0.5, 0.25, half_steps=2)]
+    )
+    r1 = OrientationRefiner(phantom16).refine(views, schedule=sched)
+    r2 = OrientationRefiner(phantom16, n_workers=2).refine(views, schedule=sched)
+    assert [o.as_tuple() for o in r1.orientations] == [o.as_tuple() for o in r2.orientations]
+    assert np.array_equal(r1.distances, r2.distances)
+    assert r1.stats == r2.stats
+
+
+def test_scheduler_reuse_across_levels(small_problem):
+    """One scheduler instance survives multiple levels and volume reuse."""
+    views, volume_ft, fts = small_problem
+    orients = list(views.initial_orientations)
+    with ViewScheduler(n_workers=2) as sched:
+        for level in (RefinementLevel(3.0, 0.5, half_steps=1), RefinementLevel(1.0, 0.25, half_steps=1)):
+            results = sched.run_level(volume_ft, fts, orients, None, level)
+            serial = refine_level_serial(volume_ft, fts, orients, None, level)
+            assert results == serial
+            for res in results:
+                orients[res.index] = res.orientation
