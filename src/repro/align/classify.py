@@ -17,9 +17,11 @@ averaged to raise SNR.  We implement
 from __future__ import annotations
 
 import numpy as np
+
+from repro.arraytypes import Array
 from scipy import ndimage
 
-from repro.fourier.transforms import centered_fft2, fourier_center
+from repro.fourier.transforms import centered_fft2, circular_cross_correlation, fourier_center
 from repro.imaging.center import cross_correlation_shift, shift_image
 from repro.utils import require_square
 
@@ -32,8 +34,8 @@ __all__ = [
 
 
 def polar_resample(
-    image: np.ndarray, n_angles: int = 90, n_radii: int | None = None, min_radius: float = 1.0
-) -> np.ndarray:
+    image: Array, n_angles: int = 90, n_radii: int | None = None, min_radius: float = 1.0
+) -> Array:
     """Resample an image onto a polar (angle × radius) grid about its center."""
     img = np.asarray(image, dtype=float)
     size = require_square(img)
@@ -48,7 +50,7 @@ def polar_resample(
     return ndimage.map_coordinates(img, [rows, cols], order=1, mode="constant")
 
 
-def polar_rotation_align(image: np.ndarray, reference: np.ndarray, n_angles: int = 180) -> float:
+def polar_rotation_align(image: Array, reference: Array, n_angles: int = 180) -> float:
     """In-plane rotation (degrees) aligning ``image`` onto ``reference``.
 
     Works on the magnitude spectra (translation invariant); the rotation is
@@ -61,10 +63,9 @@ def polar_rotation_align(image: np.ndarray, reference: np.ndarray, n_angles: int
     pb = polar_resample(np.log1p(b), n_angles=n_angles, min_radius=2.0)
     pa = pa - pa.mean()
     pb = pb - pb.mean()
-    # circular correlation along the angle axis via FFT
-    fa = np.fft.fft(pa, axis=0)
-    fb = np.fft.fft(pb, axis=0)
-    corr = np.fft.ifft(fa * np.conj(fb), axis=0).real.sum(axis=1)
+    # circular correlation along the angle axis via FFT (RL002: the raw
+    # transform lives in fourier/transforms.py)
+    corr = circular_cross_correlation(pa, pb, axis=0).sum(axis=1)
     shift = int(np.argmax(corr))
     # sign convention: the returned angle theta satisfies
     # ndimage.rotate(reference, theta) ~ image
@@ -75,15 +76,15 @@ def polar_rotation_align(image: np.ndarray, reference: np.ndarray, n_angles: int
     return float(angle if angle <= 90.0 else angle - 180.0)
 
 
-def _rotate_image(image: np.ndarray, angle_deg: float) -> np.ndarray:
+def _rotate_image(image: Array, angle_deg: float) -> Array:
     return ndimage.rotate(
         np.asarray(image, dtype=float), angle_deg, reshape=False, order=1, mode="constant"
     )
 
 
 def align_to_reference(
-    image: np.ndarray, reference: np.ndarray, n_angles: int = 180
-) -> tuple[np.ndarray, float, tuple[float, float]]:
+    image: Array, reference: Array, n_angles: int = 180
+) -> tuple[Array, float, tuple[float, float]]:
     """Rotation + translation alignment of ``image`` onto ``reference``.
 
     Returns ``(aligned_image, rotation_deg, (dx, dy))``.  Both the found
@@ -103,7 +104,7 @@ def align_to_reference(
     return aligned, float(angle), shift
 
 
-def _cc(a: np.ndarray, b: np.ndarray) -> float:
+def _cc(a: Array, b: Array) -> float:
     a = a - a.mean()
     b = b - b.mean()
     denom = np.linalg.norm(a) * np.linalg.norm(b)
@@ -111,8 +112,8 @@ def _cc(a: np.ndarray, b: np.ndarray) -> float:
 
 
 def iterative_class_average(
-    images: np.ndarray, n_iterations: int = 3, n_angles: int = 180
-) -> tuple[np.ndarray, list[float]]:
+    images: Array, n_iterations: int = 3, n_angles: int = 180
+) -> tuple[Array, list[float]]:
     """Reference-free class average of same-view images.
 
     Starts from the plain mean, alternates (align everyone to the current

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.fourier.transforms import centered_fft2, fourier_center
 from repro.geometry.euler import Orientation, euler_to_matrix
 from repro.utils import require_square
@@ -39,8 +40,8 @@ __all__ = [
 
 
 def sinogram(
-    image: np.ndarray, n_angles: int = 64, n_radii: int | None = None, min_radius: int = 1
-) -> np.ndarray:
+    image: Array, n_angles: int = 64, n_radii: int | None = None, min_radius: int = 1
+) -> Array:
     """Central-line magnitude profiles of a view's 2D DFT.
 
     Returns shape ``(n_angles, n_radii)``: row ``i`` is |F| sampled along
@@ -69,10 +70,10 @@ def sinogram(
     return _bilinear_2d(ft, c + ys, c + xs)
 
 
-def _bilinear_2d(arr: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+def _bilinear_2d(arr: Array, rows: Array, cols: Array) -> Array:
     l = arr.shape[0]
-    r0 = np.floor(rows).astype(int)
-    c0 = np.floor(cols).astype(int)
+    r0 = np.floor(rows).astype(int, copy=False)
+    c0 = np.floor(cols).astype(int, copy=False)
     fr = rows - r0
     fc = cols - c0
     out = np.zeros_like(rows, dtype=float)
@@ -87,8 +88,8 @@ def _bilinear_2d(arr: np.ndarray, rows: np.ndarray, cols: np.ndarray) -> np.ndar
 
 
 def sinogram_complex(
-    image: np.ndarray, n_angles: int = 64, n_radii: int | None = None, min_radius: int = 2
-) -> np.ndarray:
+    image: Array, n_angles: int = 64, n_radii: int | None = None, min_radius: int = 2
+) -> Array:
     """Complex central-line profiles of a view's 2D DFT.
 
     Like :func:`sinogram` but keeps the complex values: two views' *true*
@@ -115,7 +116,7 @@ def sinogram_complex(
 
 
 def common_line_angles(
-    image_a: np.ndarray, image_b: np.ndarray, n_angles: int = 64, min_radius: int = 2
+    image_a: Array, image_b: Array, n_angles: int = 64, min_radius: int = 2
 ) -> tuple[float, float, float]:
     """Detect the common line between two views.
 
@@ -144,7 +145,7 @@ def common_line_angles(
     return (float(i * step), float(j * step), float(corr[i, j]))
 
 
-def predicted_common_line(rotation_a: np.ndarray, rotation_b: np.ndarray) -> tuple[float, float]:
+def predicted_common_line(rotation_a: Array, rotation_b: Array) -> tuple[float, float]:
     """Geometric common-line angles (degrees mod 180) for two orientations.
 
     The slice planes with normals ``n_a = R_a·ẑ`` and ``n_b = R_b·ẑ``
@@ -170,7 +171,7 @@ def _circular_diff_180(a: float, b: float) -> float:
 
 
 def initial_orientations_common_lines(
-    images: np.ndarray,
+    images: Array,
     n_candidates: int = 500,
     n_angles: int = 64,
     n_anchors: int = 2,

@@ -23,13 +23,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import array_contract, spec
+from repro.arraytypes import Array
 from repro.fourier.shells import radial_shell_indices_2d
 from repro.utils import require_square
 
 __all__ = ["fourier_distance", "fourier_distance_batch", "radius_weights", "DistanceComputer"]
 
 
-def radius_weights(size: int, kind: str = "none", r_max: float | None = None) -> np.ndarray:
+def radius_weights(size: int, kind: str = "none", r_max: float | None = None) -> Array:
     """Radial weighting functions ``wt(j, k)`` for the distance.
 
     ``kind``:
@@ -40,7 +42,7 @@ def radius_weights(size: int, kind: str = "none", r_max: float | None = None) ->
     Weights are normalized to mean 1 over the band ``r ≤ r_max`` so that
     distances with different weightings remain comparable in magnitude.
     """
-    r = radial_shell_indices_2d(size).astype(float)
+    r = radial_shell_indices_2d(size).astype(float, copy=False)
     if kind == "none":
         w = np.ones_like(r)
     elif kind == "radius":
@@ -57,10 +59,10 @@ def radius_weights(size: int, kind: str = "none", r_max: float | None = None) ->
 
 
 def fourier_distance(
-    view_ft: np.ndarray,
-    cut_ft: np.ndarray,
+    view_ft: Array,
+    cut_ft: Array,
     r_max: float | None = None,
-    weights: np.ndarray | None = None,
+    weights: Array | None = None,
 ) -> float:
     """The §3 distance between one view transform and one cut.
 
@@ -76,11 +78,11 @@ def fourier_distance(
 
 
 def fourier_distance_batch(
-    view_ft: np.ndarray,
-    cuts_ft: np.ndarray,
+    view_ft: Array,
+    cuts_ft: Array,
     r_max: float | None = None,
-    weights: np.ndarray | None = None,
-) -> np.ndarray:
+    weights: Array | None = None,
+) -> Array:
     """Distances from one view to a stack of cuts ``(w, l, l)`` (step g)."""
     size = require_square(view_ft, "view_ft")
     dc = DistanceComputer(size, r_max=r_max, weights=weights)
@@ -104,7 +106,7 @@ class DistanceComputer:
         self,
         size: int,
         r_max: float | None = None,
-        weights: np.ndarray | None = None,
+        weights: Array | None = None,
         normalized: bool = False,
     ):
         if size <= 0:
@@ -131,22 +133,22 @@ class DistanceComputer:
         self.n_samples = int(self._flat_idx.size)
 
     @property
-    def band_indices(self) -> np.ndarray:
+    def band_indices(self) -> Array:
         """Flat (row-major) pixel indices of the in-band samples."""
         return self._flat_idx
 
     @property
-    def band_weights(self) -> np.ndarray | None:
+    def band_weights(self) -> Array | None:
         """In-band weight vector ``wt`` aligned with :attr:`band_indices`."""
         return self._w
 
-    def _maybe_normalize(self, vec: np.ndarray) -> np.ndarray:
+    def _maybe_normalize(self, vec: Array) -> Array:
         if not self.normalized:
             return vec
         n = np.linalg.norm(np.ascontiguousarray(vec))
         return vec / n if n > 0 else vec
 
-    def _normalize_rows(self, mat: np.ndarray) -> np.ndarray:
+    def _normalize_rows(self, mat: Array) -> Array:
         if not self.normalized:
             return mat
         # Contiguous rows fix the pairwise-summation order (see distance_band).
@@ -154,7 +156,7 @@ class DistanceComputer:
         norms[norms == 0] = 1.0
         return mat / norms
 
-    def gather_modulation(self, modulation: np.ndarray | None) -> np.ndarray | None:
+    def gather_modulation(self, modulation: Array | None) -> Array | None:
         """Pre-gather a per-view cut modulation (e.g. |CTF|) onto the band.
 
         A view recorded through a CTF carries amplitudes ``|CTF|·S``; the
@@ -171,7 +173,11 @@ class DistanceComputer:
             raise ValueError(f"modulation must be ({self.size}, {self.size})")
         return mod.ravel()[self._flat_idx]
 
-    def gather(self, image_ft: np.ndarray) -> np.ndarray:
+    @array_contract(
+        image_ft=spec(shape=("l", "l"), allow_none=False),
+        ret=spec(shape=("n",)),
+    )
+    def gather(self, image_ft: Array) -> Array:
         """The masked in-band samples of a transform, as a flat vector."""
         arr = np.asarray(image_ft)
         if arr.shape != (self.size, self.size):
@@ -180,9 +186,9 @@ class DistanceComputer:
 
     def distance(
         self,
-        view_ft: np.ndarray,
-        cut_ft: np.ndarray,
-        cut_modulation: np.ndarray | None = None,
+        view_ft: Array,
+        cut_ft: Array,
+        cut_modulation: Array | None = None,
     ) -> float:
         """d(F, C) over the band, with weights if configured.
 
@@ -196,7 +202,7 @@ class DistanceComputer:
             )
         )
 
-    def _apply_modulation(self, gathered_cut: np.ndarray, cut_modulation) -> np.ndarray:
+    def _apply_modulation(self, gathered_cut: Array, cut_modulation) -> Array:
         if cut_modulation is None:
             return gathered_cut
         mod = np.asarray(cut_modulation, dtype=float)
@@ -206,12 +212,16 @@ class DistanceComputer:
             raise ValueError("cut_modulation does not match the band size")
         return gathered_cut * mod
 
+    @array_contract(
+        view_band=spec(shape=[("n",), (None, "n")], dtype="inexact", allow_none=False),
+        cut_band=spec(shape=[("n",), (None, "n")], dtype="inexact", allow_none=False),
+    )
     def distance_band(
         self,
-        view_band: np.ndarray,
-        cut_band: np.ndarray,
-        cut_modulation: np.ndarray | None = None,
-    ) -> np.ndarray | float:
+        view_band: Array,
+        cut_band: Array,
+        cut_modulation: Array | None = None,
+    ) -> Array | float:
         """The §3 distance from pre-gathered in-band vectors — no (w, l, l) stacks.
 
         Both arguments are flat band vectors (``(n_samples,)``) or stacks of
@@ -248,10 +258,10 @@ class DistanceComputer:
 
     def distance_batch(
         self,
-        view_ft: np.ndarray,
-        cuts_ft: np.ndarray,
-        cut_modulation: np.ndarray | None = None,
-    ) -> np.ndarray:
+        view_ft: Array,
+        cuts_ft: Array,
+        cut_modulation: Array | None = None,
+    ) -> Array:
         """Distances from one view to each cut of a ``(w, l, l)`` stack."""
         cuts = np.asarray(cuts_ft)
         if cuts.ndim != 3 or cuts.shape[1:] != (self.size, self.size):
@@ -261,10 +271,10 @@ class DistanceComputer:
 
     def distance_many_to_one(
         self,
-        views_ft: np.ndarray,
-        cut_ft: np.ndarray,
-        cut_modulation: np.ndarray | None = None,
-    ) -> np.ndarray:
+        views_ft: Array,
+        cut_ft: Array,
+        cut_modulation: Array | None = None,
+    ) -> Array:
         """Distances from each view of a stack to one cut (used by step k)."""
         views = np.asarray(views_ft)
         if views.ndim != 3 or views.shape[1:] != (self.size, self.size):

@@ -31,6 +31,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.analysis.contracts import array_contract, spec
+from repro.arraytypes import Array
 from repro.fourier.slicing import _gather_nearest, _gather_trilinear, _gather_trilinear_interior
 from repro.fourier.transforms import fourier_center, frequency_grid_2d
 
@@ -89,7 +91,10 @@ class MatchPlan:
         self.n_samples = distance_computer.n_samples
         if idx.size:
             r_band = float(
-                np.sqrt(self._kxb.astype(float) ** 2 + self._kyb.astype(float) ** 2).max()
+                np.sqrt(
+                    self._kxb.astype(float, copy=False) ** 2
+                    + self._kyb.astype(float, copy=False) ** 2
+                ).max()
             )
         else:
             r_band = 0.0
@@ -109,11 +114,11 @@ class MatchPlan:
         return self._interior
 
     # -- band gathers ------------------------------------------------------
-    def gather_view(self, view_ft: np.ndarray) -> np.ndarray:
+    def gather_view(self, view_ft: Array) -> Array:
         """The view's in-band samples as a flat vector (alias of ``dc.gather``)."""
         return self.dc.gather(view_ft)
 
-    def _band_coords(self, rotations: np.ndarray) -> tuple[np.ndarray, bool]:
+    def _band_coords(self, rotations: Array) -> tuple[Array, bool]:
         rots = np.asarray(rotations, dtype=float)
         single = rots.ndim == 2
         if single:
@@ -132,13 +137,13 @@ class MatchPlan:
         """Rotations per gather chunk (cache sizing, not a result knob)."""
         return max(1, _CHUNK_SAMPLES // max(1, self.n_samples))
 
-    def _gather_chunk(self, vol: np.ndarray, rotations: np.ndarray) -> np.ndarray:
+    def _gather_chunk(self, vol: Array, rotations: Array) -> Array:
         coords, single = self._band_coords(rotations)
         if self.interpolation == "nearest":
             out = _gather_nearest(vol, coords)
         elif self._interior:
             pts = coords.reshape(-1, 3)
-            base = np.floor(pts).astype(np.int64)
+            base = np.floor(pts).astype(np.int64, copy=False)
             frac = pts - base
             out = _gather_trilinear_interior(vol.ravel(), vol.shape[0], base, frac).reshape(
                 coords.shape[:-1]
@@ -147,7 +152,11 @@ class MatchPlan:
             out = _gather_trilinear(vol, coords)
         return out[0] if single else out
 
-    def cut_bands(self, volume_ft: np.ndarray, rotations: np.ndarray) -> np.ndarray:
+    @array_contract(
+        volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+        rotations=spec(shape=[(3, 3), (None, 3, 3)], allow_none=False),
+    )
+    def cut_bands(self, volume_ft: Array, rotations: Array) -> Array:
         """In-band samples of the central cut(s) of D̂ — never an (w, l, l) stack.
 
         ``rotations`` is one ``(3, 3)`` matrix or a ``(w, 3, 3)`` stack; the
@@ -167,18 +176,23 @@ class MatchPlan:
             out[lo : lo + step] = self._gather_chunk(vol, rots[lo : lo + step])
         return out
 
-    def cut_band(self, volume_ft: np.ndarray, rotation: np.ndarray) -> np.ndarray:
+    def cut_band(self, volume_ft: Array, rotation: Array) -> Array:
         """In-band samples of one cut (the fused analog of ``extract_slice``)."""
         return self.cut_bands(volume_ft, rotation)
 
     # -- fused matching ----------------------------------------------------
+    @array_contract(
+        volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+        view_band=spec(shape=("n",), dtype="inexact", allow_none=False),
+        rotations=spec(shape=[(3, 3), (None, 3, 3)], allow_none=False),
+    )
     def distances(
         self,
-        volume_ft: np.ndarray,
-        view_band: np.ndarray,
-        rotations: np.ndarray,
-        cut_modulation: np.ndarray | None = None,
-    ) -> np.ndarray:
+        volume_ft: Array,
+        view_band: Array,
+        rotations: Array,
+        cut_modulation: Array | None = None,
+    ) -> Array:
         """§3 distances from one view to all ``w`` candidates, fused.
 
         ``view_band`` comes from :meth:`gather_view`; ``cut_modulation`` is
@@ -207,7 +221,7 @@ class MatchPlan:
         return out
 
     # -- fused center machinery (steps k–l) --------------------------------
-    def shift_ramps(self, dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+    def shift_ramps(self, dxs: Array, dys: Array) -> Array:
         """In-band phase ramps for a batch of candidate center corrections.
 
         Row ``i`` equals the reference ``_shift_stack`` ramp for
@@ -222,7 +236,7 @@ class MatchPlan:
             / self.size
         )
 
-    def phase_shift_band(self, view_band: np.ndarray, dx: float, dy: float) -> np.ndarray:
+    def phase_shift_band(self, view_band: Array, dx: float, dy: float) -> Array:
         """Band-restricted :func:`repro.imaging.center.phase_shift_ft`."""
         if dx == 0.0 and dy == 0.0:
             return view_band

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation, euler_to_matrix
 
 __all__ = ["OrientationGrid", "orientation_window", "step_offsets"]
@@ -20,10 +21,10 @@ __all__ = ["OrientationGrid", "orientation_window", "step_offsets"]
 # The symmetric offset vectors (-h..h)·step are rebuilt for every window of
 # every slide of every view; they depend only on (h, step), so cache them
 # read-only.  Shared with the center box search (refine.center_refine).
-_OFFSETS_CACHE: dict[tuple[int, float], np.ndarray] = {}
+_OFFSETS_CACHE: dict[tuple[int, float], Array] = {}
 
 
-def step_offsets(half_steps: int, step: float) -> np.ndarray:
+def step_offsets(half_steps: int, step: float) -> Array:
     """Cached read-only offsets ``(-h, …, h)·step`` around a window center."""
     key = (int(half_steps), float(step))
     cached = _OFFSETS_CACHE.get(key)
@@ -47,9 +48,9 @@ class OrientationGrid:
         center offsets to all candidates).
     """
 
-    thetas: np.ndarray
-    phis: np.ndarray
-    omegas: np.ndarray
+    thetas: Array
+    phis: Array
+    omegas: Array
     center: Orientation
 
     @property
@@ -62,7 +63,7 @@ class OrientationGrid:
         s = self.shape
         return s[0] * s[1] * s[2]
 
-    def rotation_stack(self) -> np.ndarray:
+    def rotation_stack(self) -> Array:
         """All candidate rotation matrices, shape ``(w, 3, 3)``.
 
         Ordering is C-order over (θ, φ, ω), matching :meth:`unravel`.

@@ -17,6 +17,7 @@ import numpy as np
 from repro.align.distance import DistanceComputer
 from repro.align.fused import MatchPlan
 from repro.align.grid import OrientationGrid
+from repro.arraytypes import Array
 from repro.fourier.slicing import extract_slices
 from repro.geometry.euler import Orientation
 
@@ -48,19 +49,19 @@ class MatchResult:
     distance: float
     flat_index: int
     on_edge: tuple[bool, bool, bool]
-    distances: np.ndarray
+    distances: Array
     n_matches: int
 
 
 def match_view(
-    view_ft: np.ndarray,
-    volume_ft: np.ndarray,
+    view_ft: Array,
+    volume_ft: Array,
     grid: OrientationGrid,
     distance_computer: DistanceComputer | None = None,
     r_max: float | None = None,
-    weights: np.ndarray | None = None,
+    weights: Array | None = None,
     interpolation: str = "trilinear",
-    cut_modulation: np.ndarray | None = None,
+    cut_modulation: Array | None = None,
 ) -> MatchResult:
     """Steps f–h for one view and one window.
 
@@ -100,11 +101,11 @@ def match_view(
 
 
 def match_view_band(
-    view_band: np.ndarray,
-    volume_ft: np.ndarray,
+    view_band: Array,
+    volume_ft: Array,
     grid: OrientationGrid,
     plan: MatchPlan,
-    cut_modulation: np.ndarray | None = None,
+    cut_modulation: Array | None = None,
 ) -> MatchResult:
     """Steps f–h with the fused in-band kernel — no ``(w, l, l)`` cut stack.
 

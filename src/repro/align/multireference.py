@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.arraytypes import Array
 from repro.density.map import DensityMap
 from repro.fourier.transforms import centered_fft2
 from repro.geometry.euler import Orientation
@@ -35,17 +36,17 @@ class ClassificationResult:
     ``distances[q]`` the winning distance.
     """
 
-    assignments: np.ndarray
+    assignments: Array
     orientations: list[Orientation]
-    distances: np.ndarray
+    distances: Array
     class_maps: list[DensityMap] = field(default_factory=list)
 
-    def members(self, k: int) -> np.ndarray:
+    def members(self, k: int) -> Array:
         return np.nonzero(self.assignments == k)[0]
 
 
 def classify_views(
-    images: np.ndarray,
+    images: Array,
     initial_orientations: list[Orientation],
     references: list[DensityMap],
     r_max: float | None = None,
@@ -101,7 +102,7 @@ def classify_views(
 
 
 def iterative_classification(
-    images: np.ndarray,
+    images: Array,
     initial_orientations: list[Orientation],
     initial_references: list[DensityMap],
     n_iterations: int = 2,

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.arraytypes import Array
 from repro.density.map import DensityMap
 from repro.fourier.slicing import extract_slices
 from repro.geometry.euler import Orientation, euler_to_matrix
@@ -50,7 +51,7 @@ class ProjectionLibrary:
     """
 
     orientations: list[Orientation]
-    cuts: np.ndarray
+    cuts: Array
     angular_resolution_deg: float
 
     def __len__(self) -> int:
@@ -90,7 +91,7 @@ def build_projection_library(
 
 
 def match_against_library(
-    view_ft: np.ndarray,
+    view_ft: Array,
     library: ProjectionLibrary,
     distance_computer: DistanceComputer | None = None,
     r_max: float | None = None,
@@ -104,11 +105,11 @@ def match_against_library(
 
 
 def refine_icosahedral(
-    views_ft: np.ndarray,
+    views_ft: Array,
     density: DensityMap,
     angular_resolution_deg: float,
     r_max: float | None = None,
-) -> tuple[list[Orientation], np.ndarray]:
+) -> tuple[list[Orientation], Array]:
     """Assign every view its best icosahedral-library orientation.
 
     Returns ``(orientations, distances)``.  This is one iteration of the

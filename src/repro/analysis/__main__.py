@@ -1,0 +1,60 @@
+"""``python -m repro.analysis`` — the static-analysis gate CLI.
+
+Exit status 0 means every stage passed (or was skipped because the tool
+is not installed); any finding from ruff, mypy or repro-lint exits 1.
+
+    python -m repro.analysis                  # full gate over the repo
+    python -m repro.analysis --lint-only      # repro-lint only
+    python -m repro.analysis --lint-only FILE # lint specific files/dirs
+    python -m repro.analysis --list-rules     # show the rule table
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.gate import run_gate
+from repro.analysis.rules import rule_table
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="repro static-analysis gate: ruff + mypy + repro-lint",
+    )
+    parser.add_argument("paths", nargs="*", help="files/directories to lint (default: src/repro)")
+    parser.add_argument("--lint-only", action="store_true", help="run repro-lint only")
+    parser.add_argument("--skip-ruff", action="store_true", help="skip the ruff stage")
+    parser.add_argument("--skip-mypy", action="store_true", help="skip the mypy stage")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, name, rationale in rule_table():
+            print(f"{rule_id}  {name}")
+            print(f"       {rationale}")
+        return 0
+
+    results = run_gate(
+        args.paths or None,
+        with_ruff=not (args.lint_only or args.skip_ruff),
+        with_mypy=not (args.lint_only or args.skip_mypy),
+    )
+    failed = False
+    for result in results:
+        print(f"[{result.status:>7}] {result.name}")
+        if result.detail and result.status != "ok":
+            for line in result.detail.splitlines():
+                print(f"    {line}")
+        failed = failed or result.failed
+    if failed:
+        print("gate: FAILED")
+        return 1
+    print("gate: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,99 @@
+"""The one-shot static-analysis gate: ruff + mypy + repro-lint.
+
+``python -m repro.analysis`` (and ``tools/check.py``) call
+:func:`run_gate`.  The two external tools are *optional* — this
+reproduction runs in offline containers that may not ship them — so an
+absent tool reports ``skipped`` rather than failing the gate; repro-lint
+is in-process and always runs.  Any real finding from any tool makes the
+gate exit nonzero.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint import Finding, lint_paths
+
+__all__ = ["GateResult", "repo_root", "run_gate", "run_lint", "run_mypy", "run_ruff"]
+
+
+@dataclass(frozen=True)
+class GateResult:
+    """Outcome of one gate stage."""
+
+    name: str
+    status: str  # "ok" | "failed" | "skipped"
+    detail: str = ""
+
+    @property
+    def failed(self) -> bool:
+        return self.status == "failed"
+
+
+def repo_root() -> Path:
+    """The repository root (two levels above ``src/repro``)."""
+    return Path(__file__).resolve().parents[3]
+
+
+def _tool_available(module: str) -> bool:
+    try:
+        return importlib.util.find_spec(module) is not None
+    except (ImportError, ValueError):
+        return False
+
+
+def _run_tool(name: str, argv: list[str], cwd: Path) -> GateResult:
+    proc = subprocess.run(argv, cwd=cwd, capture_output=True, text=True)
+    output = (proc.stdout + proc.stderr).strip()
+    if proc.returncode == 0:
+        return GateResult(name, "ok", output)
+    return GateResult(name, "failed", output)
+
+
+def run_ruff(root: Path | None = None) -> GateResult:
+    """``ruff check`` over src/ and tests/, or ``skipped`` when not installed."""
+    root = root or repo_root()
+    if not _tool_available("ruff"):
+        return GateResult("ruff", "skipped", "ruff is not installed in this environment")
+    return _run_tool("ruff", [sys.executable, "-m", "ruff", "check", "src", "tests"], root)
+
+
+def run_mypy(root: Path | None = None) -> GateResult:
+    """``mypy`` with the pyproject config, or ``skipped`` when not installed."""
+    root = root or repo_root()
+    if not _tool_available("mypy"):
+        return GateResult("mypy", "skipped", "mypy is not installed in this environment")
+    return _run_tool("mypy", [sys.executable, "-m", "mypy"], root)
+
+
+def run_lint(paths: Sequence[str] | None = None, root: Path | None = None) -> GateResult:
+    """repro-lint over the given paths (default: ``src/repro``)."""
+    root = root or repo_root()
+    targets = list(paths) if paths else [str(root / "src" / "repro")]
+    findings: list[Finding] = lint_paths(targets)
+    if not findings:
+        return GateResult("repro-lint", "ok", f"0 findings over {', '.join(targets)}")
+    return GateResult("repro-lint", "failed", "\n".join(f.format() for f in findings))
+
+
+def run_gate(
+    lint_targets: Sequence[str] | None = None,
+    *,
+    with_ruff: bool = True,
+    with_mypy: bool = True,
+    root: Path | None = None,
+) -> list[GateResult]:
+    """Run every requested stage; the gate fails if any result ``failed``."""
+    root = root or repo_root()
+    results: list[GateResult] = []
+    if with_ruff:
+        results.append(run_ruff(root))
+    if with_mypy:
+        results.append(run_mypy(root))
+    results.append(run_lint(lint_targets, root))
+    return results

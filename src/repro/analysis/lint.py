@@ -1,0 +1,187 @@
+"""repro-lint: AST-based checks for this repo's correctness invariants.
+
+PR 1 split every hot path into two kernels that must stay bit-identical
+(fused vs reference) and a scheduler that must stay deterministic at any
+worker count.  Those invariants are conventions — a centered-FFT grid
+layout, seeded RNG plumbing, float32-free band math, one distance
+reduction — that ordinary linters cannot see.  Each rule in
+:mod:`repro.analysis.rules` encodes one of them as an AST check, so a
+future perf PR that quietly breaks a convention fails the gate instead of
+producing plausible-but-wrong orientations.
+
+Usage (also via ``python -m repro.analysis``)::
+
+    from repro.analysis.lint import lint_paths
+    findings = lint_paths(["src/repro"])    # [] when clean
+
+A finding can be waived *in place* with a justification comment on the
+offending line::
+
+    local = np.fft.fft2(slab)  # repro-lint: allow[RL002] slab-local FFT is the thing implemented
+
+Waivers are per-line and per-rule; ``allow[*]`` waives every rule on the
+line.  Rule scoping (which paths a rule patrols) lives on each rule class.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.rules import Rule
+
+__all__ = [
+    "Finding",
+    "ModuleUnderLint",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "relative_module_path",
+]
+
+_ALLOW_RE = re.compile(r"#\s*repro-lint:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class ModuleUnderLint:
+    """A parsed module plus the metadata rules need.
+
+    ``rel`` is the package-relative posix path (``repro/align/fused.py``)
+    that rule scoping matches against; ``path`` is the display path.
+    """
+
+    path: str
+    rel: str
+    source: str
+    tree: ast.Module
+    allow: dict[int, frozenset[str]]
+
+    def allows(self, line: int, rule_id: str) -> bool:
+        waived = self.allow.get(line)
+        return waived is not None and ("*" in waived or rule_id in waived)
+
+
+def relative_module_path(path: Path) -> str:
+    """Map a filesystem path to its ``repro/...`` package-relative form.
+
+    Files outside any ``repro`` directory (ad-hoc fixtures) are treated as
+    top-level ``repro/<name>`` modules so unscoped rules still apply.
+    """
+    parts = path.as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i:])
+    return f"repro/{path.name}"
+
+
+def _allow_map(source: str) -> dict[int, frozenset[str]]:
+    """Waived rule ids per line.
+
+    An inline comment waives its own line; a standalone comment line waives
+    the next code line (so long justifications can sit above the code).
+    """
+    allow: dict[int, frozenset[str]] = {}
+    pending: frozenset[str] | None = None
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _ALLOW_RE.search(line)
+        stripped = line.strip()
+        if match:
+            ids = frozenset(tok.strip() for tok in match.group(1).split(",") if tok.strip())
+            allow[lineno] = ids
+            if stripped.startswith("#"):
+                pending = ids
+            continue
+        if pending is not None and stripped and not stripped.startswith("#"):
+            allow[lineno] = allow.get(lineno, frozenset()) | pending
+            pending = None
+    return allow
+
+
+def parse_module(path: Path, rel: str | None = None) -> ModuleUnderLint:
+    """Read and parse one file into a :class:`ModuleUnderLint`."""
+    source = path.read_text(encoding="utf-8")
+    return ModuleUnderLint(
+        path=str(path),
+        rel=rel if rel is not None else relative_module_path(path),
+        source=source,
+        tree=ast.parse(source, filename=str(path)),
+        allow=_allow_map(source),
+    )
+
+
+def _default_rules() -> Sequence["Rule"]:
+    from repro.analysis.rules import all_rules
+
+    return all_rules()
+
+
+def _run_rules(mod: ModuleUnderLint, rules: Sequence["Rule"]) -> list[Finding]:
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies(mod):
+            continue
+        for finding in rule.check(mod):
+            if not mod.allows(finding.line, rule.rule_id):
+                findings.append(finding)
+    return findings
+
+
+def lint_source(
+    source: str,
+    rel: str,
+    path: str = "<string>",
+    rules: Sequence["Rule"] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet as if it lived at ``rel`` (test entry point)."""
+    mod = ModuleUnderLint(
+        path=path,
+        rel=rel,
+        source=source,
+        tree=ast.parse(source, filename=path),
+        allow=_allow_map(source),
+    )
+    return _run_rules(mod, _default_rules() if rules is None else rules)
+
+
+def lint_file(path: Path, rules: Sequence["Rule"] | None = None) -> list[Finding]:
+    """Lint one file."""
+    return _run_rules(parse_module(path), _default_rules() if rules is None else rules)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence["Rule"] | None = None,
+) -> list[Finding]:
+    """Lint every ``.py`` file under the given files/directories."""
+    resolved_rules = _default_rules() if rules is None else rules
+    findings: list[Finding] = []
+    for file in _iter_python_files(Path(p) for p in paths):
+        findings.extend(lint_file(file, resolved_rules))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -1,0 +1,53 @@
+"""The repro-lint rule set: one class per machine-checked invariant.
+
+Every rule carries its id, a one-line name, the *rationale* (why breaking
+it produces wrong orientations, not just ugly code), and the path scope it
+patrols.  ``all_rules()`` is the registry the lint driver and the docs
+both read, so DESIGN.md's rule table cannot drift from the code.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules._base import Rule
+from repro.analysis.rules.determinism import NoNondeterminism
+from repro.analysis.rules.dtypes import NoSilentUpcast
+from repro.analysis.rules.exports import ExportListSync
+from repro.analysis.rules.fourier import CenteredFFTOnly
+from repro.analysis.rules.hygiene import FutureAnnotations
+from repro.analysis.rules.kernels import KernelBoundaryContract, TwoKernelsOneTruth
+from repro.analysis.rules.parallelism import MultiprocessingInParallelOnly
+
+__all__ = [
+    "Rule",
+    "all_rules",
+    "rule_table",
+    "CenteredFFTOnly",
+    "ExportListSync",
+    "FutureAnnotations",
+    "KernelBoundaryContract",
+    "MultiprocessingInParallelOnly",
+    "NoNondeterminism",
+    "NoSilentUpcast",
+    "TwoKernelsOneTruth",
+]
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate the full rule set, ordered by rule id."""
+    rules: list[Rule] = [
+        NoNondeterminism(),
+        CenteredFFTOnly(),
+        NoSilentUpcast(),
+        ExportListSync(),
+        MultiprocessingInParallelOnly(),
+        TwoKernelsOneTruth(),
+        KernelBoundaryContract(),
+        FutureAnnotations(),
+    ]
+    rules.sort(key=lambda r: r.rule_id)
+    return rules
+
+
+def rule_table() -> list[tuple[str, str, str]]:
+    """(id, name, rationale) for every rule — the docs/``--list-rules`` view."""
+    return [(r.rule_id, r.name, r.rationale) for r in all_rules()]

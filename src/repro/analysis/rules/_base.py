@@ -1,0 +1,74 @@
+"""Rule base class and small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+
+__all__ = ["Rule", "attribute_chain", "walk_functions"]
+
+
+class Rule:
+    """One machine-checked invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding :class:`Finding` objects (use :meth:`finding` to build them
+    from an AST node).  ``include``/``exclude`` are package-relative path
+    prefixes (``repro/align/``) or exact file paths matched against
+    ``ModuleUnderLint.rel``.
+    """
+
+    rule_id: ClassVar[str] = "RL000"
+    name: ClassVar[str] = ""
+    rationale: ClassVar[str] = ""
+    include: ClassVar[tuple[str, ...]] = ("repro/",)
+    exclude: ClassVar[tuple[str, ...]] = ()
+
+    def applies(self, mod: ModuleUnderLint) -> bool:
+        rel = mod.rel
+        if not any(rel == p or rel.startswith(p) for p in self.include):
+            return False
+        return not any(rel == p or rel.startswith(p) for p in self.exclude)
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, mod: ModuleUnderLint, node: ast.AST | int, message: str) -> Finding:
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.rule_id, path=mod.path, line=line, col=col, message=message)
+
+
+def attribute_chain(node: ast.AST) -> list[str] | None:
+    """``np.fft.fft2`` -> ``["np", "fft", "fft2"]``; None for non-name roots."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def walk_functions(tree: ast.Module) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield (qualname, def-node) for every function, including methods."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield qual, child
+                yield from visit(child, f"{qual}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    yield from visit(tree, "")

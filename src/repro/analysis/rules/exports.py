@@ -1,0 +1,72 @@
+"""RL004 — package ``__init__`` re-exports and ``__all__`` stay in sync.
+
+The public API is what the ``__init__`` modules re-export; a name imported
+but missing from ``__all__`` is invisible to ``import *`` users and to
+type checkers following ``py.typed``, while an ``__all__`` entry that is
+never imported is an API that does not exist.  Both directions are
+machine-checkable, so they are checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+from repro.analysis.rules._base import Rule
+
+__all__ = ["ExportListSync"]
+
+
+class ExportListSync(Rule):
+    rule_id = "RL004"
+    name = "export-list-sync"
+    rationale = (
+        "Every public name a package __init__ imports or assigns must appear "
+        "in its __all__, and every __all__ entry must exist — otherwise the "
+        "typed public surface and the real one drift apart."
+    )
+
+    def applies(self, mod: ModuleUnderLint) -> bool:
+        return super().applies(mod) and mod.rel.endswith("/__init__.py")
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        imported: dict[str, ast.AST] = {}
+        assigned: dict[str, ast.AST] = {}
+        all_node: ast.AST | None = None
+        all_names: list[str] = []
+        for node in mod.tree.body:
+            if isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if name != "*":
+                        imported[name] = node
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if target.id == "__all__":
+                            all_node = node
+                            try:
+                                all_names = [str(v) for v in ast.literal_eval(node.value)]
+                            except (ValueError, SyntaxError):
+                                yield self.finding(mod, node, "__all__ must be a literal list of strings")
+                                return
+                        else:
+                            assigned[target.id] = node
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                assigned[node.name] = node
+        if not imported and not assigned:
+            return  # namespace-only __init__
+        if all_node is None:
+            yield self.finding(mod, 1, "package __init__ re-exports names but defines no __all__")
+            return
+        defined = set(imported) | set(assigned)
+        for name in sorted(set(all_names) - defined):
+            yield self.finding(mod, all_node, f"__all__ lists {name!r} but the module never "
+                               "imports or defines it")
+        public = {n for n in imported if not n.startswith("_")}
+        listed = set(all_names)
+        for name in sorted(public - listed):
+            yield self.finding(mod, imported[name], f"{name!r} is re-exported but missing from __all__")

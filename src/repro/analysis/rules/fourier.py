@@ -1,0 +1,44 @@
+"""RL002 — the centered-FFT convention lives in exactly one module.
+
+Every kernel interpolates against the centered grid convention defined in
+:mod:`repro.fourier.transforms` (DC at ``l // 2``); a raw ``np.fft.*``
+call anywhere else can silently disagree about shifting and put every
+Fourier sample half a grid off — the classic plausible-but-wrong failure
+mode.  All FFTs, shifts and FFT-based correlations must go through the
+wrappers in ``fourier/transforms.py``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+from repro.analysis.rules._base import Rule, attribute_chain
+
+__all__ = ["CenteredFFTOnly"]
+
+
+class CenteredFFTOnly(Rule):
+    rule_id = "RL002"
+    name = "centered-fft-only"
+    rationale = (
+        "Raw np.fft.* calls outside fourier/transforms.py can disagree with "
+        "the centered-DFT convention (DC at l // 2) that slicing and "
+        "insertion interpolate against; one missed fftshift shifts every "
+        "sample by half the box."
+    )
+    exclude = ("repro/fourier/transforms.py",)
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            chain = attribute_chain(node)
+            if chain and len(chain) >= 3 and chain[0] in ("np", "numpy") and chain[1] == "fft":
+                yield self.finding(mod,
+                    node,
+                    f"raw `{'.'.join(chain)}` outside fourier/transforms.py; use the "
+                    "centered wrappers (centered_fftn/centered_fft2/...) so the grid "
+                    "convention stays in one place",
+                )

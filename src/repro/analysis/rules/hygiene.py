@@ -1,0 +1,42 @@
+"""RL008 — every source module defers annotation evaluation.
+
+The typing pass annotates hot-path signatures with ``numpy.typing``
+aliases; without ``from __future__ import annotations`` those expressions
+would be evaluated at import time (cost, and 3.10-incompatible unions in
+older styles).  Requiring the future import everywhere keeps annotations
+free and uniform.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+from repro.analysis.rules._base import Rule
+
+__all__ = ["FutureAnnotations"]
+
+
+class FutureAnnotations(Rule):
+    rule_id = "RL008"
+    name = "future-annotations"
+    rationale = (
+        "NDArray annotations must stay free at runtime: every module (except "
+        "package __init__/__main__ shims) defers them with "
+        "`from __future__ import annotations`."
+    )
+
+    def applies(self, mod: ModuleUnderLint) -> bool:
+        if mod.rel.endswith(("/__init__.py", "/__main__.py")):
+            return False
+        return super().applies(mod)
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        if not mod.tree.body:
+            return
+        for node in mod.tree.body:
+            if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                if any(alias.name == "annotations" for alias in node.names):
+                    return
+        yield self.finding(mod, 1, "missing `from __future__ import annotations`")

@@ -1,0 +1,63 @@
+"""RL005 — process-level parallelism primitives live in ``parallel/`` only.
+
+The scheduler's determinism guarantee (same results at any worker count)
+holds because exactly one module decides how work is chunked, how D̂ is
+shared, and how results are re-ordered.  A second, ad-hoc pool elsewhere
+would create its own ordering and lifetime bugs outside the tested path.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+from repro.analysis.rules._base import Rule, attribute_chain
+
+__all__ = ["MultiprocessingInParallelOnly"]
+
+_PROCESS_NAMES = {"ProcessPoolExecutor", "SharedMemory"}
+
+
+class MultiprocessingInParallelOnly(Rule):
+    rule_id = "RL005"
+    name = "mp-in-parallel-only"
+    rationale = (
+        "Process pools and shared memory are allowed only under "
+        "repro/parallel/ — one scheduler owns chunking, D̂ sharing and "
+        "result ordering, so worker-count invariance stays testable in one "
+        "place."
+    )
+    exclude = ("repro/parallel/",)
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "multiprocessing" or alias.name.startswith("multiprocessing."):
+                        yield self.finding(mod,
+                            node, f"`import {alias.name}` outside repro/parallel/; route "
+                            "process-level work through the ViewScheduler"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                if module == "multiprocessing" or module.startswith("multiprocessing."):
+                    yield self.finding(mod,
+                        node, f"`from {module} import ...` outside repro/parallel/; route "
+                        "process-level work through the ViewScheduler"
+                    )
+                elif module.startswith("concurrent.futures"):
+                    names = {alias.name for alias in node.names}
+                    banned = names & _PROCESS_NAMES
+                    if banned:
+                        yield self.finding(mod,
+                            node, f"process-pool primitive {sorted(banned)} outside "
+                            "repro/parallel/; route work through the ViewScheduler"
+                        )
+            elif isinstance(node, ast.Attribute):
+                chain = attribute_chain(node)
+                if chain and chain[0] == "multiprocessing" and len(chain) > 1:
+                    yield self.finding(mod,
+                        node, f"`{'.'.join(chain)}` outside repro/parallel/; route "
+                        "process-level work through the ViewScheduler"
+                    )

@@ -1,0 +1,41 @@
+"""Shared ``numpy.typing`` aliases for the annotated core packages.
+
+The kernels care about three array families — real coordinates/weights,
+complex Fourier samples, and integer index sets.  Centralizing the aliases
+keeps signatures short and makes the dtype conventions greppable: a
+``ComplexArray`` is always a centered-DFT sample set, a ``FloatArray`` is
+real-valued geometry/weight data, an ``IntArray`` is an index or shell-label
+array.  ``Array`` is the deliberate any-dtype escape hatch (e.g. gathers
+that preserve the input dtype).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from numpy.typing import ArrayLike, NDArray
+
+__all__ = [
+    "Array",
+    "ArrayLike",
+    "BoolArray",
+    "ComplexArray",
+    "FloatArray",
+    "IntArray",
+]
+
+#: Any-dtype ndarray (dtype-preserving gathers, mixed real/complex paths).
+Array = NDArray[Any]
+
+#: Real-valued arrays: coordinates, weights, distances, densities.
+FloatArray = NDArray[np.floating[Any]]
+
+#: Complex Fourier-sample arrays (views, cuts, band vectors, volume DFTs).
+ComplexArray = NDArray[np.complexfloating[Any, Any]]
+
+#: Integer index / shell-label arrays.
+IntArray = NDArray[np.integer[Any]]
+
+#: Boolean mask arrays.
+BoolArray = NDArray[np.bool_]

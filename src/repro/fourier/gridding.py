@@ -19,13 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.fourier.transforms import centered_fftn, fourier_center
 from repro.utils import require_cube
 
 __all__ = ["KaiserBesselKernel", "prepare_gridding_volume", "gridding_extract_slice"]
 
 
-def _i0(x: np.ndarray) -> np.ndarray:
+def _i0(x: Array) -> Array:
     # modified Bessel function of the first kind, order 0
     from scipy.special import i0
 
@@ -62,7 +63,7 @@ class KaiserBesselKernel:
         beta = np.pi * np.sqrt(max(arg, 0.1))
         return KaiserBesselKernel(width=width, beta=float(beta))
 
-    def evaluate(self, u: np.ndarray) -> np.ndarray:
+    def evaluate(self, u: Array) -> Array:
         """Window value at offsets ``u`` (grid samples); 0 outside ±width/2."""
         u = np.asarray(u, dtype=float)
         half = self.width / 2.0
@@ -72,7 +73,7 @@ class KaiserBesselKernel:
         t[inside] = _i0(self.beta * np.sqrt(arg)) / _i0(np.array(self.beta))
         return t
 
-    def deapodization(self, size: int, total_size: int | None = None) -> np.ndarray:
+    def deapodization(self, size: int, total_size: int | None = None) -> Array:
         """1D real-space compensation profile for a length-``size`` axis.
 
         The KB window's inverse DFT evaluated at real-space coordinates;
@@ -105,7 +106,7 @@ class KaiserBesselKernel:
 
 def prepare_gridding_volume(
     density, kernel: KaiserBesselKernel, pad_factor: int = 2
-) -> np.ndarray:
+) -> Array:
     """Pre-compensated, oversampled transform for KB slice extraction.
 
     ``density`` is a :class:`repro.density.map.DensityMap`.  The map is
@@ -125,11 +126,11 @@ def prepare_gridding_volume(
 
 
 def gridding_extract_slice(
-    volume_ft: np.ndarray,
-    rotation: np.ndarray,
+    volume_ft: Array,
+    rotation: Array,
     kernel: KaiserBesselKernel,
     out_size: int,
-) -> np.ndarray:
+) -> Array:
     """One central cut interpolated with the KB window.
 
     ``volume_ft`` must come from :func:`prepare_gridding_volume` with the
@@ -149,7 +150,7 @@ def gridding_extract_slice(
 
     half = int(np.ceil(kernel.width / 2.0))
     offsets = np.arange(-half, half + 1)
-    base = np.rint(pts).astype(np.int64)
+    base = np.rint(pts).astype(np.int64, copy=False)
     out = np.zeros(pts.shape[0], dtype=volume_ft.dtype)
     flat = volume_ft.ravel()
     # kernel-sum normalization: the discrete window does not sum exactly to

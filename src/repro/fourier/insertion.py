@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.fourier.slicing import slice_coordinates
 from repro.fourier.transforms import fourier_center
 from repro.utils import require_cube, require_square
@@ -20,12 +21,12 @@ __all__ = ["insert_slice", "normalize_insertion"]
 
 
 def _scatter_trilinear(
-    accum: np.ndarray, weights: np.ndarray, coords_zyx: np.ndarray, values: np.ndarray
+    accum: Array, weights: Array, coords_zyx: Array, values: Array
 ) -> None:
     l = accum.shape[0]
     pts = coords_zyx.reshape(-1, 3)
     vals = values.ravel()
-    base = np.floor(pts).astype(np.int64)
+    base = np.floor(pts).astype(np.int64, copy=False)
     frac = pts - base
     flat_a = accum.ravel()
     flat_w = weights.ravel()
@@ -46,12 +47,12 @@ def _scatter_trilinear(
 
 
 def insert_slice(
-    accum: np.ndarray,
-    weights: np.ndarray,
-    slice_ft: np.ndarray,
-    rotation: np.ndarray,
+    accum: Array,
+    weights: Array,
+    slice_ft: Array,
+    rotation: Array,
     hermitian: bool = True,
-    sample_weights: np.ndarray | None = None,
+    sample_weights: Array | None = None,
 ) -> None:
     """Scatter one view's centered 2D DFT into the accumulation volume.
 
@@ -97,17 +98,17 @@ def insert_slice(
 
 
 def _scatter_weighted(
-    accum: np.ndarray,
-    weights: np.ndarray,
-    coords_zyx: np.ndarray,
-    values: np.ndarray,
-    sample_weights: np.ndarray,
+    accum: Array,
+    weights: Array,
+    coords_zyx: Array,
+    values: Array,
+    sample_weights: Array,
 ) -> None:
     l = accum.shape[0]
     pts = coords_zyx.reshape(-1, 3)
     vals = values.ravel() * sample_weights.ravel()
     wvals = sample_weights.ravel()
-    base = np.floor(pts).astype(np.int64)
+    base = np.floor(pts).astype(np.int64, copy=False)
     frac = pts - base
     flat_a = accum.ravel()
     flat_w = weights.ravel()
@@ -128,8 +129,8 @@ def _scatter_weighted(
 
 
 def normalize_insertion(
-    accum: np.ndarray, weights: np.ndarray, min_weight: float = 1e-3
-) -> np.ndarray:
+    accum: Array, weights: Array, min_weight: float = 1e-3
+) -> Array:
     """Divide the accumulated transform by its weights.
 
     Voxels whose accumulated weight is below ``min_weight`` (unmeasured

@@ -12,7 +12,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.fourier.transforms import fourier_center
+from repro.arraytypes import Array
+from repro.fourier.transforms import centered_fft2, centered_fftn, fourier_center
 from repro.utils import require_cube, require_square
 
 __all__ = [
@@ -29,11 +30,11 @@ __all__ = [
 # Shell-index grids are pure functions of ``size`` and sit on every hot
 # path (distance masks, weights, FSC); they are cached as read-only arrays
 # so repeated plan construction never rebuilds the meshgrids.
-_SHELL_2D_CACHE: dict[int, np.ndarray] = {}
-_SHELL_3D_CACHE: dict[int, np.ndarray] = {}
+_SHELL_2D_CACHE: dict[int, Array] = {}
+_SHELL_3D_CACHE: dict[int, Array] = {}
 
 
-def radial_shell_indices_2d(size: int) -> np.ndarray:
+def radial_shell_indices_2d(size: int) -> Array:
     """Integer shell index (rounded radius) of every pixel of an l×l image.
 
     The returned array is cached per ``size`` and marked read-only; copy it
@@ -44,13 +45,13 @@ def radial_shell_indices_2d(size: int) -> np.ndarray:
         c = fourier_center(size)
         k = np.arange(size) - c
         ky, kx = np.meshgrid(k, k, indexing="ij")
-        cached = np.rint(np.sqrt(ky * ky + kx * kx)).astype(np.int64)
+        cached = np.rint(np.sqrt(ky * ky + kx * kx)).astype(np.int64, copy=False)
         cached.setflags(write=False)
         _SHELL_2D_CACHE[size] = cached
     return cached
 
 
-def radial_shell_indices_3d(size: int) -> np.ndarray:
+def radial_shell_indices_3d(size: int) -> Array:
     """Integer shell index (rounded radius) of every voxel of an l³ volume.
 
     Cached per ``size`` (read-only), like the 2D variant.
@@ -60,13 +61,13 @@ def radial_shell_indices_3d(size: int) -> np.ndarray:
         c = fourier_center(size)
         k = np.arange(size) - c
         kz, ky, kx = np.meshgrid(k, k, k, indexing="ij")
-        cached = np.rint(np.sqrt(kz * kz + ky * ky + kx * kx)).astype(np.int64)
+        cached = np.rint(np.sqrt(kz * kz + ky * ky + kx * kx)).astype(np.int64, copy=False)
         cached.setflags(write=False)
         _SHELL_3D_CACHE[size] = cached
     return cached
 
 
-def circular_mask(size: int, radius: float) -> np.ndarray:
+def circular_mask(size: int, radius: float) -> Array:
     """Boolean mask of pixels within ``radius`` of the 2D Fourier center."""
     c = fourier_center(size)
     k = np.arange(size) - c
@@ -74,7 +75,7 @@ def circular_mask(size: int, radius: float) -> np.ndarray:
     return ky * ky + kx * kx <= radius * radius
 
 
-def spherical_mask(size: int, radius: float) -> np.ndarray:
+def spherical_mask(size: int, radius: float) -> Array:
     """Boolean mask of voxels within ``radius`` of the 3D Fourier center."""
     c = fourier_center(size)
     k = np.arange(size) - c
@@ -82,7 +83,7 @@ def spherical_mask(size: int, radius: float) -> np.ndarray:
     return kz * kz + ky * ky + kx * kx <= radius * radius
 
 
-def shell_average(values: np.ndarray, max_radius: int | None = None) -> np.ndarray:
+def shell_average(values: Array, max_radius: int | None = None) -> Array:
     """Average of ``values`` over integer radial shells.
 
     Works for 2D or 3D arrays; returns an array of length
@@ -111,7 +112,7 @@ def shell_average(values: np.ndarray, max_radius: int | None = None) -> np.ndarr
     return sums / counts
 
 
-def fsc_curve(volume_a: np.ndarray, volume_b: np.ndarray, max_radius: int | None = None) -> np.ndarray:
+def fsc_curve(volume_a: Array, volume_b: Array, max_radius: int | None = None) -> Array:
     """Fourier Shell Correlation between two real-space volumes.
 
     ``FSC(r) = Re Σ_r F_a conj(F_b) / sqrt(Σ_r |F_a|² Σ_r |F_b|²)`` over each
@@ -123,26 +124,26 @@ def fsc_curve(volume_a: np.ndarray, volume_b: np.ndarray, max_radius: int | None
     if a.shape != b.shape:
         raise ValueError("volumes must have the same shape")
     size = require_cube(a)
-    fa = np.fft.fftshift(np.fft.fftn(np.fft.ifftshift(a)))
-    fb = np.fft.fftshift(np.fft.fftn(np.fft.ifftshift(b)))
+    fa = centered_fftn(a)
+    fb = centered_fftn(b)
     return _shell_correlation(fa, fb, radial_shell_indices_3d(size), size, max_radius)
 
 
-def ring_correlation(image_a: np.ndarray, image_b: np.ndarray, max_radius: int | None = None) -> np.ndarray:
+def ring_correlation(image_a: Array, image_b: Array, max_radius: int | None = None) -> Array:
     """Fourier Ring Correlation between two real-space images (2D analog)."""
     a = np.asarray(image_a, dtype=float)
     b = np.asarray(image_b, dtype=float)
     if a.shape != b.shape:
         raise ValueError("images must have the same shape")
     size = require_square(a)
-    fa = np.fft.fftshift(np.fft.fft2(np.fft.ifftshift(a)))
-    fb = np.fft.fftshift(np.fft.fft2(np.fft.ifftshift(b)))
+    fa = centered_fft2(a)
+    fb = centered_fft2(b)
     return _shell_correlation(fa, fb, radial_shell_indices_2d(size), size, max_radius)
 
 
 def _shell_correlation(
-    fa: np.ndarray, fb: np.ndarray, shells: np.ndarray, size: int, max_radius: int | None
-) -> np.ndarray:
+    fa: Array, fb: Array, shells: Array, size: int, max_radius: int | None
+) -> Array:
     rmax = size // 2 if max_radius is None else int(max_radius)
     flat_s = shells.ravel()
     keep = flat_s <= rmax

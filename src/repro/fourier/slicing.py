@@ -16,13 +16,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import array_contract, spec
+from repro.arraytypes import Array
 from repro.fourier.transforms import fourier_center, frequency_grid_2d
 from repro.utils import require_cube
 
 __all__ = ["slice_coordinates", "extract_slice", "extract_slices"]
 
 
-def slice_coordinates(size: int, rotation: np.ndarray, volume_size: int | None = None) -> np.ndarray:
+def slice_coordinates(size: int, rotation: Array, volume_size: int | None = None) -> Array:
     """Fractional array coordinates of the central slice for one rotation.
 
     Returns an array of shape ``(size, size, 3)`` whose ``[i, j]`` entry is
@@ -54,8 +56,8 @@ def slice_coordinates(size: int, rotation: np.ndarray, volume_size: int | None =
 
 
 def _gather_trilinear_interior(
-    flat: np.ndarray, l: int, base: np.ndarray, frac: np.ndarray
-) -> np.ndarray:
+    flat: Array, l: int, base: Array, frac: Array
+) -> Array:
     """Trilinear gather when every 8-corner neighbourhood is in bounds.
 
     The corner accumulation order and the weight-product association match
@@ -75,7 +77,7 @@ def _gather_trilinear_interior(
     return out
 
 
-def _gather_trilinear(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
+def _gather_trilinear(volume: Array, coords_zyx: Array) -> Array:
     """Vectorized trilinear gather of complex samples at fractional coords.
 
     ``coords_zyx`` has shape ``(..., 3)``; out-of-bounds samples return 0.
@@ -85,7 +87,7 @@ def _gather_trilinear(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
     """
     l = volume.shape[0]
     pts = coords_zyx.reshape(-1, 3)
-    base = np.floor(pts).astype(np.int64)
+    base = np.floor(pts).astype(np.int64, copy=False)
     frac = pts - base
     flat = volume.ravel()
     if base.size and base.min() >= 0 and base.max() <= l - 2:
@@ -118,10 +120,10 @@ def _gather_trilinear(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
     return out.reshape(coords_zyx.shape[:-1])
 
 
-def _gather_nearest(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
+def _gather_nearest(volume: Array, coords_zyx: Array) -> Array:
     l = volume.shape[0]
     pts = coords_zyx.reshape(-1, 3)
-    idx = np.rint(pts).astype(np.int64)
+    idx = np.rint(pts).astype(np.int64, copy=False)
     valid = np.all((idx >= 0) & (idx < l), axis=1)
     lin = (idx[:, 0] * l + idx[:, 1]) * l + idx[:, 2]
     lin[~valid] = 0
@@ -130,12 +132,16 @@ def _gather_nearest(volume: np.ndarray, coords_zyx: np.ndarray) -> np.ndarray:
     return out.reshape(coords_zyx.shape[:-1])
 
 
+@array_contract(
+    volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+    rotation=spec(shape=(3, 3), allow_none=False),
+)
 def extract_slice(
-    volume_ft: np.ndarray,
-    rotation: np.ndarray,
+    volume_ft: Array,
+    rotation: Array,
     order: str = "trilinear",
     out_size: int | None = None,
-) -> np.ndarray:
+) -> Array:
     """One central 2D cut ``C`` through a centered 3D DFT.
 
     Parameters
@@ -160,12 +166,16 @@ def extract_slice(
     raise ValueError(f"unknown interpolation order {order!r}")
 
 
+@array_contract(
+    volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+    rotations=spec(shape=(None, 3, 3), allow_none=False),
+)
 def extract_slices(
-    volume_ft: np.ndarray,
-    rotations: np.ndarray,
+    volume_ft: Array,
+    rotations: Array,
     order: str = "trilinear",
     out_size: int | None = None,
-) -> np.ndarray:
+) -> Array:
     """Batch of central cuts, one per rotation.
 
     ``rotations`` has shape ``(w, 3, 3)``; the result has shape

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arraytypes import Array, ComplexArray, FloatArray, IntArray
+
 __all__ = [
     "centered_fftn",
     "centered_ifftn",
@@ -17,9 +19,12 @@ __all__ = [
     "centered_ifft2",
     "centered_fft1",
     "centered_ifft1",
+    "circular_cross_correlation",
     "fourier_center",
     "frequency_grid_2d",
     "frequency_grid_3d",
+    "to_centered_order",
+    "to_standard_order",
 ]
 
 
@@ -30,17 +35,17 @@ def fourier_center(size: int) -> int:
     return size // 2
 
 
-def centered_fftn(volume: np.ndarray) -> np.ndarray:
+def centered_fftn(volume: Array) -> ComplexArray:
     """3D (or nD) centered forward DFT."""
     return np.fft.fftshift(np.fft.fftn(np.fft.ifftshift(np.asarray(volume))))
 
 
-def centered_ifftn(spectrum: np.ndarray) -> np.ndarray:
+def centered_ifftn(spectrum: Array) -> ComplexArray:
     """Inverse of :func:`centered_fftn` (complex output; take ``.real`` for maps)."""
     return np.fft.fftshift(np.fft.ifftn(np.fft.ifftshift(np.asarray(spectrum))))
 
 
-def centered_fft2(image: np.ndarray) -> np.ndarray:
+def centered_fft2(image: Array) -> ComplexArray:
     """2D centered forward DFT over the last two axes."""
     arr = np.asarray(image)
     return np.fft.fftshift(
@@ -48,7 +53,7 @@ def centered_fft2(image: np.ndarray) -> np.ndarray:
     )
 
 
-def centered_ifft2(spectrum: np.ndarray) -> np.ndarray:
+def centered_ifft2(spectrum: Array) -> ComplexArray:
     """Inverse of :func:`centered_fft2` over the last two axes."""
     arr = np.asarray(spectrum)
     return np.fft.fftshift(
@@ -56,24 +61,52 @@ def centered_ifft2(spectrum: np.ndarray) -> np.ndarray:
     )
 
 
-def centered_fft1(signal: np.ndarray, axis: int = -1) -> np.ndarray:
+def centered_fft1(signal: Array, axis: int = -1) -> ComplexArray:
     """1D centered forward DFT along ``axis``."""
     arr = np.asarray(signal)
     return np.fft.fftshift(np.fft.fft(np.fft.ifftshift(arr, axes=axis), axis=axis), axes=axis)
 
 
-def centered_ifft1(spectrum: np.ndarray, axis: int = -1) -> np.ndarray:
+def centered_ifft1(spectrum: Array, axis: int = -1) -> ComplexArray:
     """Inverse of :func:`centered_fft1`."""
     arr = np.asarray(spectrum)
     return np.fft.fftshift(np.fft.ifft(np.fft.ifftshift(arr, axes=axis), axis=axis), axes=axis)
 
 
+def to_standard_order(array: Array) -> Array:
+    """Reorder a centered array to numpy's standard (DC-first) layout.
+
+    The inverse of :func:`to_centered_order`.  These are the *only*
+    sanctioned shift entry points outside this module, so the question
+    "which convention is this array in?" always has a greppable answer.
+    """
+    return np.fft.ifftshift(np.asarray(array))
+
+
+def to_centered_order(array: Array) -> Array:
+    """Reorder a standard (DC-first) array to the centered layout (DC at l // 2)."""
+    return np.fft.fftshift(np.asarray(array))
+
+
+def circular_cross_correlation(a: Array, b: Array, axis: int = 0) -> FloatArray:
+    """Circular cross-correlation of two real arrays along ``axis`` via FFT.
+
+    Entry ``s`` (along ``axis``) is ``Σ_t a[t] · b[t − s]`` with periodic
+    wrap-around — the standard FFT correlation theorem, computed with the
+    *uncentered* transform because circular correlation is shift-convention
+    free.  Used by the in-plane rotation classifier on polar resamplings.
+    """
+    fa = np.fft.fft(np.asarray(a), axis=axis)
+    fb = np.fft.fft(np.asarray(b), axis=axis)
+    return np.fft.ifft(fa * np.conj(fb), axis=axis).real
+
+
 # (ky, kx) meshgrids are rebuilt on every slice/shift/ramp call in the
 # matching loop; they only depend on ``size``, so cache them read-only.
-_FREQ_2D_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_FREQ_2D_CACHE: dict[int, tuple[IntArray, IntArray]] = {}
 
 
-def frequency_grid_2d(size: int) -> tuple[np.ndarray, np.ndarray]:
+def frequency_grid_2d(size: int) -> tuple[IntArray, IntArray]:
     """Centered integer frequency coordinates ``(ky, kx)`` for an ``l×l`` image.
 
     Each returned array has shape ``(size, size)``; entry ``[i, j]`` holds the
@@ -92,7 +125,7 @@ def frequency_grid_2d(size: int) -> tuple[np.ndarray, np.ndarray]:
     return cached
 
 
-def frequency_grid_3d(size: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+def frequency_grid_3d(size: int) -> tuple[IntArray, IntArray, IntArray]:
     """Centered integer frequency coordinates ``(kz, ky, kx)`` for a cube."""
     c = fourier_center(size)
     k = np.arange(size) - c

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.utils import default_rng
 
 __all__ = [
@@ -30,7 +31,7 @@ __all__ = [
 ]
 
 
-def _rot_z(angle_deg: float | np.ndarray) -> np.ndarray:
+def _rot_z(angle_deg: float | Array) -> Array:
     a = np.deg2rad(angle_deg)
     c, s = np.cos(a), np.sin(a)
     out = np.zeros(np.shape(a) + (3, 3))
@@ -42,7 +43,7 @@ def _rot_z(angle_deg: float | np.ndarray) -> np.ndarray:
     return out
 
 
-def _rot_y(angle_deg: float | np.ndarray) -> np.ndarray:
+def _rot_y(angle_deg: float | Array) -> Array:
     a = np.deg2rad(angle_deg)
     c, s = np.cos(a), np.sin(a)
     out = np.zeros(np.shape(a) + (3, 3))
@@ -54,7 +55,7 @@ def _rot_y(angle_deg: float | np.ndarray) -> np.ndarray:
     return out
 
 
-def euler_to_matrix(theta: float | np.ndarray, phi: float | np.ndarray, omega: float | np.ndarray) -> np.ndarray:
+def euler_to_matrix(theta: float | Array, phi: float | Array, omega: float | Array) -> Array:
     """Rotation matrix (or stack of matrices) for Euler angles in degrees.
 
     Broadcasts over array inputs; scalar inputs yield a single ``(3, 3)``
@@ -66,7 +67,7 @@ def euler_to_matrix(theta: float | np.ndarray, phi: float | np.ndarray, omega: f
     return _rot_z(phi) @ _rot_y(theta) @ _rot_z(omega)
 
 
-def matrix_to_euler(matrix: np.ndarray) -> tuple[float, float, float]:
+def matrix_to_euler(matrix: Array) -> tuple[float, float, float]:
     """Inverse of :func:`euler_to_matrix` for a single matrix.
 
     Returns ``(theta, phi, omega)`` in degrees with ``theta ∈ [0, 180]``,
@@ -113,11 +114,11 @@ class Orientation:
     cx: float = 0.0
     cy: float = 0.0
 
-    def matrix(self) -> np.ndarray:
+    def matrix(self) -> Array:
         """The 3×3 rotation matrix of this orientation."""
         return euler_to_matrix(self.theta, self.phi, self.omega)
 
-    def view_direction(self) -> np.ndarray:
+    def view_direction(self) -> Array:
         """Unit vector along which the particle was projected (R·ẑ)."""
         return self.matrix()[:, 2]
 
@@ -131,7 +132,7 @@ class Orientation:
         return (self.theta, self.phi, self.omega, self.cx, self.cy)
 
     @staticmethod
-    def from_matrix(matrix: np.ndarray, cx: float = 0.0, cy: float = 0.0) -> "Orientation":
+    def from_matrix(matrix: Array, cx: float = 0.0, cy: float = 0.0) -> "Orientation":
         theta, phi, omega = matrix_to_euler(matrix)
         return Orientation(theta, phi, omega, cx, cy)
 

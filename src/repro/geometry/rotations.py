@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arraytypes import Array
+
 __all__ = [
     "axis_angle_to_matrix",
     "matrix_to_axis_angle",
@@ -20,7 +22,7 @@ __all__ = [
 ]
 
 
-def axis_angle_to_matrix(axis: np.ndarray, angle_deg: float) -> np.ndarray:
+def axis_angle_to_matrix(axis: Array, angle_deg: float) -> Array:
     """Rodrigues rotation matrix about ``axis`` by ``angle_deg`` degrees."""
     axis = np.asarray(axis, dtype=float)
     norm = np.linalg.norm(axis)
@@ -33,7 +35,7 @@ def axis_angle_to_matrix(axis: np.ndarray, angle_deg: float) -> np.ndarray:
     return np.eye(3) + s * k + (1.0 - c) * (k @ k)
 
 
-def matrix_to_axis_angle(matrix: np.ndarray) -> tuple[np.ndarray, float]:
+def matrix_to_axis_angle(matrix: Array) -> tuple[Array, float]:
     """Inverse of :func:`axis_angle_to_matrix`.
 
     Returns ``(axis, angle_deg)`` with ``angle ∈ [0, 180]``.  For the
@@ -58,7 +60,7 @@ def matrix_to_axis_angle(matrix: np.ndarray) -> tuple[np.ndarray, float]:
     return axis / np.linalg.norm(axis), float(np.rad2deg(angle))
 
 
-def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
+def quaternion_to_matrix(q: Array) -> Array:
     """Rotation matrix of a unit quaternion ``(w, x, y, z)``."""
     q = np.asarray(q, dtype=float)
     if q.shape != (4,):
@@ -76,7 +78,7 @@ def quaternion_to_matrix(q: np.ndarray) -> np.ndarray:
     )
 
 
-def matrix_to_quaternion(matrix: np.ndarray) -> np.ndarray:
+def matrix_to_quaternion(matrix: Array) -> Array:
     """Unit quaternion ``(w, x, y, z)`` with ``w >= 0`` for a rotation matrix."""
     m = np.asarray(matrix, dtype=float)
     t = np.trace(m)
@@ -108,7 +110,7 @@ def matrix_to_quaternion(matrix: np.ndarray) -> np.ndarray:
     return q
 
 
-def is_rotation_matrix(matrix: np.ndarray, tol: float = 1e-8) -> bool:
+def is_rotation_matrix(matrix: Array, tol: float = 1e-8) -> bool:
     """True if ``matrix`` is orthogonal with determinant +1 (within ``tol``)."""
     m = np.asarray(matrix, dtype=float)
     if m.shape != (3, 3):
@@ -118,12 +120,12 @@ def is_rotation_matrix(matrix: np.ndarray, tol: float = 1e-8) -> bool:
     )
 
 
-def rotation_angle_deg(matrix: np.ndarray) -> float:
+def rotation_angle_deg(matrix: Array) -> float:
     """The rotation angle (degrees, in [0, 180]) of a rotation matrix."""
     t = np.clip((np.trace(np.asarray(matrix, dtype=float)) - 1.0) / 2.0, -1.0, 1.0)
     return float(np.rad2deg(np.arccos(t)))
 
 
-def rotation_between(a: np.ndarray, b: np.ndarray) -> float:
+def rotation_between(a: Array, b: Array) -> float:
     """Geodesic distance (degrees) between two rotation matrices."""
     return rotation_angle_deg(np.asarray(a).T @ np.asarray(b))

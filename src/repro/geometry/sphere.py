@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
 
 __all__ = [
@@ -26,7 +27,7 @@ __all__ = [
 ]
 
 
-def fibonacci_sphere(n: int) -> np.ndarray:
+def fibonacci_sphere(n: int) -> Array:
     """``n`` quasi-uniform unit vectors on the sphere (golden-spiral lattice).
 
     Used for symmetry-axis searches where a near-uniform angular coverage

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
 from repro.geometry.rotations import (
     axis_angle_to_matrix,
@@ -38,7 +39,7 @@ __all__ = [
 _GOLDEN = (1.0 + np.sqrt(5.0)) / 2.0
 
 
-def close_group(generators: list[np.ndarray], max_order: int = 120, tol: float = 1e-6) -> np.ndarray:
+def close_group(generators: list[Array], max_order: int = 120, tol: float = 1e-6) -> Array:
     """Close a set of rotation generators under multiplication.
 
     Returns the full group as an array of shape ``(order, 3, 3)``.  Raises if
@@ -46,9 +47,9 @@ def close_group(generators: list[np.ndarray], max_order: int = 120, tol: float =
     sets caused by inexact axes).
     """
 
-    elements: list[np.ndarray] = [np.eye(3)]
+    elements: list[Array] = [np.eye(3)]
 
-    def find(m: np.ndarray) -> bool:
+    def find(m: Array) -> bool:
         stack = np.stack(elements)
         return bool(np.any(np.all(np.abs(stack - m) < 10 * tol, axis=(1, 2))))
 
@@ -74,7 +75,7 @@ class SymmetryGroup:
     """A finite rotation group with a human-readable Schoenflies name."""
 
     name: str
-    matrices: np.ndarray = field(repr=False)
+    matrices: Array = field(repr=False)
 
     def __post_init__(self) -> None:
         m = np.asarray(self.matrices, dtype=float)
@@ -86,7 +87,7 @@ class SymmetryGroup:
     def order(self) -> int:
         return int(self.matrices.shape[0])
 
-    def contains(self, rotation: np.ndarray, tol_deg: float = 0.5) -> bool:
+    def contains(self, rotation: Array, tol_deg: float = 0.5) -> bool:
         """True if ``rotation`` is within ``tol_deg`` of a group element."""
         r = np.asarray(rotation, dtype=float)
         for g in self.matrices:
@@ -101,7 +102,7 @@ class SymmetryGroup:
         ``n−1`` non-identity powers; we count distinct (axis, order) pairs
         where ``order`` is the maximal order observed on that axis.
         """
-        axes: list[tuple[np.ndarray, int]] = []
+        axes: list[tuple[Array, int]] = []
         for g in self.matrices:
             angle = rotation_angle_deg(g)
             if angle < 1e-6:
@@ -136,7 +137,7 @@ class SymmetryGroup:
         return self.order
 
 
-def cyclic_group(n: int, axis: np.ndarray | None = None) -> SymmetryGroup:
+def cyclic_group(n: int, axis: Array | None = None) -> SymmetryGroup:
     """C_n: ``n`` rotations about one axis (default ẑ)."""
     if n < 1:
         raise ValueError("n must be >= 1")
@@ -179,7 +180,7 @@ def icosahedral_group() -> SymmetryGroup:
     return SymmetryGroup("I", close_group(gens, max_order=60))
 
 
-def identify_point_group(matrices: np.ndarray, tol_deg: float = 1.0) -> str:
+def identify_point_group(matrices: Array, tol_deg: float = 1.0) -> str:
     """Classify a finite set of rotations into a Schoenflies symbol.
 
     Accepts the raw matrices found by symmetry detection (possibly noisy up

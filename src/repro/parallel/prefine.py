@@ -25,7 +25,7 @@ from repro.align.distance import DistanceComputer
 from repro.ctf.correct import phase_flip
 from repro.ctf.model import CTFParams
 from repro.density.map import DensityMap
-from repro.fourier.transforms import centered_fft2
+from repro.fourier.transforms import centered_fft2, to_centered_order, to_standard_order
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
 from repro.parallel.comm import SimComm, run_spmd
@@ -104,8 +104,8 @@ def parallel_refine(
     off = (big - size) // 2
     padded[off : off + size, off : off + size, off : off + size] = density.data
     # pre-shift so the distributed unshifted FFT produces the centered
-    # convention after one final fftshift on each rank
-    padded = np.fft.ifftshift(padded)
+    # convention after one final re-centering on each rank
+    padded = to_standard_order(padded)
 
     wall = Timer().start()
 
@@ -113,7 +113,7 @@ def parallel_refine(
         # steps a.1–a.6 — cooperative 3D DFT of the (padded) map
         slab = distribute_volume_slabs(comm, padded if comm.rank == 0 else None)
         full = parallel_fft3d(comm, slab, big)
-        volume_ft = np.fft.fftshift(full)
+        volume_ft = to_centered_order(full)
 
         # steps b–c — master deals views and initial orientations
         local_images, local_idx = distribute_views(

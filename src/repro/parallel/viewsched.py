@@ -32,6 +32,8 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.analysis.contracts import array_contract, spec
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
 from repro.refine.multires import RefinementLevel
 from repro.refine.single import refine_view_at_level
@@ -59,7 +61,7 @@ class ViewLevelResult:
     slid_center: bool
 
 
-def chunk_indices(n_items: int, n_chunks: int) -> list[np.ndarray]:
+def chunk_indices(n_items: int, n_chunks: int) -> list[Array]:
     """Contiguous, near-equal index chunks covering ``range(n_items)``.
 
     Returns at most ``n_chunks`` non-empty chunks (fewer when there are
@@ -75,10 +77,10 @@ def chunk_indices(n_items: int, n_chunks: int) -> list[np.ndarray]:
 
 
 def refine_level_serial(
-    volume_ft: np.ndarray,
-    view_fts: np.ndarray,
+    volume_ft: Array,
+    view_fts: Array,
     orientations: Sequence[Orientation],
-    modulations: Sequence[np.ndarray | None] | None,
+    modulations: Sequence[Array | None] | None,
     level: RefinementLevel,
     *,
     distance_computer: DistanceComputer | None = None,
@@ -134,7 +136,7 @@ class SharedVolume:
     pickled copy per task.
     """
 
-    def __init__(self, array: np.ndarray) -> None:
+    def __init__(self, array: Array) -> None:
         arr = np.ascontiguousarray(array)
         self._shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
         self.shape = arr.shape
@@ -162,11 +164,12 @@ class SharedVolume:
 # -- worker side ------------------------------------------------------------
 # Per-process caches: the attached D̂ replica (keyed by segment name) and
 # the distance computer / plan state (keyed by the scheduler's spec id).
-_WORKER_VOLUMES: dict[str, tuple[Any, np.ndarray]] = {}
+_WORKER_VOLUMES: dict[str, tuple[Any, Array]] = {}
 _WORKER_SPECS: dict[str, DistanceComputer | None] = {}
 
 
-def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> np.ndarray:
+@array_contract(ret=spec(shape=("v", "v", "v"), dtype="inexact", contiguous=True))
+def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> Array:
     name, shape, dtype = descriptor
     cached = _WORKER_VOLUMES.get(name)
     if cached is None:
@@ -267,7 +270,7 @@ class ViewScheduler:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=ctx)
         return self._executor
 
-    def _share(self, volume_ft: np.ndarray) -> SharedVolume:
+    def _share(self, volume_ft: Array) -> SharedVolume:
         # The caller keeps volume_ft alive for the scheduler's lifetime
         # (the refiner holds it for the whole run), so id() is a stable key.
         key = id(volume_ft)
@@ -290,10 +293,10 @@ class ViewScheduler:
     # -- the level fan-out ---------------------------------------------------
     def run_level(
         self,
-        volume_ft: np.ndarray,
-        view_fts: np.ndarray,
+        volume_ft: Array,
+        view_fts: Array,
         orientations: Sequence[Orientation],
-        modulations: Sequence[np.ndarray | None] | None,
+        modulations: Sequence[Array | None] | None,
         level: RefinementLevel,
         *,
         distance_computer: DistanceComputer | None = None,

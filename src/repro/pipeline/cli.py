@@ -21,7 +21,7 @@ import sys
 
 import numpy as np
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "validate_refine_args"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -105,6 +105,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_levels(levels: str) -> list[float]:
+    """Parse ``--levels`` into angular steps, raising ``ValueError`` on junk."""
+    try:
+        steps = [float(s) for s in levels.split(",") if s.strip()]
+    except ValueError:
+        raise ValueError(f"--levels must be comma-separated numbers, got {levels!r}") from None
+    if not steps:
+        raise ValueError("--levels must name at least one angular step")
+    if any(s <= 0 for s in steps):
+        raise ValueError(f"--levels steps must be positive degrees, got {levels!r}")
+    return steps
+
+
+def validate_refine_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> None:
+    """Reject malformed refine options with the standard argparse exit (2).
+
+    Catching these up front means a typo'd ``--workers 0`` fails in
+    milliseconds with a usage message instead of deep inside the scheduler
+    after the map and stack have already been loaded.
+    """
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.ranks < 0:
+        parser.error(f"--ranks must be >= 0 (0 = in-process), got {args.ranks}")
+    if args.half_steps < 1:
+        parser.error(f"--half-steps must be >= 1, got {args.half_steps}")
+    if args.max_slides < 0:
+        parser.error(f"--max-slides must be >= 0, got {args.max_slides}")
+    if args.r_max is not None and args.r_max <= 0:
+        parser.error(f"--r-max must be positive, got {args.r_max}")
+    try:
+        _parse_levels(args.levels)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+
 def _load_stack(path: str) -> tuple[np.ndarray, float]:
     from repro.density import read_mrc
 
@@ -123,7 +159,7 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     density = DensityMap(map_data, map_apix)
     stack, _ = _load_stack(args.stack)
     init, _ = read_orientation_file(args.orient)
-    steps = [float(s) for s in args.levels.split(",") if s]
+    steps = _parse_levels(args.levels)
     schedule = MultiResolutionSchedule(
         tuple(RefinementLevel(s, s, half_steps=args.half_steps) for s in steps)
     )
@@ -207,7 +243,10 @@ def _cmd_resolution(args: argparse.Namespace) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code (0 = success)."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "refine":
+        validate_refine_args(parser, args)
     handlers = {
         "simulate": _cmd_simulate,
         "refine": _cmd_refine,

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.density.map import DensityMap
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
@@ -43,7 +44,7 @@ class AdaptiveState:
 
 
 def choose_band_limit(
-    fsc: np.ndarray, threshold: float = 0.5, extend: float = 1.25, floor: float = 3.0
+    fsc: Array, threshold: float = 0.5, extend: float = 1.25, floor: float = 3.0
 ) -> float:
     """Band limit for the next refinement pass, from the current FSC.
 

@@ -25,6 +25,7 @@ import numpy as np
 from repro.align.distance import DistanceComputer
 from repro.align.fused import MatchPlan, get_match_plan
 from repro.align.grid import step_offsets
+from repro.arraytypes import Array
 from repro.fourier.transforms import frequency_grid_2d
 from repro.utils import require_square
 
@@ -48,7 +49,7 @@ class CenterRefineResult:
     slid: bool
 
 
-def _shift_stack(view_ft: np.ndarray, dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+def _shift_stack(view_ft: Array, dxs: Array, dys: Array) -> Array:
     """Stack of center-corrected transforms, one per candidate (dx, dy).
 
     Correcting a particle at offset ``(dx, dy)`` means shifting content by
@@ -63,7 +64,7 @@ def _shift_stack(view_ft: np.ndarray, dxs: np.ndarray, dys: np.ndarray) -> np.nd
 
 
 def _box_search(
-    evaluate: Callable[[np.ndarray, np.ndarray], np.ndarray],
+    evaluate: Callable[[Array, Array], Array],
     cx: float,
     cy: float,
     step_px: float,
@@ -102,18 +103,18 @@ def _box_search(
 
 
 def refine_center(
-    view_ft: np.ndarray | None,
-    cut_ft: np.ndarray | None,
+    view_ft: Array | None,
+    cut_ft: Array | None,
     center: tuple[float, float],
     step_px: float,
     half_steps: int = 1,
     max_slides: int = 8,
     distance_computer: DistanceComputer | None = None,
-    cut_modulation: np.ndarray | None = None,
+    cut_modulation: Array | None = None,
     kernel: str = "fused",
     plan: MatchPlan | None = None,
-    view_band: np.ndarray | None = None,
-    cut_band: np.ndarray | None = None,
+    view_band: Array | None = None,
+    cut_band: Array | None = None,
 ) -> CenterRefineResult:
     """Steps k–l for one view against its best-fit cut.
 
@@ -155,7 +156,7 @@ def refine_center(
         size = require_square(view_ft, "view_ft")
         dc = distance_computer or DistanceComputer(size)
 
-        def evaluate(dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+        def evaluate(dxs: Array, dys: Array) -> Array:
             stack = _shift_stack(np.asarray(view_ft), dxs, dys)
             return dc.distance_many_to_one(stack, cut_ft, cut_modulation=cut_modulation)
 
@@ -178,7 +179,7 @@ def refine_center(
             raise ValueError("need cut_ft or cut_band")
         cut_band = dc.gather(cut_ft)
 
-    def evaluate_band(dxs: np.ndarray, dys: np.ndarray) -> np.ndarray:
+    def evaluate_band(dxs: Array, dys: Array) -> Array:
         stack_band = view_band[None, :] * plan.shift_ramps(dxs, dys)
         return np.asarray(
             dc.distance_band(stack_band, cut_band, cut_modulation=cut_modulation)

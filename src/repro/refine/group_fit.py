@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.geometry.rotations import axis_angle_to_matrix, matrix_to_axis_angle
 from repro.geometry.symmetry import (
     SymmetryGroup,
@@ -28,12 +29,12 @@ from repro.geometry.symmetry import (
 
 __all__ = ["group_axes", "frame_from_axis_pair", "fit_polyhedral_group"]
 
-RotationScorer = Callable[[np.ndarray], float]
+RotationScorer = Callable[[Array], float]
 
 
-def group_axes(group: SymmetryGroup) -> list[tuple[np.ndarray, int]]:
+def group_axes(group: SymmetryGroup) -> list[tuple[Array, int]]:
     """Distinct (axis, maximal order) pairs of a group (canonical signs)."""
-    found: list[tuple[np.ndarray, int]] = []
+    found: list[tuple[Array, int]] = []
     for g in group.matrices:
         axis, angle = matrix_to_axis_angle(g)
         if angle < 1e-6:
@@ -58,15 +59,15 @@ def group_axes(group: SymmetryGroup) -> list[tuple[np.ndarray, int]]:
 
 
 def frame_from_axis_pair(
-    canon_a: np.ndarray, canon_b: np.ndarray, det_a: np.ndarray, det_b: np.ndarray
-) -> np.ndarray:
+    canon_a: Array, canon_b: Array, det_a: Array, det_b: Array
+) -> Array:
     """Rotation ``U`` mapping the canonical axis pair onto the detected one.
 
     ``U·canon_a = det_a`` exactly; ``canon_b`` is mapped as close to
     ``det_b`` as the (fixed) mutual angle allows.
     """
 
-    def orthonormal_frame(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def orthonormal_frame(a: Array, b: Array) -> Array:
         e1 = a / np.linalg.norm(a)
         b_perp = b - np.dot(b, e1) * e1
         n = np.linalg.norm(b_perp)
@@ -86,7 +87,7 @@ def frame_from_axis_pair(
 
 def fit_polyhedral_group(
     scorer: RotationScorer,
-    detected_axes: list[tuple[np.ndarray, int, float]],
+    detected_axes: list[tuple[Array, int, float]],
     threshold: float,
     candidates: tuple[str, ...] = ("I", "O", "T"),
     n_verify: int = 12,
@@ -150,7 +151,7 @@ def fit_polyhedral_group(
 
 
 def _worst_element_score(
-    scorer: RotationScorer, matrices: np.ndarray, n_verify: int
+    scorer: RotationScorer, matrices: Array, n_verify: int
 ) -> float:
     order = matrices.shape[0]
     step = max(1, (order - 1) // n_verify)
@@ -160,7 +161,7 @@ def _worst_element_score(
 def _try_supergroups(
     scorer: RotationScorer,
     name: str,
-    frame: np.ndarray,
+    frame: Array,
     threshold: float,
     n_verify: int,
     subgroup_worst: float,
@@ -200,10 +201,10 @@ def _try_supergroups(
 
 def _polish_frame(
     scorer: RotationScorer,
-    u0: np.ndarray,
-    canon_matrices: np.ndarray,
+    u0: Array,
+    canon_matrices: Array,
     n_elements: int = 4,
-) -> np.ndarray:
+) -> Array:
     """Locally refine the frame rotation against a few group elements.
 
     The detected axes carry a degree or two of error; a Nelder–Mead search
@@ -215,7 +216,7 @@ def _polish_frame(
     order = canon_matrices.shape[0]
     sample = canon_matrices[1 :: max(1, (order - 1) // n_elements)][:n_elements]
 
-    def objective(v: np.ndarray) -> float:
+    def objective(v: Array) -> float:
         angle = np.linalg.norm(v)
         delta = np.eye(3) if angle < 1e-9 else axis_angle_to_matrix(v, np.rad2deg(angle))
         u = delta @ u0
@@ -232,7 +233,7 @@ def _polish_frame(
 
 
 def _verify_group(
-    scorer: RotationScorer, matrices: np.ndarray, threshold: float, n_verify: int
+    scorer: RotationScorer, matrices: Array, threshold: float, n_verify: int
 ) -> bool:
     order = matrices.shape[0]
     if order <= 1:

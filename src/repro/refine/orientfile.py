@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
 
 __all__ = ["write_orientation_file", "read_orientation_file"]
@@ -22,7 +23,7 @@ __all__ = ["write_orientation_file", "read_orientation_file"]
 def write_orientation_file(
     path: str,
     orientations: list[Orientation],
-    scores: np.ndarray | list[float] | None = None,
+    scores: Array | list[float] | None = None,
     header: str | None = None,
 ) -> None:
     """Write the refined orientation set O^refined (step o)."""
@@ -40,7 +41,7 @@ def write_orientation_file(
             )
 
 
-def read_orientation_file(path: str) -> tuple[list[Orientation], np.ndarray]:
+def read_orientation_file(path: str) -> tuple[list[Orientation], Array]:
     """Read an orientation file (step c); returns ``(orientations, scores)``.
 
     Rows must appear in id order starting at 0 (the format is positional,

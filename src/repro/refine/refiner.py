@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.align.distance import DistanceComputer, radius_weights
+from repro.arraytypes import Array
 from repro.ctf.correct import phase_flip
 from repro.ctf.model import CTFParams
 from repro.density.map import DensityMap
@@ -59,7 +60,7 @@ class RefinementResult:
     """
 
     orientations: list[Orientation]
-    distances: np.ndarray
+    distances: Array
     stats: RefinementStats
     timer: StepTimer
     per_level_orientations: list[list[Orientation]] = field(default_factory=list)
@@ -129,14 +130,14 @@ class OrientationRefiner:
         self.n_workers = int(n_workers)
         self.max_slides = max_slides
         self.pad_factor = int(pad_factor)
-        self._volume_ft: np.ndarray | None = None
+        self._volume_ft: Array | None = None
         # |CTF| band modulations are pure functions of (params, apix) for a
         # fixed distance computer; cache them across refine() calls so
         # repeated iterations over the same micrographs rebuild nothing.
-        self._modulation_cache: dict[tuple[CTFParams, float], np.ndarray] = {}
+        self._modulation_cache: dict[tuple[CTFParams, float], Array] = {}
 
     # -- step a -------------------------------------------------------------
-    def volume_ft(self, timer: StepTimer | None = None) -> np.ndarray:
+    def volume_ft(self, timer: StepTimer | None = None) -> Array:
         """D̂ = DFT(D) (oversampled), built once and cached (step a)."""
         if self._volume_ft is None:
             t = timer or StepTimer()
@@ -147,11 +148,11 @@ class OrientationRefiner:
     # -- steps d–e ----------------------------------------------------------
     def prepare_views(
         self,
-        images: np.ndarray,
+        images: Array,
         ctf_params: list[CTFParams] | None,
         apix: float,
         timer: StepTimer | None = None,
-    ) -> tuple[np.ndarray, list[np.ndarray | None]]:
+    ) -> tuple[Array, list[Array | None]]:
         """2D DFT + CTF correction of every view (steps d and e).
 
         Returns ``(transforms, cut_modulations)``.  With phase flipping the
@@ -164,7 +165,7 @@ class OrientationRefiner:
         t = timer or StepTimer()
         with t.step(STEP_FFT_ANALYSIS):
             fts = centered_fft2(np.asarray(images, dtype=float))
-        modulations: list[np.ndarray | None] = [None] * fts.shape[0]
+        modulations: list[Array | None] = [None] * fts.shape[0]
         if ctf_params is not None and self.ctf_correction == "phase_flip":
             from repro.ctf.model import ctf_2d
 
@@ -182,7 +183,7 @@ class OrientationRefiner:
     # -- the full iteration ---------------------------------------------------
     def refine(
         self,
-        views: SimulatedViews | np.ndarray,
+        views: SimulatedViews | Array,
         initial_orientations: list[Orientation] | None = None,
         schedule: MultiResolutionSchedule | None = None,
         ctf_params: list[CTFParams] | None = None,

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.align.distance import DistanceComputer
 from repro.align.fused import get_match_plan
+from repro.arraytypes import Array
 from repro.fourier.slicing import extract_slice
 from repro.geometry.euler import Orientation
 from repro.imaging.center import phase_shift_ft
@@ -49,8 +50,8 @@ class ViewRefinementResult:
 
 
 def refine_view_at_level(
-    view_ft: np.ndarray,
-    volume_ft: np.ndarray,
+    view_ft: Array,
+    volume_ft: Array,
     orientation: Orientation,
     angular_step_deg: float,
     center_step_px: float,
@@ -61,7 +62,7 @@ def refine_view_at_level(
     interpolation: str = "trilinear",
     refine_centers: bool = True,
     inner_iterations: int = 2,
-    cut_modulation: np.ndarray | None = None,
+    cut_modulation: Array | None = None,
     kernel: str = "fused",
 ) -> ViewRefinementResult:
     """Steps f–l for one view at one (r_angular, δ_center) level.

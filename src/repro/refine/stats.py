@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation, orientation_distance_deg
 from repro.geometry.rotations import rotation_angle_deg
 from repro.geometry.symmetry import SymmetryGroup
@@ -62,7 +63,7 @@ def angular_errors(
     refined: list[Orientation],
     truth: list[Orientation],
     symmetry: SymmetryGroup | None = None,
-) -> np.ndarray:
+) -> Array:
     """Per-view SO(3) geodesic error in degrees, optionally modulo a group.
 
     With a symmetry group the error is ``min_g angle(g·R_true, R_refined)``
@@ -82,7 +83,7 @@ def angular_errors(
     return out
 
 
-def center_errors(refined: list[Orientation], truth: list[Orientation]) -> np.ndarray:
+def center_errors(refined: list[Orientation], truth: list[Orientation]) -> Array:
     """Per-view Euclidean center error in pixels."""
     if len(refined) != len(truth):
         raise ValueError("lists must have equal length")

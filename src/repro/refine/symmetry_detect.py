@@ -32,6 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
+
+from repro.arraytypes import Array
 from scipy import ndimage, optimize
 
 from repro.align.distance import DistanceComputer
@@ -51,7 +53,7 @@ __all__ = [
     "make_rotation_scorer",
 ]
 
-RotationScorer = Callable[[np.ndarray], float]
+RotationScorer = Callable[[Array], float]
 
 
 @dataclass
@@ -74,16 +76,16 @@ class SymmetryDetectionResult:
 
     group_name: str
     group: SymmetryGroup
-    axes: list[tuple[np.ndarray, int, float]] = field(default_factory=list)
+    axes: list[tuple[Array, int, float]] = field(default_factory=list)
     null_mean: float = 0.0
     null_std: float = 0.0
     threshold: float = 0.0
 
 
 def score_rotation(
-    volume_ft: np.ndarray,
-    rotation: np.ndarray,
-    probes: np.ndarray,
+    volume_ft: Array,
+    rotation: Array,
+    probes: Array,
     distance_computer: DistanceComputer,
 ) -> float:
     """Fourier-backend cost: mean cut self-distance of D̂ under ``rotation``.
@@ -102,7 +104,7 @@ def score_rotation(
     return total / len(probes)
 
 
-def remove_radial_average(data: np.ndarray) -> np.ndarray:
+def remove_radial_average(data: Array) -> Array:
     """Subtract the rotation-invariant radial profile from a map.
 
     The spherically symmetric part of a capsid (the shell itself)
@@ -122,7 +124,7 @@ def remove_radial_average(data: np.ndarray) -> np.ndarray:
     return data - profile[r]
 
 
-def score_rotation_real(data: np.ndarray, rotation: np.ndarray) -> float:
+def score_rotation_real(data: Array, rotation: Array) -> float:
     """Real-backend cost: ``1 − corr(ρ, ρ∘g)`` with cubic-spline rotation.
 
     The caller is expected to pass a radially-flattened map (see
@@ -155,7 +157,7 @@ def make_rotation_scorer(
     if method == "real":
         data = remove_radial_average(density.data)
 
-        def scorer(rotation: np.ndarray) -> float:
+        def scorer(rotation: Array) -> float:
             return score_rotation_real(data, rotation)
 
         return scorer
@@ -166,25 +168,25 @@ def make_rotation_scorer(
             [o.matrix() for o in random_orientations(n_probes, seed=seed)]
         )
 
-        def scorer(rotation: np.ndarray) -> float:
+        def scorer(rotation: Array) -> float:
             return score_rotation(volume_ft, rotation, probes, dc)
 
         return scorer
     raise ValueError(f"unknown scoring method {method!r}")
 
 
-def _axis_score(scorer: RotationScorer, axis: np.ndarray, order: int) -> float:
+def _axis_score(scorer: RotationScorer, axis: Array, order: int) -> float:
     return scorer(axis_angle_to_matrix(axis, 360.0 / order))
 
 
 def _polish_axis(
-    scorer: RotationScorer, axis: np.ndarray, order: int
-) -> tuple[np.ndarray, float]:
+    scorer: RotationScorer, axis: Array, order: int
+) -> tuple[Array, float]:
     """Nelder–Mead refinement of an axis in spherical coordinates."""
     theta0 = float(np.arccos(np.clip(axis[2], -1.0, 1.0)))
     phi0 = float(np.arctan2(axis[1], axis[0]))
 
-    def objective(x: np.ndarray) -> float:
+    def objective(x: Array) -> float:
         t, p = x
         a = np.array([np.sin(t) * np.cos(p), np.sin(t) * np.sin(p), np.cos(t)])
         return _axis_score(scorer, a, order)
@@ -242,7 +244,7 @@ def detect_symmetry(
     # Coarse axis scan on the half sphere.
     axes = fibonacci_sphere(2 * n_axes)
     axes = axes[axes[:, 2] >= -1e-9][:n_axes]
-    found: list[tuple[np.ndarray, int, float]] = []
+    found: list[tuple[Array, int, float]] = []
     for order in range(2, max_order + 1):
         scores = np.array([_axis_score(scorer, a, order) for a in axes])
         # polish the best few candidates per order

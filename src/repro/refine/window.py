@@ -18,6 +18,7 @@ from repro.align.distance import DistanceComputer
 from repro.align.fused import MatchPlan, get_match_plan
 from repro.align.grid import orientation_window
 from repro.align.matcher import MatchResult, match_view, match_view_band
+from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
 
 __all__ = ["SlidingWindowResult", "sliding_window_search"]
@@ -50,18 +51,18 @@ class SlidingWindowResult:
 
 
 def sliding_window_search(
-    view_ft: np.ndarray | None,
-    volume_ft: np.ndarray,
+    view_ft: Array | None,
+    volume_ft: Array,
     center: Orientation,
     step_deg: float,
     half_steps: int | tuple[int, int, int] = 4,
     max_slides: int = 8,
     distance_computer: DistanceComputer | None = None,
     interpolation: str = "trilinear",
-    cut_modulation: np.ndarray | None = None,
+    cut_modulation: Array | None = None,
     kernel: str = "fused",
     plan: MatchPlan | None = None,
-    view_band: np.ndarray | None = None,
+    view_band: Array | None = None,
 ) -> SlidingWindowResult:
     """Steps f–i for one view at one angular resolution.
 

@@ -1,0 +1,10 @@
+"""RL003 fixture: copy-happy astype and a raw float64 constructor in a hot path."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def widen(x):
+    y = x.astype(np.complex128)
+    return y * np.float64(2.0)

@@ -1,0 +1,9 @@
+"""RL002 fixture: raw numpy FFT outside fourier/transforms.py."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def transform(a):
+    return np.fft.fftshift(np.fft.fft2(a))

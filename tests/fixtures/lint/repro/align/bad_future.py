@@ -1,0 +1,5 @@
+"""RL008 fixture: module body with no `from __future__ import annotations`."""
+
+
+def scale(x, factor):
+    return x * factor

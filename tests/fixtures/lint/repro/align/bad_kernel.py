@@ -1,0 +1,11 @@
+"""RL006 fixture: a kernel= fork point that open-codes its own distance."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def match_window(view, cuts, kernel="fused"):
+    if kernel == "turbo":
+        cuts = cuts[::-1]
+    return np.sqrt(((view - cuts) ** 2).sum(axis=-1))

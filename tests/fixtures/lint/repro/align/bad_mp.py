@@ -1,0 +1,10 @@
+"""RL005 fixture: an ad-hoc process pool outside repro/parallel/."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+
+def fan_out(tasks):
+    with multiprocessing.Pool() as pool:
+        return pool.map(str, tasks)

@@ -1,0 +1,15 @@
+"""RL001 fixture: wall clock + stdlib random + unseeded RNG in a kernel module."""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+
+def jitter(n):
+    random.shuffle([])
+    started = time.perf_counter()
+    rng = np.random.default_rng()
+    return rng.standard_normal(n) + np.random.rand(n) + started

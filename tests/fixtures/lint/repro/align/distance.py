@@ -1,0 +1,11 @@
+"""RL007 fixture: the distance.py kernel boundaries without @array_contract."""
+
+from __future__ import annotations
+
+
+class DistanceComputer:
+    def gather(self, image_ft):
+        return image_ft
+
+    def distance_band(self, view_band, cut_band):
+        return 0.0

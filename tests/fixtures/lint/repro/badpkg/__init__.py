@@ -1,0 +1,5 @@
+"""RL004 fixture: __all__ drifted from the real re-exports."""
+
+from repro.utils import require_square
+
+__all__ = ["require_square", "phantom_name"]

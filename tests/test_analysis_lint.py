@@ -1,0 +1,137 @@
+"""Tests for repro-lint: the rule set, scoping, waivers, and the gate CLI."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.__main__ import main
+from repro.analysis.lint import Finding, lint_paths, lint_source, relative_module_path
+from repro.analysis.rules import all_rules, rule_table
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "lint" / "repro"
+
+#: fixture file -> the one rule it must trip.
+FIXTURE_RULES = {
+    "align/bad_rng.py": "RL001",
+    "align/bad_fft.py": "RL002",
+    "align/bad_astype.py": "RL003",
+    "badpkg/__init__.py": "RL004",
+    "align/bad_mp.py": "RL005",
+    "align/bad_kernel.py": "RL006",
+    "align/distance.py": "RL007",
+    "align/bad_future.py": "RL008",
+}
+
+
+def rules_hit(findings):
+    return {f.rule for f in findings}
+
+
+# -- registry ----------------------------------------------------------------
+def test_every_rule_has_identity():
+    rules = all_rules()
+    ids = [r.rule_id for r in rules]
+    assert len(ids) == len(set(ids)) == 8
+    assert ids == sorted(ids)
+    for rule_id, name, rationale in rule_table():
+        assert rule_id.startswith("RL")
+        assert name and rationale
+
+
+def test_fixture_table_covers_every_rule():
+    assert set(FIXTURE_RULES.values()) == {r.rule_id for r in all_rules()}
+
+
+# -- fixtures trip exactly their rule ----------------------------------------
+@pytest.mark.parametrize("rel, rule_id", sorted(FIXTURE_RULES.items()))
+def test_known_bad_fixture_trips_its_rule(rel, rule_id):
+    findings = lint_paths([FIXTURES / rel])
+    assert rules_hit(findings) == {rule_id}, [f.format() for f in findings]
+
+
+@pytest.mark.parametrize("rel, rule_id", sorted(FIXTURE_RULES.items()))
+def test_gate_cli_exits_nonzero_on_fixture(rel, rule_id, capsys):
+    rc = main(["--lint-only", str(FIXTURES / rel)])
+    assert rc == 1
+    assert rule_id in capsys.readouterr().out
+
+
+# -- the repo itself is clean ------------------------------------------------
+def test_repo_source_tree_is_clean():
+    findings = lint_paths([REPO / "src" / "repro"])
+    assert findings == [], "\n" + "\n".join(f.format() for f in findings)
+
+
+def test_gate_cli_ok_on_repo(capsys):
+    rc = main(["--lint-only"])
+    assert rc == 0
+    assert "gate: ok" in capsys.readouterr().out
+
+
+# -- scoping and path mapping ------------------------------------------------
+def test_relative_module_path_finds_repro_component():
+    assert relative_module_path(Path("/x/tests/fixtures/lint/repro/align/a.py")) == (
+        "repro/align/a.py"
+    )
+    assert relative_module_path(Path("/elsewhere/loose.py")) == "repro/loose.py"
+
+
+def test_rule_scoping_excludes_out_of_scope_paths():
+    fft = "import numpy as np\n\n\ndef f(a):\n    return np.fft.fft2(a)\n"
+    in_scope = lint_source(fft, rel="repro/align/x.py")
+    home = lint_source(fft, rel="repro/fourier/transforms.py")
+    assert "RL002" in rules_hit(in_scope)
+    assert "RL002" not in rules_hit(home)
+
+
+def test_mp_rule_allows_parallel_package():
+    src = "import multiprocessing\n"
+    assert "RL005" in rules_hit(lint_source(src, rel="repro/align/x.py"))
+    assert "RL005" not in rules_hit(lint_source(src, rel="repro/parallel/x.py"))
+
+
+# -- waivers -----------------------------------------------------------------
+def test_inline_waiver_suppresses_only_named_rule():
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    return np.fft.fft2(a)  # repro-lint: allow[RL002] test waiver\n"
+    )
+    assert "RL002" not in rules_hit(lint_source(src, rel="repro/align/x.py"))
+    wrong = src.replace("RL002", "RL003")
+    assert "RL002" in rules_hit(lint_source(wrong, rel="repro/align/x.py"))
+
+
+def test_standalone_comment_waives_next_code_line():
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    # repro-lint: allow[RL002] justified on the line above\n"
+        "    return np.fft.fft2(a)\n"
+    )
+    assert "RL002" not in rules_hit(lint_source(src, rel="repro/align/x.py"))
+
+
+def test_star_waiver_suppresses_everything_on_line():
+    src = (
+        "from __future__ import annotations\n\n"
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    return a.astype(np.complex128)  # repro-lint: allow[*] fixture\n"
+    )
+    assert rules_hit(lint_source(src, rel="repro/align/x.py")) == set()
+
+
+# -- finding formatting ------------------------------------------------------
+def test_finding_format_is_greppable():
+    f = Finding(rule="RL001", path="src/repro/align/x.py", line=3, col=4, message="boom")
+    assert f.format() == "src/repro/align/x.py:3:4: RL001 boom"
+
+
+def test_list_rules_flag(capsys):
+    rc = main(["--list-rules"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for rule_id in FIXTURE_RULES.values():
+        assert rule_id in out

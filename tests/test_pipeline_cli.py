@@ -113,6 +113,40 @@ def test_reconstruct_count_mismatch(dataset_files, capsys, tmp_path):
     assert rc == 2
 
 
+REFINE_REQUIRED = [
+    "refine", "--map", "m.mrc", "--stack", "s.mrc", "--orient", "o.txt", "--out", "r.txt",
+]
+
+
+@pytest.mark.parametrize(
+    "extra, fragment",
+    [
+        (["--workers", "0"], "--workers must be >= 1"),
+        (["--workers", "-3"], "--workers must be >= 1"),
+        (["--ranks", "-1"], "--ranks must be >= 0"),
+        (["--half-steps", "0"], "--half-steps must be >= 1"),
+        (["--max-slides", "-1"], "--max-slides must be >= 0"),
+        (["--r-max", "0"], "--r-max must be positive"),
+        (["--levels", ""], "at least one angular step"),
+        (["--levels", "1.0,banana"], "comma-separated numbers"),
+        (["--levels", "1.0,-0.5"], "must be positive degrees"),
+    ],
+)
+def test_refine_rejects_bad_arguments(extra, fragment, capsys):
+    """Malformed refine options exit 2 with a usage message, before any I/O."""
+    with pytest.raises(SystemExit) as exc:
+        main(REFINE_REQUIRED + extra)
+    assert exc.value.code == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_refine_rejects_unknown_kernel(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(REFINE_REQUIRED + ["--kernel", "turbo"])
+    assert exc.value.code == 2
+    assert "--kernel" in capsys.readouterr().err
+
+
 def test_detect_symmetry_command(tmp_path, capsys):
     from repro.density import write_mrc, cyclic_phantom
 

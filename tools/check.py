@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The repo's one-command quality gate.
+
+Runs, in order:
+
+1. ``ruff check`` (skipped when ruff is not installed),
+2. ``mypy`` over the strict-typed core (skipped when mypy is not installed),
+3. ``repro-lint`` — the AST invariant checker in :mod:`repro.analysis`,
+4. the tier-1 pytest suite with ``REPRO_CHECK_CONTRACTS=1`` so every
+   :func:`repro.analysis.contracts.array_contract` declaration is enforced
+   while the tests exercise the kernels.
+
+Exit status is nonzero if any ran-and-failed step fails; skipped tools do
+not fail the gate (the container may not ship them).  Usage::
+
+    python tools/check.py            # everything
+    python tools/check.py --no-tests # static checks only
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--no-tests", action="store_true", help="skip the pytest step")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(SRC))
+    from repro.analysis.gate import run_gate
+
+    failed = False
+    for result in run_gate(root=ROOT):
+        print(f"[{result.status:>7}] {result.name}")
+        if result.status == "failed":
+            failed = True
+            if result.detail:
+                for line in result.detail.splitlines():
+                    print(f"    {line}")
+
+    if not args.no_tests:
+        env = dict(os.environ)
+        env["REPRO_CHECK_CONTRACTS"] = "1"
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        print("[    run] pytest (REPRO_CHECK_CONTRACTS=1)")
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", "-x", "-q"], cwd=ROOT, env=env
+        )
+        if proc.returncode != 0:
+            print("[ failed] pytest")
+            failed = True
+        else:
+            print("[     ok] pytest")
+
+    print("gate:", "FAILED" if failed else "ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
