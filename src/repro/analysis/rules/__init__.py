@@ -16,6 +16,7 @@ from repro.analysis.rules.fourier import CenteredFFTOnly
 from repro.analysis.rules.hygiene import FutureAnnotations
 from repro.analysis.rules.kernels import KernelBoundaryContract, TwoKernelsOneTruth
 from repro.analysis.rules.parallelism import MultiprocessingInParallelOnly
+from repro.analysis.rules.robustness import NoBareExcept
 
 __all__ = [
     "Rule",
@@ -26,6 +27,7 @@ __all__ = [
     "FutureAnnotations",
     "KernelBoundaryContract",
     "MultiprocessingInParallelOnly",
+    "NoBareExcept",
     "NoNondeterminism",
     "NoSilentUpcast",
     "TwoKernelsOneTruth",
@@ -43,6 +45,7 @@ def all_rules() -> list[Rule]:
         TwoKernelsOneTruth(),
         KernelBoundaryContract(),
         FutureAnnotations(),
+        NoBareExcept(),
     ]
     rules.sort(key=lambda r: r.rule_id)
     return rules

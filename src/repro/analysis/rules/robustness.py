@@ -1,0 +1,43 @@
+"""RL009 — no bare ``except:`` in the recovery-critical packages.
+
+The fault-tolerance layer (``parallel/``, ``faults/``) works because every
+failure is *classified*: a poisoned result retries, a lost worker restarts
+the pool, a timeout re-queues, and anything unrecognized must propagate to
+the serial fallback or the caller.  A bare ``except:`` flattens that
+taxonomy — it also swallows ``KeyboardInterrupt`` and ``SystemExit``, so a
+run that should die cleanly (and unlink its shared-memory segment on the
+way out) hangs or leaks instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+from repro.analysis.rules._base import Rule
+
+__all__ = ["NoBareExcept"]
+
+
+class NoBareExcept(Rule):
+    rule_id = "RL009"
+    name = "no-bare-except"
+    rationale = (
+        "Recovery code in repro/parallel/ and repro/faults/ must classify "
+        "every failure (retry, restart, re-queue, propagate); a bare "
+        "`except:` also traps KeyboardInterrupt/SystemExit and turns a "
+        "clean abort into a hang or a leaked shm segment."
+    )
+    include = ("repro/parallel/", "repro/faults/")
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    mod,
+                    node,
+                    "bare `except:` in recovery-critical code; catch the "
+                    "specific failure class (or `Exception` with a re-raise "
+                    "path) so aborts still unwind",
+                )

@@ -1,0 +1,58 @@
+"""Deterministic fault injection, retry policy, and checkpoint/resume.
+
+The robustness layer of the refinement pipeline (DESIGN.md §8).  Three
+pieces, deliberately separable:
+
+* :mod:`repro.faults.plan` — seeded, frozen :class:`FaultPlan` objects the
+  process scheduler and the simulated fabric consult, so every failure a
+  chaos test observes replays from the plan alone;
+* :mod:`repro.faults.retry` — the :class:`RetryPolicy` (attempts, backoff,
+  chunk timeout, pool-restart budget) and the poisoned-result validator;
+* :mod:`repro.faults.checkpoint` — level-granular atomic checkpoints in
+  the orientation-file format, exact to the bit, so a killed run resumes
+  to the identical result.
+
+Nothing here imports multiprocessing: the *decisions* are pure values, the
+*mechanisms* (killing workers, recycling pools) stay inside
+``repro/parallel/`` where RL005 confines them.
+"""
+
+from repro.faults.checkpoint import (
+    CHECKPOINT_FORMAT,
+    RefinementCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjected,
+    FaultLog,
+    FaultPlan,
+    FaultSpec,
+    chunk_site,
+    level_site,
+    message_site,
+)
+from repro.faults.retry import ChunkIntegrityError, RetryPolicy, validate_chunk_results
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "FAULT_KINDS",
+    "ChunkIntegrityError",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "RefinementCheckpoint",
+    "RetryPolicy",
+    "chunk_site",
+    "level_site",
+    "load_checkpoint",
+    "message_site",
+    "save_checkpoint",
+    "try_load_checkpoint",
+    "validate_chunk_results",
+]

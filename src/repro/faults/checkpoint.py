@@ -1,0 +1,163 @@
+"""Level-granular checkpoint/resume for the refinement drivers.
+
+A checkpoint is written after every completed resolution level — the only
+points where the algorithm's state is small and well-defined: the per-view
+orientation set, the per-view distances, and the accumulated window/center
+counters.  The on-disk format *is* the orientation-file format (steps c/o)
+with a machine-readable meta header in comment lines, so a checkpoint
+doubles as a valid partial result: ``repro reconstruct`` can consume a
+checkpoint of a killed run directly.
+
+Orientations are serialized at 17 significant digits (exact float64
+round-trip), which is what makes a killed-then-resumed run *bit-identical*
+to a fault-free one — the chaos harness asserts exactly that.  Writes are
+atomic (temp file + :func:`os.replace` in the same directory), so a run
+killed mid-write leaves the previous checkpoint intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.arraytypes import Array
+from repro.geometry.euler import Orientation
+from repro.refine.orientfile import read_orientation_file, write_orientation_file
+from repro.refine.stats import RefinementStats
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "RefinementCheckpoint",
+    "load_checkpoint",
+    "save_checkpoint",
+    "try_load_checkpoint",
+]
+
+CHECKPOINT_FORMAT = "repro-checkpoint v1"
+
+
+@dataclass(frozen=True)
+class RefinementCheckpoint:
+    """Everything needed to resume a multi-resolution refinement run.
+
+    Attributes
+    ----------
+    schedule_fingerprint:
+        :meth:`MultiResolutionSchedule.fingerprint` of the schedule the
+        run was started with; resume refuses to mix schedules.
+    levels_done:
+        Number of leading schedule levels fully completed (and therefore
+        reflected in ``orientations``).
+    orientations / distances:
+        Per-view state after the last completed level, exact to the bit.
+    stats:
+        Accumulated counters for the completed levels, so a resumed run
+        reports the same totals as an uninterrupted one.
+    """
+
+    schedule_fingerprint: str
+    levels_done: int
+    orientations: list[Orientation]
+    distances: Array
+    stats: RefinementStats
+
+    @property
+    def n_views(self) -> int:
+        return len(self.orientations)
+
+
+def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
+    """Atomically write ``checkpoint`` to ``path``.
+
+    The temp file lives in the target directory so :func:`os.replace` is a
+    same-filesystem atomic rename; a crash between write and rename leaves
+    at worst an orphaned ``.tmp`` file, never a torn checkpoint.
+    """
+    meta = {
+        "format": CHECKPOINT_FORMAT,
+        "schedule_fingerprint": checkpoint.schedule_fingerprint,
+        "levels_done": int(checkpoint.levels_done),
+        "n_views": checkpoint.n_views,
+        "stats": asdict(checkpoint.stats),
+    }
+    header = f"{CHECKPOINT_FORMAT}\nmeta {json.dumps(meta, sort_keys=True)}"
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
+    os.close(fd)
+    try:
+        write_orientation_file(
+            tmp,
+            checkpoint.orientations,
+            scores=np.asarray(checkpoint.distances, dtype=float),
+            header=header,
+            full_precision=True,
+        )
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def _parse_meta(path: str) -> dict:
+    """Extract the ``# meta {...}`` JSON line from a checkpoint file."""
+    with open(path) as fh:
+        for line in fh:
+            text = line.strip()
+            if not text.startswith("#"):
+                break
+            body = text.lstrip("#").strip()
+            if body.startswith("meta "):
+                return dict(json.loads(body[len("meta "):]))
+    raise ValueError(f"{path}: not a checkpoint file (no meta header)")
+
+
+def load_checkpoint(path: str) -> RefinementCheckpoint:
+    """Read a checkpoint written by :func:`save_checkpoint`.
+
+    Raises ``ValueError`` on a malformed or non-checkpoint file (a plain
+    orientation file has no meta header).
+    """
+    meta = _parse_meta(path)
+    if meta.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path}: unsupported checkpoint format {meta.get('format')!r}")
+    orientations, scores = read_orientation_file(path)
+    if len(orientations) != int(meta["n_views"]):
+        raise ValueError(
+            f"{path}: meta claims {meta['n_views']} views, file holds {len(orientations)}"
+        )
+    stats = RefinementStats(**meta["stats"])
+    return RefinementCheckpoint(
+        schedule_fingerprint=str(meta["schedule_fingerprint"]),
+        levels_done=int(meta["levels_done"]),
+        orientations=orientations,
+        distances=np.asarray(scores, dtype=float),
+        stats=stats,
+    )
+
+
+def try_load_checkpoint(
+    path: str, schedule_fingerprint: str, n_views: int
+) -> RefinementCheckpoint | None:
+    """Load ``path`` if it is a usable checkpoint for this exact run.
+
+    Returns ``None`` (start from scratch) when the file is missing, not a
+    checkpoint, or was written for a different schedule or view count —
+    resuming across any of those would silently corrupt the result, so
+    mismatch means "ignore", never "adapt".
+    """
+    if not os.path.exists(path):
+        return None
+    try:
+        ckpt = load_checkpoint(path)
+    except (ValueError, OSError, KeyError, json.JSONDecodeError):
+        return None
+    if ckpt.schedule_fingerprint != schedule_fingerprint or ckpt.n_views != n_views:
+        return None
+    return ckpt

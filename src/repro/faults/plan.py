@@ -1,0 +1,214 @@
+"""Deterministic fault plans: the injection side of the robustness layer.
+
+A :class:`FaultPlan` is a frozen, picklable description of *which* faults
+fire *where*.  The consumers — :class:`~repro.parallel.viewsched.ViewScheduler`
+worker processes and the simulated fabric in :mod:`repro.parallel.comm` —
+consult the plan at named *sites* (one string per chunk attempt, message,
+or level barrier), so a failure observed in a chaos test replays exactly
+from the plan alone: no wall-clock, no shared mutable state, no
+cross-process counters.
+
+Fault kinds (the taxonomy of DESIGN.md §8):
+
+``crash-before`` / ``crash-after``
+    The worker process dies (``os._exit``) before / after computing its
+    chunk — the pool sees a hard loss, the chunk must be re-queued.
+``delay``
+    The worker sleeps ``delay_s`` before returning — exercises the
+    per-chunk timeout path.
+``poison``
+    The worker returns a structurally plausible but corrupt result (NaN
+    distance) — exercises result validation.
+``drop-message``
+    The simulated fabric drops the message once and retransmits, charging
+    the α–β cost twice plus ``delay_s`` of ack-timeout.
+``abort-level``
+    The scheduler raises :class:`FaultInjected` at a level barrier —
+    models a killed run for checkpoint/resume tests.
+
+Sites are matched with :func:`fnmatch.fnmatch`, so a spec can target one
+chunk (``"L0.C2"``) or a family (``"L*.C*"``).  A spec fires while the
+consumer's *attempt* counter is below ``times``; retries therefore escape
+one-shot faults deterministically, with no state carried across the
+processes the faults kill.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjected",
+    "FaultLog",
+    "FaultPlan",
+    "FaultSpec",
+    "chunk_site",
+    "level_site",
+    "message_site",
+]
+
+FAULT_KINDS = (
+    "crash-before",
+    "crash-after",
+    "delay",
+    "poison",
+    "drop-message",
+    "abort-level",
+)
+
+
+class FaultInjected(RuntimeError):
+    """Raised where an injected fault models a killed run (``abort-level``)."""
+
+
+def chunk_site(level_seq: int, chunk_id: int) -> str:
+    """Site name of one scheduler chunk: ``L<level>.C<chunk>``."""
+    return f"L{level_seq}.C{chunk_id}"
+
+
+def message_site(src: int, dst: int, seq: int) -> str:
+    """Site name of one fabric message: ``msg:<src>-><dst>#<seq>``."""
+    return f"msg:{src}->{dst}#{seq}"
+
+
+def level_site(level_seq: int) -> str:
+    """Site name of one level barrier: ``level:<seq>``."""
+    return f"level:{level_seq}"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: a kind, a site pattern, and how often it fires.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`FAULT_KINDS`.
+    site:
+        Exact site name or :mod:`fnmatch` pattern (``"L0.C*"``).
+    times:
+        The spec fires while the consumer's attempt counter is below this
+        (default 1: fire once per site, vanish on retry).
+    delay_s:
+        Sleep / retransmit-timeout duration for ``delay`` and
+        ``drop-message`` faults.
+    """
+
+    kind: str
+    site: str
+    times: int = 1
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}")
+        if self.times < 1:
+            raise ValueError("times must be >= 1")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be non-negative")
+
+    def matches(self, kind: str, site: str, attempt: int) -> bool:
+        return kind == self.kind and attempt < self.times and fnmatch(site, self.site)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A frozen set of :class:`FaultSpec`, consulted by site name.
+
+    The plan is immutable and picklable: scheduler workers receive a copy
+    in every chunk payload and decide purely from ``(kind, site, attempt)``,
+    so a worker that dies and is replaced reaches the same decision its
+    predecessor did.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    @staticmethod
+    def none() -> "FaultPlan":
+        """The empty plan (injects nothing); the default everywhere."""
+        return FaultPlan()
+
+    def lookup(self, kind: str, site: str, attempt: int = 0) -> FaultSpec | None:
+        """First spec firing for ``(kind, site)`` at this attempt, if any."""
+        for s in self.specs:
+            if s.matches(kind, site, attempt):
+                return s
+        return None
+
+    def should(self, kind: str, site: str, attempt: int = 0) -> bool:
+        """Whether any spec fires for ``(kind, site)`` at this attempt."""
+        return self.lookup(kind, site, attempt) is not None
+
+    def with_spec(self, spec: FaultSpec) -> "FaultPlan":
+        """A new plan with one more spec appended."""
+        return FaultPlan(specs=self.specs + (spec,), seed=self.seed)
+
+    @classmethod
+    def scatter(
+        cls,
+        seed: int,
+        sites: list[str],
+        kinds: tuple[str, ...] = ("crash-before", "crash-after", "delay", "poison"),
+        rate: float = 0.25,
+        delay_s: float = 0.05,
+    ) -> "FaultPlan":
+        """Seeded random plan: each site draws one fault with prob. ``rate``.
+
+        The draw happens *here*, once, from ``default_rng(seed)`` — the
+        resulting plan is a plain frozen value, so the same seed always
+        yields the same faults regardless of how many processes later
+        consult it.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("rate must be in [0, 1]")
+        if not kinds:
+            raise ValueError("need at least one fault kind")
+        rng = np.random.default_rng(seed)
+        specs: list[FaultSpec] = []
+        for site in sites:
+            if rng.random() < rate:
+                kind = kinds[int(rng.integers(len(kinds)))]
+                specs.append(FaultSpec(kind=kind, site=site, delay_s=delay_s))
+        return cls(specs=tuple(specs), seed=seed)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One observed fault or recovery action, recorded for the chaos harness.
+
+    ``action`` is what the consumer did about it: ``"injected"``,
+    ``"retry"``, ``"pool-restart"``, ``"serial-fallback"``, ``"timeout"``,
+    ``"poison-detected"``, ``"dropped"``, ``"delayed"``, ``"abort"``.
+    """
+
+    kind: str
+    site: str
+    attempt: int = 0
+    action: str = "injected"
+    detail: str = ""
+
+
+@dataclass
+class FaultLog:
+    """An append-only event list shared by one scheduler / fabric run."""
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    def record(self, kind: str, site: str, attempt: int = 0, action: str = "injected",
+               detail: str = "") -> None:
+        self.events.append(FaultEvent(kind, site, attempt, action, detail))
+
+    def actions(self) -> list[str]:
+        return [e.action for e in self.events]
+
+    def count(self, action: str) -> int:
+        return sum(1 for e in self.events if e.action == action)

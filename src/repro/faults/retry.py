@@ -1,0 +1,97 @@
+"""Retry policy and result validation for the fan-out recovery loop.
+
+:class:`RetryPolicy` is the knob set DESIGN.md §8 documents: how many
+times a chunk is re-queued, how the backoff between attempts grows, how
+long one chunk may run before it is declared hung, and how many pool
+rebuilds a level tolerates before the scheduler degrades to the serial
+path.  :func:`validate_chunk_results` is the poison detector — the only
+defense against a worker that *returns* instead of dying, but returns
+garbage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
+    from repro.parallel.viewsched import ViewLevelResult
+
+__all__ = ["ChunkIntegrityError", "RetryPolicy", "validate_chunk_results"]
+
+
+class ChunkIntegrityError(RuntimeError):
+    """A worker returned a structurally or numerically invalid chunk result."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the scheduler reacts to a lost, hung, or poisoned chunk.
+
+    Attributes
+    ----------
+    max_attempts:
+        Pool attempts per chunk before it falls back to the in-process
+        serial path (which cannot be killed by a worker fault).
+    backoff_s / backoff_factor:
+        Sleep before re-queuing attempt ``k`` is
+        ``backoff_s * backoff_factor**(k-1)`` — fixed, so recovery timing
+        is as reproducible as the faults themselves.
+    chunk_timeout_s:
+        Wall-clock bound on waiting for one chunk future; ``None`` waits
+        forever (trust the pool).  On expiry the pool is recycled and the
+        chunk re-queued.
+    max_pool_restarts:
+        Pool rebuilds tolerated within one level; beyond it every chunk
+        still pending runs serially ("the pool is exhausted").
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.01
+    backoff_factor: float = 2.0
+    chunk_timeout_s: float | None = None
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("backoff_s must be >= 0 and backoff_factor >= 1")
+        if self.chunk_timeout_s is not None and self.chunk_timeout_s <= 0:
+            raise ValueError("chunk_timeout_s must be positive (or None)")
+        if self.max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep before re-queuing after ``attempt`` failures."""
+        if attempt <= 0:
+            return 0.0
+        return float(self.backoff_s * self.backoff_factor ** (attempt - 1))
+
+
+def validate_chunk_results(
+    indices: Sequence[int], results: "list[ViewLevelResult]"
+) -> None:
+    """Reject a chunk result that cannot have come from the real kernel.
+
+    Checks structure (one result per requested view, global indices echoed
+    back exactly, in order) and numerics (finite distance and orientation
+    fields).  Raises :class:`ChunkIntegrityError`; the scheduler treats
+    that exactly like a crashed worker and re-queues the chunk.
+    """
+    expected = [int(i) for i in indices]
+    if not isinstance(results, list) or len(results) != len(expected):
+        raise ChunkIntegrityError(
+            f"chunk returned {len(results) if isinstance(results, list) else type(results)} "
+            f"results for {len(expected)} views"
+        )
+    got = [int(r.index) for r in results]
+    if got != expected:
+        raise ChunkIntegrityError(f"chunk echoed indices {got}, expected {expected}")
+    for r in results:
+        o = r.orientation
+        values = (r.distance, o.theta, o.phi, o.omega, o.cx, o.cy)
+        if not all(np.isfinite(v) for v in values):
+            raise ChunkIntegrityError(f"non-finite result for view {r.index}: {values}")

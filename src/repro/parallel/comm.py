@@ -20,6 +20,15 @@ accordingly:
 Messages are deep-copied on send so SPMD code cannot alias another rank's
 buffers (shared-memory leakage would invalidate the distributed-memory
 simulation).
+
+Fault injection (DESIGN.md §8): a :class:`~repro.faults.plan.FaultPlan`
+passed to :func:`run_spmd` is consulted per message site
+(``msg:<src>-><dst>#<seq>``).  ``drop-message`` models a lost packet with
+a deterministic ack-timeout retransmit — the payload still arrives
+exactly once, but the sender is charged the α–β cost twice plus the
+spec's ``delay_s`` — and ``delay`` charges extra latency.  Neither fault
+can change delivered *values*, only simulated *time*, which is precisely
+the recovery guarantee the chaos harness asserts.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.faults.plan import FaultLog, FaultPlan, message_site
 from repro.parallel.clock import VirtualClock
 from repro.parallel.machine import MachineSpec, SP2_LIKE
 from repro.utils import StepTimer
@@ -58,7 +68,14 @@ def _copy(obj: Any) -> Any:
 class _Fabric:
     """Shared state of one SPMD run: queues, barrier, clock, abort flag."""
 
-    def __init__(self, n_ranks: int, machine: MachineSpec, trace=None) -> None:
+    def __init__(
+        self,
+        n_ranks: int,
+        machine: MachineSpec,
+        trace=None,
+        fault_plan: FaultPlan | None = None,
+        fault_log: FaultLog | None = None,
+    ) -> None:
         self.n_ranks = n_ranks
         self.machine = machine
         self.clock = VirtualClock(n_ranks)
@@ -72,6 +89,10 @@ class _Fabric:
         #: optional TraceRecorder collecting (rank, step, t0, t1) spans
         self.trace = trace
         self._trace_lock = threading.Lock()
+        #: deterministic fault injection for the chaos harness
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.fault_log = fault_log if fault_log is not None else FaultLog()
+        self._fault_lock = threading.Lock()
 
 
 class SimComm:
@@ -83,6 +104,9 @@ class SimComm:
         self.size = fabric.n_ranks
         self.machine = fabric.machine
         self.timer = StepTimer()
+        # per-destination message sequence numbers: deterministic site names
+        # for the fault plan (rank-local, so no cross-thread coordination)
+        self._msg_seq: dict[int, int] = {}
 
     # -- time accounting ---------------------------------------------------
     def account_compute(self, seconds: float, step: str | None = None) -> None:
@@ -108,11 +132,35 @@ class SimComm:
 
     # -- point to point ------------------------------------------------------
     def send(self, obj: Any, dest: int) -> None:
-        """Blocking-ish send (buffered): charges the α–β cost to the sender."""
+        """Blocking-ish send (buffered): charges the α–β cost to the sender.
+
+        Consults the fabric's fault plan: a ``drop-message`` fault loses
+        the first transmission (cost charged, nothing delivered) and
+        retransmits after ``delay_s`` of ack-timeout — so delivery still
+        happens exactly once, later; a ``delay`` fault adds latency.
+        """
         if not 0 <= dest < self.size:
             raise ValueError(f"bad destination {dest}")
+        seq = self._msg_seq.get(dest, 0)
+        self._msg_seq[dest] = seq + 1
+        site = message_site(self.rank, dest, seq)
+        plan = self._fabric.fault_plan
         cost = self.machine.message_time(_nbytes(obj))
         self._fabric.clock.advance(self.rank, cost)
+        dropped = plan.lookup("drop-message", site)
+        if dropped is not None:
+            # lost on the wire: ack-timeout, then pay the α–β cost again
+            self._fabric.clock.advance(self.rank, dropped.delay_s + cost)
+            with self._fabric._fault_lock:
+                self._fabric.fault_log.record(
+                    "drop-message", site, action="dropped",
+                    detail=f"retransmitted after {dropped.delay_s}s",
+                )
+        delayed = plan.lookup("delay", site)
+        if delayed is not None:
+            self._fabric.clock.advance(self.rank, delayed.delay_s)
+            with self._fabric._fault_lock:
+                self._fabric.fault_log.record("delay", site, action="delayed")
         self._fabric.queues[(self.rank, dest)].put((_copy(obj), self._fabric.clock.now(self.rank)))
 
     def recv(self, source: int) -> Any:
@@ -223,6 +271,8 @@ def run_spmd(
     fn: Callable[[SimComm], Any],
     machine: MachineSpec = SP2_LIKE,
     trace=None,
+    fault_plan: FaultPlan | None = None,
+    fault_log: FaultLog | None = None,
 ) -> tuple[list[Any], VirtualClock]:
     """Run ``fn(comm)`` on ``n_ranks`` ranks (one thread each).
 
@@ -230,11 +280,13 @@ def run_spmd(
     rank aborts the barrier (so no deadlock) and is re-raised with its rank
     attached.  Pass a :class:`repro.parallel.trace.TraceRecorder` as
     ``trace`` to collect per-rank activity spans (renderable with
-    :func:`repro.parallel.trace.render_gantt`).
+    :func:`repro.parallel.trace.render_gantt`), and a
+    :class:`repro.faults.plan.FaultPlan` as ``fault_plan`` to inject
+    deterministic message drops/delays (chaos harness).
     """
     if n_ranks <= 0:
         raise ValueError("n_ranks must be positive")
-    fabric = _Fabric(n_ranks, machine, trace=trace)
+    fabric = _Fabric(n_ranks, machine, trace=trace, fault_plan=fault_plan, fault_log=fault_log)
     results: list[Any] = [None] * n_ranks
     errors: list[tuple[int, BaseException]] = []
 

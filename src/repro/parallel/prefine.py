@@ -25,6 +25,7 @@ from repro.align.distance import DistanceComputer
 from repro.ctf.correct import phase_flip
 from repro.ctf.model import CTFParams
 from repro.density.map import DensityMap
+from repro.faults.plan import FaultEvent, FaultLog, FaultPlan
 from repro.fourier.transforms import centered_fft2, to_centered_order, to_standard_order
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
@@ -69,6 +70,8 @@ class ParallelRefinementReport:
     n_ranks: int
     per_rank_matches: list[int] = field(default_factory=list)
     per_level_matches: list[int] = field(default_factory=list)
+    #: message-level faults observed on the simulated fabric (chaos runs)
+    fault_events: list[FaultEvent] = field(default_factory=list)
 
     def refinement_fraction(self) -> float:
         """Fraction of simulated time spent matching (the paper's 99%)."""
@@ -88,8 +91,16 @@ def parallel_refine(
     pad_factor: int = 2,
     refine_centers: bool = True,
     orientation_file: str | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> ParallelRefinementReport:
-    """Run one full refinement iteration on the simulated cluster."""
+    """Run one full refinement iteration on the simulated cluster.
+
+    ``fault_plan`` injects deterministic message drops/delays into the
+    simulated fabric (see :mod:`repro.parallel.comm`); the observed events
+    come back in :attr:`ParallelRefinementReport.fault_events`.  Injected
+    fabric faults change simulated *time* only — refined orientations stay
+    bit-identical to the fault-free run.
+    """
     sched = schedule or default_schedule()
     size = density.size
     rmax = float(size // 2 if r_max is None else r_max)
@@ -188,7 +199,8 @@ def parallel_refine(
         comm.barrier()
         return result, comm.timer, total_matches, level_matches
 
-    results, clock = run_spmd(n_ranks, worker, machine)
+    fault_log = FaultLog()
+    results, clock = run_spmd(n_ranks, worker, machine, fault_plan=fault_plan, fault_log=fault_log)
     wall.stop()
 
     master_result = results[0][0]
@@ -215,4 +227,5 @@ def parallel_refine(
         n_ranks=n_ranks,
         per_rank_matches=per_rank_matches,
         per_level_matches=per_level,
+        fault_events=list(fault_log.events),
     )

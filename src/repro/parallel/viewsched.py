@@ -20,11 +20,28 @@ scheduler:
   :func:`refine_level_serial` used by the serial refiner and the simulated
   cluster, so all three drivers execute the identical per-view kernel and
   return bit-identical results.
+
+Fault tolerance (DESIGN.md §8): a chunk whose worker dies, hangs past the
+:class:`~repro.faults.retry.RetryPolicy` timeout, or returns a poisoned
+result is re-queued with backoff onto a recycled pool; once a chunk's
+attempt budget or the level's pool-restart budget is exhausted, the chunk
+runs on the in-process serial path, which no worker fault can kill.
+Because every path executes the identical per-view kernel, recovery is
+invisible in the numbers — results stay bit-identical to a fault-free run.
+Deterministic failures for the chaos harness are injected via a seeded
+:class:`~repro.faults.plan.FaultPlan` that workers consult by chunk site;
+the shared-D̂ segment is guaranteed to be unlinked even when the level
+aborts abnormally.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import atexit
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
 from typing import Any, Sequence
@@ -34,6 +51,8 @@ import numpy as np
 from repro.align.distance import DistanceComputer
 from repro.analysis.contracts import array_contract, spec
 from repro.arraytypes import Array
+from repro.faults.plan import FaultInjected, FaultLog, FaultPlan, chunk_site, level_site
+from repro.faults.retry import ChunkIntegrityError, RetryPolicy, validate_chunk_results
 from repro.geometry.euler import Orientation
 from repro.refine.multires import RefinementLevel
 from repro.refine.single import refine_view_at_level
@@ -45,6 +64,10 @@ __all__ = [
     "refine_level_serial",
     "chunk_indices",
 ]
+
+#: exit status used by injected worker crashes (distinguishable in logs
+#: from a real interpreter fault).
+INJECTED_CRASH_EXIT = 17
 
 
 @dataclass(frozen=True)
@@ -133,12 +156,17 @@ class SharedVolume:
 
     One replica of D̂ per machine, exactly as the paper replicates D̂ once
     per node: workers attach read-only by name instead of receiving a
-    pickled copy per task.
+    pickled copy per task.  The creating process owns the segment's
+    lifetime; :meth:`close` (idempotent, also run from ``__del__`` as a
+    last resort) both detaches and unlinks, so a scheduler that unwinds
+    through an exception cannot orphan the segment.
     """
 
     def __init__(self, array: Array) -> None:
         arr = np.ascontiguousarray(array)
-        self._shm = shared_memory.SharedMemory(create=True, size=arr.nbytes)
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=arr.nbytes
+        )
         self.shape = arr.shape
         self.dtype = arr.dtype
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=self._shm.buf)
@@ -153,12 +181,21 @@ class SharedVolume:
         """Release and unlink the segment (idempotent)."""
         if self._shm is None:
             return
-        self._shm.close()
+        shm, self._shm = self._shm, None
         try:
-            self._shm.unlink()
-        except FileNotFoundError:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:
+            # interpreter teardown: modules the close path needs may be gone
             pass
-        self._shm = None  # type: ignore[assignment]
 
 
 # -- worker side ------------------------------------------------------------
@@ -166,13 +203,28 @@ class SharedVolume:
 # the distance computer / plan state (keyed by the scheduler's spec id).
 _WORKER_VOLUMES: dict[str, tuple[Any, Array]] = {}
 _WORKER_SPECS: dict[str, DistanceComputer | None] = {}
+_WORKER_CLEANUP_REGISTERED = False
+
+
+def _close_worker_volumes() -> None:
+    """Detach every cached D̂ replica (worker atexit: no fd/mapping leaks)."""
+    for shm, _ in _WORKER_VOLUMES.values():
+        try:
+            shm.close()
+        except OSError:
+            pass
+    _WORKER_VOLUMES.clear()
 
 
 @array_contract(ret=spec(shape=("v", "v", "v"), dtype="inexact", contiguous=True))
 def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> Array:
+    global _WORKER_CLEANUP_REGISTERED
     name, shape, dtype = descriptor
     cached = _WORKER_VOLUMES.get(name)
     if cached is None:
+        if not _WORKER_CLEANUP_REGISTERED:
+            atexit.register(_close_worker_volumes)
+            _WORKER_CLEANUP_REGISTERED = True
         shm = shared_memory.SharedMemory(name=name)
         arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
         arr.setflags(write=False)
@@ -183,7 +235,22 @@ def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> Array:
 
 
 def _worker_refine_chunk(payload: dict[str, Any]) -> list[ViewLevelResult]:
-    """Run one chunk of views in a worker process (module-level: picklable)."""
+    """Run one chunk of views in a worker process (module-level: picklable).
+
+    Consults the payload's :class:`FaultPlan` (chaos harness only; the
+    plan is empty in production) at this chunk's site: an injected crash
+    is a hard ``os._exit`` — exactly what a segfaulted or OOM-killed
+    worker looks like to the parent pool.
+    """
+    fault_plan: FaultPlan | None = payload.get("fault_plan")
+    site: str = payload.get("site", "")
+    attempt: int = int(payload.get("attempt", 0))
+    if fault_plan is not None:
+        if fault_plan.should("crash-before", site, attempt):
+            os._exit(INJECTED_CRASH_EXIT)
+        delay = fault_plan.lookup("delay", site, attempt)
+        if delay is not None and delay.delay_s > 0:
+            time.sleep(delay.delay_s)
     volume = _attach_volume(payload["volume"])
     spec_id = payload["spec_id"]
     if spec_id not in _WORKER_SPECS:
@@ -203,7 +270,13 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> list[ViewLevelResult]:
         inner_iterations=payload["inner_iterations"],
     )
     indices = payload["indices"]
-    return [replace(r, index=int(indices[r.index])) for r in results]
+    out = [replace(r, index=int(indices[r.index])) for r in results]
+    if fault_plan is not None:
+        if out and fault_plan.should("poison", site, attempt):
+            out[0] = replace(out[0], distance=float("nan"))
+        if fault_plan.should("crash-after", site, attempt):
+            os._exit(INJECTED_CRASH_EXIT)
+    return out
 
 
 # -- scheduler --------------------------------------------------------------
@@ -222,9 +295,21 @@ class ViewScheduler:
     mp_context:
         Optional multiprocessing start method (``"fork"``, ``"spawn"``, …);
         platform default when ``None``.
+    retry_policy:
+        How lost/hung/poisoned chunks are retried and when the level
+        degrades to the serial path (defaults to :class:`RetryPolicy`).
+    fault_plan:
+        Deterministic fault injection for the chaos harness; the empty
+        plan (no faults) by default.
+
+    Recovery actions taken during a run are appended to :attr:`fault_log`
+    (a :class:`~repro.faults.plan.FaultLog`), which the chaos tests read
+    to assert that the path under test actually fired.
 
     Use as a context manager, or call :meth:`close` when done — it shuts
-    the pool down and unlinks the shared D̂ replica.
+    the pool down and unlinks the shared D̂ replica.  If a level unwinds
+    with an unrecoverable error, the replica is unlinked *before* the
+    exception propagates, so no ``/dev/shm`` segment outlives the run.
     """
 
     def __init__(
@@ -232,6 +317,8 @@ class ViewScheduler:
         n_workers: int = 1,
         chunks_per_worker: int = 4,
         mp_context: str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
@@ -239,11 +326,15 @@ class ViewScheduler:
             raise ValueError("chunks_per_worker must be >= 1")
         self.n_workers = int(n_workers)
         self.chunks_per_worker = int(chunks_per_worker)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.fault_plan = fault_plan or FaultPlan.none()
+        self.fault_log = FaultLog()
         self._mp_context = mp_context
         self._executor: ProcessPoolExecutor | None = None
         self._shared: SharedVolume | None = None
         self._shared_key: int | None = None
         self._spec_ids: dict[int, str] = {}
+        self._level_seq = 0
 
     # -- lifecycle ----------------------------------------------------------
     def __enter__(self) -> "ViewScheduler":
@@ -253,14 +344,23 @@ class ViewScheduler:
         self.close()
 
     def close(self) -> None:
-        """Shut down the pool and unlink the shared volume (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
+        """Shut down the pool and unlink the shared volume (idempotent).
+
+        The unlink is in a ``finally``: even a pool whose shutdown raises
+        (e.g. already broken by a killed worker) cannot leak the segment.
+        """
+        try:
+            if self._executor is not None:
+                executor, self._executor = self._executor, None
+                executor.shutdown(wait=True)
+        finally:
+            self._release_shared()
+
+    def _release_shared(self) -> None:
         if self._shared is not None:
-            self._shared.close()
-            self._shared = None
+            shared, self._shared = self._shared, None
             self._shared_key = None
+            shared.close()
 
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
@@ -270,14 +370,30 @@ class ViewScheduler:
             self._executor = ProcessPoolExecutor(max_workers=self.n_workers, mp_context=ctx)
         return self._executor
 
+    def _restart_pool(self) -> None:
+        """Discard a broken/hung pool; the next submit builds a fresh one.
+
+        ``wait=False`` + ``cancel_futures=True``: a hung worker must not
+        block recovery — its process exits on its own once the injected
+        delay (or real stall) ends, and the queued tasks are re-issued to
+        the replacement pool by the retry loop.
+        """
+        if self._executor is not None:
+            executor, self._executor = self._executor, None
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                # a pool broken by a dead worker may raise while unwinding
+                # its management thread; the replacement pool is unaffected
+                pass
+
     def _share(self, volume_ft: Array) -> SharedVolume:
         # The caller keeps volume_ft alive for the scheduler's lifetime
         # (the refiner holds it for the whole run), so id() is a stable key.
         key = id(volume_ft)
         if self._shared is not None and self._shared_key == key:
             return self._shared
-        if self._shared is not None:
-            self._shared.close()
+        self._release_shared()
         self._shared = SharedVolume(volume_ft)
         self._shared_key = key
         return self._shared
@@ -309,49 +425,164 @@ class ViewScheduler:
         """Steps f–l for every view at one level; results ordered by view index.
 
         Results are bit-identical to :func:`refine_level_serial` regardless
-        of worker count or chunking, since views are independent.
+        of worker count, chunking, or how many injected/real faults were
+        recovered along the way, since views are independent and every
+        recovery path re-executes the identical kernel.
         """
+        seq = self._level_seq
+        self._level_seq += 1
+        abort = self.fault_plan.lookup("abort-level", level_site(seq))
+        if abort is not None:
+            self.fault_log.record("abort-level", level_site(seq), action="abort")
+            raise FaultInjected(f"injected abort at {level_site(seq)}")
         m = len(orientations)
+        serial_kwargs: dict[str, Any] = dict(
+            distance_computer=distance_computer,
+            kernel=kernel,
+            interpolation=interpolation,
+            max_slides=max_slides,
+            refine_centers=refine_centers,
+            inner_iterations=inner_iterations,
+        )
         if self.n_workers == 1 or m < 2:
             return refine_level_serial(
-                volume_ft,
-                view_fts,
-                orientations,
-                modulations,
-                level,
-                distance_computer=distance_computer,
-                kernel=kernel,
-                interpolation=interpolation,
-                max_slides=max_slides,
-                refine_centers=refine_centers,
-                inner_iterations=inner_iterations,
+                volume_ft, view_fts, orientations, modulations, level, **serial_kwargs
             )
+        try:
+            return self._run_level_pooled(
+                seq, volume_ft, view_fts, orientations, modulations, level, serial_kwargs
+            )
+        except BaseException:
+            # unrecoverable (attempt budgets cannot save us from e.g. a
+            # pickling bug or KeyboardInterrupt): never orphan the segment
+            self._restart_pool()
+            self._release_shared()
+            raise
+
+    def _run_level_pooled(
+        self,
+        seq: int,
+        volume_ft: Array,
+        view_fts: Array,
+        orientations: Sequence[Orientation],
+        modulations: Sequence[Array | None] | None,
+        level: RefinementLevel,
+        serial_kwargs: dict[str, Any],
+    ) -> list[ViewLevelResult]:
+        """The pool fan-out with the retry/re-queue/degrade recovery loop."""
+        policy = self.retry_policy
         shared = self._share(volume_ft)
-        spec_id = self._spec_id(distance_computer)
-        chunks = chunk_indices(m, self.n_workers * self.chunks_per_worker)
-        executor = self._ensure_executor()
-        futures = []
-        for chunk in chunks:
-            payload = {
+        spec_id = self._spec_id(serial_kwargs["distance_computer"])
+        chunks = chunk_indices(len(orientations), self.n_workers * self.chunks_per_worker)
+        view_arr = np.asarray(view_fts)
+
+        def payload_for(cid: int, attempt: int) -> dict[str, Any]:
+            chunk = chunks[cid]
+            return {
                 "volume": shared.descriptor(),
                 "spec_id": spec_id,
-                "distance_computer": distance_computer,
-                "view_fts": np.asarray(view_fts)[chunk],
+                "distance_computer": serial_kwargs["distance_computer"],
+                "view_fts": view_arr[chunk],
                 "orientations": [orientations[i] for i in chunk],
                 "modulations": None
                 if modulations is None
                 else [modulations[i] for i in chunk],
                 "level": level,
-                "kernel": kernel,
-                "interpolation": interpolation,
-                "max_slides": max_slides,
-                "refine_centers": refine_centers,
-                "inner_iterations": inner_iterations,
+                "kernel": serial_kwargs["kernel"],
+                "interpolation": serial_kwargs["interpolation"],
+                "max_slides": serial_kwargs["max_slides"],
+                "refine_centers": serial_kwargs["refine_centers"],
+                "inner_iterations": serial_kwargs["inner_iterations"],
                 "indices": chunk,
+                "fault_plan": self.fault_plan if self.fault_plan.specs else None,
+                "site": chunk_site(seq, cid),
+                "attempt": attempt,
             }
-            futures.append(executor.submit(_worker_refine_chunk, payload))
-        results: list[ViewLevelResult] = []
-        for future in futures:
-            results.extend(future.result())
+
+        def run_chunk_serially(cid: int) -> list[ViewLevelResult]:
+            chunk = chunks[cid]
+            sub = refine_level_serial(
+                volume_ft,
+                view_arr[chunk],
+                [orientations[i] for i in chunk],
+                None if modulations is None else [modulations[i] for i in chunk],
+                level,
+                **serial_kwargs,
+            )
+            return [replace(r, index=int(chunk[r.index])) for r in sub]
+
+        attempts = [0] * len(chunks)
+        done: dict[int, list[ViewLevelResult]] = {}
+        pending = list(range(len(chunks)))
+        fallback: list[int] = []
+        pool_restarts = 0
+        while pending or fallback:
+            for cid in fallback:
+                done[cid] = run_chunk_serially(cid)
+            fallback = []
+            if not pending:
+                break
+            executor = self._ensure_executor()
+            submitted: list[tuple[int, Future[list[ViewLevelResult]]]] = [
+                (cid, executor.submit(_worker_refine_chunk, payload_for(cid, attempts[cid])))
+                for cid in pending
+            ]
+            pending = []
+            failed: list[int] = []
+            pool_poisoned = False
+            for cid, future in submitted:
+                site = chunk_site(seq, cid)
+                try:
+                    results = future.result(timeout=policy.chunk_timeout_s)
+                    validate_chunk_results(chunks[cid], results)
+                    done[cid] = results
+                except ChunkIntegrityError as exc:
+                    self.fault_log.record(
+                        "poison", site, attempts[cid], "poison-detected", str(exc)
+                    )
+                    failed.append(cid)
+                except FuturesTimeoutError:
+                    self.fault_log.record("delay", site, attempts[cid], "timeout")
+                    failed.append(cid)
+                    pool_poisoned = True  # a hung worker occupies its slot
+                except BrokenProcessPool as exc:
+                    self.fault_log.record(
+                        "crash-before", site, attempts[cid], "worker-lost", str(exc)
+                    )
+                    failed.append(cid)
+                    pool_poisoned = True
+                except Exception as exc:
+                    # the worker raised (bug or corrupted payload): treat as
+                    # a chunk failure so the serial fallback surfaces it
+                    self.fault_log.record(
+                        "poison", site, attempts[cid], "worker-error", repr(exc)
+                    )
+                    failed.append(cid)
+            if pool_poisoned:
+                self._restart_pool()
+                pool_restarts += 1
+                self.fault_log.record(
+                    "crash-before", f"L{seq}", action="pool-restart",
+                    detail=f"restart {pool_restarts}/{policy.max_pool_restarts}",
+                )
+            for cid in failed:
+                attempts[cid] += 1
+                site = chunk_site(seq, cid)
+                exhausted = (
+                    attempts[cid] >= policy.max_attempts
+                    or pool_restarts > policy.max_pool_restarts
+                )
+                if exhausted:
+                    self.fault_log.record(
+                        "crash-before", site, attempts[cid], "serial-fallback"
+                    )
+                    fallback.append(cid)
+                else:
+                    backoff = policy.backoff(attempts[cid])
+                    if backoff > 0:
+                        time.sleep(backoff)
+                    self.fault_log.record("crash-before", site, attempts[cid], "retry")
+                    pending.append(cid)
+        results = [r for cid in sorted(done) for r in done[cid]]
         results.sort(key=lambda r: r.index)
         return results

@@ -65,6 +65,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="process count for the per-view fan-out (1 = serial)",
     )
+    ref.add_argument(
+        "--checkpoint", default=None,
+        help="write a level-granular checkpoint here after every completed level",
+    )
+    ref.add_argument(
+        "--resume", action="store_true",
+        help="seed the run from --checkpoint if it matches this schedule and stack",
+    )
 
     rec = sub.add_parser("reconstruct", help="direct-Fourier reconstruction from a stack + orientations")
     rec.add_argument("--stack", required=True)
@@ -135,6 +143,10 @@ def validate_refine_args(parser: argparse.ArgumentParser, args: argparse.Namespa
         parser.error(f"--max-slides must be >= 0, got {args.max_slides}")
     if args.r_max is not None and args.r_max <= 0:
         parser.error(f"--r-max must be positive, got {args.r_max}")
+    if args.resume and not args.checkpoint:
+        parser.error("--resume requires --checkpoint")
+    if args.checkpoint and args.ranks > 0:
+        parser.error("--checkpoint is only supported for the in-process path (--ranks 0)")
     try:
         _parse_levels(args.levels)
     except ValueError as exc:
@@ -187,6 +199,7 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     result = refiner.refine(
         stack, initial_orientations=init, schedule=schedule,
         refine_centers=not args.no_centers,
+        checkpoint_path=args.checkpoint, resume=args.resume,
     )
     write_orientation_file(args.out, result.orientations, scores=result.distances)
     print(

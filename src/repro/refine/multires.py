@@ -10,6 +10,7 @@ comparison exactly as §4 states them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 __all__ = [
@@ -82,6 +83,22 @@ class MultiResolutionSchedule:
     def total_window_matches(self) -> int:
         """Matching operations per view assuming no window slides."""
         return sum(lv.window_matches for lv in self.levels)
+
+    def fingerprint(self) -> str:
+        """A stable digest of every level parameter, for checkpoint/resume.
+
+        A checkpoint written under one schedule must never seed a run with
+        a different one: the per-level state (window widths, step sizes)
+        is baked into the refined orientations.  ``repr`` of the floats is
+        exact (round-trip), so equal schedules — and only equal schedules
+        — share a fingerprint.
+        """
+        desc = ";".join(
+            f"{lv.angular_step_deg!r},{lv.center_step_px!r},"
+            f"{lv.half_steps},{lv.center_half_steps}"
+            for lv in self.levels
+        )
+        return hashlib.sha256(desc.encode()).hexdigest()[:16]
 
 
 def default_schedule(half_steps: int = 4, center_half_steps: int = 1) -> MultiResolutionSchedule:

@@ -12,6 +12,9 @@ of the parallel driver uses exactly these functions.
 
 from __future__ import annotations
 
+import os
+import tempfile
+
 import numpy as np
 
 from repro.arraytypes import Array
@@ -25,20 +28,56 @@ def write_orientation_file(
     orientations: list[Orientation],
     scores: Array | list[float] | None = None,
     header: str | None = None,
+    *,
+    full_precision: bool = False,
+    atomic: bool = False,
 ) -> None:
-    """Write the refined orientation set O^refined (step o)."""
+    """Write the refined orientation set O^refined (step o).
+
+    ``full_precision`` serializes every field at 17 significant digits —
+    an exact float64 round-trip, required by the checkpoint layer (a
+    resumed run must be bit-identical to an uninterrupted one).  The
+    default keeps the historical fixed 6-decimal layout the production
+    parameter files used.
+
+    ``atomic`` writes to a temp file in the target directory and renames
+    it into place, so a run killed mid-write never leaves a torn file.
+    """
     if scores is not None and len(scores) != len(orientations):
         raise ValueError("scores length must match orientations")
-    with open(path, "w") as fh:
-        fh.write("# id theta phi omega cx cy score\n")
-        if header:
-            for line in header.splitlines():
-                fh.write(f"# {line}\n")
-        for i, o in enumerate(orientations):
-            s = float(scores[i]) if scores is not None else 0.0
-            fh.write(
-                f"{i} {o.theta:.6f} {o.phi:.6f} {o.omega:.6f} {o.cx:.6f} {o.cy:.6f} {s:.8g}\n"
-            )
+
+    def fmt(v: float) -> str:
+        return f"{v:.17g}" if full_precision else f"{v:.6f}"
+
+    target = path
+    if atomic:
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, target = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
+        os.close(fd)
+    try:
+        with open(target, "w") as fh:
+            fh.write("# id theta phi omega cx cy score\n")
+            if header:
+                for line in header.splitlines():
+                    fh.write(f"# {line}\n")
+            for i, o in enumerate(orientations):
+                s = float(scores[i]) if scores is not None else 0.0
+                score = f"{s:.17g}" if full_precision else f"{s:.8g}"
+                fh.write(
+                    f"{i} {fmt(o.theta)} {fmt(o.phi)} {fmt(o.omega)} "
+                    f"{fmt(o.cx)} {fmt(o.cy)} {score}\n"
+                )
+        if atomic:
+            os.replace(target, path)
+    except BaseException:
+        if atomic:
+            try:
+                os.unlink(target)
+            except FileNotFoundError:
+                pass
+        raise
 
 
 def read_orientation_file(path: str) -> tuple[list[Orientation], Array]:

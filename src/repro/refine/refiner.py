@@ -192,6 +192,8 @@ class OrientationRefiner:
         keep_level_snapshots: bool = False,
         n_workers: int | None = None,
         scheduler=None,
+        checkpoint_path: str | None = None,
+        resume: bool = False,
     ) -> RefinementResult:
         """Run one full refinement iteration over a view set.
 
@@ -203,6 +205,17 @@ class OrientationRefiner:
         call; ``scheduler`` injects a pre-built (possibly shared)
         :class:`~repro.parallel.viewsched.ViewScheduler` instead — the
         caller then owns its lifetime.
+
+        ``checkpoint_path`` enables level-granular fault tolerance: after
+        every completed level the per-view orientations, distances and
+        counters are written atomically (exact float64 round-trip) to that
+        path.  With ``resume=True`` a usable checkpoint — same schedule
+        fingerprint, same view count — seeds the run, skipping the levels
+        it already covers; the resumed result is bit-identical to an
+        uninterrupted run.  A missing or mismatched checkpoint is ignored
+        (the run simply starts from scratch).  Level snapshots
+        (``keep_level_snapshots``) cover only the levels this call
+        actually executed.
         """
         if isinstance(views, SimulatedViews):
             images = views.images
@@ -224,15 +237,46 @@ class OrientationRefiner:
             raise ValueError("need one initial orientation per view")
         sched = schedule or default_schedule()
 
+        if resume and checkpoint_path is None:
+            raise ValueError("resume=True requires a checkpoint_path")
+        stats = RefinementStats(n_views=images.shape[0])
+        orientations = list(init)
+        distances = np.full(images.shape[0], np.inf)
+        start_level = 0
+        fingerprint = ""
+        if checkpoint_path is not None:
+            # Imported lazily: repro.faults.checkpoint reads/writes the
+            # orientation-file format, which lives beside this module.
+            from repro.faults.checkpoint import (
+                RefinementCheckpoint,
+                save_checkpoint,
+                try_load_checkpoint,
+            )
+
+            fingerprint = sched.fingerprint()
+            if resume:
+                found = try_load_checkpoint(checkpoint_path, fingerprint, images.shape[0])
+                if found is not None:
+                    orientations = list(found.orientations)
+                    distances = np.asarray(found.distances, dtype=float).copy()
+                    stats = found.stats
+                    start_level = found.levels_done
+        if start_level >= len(sched):
+            # everything already done: no need to rebuild D̂ or transforms
+            return RefinementResult(
+                orientations=orientations,
+                distances=distances,
+                stats=stats,
+                timer=StepTimer(),
+                per_level_orientations=[],
+            )
+
         timer = StepTimer()
         volume_ft = self.volume_ft(timer)
         with timer.step(STEP_READ_IMAGE):
             images = np.ascontiguousarray(images, dtype=float)
         fts, modulations = self.prepare_views(images, ctf, pix, timer)
 
-        stats = RefinementStats(n_views=images.shape[0])
-        orientations = list(init)
-        distances = np.full(images.shape[0], np.inf)
         snapshots: list[list[Orientation]] = []
         # Imported lazily: repro.parallel pulls in this module at package
         # import time, so a top-level import would be circular.
@@ -242,7 +286,9 @@ class OrientationRefiner:
         own_scheduler = scheduler is None
         sched_obj = scheduler or ViewScheduler(n_workers=workers)
         try:
-            for level in sched:
+            for li, level in enumerate(sched):
+                if li < start_level:
+                    continue
                 n_matches = n_center = n_wslides = n_cslides = 0
                 with timer.step(STEP_REFINEMENT):
                     results = sched_obj.run_level(
@@ -269,6 +315,17 @@ class OrientationRefiner:
                 )
                 if keep_level_snapshots:
                     snapshots.append(list(orientations))
+                if checkpoint_path is not None:
+                    save_checkpoint(
+                        checkpoint_path,
+                        RefinementCheckpoint(
+                            schedule_fingerprint=fingerprint,
+                            levels_done=li + 1,
+                            orientations=list(orientations),
+                            distances=distances.copy(),
+                            stats=stats,
+                        ),
+                    )
         finally:
             if own_scheduler:
                 sched_obj.close()

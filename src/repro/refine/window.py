@@ -41,6 +41,13 @@ class SlidingWindowResult:
         Total matching operations across all windows.
     slid:
         True when at least one re-centering occurred.
+    centers:
+        The window centers actually scanned, in order (the invariant the
+        property tests assert: no center is ever revisited).
+    final_on_edge:
+        True when the search stopped *because* the slide budget ran out
+        while the winner still sat on a window face — i.e. the final
+        minimum is not known to be interior.
     """
 
     orientation: Orientation
@@ -48,6 +55,8 @@ class SlidingWindowResult:
     n_windows: int
     n_matches: int
     slid: bool
+    centers: tuple[Orientation, ...] = ()
+    final_on_edge: bool = False
 
 
 def sliding_window_search(
@@ -108,8 +117,11 @@ def sliding_window_search(
     n_windows = 0
     n_matches = 0
     slid = False
+    centers: list[Orientation] = []
+    final_on_edge = False
     best: MatchResult | None = None
     while True:
+        centers.append(current)
         grid = orientation_window(current, step_deg, half_steps)
         if kernel == "fused":
             assert plan is not None and view_band is not None
@@ -127,10 +139,12 @@ def sliding_window_search(
             )
         n_windows += 1
         n_matches += best.n_matches
-        if any(best.on_edge) and n_windows <= max_slides:
-            slid = True
-            current = best.orientation
-            continue
+        if any(best.on_edge):
+            if n_windows <= max_slides:
+                slid = True
+                current = best.orientation
+                continue
+            final_on_edge = True
         break
     assert best is not None
     return SlidingWindowResult(
@@ -139,4 +153,6 @@ def sliding_window_search(
         n_windows=n_windows,
         n_matches=n_matches,
         slid=slid,
+        centers=tuple(centers),
+        final_on_edge=final_on_edge,
     )

@@ -1,0 +1,147 @@
+"""Chaos tests for level-granular checkpoint/resume (DESIGN.md §8).
+
+The killed run is modeled with an ``abort-level`` fault: the scheduler
+raises at a level barrier exactly where a SIGKILL would leave a real run —
+after the previous level's checkpoint hit the disk, before the next level
+touched anything.  Resume must then produce a result bit-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults.checkpoint import (
+    RefinementCheckpoint,
+    load_checkpoint,
+    save_checkpoint,
+    try_load_checkpoint,
+)
+from repro.faults.plan import FaultInjected, FaultPlan, FaultSpec
+from repro.parallel.viewsched import ViewScheduler
+
+from tests.chaos.conftest import assert_identical
+
+pytestmark = pytest.mark.chaos
+
+
+def interrupted_run(chaos_problem, ckpt_path, level_seq=1):
+    """Run until an injected abort at ``level:<level_seq>`` kills it."""
+    views, refiner, schedule = chaos_problem
+    plan = FaultPlan((FaultSpec("abort-level", f"level:{level_seq}"),))
+    scheduler = ViewScheduler(n_workers=1, fault_plan=plan)
+    try:
+        with pytest.raises(FaultInjected):
+            refiner.refine(
+                views, schedule=schedule, scheduler=scheduler, checkpoint_path=ckpt_path
+            )
+    finally:
+        scheduler.close()
+
+
+def test_resume_after_abort_is_bit_identical(chaos_problem, baseline, tmp_path):
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    interrupted_run(chaos_problem, ckpt)
+    saved = load_checkpoint(ckpt)
+    assert saved.levels_done == 1
+
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+    assert resumed.stats == baseline.stats
+
+
+def test_resume_of_finished_run_is_a_noop(chaos_problem, baseline, tmp_path):
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    refiner.refine(views, schedule=schedule, checkpoint_path=ckpt)
+    assert load_checkpoint(ckpt).levels_done == len(schedule)
+
+    # all levels done: resume returns the checkpointed state untouched
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+    assert resumed.stats == baseline.stats
+
+
+def test_fingerprint_mismatch_starts_fresh(chaos_problem, baseline, tmp_path):
+    from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    other = MultiResolutionSchedule((RefinementLevel(2.0, 2.0, half_steps=1),))
+    refiner.refine(views, schedule=other, checkpoint_path=ckpt)
+
+    assert try_load_checkpoint(ckpt, schedule.fingerprint(), len(views)) is None
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+
+
+def test_garbage_checkpoint_is_ignored(chaos_problem, baseline, tmp_path):
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    with open(ckpt, "w") as fh:
+        fh.write("not a checkpoint\n")
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+
+
+def test_checkpoint_write_is_atomic(tmp_path, baseline, monkeypatch):
+    """A crash mid-save leaves the previous checkpoint intact, never a torn file."""
+    path = str(tmp_path / "ckpt.orient")
+    good = RefinementCheckpoint(
+        schedule_fingerprint="f" * 16,
+        levels_done=1,
+        orientations=baseline.orientations,
+        distances=np.asarray(baseline.distances),
+        stats=baseline.stats,
+    )
+    save_checkpoint(path, good)
+    before = open(path).read()
+
+    # simulate the crash between temp-file write and publication: the
+    # rename never happens, so the prior checkpoint must stay untouched
+    def crashed_replace(src, dst):
+        raise OSError("injected crash during checkpoint publication")
+
+    monkeypatch.setattr("repro.faults.checkpoint.os.replace", crashed_replace)
+    with pytest.raises(OSError, match="injected crash"):
+        save_checkpoint(path, good)
+    monkeypatch.undo()
+    assert open(path).read() == before
+    assert [p for p in os.listdir(tmp_path) if p.endswith(".tmp")] == []
+
+    loaded = load_checkpoint(path)
+    for got, want in zip(loaded.orientations, baseline.orientations):
+        assert got.as_tuple() == want.as_tuple()
+    assert np.array_equal(loaded.distances, baseline.distances)
+    assert loaded.stats == baseline.stats
+
+
+def test_checkpoint_roundtrip_is_exact(tmp_path):
+    """17-digit serialization: pathological floats survive the round trip."""
+    from repro.geometry.euler import Orientation
+    from repro.refine.stats import RefinementStats
+
+    rng = np.random.default_rng(0)
+    orients = [
+        Orientation(*(float(x) for x in rng.uniform(-180, 180, 3)),
+                    cx=float(rng.normal()), cy=float(rng.normal()))
+        for _ in range(5)
+    ]
+    dists = rng.normal(size=5) * 1e-7
+    ckpt = RefinementCheckpoint(
+        schedule_fingerprint="a" * 16,
+        levels_done=2,
+        orientations=orients,
+        distances=dists,
+        stats=RefinementStats(n_views=5),
+    )
+    path = str(tmp_path / "ckpt.orient")
+    save_checkpoint(path, ckpt)
+    loaded = load_checkpoint(path)
+    for got, want in zip(loaded.orientations, orients):
+        assert got.as_tuple() == want.as_tuple()
+    assert np.array_equal(loaded.distances, dists)

@@ -1,0 +1,78 @@
+"""Audit: every chaos fault-plan seed is derived from the test id.
+
+A literal seed in a chaos test is a trap — it silently couples the test to
+one fault pattern, and a copy-pasted literal makes two tests share their
+chaos.  The convention (enforced here by AST inspection, so it cannot rot)
+is that any ``seed=``/first-positional seed reaching ``FaultPlan.scatter``
+or ``FaultPlan(...)`` inside ``tests/chaos/`` must be an expression over
+names (the ``chaos_seed`` fixture or arithmetic on it), never a bare
+numeric literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.chaos
+
+CHAOS_DIR = Path(__file__).resolve().parent
+
+
+def iter_chaos_sources():
+    for path in sorted(CHAOS_DIR.glob("*.py")):
+        if path.name != Path(__file__).name:
+            yield path, ast.parse(path.read_text(), filename=str(path))
+
+
+def is_literal_number(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return True
+    # -5, +5 and 2 ** 16 style "computed literals" are still literals
+    if isinstance(node, ast.UnaryOp):
+        return is_literal_number(node.operand)
+    if isinstance(node, ast.BinOp):
+        return is_literal_number(node.left) and is_literal_number(node.right)
+    return False
+
+
+def seed_arguments(call: ast.Call):
+    func = call.func
+    # FaultPlan.scatter(seed, ...) — seed is the first positional argument
+    if isinstance(func, ast.Attribute) and func.attr == "scatter":
+        if call.args:
+            yield call.args[0]
+    # FaultPlan(..., seed=...) / FaultPlan.scatter(seed=...)
+    if (isinstance(func, ast.Name) and func.id == "FaultPlan") or (
+        isinstance(func, ast.Attribute) and func.attr in ("scatter", "FaultPlan")
+    ):
+        for kw in call.keywords:
+            if kw.arg == "seed":
+                yield kw.value
+
+
+def test_no_literal_fault_plan_seeds():
+    offences = []
+    for path, tree in iter_chaos_sources():
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            for seed in seed_arguments(node):
+                if is_literal_number(seed):
+                    offences.append(f"{path.name}:{seed.lineno}: literal fault-plan seed")
+    assert not offences, (
+        "chaos tests must derive fault-plan seeds from the test id "
+        "(use the chaos_seed fixture):\n" + "\n".join(offences)
+    )
+
+
+def test_chaos_seed_fixture_is_nodeid_derived():
+    """The fixture itself derives from the node id, per test, injectively-ish."""
+    from tests.chaos.conftest import derive_seed
+
+    a = derive_seed("tests/chaos/test_a.py::test_one")
+    b = derive_seed("tests/chaos/test_a.py::test_two")
+    assert a != b
+    assert derive_seed("tests/chaos/test_a.py::test_one") == a

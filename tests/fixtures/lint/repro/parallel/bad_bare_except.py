@@ -1,0 +1,13 @@
+"""Known-bad fixture: bare ``except:`` in recovery code (RL009)."""
+
+from __future__ import annotations
+
+__all__ = ["swallow_everything"]
+
+
+def swallow_everything(work) -> bool:
+    try:
+        work()
+    except:  # noqa: E722 - the point of the fixture
+        return False
+    return True

@@ -21,6 +21,7 @@ FIXTURE_RULES = {
     "align/bad_kernel.py": "RL006",
     "align/distance.py": "RL007",
     "align/bad_future.py": "RL008",
+    "parallel/bad_bare_except.py": "RL009",
 }
 
 
@@ -32,7 +33,7 @@ def rules_hit(findings):
 def test_every_rule_has_identity():
     rules = all_rules()
     ids = [r.rule_id for r in rules]
-    assert len(ids) == len(set(ids)) == 8
+    assert len(ids) == len(set(ids)) == 9
     assert ids == sorted(ids)
     for rule_id, name, rationale in rule_table():
         assert rule_id.startswith("RL")
@@ -89,6 +90,22 @@ def test_mp_rule_allows_parallel_package():
     src = "import multiprocessing\n"
     assert "RL005" in rules_hit(lint_source(src, rel="repro/align/x.py"))
     assert "RL005" not in rules_hit(lint_source(src, rel="repro/parallel/x.py"))
+
+
+def test_bare_except_rule_patrols_recovery_packages_only():
+    src = (
+        "from __future__ import annotations\n\n\n"
+        "def f(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except:\n"
+        "        pass\n"
+    )
+    assert "RL009" in rules_hit(lint_source(src, rel="repro/parallel/x.py"))
+    assert "RL009" in rules_hit(lint_source(src, rel="repro/faults/x.py"))
+    assert "RL009" not in rules_hit(lint_source(src, rel="repro/align/x.py"))
+    typed = src.replace("except:", "except ValueError:")
+    assert "RL009" not in rules_hit(lint_source(typed, rel="repro/parallel/x.py"))
 
 
 # -- waivers -----------------------------------------------------------------

@@ -1,0 +1,67 @@
+"""Golden-file end-to-end regression of the full refinement pipeline.
+
+The committed ``tests/golden/refine_tiny.npz`` pins the exact bits a tiny
+phantom refines to on the 1° → 0.1° schedule.  Every execution
+configuration — fused and reference kernels, serial and pooled schedulers
+— must reproduce those bits, which nails down three properties at once:
+the kernels agree, the pool is bit-identical to the serial loop, and the
+numerics have not drifted since the golden file was generated
+(``tools/gen_golden.py`` regenerates it after an intentional change).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.density import asymmetric_phantom
+from repro.imaging.simulate import simulate_views
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+from repro.refine.refiner import OrientationRefiner
+
+pytestmark = pytest.mark.slow
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "refine_tiny.npz")
+
+
+@pytest.fixture(scope="module")
+def golden():
+    data = np.load(GOLDEN_PATH)
+    return data["orientations"], data["distances"], str(data["schedule_fingerprint"])
+
+
+@pytest.fixture(scope="module")
+def tiny_problem():
+    # pinned problem — keep in sync with tools/gen_golden.py
+    density = asymmetric_phantom(16, seed=11).normalized()
+    views = simulate_views(density, 4, snr=10.0, initial_angle_error_deg=2.0, seed=11)
+    schedule = MultiResolutionSchedule(
+        (
+            RefinementLevel(1.0, 1.0, half_steps=2),
+            RefinementLevel(0.1, 0.1, half_steps=2),
+        )
+    )
+    return density, views, schedule
+
+
+def test_golden_schedule_fingerprint(tiny_problem, golden):
+    """The golden file was generated for *this* schedule, not a stale one."""
+    _, _, schedule = tiny_problem
+    assert schedule.fingerprint() == golden[2]
+
+
+@pytest.mark.parametrize("kernel", ["fused", "reference"])
+@pytest.mark.parametrize("n_workers", [1, 2])
+def test_refinement_matches_golden(tiny_problem, golden, kernel, n_workers):
+    density, views, schedule = tiny_problem
+    refiner = OrientationRefiner(density, max_slides=2, kernel=kernel, n_workers=n_workers)
+    result = refiner.refine(views, schedule=schedule)
+    got = np.array([o.as_tuple() for o in result.orientations])
+    want_orient, want_dist, _ = golden
+    assert np.array_equal(got, want_orient), (
+        f"kernel={kernel} n_workers={n_workers} drifted from the golden result; "
+        "if the numerics change was intentional, regenerate with tools/gen_golden.py"
+    )
+    assert np.array_equal(np.asarray(result.distances), want_dist)

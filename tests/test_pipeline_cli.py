@@ -140,6 +140,48 @@ def test_refine_rejects_bad_arguments(extra, fragment, capsys):
     assert fragment in capsys.readouterr().err
 
 
+@pytest.mark.parametrize(
+    "extra, fragment",
+    [
+        (["--resume"], "--resume requires --checkpoint"),
+        (["--checkpoint", "c.ckpt", "--ranks", "2"], "in-process path"),
+    ],
+)
+def test_refine_rejects_bad_checkpoint_options(extra, fragment, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(REFINE_REQUIRED + extra)
+    assert exc.value.code == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_refine_checkpoint_and_resume(dataset_files, capsys):
+    """A killed run's checkpoint resumes to the uninterrupted run's bits."""
+    root, paths = dataset_files
+    base_args = [
+        "refine", "--map", paths["map"], "--stack", paths["stack"],
+        "--orient", paths["orient"],
+        "--levels", "1.0,0.5", "--half-steps", "1", "--r-max", "8",
+    ]
+    clean = str(root / "clean.txt")
+    assert main(base_args + ["--out", clean]) == 0
+
+    # first run writes the checkpoint level by level; the rerun with
+    # --resume starts from the final checkpoint and recomputes nothing
+    ckpt = str(root / "run.ckpt")
+    out1 = str(root / "ckpt_run.txt")
+    assert main(base_args + ["--out", out1, "--checkpoint", ckpt]) == 0
+    out2 = str(root / "resumed.txt")
+    assert main(base_args + ["--out", out2, "--checkpoint", ckpt, "--resume"]) == 0
+
+    from repro.refine import read_orientation_file
+
+    want, want_scores = read_orientation_file(clean)
+    for path in (out1, out2):
+        got, got_scores = read_orientation_file(path)
+        assert [o.as_tuple() for o in got] == [o.as_tuple() for o in want]
+        assert np.array_equal(got_scores, want_scores)
+
+
 def test_refine_rejects_unknown_kernel(capsys):
     with pytest.raises(SystemExit) as exc:
         main(REFINE_REQUIRED + ["--kernel", "turbo"])

@@ -121,6 +121,71 @@ def test_distance_modulation_linearity(seed):
     assert via_param == pytest.approx(explicit, rel=1e-12)
 
 
+# -- sliding-window invariants (steps f–i) ----------------------------------
+#
+# The re-centering loop of refine/window.py carries three contracts the
+# drivers rely on: it terminates within the slide budget, it never scans
+# the same window center twice, and whenever it stops without exhausting
+# the budget the final minimum is interior (not on a window face).
+
+
+@st.composite
+def window_problem(draw):
+    seed = draw(st.integers(0, 10_000))
+    step = draw(st.floats(min_value=0.2, max_value=2.0))
+    half_steps = draw(st.integers(1, 3))
+    max_slides = draw(st.integers(0, 4))
+    rng = np.random.default_rng(seed)
+    vol = rng.normal(size=(12, 12, 12))
+    theta, phi, omega = rng.uniform(0.0, 360.0, size=3)
+    return vol, (theta, phi, omega), step, half_steps, max_slides
+
+
+def _run_window(problem):
+    from repro.geometry import Orientation
+    from repro.refine.window import sliding_window_search
+
+    vol, (t, p, o), step, half_steps, max_slides = problem
+    ft = centered_fftn(vol)
+    view = extract_slice(ft, euler_to_matrix(t, p, o))
+    center = Orientation(t + step / 3.0, p - step / 2.0, o + step / 4.0)
+    return sliding_window_search(
+        view, ft, center, step, half_steps=half_steps, max_slides=max_slides
+    )
+
+
+@given(problem=window_problem())
+@settings(max_examples=25, deadline=None)
+def test_window_recentering_terminates(problem):
+    """The loop scans at most 1 + max_slides windows, whatever the data."""
+    max_slides = problem[-1]
+    res = _run_window(problem)
+    assert 1 <= res.n_windows <= max_slides + 1
+    assert len(res.centers) == res.n_windows
+
+
+@given(problem=window_problem())
+@settings(max_examples=25, deadline=None)
+def test_window_never_revisits_a_center(problem):
+    """Each re-centering moves to a new center: no cycles, no wasted scans."""
+    res = _run_window(problem)
+    seen = [c.as_tuple() for c in res.centers]
+    assert len(seen) == len(set(seen))
+
+
+@given(problem=window_problem())
+@settings(max_examples=25, deadline=None)
+def test_window_final_minimum_interior_unless_budget_exhausted(problem):
+    """``final_on_edge`` is the *only* way the search ends on a face, and it
+    can happen only when the slide budget ran out."""
+    max_slides = problem[-1]
+    res = _run_window(problem)
+    if res.final_on_edge:
+        assert res.n_windows == max_slides + 1
+    if res.n_windows <= max_slides:
+        assert not res.final_on_edge
+
+
 @given(t=angles, p=angles, o=angles)
 @settings(max_examples=30, deadline=None)
 def test_slice_of_delta_is_constant_magnitude(t, p, o):

@@ -6,15 +6,20 @@ Runs, in order:
 1. ``ruff check`` (skipped when ruff is not installed),
 2. ``mypy`` over the strict-typed core (skipped when mypy is not installed),
 3. ``repro-lint`` — the AST invariant checker in :mod:`repro.analysis`,
-4. the tier-1 pytest suite with ``REPRO_CHECK_CONTRACTS=1`` so every
+4. the tier-1 pytest suite (``-m "not chaos"``) with
+   ``REPRO_CHECK_CONTRACTS=1`` so every
    :func:`repro.analysis.contracts.array_contract` declaration is enforced
-   while the tests exercise the kernels.
+   while the tests exercise the kernels,
+5. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
+   injection kills workers and restarts pools, so it runs apart from the
+   main suite but under the same runtime contracts.
 
 Exit status is nonzero if any ran-and-failed step fails; skipped tools do
 not fail the gate (the container may not ship them).  Usage::
 
     python tools/check.py            # everything
     python tools/check.py --no-tests # static checks only
+    python tools/check.py --no-chaos # skip the fault-injection subset
 """
 
 from __future__ import annotations
@@ -31,7 +36,10 @@ SRC = ROOT / "src"
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--no-tests", action="store_true", help="skip the pytest step")
+    parser.add_argument("--no-tests", action="store_true", help="skip the pytest steps")
+    parser.add_argument(
+        "--no-chaos", action="store_true", help="skip the fault-injection subset"
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(SRC))
@@ -50,15 +58,19 @@ def main(argv: list[str] | None = None) -> int:
         env = dict(os.environ)
         env["REPRO_CHECK_CONTRACTS"] = "1"
         env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
-        print("[    run] pytest (REPRO_CHECK_CONTRACTS=1)")
-        proc = subprocess.run(
-            [sys.executable, "-m", "pytest", "-x", "-q"], cwd=ROOT, env=env
-        )
-        if proc.returncode != 0:
-            print("[ failed] pytest")
-            failed = True
-        else:
-            print("[     ok] pytest")
+        suites = [("pytest", ["-x", "-q", "-m", "not chaos"])]
+        if not args.no_chaos:
+            suites.append(("pytest[chaos]", ["-x", "-q", "-m", "chaos"]))
+        for name, extra in suites:
+            print(f"[    run] {name} (REPRO_CHECK_CONTRACTS=1)")
+            proc = subprocess.run(
+                [sys.executable, "-m", "pytest", *extra], cwd=ROOT, env=env
+            )
+            if proc.returncode != 0:
+                print(f"[ failed] {name}")
+                failed = True
+            else:
+                print(f"[     ok] {name}")
 
     print("gate:", "FAILED" if failed else "ok")
     return 1 if failed else 0
