@@ -1,15 +1,19 @@
-"""Kernel benchmark driver: fused vs reference, serial vs process pool.
+"""Kernel benchmark driver: fused vs reference, batched vs fused, pool scaling.
 
-Measures the two performance claims of the fused-kernel work:
+Measures the performance claims of the kernel work:
 
 * the fused in-band slice/distance kernel vs the reference
   slice-then-distance path, on the full multi-resolution schedule at the
-  paper-scale view size (l = 64, oversampled D̂), and
+  paper-scale view size (l = 64, oversampled D̂),
+* the batched whole-window engine (with the orientation memo) vs the
+  per-candidate fused kernel on the same full schedule, including the
+  measured memo hit-rate, and
 * the process-parallel view scheduler at 1 vs N workers (recorded, not
-  asserted — wall-clock scaling depends on the host's core count).
+  asserted — wall-clock scaling depends on the host's core count; on a
+  single-CPU host the measurement is skipped and recorded as such).
 
-Both measurements double as equivalence checks: the benchmark fails if
-fused and reference (or serial and pooled) results disagree.
+Every measurement doubles as an equivalence check: the benchmark fails if
+the compared paths disagree on any orientation or distance bit.
 
 Run standalone to (re)generate ``BENCH_kernels.json`` at the repo root::
 
@@ -89,20 +93,75 @@ def measure_fused_vs_reference(
     }
 
 
+def measure_batched_vs_fused(
+    size: int = 64,
+    n_views: int = 2,
+    r_max: float | None = None,
+    seed: int = 0,
+) -> dict:
+    """Whole-window batched engine (memo on) vs the per-candidate fused path.
+
+    One full multi-resolution refinement per kernel; the views carry center
+    jitter so the sliding window re-centers and the orientation memo gets
+    genuine cross-recenter/cross-level hits.  Bit-identical results are a
+    hard requirement — a mismatch raises instead of reporting a speedup.
+    """
+    from repro.refine.refiner import OrientationRefiner
+
+    density, views = _make_problem(size, n_views, seed)
+    results = {}
+    timings = {}
+    for kernel in ("fused", "batched"):
+        refiner = OrientationRefiner(density, r_max=r_max, kernel=kernel)
+        refiner.volume_ft()  # step a excluded: both kernels share it unchanged
+        t0 = time.perf_counter()
+        results[kernel] = refiner.refine(views)
+        timings[kernel] = time.perf_counter() - t0
+    fus, bat = results["fused"], results["batched"]
+    if [o.as_tuple() for o in fus.orientations] != [o.as_tuple() for o in bat.orientations]:
+        raise AssertionError("batched kernel diverged from fused orientations")
+    if not np.array_equal(fus.distances, bat.distances):
+        raise AssertionError("batched kernel diverged from fused distances")
+    perf = bat.perf
+    assert perf is not None
+    return {
+        "size": size,
+        "n_views": n_views,
+        "r_max": size // 2 if r_max is None else r_max,
+        "schedule": "default (1.0, 0.1, 0.01, 0.002 deg)",
+        "n_matches": bat.stats.total_matches,
+        "fused_seconds": round(timings["fused"], 3),
+        "batched_seconds": round(timings["batched"], 3),
+        "speedup": round(timings["fused"] / timings["batched"], 2),
+        "memo_hit_rate": round(perf.memo_hit_rate(), 4),
+        "candidates_per_second": round(perf.candidates_per_second(), 1),
+        "identical_results": True,
+    }
+
+
 def measure_worker_scaling(
     size: int = 32,
     n_views: int = 8,
     worker_counts: tuple[int, ...] = (1, 2),
     seed: int = 0,
 ) -> dict:
-    """Wall time of the fused refinement at each worker count.
+    """Wall time of the refinement at each worker count.
 
     Results must be bit-identical at every count.  The speedup column is
-    recorded as measured — on a single-core host the pool can only add
-    overhead, which is itself worth knowing.
+    recorded as measured; on a host with a single CPU a multi-worker
+    measurement is meaningless (the pool can only add overhead), so the
+    run is skipped and recorded as ``"skipped: insufficient cpus"``.
     """
     from repro.refine.refiner import OrientationRefiner
 
+    host_cpus = os.cpu_count() or 1
+    if host_cpus < 2 and any(n > 1 for n in worker_counts):
+        return {
+            "size": size,
+            "n_views": n_views,
+            "host_cpus": host_cpus,
+            "skipped": "insufficient cpus",
+        }
     density, views = _make_problem(size, n_views, seed)
     baseline = None
     rows = []
@@ -141,6 +200,7 @@ def measure_worker_scaling(
 def run_all() -> dict:
     return {
         "fused_vs_reference": measure_fused_vs_reference(),
+        "batched_vs_fused": measure_batched_vs_fused(),
         "worker_scaling": measure_worker_scaling(),
     }
 

@@ -16,7 +16,8 @@ from repro.align.distance import (
 )
 from repro.align.fused import MatchPlan, get_match_plan
 from repro.align.grid import OrientationGrid, orientation_window, step_offsets
-from repro.align.matcher import MatchResult, match_view, match_view_band
+from repro.align.matcher import MatchResult, match_view, match_view_band, match_view_window
+from repro.align.memo import MemoStore, OrientationMemo, memo_key
 from repro.align.common_lines import (
     common_line_angles,
     sinogram,
@@ -53,6 +54,10 @@ __all__ = [
     "MatchResult",
     "match_view",
     "match_view_band",
+    "match_view_window",
+    "MemoStore",
+    "OrientationMemo",
+    "memo_key",
     "sinogram",
     "common_line_angles",
     "initial_orientations_common_lines",

@@ -28,6 +28,8 @@ becomes an ``n_band``-element ramp instead of an ``l×l`` one.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.align.distance import DistanceComputer
@@ -49,6 +51,79 @@ _INTERIOR_MARGIN = 1e-9
 #: tens-of-MB arrays through memory eight times per window.  Gathers and
 #: distances are per-point/per-row, so chunking cannot change any value.
 _CHUNK_SAMPLES = 1 << 18
+
+#: Chunk target for the batched window path.  The split-band gather keeps
+#: more live temporaries per sample than the fused path (three coordinate
+#: columns, four weight pairs), so its sweet spot sits lower: measured
+#: fastest at 2^16 samples/chunk at l=64, with a sharp cliff above ~2^17.
+_BATCHED_CHUNK_SAMPLES = 1 << 16
+
+#: Environment variable overriding both chunk targets (samples per chunk).
+REPRO_GATHER_CHUNK = "REPRO_GATHER_CHUNK"
+
+
+def _gather_chunk_target(default: int) -> int:
+    """The samples-per-chunk target, honoring ``REPRO_GATHER_CHUNK``.
+
+    The override must be a positive integer; anything else raises
+    immediately (a silently ignored typo would quietly change the run's
+    memory footprint).  Chunking never changes results — gathers are
+    per-point and distances per-row — so this is a pure tuning knob.
+    """
+    raw = os.environ.get(REPRO_GATHER_CHUNK)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{REPRO_GATHER_CHUNK} must be a positive integer "
+            f"(samples per gather chunk), got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(
+            f"{REPRO_GATHER_CHUNK} must be a positive integer "
+            f"(samples per gather chunk), got {value}"
+        )
+    return value
+
+
+def _gather_interior_stack(flat: Array, l: int, cz: Array, cy: Array, cx: Array) -> Array:
+    """Stacked no-bounds-check trilinear gather on coordinate *columns*.
+
+    Bit-identical to :func:`repro.fourier.slicing._gather_trilinear_interior`
+    per point — the value-changing operations are untouched:
+
+    * ``astype`` truncation equals ``floor`` because every interior
+      coordinate is strictly positive (the plan-time margin guarantees it),
+      and int32 holds any per-axis index (the int64 promotion happens in
+      the linear-index product, exactly where overflow could occur);
+    * the weight product keeps the reference's left association
+      ``((z)·(y))·(x)`` — the four ``z·y`` pair products are merely
+      computed once and shared by the two corners needing each;
+    * the corner accumulation order 0→7 into a zeros-initialized
+      accumulator is identical.
+
+    Columns (not an interleaved ``(..., 3)`` array) keep every fractional
+    and weight array contiguous, which is where the batched path's
+    throughput over the fused gather comes from.
+    """
+    iz = cz.astype(np.int32, copy=False)
+    iy = cy.astype(np.int32, copy=False)
+    ix = cx.astype(np.int32, copy=False)
+    fz = cz - iz
+    fy = cy - iy
+    fx = cx - ix
+    lin0 = (iz.astype(np.int64, copy=False) * l + iy) * l + ix
+    gz, gy, gx = 1.0 - fz, 1.0 - fy, 1.0 - fx
+    # Pair products in (dz, dy) order: indices 0..3 = (0,0) (0,1) (1,0) (1,1).
+    wzy = (gz * gy, gz * fy, fz * gy, fz * fy)
+    out = np.zeros(cz.shape, dtype=flat.dtype)
+    for corner in range(8):
+        dz, dy, dx = (corner >> 2) & 1, (corner >> 1) & 1, corner & 1
+        w = wzy[dz * 2 + dy] * (fx if dx else gx)
+        out += w * flat[lin0 + ((dz * l + dy) * l + dx)]
+    return out
 
 
 class MatchPlan:
@@ -107,11 +182,41 @@ class MatchPlan:
             self._cv - reach >= _INTERIOR_MARGIN
             and self._cv + reach <= self.volume_size - 1 - _INTERIOR_MARGIN
         )
+        # Per-sample band partition for the batched window path.  A sample
+        # at band radius ``r_i`` can be rotated anywhere on the sphere of
+        # radius ``r_i·scale`` but never beyond it, so samples whose sphere
+        # clears the cube boundary are *interior for every rotation* — the
+        # no-check stacked gather handles them; only the thin outer rim of
+        # the band (empty when the plan is all-interior) pays bounds checks.
+        r_per_sample = np.sqrt(
+            self._kxb.astype(float, copy=False) ** 2
+            + self._kyb.astype(float, copy=False) ** 2
+        )
+        reach_per_sample = r_per_sample * self._scale
+        interior_mask = (self._cv - reach_per_sample >= _INTERIOR_MARGIN) & (
+            self._cv + reach_per_sample <= self.volume_size - 1 - _INTERIOR_MARGIN
+        )
+        self._int_pos = np.flatnonzero(interior_mask)
+        self._edge_pos = np.flatnonzero(~interior_mask)
+        self._kx_int = self._kxb[self._int_pos]
+        self._ky_int = self._kyb[self._int_pos]
+        self._kx_edge = self._kxb[self._edge_pos]
+        self._ky_edge = self._kyb[self._edge_pos]
 
     @property
     def all_interior(self) -> bool:
         """True when every possible sample has a full in-bounds 8-corner cell."""
         return self._interior
+
+    @property
+    def n_interior_samples(self) -> int:
+        """Band samples that are interior for *every* rotation (no-check gather)."""
+        return int(self._int_pos.size)
+
+    @property
+    def n_edge_samples(self) -> int:
+        """Band samples that may leave the cube under some rotation."""
+        return int(self._edge_pos.size)
 
     # -- band gathers ------------------------------------------------------
     def gather_view(self, view_ft: Array) -> Array:
@@ -133,9 +238,14 @@ class MatchPlan:
         coords_zyx = coords_xyz[..., ::-1] + self._cv
         return coords_zyx, single
 
-    def _rotation_chunk(self) -> int:
-        """Rotations per gather chunk (cache sizing, not a result knob)."""
-        return max(1, _CHUNK_SAMPLES // max(1, self.n_samples))
+    def _rotation_chunk(self, target_samples: int = _CHUNK_SAMPLES) -> int:
+        """Rotations per gather chunk (cache sizing, not a result knob).
+
+        ``REPRO_GATHER_CHUNK`` (validated positive-integer env var)
+        overrides ``target_samples``, tuning the memory/speed tradeoff of
+        both the fused and batched gathers without code edits.
+        """
+        return max(1, _gather_chunk_target(target_samples) // max(1, self.n_samples))
 
     def _gather_chunk(self, vol: Array, rotations: Array) -> Array:
         coords, single = self._band_coords(rotations)
@@ -215,6 +325,116 @@ class MatchPlan:
         out = np.empty(rots.shape[0])
         for lo in range(0, rots.shape[0], step):
             cuts = self.cut_bands(vol, rots[lo : lo + step])
+            out[lo : lo + step] = self.dc.distance_band(
+                view_band, cuts, cut_modulation=cut_modulation
+            )
+        return out
+
+    # -- batched window engine ---------------------------------------------
+    def _gather_batched_chunk(self, vol: Array, flat: Array, rots: Array) -> Array:
+        """One rotation chunk through the split-band stacked gather.
+
+        The band is partitioned *at plan time* into always-interior and
+        possibly-edge samples (see ``__init__``); each subset's rotated
+        coordinates are built with the exact elementwise arithmetic of
+        :meth:`_band_coords` restricted to the subset, so every per-point
+        value — and hence the scattered result — is bit-identical to the
+        fused path.
+        """
+        u = rots[:, :, 0]  # (w, 3)
+        v = rots[:, :, 1]
+        out = np.empty((rots.shape[0], self.n_samples), dtype=vol.dtype)
+        if self._int_pos.size:
+            # Coordinate *columns* in array (z, y, x) order: component c of
+            # the fused path's ``(kx·u + ky·v)·scale`` then ``+ cv`` — the
+            # same elementwise operations in the same order per point, just
+            # never interleaved into a strided (w, n, 3) array.
+            kxi, kyi = self._kx_int, self._ky_int
+            cz = (kxi[None, :] * u[:, 2, None] + kyi[None, :] * v[:, 2, None]) * self._scale + self._cv
+            cy = (kxi[None, :] * u[:, 1, None] + kyi[None, :] * v[:, 1, None]) * self._scale + self._cv
+            cx = (kxi[None, :] * u[:, 0, None] + kyi[None, :] * v[:, 0, None]) * self._scale + self._cv
+            out[:, self._int_pos] = _gather_interior_stack(flat, vol.shape[0], cz, cy, cx)
+        if self._edge_pos.size:
+            coords_xyz = (
+                self._kx_edge[None, :, None] * u[:, None, :]
+                + self._ky_edge[None, :, None] * v[:, None, :]
+            ) * self._scale
+            coords_zyx = coords_xyz[..., ::-1] + self._cv
+            out[:, self._edge_pos] = _gather_trilinear(vol, coords_zyx)
+        return out
+
+    @array_contract(
+        volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+        rotations=spec(shape=[(3, 3), (None, 3, 3)], allow_none=False),
+    )
+    def cut_bands_batched(self, volume_ft: Array, rotations: Array) -> Array:
+        """Batched-path analog of :meth:`cut_bands` (bit-identical output).
+
+        Same shapes in and out; the difference is purely mechanical — the
+        plan-time band partition lets the bulk of each chunk skip bounds
+        checks entirely instead of re-deciding interior-ness per gather.
+        """
+        vol = np.asarray(volume_ft)
+        if vol.shape != (self.volume_size,) * 3:
+            raise ValueError(
+                f"volume_ft must be ({self.volume_size},)*3 for this plan, got {vol.shape}"
+            )
+        rots = np.asarray(rotations, dtype=float)
+        single = rots.ndim == 2
+        if single:
+            rots = rots[None]
+        if self.interpolation == "nearest":
+            out = self.cut_bands(vol, rots)
+            return out[0] if single else out
+        flat = vol.ravel()
+        step = self._rotation_chunk(_BATCHED_CHUNK_SAMPLES)
+        if rots.shape[0] <= step:
+            out = self._gather_batched_chunk(vol, flat, rots)
+        else:
+            out = np.empty((rots.shape[0], self.n_samples), dtype=vol.dtype)
+            for lo in range(0, rots.shape[0], step):
+                out[lo : lo + step] = self._gather_batched_chunk(
+                    vol, flat, rots[lo : lo + step]
+                )
+        return out[0] if single else out
+
+    @array_contract(
+        volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+        view_band=spec(shape=("n",), dtype="inexact", allow_none=False),
+        rotations=spec(shape=[(3, 3), (None, 3, 3)], allow_none=False),
+    )
+    def match_window(
+        self,
+        volume_ft: Array,
+        view_band: Array,
+        rotations: Array,
+        cut_modulation: Array | None = None,
+    ) -> Array:
+        """§3 distances for a whole candidate window in one batched call.
+
+        The batched engine entry point: all ``w`` candidate rotations go
+        through one chunked stacked trilinear gather (split-band, see
+        :meth:`cut_bands_batched`) and the band-vector distance reduction,
+        with no per-candidate Python work.  Distances are per-row and the
+        reduction is the same :meth:`DistanceComputer.distance_band` the
+        fused and reference paths use, so the output is bit-identical to
+        evaluating each candidate alone.
+        """
+        rots = np.asarray(rotations, dtype=float)
+        if rots.ndim == 2:
+            rots = rots[None]
+        vol = np.asarray(volume_ft)
+        if vol.shape != (self.volume_size,) * 3:
+            raise ValueError(
+                f"volume_ft must be ({self.volume_size},)*3 for this plan, got {vol.shape}"
+            )
+        if self.interpolation == "nearest":
+            return self.distances(vol, view_band, rots, cut_modulation=cut_modulation)
+        flat = vol.ravel()
+        step = self._rotation_chunk(_BATCHED_CHUNK_SAMPLES)
+        out = np.empty(rots.shape[0])
+        for lo in range(0, rots.shape[0], step):
+            cuts = self._gather_batched_chunk(vol, flat, rots[lo : lo + step])
             out[lo : lo + step] = self.dc.distance_band(
                 view_band, cuts, cut_modulation=cut_modulation
             )

@@ -17,11 +17,13 @@ import numpy as np
 from repro.align.distance import DistanceComputer
 from repro.align.fused import MatchPlan
 from repro.align.grid import OrientationGrid
+from repro.align.memo import MemoKey, OrientationMemo
 from repro.arraytypes import Array
 from repro.fourier.slicing import extract_slices
 from repro.geometry.euler import Orientation
+from repro.perf import PerfCounters
 
-__all__ = ["MatchResult", "match_view", "match_view_band"]
+__all__ = ["MatchResult", "match_view", "match_view_band", "match_view_window"]
 
 
 @dataclass(frozen=True)
@@ -116,6 +118,78 @@ def match_view_band(
     distances = plan.distances(
         volume_ft, view_band, grid.rotation_stack(), cut_modulation=cut_modulation
     )
+    flat = int(np.argmin(distances))
+    return MatchResult(
+        orientation=grid.orientation_at(flat),
+        distance=float(distances[flat]),
+        flat_index=flat,
+        on_edge=grid.on_edge(flat),
+        distances=distances,
+        n_matches=grid.size,
+    )
+
+
+def _grid_memo_keys(grid: OrientationGrid, center: tuple[float, float]) -> list[MemoKey]:
+    """Memo keys for every grid candidate in :meth:`rotation_stack` C-order."""
+    cx, cy = float(center[0]), float(center[1])
+    return [
+        (t, p, o, cx, cy)
+        for t in grid.thetas.tolist()
+        for p in grid.phis.tolist()
+        for o in grid.omegas.tolist()
+    ]
+
+
+def match_view_window(
+    view_band: Array,
+    volume_ft: Array,
+    grid: OrientationGrid,
+    plan: MatchPlan,
+    cut_modulation: Array | None = None,
+    memo: OrientationMemo | None = None,
+    memo_center: tuple[float, float] = (0.0, 0.0),
+    counters: PerfCounters | None = None,
+) -> MatchResult:
+    """Steps f–h with the batched window engine and the orientation memo.
+
+    The whole window goes through
+    :meth:`repro.align.fused.MatchPlan.match_window` — one chunked stacked
+    gather, no per-candidate Python — after the ``memo`` (if given) is
+    consulted: candidates already scored for this view at the same center
+    shift reuse their cached distance, and only the misses are gathered.
+
+    ``memo_center`` is the ``(cx, cy)`` center correction already baked
+    into ``view_band`` — it is part of the memo key because a different
+    correction phase-shifts the whole band, changing every distance.
+    Cached values are exact previous results and misses are scored by a
+    per-row kernel on a rotation subset, so the assembled distance array —
+    and therefore the argmin — is bit-identical to the memo-disabled call.
+    """
+    w = grid.size
+    if memo is None:
+        distances = np.asarray(
+            plan.match_window(
+                volume_ft, view_band, grid.rotation_stack(), cut_modulation=cut_modulation
+            )
+        )
+        n_gathered, n_hits = w, 0
+    else:
+        keys = _grid_memo_keys(grid, memo_center)
+        distances, hits = memo.lookup_block(keys)
+        miss_idx = np.flatnonzero(~hits)
+        if miss_idx.size:
+            miss_rots = grid.rotation_stack()[miss_idx]
+            miss_distances = np.asarray(
+                plan.match_window(
+                    volume_ft, view_band, miss_rots, cut_modulation=cut_modulation
+                )
+            )
+            distances[miss_idx] = miss_distances
+            memo.store_block([keys[i] for i in miss_idx.tolist()], miss_distances)
+        n_gathered = int(miss_idx.size)
+        n_hits = w - n_gathered
+    if counters is not None:
+        counters.count_window(w, n_gathered, n_hits)
     flat = int(np.argmin(distances))
     return MatchResult(
         orientation=grid.orientation_at(flat),

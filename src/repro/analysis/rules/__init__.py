@@ -9,6 +9,7 @@ both read, so DESIGN.md's rule table cannot drift from the code.
 from __future__ import annotations
 
 from repro.analysis.rules._base import Rule
+from repro.analysis.rules.batching import NoPerCandidateCutLoop
 from repro.analysis.rules.determinism import NoNondeterminism
 from repro.analysis.rules.dtypes import NoSilentUpcast
 from repro.analysis.rules.exports import ExportListSync
@@ -29,6 +30,7 @@ __all__ = [
     "MultiprocessingInParallelOnly",
     "NoBareExcept",
     "NoNondeterminism",
+    "NoPerCandidateCutLoop",
     "NoSilentUpcast",
     "TwoKernelsOneTruth",
 ]
@@ -46,6 +48,7 @@ def all_rules() -> list[Rule]:
         KernelBoundaryContract(),
         FutureAnnotations(),
         NoBareExcept(),
+        NoPerCandidateCutLoop(),
     ]
     rules.sort(key=lambda r: r.rule_id)
     return rules

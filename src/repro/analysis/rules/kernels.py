@@ -1,10 +1,10 @@
 """RL006/RL007 — the two-kernels-one-truth invariants.
 
 RL006: any function that accepts a ``kernel=`` parameter is a fork point
-between the fused and reference implementations.  Fork points may select
-and delegate, but they may not *compute*: every distance must bottom out
-in the single :meth:`DistanceComputer.distance_band` reduction (directly
-or through the matching API), the only kernel names are ``"fused"`` and
+between the kernel implementations.  Fork points may select and delegate,
+but they may not *compute*: every distance must bottom out in the single
+:meth:`DistanceComputer.distance_band` reduction (directly or through the
+matching API), the only kernel names are ``"fused"``, ``"batched"`` and
 ``"reference"``, and the choice must be validated or forwarded so a typo'd
 kernel name fails loudly instead of silently picking a default.
 
@@ -23,7 +23,7 @@ from repro.analysis.rules._base import Rule, attribute_chain, walk_functions
 
 __all__ = ["KernelBoundaryContract", "TwoKernelsOneTruth", "REQUIRED_CONTRACTS"]
 
-_KERNEL_NAMES = {"fused", "reference"}
+_KERNEL_NAMES = {"fused", "batched", "reference"}
 
 #: Calls that are known to bottom out in DistanceComputer.distance_band.
 _APPROVED_CALLS = {
@@ -33,6 +33,8 @@ _APPROVED_CALLS = {
     "distance_many_to_one",
     "match_view",
     "match_view_band",
+    "match_view_window",
+    "match_window",
     "refine_center",
     "refine_view_at_level",
     "sliding_window_search",
@@ -49,7 +51,14 @@ REQUIRED_CONTRACTS: dict[str, frozenset[str]] = {
     "repro/align/distance.py": frozenset(
         {"DistanceComputer.gather", "DistanceComputer.distance_band"}
     ),
-    "repro/align/fused.py": frozenset({"MatchPlan.cut_bands", "MatchPlan.distances"}),
+    "repro/align/fused.py": frozenset(
+        {
+            "MatchPlan.cut_bands",
+            "MatchPlan.distances",
+            "MatchPlan.cut_bands_batched",
+            "MatchPlan.match_window",
+        }
+    ),
     "repro/fourier/slicing.py": frozenset({"extract_slice", "extract_slices"}),
     "repro/parallel/viewsched.py": frozenset({"_attach_volume"}),
 }
@@ -90,11 +99,11 @@ class TwoKernelsOneTruth(Rule):
     rule_id = "RL006"
     name = "two-kernels-one-truth"
     rationale = (
-        "Functions taking kernel= are fused/reference fork points: they must "
-        "compare only against 'fused'/'reference', validate or forward the "
-        "choice, delegate all distance math to the distance_band family, and "
-        "never open-code sqrt/norm reductions that could diverge between the "
-        "two kernels."
+        "Functions taking kernel= are fork points between the kernels: they "
+        "must compare only against 'fused'/'batched'/'reference', validate or "
+        "forward the choice, delegate all distance math to the distance_band "
+        "family, and never open-code sqrt/norm reductions that could diverge "
+        "between the kernels."
     )
 
     def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
@@ -175,7 +184,7 @@ class TwoKernelsOneTruth(Rule):
                 yield self.finding(mod,
                     node,
                     f"{qualname}: kernel compared against unknown name {lit!r} "
-                    "(only 'fused' and 'reference' exist)",
+                    "(only 'fused', 'batched' and 'reference' exist)",
                 )
 
 

@@ -57,6 +57,13 @@ class RefinementCheckpoint:
     stats:
         Accumulated counters for the completed levels, so a resumed run
         reports the same totals as an uninterrupted one.
+    memo:
+        Serialized orientation-memo state (view index -> key/value float
+        arrays, see :meth:`repro.align.memo.MemoStore.export_state`);
+        ``None`` when the run does not memoize.  Stored losslessly
+        (``float.hex`` round-trip), so a resumed run's memo hits — and
+        therefore its skipped gathers — pick up exactly where the killed
+        run stopped, with bit-identical results either way.
     """
 
     schedule_fingerprint: str
@@ -64,10 +71,34 @@ class RefinementCheckpoint:
     orientations: list[Orientation]
     distances: Array
     stats: RefinementStats
+    memo: dict[int, tuple[Array, Array]] | None = None
 
     @property
     def n_views(self) -> int:
         return len(self.orientations)
+
+
+def _memo_to_json(memo: dict[int, tuple[Array, Array]]) -> str:
+    """Lossless JSON for a memo export: every float as ``float.hex()``."""
+    payload = {
+        str(idx): {
+            "k": [[float(x).hex() for x in row] for row in np.asarray(keys).tolist()],
+            "v": [float(x).hex() for x in np.asarray(values).tolist()],
+        }
+        for idx, (keys, values) in memo.items()
+    }
+    return json.dumps(payload, sort_keys=True)
+
+
+def _memo_from_json(obj: dict) -> dict[int, tuple[Array, Array]]:
+    out: dict[int, tuple[Array, Array]] = {}
+    for idx, entry in obj.items():
+        keys = np.array(
+            [[float.fromhex(x) for x in row] for row in entry["k"]], dtype=np.float64
+        ).reshape(-1, 5)
+        values = np.array([float.fromhex(x) for x in entry["v"]], dtype=np.float64)
+        out[int(idx)] = (keys, values)
+    return out
 
 
 def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
@@ -85,6 +116,8 @@ def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
         "stats": asdict(checkpoint.stats),
     }
     header = f"{CHECKPOINT_FORMAT}\nmeta {json.dumps(meta, sort_keys=True)}"
+    if checkpoint.memo is not None:
+        header += f"\nmemo {_memo_to_json(checkpoint.memo)}"
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
     os.close(fd)
@@ -105,26 +138,36 @@ def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
         raise
 
 
-def _parse_meta(path: str) -> dict:
-    """Extract the ``# meta {...}`` JSON line from a checkpoint file."""
+def _parse_header(path: str) -> dict[str, dict]:
+    """Extract the ``# <tag> {...}`` JSON header lines from a checkpoint.
+
+    Returns a mapping of tag (``"meta"``, ``"memo"``) to the parsed JSON
+    body; scanning stops at the first non-comment line.
+    """
+    found: dict[str, dict] = {}
     with open(path) as fh:
         for line in fh:
             text = line.strip()
             if not text.startswith("#"):
                 break
             body = text.lstrip("#").strip()
-            if body.startswith("meta "):
-                return dict(json.loads(body[len("meta "):]))
-    raise ValueError(f"{path}: not a checkpoint file (no meta header)")
+            for tag in ("meta", "memo"):
+                if body.startswith(tag + " "):
+                    found[tag] = dict(json.loads(body[len(tag) + 1 :]))
+    if "meta" not in found:
+        raise ValueError(f"{path}: not a checkpoint file (no meta header)")
+    return found
 
 
 def load_checkpoint(path: str) -> RefinementCheckpoint:
     """Read a checkpoint written by :func:`save_checkpoint`.
 
     Raises ``ValueError`` on a malformed or non-checkpoint file (a plain
-    orientation file has no meta header).
+    orientation file has no meta header).  Checkpoints written before the
+    memo header existed load with ``memo=None``.
     """
-    meta = _parse_meta(path)
+    header = _parse_header(path)
+    meta = header["meta"]
     if meta.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"{path}: unsupported checkpoint format {meta.get('format')!r}")
     orientations, scores = read_orientation_file(path)
@@ -133,12 +176,14 @@ def load_checkpoint(path: str) -> RefinementCheckpoint:
             f"{path}: meta claims {meta['n_views']} views, file holds {len(orientations)}"
         )
     stats = RefinementStats(**meta["stats"])
+    memo = _memo_from_json(header["memo"]) if "memo" in header else None
     return RefinementCheckpoint(
         schedule_fingerprint=str(meta["schedule_fingerprint"]),
         levels_done=int(meta["levels_done"]),
         orientations=orientations,
         distances=np.asarray(scores, dtype=float),
         stats=stats,
+        memo=memo,
     )
 
 

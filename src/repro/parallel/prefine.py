@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.align.memo import MemoStore
 from repro.ctf.correct import phase_flip
 from repro.ctf.model import CTFParams
 from repro.density.map import DensityMap
@@ -38,6 +39,7 @@ from repro.parallel.master_io import (
     distribute_volume_slabs,
 )
 from repro.parallel.pfft import fft_flops_1d, parallel_fft3d
+from repro.perf import PerfCounters
 from repro.refine.multires import MultiResolutionSchedule, default_schedule
 from repro.refine.refiner import (
     STEP_3D_DFT,
@@ -72,6 +74,9 @@ class ParallelRefinementReport:
     per_level_matches: list[int] = field(default_factory=list)
     #: message-level faults observed on the simulated fabric (chaos runs)
     fault_events: list[FaultEvent] = field(default_factory=list)
+    #: batched-engine counters merged over all ranks (``None`` for the
+    #: non-batched kernels); level wall times are real host seconds
+    perf: PerfCounters | None = None
 
     def refinement_fraction(self) -> float:
         """Fraction of simulated time spent matching (the paper's 99%)."""
@@ -92,6 +97,7 @@ def parallel_refine(
     refine_centers: bool = True,
     orientation_file: str | None = None,
     fault_plan: FaultPlan | None = None,
+    kernel: str = "batched",
 ) -> ParallelRefinementReport:
     """Run one full refinement iteration on the simulated cluster.
 
@@ -100,7 +106,13 @@ def parallel_refine(
     come back in :attr:`ParallelRefinementReport.fault_events`.  Injected
     fabric faults change simulated *time* only — refined orientations stay
     bit-identical to the fault-free run.
+
+    ``kernel`` selects the matching implementation per rank (all are
+    bit-identical); ``"batched"`` (default) additionally memoizes repeated
+    candidates per view and fills :attr:`ParallelRefinementReport.perf`.
     """
+    if kernel not in ("fused", "batched", "reference"):
+        raise ValueError(f"unknown kernel {kernel!r}")
     sched = schedule or default_schedule()
     size = density.size
     rmax = float(size // 2 if r_max is None else r_max)
@@ -160,8 +172,13 @@ def parallel_refine(
         dists = np.full(len(orients), np.inf)
         level_matches: list[int] = []
         total_matches = 0
+        batched = kernel == "batched"
+        memo_store = MemoStore() if batched else None
+        counters = PerfCounters() if batched else None
         for level in sched:
             n_matches_level = 0
+            candidates_before = 0 if counters is None else counters.candidates
+            level_timer = Timer().start()
             # Same per-view kernel as the serial refiner and the process
             # pool — one shared loop, three drivers, identical numbers.
             for res in refine_level_serial(
@@ -172,10 +189,20 @@ def parallel_refine(
                 level,
                 distance_computer=dc,
                 refine_centers=refine_centers,
+                kernel=kernel,
+                memo_store=memo_store,
+                view_indices=[int(i) for i in local_idx],
+                counters=counters,
             ):
                 orients[res.index] = res.orientation
                 dists[res.index] = res.distance
                 n_matches_level += res.n_matches + res.n_center_evals
+            if counters is not None:
+                counters.record_level(
+                    f"{level.angular_step_deg:g}deg",
+                    level_timer.stop(),
+                    counters.candidates - candidates_before,
+                )
             comm.account_flops(
                 n_matches_level * FLOPS_PER_MATCH_SAMPLE * dc.n_samples, STEP_REFINEMENT
             )
@@ -197,7 +224,7 @@ def parallel_refine(
             comm.account_io(m * 64, STEP_REFINEMENT)
             result = (all_orients, all_dists)
         comm.barrier()
-        return result, comm.timer, total_matches, level_matches
+        return result, comm.timer, total_matches, level_matches, counters
 
     fault_log = FaultLog()
     results, clock = run_spmd(n_ranks, worker, machine, fault_plan=fault_plan, fault_log=fault_log)
@@ -208,12 +235,18 @@ def parallel_refine(
     orientations, distances = master_result
     # simulated per-step time = max over ranks (parallel sections overlap)
     step_seconds: dict[str, float] = {}
-    for _, timer, _, _ in results:
+    for _, timer, _, _, _ in results:
         for name, seconds in timer.totals.items():
             step_seconds[name] = max(step_seconds.get(name, 0.0), seconds)
     per_rank_matches = [r[2] for r in results]
     n_levels = len(results[0][3])
     per_level = [sum(r[3][i] for r in results) for i in range(n_levels)]
+    merged_perf: PerfCounters | None = None
+    if kernel == "batched":
+        merged_perf = PerfCounters()
+        for r in results:
+            if r[4] is not None:
+                merged_perf.merge(r[4])
     if orientation_file is not None:
         from repro.refine.orientfile import write_orientation_file
 
@@ -228,4 +261,5 @@ def parallel_refine(
         per_rank_matches=per_rank_matches,
         per_level_matches=per_level,
         fault_events=list(fault_log.events),
+        perf=merged_perf,
     )

@@ -49,11 +49,13 @@ from typing import Any, Sequence
 import numpy as np
 
 from repro.align.distance import DistanceComputer
+from repro.align.memo import MemoStore
 from repro.analysis.contracts import array_contract, spec
 from repro.arraytypes import Array
 from repro.faults.plan import FaultInjected, FaultLog, FaultPlan, chunk_site, level_site
 from repro.faults.retry import ChunkIntegrityError, RetryPolicy, validate_chunk_results
 from repro.geometry.euler import Orientation
+from repro.perf import PerfCounters
 from repro.refine.multires import RefinementLevel
 from repro.refine.single import refine_view_at_level
 
@@ -112,14 +114,27 @@ def refine_level_serial(
     max_slides: int = 8,
     refine_centers: bool = True,
     inner_iterations: int = 2,
+    memo_store: MemoStore | None = None,
+    view_indices: Sequence[int] | None = None,
+    counters: PerfCounters | None = None,
 ) -> list[ViewLevelResult]:
     """Steps f–l for a set of views at one level, serially in this process.
 
     This is the single per-view loop shared by the serial refiner, the
     simulated cluster and the process pool workers.
+
+    ``memo_store`` / ``counters`` are the batched kernel's orientation memo
+    and perf counters (ignored by the other kernels).  Memos are keyed by
+    *global* view index; ``view_indices`` maps the local position ``q`` to
+    that global index when this call covers a chunk of a larger view set
+    (defaults to the identity mapping).
     """
     out: list[ViewLevelResult] = []
     for q in range(len(orientations)):
+        memo = None
+        if memo_store is not None:
+            global_q = q if view_indices is None else int(view_indices[q])
+            memo = memo_store.for_view(global_q)
         res = refine_view_at_level(
             view_fts[q],
             volume_ft,
@@ -135,6 +150,8 @@ def refine_level_serial(
             inner_iterations=inner_iterations,
             cut_modulation=None if modulations is None else modulations[q],
             kernel=kernel,
+            memo=memo,
+            counters=counters,
         )
         out.append(
             ViewLevelResult(
@@ -234,13 +251,25 @@ def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> Array:
     return cached[1]
 
 
-def _worker_refine_chunk(payload: dict[str, Any]) -> list[ViewLevelResult]:
+#: What a worker ships back per chunk: the per-view results, the chunk's
+#: orientation-memo state (view index -> key/value arrays; ``None`` when
+#: memoization is off) and the chunk's perf counters (``None`` when the
+#: caller did not ask for them).
+ChunkReturn = tuple[list[ViewLevelResult], dict[int, tuple[Array, Array]] | None, PerfCounters | None]
+
+
+def _worker_refine_chunk(payload: dict[str, Any]) -> ChunkReturn:
     """Run one chunk of views in a worker process (module-level: picklable).
 
     Consults the payload's :class:`FaultPlan` (chaos harness only; the
     plan is empty in production) at this chunk's site: an injected crash
     is a hard ``os._exit`` — exactly what a segfaulted or OOM-killed
     worker looks like to the parent pool.
+
+    When the payload carries ``memo_states`` the worker seeds a local
+    :class:`MemoStore` from them (warm entries from earlier levels /
+    chunks of the same views), and its final state rides back in the
+    return value so the scheduler can absorb it into the master store.
     """
     fault_plan: FaultPlan | None = payload.get("fault_plan")
     site: str = payload.get("site", "")
@@ -256,6 +285,13 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> list[ViewLevelResult]:
     if spec_id not in _WORKER_SPECS:
         _WORKER_SPECS[spec_id] = payload["distance_computer"]
     dc = _WORKER_SPECS[spec_id]
+    indices = payload["indices"]
+    memo_states = payload.get("memo_states")
+    memo_store: MemoStore | None = None
+    if memo_states is not None:
+        memo_store = MemoStore()
+        memo_store.import_state(memo_states)
+    counters = PerfCounters() if payload.get("collect_perf") else None
     results = refine_level_serial(
         volume,
         payload["view_fts"],
@@ -268,15 +304,17 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> list[ViewLevelResult]:
         max_slides=payload["max_slides"],
         refine_centers=payload["refine_centers"],
         inner_iterations=payload["inner_iterations"],
+        memo_store=memo_store,
+        view_indices=indices,
+        counters=counters,
     )
-    indices = payload["indices"]
     out = [replace(r, index=int(indices[r.index])) for r in results]
     if fault_plan is not None:
         if out and fault_plan.should("poison", site, attempt):
             out[0] = replace(out[0], distance=float("nan"))
         if fault_plan.should("crash-after", site, attempt):
             os._exit(INJECTED_CRASH_EXIT)
-    return out
+    return out, None if memo_store is None else memo_store.export_state(), counters
 
 
 # -- scheduler --------------------------------------------------------------
@@ -421,6 +459,8 @@ class ViewScheduler:
         max_slides: int = 8,
         refine_centers: bool = True,
         inner_iterations: int = 2,
+        memo_store: MemoStore | None = None,
+        counters: PerfCounters | None = None,
     ) -> list[ViewLevelResult]:
         """Steps f–l for every view at one level; results ordered by view index.
 
@@ -428,6 +468,15 @@ class ViewScheduler:
         of worker count, chunking, or how many injected/real faults were
         recovered along the way, since views are independent and every
         recovery path re-executes the identical kernel.
+
+        ``memo_store`` (batched kernel) is consulted and updated: pooled
+        chunks carry their views' memo entries out in the payload and ship
+        the warmed state back for the scheduler to absorb, so re-centers
+        and later levels hit the cache whether views run in-process or in
+        workers — absorbing a memo can never change a value (exact keys,
+        immutable entries), only save gathers.  ``counters`` accumulates
+        the per-window perf counters from every path, including worker
+        processes.
         """
         seq = self._level_seq
         self._level_seq += 1
@@ -446,11 +495,26 @@ class ViewScheduler:
         )
         if self.n_workers == 1 or m < 2:
             return refine_level_serial(
-                volume_ft, view_fts, orientations, modulations, level, **serial_kwargs
+                volume_ft,
+                view_fts,
+                orientations,
+                modulations,
+                level,
+                memo_store=memo_store,
+                counters=counters,
+                **serial_kwargs,
             )
         try:
             return self._run_level_pooled(
-                seq, volume_ft, view_fts, orientations, modulations, level, serial_kwargs
+                seq,
+                volume_ft,
+                view_fts,
+                orientations,
+                modulations,
+                level,
+                serial_kwargs,
+                memo_store=memo_store,
+                counters=counters,
             )
         except BaseException:
             # unrecoverable (attempt budgets cannot save us from e.g. a
@@ -468,6 +532,8 @@ class ViewScheduler:
         modulations: Sequence[Array | None] | None,
         level: RefinementLevel,
         serial_kwargs: dict[str, Any],
+        memo_store: MemoStore | None = None,
+        counters: PerfCounters | None = None,
     ) -> list[ViewLevelResult]:
         """The pool fan-out with the retry/re-queue/degrade recovery loop."""
         policy = self.retry_policy
@@ -494,10 +560,23 @@ class ViewScheduler:
                 "refine_centers": serial_kwargs["refine_centers"],
                 "inner_iterations": serial_kwargs["inner_iterations"],
                 "indices": chunk,
+                "memo_states": None
+                if memo_store is None
+                else memo_store.subset_state([int(i) for i in chunk]),
+                "collect_perf": counters is not None,
                 "fault_plan": self.fault_plan if self.fault_plan.specs else None,
                 "site": chunk_site(seq, cid),
                 "attempt": attempt,
             }
+
+        def absorb_extras(
+            memo_state: dict[int, tuple[Array, Array]] | None,
+            perf: PerfCounters | None,
+        ) -> None:
+            if memo_store is not None and memo_state is not None:
+                memo_store.import_state(memo_state)
+            if counters is not None and perf is not None:
+                counters.merge(perf)
 
         def run_chunk_serially(cid: int) -> list[ViewLevelResult]:
             chunk = chunks[cid]
@@ -507,6 +586,9 @@ class ViewScheduler:
                 [orientations[i] for i in chunk],
                 None if modulations is None else [modulations[i] for i in chunk],
                 level,
+                memo_store=memo_store,
+                view_indices=[int(i) for i in chunk],
+                counters=counters,
                 **serial_kwargs,
             )
             return [replace(r, index=int(chunk[r.index])) for r in sub]
@@ -523,7 +605,7 @@ class ViewScheduler:
             if not pending:
                 break
             executor = self._ensure_executor()
-            submitted: list[tuple[int, Future[list[ViewLevelResult]]]] = [
+            submitted: list[tuple[int, Future[ChunkReturn]]] = [
                 (cid, executor.submit(_worker_refine_chunk, payload_for(cid, attempts[cid])))
                 for cid in pending
             ]
@@ -533,9 +615,12 @@ class ViewScheduler:
             for cid, future in submitted:
                 site = chunk_site(seq, cid)
                 try:
-                    results = future.result(timeout=policy.chunk_timeout_s)
+                    results, memo_state, perf = future.result(timeout=policy.chunk_timeout_s)
                     validate_chunk_results(chunks[cid], results)
                     done[cid] = results
+                    # only a validated chunk's memo/perf enters the master
+                    # state — a poisoned result must not leave side effects
+                    absorb_extras(memo_state, perf)
                 except ChunkIntegrityError as exc:
                     self.fault_log.record(
                         "poison", site, attempts[cid], "poison-detected", str(exc)

@@ -1,0 +1,109 @@
+"""Lightweight perf counters for the batched matching engine.
+
+The batched window path (:meth:`repro.align.fused.MatchPlan.match_window`)
+and the orientation memo (:mod:`repro.align.memo`) trade memory for
+redundant gathers; whether that trade pays off on a given run is an
+empirical question.  :class:`PerfCounters` answers it with a handful of
+integer counters incremented on the hot path (a few ``+=`` per *window*,
+never per candidate) plus per-level wall times recorded by the drivers:
+
+* ``candidates`` — matching operations requested through the batched path
+  (the paper's accounting unit);
+* ``gathers`` — candidates that actually hit the stacked trilinear gather
+  (i.e. memo misses plus memo-disabled work);
+* ``memo_lookups`` / ``memo_hits`` — memo traffic, from which the hit rate
+  ``memo_hits / memo_lookups`` follows;
+* ``window_calls`` — batched window invocations (one per window scan).
+
+Counters are plain picklable data: worker processes fill their own
+instance and the scheduler :meth:`merges <PerfCounters.merge>` them, so
+the numbers survive the process-pool fan-out.  They surface in
+:class:`repro.refine.refiner.RefinementResult`,
+:class:`repro.parallel.prefine.ParallelRefinementReport`, the CLI summary
+line and ``BENCH_kernels.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["PerfCounters"]
+
+
+@dataclass
+class PerfCounters:
+    """Operation counters + per-level wall time for one refinement run.
+
+    All fields are cheap to update and to merge; ``level_seconds`` /
+    ``level_candidates`` are keyed by a level label such as ``"1.0deg"``
+    (duplicate labels accumulate).
+    """
+
+    window_calls: int = 0
+    candidates: int = 0
+    gathers: int = 0
+    memo_lookups: int = 0
+    memo_hits: int = 0
+    level_seconds: dict[str, float] = field(default_factory=dict)
+    level_candidates: dict[str, int] = field(default_factory=dict)
+
+    # -- recording ----------------------------------------------------------
+    def count_window(self, n_candidates: int, n_gathered: int, n_hits: int = 0) -> None:
+        """Record one batched window scan.
+
+        ``n_candidates`` is the full window size; ``n_gathered`` the subset
+        that went through the stacked gather; ``n_hits`` the memo hits.
+        When the memo was consulted at all (``n_hits + n_gathered`` covers
+        the window), every candidate counts as a lookup.
+        """
+        self.window_calls += 1
+        self.candidates += n_candidates
+        self.gathers += n_gathered
+        if n_hits or n_gathered < n_candidates:
+            self.memo_lookups += n_candidates
+            self.memo_hits += n_hits
+
+    def record_level(self, label: str, seconds: float, candidates: int) -> None:
+        """Accumulate one level's wall time and matching-operation count."""
+        self.level_seconds[label] = self.level_seconds.get(label, 0.0) + float(seconds)
+        self.level_candidates[label] = self.level_candidates.get(label, 0) + int(candidates)
+
+    # -- derived rates ------------------------------------------------------
+    def memo_hit_rate(self) -> float:
+        """Fraction of memo lookups answered from the cache (0.0 when unused)."""
+        if self.memo_lookups == 0:
+            return 0.0
+        return self.memo_hits / self.memo_lookups
+
+    def total_seconds(self) -> float:
+        return sum(self.level_seconds.values())
+
+    def candidates_per_second(self) -> float:
+        """Matching operations per wall-clock second over the timed levels."""
+        seconds = self.total_seconds()
+        if seconds <= 0.0:
+            return 0.0
+        return sum(self.level_candidates.values()) / seconds
+
+    # -- aggregation --------------------------------------------------------
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another counter set (e.g. a worker's) into this one."""
+        self.window_calls += other.window_calls
+        self.candidates += other.candidates
+        self.gathers += other.gathers
+        self.memo_lookups += other.memo_lookups
+        self.memo_hits += other.memo_hits
+        for label, seconds in other.level_seconds.items():
+            self.level_seconds[label] = self.level_seconds.get(label, 0.0) + seconds
+        for label, count in other.level_candidates.items():
+            self.level_candidates[label] = self.level_candidates.get(label, 0) + count
+
+    def summary(self) -> str:
+        """One human line for the CLI: counts, hit rate, throughput."""
+        parts = [f"{self.candidates:,} candidates", f"{self.gathers:,} gathered"]
+        if self.memo_lookups:
+            parts.append(f"memo hit-rate {self.memo_hit_rate():.1%}")
+        rate = self.candidates_per_second()
+        if rate > 0:
+            parts.append(f"{rate:,.0f} cand/s")
+        return "; ".join(parts)

@@ -58,8 +58,13 @@ def build_parser() -> argparse.ArgumentParser:
     ref.add_argument("--no-centers", action="store_true")
     ref.add_argument("--ranks", type=int, default=0, help=">0: run on the simulated cluster")
     ref.add_argument(
-        "--kernel", choices=("fused", "reference"), default="fused",
-        help="matching kernel: fused in-band (default) or the reference slow path",
+        "--kernel", choices=("batched", "fused", "reference"), default="batched",
+        help="matching kernel: batched whole-window with memo (default), fused "
+        "in-band per candidate, or the reference slow path (all bit-identical)",
+    )
+    ref.add_argument(
+        "--no-memo", action="store_true",
+        help="disable the orientation memo cache (batched kernel only)",
     )
     ref.add_argument(
         "--workers", type=int, default=1,
@@ -186,15 +191,18 @@ def _cmd_refine(args: argparse.Namespace) -> int:
         report = parallel_refine(
             views, density, n_ranks=args.ranks, schedule=schedule, r_max=args.r_max,
             refine_centers=not args.no_centers, orientation_file=args.out,
+            kernel=args.kernel,
         )
         print(
             f"refined {len(init)} views on {args.ranks} simulated ranks; "
             f"virtual time {report.simulated_total_seconds:.2f} s; wrote {args.out}"
         )
+        if report.perf is not None:
+            print(f"perf: {report.perf.summary()}")
         return 0
     refiner = OrientationRefiner(
         density, r_max=args.r_max, max_slides=args.max_slides,
-        kernel=args.kernel, n_workers=args.workers,
+        kernel=args.kernel, memo=not args.no_memo, n_workers=args.workers,
     )
     result = refiner.refine(
         stack, initial_orientations=init, schedule=schedule,
@@ -205,6 +213,8 @@ def _cmd_refine(args: argparse.Namespace) -> int:
     print(
         f"refined {len(init)} views; {result.stats.total_matches:,} matchings; wrote {args.out}"
     )
+    if result.perf is not None:
+        print(f"perf: {result.perf.summary()}")
     return 0
 
 

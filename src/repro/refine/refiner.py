@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.align.distance import DistanceComputer, radius_weights
+from repro.align.memo import MemoStore
 from repro.arraytypes import Array
 from repro.ctf.correct import phase_flip
 from repro.ctf.model import CTFParams
@@ -27,9 +28,10 @@ from repro.density.map import DensityMap
 from repro.fourier.transforms import centered_fft2
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
+from repro.perf import PerfCounters
 from repro.refine.multires import MultiResolutionSchedule, default_schedule
 from repro.refine.stats import RefinementStats
-from repro.utils import StepTimer
+from repro.utils import StepTimer, Timer
 
 __all__ = ["OrientationRefiner", "RefinementResult"]
 
@@ -57,6 +59,9 @@ class RefinementResult:
     per_level_orientations:
         Snapshot of the orientations after each level (for convergence
         studies).
+    perf:
+        Batched-engine perf counters (per-level wall time, gathers vs.
+        memo hits, candidates/second); ``None`` for the other kernels.
     """
 
     orientations: list[Orientation]
@@ -64,6 +69,7 @@ class RefinementResult:
     stats: RefinementStats
     timer: StepTimer
     per_level_orientations: list[list[Orientation]] = field(default_factory=list)
+    perf: PerfCounters | None = None
 
 
 class OrientationRefiner:
@@ -88,10 +94,17 @@ class OrientationRefiner:
         trilinear slice error well below the signal differences the search
         must resolve; 1 reproduces the raw-grid behaviour for ablations.
     kernel:
-        ``"fused"`` (default) matches on in-band samples only (the fused
-        slice/distance kernel, :mod:`repro.align.fused`); ``"reference"``
-        is the original slice-then-distance path kept for verification.
-        Both produce numerically identical results.
+        ``"batched"`` (default) evaluates whole candidate windows through
+        one stacked in-band kernel with per-view orientation memoization;
+        ``"fused"`` is the per-window in-band kernel without batching or
+        memo (:mod:`repro.align.fused`); ``"reference"`` is the original
+        slice-then-distance path kept for verification.  All three
+        produce numerically identical results.
+    memo:
+        Enable the orientation memo cache (batched kernel only): window
+        re-centers and level handoffs skip re-scoring candidates already
+        seen for a view at the same center shift.  Memoized values are
+        exact previous results, so this cannot change any output.
     n_workers:
         Process count for the view fan-out (``1`` = serial, the default).
         Workers share one D̂ replica via ``multiprocessing.shared_memory``
@@ -108,7 +121,8 @@ class OrientationRefiner:
         max_slides: int = 8,
         pad_factor: int = 2,
         normalized_distance: bool = False,
-        kernel: str = "fused",
+        kernel: str = "batched",
+        memo: bool = True,
         n_workers: int = 1,
     ) -> None:
         self.density = density
@@ -122,9 +136,10 @@ class OrientationRefiner:
         if ctf_correction not in ("phase_flip", "none"):
             raise ValueError(f"unknown ctf_correction {ctf_correction!r}")
         self.ctf_correction = ctf_correction
-        if kernel not in ("fused", "reference"):
+        if kernel not in ("fused", "batched", "reference"):
             raise ValueError(f"unknown kernel {kernel!r}")
         self.kernel = kernel
+        self.memo = bool(memo)
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = int(n_workers)
@@ -242,6 +257,9 @@ class OrientationRefiner:
         stats = RefinementStats(n_views=images.shape[0])
         orientations = list(init)
         distances = np.full(images.shape[0], np.inf)
+        batched = self.kernel == "batched"
+        memo_store = MemoStore() if (batched and self.memo) else None
+        counters = PerfCounters() if batched else None
         start_level = 0
         fingerprint = ""
         if checkpoint_path is not None:
@@ -261,6 +279,10 @@ class OrientationRefiner:
                     distances = np.asarray(found.distances, dtype=float).copy()
                     stats = found.stats
                     start_level = found.levels_done
+                    if memo_store is not None and found.memo is not None:
+                        # warm memo from the killed run: resumed levels
+                        # skip the gathers the dead run already paid for
+                        memo_store.import_state(found.memo)
         if start_level >= len(sched):
             # everything already done: no need to rebuild D̂ or transforms
             return RefinementResult(
@@ -269,6 +291,7 @@ class OrientationRefiner:
                 stats=stats,
                 timer=StepTimer(),
                 per_level_orientations=[],
+                perf=counters,
             )
 
         timer = StepTimer()
@@ -290,6 +313,8 @@ class OrientationRefiner:
                 if li < start_level:
                     continue
                 n_matches = n_center = n_wslides = n_cslides = 0
+                candidates_before = 0 if counters is None else counters.candidates
+                level_timer = Timer().start()
                 with timer.step(STEP_REFINEMENT):
                     results = sched_obj.run_level(
                         volume_ft,
@@ -302,6 +327,8 @@ class OrientationRefiner:
                         interpolation=self.interpolation,
                         max_slides=self.max_slides,
                         refine_centers=refine_centers,
+                        memo_store=memo_store,
+                        counters=counters,
                     )
                     for res in results:
                         orientations[res.index] = res.orientation
@@ -310,6 +337,12 @@ class OrientationRefiner:
                         n_center += res.n_center_evals
                         n_wslides += int(res.slid_window)
                         n_cslides += int(res.slid_center)
+                if counters is not None:
+                    counters.record_level(
+                        f"{level.angular_step_deg:g}deg",
+                        level_timer.stop(),
+                        counters.candidates - candidates_before,
+                    )
                 stats.record_level(
                     level.angular_step_deg, n_matches, n_center, n_wslides, n_cslides
                 )
@@ -324,6 +357,7 @@ class OrientationRefiner:
                             orientations=list(orientations),
                             distances=distances.copy(),
                             stats=stats,
+                            memo=None if memo_store is None else memo_store.export_state(),
                         ),
                     )
         finally:
@@ -335,4 +369,5 @@ class OrientationRefiner:
             stats=stats,
             timer=timer,
             per_level_orientations=snapshots,
+            perf=counters,
         )

@@ -21,10 +21,12 @@ import numpy as np
 
 from repro.align.distance import DistanceComputer
 from repro.align.fused import get_match_plan
+from repro.align.memo import OrientationMemo
 from repro.arraytypes import Array
 from repro.fourier.slicing import extract_slice
 from repro.geometry.euler import Orientation
 from repro.imaging.center import phase_shift_ft
+from repro.perf import PerfCounters
 from repro.refine.center_refine import refine_center
 from repro.refine.window import sliding_window_search
 
@@ -64,6 +66,8 @@ def refine_view_at_level(
     inner_iterations: int = 2,
     cut_modulation: Array | None = None,
     kernel: str = "fused",
+    memo: OrientationMemo | None = None,
+    counters: PerfCounters | None = None,
 ) -> ViewRefinementResult:
     """Steps f–l for one view at one (r_angular, δ_center) level.
 
@@ -81,13 +85,16 @@ def refine_view_at_level(
     once neither estimate changes.
 
     ``kernel`` selects the matching implementation: ``"fused"`` (default,
-    in-band only) or ``"reference"`` (full cut stacks, identical numbers).
+    in-band only), ``"batched"`` (in-band, whole-window engine with the
+    optional per-view orientation ``memo`` and ``counters``) or
+    ``"reference"`` (full cut stacks).  All three produce identical
+    numbers; ``memo`` / ``counters`` are ignored outside ``"batched"``.
     """
     if inner_iterations < 1:
         raise ValueError("inner_iterations must be >= 1")
-    if kernel not in ("fused", "reference"):
+    if kernel not in ("fused", "batched", "reference"):
         raise ValueError(f"unknown kernel {kernel!r}")
-    fused = kernel == "fused"
+    fused = kernel in ("fused", "batched")
     if fused:
         dc = distance_computer or DistanceComputer(view_ft.shape[0])
         plan = get_match_plan(dc, volume_ft.shape[0], interpolation)
@@ -159,9 +166,12 @@ def refine_view_at_level(
                 half_steps=half_steps,
                 max_slides=max_slides,
                 cut_modulation=cut_modulation,
-                kernel="fused",
+                kernel=kernel,
                 plan=plan,
                 view_band=corrected_band,
+                memo=memo,
+                memo_center=(current.cx, current.cy),
+                counters=counters,
             )
         else:
             corrected = view_ft

@@ -17,9 +17,11 @@ import numpy as np
 from repro.align.distance import DistanceComputer
 from repro.align.fused import MatchPlan, get_match_plan
 from repro.align.grid import orientation_window
-from repro.align.matcher import MatchResult, match_view, match_view_band
+from repro.align.matcher import MatchResult, match_view, match_view_band, match_view_window
+from repro.align.memo import OrientationMemo
 from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
+from repro.perf import PerfCounters
 
 __all__ = ["SlidingWindowResult", "sliding_window_search"]
 
@@ -72,6 +74,9 @@ def sliding_window_search(
     kernel: str = "fused",
     plan: MatchPlan | None = None,
     view_band: Array | None = None,
+    memo: OrientationMemo | None = None,
+    memo_center: tuple[float, float] = (0.0, 0.0),
+    counters: PerfCounters | None = None,
 ) -> SlidingWindowResult:
     """Steps f–i for one view at one angular resolution.
 
@@ -93,17 +98,25 @@ def sliding_window_search(
         per level; noisy data could otherwise walk indefinitely).
     kernel:
         ``"fused"`` (default) matches on in-band samples only via a
-        :class:`MatchPlan`; ``"reference"`` extracts full cut stacks.  Both
+        :class:`MatchPlan`; ``"batched"`` additionally evaluates each
+        window through the whole-window engine
+        (:meth:`MatchPlan.match_window`) and can consult an orientation
+        ``memo``; ``"reference"`` extracts full cut stacks.  All three
         produce identical distances.
     plan / view_band:
         Optional precomputed fused state; derived from ``view_ft`` and the
         volume when omitted.
+    memo / memo_center / counters:
+        Batched-kernel extras: the per-view :class:`OrientationMemo`
+        (``memo_center`` is the center correction baked into
+        ``view_band`` — part of the memo key) and the run's
+        :class:`PerfCounters`.  Ignored by the other kernels.
     """
     if max_slides < 0:
         raise ValueError("max_slides must be non-negative")
-    if kernel not in ("fused", "reference"):
+    if kernel not in ("fused", "batched", "reference"):
         raise ValueError(f"unknown kernel {kernel!r}")
-    if kernel == "fused":
+    if kernel in ("fused", "batched"):
         if plan is None:
             if view_ft is None:
                 raise ValueError("need view_ft or an explicit plan for the fused kernel")
@@ -123,7 +136,19 @@ def sliding_window_search(
     while True:
         centers.append(current)
         grid = orientation_window(current, step_deg, half_steps)
-        if kernel == "fused":
+        if kernel == "batched":
+            assert plan is not None and view_band is not None
+            best = match_view_window(
+                view_band,
+                volume_ft,
+                grid,
+                plan,
+                cut_modulation=cut_modulation,
+                memo=memo,
+                memo_center=memo_center,
+                counters=counters,
+            )
+        elif kernel == "fused":
             assert plan is not None and view_band is not None
             best = match_view_band(
                 view_band, volume_ft, grid, plan, cut_modulation=cut_modulation

@@ -145,3 +145,55 @@ def test_checkpoint_roundtrip_is_exact(tmp_path):
     for got, want in zip(loaded.orientations, orients):
         assert got.as_tuple() == want.as_tuple()
     assert np.array_equal(loaded.distances, dists)
+
+
+# -- warm orientation memo through kill/resume (batched kernel) ---------------
+def test_checkpoint_carries_memo_state(chaos_problem, tmp_path):
+    """The default (batched) kernel serializes its memo into the checkpoint."""
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    interrupted_run(chaos_problem, ckpt)
+    saved = load_checkpoint(ckpt)
+    assert saved.memo is not None and len(saved.memo) == len(views)
+    for keys, values in saved.memo.values():
+        assert keys.shape[1] == 5 and keys.shape[0] == values.shape[0] > 0
+
+
+def test_resume_with_warm_memo_is_bit_identical(chaos_problem, baseline, tmp_path):
+    """Killed run -> resume with the deserialized (warm) memo == fault-free run.
+
+    The warm memo changes *work* (level-2 candidates already scored in the
+    killed run come from the cache) but must not change one bit of output;
+    the perf counters prove the cache actually fired.
+    """
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    interrupted_run(chaos_problem, ckpt)
+
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+    assert resumed.stats == baseline.stats
+    assert resumed.perf is not None
+    assert resumed.perf.memo_hits > 0, "warm memo never consulted on resume"
+
+
+def test_resume_without_memo_is_also_bit_identical(chaos_problem, baseline, tmp_path):
+    """A legacy checkpoint (no memo header) resumes cold to the same bits."""
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    interrupted_run(chaos_problem, ckpt)
+    saved = load_checkpoint(ckpt)
+    stripped = RefinementCheckpoint(
+        schedule_fingerprint=saved.schedule_fingerprint,
+        levels_done=saved.levels_done,
+        orientations=saved.orientations,
+        distances=saved.distances,
+        stats=saved.stats,
+        memo=None,
+    )
+    save_checkpoint(ckpt, stripped)
+    assert load_checkpoint(ckpt).memo is None
+
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+    assert resumed.stats == baseline.stats

@@ -1,0 +1,13 @@
+"""RL010 fixture: per-candidate cut_band loop instead of the batched engine."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def match_window_slow(plan, volume_ft, rotations, view_band, dc):
+    distances = np.empty(len(rotations))
+    for i, rot in enumerate(rotations):
+        cut = plan.cut_band(volume_ft, rot)
+        distances[i] = dc.distance_band(view_band, cut)
+    return distances

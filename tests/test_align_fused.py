@@ -219,3 +219,108 @@ def test_plan_validates_inputs():
         plan.cut_band(np.zeros((L, L, L)), np.eye(3))
     with pytest.raises(ValueError):
         plan.cut_bands(np.zeros((32, 32, 32)), np.eye(4))
+
+
+# -- the batched whole-window engine -----------------------------------------
+@pytest.mark.parametrize("interpolation", ["trilinear", "nearest"])
+@pytest.mark.parametrize("dc_index", range(4))
+def test_cut_bands_batched_equals_cut_bands(volume_ft, dc_index, interpolation):
+    """The stacked interior/edge gather == the per-candidate fused gather."""
+    dc = _computers()[dc_index]
+    plan = MatchPlan(dc, volume_ft.shape[0], interpolation)
+    grid = orientation_window(Orientation(40.0, 30.0, 70.0), 2.0, 2)
+    rots = grid.rotation_stack()
+    assert np.array_equal(plan.cut_bands_batched(volume_ft, rots), plan.cut_bands(volume_ft, rots))
+    # single-rotation input squeezes exactly like cut_bands
+    assert np.array_equal(
+        plan.cut_bands_batched(volume_ft, rots[3]), plan.cut_band(volume_ft, rots[3])
+    )
+
+
+@pytest.mark.parametrize("dc_index", range(4))
+def test_match_window_equals_distances(volume_ft, view_ft, dc_index):
+    dc = _computers()[dc_index]
+    plan = get_match_plan(dc, volume_ft.shape[0])
+    band = plan.gather_view(view_ft)
+    rots = orientation_window(Orientation(25.0, 50.0, 10.0), 3.0, 2).rotation_stack()
+    assert np.array_equal(
+        plan.match_window(volume_ft, band, rots), plan.distances(volume_ft, band, rots)
+    )
+    # a single (3, 3) rotation keeps the (1,) shape, matching distances()
+    one = plan.match_window(volume_ft, band, rots[5])
+    assert one.shape == (1,)
+    assert np.array_equal(one, plan.distances(volume_ft, band, rots[5]))
+
+
+def test_match_window_with_ctf_modulation(volume_ft, view_ft):
+    dc = DistanceComputer(L)
+    plan = get_match_plan(dc, volume_ft.shape[0])
+    band = plan.gather_view(view_ft)
+    modulation = dc.gather_modulation(
+        np.abs(ctf_2d(CTFParams(), L, apix=2.0))
+    )
+    rots = orientation_window(Orientation(12.0, 60.0, 300.0), 2.0, 1).rotation_stack()
+    assert np.array_equal(
+        plan.match_window(volume_ft, band, rots, cut_modulation=modulation),
+        plan.distances(volume_ft, band, rots, cut_modulation=modulation),
+    )
+
+
+def test_sample_partition_covers_band(volume_ft):
+    dc = DistanceComputer(L)
+    plan = MatchPlan(dc, volume_ft.shape[0])
+    assert plan.n_interior_samples + plan.n_edge_samples == dc.n_samples
+
+
+def test_gather_chunk_env_override(volume_ft, view_ft, monkeypatch):
+    from repro.align.fused import REPRO_GATHER_CHUNK, _gather_chunk_target
+
+    dc = DistanceComputer(L)
+    plan = get_match_plan(dc, volume_ft.shape[0])
+    band = plan.gather_view(view_ft)
+    rots = orientation_window(Orientation(25.0, 50.0, 10.0), 3.0, 2).rotation_stack()
+    baseline = plan.match_window(volume_ft, band, rots)
+    monkeypatch.setenv(REPRO_GATHER_CHUNK, "1")
+    assert _gather_chunk_target(1 << 16) == 1
+    assert plan._rotation_chunk(1 << 16) == 1
+    # chunking is a pure batching decision: any chunk size, same bits
+    assert np.array_equal(plan.match_window(volume_ft, band, rots), baseline)
+
+
+@pytest.mark.parametrize("bad", ["0", "-5", "many", "4.5", ""])
+def test_gather_chunk_env_validation(monkeypatch, bad):
+    from repro.align.fused import REPRO_GATHER_CHUNK, _gather_chunk_target
+
+    monkeypatch.setenv(REPRO_GATHER_CHUNK, bad)
+    with pytest.raises(ValueError, match="REPRO_GATHER_CHUNK"):
+        _gather_chunk_target(1 << 16)
+
+
+def test_sliding_window_batched_equals_fused(volume_ft, view_ft):
+    from repro.align.memo import OrientationMemo
+    from repro.perf import PerfCounters
+
+    dc = DistanceComputer(L)
+    kwargs = dict(step_deg=5.0, half_steps=1, max_slides=8, distance_computer=dc)
+    start = Orientation(10.0, 80.0, 200.0)
+    fused = sliding_window_search(view_ft, volume_ft, start, kernel="fused", **kwargs)
+    memo = OrientationMemo()
+    counters = PerfCounters()
+    batched = sliding_window_search(
+        view_ft, volume_ft, start, kernel="batched", memo=memo, counters=counters, **kwargs
+    )
+    assert batched.orientation.as_tuple() == fused.orientation.as_tuple()
+    assert batched.distance == fused.distance
+    assert batched.n_windows == fused.n_windows
+    assert batched.n_matches == fused.n_matches
+    assert batched.centers == fused.centers
+    assert counters.window_calls == batched.n_windows
+    assert len(memo) > 0
+    # second scan from the same start: every candidate comes from the memo
+    counters2 = PerfCounters()
+    again = sliding_window_search(
+        view_ft, volume_ft, start, kernel="batched", memo=memo, counters=counters2, **kwargs
+    )
+    assert again == batched
+    assert counters2.gathers == 0
+    assert counters2.memo_hits == counters2.memo_lookups > 0

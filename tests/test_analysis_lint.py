@@ -22,6 +22,7 @@ FIXTURE_RULES = {
     "align/distance.py": "RL007",
     "align/bad_future.py": "RL008",
     "parallel/bad_bare_except.py": "RL009",
+    "align/bad_cut_loop.py": "RL010",
 }
 
 
@@ -33,7 +34,7 @@ def rules_hit(findings):
 def test_every_rule_has_identity():
     rules = all_rules()
     ids = [r.rule_id for r in rules]
-    assert len(ids) == len(set(ids)) == 9
+    assert len(ids) == len(set(ids)) == 10
     assert ids == sorted(ids)
     for rule_id, name, rationale in rule_table():
         assert rule_id.startswith("RL")

@@ -118,3 +118,41 @@ def test_scheduler_reuse_across_levels(small_problem):
             assert results == serial
             for res in results:
                 orients[res.index] = res.orientation
+
+
+def test_pooled_memo_and_counters_thread_through(small_problem):
+    """Workers ship memo state and perf counters back through the pool.
+
+    A second pooled pass over the same level must answer (almost) every
+    candidate from the absorbed memo, and the master counters must account
+    for the workers' windows — all while staying bit-identical to the
+    memo-less serial loop.
+    """
+    from repro.align.memo import MemoStore
+    from repro.perf import PerfCounters
+
+    views, volume_ft, fts = small_problem
+    level = RefinementLevel(2.0, 0.5, half_steps=2)
+    orients = views.initial_orientations
+    serial = refine_level_serial(volume_ft, fts, orients, None, level, kernel="batched")
+    memo_store = MemoStore()
+    counters = PerfCounters()
+    with ViewScheduler(n_workers=2, chunks_per_worker=2) as sched:
+        first = sched.run_level(
+            volume_ft, fts, orients, None, level,
+            kernel="batched", memo_store=memo_store, counters=counters,
+        )
+        assert first == serial
+        assert counters.window_calls > 0
+        assert counters.gathers > 0
+        # every view the chunks touched shipped its memo back
+        assert memo_store.view_indices() == list(range(len(orients)))
+        gathers_before = counters.gathers
+        second = sched.run_level(
+            volume_ft, fts, orients, None, level,
+            kernel="batched", memo_store=memo_store, counters=counters,
+        )
+    assert second == serial
+    # the re-run's windows were answered from the absorbed memo
+    assert counters.gathers == gathers_before
+    assert counters.memo_hits > 0

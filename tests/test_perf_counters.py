@@ -1,0 +1,86 @@
+"""Unit tests for the batched-engine perf counters."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.perf import PerfCounters
+
+
+def test_count_window_without_memo():
+    c = PerfCounters()
+    c.count_window(729, 729)
+    assert c.window_calls == 1
+    assert c.candidates == 729
+    assert c.gathers == 729
+    # memo never consulted: no lookup traffic recorded
+    assert c.memo_lookups == 0 and c.memo_hits == 0
+    assert c.memo_hit_rate() == 0.0
+
+
+def test_count_window_with_memo_hits():
+    c = PerfCounters()
+    c.count_window(729, 600, n_hits=129)
+    assert c.gathers == 600
+    assert c.memo_lookups == 729
+    assert c.memo_hits == 129
+    assert c.memo_hit_rate() == 129 / 729
+    # a fully-hit window still counts as lookups
+    c.count_window(729, 0, n_hits=729)
+    assert c.memo_lookups == 2 * 729
+    assert c.gathers == 600
+
+
+def test_record_level_accumulates_duplicates():
+    c = PerfCounters()
+    c.record_level("1deg", 2.0, 100)
+    c.record_level("1deg", 3.0, 50)
+    c.record_level("0.5deg", 5.0, 200)
+    assert c.level_seconds == {"1deg": 5.0, "0.5deg": 5.0}
+    assert c.level_candidates == {"1deg": 150, "0.5deg": 200}
+    assert c.total_seconds() == 10.0
+    assert c.candidates_per_second() == 35.0
+
+
+def test_candidates_per_second_guards_zero_time():
+    assert PerfCounters().candidates_per_second() == 0.0
+
+
+def test_merge_folds_everything():
+    a = PerfCounters()
+    a.count_window(10, 8, n_hits=2)
+    a.record_level("1deg", 1.0, 10)
+    b = PerfCounters()
+    b.count_window(20, 20)
+    b.record_level("1deg", 2.0, 20)
+    b.record_level("0.5deg", 4.0, 40)
+    a.merge(b)
+    assert a.window_calls == 2
+    assert a.candidates == 30
+    assert a.gathers == 28
+    assert a.memo_lookups == 10 and a.memo_hits == 2
+    assert a.level_seconds == {"1deg": 3.0, "0.5deg": 4.0}
+    assert a.level_candidates == {"1deg": 30, "0.5deg": 40}
+
+
+def test_counters_survive_pickle():
+    c = PerfCounters()
+    c.count_window(10, 5, n_hits=5)
+    c.record_level("1deg", 1.5, 10)
+    assert pickle.loads(pickle.dumps(c)) == c
+
+
+def test_summary_is_one_line():
+    c = PerfCounters()
+    c.count_window(1000, 700, n_hits=300)
+    c.record_level("1deg", 2.0, 1000)
+    text = c.summary()
+    assert "\n" not in text
+    assert "1,000 candidates" in text
+    assert "700 gathered" in text
+    assert "30.0%" in text
+    assert "cand/s" in text
+    # memo-free summary omits the hit rate instead of printing 0%
+    quiet = PerfCounters()
+    quiet.count_window(10, 10)
+    assert "hit-rate" not in quiet.summary()

@@ -72,3 +72,45 @@ def test_matches_counted_per_window(setup):
     vft, truth, view, dc = setup
     res = sliding_window_search(view, vft, truth, step_deg=1.0, half_steps=1, distance_computer=dc)
     assert res.n_matches == res.n_windows * 27
+
+
+# -- batched kernel + memo bit-identity (hypothesis) --------------------------
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.align.memo import OrientationMemo  # noqa: E402
+from repro.perf import PerfCounters  # noqa: E402
+
+
+@given(
+    dtheta=st.floats(min_value=-3.0, max_value=3.0),
+    dphi=st.floats(min_value=-3.0, max_value=3.0),
+    domega=st.floats(min_value=-3.0, max_value=3.0),
+    step=st.sampled_from([0.5, 1.0, 2.0]),
+    prewarm=st.booleans(),
+)
+@settings(max_examples=15, deadline=None)
+def test_memoized_search_is_bit_identical(setup, dtheta, dphi, domega, step, prewarm):
+    """Memo on, memo off, memo warm: one SlidingWindowResult, same bits.
+
+    ``prewarm`` runs an extra search first so some examples hit a memo
+    already populated by a *different* window — the cross-recenter reuse
+    the memo exists for.
+    """
+    vft, truth, view, dc = setup
+    start = Orientation(truth.theta + dtheta, truth.phi + dphi, truth.omega + domega)
+    kwargs = dict(step_deg=step, half_steps=2, max_slides=4, distance_computer=dc)
+    plain = sliding_window_search(view, vft, start, kernel="batched", **kwargs)
+    memo = OrientationMemo()
+    counters = PerfCounters()
+    if prewarm:
+        sliding_window_search(view, vft, truth, kernel="batched", memo=memo, **kwargs)
+    memoized = sliding_window_search(
+        view, vft, start, kernel="batched", memo=memo, counters=counters, **kwargs
+    )
+    assert memoized == plain  # frozen dataclass: covers centers and n_matches
+    assert counters.candidates == plain.n_matches
+    # and both agree with the per-candidate fused kernel
+    fused = sliding_window_search(view, vft, start, kernel="fused", **kwargs)
+    assert plain.orientation.as_tuple() == fused.orientation.as_tuple()
+    assert plain.distance == fused.distance
+    assert plain.centers == fused.centers

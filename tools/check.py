@@ -10,7 +10,10 @@ Runs, in order:
    ``REPRO_CHECK_CONTRACTS=1`` so every
    :func:`repro.analysis.contracts.array_contract` declaration is enforced
    while the tests exercise the kernels,
-5. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
+5. the bench-smoke subset (``-m bench_smoke``) as its own named step — the
+   tiny batched-vs-reference equivalence slice of the kernel benchmarks,
+   so a kernel regression is attributed to the right gate line,
+6. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
    injection kills workers and restarts pools, so it runs apart from the
    main suite but under the same runtime contracts.
 
@@ -58,7 +61,10 @@ def main(argv: list[str] | None = None) -> int:
         env = dict(os.environ)
         env["REPRO_CHECK_CONTRACTS"] = "1"
         env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
-        suites = [("pytest", ["-x", "-q", "-m", "not chaos"])]
+        suites = [
+            ("pytest", ["-x", "-q", "-m", "not chaos"]),
+            ("pytest[bench-smoke]", ["-x", "-q", "-m", "bench_smoke"]),
+        ]
         if not args.no_chaos:
             suites.append(("pytest[chaos]", ["-x", "-q", "-m", "chaos"]))
         for name, extra in suites:
