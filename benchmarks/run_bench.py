@@ -150,17 +150,20 @@ def measure_worker_scaling(
     Results must be bit-identical at every count.  The speedup column is
     recorded as measured; on a host with a single CPU a multi-worker
     measurement is meaningless (the pool can only add overhead), so the
-    run is skipped and recorded as ``"skipped: insufficient cpus"``.
+    run is skipped and recorded as a structured
+    ``{"status": "skipped", "reason": "insufficient cpus"}`` record that
+    downstream tooling can branch on without string-parsing.
     """
     from repro.refine.refiner import OrientationRefiner
 
     host_cpus = os.cpu_count() or 1
     if host_cpus < 2 and any(n > 1 for n in worker_counts):
         return {
+            "status": "skipped",
+            "reason": "insufficient cpus",
             "size": size,
             "n_views": n_views,
             "host_cpus": host_cpus,
-            "skipped": "insufficient cpus",
         }
     density, views = _make_problem(size, n_views, seed)
     baseline = None
@@ -189,6 +192,7 @@ def measure_worker_scaling(
             }
         )
     return {
+        "status": "ok",
         "size": size,
         "n_views": n_views,
         "host_cpus": os.cpu_count(),
@@ -197,8 +201,22 @@ def measure_worker_scaling(
     }
 
 
+def engine_fingerprint() -> str:
+    """Fingerprint of the engine config the benchmarks run under.
+
+    All measurements use the engine defaults; the kernel selector and
+    worker count are the independent variables being compared, and every
+    compared pair is asserted bit-identical, so the default-config
+    fingerprint identifies the numerical configuration of the whole file.
+    """
+    from repro.engine.config import EngineConfig
+
+    return EngineConfig().fingerprint()
+
+
 def run_all() -> dict:
     return {
+        "engine_fingerprint": engine_fingerprint(),
         "fused_vs_reference": measure_fused_vs_reference(),
         "batched_vs_fused": measure_batched_vs_fused(),
         "worker_scaling": measure_worker_scaling(),

@@ -16,6 +16,7 @@ import os
 
 from run_bench import (
     BENCH_FILE,
+    engine_fingerprint,
     measure_batched_vs_fused,
     measure_fused_vs_reference,
     measure_worker_scaling,
@@ -27,6 +28,7 @@ def test_fused_kernel_speedup(save_artifact):
     batched = measure_batched_vs_fused(size=64, n_views=2)
     workers = measure_worker_scaling(size=32, n_views=8, worker_counts=(1, 2))
     data = {
+        "engine_fingerprint": engine_fingerprint(),
         "fused_vs_reference": stats,
         "batched_vs_fused": batched,
         "worker_scaling": workers,
@@ -39,6 +41,8 @@ def test_fused_kernel_speedup(save_artifact):
     assert batched["speedup"] >= 1.5, f"batched speedup {batched['speedup']}x < 1.5x"
     assert batched["memo_hit_rate"] > 0.0, "memo never hit on a re-centering run"
     if (os.cpu_count() or 1) >= 2:
+        assert workers["status"] == "ok"
         assert workers["identical_results"]
     else:
-        assert workers["skipped"] == "insufficient cpus"
+        assert workers["status"] == "skipped"
+        assert workers["reason"] == "insufficient cpus"

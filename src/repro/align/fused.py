@@ -28,13 +28,12 @@ becomes an ``n_band``-element ramp instead of an ``l×l`` one.
 
 from __future__ import annotations
 
-import os
-
 import numpy as np
 
 from repro.align.distance import DistanceComputer
 from repro.analysis.contracts import array_contract, spec
 from repro.arraytypes import Array
+from repro.engine.env import GATHER_CHUNK_ENV, gather_chunk_samples
 from repro.fourier.slicing import _gather_nearest, _gather_trilinear, _gather_trilinear_interior
 from repro.fourier.transforms import fourier_center, frequency_grid_2d
 
@@ -59,7 +58,9 @@ _CHUNK_SAMPLES = 1 << 18
 _BATCHED_CHUNK_SAMPLES = 1 << 16
 
 #: Environment variable overriding both chunk targets (samples per chunk).
-REPRO_GATHER_CHUNK = "REPRO_GATHER_CHUNK"
+#: Kept as a module attribute for existing importers; the read itself is
+#: centralized in :mod:`repro.engine.env` (repro-lint RL011).
+REPRO_GATHER_CHUNK = GATHER_CHUNK_ENV
 
 
 def _gather_chunk_target(default: int) -> int:
@@ -69,23 +70,10 @@ def _gather_chunk_target(default: int) -> int:
     immediately (a silently ignored typo would quietly change the run's
     memory footprint).  Chunking never changes results — gathers are
     per-point and distances per-row — so this is a pure tuning knob.
+    Delegates to :func:`repro.engine.env.gather_chunk_samples`, the one
+    place the environment is read.
     """
-    raw = os.environ.get(REPRO_GATHER_CHUNK)
-    if raw is None:
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(
-            f"{REPRO_GATHER_CHUNK} must be a positive integer "
-            f"(samples per gather chunk), got {raw!r}"
-        ) from None
-    if value < 1:
-        raise ValueError(
-            f"{REPRO_GATHER_CHUNK} must be a positive integer "
-            f"(samples per gather chunk), got {value}"
-        )
-    return value
+    return gather_chunk_samples(default)
 
 
 def _gather_interior_stack(flat: Array, l: int, cz: Array, cy: Array, cx: Array) -> Array:

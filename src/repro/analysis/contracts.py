@@ -28,11 +28,13 @@ from __future__ import annotations
 
 import functools
 import inspect
-import os
 from dataclasses import dataclass
 from typing import Any, Callable, TypeVar
 
 import numpy as np
+
+from repro.engine.env import CONTRACTS_ENV
+from repro.engine.env import contracts_enabled as _env_contracts_enabled
 
 __all__ = [
     "ArraySpec",
@@ -42,10 +44,10 @@ __all__ = [
     "spec",
 ]
 
-#: Environment flag that switches contract enforcement on.
-ENV_FLAG = "REPRO_CHECK_CONTRACTS"
-
-_TRUTHY = frozenset({"1", "true", "yes", "on"})
+#: Environment flag that switches contract enforcement on.  Kept as a
+#: module attribute for existing importers; the read itself is
+#: centralized in :mod:`repro.engine.env` (repro-lint RL011).
+ENV_FLAG = CONTRACTS_ENV
 
 _DTYPE_KINDS = {
     "float": "f",
@@ -104,7 +106,7 @@ def spec(
 
 def contracts_enabled() -> bool:
     """True when ``REPRO_CHECK_CONTRACTS`` requests runtime enforcement."""
-    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY
+    return _env_contracts_enabled()
 
 
 def _format_shape(shape: tuple[Any, ...]) -> str:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.analysis.rules._base import Rule
 from repro.analysis.rules.batching import NoPerCandidateCutLoop
+from repro.analysis.rules.configuration import ConfigReadsCentralized
 from repro.analysis.rules.determinism import NoNondeterminism
 from repro.analysis.rules.dtypes import NoSilentUpcast
 from repro.analysis.rules.exports import ExportListSync
@@ -24,6 +25,7 @@ __all__ = [
     "all_rules",
     "rule_table",
     "CenteredFFTOnly",
+    "ConfigReadsCentralized",
     "ExportListSync",
     "FutureAnnotations",
     "KernelBoundaryContract",
@@ -49,6 +51,7 @@ def all_rules() -> list[Rule]:
         FutureAnnotations(),
         NoBareExcept(),
         NoPerCandidateCutLoop(),
+        ConfigReadsCentralized(),
     ]
     rules.sort(key=lambda r: r.rule_id)
     return rules

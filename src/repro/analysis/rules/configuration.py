@@ -1,0 +1,61 @@
+"""RL011 — all environment reads go through ``repro/engine/``.
+
+The refinement stack is configured by exactly one object
+(:class:`repro.engine.config.EngineConfig`); the process environment is
+one *input layer* of that object, read in :mod:`repro.engine.env` and
+resolved — with provenance — by :mod:`repro.engine.resolve`.  A stray
+``os.environ`` / ``os.getenv`` read anywhere else re-opens the back
+channel this architecture closed: a knob that changes behaviour without
+appearing in the config fingerprint, the dry-run report, or the
+checkpoint header.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.lint import Finding, ModuleUnderLint
+from repro.analysis.rules._base import Rule, attribute_chain
+
+__all__ = ["ConfigReadsCentralized"]
+
+#: ``os``-module entry points that read (or write) the environment.
+_ENV_ATTRS = frozenset({"environ", "environb", "getenv", "putenv", "unsetenv"})
+
+
+class ConfigReadsCentralized(Rule):
+    rule_id = "RL011"
+    name = "config-reads-centralized"
+    rationale = (
+        "Runtime configuration flows through repro.engine (EngineConfig + "
+        "resolve_config); an os.environ/os.getenv read elsewhere is a "
+        "hidden knob that bypasses validation, provenance, and the config "
+        "fingerprint recorded in checkpoints and benchmarks."
+    )
+    include = ("repro/",)
+    exclude = ("repro/engine/",)
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Attribute):
+                chain = attribute_chain(node)
+                # matches os.environ[...], os.environ.get(...), os.getenv(...)
+                if chain and chain[0] == "os" and chain[1] in _ENV_ATTRS:
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"`{'.'.join(chain[:2])}` read outside repro/engine/; "
+                        "route the knob through EngineConfig (repro.engine."
+                        "env is the only module that touches the environment)",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "os" and any(
+                    alias.name in _ENV_ATTRS for alias in node.names
+                ):
+                    yield self.finding(
+                        mod,
+                        node,
+                        "importing environment accessors from `os` outside "
+                        "repro/engine/; route the knob through EngineConfig",
+                    )

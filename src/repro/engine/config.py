@@ -1,0 +1,590 @@
+"""The typed, frozen configuration hierarchy of the refinement engine.
+
+:class:`EngineConfig` is the single source of truth for a refinement run:
+everything the stack used to take as scattered per-call kwargs, env vars
+and re-parsed CLI flags — kernel choice, schedule, worker fan-out, retry
+policy, checkpointing, memoization, matching knobs — lives in one frozen,
+serializable record, validated exactly once at construction.  Every layer
+(CLI, :class:`~repro.refine.refiner.OrientationRefiner`,
+:func:`~repro.parallel.prefine.parallel_refine`, the structure loop, the
+benchmarks) consumes the same object instead of re-validating strings.
+
+Configs load from TOML or JSON files (:func:`load_config`), round-trip
+through plain dicts (:meth:`EngineConfig.to_dict` /
+:meth:`EngineConfig.from_dict`, unknown fields rejected loudly), and
+digest into a :meth:`EngineConfig.fingerprint` recorded in checkpoint
+headers and benchmark artifacts, so a resumed or compared run can prove it
+was configured identically.
+
+Sections
+--------
+``kernel``      which matching kernel and interpolation, gather chunking
+``schedule``    the multi-resolution level list
+``parallel``    execution backend (serial / process / sim) and its fan-out
+``fault``       retry/timeout/degradation policy for the process backend
+``checkpoint``  level-granular checkpoint path and resume flag
+``memo``        the per-view orientation memo cache
+
+All ``repro`` imports in this module are lazy (inside methods): the
+kernel packages import :mod:`repro.engine.env` at import time, so the
+engine package must be importable before any of them is initialized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoids cycles
+    from repro.faults.retry import RetryPolicy
+    from repro.refine.multires import MultiResolutionSchedule
+
+__all__ = [
+    "CheckpointConfig",
+    "ConfigError",
+    "EngineConfig",
+    "FaultConfig",
+    "KernelConfig",
+    "MemoConfig",
+    "ParallelConfig",
+    "ScheduleConfig",
+    "load_config",
+]
+
+KERNELS = ("batched", "fused", "reference")
+INTERPOLATIONS = ("trilinear", "nearest")
+BACKENDS = ("serial", "process", "sim")
+WEIGHTINGS = ("none", "radius", "radius2")
+CTF_CORRECTIONS = ("phase_flip", "none")
+MP_CONTEXTS = ("fork", "spawn", "forkserver")
+
+
+class ConfigError(ValueError):
+    """A configuration field is unknown, mistyped, or out of range."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def _coerce_float(name: str, value: Any) -> float:
+    # TOML/JSON integers are legal spellings of float fields (r_max = 9)
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool),
+             f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+def _coerce_int(name: str, value: Any) -> int:
+    _require(isinstance(value, int) and not isinstance(value, bool),
+             f"{name} must be an integer, got {value!r}")
+    return int(value)
+
+
+def _coerce_bool(name: str, value: Any) -> bool:
+    _require(isinstance(value, bool), f"{name} must be a boolean, got {value!r}")
+    return value
+
+
+def _coerce_str(name: str, value: Any, choices: tuple[str, ...] | None = None) -> str:
+    _require(isinstance(value, str), f"{name} must be a string, got {value!r}")
+    if choices is not None:
+        _require(value in choices, f"{name} must be one of {choices}, got {value!r}")
+    return value
+
+
+def _reject_unknown(section: str, data: Mapping[str, Any], known: tuple[str, ...]) -> None:
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        where = f"{section}." if section else ""
+        raise ConfigError(
+            f"unknown config field(s) {', '.join(where + u for u in unknown)}; "
+            f"known fields: {', '.join(known)}"
+        )
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Which matching kernel runs and how it chunks its gathers.
+
+    All three kernels are bit-identical by construction; the choice is a
+    performance decision, never a numerical one.  ``gather_chunk``
+    overrides the samples-per-chunk target of the in-band gathers (the
+    config-file spelling of ``REPRO_GATHER_CHUNK``); ``None`` keeps each
+    kernel's measured default.
+    """
+
+    kernel: str = "batched"
+    interpolation: str = "trilinear"
+    gather_chunk: int | None = None
+
+    def __post_init__(self) -> None:
+        _require(self.kernel in KERNELS,
+                 f"kernel.kernel must be one of {KERNELS}, got {self.kernel!r}")
+        _require(self.interpolation in INTERPOLATIONS,
+                 f"kernel.interpolation must be one of {INTERPOLATIONS}, "
+                 f"got {self.interpolation!r}")
+        if self.gather_chunk is not None:
+            _require(isinstance(self.gather_chunk, int) and self.gather_chunk >= 1,
+                     f"kernel.gather_chunk must be a positive integer, "
+                     f"got {self.gather_chunk!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kernel": self.kernel,
+            "interpolation": self.interpolation,
+            "gather_chunk": self.gather_chunk,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "KernelConfig":
+        _reject_unknown("kernel", data, ("kernel", "interpolation", "gather_chunk"))
+        chunk = data.get("gather_chunk")
+        if chunk is not None:
+            chunk = _coerce_int("kernel.gather_chunk", chunk)
+        return cls(
+            kernel=_coerce_str("kernel.kernel", data.get("kernel", cls.kernel), KERNELS),
+            interpolation=_coerce_str(
+                "kernel.interpolation", data.get("interpolation", cls.interpolation),
+                INTERPOLATIONS,
+            ),
+            gather_chunk=chunk,
+        )
+
+
+#: The paper's production schedule: 1°, 0.1°, 0.01°, 0.002°, center
+#: resolutions tracking the angular ones (§5), ±4-step windows, 3×3 boxes.
+DEFAULT_LEVELS: tuple[tuple[float, float, int, int], ...] = (
+    (1.0, 1.0, 4, 1),
+    (0.1, 0.1, 4, 1),
+    (0.01, 0.01, 4, 1),
+    (0.002, 0.002, 4, 1),
+)
+
+
+@dataclass(frozen=True)
+class ScheduleConfig:
+    """The multi-resolution schedule as plain numbers.
+
+    Each level is ``(angular_step_deg, center_step_px, half_steps,
+    center_half_steps)``; config files may abbreviate a level to
+    ``[step]`` (center step = angular step, default widths) or
+    ``[angular, center]``.  Any
+    :class:`~repro.refine.multires.MultiResolutionSchedule` is exactly
+    representable (:meth:`from_schedule` / :meth:`to_schedule` are
+    inverses), so the config fingerprint can always cover the schedule the
+    run actually used.
+    """
+
+    levels: tuple[tuple[float, float, int, int], ...] = DEFAULT_LEVELS
+
+    def __post_init__(self) -> None:
+        _require(len(self.levels) >= 1, "schedule.levels needs at least one level")
+        norm = []
+        for i, level in enumerate(self.levels):
+            _require(len(level) == 4,
+                     f"schedule.levels[{i}] must be (angular_step_deg, "
+                     f"center_step_px, half_steps, center_half_steps)")
+            a, c, h, ch = level
+            _require(a > 0 and c > 0, f"schedule.levels[{i}] steps must be positive")
+            _require(int(h) >= 0 and int(ch) >= 0,
+                     f"schedule.levels[{i}] half-widths must be non-negative")
+            norm.append((float(a), float(c), int(h), int(ch)))
+        object.__setattr__(self, "levels", tuple(norm))
+
+    def to_schedule(self) -> "MultiResolutionSchedule":
+        from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+
+        return MultiResolutionSchedule(
+            tuple(
+                RefinementLevel(a, c, half_steps=h, center_half_steps=ch)
+                for a, c, h, ch in self.levels
+            )
+        )
+
+    @classmethod
+    def from_schedule(cls, schedule: "MultiResolutionSchedule") -> "ScheduleConfig":
+        return cls(
+            levels=tuple(
+                (lv.angular_step_deg, lv.center_step_px, lv.half_steps,
+                 lv.center_half_steps)
+                for lv in schedule
+            )
+        )
+
+    @classmethod
+    def from_steps(
+        cls, angular_steps: tuple[float, ...], half_steps: int = 4,
+        center_half_steps: int = 1,
+    ) -> "ScheduleConfig":
+        """Levels from angular steps alone (center steps track them, §5)."""
+        return cls(
+            levels=tuple(
+                (float(s), float(s), int(half_steps), int(center_half_steps))
+                for s in angular_steps
+            )
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"levels": [list(level) for level in self.levels]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleConfig":
+        _reject_unknown("schedule", data, ("levels",))
+        if "levels" not in data:
+            return cls()
+        raw = data["levels"]
+        _require(isinstance(raw, (list, tuple)) and len(raw) >= 1,
+                 "schedule.levels must be a non-empty list of levels")
+        levels = []
+        for i, entry in enumerate(raw):
+            _require(isinstance(entry, (list, tuple)) and len(entry) in (1, 2, 4),
+                     f"schedule.levels[{i}] must be [angular], [angular, center] "
+                     f"or [angular, center, half_steps, center_half_steps]")
+            a = _coerce_float(f"schedule.levels[{i}][0]", entry[0])
+            c = _coerce_float(f"schedule.levels[{i}][1]", entry[1]) if len(entry) >= 2 else a
+            h = _coerce_int(f"schedule.levels[{i}][2]", entry[2]) if len(entry) == 4 else 4
+            ch = _coerce_int(f"schedule.levels[{i}][3]", entry[3]) if len(entry) == 4 else 1
+            levels.append((a, c, h, ch))
+        return cls(levels=tuple(levels))
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Which execution backend fans the per-view work out, and how wide.
+
+    ``serial`` runs everything inline; ``process`` is the shared-memory
+    process pool of :mod:`repro.parallel.viewsched`; ``sim`` is the
+    simulated distributed-memory cluster of :mod:`repro.parallel.prefine`
+    (``n_ranks`` applies only there).  All backends are bit-identical —
+    the choice prices the run, it never steers the numbers.
+    """
+
+    backend: str = "serial"
+    n_workers: int = 1
+    chunks_per_worker: int = 4
+    mp_context: str | None = None
+    n_ranks: int = 4
+
+    def __post_init__(self) -> None:
+        _require(self.backend in BACKENDS,
+                 f"parallel.backend must be one of {BACKENDS}, got {self.backend!r}")
+        _require(isinstance(self.n_workers, int) and self.n_workers >= 1,
+                 f"parallel.n_workers must be >= 1, got {self.n_workers!r}")
+        _require(isinstance(self.chunks_per_worker, int) and self.chunks_per_worker >= 1,
+                 f"parallel.chunks_per_worker must be >= 1, got {self.chunks_per_worker!r}")
+        _require(isinstance(self.n_ranks, int) and self.n_ranks >= 1,
+                 f"parallel.n_ranks must be >= 1, got {self.n_ranks!r}")
+        if self.mp_context is not None:
+            _require(self.mp_context in MP_CONTEXTS,
+                     f"parallel.mp_context must be one of {MP_CONTEXTS}, "
+                     f"got {self.mp_context!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": self.backend,
+            "n_workers": self.n_workers,
+            "chunks_per_worker": self.chunks_per_worker,
+            "mp_context": self.mp_context,
+            "n_ranks": self.n_ranks,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ParallelConfig":
+        _reject_unknown("parallel", data,
+                        ("backend", "n_workers", "chunks_per_worker", "mp_context",
+                         "n_ranks"))
+        ctx = data.get("mp_context")
+        if ctx is not None:
+            ctx = _coerce_str("parallel.mp_context", ctx, MP_CONTEXTS)
+        return cls(
+            backend=_coerce_str("parallel.backend", data.get("backend", cls.backend),
+                                BACKENDS),
+            n_workers=_coerce_int("parallel.n_workers",
+                                  data.get("n_workers", cls.n_workers)),
+            chunks_per_worker=_coerce_int(
+                "parallel.chunks_per_worker",
+                data.get("chunks_per_worker", cls.chunks_per_worker)),
+            mp_context=ctx,
+            n_ranks=_coerce_int("parallel.n_ranks", data.get("n_ranks", cls.n_ranks)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Retry/timeout/degradation policy for the process backend (DESIGN.md §8)."""
+
+    max_attempts: int = 3
+    backoff_s: float = 0.01
+    backoff_factor: float = 2.0
+    chunk_timeout_s: float | None = None
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.max_attempts, int) and self.max_attempts >= 1,
+                 f"fault.max_attempts must be >= 1, got {self.max_attempts!r}")
+        _require(self.backoff_s >= 0, "fault.backoff_s must be non-negative")
+        _require(self.backoff_factor >= 1.0, "fault.backoff_factor must be >= 1")
+        if self.chunk_timeout_s is not None:
+            _require(self.chunk_timeout_s > 0, "fault.chunk_timeout_s must be positive")
+        _require(isinstance(self.max_pool_restarts, int) and self.max_pool_restarts >= 0,
+                 f"fault.max_pool_restarts must be >= 0, got {self.max_pool_restarts!r}")
+
+    def retry_policy(self) -> "RetryPolicy":
+        from repro.faults.retry import RetryPolicy
+
+        return RetryPolicy(
+            max_attempts=self.max_attempts,
+            backoff_s=self.backoff_s,
+            backoff_factor=self.backoff_factor,
+            chunk_timeout_s=self.chunk_timeout_s,
+            max_pool_restarts=self.max_pool_restarts,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_s": self.backoff_s,
+            "backoff_factor": self.backoff_factor,
+            "chunk_timeout_s": self.chunk_timeout_s,
+            "max_pool_restarts": self.max_pool_restarts,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultConfig":
+        _reject_unknown("fault", data,
+                        ("max_attempts", "backoff_s", "backoff_factor",
+                         "chunk_timeout_s", "max_pool_restarts"))
+        timeout = data.get("chunk_timeout_s")
+        if timeout is not None:
+            timeout = _coerce_float("fault.chunk_timeout_s", timeout)
+        return cls(
+            max_attempts=_coerce_int("fault.max_attempts",
+                                     data.get("max_attempts", cls.max_attempts)),
+            backoff_s=_coerce_float("fault.backoff_s",
+                                    data.get("backoff_s", cls.backoff_s)),
+            backoff_factor=_coerce_float("fault.backoff_factor",
+                                         data.get("backoff_factor", cls.backoff_factor)),
+            chunk_timeout_s=timeout,
+            max_pool_restarts=_coerce_int(
+                "fault.max_pool_restarts",
+                data.get("max_pool_restarts", cls.max_pool_restarts)),
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Level-granular checkpoint/resume (DESIGN.md §8)."""
+
+    path: str | None = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.path is not None:
+            _require(isinstance(self.path, str) and self.path != "",
+                     "checkpoint.path must be a non-empty string")
+        _require(not (self.resume and self.path is None),
+                 "checkpoint.resume requires checkpoint.path")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "resume": self.resume}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CheckpointConfig":
+        _reject_unknown("checkpoint", data, ("path", "resume"))
+        path = data.get("path")
+        if path is not None:
+            path = _coerce_str("checkpoint.path", path)
+        return cls(path=path,
+                   resume=_coerce_bool("checkpoint.resume", data.get("resume", False)))
+
+
+#: Default orientation-memo capacity (mirrors repro.align.memo, which the
+#: engine must not import at module load time).
+DEFAULT_MEMO_CAPACITY = 8192
+
+
+@dataclass(frozen=True)
+class MemoConfig:
+    """The per-view orientation memo cache (batched kernel only)."""
+
+    enabled: bool = True
+    capacity: int = DEFAULT_MEMO_CAPACITY
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.capacity, int) and self.capacity >= 1,
+                 f"memo.capacity must be >= 1, got {self.capacity!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"enabled": self.enabled, "capacity": self.capacity}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MemoConfig":
+        _reject_unknown("memo", data, ("enabled", "capacity"))
+        return cls(
+            enabled=_coerce_bool("memo.enabled", data.get("enabled", cls.enabled)),
+            capacity=_coerce_int("memo.capacity", data.get("capacity", cls.capacity)),
+        )
+
+
+_SECTIONS: dict[str, type] = {
+    "kernel": KernelConfig,
+    "schedule": ScheduleConfig,
+    "parallel": ParallelConfig,
+    "fault": FaultConfig,
+    "checkpoint": CheckpointConfig,
+    "memo": MemoConfig,
+}
+
+_SCALARS = ("r_max", "max_slides", "refine_centers", "pad_factor", "weighting",
+            "ctf_correction", "normalized_distance")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """The complete configuration of one refinement run.
+
+    Composes the six sections with the matching knobs every driver shares.
+    Frozen and hashable: pass it around freely, derive variants with
+    :func:`dataclasses.replace` (validation re-runs on construction).
+    """
+
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    schedule: ScheduleConfig = field(default_factory=ScheduleConfig)
+    parallel: ParallelConfig = field(default_factory=ParallelConfig)
+    fault: FaultConfig = field(default_factory=FaultConfig)
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    memo: MemoConfig = field(default_factory=MemoConfig)
+    r_max: float | None = None
+    max_slides: int = 8
+    refine_centers: bool = True
+    pad_factor: int = 2
+    weighting: str = "none"
+    ctf_correction: str = "phase_flip"
+    normalized_distance: bool = False
+
+    def __post_init__(self) -> None:
+        if self.r_max is not None:
+            _require(self.r_max > 0, f"r_max must be positive, got {self.r_max!r}")
+        _require(isinstance(self.max_slides, int) and self.max_slides >= 0,
+                 f"max_slides must be >= 0, got {self.max_slides!r}")
+        _require(isinstance(self.pad_factor, int) and self.pad_factor >= 1,
+                 f"pad_factor must be >= 1, got {self.pad_factor!r}")
+        _require(self.weighting in WEIGHTINGS,
+                 f"weighting must be one of {WEIGHTINGS}, got {self.weighting!r}")
+        _require(self.ctf_correction in CTF_CORRECTIONS,
+                 f"ctf_correction must be one of {CTF_CORRECTIONS}, "
+                 f"got {self.ctf_correction!r}")
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """A plain nested dict; ``from_dict`` of it reconstructs ``self``."""
+        out: dict[str, Any] = {name: getattr(self, name).to_dict() for name in _SECTIONS}
+        for name in _SCALARS:
+            out[name] = getattr(self, name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        """Build from a nested dict, rejecting unknown fields loudly."""
+        _require(isinstance(data, Mapping), f"config must be a mapping, got {data!r}")
+        _reject_unknown("", data, tuple(_SECTIONS) + _SCALARS)
+        kwargs: dict[str, Any] = {}
+        for name, section_cls in _SECTIONS.items():
+            section = data.get(name)
+            if section is not None:
+                _require(isinstance(section, Mapping),
+                         f"{name} must be a table/object, got {section!r}")
+                kwargs[name] = section_cls.from_dict(section)
+        if "r_max" in data and data["r_max"] is not None:
+            kwargs["r_max"] = _coerce_float("r_max", data["r_max"])
+        if "max_slides" in data:
+            kwargs["max_slides"] = _coerce_int("max_slides", data["max_slides"])
+        if "refine_centers" in data:
+            kwargs["refine_centers"] = _coerce_bool("refine_centers", data["refine_centers"])
+        if "pad_factor" in data:
+            kwargs["pad_factor"] = _coerce_int("pad_factor", data["pad_factor"])
+        if "weighting" in data:
+            kwargs["weighting"] = _coerce_str("weighting", data["weighting"], WEIGHTINGS)
+        if "ctf_correction" in data:
+            kwargs["ctf_correction"] = _coerce_str("ctf_correction",
+                                                   data["ctf_correction"], CTF_CORRECTIONS)
+        if "normalized_distance" in data:
+            kwargs["normalized_distance"] = _coerce_bool("normalized_distance",
+                                                         data["normalized_distance"])
+        return cls(**kwargs)
+
+    # -- identity ------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A stable digest of every *result-relevant* setting.
+
+        Covers the schedule, the kernel and memo sections, and the matching
+        knobs — the fields a checkpoint must refuse to mix across (the old
+        schedule-only fingerprint silently accepted a resume under a
+        different kernel or memo configuration).  Execution strategy
+        (``parallel``, ``fault``, ``checkpoint``) is deliberately excluded:
+        every backend and recovery path is bit-identical by construction,
+        and a checkpoint from a 2-worker run must resume on an 8-core host.
+        ``kernel.gather_chunk`` is likewise excluded — chunking is a pure
+        memory-footprint knob that provably cannot change a value.
+        """
+        kernel = self.kernel.to_dict()
+        kernel.pop("gather_chunk")
+        payload = {
+            "schedule": self.schedule.to_dict(),
+            "kernel": kernel,
+            "memo": self.memo.to_dict(),
+            "matching": {name: getattr(self, name) for name in _SCALARS},
+        }
+        desc = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(desc.encode()).hexdigest()[:16]
+
+    def with_schedule(self, schedule: "MultiResolutionSchedule") -> "EngineConfig":
+        """A copy whose schedule section mirrors an in-memory schedule object."""
+        return replace(self, schedule=ScheduleConfig.from_schedule(schedule))
+
+    def flat_items(self) -> list[tuple[str, Any]]:
+        """Dotted ``(path, value)`` pairs in declaration order (for displays)."""
+        out: list[tuple[str, Any]] = []
+        for name in _SECTIONS:
+            section = getattr(self, name)
+            for f in fields(section):
+                out.append((f"{name}.{f.name}", getattr(section, f.name)))
+        for name in _SCALARS:
+            out.append((name, getattr(self, name)))
+        return out
+
+
+def load_config(path: str | Path) -> EngineConfig:
+    """Load an :class:`EngineConfig` from a ``.toml`` or ``.json`` file.
+
+    The suffix selects the parser; anything else (or a malformed file, or
+    an unknown field) raises :class:`ConfigError` with the offending
+    detail, so a typo'd config dies before any data is touched.
+    """
+    p = Path(path)
+    try:
+        text = p.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigError(f"cannot read config {p}: {exc}") from exc
+    if p.suffix == ".toml":
+        import tomllib
+
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"{p}: invalid TOML: {exc}") from exc
+    elif p.suffix == ".json":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"{p}: invalid JSON: {exc}") from exc
+    else:
+        raise ConfigError(f"{p}: config files must be .toml or .json")
+    try:
+        return EngineConfig.from_dict(data)
+    except ConfigError as exc:
+        raise ConfigError(f"{p}: {exc}") from exc

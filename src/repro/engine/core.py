@@ -1,0 +1,195 @@
+"""The engine front door: one configured object that runs refinements.
+
+:class:`RefinementEngine` is what drivers (CLI, experiment pipeline,
+structure-determination loop, benchmarks) construct from an
+:class:`~repro.engine.config.EngineConfig` and call, instead of each
+wiring :class:`~repro.refine.refiner.OrientationRefiner` kwargs,
+``ViewScheduler`` lifetimes and ``parallel_refine`` knobs by hand.  It
+
+* applies the config's gather-chunk override for the run's scope (so
+  pool workers spawned inside it inherit the value),
+* routes serial/process configs through the level-granular refiner and
+  sim configs through the whole-loop simulated cluster,
+* and returns one :class:`EngineRunResult` shape either way, with the
+  engine fingerprint that went into any checkpoints written.
+
+All heavy ``repro.*`` imports are lazy — see :mod:`repro.engine.config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.engine.backends import SimBackend, make_backend
+from repro.engine.config import ConfigError, EngineConfig
+from repro.engine.env import GATHER_CHUNK_ENV, temporary_env
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoids cycles
+    import numpy as np
+
+    from repro.ctf.model import CTFParams
+    from repro.density.map import DensityMap
+    from repro.faults.plan import FaultPlan
+    from repro.geometry.euler import Orientation
+    from repro.imaging.simulate import SimulatedViews
+    from repro.parallel.prefine import ParallelRefinementReport
+    from repro.perf import PerfCounters
+    from repro.refine.refiner import RefinementResult
+
+__all__ = ["EngineRunResult", "RefinementEngine"]
+
+
+@dataclass
+class EngineRunResult:
+    """One refinement run's outcome, backend-independent.
+
+    ``result`` (serial/process) or ``report`` (sim) carries the full
+    driver-specific record; orientations/distances/perf are always here.
+    """
+
+    orientations: list["Orientation"]
+    distances: "np.ndarray"
+    backend: str
+    fingerprint: str
+    perf: "PerfCounters | None" = None
+    result: "RefinementResult | None" = None
+    report: "ParallelRefinementReport | None" = None
+
+
+class RefinementEngine:
+    """Run refinements exactly as one frozen config describes.
+
+    The engine is stateless between runs apart from the config itself;
+    per-run resources (pools, shared D̂ replicas, the simulated fabric)
+    live and die inside :meth:`run`.
+    """
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+
+    def fingerprint(self) -> str:
+        """The config's result-relevant digest (checkpoint/bench header)."""
+        return self.config.fingerprint()
+
+    def run(
+        self,
+        views: "SimulatedViews | np.ndarray",
+        density: "DensityMap",
+        *,
+        initial_orientations: list["Orientation"] | None = None,
+        ctf_params: list["CTFParams"] | None = None,
+        apix: float | None = None,
+        keep_level_snapshots: bool = False,
+        fault_plan: "FaultPlan | None" = None,
+        machine: Any = None,
+        orientation_file: str | None = None,
+    ) -> EngineRunResult:
+        """One full refinement iteration under this config.
+
+        Serial/process configs run the level-granular refiner (honoring
+        the config's checkpoint section); sim configs run the simulated
+        cluster end-to-end.  ``fault_plan`` reaches whichever fabric the
+        backend has; ``machine``/``orientation_file`` apply to sim only.
+        """
+        cfg = self.config
+        chunk = cfg.kernel.gather_chunk
+        with temporary_env(GATHER_CHUNK_ENV, None if chunk is None else str(chunk)):
+            if cfg.parallel.backend == "sim":
+                return self._run_sim(
+                    views, density, fault_plan=fault_plan, machine=machine,
+                    orientation_file=orientation_file,
+                )
+            return self._run_refiner(
+                views, density,
+                initial_orientations=initial_orientations,
+                ctf_params=ctf_params, apix=apix,
+                keep_level_snapshots=keep_level_snapshots,
+                fault_plan=fault_plan,
+                orientation_file=orientation_file,
+            )
+
+    # -- serial / process ----------------------------------------------------
+    def _run_refiner(
+        self,
+        views: "SimulatedViews | np.ndarray",
+        density: "DensityMap",
+        *,
+        initial_orientations: list["Orientation"] | None,
+        ctf_params: list["CTFParams"] | None,
+        apix: float | None,
+        keep_level_snapshots: bool,
+        fault_plan: "FaultPlan | None",
+        orientation_file: str | None,
+    ) -> EngineRunResult:
+        from repro.refine.refiner import OrientationRefiner
+
+        cfg = self.config
+        refiner = OrientationRefiner(density, config=cfg)
+        backend = make_backend(cfg, fault_plan=fault_plan)
+        try:
+            result = refiner.refine(
+                views,
+                initial_orientations=initial_orientations,
+                schedule=cfg.schedule.to_schedule(),
+                ctf_params=ctf_params,
+                apix=apix,
+                refine_centers=cfg.refine_centers,
+                keep_level_snapshots=keep_level_snapshots,
+                backend=backend,
+                checkpoint_path=cfg.checkpoint.path,
+                resume=cfg.checkpoint.resume,
+            )
+        finally:
+            backend.close()
+        if orientation_file is not None:
+            from repro.refine.orientfile import write_orientation_file
+
+            write_orientation_file(
+                orientation_file, result.orientations, scores=result.distances
+            )
+        return EngineRunResult(
+            orientations=result.orientations,
+            distances=result.distances,
+            backend=backend.name,
+            fingerprint=cfg.fingerprint(),
+            perf=result.perf,
+            result=result,
+        )
+
+    # -- sim -----------------------------------------------------------------
+    def _run_sim(
+        self,
+        views: "SimulatedViews | np.ndarray",
+        density: "DensityMap",
+        *,
+        fault_plan: "FaultPlan | None",
+        machine: Any,
+        orientation_file: str | None,
+    ) -> EngineRunResult:
+        from repro.imaging.simulate import SimulatedViews
+
+        if not isinstance(views, SimulatedViews):
+            raise ConfigError(
+                "the sim backend distributes a SimulatedViews workload "
+                "(images + initial orientations + CTF) over the simulated "
+                "cluster; raw image stacks are not supported there"
+            )
+        cfg = self.config
+        if cfg.checkpoint.path is not None:
+            raise ConfigError(
+                "checkpointing is level-granular and lives in the serial/"
+                "process drivers; the sim backend does not support it"
+            )
+        backend = SimBackend(cfg, fault_plan=fault_plan)
+        report = backend.run_refinement(
+            views, density, machine=machine, orientation_file=orientation_file
+        )
+        return EngineRunResult(
+            orientations=report.orientations,
+            distances=report.distances,
+            backend=backend.name,
+            fingerprint=cfg.fingerprint(),
+            perf=report.perf,
+            report=report,
+        )

@@ -1,0 +1,131 @@
+"""The single place the process environment is read.
+
+Every runtime knob of the refinement stack flows through
+:mod:`repro.engine` — config files, CLI flags, and the environment all
+resolve into one :class:`~repro.engine.config.EngineConfig` — so scattered
+``os.environ.get`` calls in kernel or analysis code are forbidden
+(repro-lint RL011 enforces it).  The two historical environment variables
+are read *here* and nowhere else:
+
+* ``REPRO_GATHER_CHUNK`` — samples-per-chunk override for the in-band
+  gather kernels (a pure memory-footprint tuning knob; chunking cannot
+  change any value);
+* ``REPRO_CHECK_CONTRACTS`` — switches the runtime
+  :func:`repro.analysis.contracts.array_contract` layer on.
+
+This module must stay import-light (stdlib only): it is imported from the
+kernel packages at module import time, before the rest of
+:mod:`repro.engine` is guaranteed to be initialized.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "CONTRACTS_ENV",
+    "GATHER_CHUNK_ENV",
+    "contracts_enabled",
+    "env_flag",
+    "env_positive_int",
+    "environment_overrides",
+    "gather_chunk_override",
+    "gather_chunk_samples",
+    "temporary_env",
+]
+
+#: Environment variable overriding the gather chunk targets (samples/chunk).
+GATHER_CHUNK_ENV = "REPRO_GATHER_CHUNK"
+
+#: Environment flag that switches runtime array-contract enforcement on.
+CONTRACTS_ENV = "REPRO_CHECK_CONTRACTS"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def env_flag(name: str) -> bool:
+    """True when ``name`` is set to a truthy value (``1/true/yes/on``)."""
+    return os.environ.get(name, "").strip().lower() in _TRUTHY
+
+
+def env_positive_int(name: str, default: int) -> int:
+    """Read a positive-integer override, or ``default`` when unset.
+
+    A set-but-malformed value raises immediately: a silently ignored typo
+    would quietly change the run's behaviour, which is exactly the failure
+    mode centralizing configuration is meant to kill.
+    """
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{name} must be a positive integer, got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ValueError(f"{name} must be a positive integer, got {value}")
+    return value
+
+
+def gather_chunk_samples(default: int) -> int:
+    """The samples-per-chunk target, honoring ``REPRO_GATHER_CHUNK``.
+
+    The override must be a positive integer; anything else raises (see
+    :func:`env_positive_int`).  Chunking never changes results — gathers
+    are per-point and distances per-row — so this is a pure tuning knob.
+    """
+    try:
+        return env_positive_int(GATHER_CHUNK_ENV, default)
+    except ValueError:
+        raise ValueError(
+            f"{GATHER_CHUNK_ENV} must be a positive integer "
+            f"(samples per gather chunk), got {os.environ.get(GATHER_CHUNK_ENV)!r}"
+        ) from None
+
+
+def gather_chunk_override() -> int | None:
+    """The ``REPRO_GATHER_CHUNK`` value when set, else ``None`` (for resolve)."""
+    if os.environ.get(GATHER_CHUNK_ENV) is None:
+        return None
+    return gather_chunk_samples(0)
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_CHECK_CONTRACTS`` requests runtime enforcement."""
+    return env_flag(CONTRACTS_ENV)
+
+
+def environment_overrides() -> dict[str, str]:
+    """The repro environment variables currently set (for provenance views)."""
+    out: dict[str, str] = {}
+    for name in (GATHER_CHUNK_ENV, CONTRACTS_ENV):
+        raw = os.environ.get(name)
+        if raw is not None:
+            out[name] = raw
+    return out
+
+
+@contextmanager
+def temporary_env(name: str, value: str | None) -> Iterator[None]:
+    """Set (or, with ``None``, leave untouched) an env var for a scope.
+
+    Used by the engine to apply ``KernelConfig.gather_chunk`` for the
+    duration of a run: worker processes spawned inside the scope inherit
+    the value, so one config reaches every process of the fan-out.
+    """
+    if value is None:
+        yield
+        return
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous

@@ -1,0 +1,81 @@
+"""The ``config-gate``: every shipped config must load, forever.
+
+Example configs rot silently — a renamed field, a tightened validator —
+until a user hits the stale file.  This gate (run from ``tools/check.py``
+and importable for tests) validates every ``.toml``/``.json`` config
+under ``examples/`` end-to-end through
+:func:`~repro.engine.config.load_config` and fingerprints each one, then
+runs repro-lint rule RL011 (``config-reads-centralized``) alone over
+``src/repro`` so any new ``os.environ`` read outside ``repro/engine/``
+fails CI the day it lands, not the day it misbehaves.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.engine.config import ConfigError, load_config
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids cycles
+    from repro.analysis.gate import GateResult
+
+__all__ = ["run_config_gate", "validate_example_configs"]
+
+
+def validate_example_configs(examples_dir: Path) -> tuple[list[str], list[str]]:
+    """Load every config under ``examples_dir``.
+
+    Returns ``(ok_lines, error_lines)``: one ``name → fingerprint`` line
+    per valid config, one ``name: error`` line per broken one.
+    """
+    ok: list[str] = []
+    errors: list[str] = []
+    paths = sorted(
+        p for suffix in ("*.toml", "*.json") for p in examples_dir.glob(suffix)
+    )
+    for path in paths:
+        try:
+            config = load_config(path)
+        except ConfigError as exc:
+            errors.append(f"{path.name}: {exc}")
+        else:
+            ok.append(f"{path.name} → {config.fingerprint()}")
+    return ok, errors
+
+
+def run_config_gate(root: Path | None = None) -> "GateResult":
+    """Validate examples/ configs and enforce RL011 over ``src/repro``."""
+    from repro.analysis.gate import GateResult, repo_root
+    from repro.analysis.lint import lint_paths
+    from repro.analysis.rules import all_rules
+
+    root = root or repo_root()
+    lines: list[str] = []
+    failed = False
+
+    examples = root / "examples"
+    if examples.is_dir():
+        ok, errors = validate_example_configs(examples)
+        lines.extend(ok)
+        if errors:
+            failed = True
+            lines.extend(errors)
+        if not ok and not errors:
+            failed = True
+            lines.append("examples/ holds no .toml/.json engine configs")
+    else:  # pragma: no cover - repo always ships examples/
+        failed = True
+        lines.append(f"missing examples directory: {examples}")
+
+    rl011 = [rule for rule in all_rules() if rule.rule_id == "RL011"]
+    findings = lint_paths([root / "src" / "repro"], rules=rl011)
+    if findings:
+        failed = True
+        lines.extend(str(f) for f in findings)
+    else:
+        lines.append("RL011 config-reads-centralized: clean")
+
+    return GateResult(
+        "config-gate", "failed" if failed else "ok", "\n".join(lines)
+    )

@@ -31,6 +31,7 @@ from repro.refine.stats import RefinementStats
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "CheckpointConfigMismatch",
     "RefinementCheckpoint",
     "load_checkpoint",
     "save_checkpoint",
@@ -72,6 +73,12 @@ class RefinementCheckpoint:
     distances: Array
     stats: RefinementStats
     memo: dict[int, tuple[Array, Array]] | None = None
+    #: :meth:`repro.engine.config.EngineConfig.fingerprint` of the run's
+    #: engine config — schedule *plus* kernel/memo/matching settings.  The
+    #: schedule fingerprint alone silently accepted a resume under a
+    #: different kernel or memo configuration; this field closes that hole.
+    #: Empty for checkpoints written by drivers without an engine config.
+    engine_fingerprint: str = ""
 
     @property
     def n_views(self) -> int:
@@ -115,6 +122,8 @@ def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
         "n_views": checkpoint.n_views,
         "stats": asdict(checkpoint.stats),
     }
+    if checkpoint.engine_fingerprint:
+        meta["engine_fingerprint"] = checkpoint.engine_fingerprint
     header = f"{CHECKPOINT_FORMAT}\nmeta {json.dumps(meta, sort_keys=True)}"
     if checkpoint.memo is not None:
         header += f"\nmemo {_memo_to_json(checkpoint.memo)}"
@@ -184,11 +193,27 @@ def load_checkpoint(path: str) -> RefinementCheckpoint:
         distances=np.asarray(scores, dtype=float),
         stats=stats,
         memo=memo,
+        engine_fingerprint=str(meta.get("engine_fingerprint", "")),
     )
 
 
+class CheckpointConfigMismatch(ValueError):
+    """A checkpoint matches the schedule but not the engine configuration.
+
+    Same schedule, different kernel/memo/matching settings: the partial
+    results in the file were produced under a config the resuming run
+    would not reproduce, so continuing would silently mix numbers from
+    two different runs.  Unlike a schedule or view-count mismatch (which
+    just starts fresh — the file is simply *for another run*), this is
+    almost certainly an operator error and must fail loudly.
+    """
+
+
 def try_load_checkpoint(
-    path: str, schedule_fingerprint: str, n_views: int
+    path: str,
+    schedule_fingerprint: str,
+    n_views: int,
+    engine_fingerprint: str | None = None,
 ) -> RefinementCheckpoint | None:
     """Load ``path`` if it is a usable checkpoint for this exact run.
 
@@ -196,6 +221,13 @@ def try_load_checkpoint(
     checkpoint, or was written for a different schedule or view count —
     resuming across any of those would silently corrupt the result, so
     mismatch means "ignore", never "adapt".
+
+    ``engine_fingerprint`` tightens the gate: a checkpoint that matches
+    the schedule but carries a *different* engine fingerprint raises
+    :class:`CheckpointConfigMismatch` instead of resuming — same run
+    identity, incompatible kernel/memo configuration.  Checkpoints
+    written before the engine header existed (empty fingerprint) are
+    accepted for backward compatibility.
     """
     if not os.path.exists(path):
         return None
@@ -205,4 +237,16 @@ def try_load_checkpoint(
         return None
     if ckpt.schedule_fingerprint != schedule_fingerprint or ckpt.n_views != n_views:
         return None
+    if (
+        engine_fingerprint
+        and ckpt.engine_fingerprint
+        and ckpt.engine_fingerprint != engine_fingerprint
+    ):
+        raise CheckpointConfigMismatch(
+            f"{path}: checkpoint was written under engine config "
+            f"{ckpt.engine_fingerprint}, this run is configured as "
+            f"{engine_fingerprint} (same schedule, different kernel/memo/"
+            f"matching settings); refusing to resume — delete the "
+            f"checkpoint or restore the original configuration"
+        )
     return ckpt

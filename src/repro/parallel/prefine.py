@@ -18,6 +18,7 @@ and the measured host wall time of the run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -40,7 +41,7 @@ from repro.parallel.master_io import (
 )
 from repro.parallel.pfft import fft_flops_1d, parallel_fft3d
 from repro.perf import PerfCounters
-from repro.refine.multires import MultiResolutionSchedule, default_schedule
+from repro.refine.multires import MultiResolutionSchedule
 from repro.refine.refiner import (
     STEP_3D_DFT,
     STEP_FFT_ANALYSIS,
@@ -49,6 +50,9 @@ from repro.refine.refiner import (
 )
 from repro.parallel.viewsched import refine_level_serial
 from repro.utils import StepTimer, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids cycles
+    from repro.engine.config import EngineConfig
 
 __all__ = ["ParallelRefinementReport", "parallel_refine", "FLOPS_PER_MATCH_SAMPLE"]
 
@@ -98,6 +102,7 @@ def parallel_refine(
     orientation_file: str | None = None,
     fault_plan: FaultPlan | None = None,
     kernel: str = "batched",
+    config: "EngineConfig | None" = None,
 ) -> ParallelRefinementReport:
     """Run one full refinement iteration on the simulated cluster.
 
@@ -110,12 +115,38 @@ def parallel_refine(
     ``kernel`` selects the matching implementation per rank (all are
     bit-identical); ``"batched"`` (default) additionally memoizes repeated
     candidates per view and fills :attr:`ParallelRefinementReport.perf`.
+
+    ``config`` supplies everything as one validated
+    :class:`~repro.engine.config.EngineConfig` (``parallel.n_ranks``,
+    ``schedule``, ``r_max``, ``pad_factor``, ``refine_centers``,
+    ``kernel.kernel``); the individual kwargs above are the deprecation
+    shim and are ignored when it is given.  Both spellings run the
+    identical simulation.
     """
-    if kernel not in ("fused", "batched", "reference"):
-        raise ValueError(f"unknown kernel {kernel!r}")
-    sched = schedule or default_schedule()
+    # Imported lazily: repro.engine must stay importable before this
+    # package (its env module is read at kernel import time).
+    from repro.engine.config import EngineConfig, KernelConfig, ParallelConfig, ScheduleConfig
+
+    if config is None:
+        # deprecation shim: scattered kwargs → one validated config
+        sched_cfg = (
+            ScheduleConfig() if schedule is None else ScheduleConfig.from_schedule(schedule)
+        )
+        config = EngineConfig(
+            kernel=KernelConfig(kernel=kernel),
+            schedule=sched_cfg,
+            parallel=ParallelConfig(backend="sim", n_ranks=int(n_ranks)),
+            r_max=None if r_max is None else float(r_max),
+            refine_centers=bool(refine_centers),
+            pad_factor=int(pad_factor),
+        )
+    kernel = config.kernel.kernel
+    n_ranks = config.parallel.n_ranks
+    sched = config.schedule.to_schedule()
     size = density.size
-    rmax = float(size // 2 if r_max is None else r_max)
+    rmax = float(size // 2 if config.r_max is None else config.r_max)
+    pad_factor = config.pad_factor
+    refine_centers = config.refine_centers
     m = len(views)
     if n_ranks > m:
         raise ValueError(f"more ranks ({n_ranks}) than views ({m}); shrink the cluster")

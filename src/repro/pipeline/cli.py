@@ -23,6 +23,28 @@ import numpy as np
 
 __all__ = ["build_parser", "main", "validate_refine_args"]
 
+#: Effective defaults for the refine subcommand's tunables.  The parser
+#: declares these options with ``default=argparse.SUPPRESS`` so an option
+#: is *absent* from the namespace unless the user typed it — that presence
+#: is the explicit-flag signal the config resolver layers above config
+#: files (``--kernel batched`` must beat a file even though "batched" is
+#: also the default).  :func:`_normalize_refine_args` then fills the gaps
+#: from this table before validation, so downstream code always sees
+#: concrete values.
+_REFINE_DEFAULTS: dict[str, object] = {
+    "levels": "1.0,0.5",
+    "half_steps": 3,
+    "max_slides": 2,
+    "r_max": None,
+    "kernel": "batched",
+    "no_memo": False,
+    "no_centers": False,
+    "workers": 1,
+    "ranks": 0,
+    "checkpoint": None,
+    "resume": False,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for all subcommands (exposed for doc/testing)."""
@@ -51,32 +73,45 @@ def build_parser() -> argparse.ArgumentParser:
     ref.add_argument("--stack", required=True)
     ref.add_argument("--orient", required=True, help="initial orientation file")
     ref.add_argument("--out", required=True, help="refined orientation file")
-    ref.add_argument("--r-max", type=float, default=None)
-    ref.add_argument("--levels", default="1.0,0.5", help="comma-separated angular steps")
-    ref.add_argument("--half-steps", type=int, default=3)
-    ref.add_argument("--max-slides", type=int, default=2)
-    ref.add_argument("--no-centers", action="store_true")
-    ref.add_argument("--ranks", type=int, default=0, help=">0: run on the simulated cluster")
+    absent = argparse.SUPPRESS  # presence on the namespace == explicit flag
+    ref.add_argument("--r-max", type=float, default=absent)
+    ref.add_argument("--levels", default=absent, help="comma-separated angular steps")
+    ref.add_argument("--half-steps", type=int, default=absent)
+    ref.add_argument("--max-slides", type=int, default=absent)
+    ref.add_argument("--no-centers", action="store_true", default=absent)
     ref.add_argument(
-        "--kernel", choices=("batched", "fused", "reference"), default="batched",
+        "--ranks", type=int, default=absent,
+        help=">0: run on the simulated cluster",
+    )
+    ref.add_argument(
+        "--kernel", choices=("batched", "fused", "reference"), default=absent,
         help="matching kernel: batched whole-window with memo (default), fused "
         "in-band per candidate, or the reference slow path (all bit-identical)",
     )
     ref.add_argument(
-        "--no-memo", action="store_true",
+        "--no-memo", action="store_true", default=absent,
         help="disable the orientation memo cache (batched kernel only)",
     )
     ref.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=int, default=absent,
         help="process count for the per-view fan-out (1 = serial)",
     )
     ref.add_argument(
-        "--checkpoint", default=None,
+        "--checkpoint", default=absent,
         help="write a level-granular checkpoint here after every completed level",
     )
     ref.add_argument(
-        "--resume", action="store_true",
+        "--resume", action="store_true", default=absent,
         help="seed the run from --checkpoint if it matches this schedule and stack",
+    )
+    ref.add_argument(
+        "--config", dest="config_path", default=None,
+        help="engine config file (.toml or .json); flags override its fields",
+    )
+    ref.add_argument(
+        "--dry-run", action="store_true",
+        help="print the fully resolved engine config (with per-field "
+        "provenance: default/file/env/flag) and exit without refining",
     )
 
     rec = sub.add_parser("reconstruct", help="direct-Fourier reconstruction from a stack + orientations")
@@ -167,54 +202,132 @@ def _load_stack(path: str) -> tuple[np.ndarray, float]:
     return data, apix
 
 
-def _cmd_refine(args: argparse.Namespace) -> int:
-    from repro.density import DensityMap, read_mrc
-    from repro.refine import OrientationRefiner, read_orientation_file, write_orientation_file
-    from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+#: CLI-layer defaults that differ from the engine's own (the CLI ships a
+#: short demo schedule, not the paper's production one).  Applied as the
+#: base overlay of :func:`repro.engine.resolve.resolve_config`, so a
+#: config file or an explicit flag always beats them.
+_CLI_BASE = {
+    "schedule.levels": [[1.0, 1.0, 3, 1], [0.5, 0.5, 3, 1]],
+    "max_slides": 2,
+}
 
+
+def _normalize_refine_args(args: argparse.Namespace) -> set[str]:
+    """Record which refine tunables were typed, then fill in the defaults.
+
+    The parser declares tunables with ``default=argparse.SUPPRESS`` so only
+    explicit options appear on the namespace; this returns that set and
+    makes every remaining attribute concrete for validation and execution.
+    """
+    explicit = {name for name in _REFINE_DEFAULTS if hasattr(args, name)}
+    for name, value in _REFINE_DEFAULTS.items():
+        if name not in explicit:
+            setattr(args, name, value)
+    return explicit
+
+
+def _refine_flag_overrides(
+    args: argparse.Namespace, explicit: set[str]
+) -> dict[str, object]:
+    """The dotted-path overrides this invocation's *explicit* flags carry.
+
+    An option the user did not type contributes nothing, so config-file
+    fields are only overridden by options actually present on the command
+    line — even ones spelled identically to their default.
+    """
+
+    def changed(name: str) -> bool:
+        return name in explicit
+
+    flags: dict[str, object] = {}
+    if changed("levels") or changed("half_steps"):
+        steps = _parse_levels(args.levels)
+        flags["schedule.levels"] = [[s, s, args.half_steps, 1] for s in steps]
+    if changed("max_slides"):
+        flags["max_slides"] = args.max_slides
+    if changed("r_max"):
+        flags["r_max"] = args.r_max
+    if changed("kernel"):
+        flags["kernel.kernel"] = args.kernel
+    if changed("no_memo"):
+        flags["memo.enabled"] = not args.no_memo
+    if changed("no_centers"):
+        flags["refine_centers"] = not args.no_centers
+    if changed("workers"):
+        flags["parallel.n_workers"] = args.workers
+        flags["parallel.backend"] = "serial" if args.workers == 1 else "process"
+    if changed("ranks") and args.ranks > 0:
+        flags["parallel.backend"] = "sim"
+        flags["parallel.n_ranks"] = args.ranks
+    if changed("checkpoint"):
+        flags["checkpoint.path"] = args.checkpoint
+    if changed("resume"):
+        flags["checkpoint.resume"] = args.resume
+    return flags
+
+
+def _resolve_refine_config(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, explicit: set[str]
+):
+    """Layer defaults < CLI base < config file < env < flags; exit 2 on junk."""
+    from repro.engine import ConfigError, resolve_config
+
+    try:
+        return resolve_config(
+            args.config_path,
+            base=_CLI_BASE,
+            flags=_refine_flag_overrides(args, explicit),
+        )
+    except ConfigError as exc:
+        parser.error(str(exc))
+
+
+def _cmd_refine(
+    args: argparse.Namespace, parser: argparse.ArgumentParser, explicit: set[str]
+) -> int:
+    resolved = _resolve_refine_config(parser, args, explicit)
+    if args.dry_run:
+        from repro.engine.resolve import describe_environment
+
+        print(resolved.describe())
+        print(describe_environment())
+        return 0
+
+    from repro.density import DensityMap, read_mrc
+    from repro.engine import RefinementEngine
+    from repro.refine import read_orientation_file
+
+    config = resolved.config
     map_data, map_apix = read_mrc(args.map_path)
     density = DensityMap(map_data, map_apix)
     stack, _ = _load_stack(args.stack)
     init, _ = read_orientation_file(args.orient)
-    steps = _parse_levels(args.levels)
-    schedule = MultiResolutionSchedule(
-        tuple(RefinementLevel(s, s, half_steps=args.half_steps) for s in steps)
-    )
-    if args.ranks > 0:
+    engine = RefinementEngine(config)
+    if config.parallel.backend == "sim":
         from repro.imaging.simulate import SimulatedViews
-        from repro.parallel import parallel_refine
 
         views = SimulatedViews(
             images=stack, true_orientations=init, initial_orientations=init,
             ctf_params=None, apix=density.apix,
         )
-        report = parallel_refine(
-            views, density, n_ranks=args.ranks, schedule=schedule, r_max=args.r_max,
-            refine_centers=not args.no_centers, orientation_file=args.out,
-            kernel=args.kernel,
-        )
+        run = engine.run(views, density, orientation_file=args.out)
+        report = run.report
+        assert report is not None
         print(
-            f"refined {len(init)} views on {args.ranks} simulated ranks; "
+            f"refined {len(init)} views on {config.parallel.n_ranks} simulated ranks; "
             f"virtual time {report.simulated_total_seconds:.2f} s; wrote {args.out}"
         )
-        if report.perf is not None:
-            print(f"perf: {report.perf.summary()}")
-        return 0
-    refiner = OrientationRefiner(
-        density, r_max=args.r_max, max_slides=args.max_slides,
-        kernel=args.kernel, memo=not args.no_memo, n_workers=args.workers,
-    )
-    result = refiner.refine(
-        stack, initial_orientations=init, schedule=schedule,
-        refine_centers=not args.no_centers,
-        checkpoint_path=args.checkpoint, resume=args.resume,
-    )
-    write_orientation_file(args.out, result.orientations, scores=result.distances)
-    print(
-        f"refined {len(init)} views; {result.stats.total_matches:,} matchings; wrote {args.out}"
-    )
-    if result.perf is not None:
-        print(f"perf: {result.perf.summary()}")
+    else:
+        run = engine.run(
+            stack, density, initial_orientations=init, orientation_file=args.out
+        )
+        result = run.result
+        assert result is not None
+        print(
+            f"refined {len(init)} views; {result.stats.total_matches:,} matchings; wrote {args.out}"
+        )
+    if run.perf is not None:
+        print(f"perf: {run.perf.summary()}")
     return 0
 
 
@@ -269,10 +382,11 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "refine":
+        explicit = _normalize_refine_args(args)
         validate_refine_args(parser, args)
+        return _cmd_refine(args, parser, explicit)
     handlers = {
         "simulate": _cmd_simulate,
-        "refine": _cmd_refine,
         "reconstruct": _cmd_reconstruct,
         "detect-symmetry": _cmd_detect_symmetry,
         "resolution": _cmd_resolution,

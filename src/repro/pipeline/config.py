@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.engine.config import EngineConfig, ScheduleConfig
 from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
 
 __all__ = ["ExperimentConfig", "MiniWorkload", "mini_schedule"]
@@ -55,3 +56,18 @@ class ExperimentConfig:
     n_iterations: int = 3
     pad_factor: int = 2
     max_slides: int = 2
+
+    def engine_config(
+        self,
+        r_max: float,
+        schedule: MultiResolutionSchedule | None = None,
+    ) -> EngineConfig:
+        """The :class:`~repro.engine.config.EngineConfig` for one outer
+        iteration of the honest protocol (the band limit rises per
+        iteration, so ``r_max`` is an argument, not a field)."""
+        return EngineConfig(
+            schedule=ScheduleConfig.from_schedule(schedule or mini_schedule()),
+            r_max=float(r_max),
+            pad_factor=self.pad_factor,
+            max_slides=self.max_slides,
+        )

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.density.map import DensityMap
+from repro.engine.config import EngineConfig, ParallelConfig, ScheduleConfig
 from repro.geometry.euler import Orientation
 from repro.geometry.sphere import (
     icosahedral_asymmetric_unit_views,
@@ -83,12 +84,10 @@ def refine_from_old_orientations(
         ctf_params=views.ctf_params,
     )
     for r_max in config.r_max_sequence[: config.n_iterations]:
-        refiner = OrientationRefiner(
-            current,
-            r_max=r_max,
-            pad_factor=config.pad_factor,
-            max_slides=config.max_slides,
-        )
+        # One engine config per outer iteration (the band limit rises);
+        # the refiner derives every knob from it.
+        engine_cfg = config.engine_config(r_max, sched)
+        refiner = OrientationRefiner(current, config=engine_cfg)
         result = refiner.refine(views, initial_orientations=orientations, schedule=sched)
         orientations = result.orientations
         current = reconstruct_from_views(
@@ -275,11 +274,13 @@ def run_timing_table_experiment(
     mini = mini or MiniWorkload(name=f"{workload.name}-mini", kind="sindbis", n_views=16, size=32)
     views = make_dataset(mini)
     density = phantom_for(mini.kind, mini.size, mini.apix, mini.seed)
-    t0 = time.perf_counter()
-    report = parallel_refine(
-        views, density, n_ranks=n_ranks, schedule=mini_schedule(), machine=machine,
+    engine_cfg = EngineConfig(
+        schedule=ScheduleConfig.from_schedule(mini_schedule()),
+        parallel=ParallelConfig(backend="sim", n_ranks=n_ranks),
         r_max=mini.size * 0.4,
     )
+    t0 = time.perf_counter()
+    report = parallel_refine(views, density, machine=machine, config=engine_cfg)
     wall = time.perf_counter() - t0
     model = PerformanceModel(machine=machine)
     if calibrate_seconds is not None and calibrate_level is not None:

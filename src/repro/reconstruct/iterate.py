@@ -16,11 +16,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.density.map import DensityMap
+from repro.engine.config import EngineConfig, ScheduleConfig
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
 from repro.reconstruct.direct_fourier import reconstruct_from_views
 from repro.reconstruct.resolution import correlation_curve
-from repro.refine.multires import MultiResolutionSchedule, default_schedule
+from repro.refine.multires import MultiResolutionSchedule
 from repro.refine.refiner import OrientationRefiner
 
 __all__ = ["IterationRecord", "structure_determination_loop"]
@@ -46,6 +47,7 @@ def structure_determination_loop(
     pad_factor: int = 2,
     min_improvement_angstrom: float = 0.0,
     refine_centers: bool = True,
+    config: EngineConfig | None = None,
 ) -> list[IterationRecord]:
     """Alternate orientation refinement and reconstruction.
 
@@ -53,17 +55,50 @@ def structure_determination_loop(
     resolution).  The initial map may come from a previous pass, from the
     baseline method, or from a low-pass-filtered ground truth in synthetic
     studies.
+
+    ``config`` configures the whole loop as one solver — schedule, kernel,
+    matching knobs and backend all come from the
+    :class:`~repro.engine.config.EngineConfig`; the individual kwargs are
+    the deprecation shim and are folded into an equivalent config when it
+    is absent.  ``schedule``/``r_max``/``pad_factor``/``refine_centers``
+    kwargs are ignored when ``config`` is given.
     """
     if max_iterations < 1:
         raise ValueError("max_iterations must be >= 1")
-    sched = schedule or default_schedule()
+    if config is None:
+        # deprecation shim: scattered kwargs → one validated config
+        config = EngineConfig(
+            schedule=(
+                ScheduleConfig()
+                if schedule is None
+                else ScheduleConfig.from_schedule(schedule)
+            ),
+            r_max=None if r_max is None else float(r_max),
+            refine_centers=bool(refine_centers),
+            pad_factor=int(pad_factor),
+        )
+    if config.checkpoint.path is not None:
+        # Level-granular checkpoints identify *one* refinement run; the
+        # outer loop runs several against changing maps, so a shared path
+        # would make iteration 2 resume from iteration 1's checkpoint.
+        raise ValueError(
+            "structure_determination_loop does not support checkpoint.path; "
+            "checkpoint individual refinements instead"
+        )
+    sched = config.schedule.to_schedule()
+    pad_factor = config.pad_factor
     current_map = initial_map
     orientations = list(views.initial_orientations)
     history: list[IterationRecord] = []
     best_res = np.inf
     for it in range(max_iterations):
-        refiner = OrientationRefiner(current_map, r_max=r_max, pad_factor=pad_factor)
-        result = refiner.refine(views, initial_orientations=orientations, schedule=sched, refine_centers=refine_centers)
+        refiner = OrientationRefiner(current_map, config=config)
+        result = refiner.refine(
+            views,
+            initial_orientations=orientations,
+            schedule=sched,
+            refine_centers=config.refine_centers,
+        )
         orientations = result.orientations
         current_map = reconstruct_from_views(
             views.images,

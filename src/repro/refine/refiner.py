@@ -25,6 +25,13 @@ from repro.arraytypes import Array
 from repro.ctf.correct import phase_flip
 from repro.ctf.model import CTFParams
 from repro.density.map import DensityMap
+from repro.engine.config import (
+    ConfigError,
+    EngineConfig,
+    KernelConfig,
+    MemoConfig,
+    ParallelConfig,
+)
 from repro.fourier.transforms import centered_fft2
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
@@ -109,6 +116,12 @@ class OrientationRefiner:
         Process count for the view fan-out (``1`` = serial, the default).
         Workers share one D̂ replica via ``multiprocessing.shared_memory``
         and return bit-identical results to the serial loop.
+    config:
+        A complete :class:`~repro.engine.config.EngineConfig`.  When
+        given, it is the single source of truth and the individual
+        kwargs above are ignored; the kwargs form is a thin shim kept
+        for existing callers — it builds the equivalent config and
+        behaves identically.
     """
 
     def __init__(
@@ -124,32 +137,81 @@ class OrientationRefiner:
         kernel: str = "batched",
         memo: bool = True,
         n_workers: int = 1,
+        config: EngineConfig | None = None,
     ) -> None:
+        if config is None:
+            # deprecation shim: scattered kwargs → one validated config
+            # (ConfigError subclasses ValueError, so legacy callers that
+            # catch ValueError on bad options keep working)
+            config = EngineConfig(
+                kernel=KernelConfig(kernel=kernel, interpolation=interpolation),
+                parallel=ParallelConfig(
+                    backend="serial" if int(n_workers) == 1 else "process",
+                    n_workers=int(n_workers),
+                ),
+                memo=MemoConfig(enabled=bool(memo)),
+                r_max=None if r_max is None else float(r_max),
+                max_slides=int(max_slides),
+                refine_centers=True,
+                pad_factor=int(pad_factor),
+                weighting=weighting,
+                ctf_correction=ctf_correction,
+                normalized_distance=bool(normalized_distance),
+            )
+        self.config = config
         self.density = density
         self.size = density.size
-        self.r_max = float(self.size // 2 if r_max is None else r_max)
-        w = None if weighting == "none" else radius_weights(self.size, weighting, self.r_max)
-        self.distance_computer = DistanceComputer(
-            self.size, r_max=self.r_max, weights=w, normalized=normalized_distance
+        self.r_max = float(self.size // 2 if config.r_max is None else config.r_max)
+        w = (
+            None
+            if config.weighting == "none"
+            else radius_weights(self.size, config.weighting, self.r_max)
         )
-        self.interpolation = interpolation
-        if ctf_correction not in ("phase_flip", "none"):
-            raise ValueError(f"unknown ctf_correction {ctf_correction!r}")
-        self.ctf_correction = ctf_correction
-        if kernel not in ("fused", "batched", "reference"):
-            raise ValueError(f"unknown kernel {kernel!r}")
-        self.kernel = kernel
-        self.memo = bool(memo)
-        if n_workers < 1:
-            raise ValueError("n_workers must be >= 1")
-        self.n_workers = int(n_workers)
-        self.max_slides = max_slides
-        self.pad_factor = int(pad_factor)
+        self.distance_computer = DistanceComputer(
+            self.size, r_max=self.r_max, weights=w,
+            normalized=config.normalized_distance,
+        )
+        self.interpolation = config.kernel.interpolation
+        self.ctf_correction = config.ctf_correction
+        self.kernel = config.kernel.kernel
+        self.memo = config.memo.enabled
+        self.n_workers = config.parallel.n_workers
+        self.max_slides = config.max_slides
+        self.pad_factor = config.pad_factor
         self._volume_ft: Array | None = None
         # |CTF| band modulations are pure functions of (params, apix) for a
         # fixed distance computer; cache them across refine() calls so
         # repeated iterations over the same micrographs rebuild nothing.
         self._modulation_cache: dict[tuple[CTFParams, float], Array] = {}
+
+    def _run_config(self, n_workers: int | None) -> EngineConfig:
+        """The effective config for one ``refine()`` call.
+
+        Applies the per-call worker override and keeps the backend kind
+        consistent with it; the sim backend cannot drive the
+        level-granular loop, so asking this refiner to run one is an
+        error (use :class:`~repro.engine.core.RefinementEngine`).
+        """
+        from dataclasses import replace
+
+        cfg = self.config
+        if cfg.parallel.backend == "sim":
+            raise ConfigError(
+                "OrientationRefiner runs the serial/process backends; "
+                "route parallel.backend = 'sim' configs through "
+                "RefinementEngine.run() instead"
+            )
+        if n_workers is not None and int(n_workers) != cfg.parallel.n_workers:
+            workers = int(n_workers)
+            cfg = replace(
+                cfg,
+                parallel=replace(
+                    cfg.parallel,
+                    backend="serial" if workers == 1 else "process",
+                    n_workers=workers,
+                ),
+            )
+        return cfg
 
     # -- step a -------------------------------------------------------------
     def volume_ft(self, timer: StepTimer | None = None) -> Array:
@@ -209,6 +271,7 @@ class OrientationRefiner:
         scheduler=None,
         checkpoint_path: str | None = None,
         resume: bool = False,
+        backend=None,
     ) -> RefinementResult:
         """Run one full refinement iteration over a view set.
 
@@ -216,10 +279,15 @@ class OrientationRefiner:
         from it unless overridden) or a raw ``(m, l, l)`` image stack with
         explicit ``initial_orientations``.
 
-        ``n_workers`` overrides the constructor's worker count for this
-        call; ``scheduler`` injects a pre-built (possibly shared)
+        ``backend`` injects a pre-built
+        :class:`~repro.engine.backends.ExecutionBackend` for the level
+        fan-out (the caller owns its lifetime); by default the backend is
+        built from the refiner's config.  ``n_workers`` overrides the
+        config's worker count for this call; ``scheduler`` injects a
+        pre-built (possibly shared)
         :class:`~repro.parallel.viewsched.ViewScheduler` instead — the
-        caller then owns its lifetime.
+        caller then owns its lifetime.  All fan-out strategies are
+        bit-identical.
 
         ``checkpoint_path`` enables level-granular fault tolerance: after
         every completed level the per-view orientations, distances and
@@ -258,13 +326,20 @@ class OrientationRefiner:
         orientations = list(init)
         distances = np.full(images.shape[0], np.inf)
         batched = self.kernel == "batched"
-        memo_store = MemoStore() if (batched and self.memo) else None
+        memo_store = (
+            MemoStore(capacity=self.config.memo.capacity)
+            if (batched and self.memo)
+            else None
+        )
         counters = PerfCounters() if batched else None
         start_level = 0
         fingerprint = ""
+        engine_fingerprint = ""
         if checkpoint_path is not None:
             # Imported lazily: repro.faults.checkpoint reads/writes the
             # orientation-file format, which lives beside this module.
+            from dataclasses import replace as _replace
+
             from repro.faults.checkpoint import (
                 RefinementCheckpoint,
                 save_checkpoint,
@@ -272,8 +347,20 @@ class OrientationRefiner:
             )
 
             fingerprint = sched.fingerprint()
+            # The engine fingerprint covers the *effective* run config:
+            # the schedule actually refined plus kernel/memo/matching
+            # settings — the fields a resume must not silently change.
+            engine_fingerprint = _replace(
+                self.config.with_schedule(sched),
+                refine_centers=bool(refine_centers),
+            ).fingerprint()
             if resume:
-                found = try_load_checkpoint(checkpoint_path, fingerprint, images.shape[0])
+                found = try_load_checkpoint(
+                    checkpoint_path,
+                    fingerprint,
+                    images.shape[0],
+                    engine_fingerprint=engine_fingerprint,
+                )
                 if found is not None:
                     orientations = list(found.orientations)
                     distances = np.asarray(found.distances, dtype=float).copy()
@@ -301,13 +388,18 @@ class OrientationRefiner:
         fts, modulations = self.prepare_views(images, ctf, pix, timer)
 
         snapshots: list[list[Orientation]] = []
-        # Imported lazily: repro.parallel pulls in this module at package
-        # import time, so a top-level import would be circular.
-        from repro.parallel.viewsched import ViewScheduler
+        # Imported lazily: repro.engine.backends pulls in repro.parallel,
+        # which imports this module at package import time.
+        from repro.engine.backends import ProcessBackend, make_backend
 
-        workers = self.n_workers if n_workers is None else int(n_workers)
-        own_scheduler = scheduler is None
-        sched_obj = scheduler or ViewScheduler(n_workers=workers)
+        own_backend = backend is None
+        if backend is None:
+            if scheduler is not None:
+                # legacy injection contract: adopt the caller's pool,
+                # never close it (ProcessBackend.close is a no-op then)
+                backend = ProcessBackend(scheduler=scheduler)
+            else:
+                backend = make_backend(self._run_config(n_workers))
         try:
             for li, level in enumerate(sched):
                 if li < start_level:
@@ -316,7 +408,7 @@ class OrientationRefiner:
                 candidates_before = 0 if counters is None else counters.candidates
                 level_timer = Timer().start()
                 with timer.step(STEP_REFINEMENT):
-                    results = sched_obj.run_level(
+                    results = backend.run_level(
                         volume_ft,
                         fts,
                         orientations,
@@ -358,11 +450,12 @@ class OrientationRefiner:
                             distances=distances.copy(),
                             stats=stats,
                             memo=None if memo_store is None else memo_store.export_state(),
+                            engine_fingerprint=engine_fingerprint,
                         ),
                     )
         finally:
-            if own_scheduler:
-                sched_obj.close()
+            if own_backend:
+                backend.close()
         return RefinementResult(
             orientations=orientations,
             distances=distances,

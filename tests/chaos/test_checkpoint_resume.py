@@ -79,6 +79,89 @@ def test_fingerprint_mismatch_starts_fresh(chaos_problem, baseline, tmp_path):
     assert_identical(resumed, baseline)
 
 
+def test_engine_fingerprint_mismatch_fails_loudly(chaos_problem, tmp_path):
+    """Same schedule, different kernel/memo config: resume must *raise*.
+
+    The old schedule-only fingerprint silently accepted these resumes; the
+    engine fingerprint in the checkpoint header turns them into a
+    :class:`CheckpointConfigMismatch` instead of a quietly mixed result.
+    """
+    from repro.faults.checkpoint import CheckpointConfigMismatch
+    from repro.refine.refiner import OrientationRefiner
+
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    refiner.refine(views, schedule=schedule, checkpoint_path=ckpt)
+
+    density = refiner.density
+    for variant in (
+        OrientationRefiner(density, max_slides=2, kernel="fused"),
+        OrientationRefiner(density, max_slides=2, memo=False),
+    ):
+        with pytest.raises(CheckpointConfigMismatch):
+            variant.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+
+    # the matching config still resumes cleanly
+    again = OrientationRefiner(density, max_slides=2)
+    again.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+
+
+def test_legacy_checkpoint_without_engine_fingerprint_resumes(
+    chaos_problem, baseline, tmp_path
+):
+    """Pre-engine checkpoints (no engine fingerprint header) stay loadable."""
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    interrupted_run(chaos_problem, ckpt)
+    saved = load_checkpoint(ckpt)
+    stripped = RefinementCheckpoint(
+        schedule_fingerprint=saved.schedule_fingerprint,
+        levels_done=saved.levels_done,
+        orientations=saved.orientations,
+        distances=saved.distances,
+        stats=saved.stats,
+        memo=saved.memo,
+        engine_fingerprint="",
+    )
+    save_checkpoint(ckpt, stripped)
+
+    resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
+    assert_identical(resumed, baseline)
+
+
+def test_engine_routed_abort_and_resume(chaos_problem, baseline, tmp_path):
+    """The config'd engine path survives an abort-level fault and resumes
+    bit-identically — same contract as the legacy kwargs path."""
+    from repro.engine import (
+        EngineConfig,
+        ParallelConfig,
+        RefinementEngine,
+        ScheduleConfig,
+    )
+
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    config = EngineConfig(
+        schedule=ScheduleConfig.from_schedule(schedule),
+        parallel=ParallelConfig(backend="process", n_workers=1),
+        max_slides=2,
+    )
+    ckpt_config = EngineConfig.from_dict(
+        {**config.to_dict(), "checkpoint": {"path": ckpt}}
+    )
+    plan = FaultPlan((FaultSpec("abort-level", "level:1"),))
+    with pytest.raises(FaultInjected):
+        RefinementEngine(ckpt_config).run(views, refiner.density, fault_plan=plan)
+    assert load_checkpoint(ckpt).levels_done == 1
+
+    resume_config = EngineConfig.from_dict(
+        {**config.to_dict(), "checkpoint": {"path": ckpt, "resume": True}}
+    )
+    run = RefinementEngine(resume_config).run(views, refiner.density)
+    assert_identical(run.result, baseline)
+    assert run.result.stats == baseline.stats
+
+
 def test_garbage_checkpoint_is_ignored(chaos_problem, baseline, tmp_path):
     views, refiner, schedule = chaos_problem
     ckpt = str(tmp_path / "run.ckpt")

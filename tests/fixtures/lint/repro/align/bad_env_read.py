@@ -1,0 +1,13 @@
+"""Known-bad fixture: environment read outside ``repro/engine/`` (RL011)."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["hidden_knob"]
+
+
+def hidden_knob() -> int:
+    if os.getenv("REPRO_SECRET_TUNING"):
+        return int(os.environ["REPRO_SECRET_TUNING"])
+    return 0

@@ -23,6 +23,7 @@ FIXTURE_RULES = {
     "align/bad_future.py": "RL008",
     "parallel/bad_bare_except.py": "RL009",
     "align/bad_cut_loop.py": "RL010",
+    "align/bad_env_read.py": "RL011",
 }
 
 
@@ -34,7 +35,7 @@ def rules_hit(findings):
 def test_every_rule_has_identity():
     rules = all_rules()
     ids = [r.rule_id for r in rules]
-    assert len(ids) == len(set(ids)) == 10
+    assert len(ids) == len(set(ids)) == 11
     assert ids == sorted(ids)
     for rule_id, name, rationale in rule_table():
         assert rule_id.startswith("RL")
@@ -91,6 +92,18 @@ def test_mp_rule_allows_parallel_package():
     src = "import multiprocessing\n"
     assert "RL005" in rules_hit(lint_source(src, rel="repro/align/x.py"))
     assert "RL005" not in rules_hit(lint_source(src, rel="repro/parallel/x.py"))
+
+
+def test_config_rule_exempts_engine_package_only():
+    src = (
+        "from __future__ import annotations\n\n"
+        "import os\n\n\n"
+        "def f():\n"
+        "    return os.environ.get('REPRO_X')\n"
+    )
+    assert "RL011" in rules_hit(lint_source(src, rel="repro/align/x.py"))
+    assert "RL011" in rules_hit(lint_source(src, rel="repro/pipeline/cli.py"))
+    assert "RL011" not in rules_hit(lint_source(src, rel="repro/engine/env.py"))
 
 
 def test_bare_except_rule_patrols_recovery_packages_only():

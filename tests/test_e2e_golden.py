@@ -52,6 +52,35 @@ def test_golden_schedule_fingerprint(tiny_problem, golden):
     assert schedule.fingerprint() == golden[2]
 
 
+@pytest.mark.parametrize("backend", ["serial", "process", "sim"])
+def test_engine_backends_match_golden(tiny_problem, golden, backend):
+    """All three execution backends, driven through the config'd engine,
+    reproduce the pre-refactor golden bits."""
+    from repro.engine import EngineConfig, ParallelConfig, RefinementEngine, ScheduleConfig
+
+    density, views, schedule = tiny_problem
+    parallel = {
+        "serial": ParallelConfig(),
+        "process": ParallelConfig(backend="process", n_workers=2),
+        "sim": ParallelConfig(backend="sim", n_ranks=2),
+    }[backend]
+    config = EngineConfig(
+        schedule=ScheduleConfig.from_schedule(schedule),
+        parallel=parallel,
+        max_slides=2,
+    )
+    run = RefinementEngine(config).run(views, density)
+    assert run.backend == backend
+    assert run.fingerprint == config.fingerprint()
+    got = np.array([o.as_tuple() for o in run.orientations])
+    want_orient, want_dist, _ = golden
+    assert np.array_equal(got, want_orient), (
+        f"engine backend={backend} drifted from the golden result; "
+        "if the numerics change was intentional, regenerate with tools/gen_golden.py"
+    )
+    assert np.array_equal(np.asarray(run.distances), want_dist)
+
+
 @pytest.mark.parametrize("kernel", ["fused", "reference"])
 @pytest.mark.parametrize("n_workers", [1, 2])
 def test_refinement_matches_golden(tiny_problem, golden, kernel, n_workers):

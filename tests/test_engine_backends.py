@@ -1,0 +1,213 @@
+"""Tests for the execution backends and the engine front door.
+
+Dispatch, lifetime ownership, and — the refactor's load-bearing claim —
+bit-identical equivalence between the engine-routed paths and the legacy
+kwarg paths they replaced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ConfigError,
+    EngineConfig,
+    KernelConfig,
+    ParallelConfig,
+    ProcessBackend,
+    RefinementEngine,
+    ScheduleConfig,
+    SerialBackend,
+    SimBackend,
+    make_backend,
+)
+from repro.imaging import simulate_views
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+from repro.refine.refiner import OrientationRefiner
+
+SCHED_LEVELS = ((1.0, 1.0, 2, 1), (0.5, 0.5, 2, 1))
+
+
+@pytest.fixture(scope="module")
+def dataset(phantom16):
+    return simulate_views(
+        phantom16, 4, initial_angle_error_deg=2.0, center_sigma_px=0.3, seed=3
+    )
+
+
+def small_config(**overrides):
+    base = dict(
+        schedule=ScheduleConfig(levels=SCHED_LEVELS), r_max=6.0, max_slides=2
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+# -- dispatch ----------------------------------------------------------------
+def test_make_backend_dispatch():
+    assert isinstance(make_backend(EngineConfig()), SerialBackend)
+    sim = make_backend(EngineConfig(parallel=ParallelConfig(backend="sim")))
+    assert isinstance(sim, SimBackend)
+
+
+def test_make_backend_process_owns_scheduler():
+    cfg = EngineConfig(parallel=ParallelConfig(backend="process", n_workers=2))
+    with make_backend(cfg) as backend:
+        assert isinstance(backend, ProcessBackend)
+        assert backend.scheduler.n_workers == 2
+    # close() ran on __exit__; closing again must be harmless
+    backend.close()
+
+
+def test_make_backend_rejects_serial_multiworker():
+    cfg = EngineConfig(parallel=ParallelConfig(backend="serial", n_workers=1))
+    bad = {"backend": "serial", "n_workers": 3}
+    with pytest.raises(ConfigError, match="n_workers"):
+        make_backend(EngineConfig.from_dict({"parallel": bad}))
+    assert isinstance(make_backend(cfg), SerialBackend)
+
+
+def test_injected_scheduler_is_adopted_not_owned():
+    from repro.parallel.viewsched import ViewScheduler
+
+    with ViewScheduler(n_workers=2) as scheduler:
+        backend = make_backend(EngineConfig(), scheduler=scheduler)
+        assert isinstance(backend, ProcessBackend)
+        assert backend.scheduler is scheduler
+        assert backend._owned is False
+        backend.close()  # must NOT shut down the caller's pool
+
+
+def test_sim_backend_refuses_level_granular_calls():
+    backend = SimBackend(EngineConfig(parallel=ParallelConfig(backend="sim")))
+    with pytest.raises(ConfigError, match="whole schedule"):
+        backend.run_level()
+
+
+# -- legacy-shim equivalence -------------------------------------------------
+def test_refiner_config_matches_kwargs_bitwise(phantom16, dataset):
+    """OrientationRefiner(config=...) == the old kwargs path, bit for bit."""
+    sched = MultiResolutionSchedule(
+        (RefinementLevel(1.0, 1.0, half_steps=2), RefinementLevel(0.5, 0.5, half_steps=2))
+    )
+    old = OrientationRefiner(
+        phantom16, r_max=6.0, max_slides=2, kernel="batched"
+    ).refine(dataset, schedule=sched)
+    new = OrientationRefiner(phantom16, config=small_config()).refine(
+        dataset, schedule=sched
+    )
+    assert [o.as_tuple() for o in new.orientations] == [
+        o.as_tuple() for o in old.orientations
+    ]
+    assert np.array_equal(new.distances, old.distances)
+
+
+def test_engine_serial_matches_legacy_refiner_bitwise(phantom16, dataset):
+    sched = small_config().schedule.to_schedule()
+    legacy = OrientationRefiner(phantom16, r_max=6.0, max_slides=2).refine(
+        dataset, schedule=sched
+    )
+    run = RefinementEngine(small_config()).run(dataset, phantom16)
+    assert run.backend == "serial"
+    assert run.fingerprint == small_config().fingerprint()
+    assert [o.as_tuple() for o in run.orientations] == [
+        o.as_tuple() for o in legacy.orientations
+    ]
+    assert np.array_equal(run.distances, legacy.distances)
+
+
+def test_engine_process_matches_serial_bitwise(phantom16, dataset):
+    serial = RefinementEngine(small_config()).run(dataset, phantom16)
+    cfg = small_config(parallel=ParallelConfig(backend="process", n_workers=2))
+    pooled = RefinementEngine(cfg).run(dataset, phantom16)
+    assert pooled.backend == "process"
+    assert [o.as_tuple() for o in pooled.orientations] == [
+        o.as_tuple() for o in serial.orientations
+    ]
+    assert np.array_equal(pooled.distances, serial.distances)
+    # execution strategy must not fork the fingerprint
+    assert pooled.fingerprint == serial.fingerprint
+
+
+def test_engine_sim_matches_legacy_parallel_refine_bitwise(phantom16, dataset):
+    from repro.parallel import parallel_refine
+
+    cfg = small_config(
+        parallel=ParallelConfig(backend="sim", n_ranks=2),
+        kernel=KernelConfig(kernel="fused"),
+    )
+    legacy = parallel_refine(
+        dataset, phantom16, n_ranks=2, schedule=cfg.schedule.to_schedule(),
+        r_max=6.0, kernel="fused",
+    )
+    run = RefinementEngine(cfg).run(dataset, phantom16)
+    assert run.backend == "sim"
+    assert run.report is not None
+    assert [o.as_tuple() for o in run.orientations] == [
+        o.as_tuple() for o in legacy.orientations
+    ]
+    assert np.array_equal(run.distances, legacy.distances)
+
+
+# -- engine guard rails ------------------------------------------------------
+def test_engine_sim_rejects_raw_stacks(phantom16, dataset):
+    cfg = small_config(parallel=ParallelConfig(backend="sim", n_ranks=2))
+    with pytest.raises(ConfigError, match="SimulatedViews"):
+        RefinementEngine(cfg).run(dataset.images, phantom16)
+
+
+def test_engine_sim_rejects_checkpointing(phantom16, dataset, tmp_path):
+    cfg = small_config(parallel=ParallelConfig(backend="sim", n_ranks=2))
+    cfg = EngineConfig.from_dict(
+        {**cfg.to_dict(), "checkpoint": {"path": str(tmp_path / "x.ckpt")}}
+    )
+    with pytest.raises(ConfigError, match="checkpoint"):
+        RefinementEngine(cfg).run(dataset, phantom16)
+
+
+def test_refiner_rejects_sim_config():
+    from repro.density import asymmetric_phantom
+
+    from repro.geometry import Orientation
+
+    cfg = EngineConfig(parallel=ParallelConfig(backend="sim"))
+    density = asymmetric_phantom(16, seed=0).normalized()
+    refiner = OrientationRefiner(density, config=cfg)
+    with pytest.raises(ConfigError):
+        refiner.refine(
+            np.zeros((1, 16, 16)), initial_orientations=[Orientation(0, 0, 0)]
+        )
+
+
+def test_engine_writes_orientation_file(phantom16, dataset, tmp_path):
+    from repro.refine import read_orientation_file
+
+    out = str(tmp_path / "refined.txt")
+    run = RefinementEngine(small_config()).run(
+        dataset, phantom16, orientation_file=out
+    )
+    got, scores = read_orientation_file(out)
+    # the text format carries 6 decimals, not full float64 precision
+    assert np.allclose(
+        [o.as_tuple() for o in got],
+        [o.as_tuple() for o in run.orientations],
+        atol=1e-6,
+    )
+    assert np.allclose(scores, run.distances)
+
+
+def test_engine_gather_chunk_scopes_to_run(phantom16, dataset, monkeypatch):
+    """kernel.gather_chunk reaches the kernels via the env for the run's
+    scope only — the process env is restored afterwards."""
+    import os
+
+    monkeypatch.delenv("REPRO_GATHER_CHUNK", raising=False)
+    cfg = small_config(kernel=KernelConfig(gather_chunk=64))
+    baseline = RefinementEngine(small_config()).run(dataset, phantom16)
+    chunked = RefinementEngine(cfg).run(dataset, phantom16)
+    assert "REPRO_GATHER_CHUNK" not in os.environ
+    assert [o.as_tuple() for o in chunked.orientations] == [
+        o.as_tuple() for o in baseline.orientations
+    ]
+    assert np.array_equal(chunked.distances, baseline.distances)

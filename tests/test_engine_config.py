@@ -1,0 +1,232 @@
+"""Tests for the typed engine config: round-trips, validation, fingerprints,
+and layered resolution with provenance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine import (
+    ConfigError,
+    EngineConfig,
+    KernelConfig,
+    MemoConfig,
+    ParallelConfig,
+    ScheduleConfig,
+    load_config,
+    resolve_config,
+)
+from repro.refine.multires import default_schedule
+
+
+# -- round-trips -------------------------------------------------------------
+def test_dict_round_trip_is_identity():
+    cfg = EngineConfig(
+        kernel=KernelConfig(kernel="fused", gather_chunk=4096),
+        schedule=ScheduleConfig(levels=((1.0, 1.0, 2, 1), (0.5, 0.25, 3, 2))),
+        parallel=ParallelConfig(backend="process", n_workers=3),
+        memo=MemoConfig(enabled=False, capacity=17),
+        max_slides=3,
+        refine_centers=False,
+    )
+    assert EngineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_toml_round_trip(tmp_path):
+    text = (
+        "max_slides = 3\n"
+        "[kernel]\n"
+        'kernel = "fused"\n'
+        "[schedule]\n"
+        "levels = [[1.0, 1.0, 2, 1], [0.5, 0.5, 2, 1]]\n"
+        "[parallel]\n"
+        'backend = "process"\n'
+        "n_workers = 2\n"
+    )
+    path = tmp_path / "run.toml"
+    path.write_text(text)
+    cfg = load_config(path)
+    assert cfg.kernel.kernel == "fused"
+    assert cfg.parallel.backend == "process"
+    assert cfg.parallel.n_workers == 2
+    assert cfg.max_slides == 3
+    assert cfg.schedule.levels == ((1.0, 1.0, 2, 1), (0.5, 0.5, 2, 1))
+    assert EngineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_json_round_trip(tmp_path):
+    data = {
+        "kernel": {"kernel": "reference"},
+        "schedule": {"levels": [[2.0, 2.0, 1, 1]]},
+        "checkpoint": {"path": "run.ckpt", "resume": True},
+        "refine_centers": False,
+    }
+    path = tmp_path / "run.json"
+    path.write_text(json.dumps(data))
+    cfg = load_config(path)
+    assert cfg.kernel.kernel == "reference"
+    assert cfg.checkpoint.path == "run.ckpt"
+    assert cfg.checkpoint.resume is True
+    assert cfg.refine_centers is False
+    assert EngineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_example_configs_all_load():
+    import pathlib
+
+    examples = pathlib.Path(__file__).resolve().parents[1] / "examples"
+    paths = sorted(
+        p for p in examples.iterdir() if p.suffix in (".toml", ".json")
+    )
+    assert len(paths) >= 3
+    for path in paths:
+        cfg = load_config(path)
+        assert EngineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_default_example_is_the_default_config():
+    """engine_default.toml spells out the defaults — it must *be* them."""
+    import pathlib
+
+    examples = pathlib.Path(__file__).resolve().parents[1] / "examples"
+    cfg = load_config(examples / "engine_default.toml")
+    assert cfg.fingerprint() == EngineConfig().fingerprint()
+
+
+# -- validation --------------------------------------------------------------
+def test_config_error_is_value_error():
+    assert issubclass(ConfigError, ValueError)
+
+
+@pytest.mark.parametrize(
+    "tree, fragment",
+    [
+        ({"kernel": {"bogus": 1}}, "kernel.bogus"),
+        ({"warp_drive": True}, "warp_drive"),
+        ({"parallel": {"n_workers": 1, "turbo": 9}}, "parallel.turbo"),
+    ],
+)
+def test_unknown_fields_rejected_with_dotted_path(tree, fragment):
+    with pytest.raises(ConfigError, match=fragment):
+        EngineConfig.from_dict(tree)
+
+
+@pytest.mark.parametrize(
+    "tree",
+    [
+        {"kernel": {"kernel": "turbo"}},
+        {"kernel": {"interpolation": "spline"}},
+        {"parallel": {"backend": "mpi"}},
+        {"parallel": {"n_workers": 0}},
+        {"schedule": {"levels": []}},
+        {"schedule": {"levels": [[-1.0]]}},
+        {"checkpoint": {"resume": True}},  # resume requires a path
+        {"memo": {"capacity": 0}},
+        {"fault": {"max_attempts": 0}},
+        {"max_slides": -1},
+        {"weighting": "magic"},
+        {"ctf_correction": "magic"},
+    ],
+)
+def test_invalid_values_rejected(tree):
+    with pytest.raises(ConfigError):
+        EngineConfig.from_dict(tree)
+
+
+def test_load_config_rejects_unknown_suffix(tmp_path):
+    path = tmp_path / "run.yaml"
+    path.write_text("kernel: fused\n")
+    with pytest.raises(ConfigError):
+        load_config(path)
+
+
+# -- schedule bridge ---------------------------------------------------------
+def test_schedule_round_trips_through_multires():
+    sched = ScheduleConfig().to_schedule()
+    assert ScheduleConfig.from_schedule(sched) == ScheduleConfig()
+
+
+def test_default_schedule_matches_multires_default():
+    assert ScheduleConfig().to_schedule() == default_schedule()
+
+
+def test_abbreviated_schedule_rows_expand():
+    cfg = ScheduleConfig.from_dict({"levels": [[1.0], [0.5, 0.25]]})
+    assert cfg.levels == ((1.0, 1.0, 4, 1), (0.5, 0.25, 4, 1))
+
+
+# -- fingerprints ------------------------------------------------------------
+def test_fingerprint_stable_and_execution_invariant():
+    """Execution strategy must not enter the digest — a 2-worker
+    checkpoint resumes on an 8-core host, a chaos plan does not fork it."""
+    base = EngineConfig().fingerprint()
+    assert EngineConfig().fingerprint() == base
+    variants = [
+        EngineConfig(parallel=ParallelConfig(backend="process", n_workers=8)),
+        EngineConfig(parallel=ParallelConfig(backend="sim", n_ranks=16)),
+        EngineConfig.from_dict({"fault": {"max_attempts": 7}}),
+        EngineConfig.from_dict({"checkpoint": {"path": "x.ckpt"}}),
+        EngineConfig(kernel=KernelConfig(gather_chunk=1024)),
+    ]
+    for cfg in variants:
+        assert cfg.fingerprint() == base
+
+
+def test_fingerprint_sensitive_to_result_relevant_fields():
+    base = EngineConfig().fingerprint()
+    variants = [
+        EngineConfig(kernel=KernelConfig(kernel="reference")),
+        EngineConfig(schedule=ScheduleConfig(levels=((1.0, 1.0, 2, 1),))),
+        EngineConfig(memo=MemoConfig(enabled=False)),
+        EngineConfig(max_slides=1),
+        EngineConfig(refine_centers=False),
+        EngineConfig(r_max=5.0),
+    ]
+    prints = {cfg.fingerprint() for cfg in variants}
+    assert base not in prints
+    assert len(prints) == len(variants)
+
+
+# -- layered resolution ------------------------------------------------------
+def test_resolve_defaults_only():
+    resolved = resolve_config(use_env=False)
+    assert resolved.config == EngineConfig()
+    assert set(resolved.provenance.values()) == {"default"}
+
+
+def test_resolve_layering_and_provenance(tmp_path, monkeypatch):
+    path = tmp_path / "run.toml"
+    path.write_text('[kernel]\nkernel = "fused"\n[parallel]\nn_workers = 2\n')
+    monkeypatch.setenv("REPRO_GATHER_CHUNK", "2048")
+    resolved = resolve_config(
+        path,
+        base={"max_slides": 2},
+        flags={"parallel.n_workers": 4, "parallel.backend": "process"},
+    )
+    cfg = resolved.config
+    assert cfg.kernel.kernel == "fused"
+    assert cfg.kernel.gather_chunk == 2048
+    assert cfg.parallel.n_workers == 4  # flag beats file
+    assert cfg.max_slides == 2
+    prov = resolved.provenance
+    assert prov["kernel.kernel"] == "file"
+    assert prov["kernel.gather_chunk"] == "env"
+    assert prov["parallel.n_workers"] == "flag"
+    assert prov["max_slides"] == "default"  # base overlay keeps the label
+    text = resolved.describe()
+    assert f"engine fingerprint: {cfg.fingerprint()}" in text
+    assert str(path) in text
+    assert "[flag]" in text and "[file]" in text and "[env]" in text
+
+
+def test_resolve_rejects_unknown_flag_path():
+    with pytest.raises(ConfigError, match="parallel.warp"):
+        resolve_config(use_env=False, flags={"parallel.warp": 1})
+
+
+def test_resolve_rejects_invalid_file(tmp_path):
+    path = tmp_path / "bad.toml"
+    path.write_text('[kernel]\nkernel = "turbo"\n')
+    with pytest.raises(ConfigError):
+        resolve_config(path, use_env=False)

@@ -182,6 +182,89 @@ def test_refine_checkpoint_and_resume(dataset_files, capsys):
         assert np.array_equal(got_scores, want_scores)
 
 
+def test_refine_dry_run_prints_resolved_config(capsys):
+    """--dry-run resolves and prints the annotated config without any I/O
+    (the referenced files don't exist), then exits 0."""
+    rc = main(REFINE_REQUIRED + ["--dry-run", "--workers", "2", "--kernel", "fused"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "engine fingerprint:" in out
+    assert "environment:" in out
+    # explicit flags are annotated as such; untouched fields as defaults
+    assert "kernel.kernel" in out and "'fused'" in out and "[flag]" in out
+    assert "[default]" in out
+    assert "parallel.n_workers" in out
+
+
+def test_refine_dry_run_shows_config_file_provenance(tmp_path, capsys):
+    cfg = tmp_path / "run.toml"
+    cfg.write_text('[kernel]\nkernel = "reference"\n')
+    rc = main(REFINE_REQUIRED + ["--config", str(cfg), "--dry-run"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"config file: {cfg}" in out
+    assert "'reference'" in out and "[file]" in out
+
+
+def test_refine_flags_beat_config_file(tmp_path, capsys):
+    cfg = tmp_path / "run.toml"
+    cfg.write_text('[kernel]\nkernel = "reference"\n')
+    rc = main(
+        REFINE_REQUIRED + ["--config", str(cfg), "--kernel", "batched", "--dry-run"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "'batched'" in out
+    assert "'reference'" not in out
+
+
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ('[kernel]\nkernel = "turbo"\n', "kernel"),
+        ("[warp]\nspeed = 9\n", "warp"),
+        ('[memo]\nenabled = "sometimes"\n', "memo.enabled"),
+    ],
+)
+def test_refine_rejects_bad_config_file(tmp_path, text, fragment, capsys):
+    cfg = tmp_path / "bad.toml"
+    cfg.write_text(text)
+    with pytest.raises(SystemExit) as exc:
+        main(REFINE_REQUIRED + ["--config", str(cfg), "--dry-run"])
+    assert exc.value.code == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_refine_with_config_file_runs(dataset_files, tmp_path, capsys):
+    """A file-driven refine produces the same bits as the flag-driven run."""
+    root, paths = dataset_files
+    cfg = tmp_path / "run.toml"
+    cfg.write_text(
+        "r_max = 9.0\n"
+        "[schedule]\n"
+        "levels = [[1.0, 1.0, 2, 1]]\n"
+    )
+    by_file = str(root / "by_file.txt")
+    rc = main(
+        ["refine", "--map", paths["map"], "--stack", paths["stack"],
+         "--orient", paths["orient"], "--out", by_file, "--config", str(cfg)]
+    )
+    assert rc == 0
+    by_flags = str(root / "by_flags.txt")
+    rc = main(
+        ["refine", "--map", paths["map"], "--stack", paths["stack"],
+         "--orient", paths["orient"], "--out", by_flags,
+         "--levels", "1.0", "--half-steps", "2", "--r-max", "9"]
+    )
+    assert rc == 0
+    from repro.refine import read_orientation_file
+
+    a, sa = read_orientation_file(by_file)
+    b, sb = read_orientation_file(by_flags)
+    assert [o.as_tuple() for o in a] == [o.as_tuple() for o in b]
+    assert np.array_equal(sa, sb)
+
+
 def test_refine_rejects_unknown_kernel(capsys):
     with pytest.raises(SystemExit) as exc:
         main(REFINE_REQUIRED + ["--kernel", "turbo"])

@@ -6,14 +6,17 @@ Runs, in order:
 1. ``ruff check`` (skipped when ruff is not installed),
 2. ``mypy`` over the strict-typed core (skipped when mypy is not installed),
 3. ``repro-lint`` — the AST invariant checker in :mod:`repro.analysis`,
-4. the tier-1 pytest suite (``-m "not chaos"``) with
+4. ``config-gate`` — every ``examples/*.toml``/``*.json`` engine config
+   must load and validate, and repro-lint RL011 must find no environment
+   reads outside ``repro/engine/`` (:mod:`repro.engine.gate`),
+5. the tier-1 pytest suite (``-m "not chaos"``) with
    ``REPRO_CHECK_CONTRACTS=1`` so every
    :func:`repro.analysis.contracts.array_contract` declaration is enforced
    while the tests exercise the kernels,
-5. the bench-smoke subset (``-m bench_smoke``) as its own named step — the
+6. the bench-smoke subset (``-m bench_smoke``) as its own named step — the
    tiny batched-vs-reference equivalence slice of the kernel benchmarks,
    so a kernel regression is attributed to the right gate line,
-6. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
+7. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
    injection kills workers and restarts pools, so it runs apart from the
    main suite but under the same runtime contracts.
 
@@ -47,9 +50,12 @@ def main(argv: list[str] | None = None) -> int:
 
     sys.path.insert(0, str(SRC))
     from repro.analysis.gate import run_gate
+    from repro.engine.gate import run_config_gate
 
     failed = False
-    for result in run_gate(root=ROOT):
+    results = list(run_gate(root=ROOT))
+    results.append(run_config_gate(root=ROOT))
+    for result in results:
         print(f"[{result.status:>7}] {result.name}")
         if result.status == "failed":
             failed = True
