@@ -7,7 +7,10 @@ Measures the performance claims of the kernel work:
   paper-scale view size (l = 64, oversampled D̂),
 * the batched whole-window engine (with the orientation memo) vs the
   per-candidate fused kernel on the same full schedule, including the
-  measured memo hit-rate, and
+  measured memo hit-rate,
+* the pruned best-first search (exact, bit-identical) and the pruned
+  search + continuous polish (toleranced, objective-dominating) vs the
+  exhaustive batched engine, with candidates-evaluated counts, and
 * the process-parallel view scheduler at 1 vs N workers (recorded, not
   asserted — wall-clock scaling depends on the host's core count; on a
   single-CPU host the measurement is skipped and recorded as such).
@@ -139,6 +142,97 @@ def measure_batched_vs_fused(
     }
 
 
+def measure_pruned_vs_batched(
+    size: int = 64,
+    n_views: int = 2,
+    r_max: float | None = None,
+    seed: int = 0,
+) -> dict:
+    """Pruned search + continuous polish vs the exhaustive batched engine.
+
+    Three runs on the full default schedule:
+
+    1. the batched engine (the previous best) — the baseline,
+    2. pruning alone (``top_k=None``) — must be *bit-identical* to the
+       baseline (the early-termination bound is exact; a mismatch raises),
+    3. pruning + polish — the fine 0.01°/0.002° levels replaced by the
+       damped Gauss–Newton descent; gated by objective non-regression
+       (every polished distance ≤ the baseline's) rather than bit
+       identity, with the angular deviation recorded.
+
+    ``candidates_evaluated`` counts candidates scored to a *full* §3
+    distance (the perf counters' ``evaluated``); abandoned candidates pay
+    only their first shell groups.
+    """
+    from repro.engine.config import EngineConfig
+    from repro.refine.refiner import OrientationRefiner
+
+    density, views = _make_problem(size, n_views, seed)
+
+    def run(config_patch: dict | None):
+        refiner = OrientationRefiner(density, r_max=r_max)
+        if config_patch is not None:
+            config = EngineConfig.from_dict({**refiner.config.to_dict(), **config_patch})
+            refiner = OrientationRefiner(density, r_max=r_max, config=config)
+        refiner.volume_ft()  # step a excluded: all three runs share it unchanged
+        t0 = time.perf_counter()
+        result = refiner.refine(views)
+        return result, time.perf_counter() - t0
+
+    base, base_dt = run(None)
+    assert base.perf is not None
+    base_evaluated = base.perf.evaluated
+
+    pruned, pruned_dt = run({"prune": {"enabled": True}})
+    assert pruned.perf is not None
+    if [o.as_tuple() for o in pruned.orientations] != [
+        o.as_tuple() for o in base.orientations
+    ]:
+        raise AssertionError("pruned search diverged from batched orientations")
+    if not np.array_equal(pruned.distances, base.distances):
+        raise AssertionError("pruned search diverged from batched distances")
+
+    polish, polish_dt = run(
+        {"prune": {"enabled": True}, "polish": {"enabled": True}}
+    )
+    assert polish.perf is not None
+    if np.any(np.asarray(polish.distances) > np.asarray(base.distances) * (1 + 1e-12)):
+        raise AssertionError(
+            "polish regressed the objective vs the brute-force fine tail"
+        )
+    angle_err = max(
+        abs(float(g) - float(w))
+        for got, want in zip(polish.orientations, base.orientations)
+        for g, w in zip(got.as_tuple()[:3], want.as_tuple()[:3])
+    )
+    return {
+        "size": size,
+        "n_views": n_views,
+        "r_max": size // 2 if r_max is None else r_max,
+        "schedule": "default (1.0, 0.1, 0.01, 0.002 deg)",
+        "batched_seconds": round(base_dt, 3),
+        "batched_candidates_evaluated": base_evaluated,
+        "pruned_identity": {
+            "seconds": round(pruned_dt, 3),
+            "candidates_evaluated": pruned.perf.evaluated,
+            "candidates_pruned": pruned.perf.pruned,
+            "eval_reduction": round(base_evaluated / pruned.perf.evaluated, 2),
+            "identical_results": True,
+        },
+        "pruned_polish": {
+            "seconds": round(polish_dt, 3),
+            "speedup": round(base_dt / polish_dt, 2),
+            "candidates_evaluated": polish.perf.evaluated,
+            "eval_reduction": round(base_evaluated / polish.perf.evaluated, 2),
+            "polish_views": polish.perf.polish_calls,
+            "polish_iters": polish.perf.polish_iters,
+            "max_angular_deviation_deg": round(angle_err, 6),
+            "replaced_tail_step_deg": 0.002,
+            "distances_dominate_batched": True,
+        },
+    }
+
+
 def measure_worker_scaling(
     size: int = 32,
     n_views: int = 8,
@@ -219,6 +313,7 @@ def run_all() -> dict:
         "engine_fingerprint": engine_fingerprint(),
         "fused_vs_reference": measure_fused_vs_reference(),
         "batched_vs_fused": measure_batched_vs_fused(),
+        "pruned_vs_batched": measure_pruned_vs_batched(),
         "worker_scaling": measure_worker_scaling(),
     }
 

@@ -142,6 +142,18 @@ class DistanceComputer:
         """In-band weight vector ``wt`` aligned with :attr:`band_indices`."""
         return self._w
 
+    @property
+    def band_radii(self) -> Array:
+        """Per-sample Fourier shell radius aligned with :attr:`band_indices`.
+
+        Used by the pruned window path to order the band into radial shell
+        groups: low-frequency shells carry most of the distance mass, so
+        accumulating them first lets hopeless candidates be abandoned
+        after a fraction of the band has been gathered.
+        """
+        shells = radial_shell_indices_2d(self.size).astype(float, copy=False)
+        return shells.ravel()[self._flat_idx]
+
     def _maybe_normalize(self, vec: Array) -> Array:
         if not self.normalized:
             return vec

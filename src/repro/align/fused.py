@@ -190,6 +190,9 @@ class MatchPlan:
         self._ky_int = self._kyb[self._int_pos]
         self._kx_edge = self._kxb[self._edge_pos]
         self._ky_edge = self._kyb[self._edge_pos]
+        #: Radius-ordered shell-group layouts for the pruned window path,
+        #: keyed by group count (see :meth:`_prune_layout`).
+        self._prune_layouts: dict[int, list[tuple[Array, Array, Array, Array, Array, Array, Array]]] = {}
 
     @property
     def all_interior(self) -> bool:
@@ -427,6 +430,139 @@ class MatchPlan:
                 view_band, cuts, cut_modulation=cut_modulation
             )
         return out
+
+    # -- pruned window engine ----------------------------------------------
+    def _prune_layout(self, n_groups: int) -> list[tuple[Array, Array, Array, Array, Array, Array, Array]]:
+        """Radius-sorted, equal-count shell groups of the band (cached).
+
+        Each group is ``(int_pos, edge_pos, kx_int, ky_int, kx_edge,
+        ky_edge, pos)``: the band sample positions split into the plan's
+        always-interior / possibly-edge partition with their integer
+        frequencies, plus the concatenated position list for the group's
+        distance contribution.  Low-frequency shells come first — they
+        carry most of the §3 distance mass, so partial sums over early
+        groups separate candidates fastest.
+        """
+        n_groups = max(1, min(int(n_groups), self.n_samples)) if self.n_samples else 1
+        cached = self._prune_layouts.get(n_groups)
+        if cached is not None:
+            return cached
+        order = np.argsort(self.dc.band_radii, kind="stable")
+        is_int = np.zeros(self.n_samples, dtype=bool)
+        is_int[self._int_pos] = True
+        layout: list[tuple[Array, Array, Array, Array, Array, Array, Array]] = []
+        for grp in np.array_split(order, n_groups):
+            if grp.size == 0:
+                continue
+            gi = grp[is_int[grp]]
+            ge = grp[~is_int[grp]]
+            layout.append(
+                (
+                    gi,
+                    ge,
+                    self._kxb[gi],
+                    self._kyb[gi],
+                    self._kxb[ge],
+                    self._kyb[ge],
+                    np.concatenate((gi, ge)),
+                )
+            )
+        self._prune_layouts[n_groups] = layout
+        return layout
+
+    @array_contract(
+        volume_ft=spec(shape=("v", "v", "v"), dtype="inexact", allow_none=False),
+        view_band=spec(shape=("n",), dtype="inexact", allow_none=False),
+        rotations=spec(shape=[(3, 3), (None, 3, 3)], allow_none=False),
+    )
+    def match_window_pruned(
+        self,
+        volume_ft: Array,
+        view_band: Array,
+        rotations: Array,
+        cut_modulation: Array | None = None,
+        *,
+        bound: float = float("inf"),
+        n_groups: int = 8,
+    ) -> tuple[Array, int]:
+        """:meth:`match_window` with early abandonment against ``bound``.
+
+        The band is gathered one radial shell group at a time (see
+        :meth:`_prune_layout`); after each group the accumulated weighted
+        squared contribution — a monotone non-decreasing lower bound on a
+        candidate's full squared distance — is compared against
+        ``(bound·l²)²`` and candidates strictly above it are abandoned.
+        Per-point coordinate arithmetic and gathers are the exact subset
+        restriction of :meth:`_gather_batched_chunk`, and every
+        *survivor's* distance is recomputed by the canonical
+        :meth:`DistanceComputer.distance_band` reduction over its
+        reassembled full band row (never from the group accumulator, whose
+        summation order differs in the last bits), so survivors score
+        bit-identically to the exhaustive path.  Abandoned candidates get
+        ``inf``.
+
+        Returns ``(distances, n_abandoned)``.  A caller-side margin on
+        ``bound`` (see :class:`repro.refine.prune.PruneSearch`) guarantees
+        no candidate at or below the true threshold is ever abandoned.
+        """
+        if self.dc.normalized:
+            raise ValueError("pruned matching requires the plain (unnormalized) distance")
+        rots = np.asarray(rotations, dtype=float)
+        if rots.ndim == 2:
+            rots = rots[None]
+        vol = np.asarray(volume_ft)
+        if not np.isfinite(bound) or self.interpolation == "nearest":
+            return np.asarray(
+                self.match_window(vol, view_band, rots, cut_modulation=cut_modulation)
+            ), 0
+        if vol.shape != (self.volume_size,) * 3:
+            raise ValueError(
+                f"volume_ft must be ({self.volume_size},)*3 for this plan, got {vol.shape}"
+            )
+        view = np.asarray(view_band)
+        mod_band = None
+        if cut_modulation is not None:
+            mod = np.asarray(cut_modulation, dtype=float)
+            mod_band = self.dc.gather_modulation(mod) if mod.ndim == 2 else mod
+        weights = self.dc.band_weights
+        flat = vol.ravel()
+        w = rots.shape[0]
+        u = rots[:, :, 0]
+        v = rots[:, :, 1]
+        rows = np.empty((w, self.n_samples), dtype=vol.dtype)
+        acc = np.zeros(w)
+        alive = np.arange(w)
+        threshold = (bound * (self.size * self.size)) ** 2
+        for gi, ge, kxi, kyi, kxe, kye, pos in self._prune_layout(n_groups):
+            ua = u[alive]
+            va = v[alive]
+            if gi.size:
+                cz = (kxi[None, :] * ua[:, 2, None] + kyi[None, :] * va[:, 2, None]) * self._scale + self._cv
+                cy = (kxi[None, :] * ua[:, 1, None] + kyi[None, :] * va[:, 1, None]) * self._scale + self._cv
+                cx = (kxi[None, :] * ua[:, 0, None] + kyi[None, :] * va[:, 0, None]) * self._scale + self._cv
+                rows[np.ix_(alive, gi)] = _gather_interior_stack(flat, vol.shape[0], cz, cy, cx)
+            if ge.size:
+                coords_xyz = (
+                    kxe[None, :, None] * ua[:, None, :] + kye[None, :, None] * va[:, None, :]
+                ) * self._scale
+                rows[np.ix_(alive, ge)] = _gather_trilinear(vol, coords_xyz[..., ::-1] + self._cv)
+            cuts = rows[np.ix_(alive, pos)]
+            if mod_band is not None:
+                cuts = cuts * mod_band[pos]
+            diff = cuts - view[pos]
+            sq = diff.real**2 + diff.imag**2
+            if weights is not None:
+                sq = sq * weights[pos]
+            acc[alive] += sq.sum(axis=-1)
+            alive = alive[acc[alive] <= threshold]
+            if alive.size == 0:
+                break
+        out = np.full(w, np.inf)
+        if alive.size:
+            out[alive] = np.atleast_1d(
+                self.dc.distance_band(view, rows[alive], cut_modulation=cut_modulation)
+            )
+        return out, int(w - alive.size)
 
     # -- fused center machinery (steps k–l) --------------------------------
     def shift_ramps(self, dxs: Array, dys: Array) -> Array:

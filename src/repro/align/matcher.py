@@ -11,6 +11,7 @@ step i).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -22,6 +23,9 @@ from repro.arraytypes import Array
 from repro.fourier.slicing import extract_slices
 from repro.geometry.euler import Orientation
 from repro.perf import PerfCounters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an align->refine cycle)
+    from repro.refine.prune import PruneSearch
 
 __all__ = ["MatchResult", "match_view", "match_view_band", "match_view_window"]
 
@@ -149,6 +153,7 @@ def match_view_window(
     memo: OrientationMemo | None = None,
     memo_center: tuple[float, float] = (0.0, 0.0),
     counters: PerfCounters | None = None,
+    prune: PruneSearch | None = None,
 ) -> MatchResult:
     """Steps f–h with the batched window engine and the orientation memo.
 
@@ -164,9 +169,20 @@ def match_view_window(
     Cached values are exact previous results and misses are scored by a
     per-row kernel on a rotation subset, so the assembled distance array —
     and therefore the argmin — is bit-identical to the memo-disabled call.
+
+    With ``prune`` (a :class:`repro.refine.prune.PruneSearch`) the misses
+    are scored best-first — nearest the window center first, in growing
+    chunks — through :meth:`MatchPlan.match_window_pruned`, abandoning
+    candidates whose partial band distance exceeds the search's running
+    k-th-best bound.  Memo hits seed the bound before any gather.
+    Abandoned candidates are recorded as ``inf`` and **never** stored in
+    the memo (only their lower bound is known); every candidate at or
+    below the k-th best is exactly scored, so the argmin — and the
+    reported minimum — stay bit-identical to the exhaustive call.
     """
     w = grid.size
-    if memo is None:
+    n_pruned = 0
+    if memo is None and prune is None:
         distances = np.asarray(
             plan.match_window(
                 volume_ft, view_band, grid.rotation_stack(), cut_modulation=cut_modulation
@@ -175,21 +191,54 @@ def match_view_window(
         n_gathered, n_hits = w, 0
     else:
         keys = _grid_memo_keys(grid, memo_center)
-        distances, hits = memo.lookup_block(keys)
+        if memo is None:
+            distances = np.zeros(w)
+            hits = np.zeros(w, dtype=bool)
+        else:
+            distances, hits = memo.lookup_block(keys)
         miss_idx = np.flatnonzero(~hits)
         if miss_idx.size:
-            miss_rots = grid.rotation_stack()[miss_idx]
-            miss_distances = np.asarray(
-                plan.match_window(
-                    volume_ft, view_band, miss_rots, cut_modulation=cut_modulation
+            rots = grid.rotation_stack()
+            if prune is None:
+                miss_distances = np.asarray(
+                    plan.match_window(
+                        volume_ft, view_band, rots[miss_idx], cut_modulation=cut_modulation
+                    )
                 )
-            )
-            distances[miss_idx] = miss_distances
-            memo.store_block([keys[i] for i in miss_idx.tolist()], miss_distances)
+                distances[miss_idx] = miss_distances
+            else:
+                from repro.refine.prune import center_offsets
+
+                hit_idx = np.flatnonzero(hits)
+                if hit_idx.size:
+                    prune.observe([keys[i] for i in hit_idx.tolist()], distances[hit_idx])
+                offsets = center_offsets(grid.shape)
+                order = miss_idx[np.argsort(offsets[miss_idx], kind="stable")]
+                pos = 0
+                chunk_size = prune.params.seed_chunk
+                while pos < order.size:
+                    take = order[pos : pos + chunk_size]
+                    chunk_distances, n_abandoned = plan.match_window_pruned(
+                        volume_ft,
+                        view_band,
+                        rots[take],
+                        cut_modulation=cut_modulation,
+                        bound=prune.bound(),
+                        n_groups=prune.params.shell_groups,
+                    )
+                    distances[take] = chunk_distances
+                    n_pruned += n_abandoned
+                    prune.observe([keys[i] for i in take.tolist()], chunk_distances)
+                    pos += take.size
+                    chunk_size = prune.params.chunk
+            if memo is not None:
+                scored = miss_idx[np.isfinite(distances[miss_idx])]
+                if scored.size:
+                    memo.store_block([keys[i] for i in scored.tolist()], distances[scored])
         n_gathered = int(miss_idx.size)
         n_hits = w - n_gathered
     if counters is not None:
-        counters.count_window(w, n_gathered, n_hits)
+        counters.count_window(w, n_gathered, n_hits, n_pruned=n_pruned)
     flat = int(np.argmin(distances))
     return MatchResult(
         orientation=grid.orientation_at(flat),

@@ -21,6 +21,14 @@ the hit rate, never change a returned value), per-view (cached distances
 depend on the view band, so :class:`MemoStore` keys memos by view index),
 and exports/imports plain float arrays so it can travel through worker
 pickles and the checkpoint format without precision loss.
+
+The continuous least-squares polish (:mod:`repro.refine.polish`) shares
+the same store: its keys are the *continuous* off-grid tuples the LM
+iterations visit, cached under identical semantics — the distance of the
+candidate ``(θ, φ, ω)`` against the view shifted by ``(cx, cy)``.  Polish
+keys almost never collide with grid keys (or each other across views),
+but when they do — e.g. the polish re-evaluating its grid-point start —
+the cached value is the exact same number the matcher stored.
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ from repro.analysis.rules.fourier import CenteredFFTOnly
 from repro.analysis.rules.hygiene import FutureAnnotations
 from repro.analysis.rules.kernels import KernelBoundaryContract, TwoKernelsOneTruth
 from repro.analysis.rules.parallelism import MultiprocessingInParallelOnly
+from repro.analysis.rules.pruning import NoUnboundedCandidateEval
 from repro.analysis.rules.robustness import NoBareExcept
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "NoNondeterminism",
     "NoPerCandidateCutLoop",
     "NoSilentUpcast",
+    "NoUnboundedCandidateEval",
     "TwoKernelsOneTruth",
 ]
 
@@ -52,6 +54,7 @@ def all_rules() -> list[Rule]:
         NoBareExcept(),
         NoPerCandidateCutLoop(),
         ConfigReadsCentralized(),
+        NoUnboundedCandidateEval(),
     ]
     rules.sort(key=lambda r: r.rule_id)
     return rules

@@ -57,6 +57,7 @@ REQUIRED_CONTRACTS: dict[str, frozenset[str]] = {
             "MatchPlan.distances",
             "MatchPlan.cut_bands_batched",
             "MatchPlan.match_window",
+            "MatchPlan.match_window_pruned",
         }
     ),
     "repro/fourier/slicing.py": frozenset({"extract_slice", "extract_slices"}),

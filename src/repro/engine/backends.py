@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoids cycles
     from repro.parallel.viewsched import ViewLevelResult, ViewScheduler
     from repro.perf import PerfCounters
     from repro.refine.multires import RefinementLevel
+    from repro.refine.prune import PruneParams
 
 __all__ = [
     "ExecutionBackend",
@@ -89,6 +90,8 @@ class ExecutionBackend:
         refine_centers: bool = True,
         memo_store: "MemoStore | None" = None,
         counters: "PerfCounters | None" = None,
+        prune: "PruneParams | None" = None,
+        seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
     ) -> list["ViewLevelResult"]:
         raise NotImplementedError
 
@@ -128,6 +131,8 @@ class SerialBackend(ExecutionBackend):
         refine_centers: bool = True,
         memo_store: "MemoStore | None" = None,
         counters: "PerfCounters | None" = None,
+        prune: "PruneParams | None" = None,
+        seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
     ) -> list["ViewLevelResult"]:
         from repro.parallel.viewsched import refine_level_serial
 
@@ -144,6 +149,8 @@ class SerialBackend(ExecutionBackend):
             refine_centers=refine_centers,
             memo_store=memo_store,
             counters=counters,
+            prune=prune,
+            seed_basins=seed_basins,
         )
 
 
@@ -208,6 +215,8 @@ class ProcessBackend(ExecutionBackend):
         refine_centers: bool = True,
         memo_store: "MemoStore | None" = None,
         counters: "PerfCounters | None" = None,
+        prune: "PruneParams | None" = None,
+        seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
     ) -> list["ViewLevelResult"]:
         return self._scheduler.run_level(
             volume_ft,
@@ -222,6 +231,8 @@ class ProcessBackend(ExecutionBackend):
             refine_centers=refine_centers,
             memo_store=memo_store,
             counters=counters,
+            prune=prune,
+            seed_basins=seed_basins,
         )
 
     def close(self) -> None:

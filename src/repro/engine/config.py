@@ -24,6 +24,8 @@ Sections
 ``fault``       retry/timeout/degradation policy for the process backend
 ``checkpoint``  level-granular checkpoint path and resume flag
 ``memo``        the per-view orientation memo cache
+``prune``       best-first early-termination pruning of candidate windows
+``polish``      continuous least-squares polish replacing the finest levels
 
 All ``repro`` imports in this module are lazy (inside methods): the
 kernel packages import :mod:`repro.engine.env` at import time, so the
@@ -50,6 +52,8 @@ __all__ = [
     "KernelConfig",
     "MemoConfig",
     "ParallelConfig",
+    "PolishConfig",
+    "PruneConfig",
     "ScheduleConfig",
     "load_config",
 ]
@@ -430,6 +434,134 @@ class MemoConfig:
         )
 
 
+@dataclass(frozen=True)
+class PruneConfig:
+    """Best-first pruning of candidate windows (batched kernel only).
+
+    When enabled, each sliding-window search scores candidates nearest the
+    window center first and abandons any candidate whose accumulated
+    partial band distance exceeds the running k-th best by more than
+    ``margin`` (relative) — the §3 distance is a sum of non-negative
+    per-sample terms, so the partial sum is a monotone lower bound and the
+    surviving arg-min is bit-identical to exhaustive search (DESIGN.md
+    §11).  ``top_k`` additionally carries the k best basin centers into
+    the next level as independent seeds; ``None`` (the default) keeps the
+    classic single-path behavior.  ``shell_groups`` is how many radial
+    shell groups the band is accumulated in; ``seed_chunk`` / ``chunk``
+    size the best-first evaluation batches.
+    """
+
+    enabled: bool = False
+    top_k: int | None = None
+    shell_groups: int = 8
+    margin: float = 1e-9
+    seed_chunk: int = 32
+    chunk: int = 128
+
+    def __post_init__(self) -> None:
+        if self.top_k is not None:
+            _require(isinstance(self.top_k, int) and self.top_k >= 1,
+                     f"prune.top_k must be >= 1 or null, got {self.top_k!r}")
+        _require(isinstance(self.shell_groups, int) and self.shell_groups >= 1,
+                 f"prune.shell_groups must be >= 1, got {self.shell_groups!r}")
+        _require(isinstance(self.margin, (int, float)) and self.margin >= 0,
+                 f"prune.margin must be non-negative, got {self.margin!r}")
+        _require(isinstance(self.seed_chunk, int) and self.seed_chunk >= 1,
+                 f"prune.seed_chunk must be >= 1, got {self.seed_chunk!r}")
+        _require(isinstance(self.chunk, int) and self.chunk >= 1,
+                 f"prune.chunk must be >= 1, got {self.chunk!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "top_k": self.top_k,
+            "shell_groups": self.shell_groups,
+            "margin": self.margin,
+            "seed_chunk": self.seed_chunk,
+            "chunk": self.chunk,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PruneConfig":
+        _reject_unknown("prune", data,
+                        ("enabled", "top_k", "shell_groups", "margin", "seed_chunk",
+                         "chunk"))
+        top_k = data.get("top_k")
+        if top_k is not None:
+            top_k = _coerce_int("prune.top_k", top_k)
+        return cls(
+            enabled=_coerce_bool("prune.enabled", data.get("enabled", cls.enabled)),
+            top_k=top_k,
+            shell_groups=_coerce_int("prune.shell_groups",
+                                     data.get("shell_groups", cls.shell_groups)),
+            margin=_coerce_float("prune.margin", data.get("margin", cls.margin)),
+            seed_chunk=_coerce_int("prune.seed_chunk",
+                                   data.get("seed_chunk", cls.seed_chunk)),
+            chunk=_coerce_int("prune.chunk", data.get("chunk", cls.chunk)),
+        )
+
+
+@dataclass(frozen=True)
+class PolishConfig:
+    """Continuous least-squares polish replacing the finest grid levels.
+
+    When enabled, schedule levels with ``angular_step_deg <
+    replace_below_deg`` are dropped and a damped Gauss–Newton descent on
+    the continuous fused-kernel objective takes over from the ``n_best``
+    surviving basin centers of the last kept level (DESIGN.md §11).  The
+    polished result is gated by an accuracy tolerance — the replaced
+    tail's final angular step — instead of the bit-identity oracle.
+    """
+
+    enabled: bool = False
+    n_best: int = 1
+    max_iters: int = 30
+    tol: float = 1e-8
+    replace_below_deg: float = 0.1
+    damping: float = 1e-3
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.n_best, int) and self.n_best >= 1,
+                 f"polish.n_best must be >= 1, got {self.n_best!r}")
+        _require(isinstance(self.max_iters, int) and self.max_iters >= 1,
+                 f"polish.max_iters must be >= 1, got {self.max_iters!r}")
+        _require(isinstance(self.tol, (int, float)) and self.tol >= 0,
+                 f"polish.tol must be non-negative, got {self.tol!r}")
+        _require(isinstance(self.replace_below_deg, (int, float))
+                 and self.replace_below_deg > 0,
+                 f"polish.replace_below_deg must be positive, "
+                 f"got {self.replace_below_deg!r}")
+        _require(isinstance(self.damping, (int, float)) and self.damping > 0,
+                 f"polish.damping must be positive, got {self.damping!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "n_best": self.n_best,
+            "max_iters": self.max_iters,
+            "tol": self.tol,
+            "replace_below_deg": self.replace_below_deg,
+            "damping": self.damping,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolishConfig":
+        _reject_unknown("polish", data,
+                        ("enabled", "n_best", "max_iters", "tol", "replace_below_deg",
+                         "damping"))
+        return cls(
+            enabled=_coerce_bool("polish.enabled", data.get("enabled", cls.enabled)),
+            n_best=_coerce_int("polish.n_best", data.get("n_best", cls.n_best)),
+            max_iters=_coerce_int("polish.max_iters",
+                                  data.get("max_iters", cls.max_iters)),
+            tol=_coerce_float("polish.tol", data.get("tol", cls.tol)),
+            replace_below_deg=_coerce_float(
+                "polish.replace_below_deg",
+                data.get("replace_below_deg", cls.replace_below_deg)),
+            damping=_coerce_float("polish.damping", data.get("damping", cls.damping)),
+        )
+
+
 _SECTIONS: dict[str, type] = {
     "kernel": KernelConfig,
     "schedule": ScheduleConfig,
@@ -437,6 +569,8 @@ _SECTIONS: dict[str, type] = {
     "fault": FaultConfig,
     "checkpoint": CheckpointConfig,
     "memo": MemoConfig,
+    "prune": PruneConfig,
+    "polish": PolishConfig,
 }
 
 _SCALARS = ("r_max", "max_slides", "refine_centers", "pad_factor", "weighting",
@@ -458,6 +592,8 @@ class EngineConfig:
     fault: FaultConfig = field(default_factory=FaultConfig)
     checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
     memo: MemoConfig = field(default_factory=MemoConfig)
+    prune: PruneConfig = field(default_factory=PruneConfig)
+    polish: PolishConfig = field(default_factory=PolishConfig)
     r_max: float | None = None
     max_slides: int = 8
     refine_centers: bool = True
@@ -478,6 +614,35 @@ class EngineConfig:
         _require(self.ctf_correction in CTF_CORRECTIONS,
                  f"ctf_correction must be one of {CTF_CORRECTIONS}, "
                  f"got {self.ctf_correction!r}")
+        # Cross-section constraints: pruning rides the batched window engine
+        # and the plain distance (the incremental shell bound is meaningless
+        # after per-row normalization); neither pruning nor polish is wired
+        # through the simulated-cluster backend; top-k basin seeding keeps
+        # cross-level state that the level-granular checkpoint cannot carry.
+        if self.prune.enabled:
+            _require(self.kernel.kernel == "batched",
+                     "prune.enabled requires kernel.kernel == 'batched'")
+            _require(not self.normalized_distance,
+                     "prune.enabled is incompatible with normalized_distance")
+            _require(self.parallel.backend != "sim",
+                     "prune.enabled is not supported on the sim backend")
+            if self.prune.top_k is not None and self.prune.top_k > 1:
+                _require(self.checkpoint.path is None,
+                         "prune.top_k > 1 keeps cross-level basin state and "
+                         "cannot be combined with checkpointing")
+        if self.polish.enabled:
+            _require(not self.normalized_distance,
+                     "polish.enabled is incompatible with normalized_distance")
+            _require(self.parallel.backend != "sim",
+                     "polish.enabled is not supported on the sim backend")
+            if self.polish.n_best > 1:
+                _require(self.prune.enabled,
+                         "polish.n_best > 1 needs prune.enabled basin tracking "
+                         "to supply multiple starts")
+                _require(self.checkpoint.path is None,
+                         "polish.n_best > 1 carries basin state across the "
+                         "grid→polish boundary and cannot be combined with "
+                         "checkpointing")
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -521,8 +686,9 @@ class EngineConfig:
     def fingerprint(self) -> str:
         """A stable digest of every *result-relevant* setting.
 
-        Covers the schedule, the kernel and memo sections, and the matching
-        knobs — the fields a checkpoint must refuse to mix across (the old
+        Covers the schedule, the kernel, memo, prune and polish sections,
+        and the matching knobs — the fields a checkpoint must refuse to mix
+        across (the old
         schedule-only fingerprint silently accepted a resume under a
         different kernel or memo configuration).  Execution strategy
         (``parallel``, ``fault``, ``checkpoint``) is deliberately excluded:
@@ -537,6 +703,8 @@ class EngineConfig:
             "schedule": self.schedule.to_dict(),
             "kernel": kernel,
             "memo": self.memo.to_dict(),
+            "prune": self.prune.to_dict(),
+            "polish": self.polish.to_dict(),
             "matching": {name: getattr(self, name) for name in _SCALARS},
         }
         desc = json.dumps(payload, sort_keys=True)

@@ -57,6 +57,7 @@ from repro.faults.retry import ChunkIntegrityError, RetryPolicy, validate_chunk_
 from repro.geometry.euler import Orientation
 from repro.perf import PerfCounters
 from repro.refine.multires import RefinementLevel
+from repro.refine.prune import PruneParams
 from repro.refine.single import refine_view_at_level
 
 __all__ = [
@@ -74,7 +75,12 @@ INJECTED_CRASH_EXIT = 17
 
 @dataclass(frozen=True)
 class ViewLevelResult:
-    """Outcome of one view × one level, tagged with the view's global index."""
+    """Outcome of one view × one level, tagged with the view's global index.
+
+    ``basins`` is the view's top-k basin centers when multi-basin pruning
+    is on (the next level's seeds); empty otherwise.  It is plain picklable
+    data, so it rides the pool fan-out like every other field.
+    """
 
     index: int
     orientation: Orientation
@@ -84,6 +90,7 @@ class ViewLevelResult:
     n_center_evals: int
     slid_window: bool
     slid_center: bool
+    basins: tuple[Orientation, ...] = ()
 
 
 def chunk_indices(n_items: int, n_chunks: int) -> list[Array]:
@@ -117,6 +124,8 @@ def refine_level_serial(
     memo_store: MemoStore | None = None,
     view_indices: Sequence[int] | None = None,
     counters: PerfCounters | None = None,
+    prune: PruneParams | None = None,
+    seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
 ) -> list[ViewLevelResult]:
     """Steps f–l for a set of views at one level, serially in this process.
 
@@ -128,6 +137,11 @@ def refine_level_serial(
     *global* view index; ``view_indices`` maps the local position ``q`` to
     that global index when this call covers a chunk of a larger view set
     (defaults to the identity mapping).
+
+    ``prune`` enables the early-termination bound inside each batched
+    window scan; ``seed_basins`` carries each view's previous-level basin
+    centers (aligned with ``orientations``, entries may be ``None``) for
+    the multi-basin fan-out.
     """
     out: list[ViewLevelResult] = []
     for q in range(len(orientations)):
@@ -152,6 +166,8 @@ def refine_level_serial(
             kernel=kernel,
             memo=memo,
             counters=counters,
+            prune=prune,
+            seed_basins=None if seed_basins is None else seed_basins[q],
         )
         out.append(
             ViewLevelResult(
@@ -163,6 +179,7 @@ def refine_level_serial(
                 n_center_evals=res.n_center_evals,
                 slid_window=res.slid_window,
                 slid_center=res.slid_center,
+                basins=res.basins,
             )
         )
     return out
@@ -307,6 +324,8 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> ChunkReturn:
         memo_store=memo_store,
         view_indices=indices,
         counters=counters,
+        prune=payload.get("prune"),
+        seed_basins=payload.get("seed_basins"),
     )
     out = [replace(r, index=int(indices[r.index])) for r in results]
     if fault_plan is not None:
@@ -461,6 +480,8 @@ class ViewScheduler:
         inner_iterations: int = 2,
         memo_store: MemoStore | None = None,
         counters: PerfCounters | None = None,
+        prune: PruneParams | None = None,
+        seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
     ) -> list[ViewLevelResult]:
         """Steps f–l for every view at one level; results ordered by view index.
 
@@ -477,6 +498,12 @@ class ViewScheduler:
         immutable entries), only save gathers.  ``counters`` accumulates
         the per-window perf counters from every path, including worker
         processes.
+
+        ``prune`` / ``seed_basins`` thread the early-termination bound and
+        the per-view multi-basin seeds through every execution path.  The
+        k-th-best tracker lives inside each view's own window search, so
+        pruning decisions — like everything else — are independent of
+        chunking and worker count.
         """
         seq = self._level_seq
         self._level_seq += 1
@@ -492,6 +519,7 @@ class ViewScheduler:
             max_slides=max_slides,
             refine_centers=refine_centers,
             inner_iterations=inner_iterations,
+            prune=prune,
         )
         if self.n_workers == 1 or m < 2:
             return refine_level_serial(
@@ -502,6 +530,7 @@ class ViewScheduler:
                 level,
                 memo_store=memo_store,
                 counters=counters,
+                seed_basins=seed_basins,
                 **serial_kwargs,
             )
         try:
@@ -515,6 +544,7 @@ class ViewScheduler:
                 serial_kwargs,
                 memo_store=memo_store,
                 counters=counters,
+                seed_basins=seed_basins,
             )
         except BaseException:
             # unrecoverable (attempt budgets cannot save us from e.g. a
@@ -534,6 +564,7 @@ class ViewScheduler:
         serial_kwargs: dict[str, Any],
         memo_store: MemoStore | None = None,
         counters: PerfCounters | None = None,
+        seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
     ) -> list[ViewLevelResult]:
         """The pool fan-out with the retry/re-queue/degrade recovery loop."""
         policy = self.retry_policy
@@ -559,6 +590,10 @@ class ViewScheduler:
                 "max_slides": serial_kwargs["max_slides"],
                 "refine_centers": serial_kwargs["refine_centers"],
                 "inner_iterations": serial_kwargs["inner_iterations"],
+                "prune": serial_kwargs["prune"],
+                "seed_basins": None
+                if seed_basins is None
+                else [seed_basins[i] for i in chunk],
                 "indices": chunk,
                 "memo_states": None
                 if memo_store is None
@@ -589,6 +624,9 @@ class ViewScheduler:
                 memo_store=memo_store,
                 view_indices=[int(i) for i in chunk],
                 counters=counters,
+                seed_basins=None
+                if seed_basins is None
+                else [seed_basins[i] for i in chunk],
                 **serial_kwargs,
             )
             return [replace(r, index=int(chunk[r.index])) for r in sub]

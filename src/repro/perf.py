@@ -13,7 +13,13 @@ never per candidate) plus per-level wall times recorded by the drivers:
   (i.e. memo misses plus memo-disabled work);
 * ``memo_lookups`` / ``memo_hits`` — memo traffic, from which the hit rate
   ``memo_hits / memo_lookups`` follows;
-* ``window_calls`` — batched window invocations (one per window scan).
+* ``window_calls`` — batched window invocations (one per window scan);
+* ``pruned`` / ``evaluated`` — of the gathered candidates, how many were
+  abandoned mid-reduction by the early-termination bound versus scored to
+  a full §3 distance (``evaluated = gathers − pruned``; without pruning
+  every gather is an evaluation);
+* ``polish_calls`` / ``polish_iters`` — continuous least-squares polish
+  invocations and their total accepted/rejected LM iterations.
 
 Counters are plain picklable data: worker processes fill their own
 instance and the scheduler :meth:`merges <PerfCounters.merge>` them, so
@@ -44,29 +50,56 @@ class PerfCounters:
     gathers: int = 0
     memo_lookups: int = 0
     memo_hits: int = 0
+    pruned: int = 0
+    evaluated: int = 0
+    polish_calls: int = 0
+    polish_iters: int = 0
     level_seconds: dict[str, float] = field(default_factory=dict)
     level_candidates: dict[str, int] = field(default_factory=dict)
+    level_pruned: dict[str, int] = field(default_factory=dict)
+    level_evaluated: dict[str, int] = field(default_factory=dict)
 
     # -- recording ----------------------------------------------------------
-    def count_window(self, n_candidates: int, n_gathered: int, n_hits: int = 0) -> None:
+    def count_window(
+        self, n_candidates: int, n_gathered: int, n_hits: int = 0, n_pruned: int = 0
+    ) -> None:
         """Record one batched window scan.
 
         ``n_candidates`` is the full window size; ``n_gathered`` the subset
-        that went through the stacked gather; ``n_hits`` the memo hits.
-        When the memo was consulted at all (``n_hits + n_gathered`` covers
-        the window), every candidate counts as a lookup.
+        that went through the stacked gather; ``n_hits`` the memo hits;
+        ``n_pruned`` the gathered candidates abandoned by the
+        early-termination bound before a full §3 evaluation.  When the memo
+        was consulted at all (``n_hits + n_gathered`` covers the window),
+        every candidate counts as a lookup.
         """
         self.window_calls += 1
         self.candidates += n_candidates
         self.gathers += n_gathered
+        self.pruned += n_pruned
+        self.evaluated += n_gathered - n_pruned
         if n_hits or n_gathered < n_candidates:
             self.memo_lookups += n_candidates
             self.memo_hits += n_hits
 
-    def record_level(self, label: str, seconds: float, candidates: int) -> None:
-        """Accumulate one level's wall time and matching-operation count."""
+    def count_polish(self, n_iters: int) -> None:
+        """Record one view's polish: one call, ``n_iters`` LM iterations."""
+        self.polish_calls += 1
+        self.polish_iters += int(n_iters)
+
+    def record_level(
+        self,
+        label: str,
+        seconds: float,
+        candidates: int,
+        pruned: int = 0,
+        evaluated: int = 0,
+    ) -> None:
+        """Accumulate one level's wall time and matching-operation counts."""
         self.level_seconds[label] = self.level_seconds.get(label, 0.0) + float(seconds)
         self.level_candidates[label] = self.level_candidates.get(label, 0) + int(candidates)
+        if pruned or evaluated:
+            self.level_pruned[label] = self.level_pruned.get(label, 0) + int(pruned)
+            self.level_evaluated[label] = self.level_evaluated.get(label, 0) + int(evaluated)
 
     # -- derived rates ------------------------------------------------------
     def memo_hit_rate(self) -> float:
@@ -93,16 +126,36 @@ class PerfCounters:
         self.gathers += other.gathers
         self.memo_lookups += other.memo_lookups
         self.memo_hits += other.memo_hits
+        self.pruned += other.pruned
+        self.evaluated += other.evaluated
+        self.polish_calls += other.polish_calls
+        self.polish_iters += other.polish_iters
         for label, seconds in other.level_seconds.items():
             self.level_seconds[label] = self.level_seconds.get(label, 0.0) + seconds
         for label, count in other.level_candidates.items():
             self.level_candidates[label] = self.level_candidates.get(label, 0) + count
+        for label, count in other.level_pruned.items():
+            self.level_pruned[label] = self.level_pruned.get(label, 0) + count
+        for label, count in other.level_evaluated.items():
+            self.level_evaluated[label] = self.level_evaluated.get(label, 0) + count
 
     def summary(self) -> str:
-        """One human line for the CLI: counts, hit rate, throughput."""
+        """One human line for the CLI: counts, hit rate, pruning, throughput."""
         parts = [f"{self.candidates:,} candidates", f"{self.gathers:,} gathered"]
         if self.memo_lookups:
             parts.append(f"memo hit-rate {self.memo_hit_rate():.1%}")
+        if self.pruned:
+            parts.append(f"pruned {self.pruned:,}/{self.pruned + self.evaluated:,}")
+            per_level = " ".join(
+                f"{label} {pruned:,}/{pruned + self.level_evaluated.get(label, 0):,}"
+                for label, pruned in sorted(self.level_pruned.items())
+            )
+            if per_level:
+                parts.append(f"per-level [{per_level}]")
+        if self.polish_calls:
+            parts.append(
+                f"polish {self.polish_calls:,} views/{self.polish_iters:,} iters"
+            )
         rate = self.candidates_per_second()
         if rate > 0:
             parts.append(f"{rate:,.0f} cand/s")

@@ -43,6 +43,8 @@ _REFINE_DEFAULTS: dict[str, object] = {
     "ranks": 0,
     "checkpoint": None,
     "resume": False,
+    "prune": False,
+    "polish": False,
 }
 
 
@@ -103,6 +105,16 @@ def build_parser() -> argparse.ArgumentParser:
     ref.add_argument(
         "--resume", action="store_true", default=absent,
         help="seed the run from --checkpoint if it matches this schedule and stack",
+    )
+    ref.add_argument(
+        "--prune", action="store_true", default=absent,
+        help="best-first early-termination pruning of candidate windows "
+        "(batched kernel only; the winner stays bit-identical)",
+    )
+    ref.add_argument(
+        "--polish", action="store_true", default=absent,
+        help="replace the finest grid levels with a continuous "
+        "least-squares polish over (angles, center)",
     )
     ref.add_argument(
         "--config", dest="config_path", default=None,
@@ -263,6 +275,10 @@ def _refine_flag_overrides(
         flags["checkpoint.path"] = args.checkpoint
     if changed("resume"):
         flags["checkpoint.resume"] = args.resume
+    if changed("prune"):
+        flags["prune.enabled"] = args.prune
+    if changed("polish"):
+        flags["polish.enabled"] = args.polish
     return flags
 
 

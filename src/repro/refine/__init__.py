@@ -11,7 +11,10 @@ from repro.refine.multires import (
     default_schedule,
     matching_operations_multires,
     matching_operations_single_step,
+    split_below,
 )
+from repro.refine.polish import PolishResult, polish_view
+from repro.refine.prune import PruneParams, PruneSearch, center_offsets
 from repro.refine.refiner import OrientationRefiner, RefinementResult
 from repro.refine.stats import RefinementStats, angular_errors, center_errors
 from repro.refine.symmetry_detect import (
@@ -40,6 +43,12 @@ __all__ = [
     "default_schedule",
     "matching_operations_single_step",
     "matching_operations_multires",
+    "split_below",
+    "PruneParams",
+    "PruneSearch",
+    "center_offsets",
+    "PolishResult",
+    "polish_view",
     "OrientationRefiner",
     "RefinementResult",
     "RefinementStats",

@@ -17,6 +17,7 @@ __all__ = [
     "RefinementLevel",
     "MultiResolutionSchedule",
     "default_schedule",
+    "split_below",
     "matching_operations_single_step",
     "matching_operations_multires",
 ]
@@ -113,6 +114,30 @@ def default_schedule(half_steps: int = 4, center_half_steps: int = 1) -> MultiRe
             for a, c in [(1.0, 1.0), (0.1, 0.1), (0.01, 0.01), (0.002, 0.002)]
         )
     )
+
+
+def split_below(
+    schedule: MultiResolutionSchedule, below_deg: float
+) -> tuple[MultiResolutionSchedule, tuple[RefinementLevel, ...]]:
+    """Split a schedule into kept levels and the fine tail polish replaces.
+
+    Levels with ``angular_step_deg >= below_deg`` are kept as the grid
+    search; strictly finer levels form the replaced tail whose final
+    angular step defines the polish accuracy-gate tolerance.  With the
+    default schedule and ``below_deg=0.1`` the kept part is 1° → 0.1° and
+    the tail (0.01°, 0.002°) is handed to the continuous polish.  The kept
+    part must be non-empty — polish needs a grid hit to start from.
+    """
+    if below_deg <= 0:
+        raise ValueError("below_deg must be positive")
+    kept = tuple(lv for lv in schedule.levels if lv.angular_step_deg >= below_deg)
+    replaced = tuple(lv for lv in schedule.levels if lv.angular_step_deg < below_deg)
+    if not kept:
+        raise ValueError(
+            f"polish would replace every level (all angular steps < {below_deg}); "
+            "keep at least one grid level to seed the polish"
+        )
+    return MultiResolutionSchedule(kept), replaced
 
 
 def matching_operations_single_step(

@@ -1,0 +1,166 @@
+"""Best-first candidate pruning for the batched window engine (DESIGN.md §11).
+
+The exhaustive matcher scores every candidate in every window even though
+almost all of them are nowhere near the running best.  Because the §3
+distance is a sum of non-negative per-sample contributions, a *partial*
+band sum is a monotone lower bound on the full distance: once a
+candidate's accumulated contribution exceeds the running k-th best
+distance it can never enter the top k and the remaining shells need not
+be gathered at all (:meth:`repro.align.fused.MatchPlan.match_window_pruned`).
+
+This module holds the search-side state of that scheme:
+
+* :class:`PruneParams` — the runtime knobs, a picklable mirror of
+  :class:`repro.engine.config.PruneConfig` plus the tracker rank;
+* :class:`PruneSearch` — one sliding-window search's k-th-best tracker.
+  It observes every *exactly evaluated* distance (memo hits and pruning
+  survivors), keyed by the candidate's orientation so re-centered windows
+  cannot double-count a candidate, and exposes the abandonment bound
+  ``kth_best · (1 + margin)``.  The margin makes the bound safe against
+  the tiny (≈1e-13 relative) difference between the shell-accumulated
+  partial sums and the canonical contiguous reduction: any candidate
+  whose true distance is ≤ the k-th best always survives, so the
+  surviving arg-min — and, with rank ``k``, the top-k basin set — is
+  bit-identical to exhaustive search;
+* :func:`center_offsets` — the best-first evaluation order.  Candidates
+  nearest the window center (the previous level's winner) are scored
+  first, which tightens the bound after a few dozen evaluations and lets
+  the bulk of the window be abandoned after its innermost shells.
+
+The tracker's lifetime is one :func:`~repro.refine.window.sliding_window_search`
+call: the bound is only comparable while the (phase-corrected) view band
+is fixed, so center corrections and new levels always start fresh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arraytypes import Array
+from repro.geometry.euler import Orientation
+
+__all__ = ["PruneParams", "PruneSearch", "center_offsets"]
+
+#: Orientation-plus-center key, identical to :func:`repro.align.memo.memo_key`.
+BasinKey = tuple[float, float, float, float, float]
+
+#: Cached squared index offsets from the window center, keyed by grid shape.
+_OFFSET_CACHE: dict[tuple[int, ...], Array] = {}
+
+
+def center_offsets(shape: tuple[int, ...]) -> Array:
+    """Squared grid-index distance of every window cell from the center cell.
+
+    Flattened in the grid's C-order so ``np.argsort(center_offsets(shape),
+    kind="stable")`` is the deterministic best-first evaluation order: the
+    re-centered previous winner (offset exactly 0) is always scored in the
+    first chunk, seeding the bound at the running best immediately.
+    """
+    cached = _OFFSET_CACHE.get(shape)
+    if cached is not None:
+        return cached
+    axes = [np.arange(n, dtype=float) - (n - 1) / 2.0 for n in shape]
+    grids = np.meshgrid(*axes, indexing="ij")
+    offsets = np.zeros(shape, dtype=float)
+    for g in grids:
+        offsets += g * g
+    flat = offsets.ravel()
+    flat.setflags(write=False)
+    _OFFSET_CACHE[shape] = flat
+    return flat
+
+
+@dataclass(frozen=True)
+class PruneParams:
+    """Runtime pruning knobs carried from the config into worker payloads.
+
+    ``rank`` is the tracker size k: the bound is the k-th best observed
+    distance, so the top ``rank`` candidates of the search are always
+    exactly scored.  It must cover both consumers of the top of the
+    ranking — ``max(top_k, polish n_best)`` — which the refiner computes
+    once from the config.  ``top_k`` is how many basin seeds flow to the
+    next level (1 preserves the classic single-path behavior).
+    """
+
+    rank: int = 1
+    top_k: int = 1
+    margin: float = 1e-9
+    shell_groups: int = 8
+    seed_chunk: int = 32
+    chunk: int = 128
+
+    def __post_init__(self) -> None:
+        if self.rank < 1 or self.top_k < 1:
+            raise ValueError("prune rank and top_k must be >= 1")
+        if self.top_k > self.rank:
+            raise ValueError("prune top_k cannot exceed the tracker rank")
+        if self.margin < 0.0:
+            raise ValueError("prune margin must be non-negative")
+        if self.shell_groups < 1 or self.seed_chunk < 1 or self.chunk < 1:
+            raise ValueError("prune shell_groups/seed_chunk/chunk must be >= 1")
+
+
+class PruneSearch:
+    """The k best exactly-evaluated candidates of one sliding-window search.
+
+    Entries are keyed by the candidate's ``(θ, φ, ω, cx, cy)`` tuple —
+    the same exact-float key the orientation memo uses — so a candidate
+    re-observed in an overlapping re-centered window (memo hit or
+    re-evaluation, both yield the identical distance) occupies one slot.
+    Abandoned candidates are *never* observed: their true distance is
+    known only to exceed the bound.
+    """
+
+    def __init__(self, params: PruneParams) -> None:
+        self.params = params
+        self._best: dict[BasinKey, float] = {}
+        self._kth = float("inf")
+
+    def __len__(self) -> int:
+        return len(self._best)
+
+    def bound(self) -> float:
+        """Abandonment threshold: k-th best seen, inflated by the margin.
+
+        Infinite until ``rank`` distinct candidates have been observed —
+        pruning cannot start before the ranking it protects exists.
+        """
+        if len(self._best) < self.params.rank:
+            return float("inf")
+        return self._kth * (1.0 + self.params.margin)
+
+    def observe(self, keys: list[BasinKey], values: Array) -> None:
+        """Fold exactly-evaluated distances into the ranking.
+
+        ``values`` may contain ``inf`` for abandoned candidates; those are
+        ignored.  Values strictly above the current k-th best cannot enter
+        the ranking and are skipped without touching the dict.
+        """
+        vals = np.asarray(values, dtype=float)
+        best = self._best
+        cutoff = self._kth if len(best) >= self.params.rank else float("inf")
+        candidates = np.flatnonzero(vals <= cutoff)
+        if candidates.size == 0:
+            return
+        for i in candidates.tolist():
+            best[keys[i]] = float(vals[i])
+        rank = self.params.rank
+        if len(best) > rank:
+            kept = sorted(best.items(), key=lambda kv: (kv[1], kv[0]))[:rank]
+            self._best = best = dict(kept)
+        if len(best) >= rank:
+            self._kth = max(best.values())
+
+    def basins(self) -> tuple[Orientation, ...]:
+        """The top-``rank`` orientations observed, best first.
+
+        Exact whenever the search ran to completion: every candidate whose
+        distance is ≤ the final k-th best survived pruning (the bound only
+        shrinks), so the ranking saw all of them.  Consumers slice what
+        they need — the next level takes ``top_k`` seeds, the polish its
+        ``n_best`` starts.
+        """
+        ranked = sorted(self._best.items(), key=lambda kv: (kv[1], kv[0]))
+        return tuple(Orientation(*key) for key, _ in ranked)

@@ -36,7 +36,14 @@ from repro.fourier.transforms import centered_fft2
 from repro.geometry.euler import Orientation
 from repro.imaging.simulate import SimulatedViews
 from repro.perf import PerfCounters
-from repro.refine.multires import MultiResolutionSchedule, default_schedule
+from repro.refine.multires import (
+    MultiResolutionSchedule,
+    RefinementLevel,
+    default_schedule,
+    split_below,
+)
+from repro.refine.polish import polish_view
+from repro.refine.prune import PruneParams
 from repro.refine.stats import RefinementStats
 from repro.utils import StepTimer, Timer
 
@@ -322,6 +329,36 @@ class OrientationRefiner:
 
         if resume and checkpoint_path is None:
             raise ValueError("resume=True requires a checkpoint_path")
+        # Pruning/polish wiring (DESIGN.md §11).  The polish replaces the
+        # finest grid levels, so the checkpointed schedule fingerprint below
+        # covers only the *kept* levels; the polish itself checkpoints as
+        # one extra stage.  Basin state (rank > 1) lives across stage
+        # boundaries and cannot ride the level-granular checkpoint.
+        prune_cfg = self.config.prune
+        polish_cfg = self.config.polish
+        replaced_tail: tuple[RefinementLevel, ...] = ()
+        if polish_cfg.enabled:
+            sched, replaced_tail = split_below(sched, polish_cfg.replace_below_deg)
+        prune_params: PruneParams | None = None
+        if prune_cfg.enabled:
+            top_k = prune_cfg.top_k or 1
+            rank = max(top_k, polish_cfg.n_best if polish_cfg.enabled else 1)
+            prune_params = PruneParams(
+                rank=rank,
+                top_k=top_k,
+                margin=prune_cfg.margin,
+                shell_groups=prune_cfg.shell_groups,
+                seed_chunk=prune_cfg.seed_chunk,
+                chunk=prune_cfg.chunk,
+            )
+        track_basins = prune_params is not None and prune_params.rank > 1
+        if track_basins and checkpoint_path is not None:
+            raise ConfigError(
+                "multi-basin runs (prune.top_k > 1 or polish.n_best > 1) "
+                "carry state between stages that the level-granular "
+                "checkpoint cannot record; disable checkpointing"
+            )
+        n_stages = len(sched) + (1 if polish_cfg.enabled else 0)
         stats = RefinementStats(n_views=images.shape[0])
         orientations = list(init)
         distances = np.full(images.shape[0], np.inf)
@@ -370,7 +407,7 @@ class OrientationRefiner:
                         # warm memo from the killed run: resumed levels
                         # skip the gathers the dead run already paid for
                         memo_store.import_state(found.memo)
-        if start_level >= len(sched):
+        if start_level >= n_stages:
             # everything already done: no need to rebuild D̂ or transforms
             return RefinementResult(
                 orientations=orientations,
@@ -400,12 +437,15 @@ class OrientationRefiner:
                 backend = ProcessBackend(scheduler=scheduler)
             else:
                 backend = make_backend(self._run_config(n_workers))
+        basin_state: list[tuple[Orientation, ...] | None] | None = None
         try:
             for li, level in enumerate(sched):
                 if li < start_level:
                     continue
                 n_matches = n_center = n_wslides = n_cslides = 0
                 candidates_before = 0 if counters is None else counters.candidates
+                pruned_before = 0 if counters is None else counters.pruned
+                evaluated_before = 0 if counters is None else counters.evaluated
                 level_timer = Timer().start()
                 with timer.step(STEP_REFINEMENT):
                     results = backend.run_level(
@@ -421,10 +461,16 @@ class OrientationRefiner:
                         refine_centers=refine_centers,
                         memo_store=memo_store,
                         counters=counters,
+                        prune=prune_params,
+                        seed_basins=basin_state,
                     )
+                    if track_basins:
+                        basin_state = [None] * len(orientations)
                     for res in results:
                         orientations[res.index] = res.orientation
                         distances[res.index] = res.distance
+                        if track_basins and basin_state is not None:
+                            basin_state[res.index] = res.basins or None
                         n_matches += res.n_matches
                         n_center += res.n_center_evals
                         n_wslides += int(res.slid_window)
@@ -434,6 +480,8 @@ class OrientationRefiner:
                         f"{level.angular_step_deg:g}deg",
                         level_timer.stop(),
                         counters.candidates - candidates_before,
+                        pruned=counters.pruned - pruned_before,
+                        evaluated=counters.evaluated - evaluated_before,
                     )
                 stats.record_level(
                     level.angular_step_deg, n_matches, n_center, n_wslides, n_cslides
@@ -446,6 +494,58 @@ class OrientationRefiner:
                         RefinementCheckpoint(
                             schedule_fingerprint=fingerprint,
                             levels_done=li + 1,
+                            orientations=list(orientations),
+                            distances=distances.copy(),
+                            stats=stats,
+                            memo=None if memo_store is None else memo_store.export_state(),
+                            engine_fingerprint=engine_fingerprint,
+                        ),
+                    )
+            if polish_cfg.enabled:
+                # The continuous polish replacing the finest grid levels:
+                # serial per view (a handful of LM iterations each, nothing
+                # to fan out), monotone per start, best start wins.
+                from repro.align.fused import get_match_plan
+
+                level_timer = Timer().start()
+                with timer.step(STEP_REFINEMENT):
+                    plan = get_match_plan(
+                        self.distance_computer, volume_ft.shape[0], self.interpolation
+                    )
+                    for q in range(len(orientations)):
+                        view_band = plan.gather_view(fts[q])
+                        starts: tuple[Orientation, ...] = (orientations[q],)
+                        if basin_state is not None and basin_state[q]:
+                            starts = basin_state[q][: polish_cfg.n_best]
+                        memo = None if memo_store is None else memo_store.for_view(q)
+                        best_o, best_d = orientations[q], float(distances[q])
+                        for start in starts:
+                            polished = polish_view(
+                                view_band,
+                                volume_ft,
+                                plan,
+                                start,
+                                cut_modulation=modulations[q],
+                                max_iters=polish_cfg.max_iters,
+                                tol=polish_cfg.tol,
+                                damping=polish_cfg.damping,
+                                memo=memo,
+                                counters=counters,
+                            )
+                            if polished.distance < best_d:
+                                best_o, best_d = polished.orientation, polished.distance
+                        orientations[q] = best_o
+                        distances[q] = best_d
+                if counters is not None:
+                    counters.record_level("polish", level_timer.stop(), 0)
+                if keep_level_snapshots:
+                    snapshots.append(list(orientations))
+                if checkpoint_path is not None:
+                    save_checkpoint(
+                        checkpoint_path,
+                        RefinementCheckpoint(
+                            schedule_fingerprint=fingerprint,
+                            levels_done=len(sched) + 1,
                             orientations=list(orientations),
                             distances=distances.copy(),
                             stats=stats,

@@ -28,6 +28,7 @@ from repro.geometry.euler import Orientation
 from repro.imaging.center import phase_shift_ft
 from repro.perf import PerfCounters
 from repro.refine.center_refine import refine_center
+from repro.refine.prune import PruneParams
 from repro.refine.window import sliding_window_search
 
 __all__ = ["ViewRefinementResult", "refine_view_at_level"]
@@ -39,7 +40,10 @@ class ViewRefinementResult:
 
     ``n_matches`` counts angular matching operations, ``n_center_evals``
     center evaluations; ``slid_window`` / ``slid_center`` record whether the
-    respective sliding mechanisms fired (the §5 observation).
+    respective sliding mechanisms fired (the §5 observation).  ``basins``
+    carries the top-k distinct orientations of the winning seed's last
+    window search when multi-basin pruning is on (empty otherwise) — the
+    next level's seeds.
     """
 
     orientation: Orientation
@@ -49,6 +53,7 @@ class ViewRefinementResult:
     n_center_evals: int
     slid_window: bool
     slid_center: bool
+    basins: tuple[Orientation, ...] = ()
 
 
 def refine_view_at_level(
@@ -68,6 +73,8 @@ def refine_view_at_level(
     kernel: str = "fused",
     memo: OrientationMemo | None = None,
     counters: PerfCounters | None = None,
+    prune: PruneParams | None = None,
+    seed_basins: tuple[Orientation, ...] | None = None,
 ) -> ViewRefinementResult:
     """Steps f–l for one view at one (r_angular, δ_center) level.
 
@@ -89,6 +96,13 @@ def refine_view_at_level(
     optional per-view orientation ``memo`` and ``counters``) or
     ``"reference"`` (full cut stacks).  All three produce identical
     numbers; ``memo`` / ``counters`` are ignored outside ``"batched"``.
+
+    ``prune`` enables the early-termination bound inside each window scan
+    (batched kernel only).  ``seed_basins`` — the previous level's top-k
+    basin centers — fans the whole level out once per seed (capped at
+    ``prune.top_k``); the best seed's result wins, operation counts are
+    summed over all seeds, and the winner's own basins are reported for
+    the next level.
     """
     if inner_iterations < 1:
         raise ValueError("inner_iterations must be >= 1")
@@ -142,71 +156,96 @@ def refine_view_at_level(
             center.slid,
         )
 
-    current = orientation
-    n_windows_total = 0
-    n_matches_total = 0
-    n_center_total = 0
-    slid_window = False
-    slid_center = False
-    distance = np.inf
-    for _ in range(inner_iterations if refine_centers else 1):
-        previous = current
+    def _refine_from(start: Orientation) -> ViewRefinementResult:
+        current = start
+        n_windows_total = 0
+        n_matches_total = 0
+        n_center_total = 0
+        slid_window = False
+        slid_center = False
+        distance = np.inf
+        basins: tuple[Orientation, ...] = ()
+        for _ in range(inner_iterations if refine_centers else 1):
+            previous = current
+            if refine_centers:
+                current, distance, n_evals, slid = _center_pass(current)
+                n_center_total += n_evals
+                slid_center = slid_center or slid
+            # step f prerequisite: correct the view to the current center estimate
+            if fused:
+                corrected_band = plan.phase_shift_band(view_band, -current.cx, -current.cy)
+                window = sliding_window_search(
+                    None,
+                    volume_ft,
+                    current,
+                    step_deg=angular_step_deg,
+                    half_steps=half_steps,
+                    max_slides=max_slides,
+                    cut_modulation=cut_modulation,
+                    kernel=kernel,
+                    plan=plan,
+                    view_band=corrected_band,
+                    memo=memo,
+                    memo_center=(current.cx, current.cy),
+                    counters=counters,
+                    prune=prune,
+                )
+            else:
+                corrected = view_ft
+                if current.cx != 0.0 or current.cy != 0.0:
+                    corrected = phase_shift_ft(view_ft, -current.cx, -current.cy)
+                window = sliding_window_search(
+                    corrected,
+                    volume_ft,
+                    current,
+                    step_deg=angular_step_deg,
+                    half_steps=half_steps,
+                    max_slides=max_slides,
+                    distance_computer=dc,
+                    interpolation=interpolation,
+                    cut_modulation=cut_modulation,
+                    kernel="reference",
+                    prune=prune,
+                )
+            current = window.orientation
+            distance = window.distance
+            basins = window.basins
+            n_windows_total += window.n_windows
+            n_matches_total += window.n_matches
+            slid_window = slid_window or window.slid
+            if current.as_tuple() == previous.as_tuple():
+                break
         if refine_centers:
+            # final polish: the last angular winner deserves a matching center
             current, distance, n_evals, slid = _center_pass(current)
             n_center_total += n_evals
             slid_center = slid_center or slid
-        # step f prerequisite: correct the view to the current center estimate
-        if fused:
-            corrected_band = plan.phase_shift_band(view_band, -current.cx, -current.cy)
-            window = sliding_window_search(
-                None,
-                volume_ft,
-                current,
-                step_deg=angular_step_deg,
-                half_steps=half_steps,
-                max_slides=max_slides,
-                cut_modulation=cut_modulation,
-                kernel=kernel,
-                plan=plan,
-                view_band=corrected_band,
-                memo=memo,
-                memo_center=(current.cx, current.cy),
-                counters=counters,
-            )
-        else:
-            corrected = view_ft
-            if current.cx != 0.0 or current.cy != 0.0:
-                corrected = phase_shift_ft(view_ft, -current.cx, -current.cy)
-            window = sliding_window_search(
-                corrected,
-                volume_ft,
-                current,
-                step_deg=angular_step_deg,
-                half_steps=half_steps,
-                max_slides=max_slides,
-                distance_computer=dc,
-                interpolation=interpolation,
-                cut_modulation=cut_modulation,
-                kernel="reference",
-            )
-        current = window.orientation
-        distance = window.distance
-        n_windows_total += window.n_windows
-        n_matches_total += window.n_matches
-        slid_window = slid_window or window.slid
-        if current.as_tuple() == previous.as_tuple():
-            break
-    if refine_centers:
-        # final polish: the last angular winner deserves a matching center
-        current, distance, n_evals, slid = _center_pass(current)
-        n_center_total += n_evals
-        slid_center = slid_center or slid
+        return ViewRefinementResult(
+            orientation=current,
+            distance=distance,
+            n_windows=n_windows_total,
+            n_matches=n_matches_total,
+            n_center_evals=n_center_total,
+            slid_window=slid_window,
+            slid_center=slid_center,
+            basins=basins,
+        )
+
+    seeds: tuple[Orientation, ...] = (orientation,)
+    if seed_basins:
+        limit = prune.top_k if prune is not None else len(seed_basins)
+        seeds = tuple(seed_basins[:limit]) or seeds
+    results = [_refine_from(seed) for seed in seeds]
+    best = min(results, key=lambda r: r.distance)
+    if len(results) == 1:
+        return best
     return ViewRefinementResult(
-        orientation=current,
-        distance=distance,
-        n_windows=n_windows_total,
-        n_matches=n_matches_total,
-        n_center_evals=n_center_total,
-        slid_window=slid_window,
-        slid_center=slid_center,
+        orientation=best.orientation,
+        distance=best.distance,
+        n_windows=sum(r.n_windows for r in results),
+        n_matches=sum(r.n_matches for r in results),
+        n_center_evals=sum(r.n_center_evals for r in results),
+        slid_window=any(r.slid_window for r in results),
+        slid_center=any(r.slid_center for r in results),
+        basins=best.basins,
     )

@@ -22,6 +22,7 @@ from repro.align.memo import OrientationMemo
 from repro.arraytypes import Array
 from repro.geometry.euler import Orientation
 from repro.perf import PerfCounters
+from repro.refine.prune import PruneParams, PruneSearch
 
 __all__ = ["SlidingWindowResult", "sliding_window_search"]
 
@@ -50,6 +51,10 @@ class SlidingWindowResult:
         True when the search stopped *because* the slide budget ran out
         while the winner still sat on a window face — i.e. the final
         minimum is not known to be interior.
+    basins:
+        When a pruned search tracked more than one basin
+        (``PruneParams.rank > 1``), the top-ranked distinct orientations
+        over the whole search, best first.  Empty otherwise.
     """
 
     orientation: Orientation
@@ -59,6 +64,7 @@ class SlidingWindowResult:
     slid: bool
     centers: tuple[Orientation, ...] = ()
     final_on_edge: bool = False
+    basins: tuple[Orientation, ...] = ()
 
 
 def sliding_window_search(
@@ -77,6 +83,7 @@ def sliding_window_search(
     memo: OrientationMemo | None = None,
     memo_center: tuple[float, float] = (0.0, 0.0),
     counters: PerfCounters | None = None,
+    prune: PruneParams | None = None,
 ) -> SlidingWindowResult:
     """Steps f–i for one view at one angular resolution.
 
@@ -111,6 +118,15 @@ def sliding_window_search(
         (``memo_center`` is the center correction baked into
         ``view_band`` — part of the memo key) and the run's
         :class:`PerfCounters`.  Ignored by the other kernels.
+    prune:
+        Optional :class:`~repro.refine.prune.PruneParams` enabling the
+        early-termination bound on the batched kernel.  One
+        :class:`~repro.refine.prune.PruneSearch` tracker spans the whole
+        (possibly slid) search — candidates re-observed after a slide are
+        deduplicated by exact orientation key, so the k-th-best bound only
+        tightens.  Ignored by the other kernels (they score every
+        candidate exactly anyway, which is what makes them the
+        equivalence oracle).
     """
     if max_slides < 0:
         raise ValueError("max_slides must be non-negative")
@@ -133,6 +149,9 @@ def sliding_window_search(
     centers: list[Orientation] = []
     final_on_edge = False
     best: MatchResult | None = None
+    # One tracker per search: its k-th-best bound is only valid for this
+    # view_band, and it deduplicates candidates re-observed across slides.
+    search = PruneSearch(prune) if prune is not None and kernel == "batched" else None
     while True:
         centers.append(current)
         grid = orientation_window(current, step_deg, half_steps)
@@ -147,13 +166,16 @@ def sliding_window_search(
                 memo=memo,
                 memo_center=memo_center,
                 counters=counters,
+                prune=search,
             )
         elif kernel == "fused":
             assert plan is not None and view_band is not None
+            # repro-lint: allow[RL012] fused oracle branch: exhaustive by design
             best = match_view_band(
                 view_band, volume_ft, grid, plan, cut_modulation=cut_modulation
             )
         else:
+            # repro-lint: allow[RL012] reference oracle branch: exhaustive by design
             best = match_view(
                 view_ft,
                 volume_ft,
@@ -172,6 +194,9 @@ def sliding_window_search(
             final_on_edge = True
         break
     assert best is not None
+    basins: tuple[Orientation, ...] = ()
+    if search is not None and search.params.rank > 1:
+        basins = search.basins()
     return SlidingWindowResult(
         orientation=best.orientation,
         distance=best.distance,
@@ -180,4 +205,5 @@ def sliding_window_search(
         slid=slid,
         centers=tuple(centers),
         final_on_edge=final_on_edge,
+        basins=basins,
     )

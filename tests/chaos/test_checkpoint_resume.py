@@ -260,6 +260,57 @@ def test_resume_with_warm_memo_is_bit_identical(chaos_problem, baseline, tmp_pat
     assert resumed.perf.memo_hits > 0, "warm memo never consulted on resume"
 
 
+def test_pruned_resume_replays_same_prune_decisions(chaos_problem, tmp_path):
+    """Kill a pruned run at a level barrier, resume it, and the replayed
+    level must make the *same pruning decisions* as the uninterrupted
+    pruned run — same abandoned/evaluated counts per level, same bits out.
+
+    This holds because the k-th-best tracker lives inside one view's
+    sliding-window search (it never crosses the checkpoint boundary) and
+    the warm memo restored from the checkpoint is the exact memo state the
+    killed run had at that barrier.
+    """
+    from repro.engine.config import EngineConfig
+    from repro.refine.refiner import OrientationRefiner
+
+    views, refiner, schedule = chaos_problem
+    config = EngineConfig.from_dict(
+        {**refiner.config.to_dict(), "prune": {"enabled": True}}
+    )
+    pruned_baseline = OrientationRefiner(refiner.density, config=config).refine(
+        views, schedule=schedule
+    )
+    assert pruned_baseline.perf is not None and pruned_baseline.perf.pruned > 0
+
+    ckpt = str(tmp_path / "run.ckpt")
+    plan = FaultPlan((FaultSpec("abort-level", "level:1"),))
+    scheduler = ViewScheduler(n_workers=1, fault_plan=plan)
+    interrupted = OrientationRefiner(refiner.density, config=config)
+    try:
+        with pytest.raises(FaultInjected):
+            interrupted.refine(
+                views, schedule=schedule, scheduler=scheduler, checkpoint_path=ckpt
+            )
+    finally:
+        scheduler.close()
+    assert load_checkpoint(ckpt).levels_done == 1
+
+    resumed = OrientationRefiner(refiner.density, config=config).refine(
+        views, schedule=schedule, checkpoint_path=ckpt, resume=True
+    )
+    assert_identical(resumed, pruned_baseline)
+    assert resumed.stats == pruned_baseline.stats
+    # the replayed level 2 pruned/evaluated exactly what the fault-free
+    # pruned run pruned/evaluated there
+    label = f"{schedule.levels[1].angular_step_deg:g}deg"
+    assert resumed.perf is not None
+    assert resumed.perf.level_pruned[label] == pruned_baseline.perf.level_pruned[label]
+    assert (
+        resumed.perf.level_evaluated[label]
+        == pruned_baseline.perf.level_evaluated[label]
+    )
+
+
 def test_resume_without_memo_is_also_bit_identical(chaos_problem, baseline, tmp_path):
     """A legacy checkpoint (no memo header) resumes cold to the same bits."""
     views, refiner, schedule = chaos_problem

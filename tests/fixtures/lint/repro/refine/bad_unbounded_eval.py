@@ -1,0 +1,23 @@
+"""RL012 fixture: exhaustive window evaluation looping without a prune bound."""
+
+from __future__ import annotations
+
+
+def refine_seeds_slow(view_band, volume_ft, seeds, plan):
+    results = []
+    for seed in seeds:
+        results.append(
+            sliding_window_search(
+                None,
+                volume_ft,
+                seed,
+                step_deg=0.1,
+                plan=plan,
+                view_band=view_band,
+            )
+        )
+    return results
+
+
+def sliding_window_search(view_ft, volume_ft, center, step_deg, plan, view_band):
+    return (center, 0.0)

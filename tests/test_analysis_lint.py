@@ -24,6 +24,7 @@ FIXTURE_RULES = {
     "parallel/bad_bare_except.py": "RL009",
     "align/bad_cut_loop.py": "RL010",
     "align/bad_env_read.py": "RL011",
+    "refine/bad_unbounded_eval.py": "RL012",
 }
 
 
@@ -35,7 +36,7 @@ def rules_hit(findings):
 def test_every_rule_has_identity():
     rules = all_rules()
     ids = [r.rule_id for r in rules]
-    assert len(ids) == len(set(ids)) == 11
+    assert len(ids) == len(set(ids)) == 12
     assert ids == sorted(ids)
     for rule_id, name, rationale in rule_table():
         assert rule_id.startswith("RL")

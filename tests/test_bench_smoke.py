@@ -43,3 +43,35 @@ def test_batched_matches_reference_small():
     ]
     assert np.array_equal(ref.distances, bat.distances)
     assert bat.perf is not None and bat.perf.memo_hits > 0
+
+
+def test_pruned_matches_reference_small():
+    """The pruned slice of the benchmark claim: the early-termination bound
+    abandons a real fraction of the window at l = 16 while reproducing the
+    reference bits exactly."""
+    from repro.engine.config import EngineConfig
+
+    size = 16
+    density = asymmetric_phantom(size, seed=0).normalized()
+    views = simulate_views(
+        density, 2, initial_angle_error_deg=3.0, center_sigma_px=0.5, seed=0
+    )
+    schedule = MultiResolutionSchedule(
+        (
+            RefinementLevel(2.0, 1.0, half_steps=2),
+            RefinementLevel(1.0, 0.5, half_steps=2),
+        )
+    )
+    reference = OrientationRefiner(density, kernel="reference").refine(
+        views, schedule=schedule
+    )
+    config = EngineConfig.from_dict(
+        {**OrientationRefiner(density).config.to_dict(), "prune": {"enabled": True}}
+    )
+    pruned = OrientationRefiner(density, config=config).refine(views, schedule=schedule)
+    assert [o.as_tuple() for o in reference.orientations] == [
+        o.as_tuple() for o in pruned.orientations
+    ]
+    assert np.array_equal(reference.distances, pruned.distances)
+    assert pruned.perf is not None and pruned.perf.pruned > 0
+    assert pruned.perf.evaluated + pruned.perf.pruned == pruned.perf.gathers

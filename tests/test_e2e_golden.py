@@ -81,6 +81,33 @@ def test_engine_backends_match_golden(tiny_problem, golden, backend):
     assert np.array_equal(np.asarray(run.distances), want_dist)
 
 
+def test_pruned_engine_matches_golden(tiny_problem, golden):
+    """Best-first pruning (top_k=None) is an exact optimization: the pruned
+    batched engine must land on the pre-pruning golden bits while actually
+    abandoning candidates (otherwise the bound never fired and this test
+    proves nothing)."""
+    from repro.engine import EngineConfig, RefinementEngine, ScheduleConfig
+
+    density, views, schedule = tiny_problem
+    config = EngineConfig.from_dict(
+        {
+            **EngineConfig(
+                schedule=ScheduleConfig.from_schedule(schedule), max_slides=2
+            ).to_dict(),
+            "prune": {"enabled": True},
+        }
+    )
+    run = RefinementEngine(config).run(views, density)
+    got = np.array([o.as_tuple() for o in run.orientations])
+    want_orient, want_dist, _ = golden
+    assert np.array_equal(got, want_orient), (
+        "pruned engine drifted from the golden result; the early-termination "
+        "bound must be exact at top_k=None"
+    )
+    assert np.array_equal(np.asarray(run.distances), want_dist)
+    assert run.perf is not None and run.perf.pruned > 0
+
+
 @pytest.mark.parametrize("kernel", ["fused", "reference"])
 @pytest.mark.parametrize("n_workers", [1, 2])
 def test_refinement_matches_golden(tiny_problem, golden, kernel, n_workers):

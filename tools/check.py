@@ -16,7 +16,12 @@ Runs, in order:
 6. the bench-smoke subset (``-m bench_smoke``) as its own named step — the
    tiny batched-vs-reference equivalence slice of the kernel benchmarks,
    so a kernel regression is attributed to the right gate line,
-7. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
+7. the accuracy-gate subset (``-m accuracy_gate``) as its own named step —
+   the toleranced gate the continuous polish ships under (objective
+   non-regression vs the brute-force fine tail + step-resolution bound,
+   DESIGN.md §11), kept apart from the bit-identity suites because its
+   contract is a tolerance, not equality,
+8. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
    injection kills workers and restarts pools, so it runs apart from the
    main suite but under the same runtime contracts.
 
@@ -70,6 +75,7 @@ def main(argv: list[str] | None = None) -> int:
         suites = [
             ("pytest", ["-x", "-q", "-m", "not chaos"]),
             ("pytest[bench-smoke]", ["-x", "-q", "-m", "bench_smoke"]),
+            ("pytest[accuracy-gate]", ["-x", "-q", "-m", "accuracy_gate"]),
         ]
         if not args.no_chaos:
             suites.append(("pytest[chaos]", ["-x", "-q", "-m", "chaos"]))
