@@ -31,6 +31,9 @@ def step_offsets(half_steps: int, step: float) -> Array:
     if cached is None:
         cached = np.arange(-key[0], key[0] + 1) * key[1]
         cached.setflags(write=False)
+        # repro-lint: allow[RL013] pure memo of a deterministic function of
+        # the key; every process recomputes identical read-only values, so
+        # parent/worker divergence is impossible.
         _OFFSETS_CACHE[key] = cached
     return cached
 

@@ -6,14 +6,17 @@ is not installed); any finding from ruff, mypy or repro-lint exits 1.
     python -m repro.analysis                  # full gate over the repo
     python -m repro.analysis --lint-only      # repro-lint only
     python -m repro.analysis --lint-only FILE # lint specific files/dirs
+    python -m repro.analysis --format json    # machine-readable report
+    python -m repro.analysis --strict-waivers # stale waivers fail the gate
     python -m repro.analysis --list-rules     # show the rule table
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 
-from repro.analysis.gate import run_gate
+from repro.analysis.gate import gate_to_json, run_gate
 from repro.analysis.rules import rule_table
 
 __all__ = ["main"]
@@ -29,6 +32,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--skip-ruff", action="store_true", help="skip the ruff stage")
     parser.add_argument("--skip-mypy", action="store_true", help="skip the mypy stage")
     parser.add_argument("--list-rules", action="store_true", help="print the rule table and exit")
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--strict-waivers",
+        action="store_true",
+        help="fail the gate on stale repro-lint waivers instead of warning",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -41,14 +55,22 @@ def main(argv: list[str] | None = None) -> int:
         args.paths or None,
         with_ruff=not (args.lint_only or args.skip_ruff),
         with_mypy=not (args.lint_only or args.skip_mypy),
+        strict_waivers=args.strict_waivers,
     )
-    failed = False
+    failed = any(r.failed for r in results)
+    if args.format == "json":
+        print(json.dumps(gate_to_json(results), indent=2))
+        return 1 if failed else 0
     for result in results:
         print(f"[{result.status:>7}] {result.name}")
         if result.detail and result.status != "ok":
             for line in result.detail.splitlines():
                 print(f"    {line}")
-        failed = failed or result.failed
+        elif result.name == "waivers" and result.findings:
+            # stale waivers in warning mode: show them even though the
+            # stage is ok, so they get cleaned up before --strict-waivers
+            for line in result.detail.splitlines():
+                print(f"    {line}")
     if failed:
         print("gate: FAILED")
         return 1

@@ -1,0 +1,769 @@
+"""AST symbol table and call graph: the whole-program layer of repro-lint.
+
+The per-file rules (RL001–RL012) police conventions a single module can
+prove about itself.  The invariants that actually break chaos runs —
+unpicklable pool tasks, exceptions the retry loop cannot classify,
+mismatched kernel-boundary contracts — live on *call edges* between
+modules, so this module builds the substrate the whole-program passes
+(RL013–RL015) walk:
+
+* a **symbol table** per module: imports (including function-local lazy
+  imports), top-level functions, classes with their methods, base
+  classes, lightly-inferred attribute types, and the set of names bound
+  (and mutably initialized) at module scope;
+* a **call graph** whose nodes are ``module:qualname`` ids and whose
+  edges carry the call site.  Calls are resolved through imports,
+  same-module lookup, ``self``/attribute dispatch via the symbol table,
+  constructor returns, return annotations, and — deliberately — function
+  references passed as arguments (``executor.submit(task, …)``,
+  ``atexit.register(cb)``), which is how pool tasks enter the graph;
+* the list of **pool-submission sites** (``.submit``/``.map`` on an
+  executor-like receiver) with the task callable resolved where
+  statically possible — the roots of the RL013 worker path.
+
+Resolution is intentionally conservative: an edge is added only when the
+target is identified in the project's own symbol table, so the passes
+over-approximate *reachability* (callback references count as calls) but
+never invent targets.  Everything here is plain ``ast`` — no imports of
+the code under analysis are performed.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.analysis.lint import ModuleUnderLint
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "PoolSubmission",
+    "Project",
+    "StaticContract",
+    "StaticSpec",
+    "build_project",
+    "module_name_for_rel",
+]
+
+#: method names too generic to resolve by the unique-name heuristic —
+#: they collide with dict/list/file/executor APIs and would fabricate
+#: edges onto whatever project class happens to share the name.
+_COMMON_METHOD_NAMES = frozenset(
+    {
+        "get", "put", "pop", "add", "close", "open", "read", "write", "items",
+        "keys", "values", "update", "clear", "copy", "append", "extend",
+        "remove", "insert", "sort", "count", "index", "join", "split",
+        "submit", "map", "result", "run", "start", "stop", "send", "recv",
+        "name", "shape", "size",
+    }
+)
+
+#: ``.submit``-like attribute names that hand a callable to a pool.
+_POOL_SUBMIT_ATTRS = frozenset({"submit", "apply_async"})
+_POOL_MAP_ATTRS = frozenset({"map", "imap", "imap_unordered", "starmap"})
+
+
+def module_name_for_rel(rel: str) -> str:
+    """``repro/align/fused.py`` → ``repro.align.fused`` (packages too)."""
+    name = rel[:-3] if rel.endswith(".py") else rel
+    name = name.replace("/", ".")
+    if name.endswith(".__init__"):
+        name = name[: -len(".__init__")]
+    return name
+
+
+# -- static contracts --------------------------------------------------------
+@dataclass(frozen=True)
+class StaticSpec:
+    """The statically-readable half of one :func:`spec` declaration.
+
+    ``shape`` is a tuple of alternatives, each a tuple whose entries are
+    ``int`` (exact), ``str`` (symbolic dim) or ``None`` (wildcard);
+    ``None`` as a whole means the spec does not constrain shape.  Entries
+    that were not literal in the source degrade to ``None`` (wildcard),
+    so partial parses only lose precision, never invent constraints.
+    """
+
+    shape: tuple[tuple[object, ...], ...] | None = None
+    dtype: str | None = None
+    allow_none: bool = True
+
+
+@dataclass(frozen=True)
+class StaticContract:
+    """Parsed ``@array_contract`` declaration of one function."""
+
+    params: Mapping[str, StaticSpec]
+    ret: StaticSpec | None = None
+
+
+def _literal(node: ast.expr) -> object:
+    """Constant int/str/None from an AST node; non-literals become None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, str, type(None))):
+        return node.value
+    return None
+
+
+def _parse_shape(node: ast.expr) -> tuple[tuple[object, ...], ...] | None:
+    if isinstance(node, ast.Tuple):
+        return (tuple(_literal(e) for e in node.elts),)
+    if isinstance(node, ast.List):
+        alts = []
+        for elt in node.elts:
+            if isinstance(elt, ast.Tuple):
+                alts.append(tuple(_literal(e) for e in elt.elts))
+        return tuple(alts) or None
+    return None
+
+
+def _parse_spec_call(node: ast.expr) -> StaticSpec:
+    if not (isinstance(node, ast.Call) and _callee_name(node) in {"spec", "ArraySpec"}):
+        return StaticSpec()
+    shape: tuple[tuple[object, ...], ...] | None = None
+    dtype: str | None = None
+    allow_none = True
+    for kw in node.keywords:
+        if kw.arg == "shape":
+            shape = _parse_shape(kw.value)
+        elif kw.arg == "dtype" and isinstance(kw.value, ast.Constant):
+            dtype = kw.value.value if isinstance(kw.value.value, str) else None
+        elif kw.arg == "allow_none" and isinstance(kw.value, ast.Constant):
+            allow_none = bool(kw.value.value)
+    if node.args and shape is None:
+        shape = _parse_shape(node.args[0])
+    return StaticSpec(shape=shape, dtype=dtype, allow_none=allow_none)
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _parse_contract(node: ast.FunctionDef | ast.AsyncFunctionDef) -> StaticContract | None:
+    for deco in node.decorator_list:
+        if isinstance(deco, ast.Call) and _callee_name(deco) == "array_contract":
+            params: dict[str, StaticSpec] = {}
+            ret: StaticSpec | None = None
+            for kw in deco.keywords:
+                if kw.arg is None:
+                    continue
+                if kw.arg == "ret":
+                    ret = _parse_spec_call(kw.value)
+                elif kw.arg != "enabled":
+                    params[kw.arg] = _parse_spec_call(kw.value)
+            return StaticContract(params=params, ret=ret)
+    return None
+
+
+# -- symbols -----------------------------------------------------------------
+@dataclass
+class FunctionInfo:
+    """One ``def`` anywhere in a module (top-level, method, or nested)."""
+
+    node_id: str  # "repro.align.fused:MatchPlan.match_window"
+    module: str
+    qualname: str  # "MatchPlan.match_window" (walk_functions scheme)
+    path: str
+    rel: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None
+    enclosing: str | None = None  # node_id of the enclosing function, if nested
+    contract: StaticContract | None = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def is_nested(self) -> bool:
+        return self.enclosing is not None
+
+    @property
+    def is_module_level(self) -> bool:
+        return self.class_name is None and self.enclosing is None
+
+    def param_names(self) -> list[str]:
+        a = self.node.args
+        names = [p.arg for p in a.posonlyargs + a.args]
+        if self.is_method and names and names[0] in {"self", "cls"}:
+            names = names[1:]
+        return names
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class: methods, raw base names, inferred attr types."""
+
+    node_id: str  # "repro.parallel.viewsched:SharedVolume"
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: tuple[str, ...] = ()  # raw dotted names, resolved lazily
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)  # attr -> raw class name
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one parsed module."""
+
+    name: str  # dotted: "repro.align.fused"
+    mod: ModuleUnderLint
+    imports: dict[str, str] = field(default_factory=dict)  # local name -> dotted target
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)  # qualname -> info
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    global_names: set[str] = field(default_factory=set)
+    mutable_globals: set[str] = field(default_factory=set)
+
+
+_MUTABLE_CTORS = {"dict", "list", "set", "defaultdict", "OrderedDict", "deque", "Counter"}
+
+
+def _collect_imports(tree: ast.Module, package: str) -> dict[str, str]:
+    """Every import binding in the module, including function-local ones."""
+    imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:
+                parts = package.split(".")
+                anchor = parts[: len(parts) - (node.level - 1)]
+                base = ".".join(anchor + ([base] if base else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                imports[local] = f"{base}.{alias.name}" if base else alias.name
+    return imports
+
+
+def _annotation_names(node: ast.expr | None) -> list[str]:
+    """Candidate class names mentioned by an annotation (handles quoting)."""
+    if node is None:
+        return []
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return []
+    names: list[str] = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name):
+            names.append(sub.id)
+        elif isinstance(sub, ast.Attribute):
+            names.append(sub.attr)
+    return names
+
+
+def _class_attr_types(cls: ast.ClassDef) -> dict[str, str]:
+    """``self.x`` types: class-level annotations + ``__init__`` assignments."""
+    attr_types: dict[str, str] = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            names = _annotation_names(stmt.annotation)
+            if names:
+                attr_types[stmt.target.id] = names[0]
+    init = next(
+        (s for s in cls.body if isinstance(s, ast.FunctionDef) and s.name == "__init__"),
+        None,
+    )
+    if init is None:
+        return attr_types
+    param_ann = {
+        p.arg: _annotation_names(p.annotation)
+        for p in init.args.posonlyargs + init.args.args + init.args.kwonlyargs
+    }
+    for node in ast.walk(init):
+        target: ast.expr | None = None
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign):
+            target, value = node.target, node.value
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                names = _annotation_names(node.annotation)
+                if names:
+                    attr_types.setdefault(target.attr, names[0])
+                continue
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            continue
+        if isinstance(value, ast.Name) and param_ann.get(value.id):
+            attr_types.setdefault(target.attr, param_ann[value.id][0])
+        elif isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            attr_types.setdefault(target.attr, value.func.id)
+    return attr_types
+
+
+def _index_module(mod: ModuleUnderLint) -> ModuleInfo:
+    name = module_name_for_rel(mod.rel)
+    package = name if mod.rel.endswith("__init__.py") else name.rsplit(".", 1)[0]
+    info = ModuleInfo(name=name, mod=mod, imports=_collect_imports(mod.tree, package))
+
+    def visit(node: ast.AST, prefix: str, class_name: str | None, enclosing: str | None) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                fn = FunctionInfo(
+                    node_id=f"{name}:{qual}",
+                    module=name,
+                    qualname=qual,
+                    path=mod.path,
+                    rel=mod.rel,
+                    node=child,
+                    class_name=class_name,
+                    enclosing=enclosing,
+                    contract=_parse_contract(child),
+                )
+                info.functions[qual] = fn
+                visit(child, f"{qual}.<locals>.", None, fn.node_id)
+            elif isinstance(child, ast.ClassDef):
+                if class_name is None and enclosing is None:
+                    cls = ClassInfo(
+                        node_id=f"{name}:{child.name}",
+                        module=name,
+                        name=child.name,
+                        node=child,
+                        bases=tuple(
+                            ".".join(chain)
+                            for b in child.bases
+                            if (chain := _attr_chain(b)) is not None
+                        ),
+                        attr_types=_class_attr_types(child),
+                    )
+                    info.classes[child.name] = cls
+                    visit(child, f"{child.name}.", child.name, None)
+                    cls.methods = {
+                        f.node.name: f
+                        for q, f in info.functions.items()
+                        if f.class_name == child.name and "." not in q[len(child.name) + 1 :]
+                    }
+                else:
+                    visit(child, f"{prefix}{child.name}.", child.name, enclosing)
+            else:
+                visit(child, prefix, class_name, enclosing)
+
+    visit(mod.tree, "", None, None)
+
+    for stmt in mod.tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            names = [target.id] if isinstance(target, ast.Name) else [
+                e.id for e in getattr(target, "elts", []) if isinstance(e, ast.Name)
+            ]
+            info.global_names.update(names)
+            mutable = isinstance(
+                value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_CTORS
+            )
+            if mutable:
+                info.mutable_globals.update(names)
+    return info
+
+
+def _attr_chain(node: ast.expr) -> list[str] | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+# -- call graph --------------------------------------------------------------
+@dataclass
+class CallSite:
+    """One resolved edge: ``caller`` invokes (or references) ``callee``."""
+
+    caller: str  # node_id
+    callee: str  # node_id
+    path: str
+    line: int
+    col: int
+    call: ast.Call | None = None  # None for bare function references
+    kind: str = "call"  # "call" | "ref"
+
+
+@dataclass
+class PoolSubmission:
+    """One ``.submit``/``.map`` site handing a task callable to a pool."""
+
+    caller: str
+    path: str
+    rel: str
+    line: int
+    col: int
+    task: FunctionInfo | None  # resolved module-level target, if any
+    task_desc: str  # how the task expression looked ("lambda", "f", "self.m")
+
+
+class Project:
+    """All parsed modules plus the lazily-built call graph."""
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules: dict[str, ModuleInfo] = {m.name: m for m in modules}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        for m in modules:
+            for fn in m.functions.values():
+                self.functions[fn.node_id] = fn
+            for cls in m.classes.values():
+                self.classes[cls.node_id] = cls
+        self._methods_by_name: dict[str, list[FunctionInfo]] = {}
+        for cls in self.classes.values():
+            for mname, fn in cls.methods.items():
+                self._methods_by_name.setdefault(mname, []).append(fn)
+        self._graph: CallGraph | None = None
+
+    def graph(self) -> "CallGraph":
+        if self._graph is None:
+            self._graph = CallGraph(self)
+        return self._graph
+
+    # -- resolution ---------------------------------------------------------
+    def resolve_dotted(self, target: str, _depth: int = 0) -> tuple[str, object] | None:
+        """Resolve ``repro.align.fused.MatchPlan`` → ("class", ClassInfo) etc."""
+        if _depth > 5:
+            return None
+        if target in self.modules:
+            return ("module", self.modules[target])
+        if "." not in target:
+            return None
+        head, leaf = target.rsplit(".", 1)
+        resolved = self.resolve_dotted(head, _depth + 1)
+        if resolved is None or resolved[0] != "module":
+            return None
+        minfo = resolved[1]
+        assert isinstance(minfo, ModuleInfo)
+        if leaf in minfo.classes:
+            return ("class", minfo.classes[leaf])
+        if leaf in minfo.functions:
+            return ("func", minfo.functions[leaf])
+        # follow one re-export hop through a package __init__
+        if leaf in minfo.imports:
+            return self.resolve_dotted(minfo.imports[leaf], _depth + 1)
+        return None
+
+    def resolve_class_name(self, name: str, module: ModuleInfo) -> ClassInfo | None:
+        """A raw class name as seen from ``module`` → project class, if ours."""
+        if name in module.classes:
+            return module.classes[name]
+        target = module.imports.get(name)
+        if target is None and "." in name:
+            root = name.split(".")[0]
+            if root in module.imports:
+                target = module.imports[root] + name[len(root):]
+        if target is None:
+            return None
+        resolved = self.resolve_dotted(target)
+        if resolved is not None and resolved[0] == "class":
+            cls = resolved[1]
+            assert isinstance(cls, ClassInfo)
+            return cls
+        return None
+
+    def class_bases(self, cls: ClassInfo) -> list[ClassInfo]:
+        module = self.modules[cls.module]
+        bases = []
+        for raw in cls.bases:
+            base = self.resolve_class_name(raw, module)
+            if base is not None:
+                bases.append(base)
+        return bases
+
+    def lookup_method(self, cls: ClassInfo, name: str) -> FunctionInfo | None:
+        """Method resolution over the statically-known base chain (BFS)."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            cur = queue.pop(0)
+            if cur.node_id in seen:
+                continue
+            seen.add(cur.node_id)
+            if name in cur.methods:
+                return cur.methods[name]
+            queue.extend(self.class_bases(cur))
+        return None
+
+    def unique_method(self, name: str) -> FunctionInfo | None:
+        """The single project method with this name, if unambiguous."""
+        if name in _COMMON_METHOD_NAMES or name.startswith("__"):
+            return None
+        owners = self._methods_by_name.get(name, [])
+        return owners[0] if len(owners) == 1 else None
+
+
+def build_project(modules: Iterable[ModuleUnderLint]) -> Project:
+    """Index every module and wrap them in a :class:`Project`."""
+    return Project([_index_module(m) for m in modules])
+
+
+class _FunctionResolver:
+    """Per-function scope: local types, nested defs, and name resolution."""
+
+    def __init__(self, project: Project, minfo: ModuleInfo, fn: FunctionInfo) -> None:
+        self.project = project
+        self.minfo = minfo
+        self.fn = fn
+        self.local_types: dict[str, ClassInfo] = {}
+        self._seed_param_types()
+
+    def _seed_param_types(self) -> None:
+        fn = self.fn
+        args = fn.node.args
+        for p in args.posonlyargs + args.args + args.kwonlyargs:
+            for name in _annotation_names(p.annotation):
+                cls = self.project.resolve_class_name(name, self.minfo)
+                if cls is not None:
+                    self.local_types[p.arg] = cls
+                    break
+        if fn.class_name is not None:
+            own = self.minfo.classes.get(fn.class_name)
+            if own is not None:
+                self.local_types["self"] = own
+
+    def note_assignment(self, node: ast.Assign | ast.AnnAssign) -> None:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if isinstance(node, ast.AnnAssign):
+            for name in _annotation_names(node.annotation):
+                cls = self.project.resolve_class_name(name, self.minfo)
+                if cls is not None and isinstance(node.target, ast.Name):
+                    self.local_types[node.target.id] = cls
+                    return
+        value = node.value
+        if value is None or not isinstance(value, ast.Call):
+            return
+        inferred = self._call_result_type(value)
+        if inferred is None:
+            return
+        for target in targets:
+            if isinstance(target, ast.Name):
+                self.local_types[target.id] = inferred
+
+    def _call_result_type(self, call: ast.Call) -> ClassInfo | None:
+        if isinstance(call.func, ast.Name):
+            cls = self.project.resolve_class_name(call.func.id, self.minfo)
+            if cls is not None:
+                return cls
+            target = self.resolve_name_to_function(call.func.id)
+            if target is not None:
+                for name in _annotation_names(target.node.returns):
+                    ret_cls = self.project.resolve_class_name(
+                        name, self.project.modules[target.module]
+                    )
+                    if ret_cls is not None:
+                        return ret_cls
+        return None
+
+    def resolve_name_to_function(self, name: str) -> FunctionInfo | None:
+        # nested defs in the lexical chain win over module scope
+        scope: FunctionInfo | None = self.fn
+        while scope is not None:
+            nested_qual = f"{scope.qualname}.<locals>.{name}"
+            nested = self.minfo.functions.get(nested_qual)
+            if nested is not None:
+                return nested
+            scope = (
+                self.project.functions.get(scope.enclosing)
+                if scope.enclosing is not None
+                else None
+            )
+        fn = self.minfo.functions.get(name)
+        if fn is not None and fn.is_module_level:
+            return fn
+        target = self.minfo.imports.get(name)
+        if target is not None:
+            resolved = self.project.resolve_dotted(target)
+            if resolved is not None and resolved[0] == "func":
+                out = resolved[1]
+                assert isinstance(out, FunctionInfo)
+                return out
+        return None
+
+    def resolve_call(self, call: ast.Call) -> FunctionInfo | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            target = self.resolve_name_to_function(func.id)
+            if target is not None:
+                return target
+            cls = self.project.resolve_class_name(func.id, self.minfo)
+            if cls is not None:
+                return self.project.lookup_method(cls, "__init__")
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        chain = _attr_chain(func)
+        if chain is None:
+            # method on an arbitrary expression: best-effort unique lookup
+            return self.project.unique_method(func.attr)
+        root, attrs = chain[0], chain[1:]
+        # module-qualified call: np.x.y(...) / viewsched.refine_level_serial(...)
+        target = self.minfo.imports.get(root)
+        if target is not None:
+            resolved = self.project.resolve_dotted(".".join([target] + attrs))
+            if resolved is not None:
+                if resolved[0] == "func":
+                    out = resolved[1]
+                    assert isinstance(out, FunctionInfo)
+                    return out
+                if resolved[0] == "class":
+                    cls = resolved[1]
+                    assert isinstance(cls, ClassInfo)
+                    return self.project.lookup_method(cls, "__init__")
+        # typed receiver: self.m(), plan.match_window(), self.dc.distance_band()
+        recv_cls = self.local_types.get(root)
+        for attr in attrs[:-1]:
+            if recv_cls is None:
+                break
+            attr_raw = recv_cls.attr_types.get(attr)
+            recv_cls = (
+                self.project.resolve_class_name(
+                    attr_raw, self.project.modules[recv_cls.module]
+                )
+                if attr_raw is not None
+                else None
+            )
+        if recv_cls is not None:
+            method = self.project.lookup_method(recv_cls, attrs[-1])
+            if method is not None:
+                return method
+            return None
+        return self.project.unique_method(attrs[-1])
+
+
+class CallGraph:
+    """Edges + pool-submission roots over a :class:`Project`."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.edges: dict[str, list[CallSite]] = {}
+        self.pool_submissions: list[PoolSubmission] = []
+        for fn in project.functions.values():
+            self._build_function(fn)
+
+    def _build_function(self, fn: FunctionInfo) -> None:
+        minfo = self.project.modules[fn.module]
+        resolver = _FunctionResolver(self.project, minfo, fn)
+        edges = self.edges.setdefault(fn.node_id, [])
+
+        def walk(node: ast.AST) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # nested defs are their own graph nodes
+                if isinstance(child, (ast.Assign, ast.AnnAssign)):
+                    resolver.note_assignment(child)
+                if isinstance(child, ast.Call):
+                    self._record_call(fn, resolver, edges, child)
+                walk(child)
+
+        walk(fn.node)
+
+    def _record_call(
+        self,
+        fn: FunctionInfo,
+        resolver: _FunctionResolver,
+        edges: list[CallSite],
+        call: ast.Call,
+    ) -> None:
+        callee = resolver.resolve_call(call)
+        if callee is not None:
+            edges.append(
+                CallSite(
+                    caller=fn.node_id,
+                    callee=callee.node_id,
+                    path=fn.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    call=call,
+                )
+            )
+        # function references passed as arguments (callbacks, pool tasks)
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, ast.Name):
+                ref = resolver.resolve_name_to_function(arg.id)
+                if ref is not None:
+                    edges.append(
+                        CallSite(
+                            caller=fn.node_id,
+                            callee=ref.node_id,
+                            path=fn.path,
+                            line=arg.lineno,
+                            col=arg.col_offset,
+                            kind="ref",
+                        )
+                    )
+        # pool submissions: executor.submit(task, ...) / pool.map(task, it)
+        if isinstance(call.func, ast.Attribute) and call.args:
+            attr = call.func.attr
+            if attr in _POOL_SUBMIT_ATTRS or attr in _POOL_MAP_ATTRS:
+                task_expr = call.args[0]
+                task: FunctionInfo | None = None
+                if isinstance(task_expr, ast.Name):
+                    task = resolver.resolve_name_to_function(task_expr.id)
+                    desc = task_expr.id
+                elif isinstance(task_expr, ast.Lambda):
+                    desc = "lambda"
+                elif (chain := _attr_chain(task_expr)) is not None:
+                    desc = ".".join(chain)
+                else:
+                    desc = type(task_expr).__name__
+                self.pool_submissions.append(
+                    PoolSubmission(
+                        caller=fn.node_id,
+                        path=fn.path,
+                        rel=fn.rel,
+                        line=task_expr.lineno,
+                        col=task_expr.col_offset,
+                        task=task,
+                        task_desc=desc,
+                    )
+                )
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Every function node reachable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        queue = [r for r in roots if r in self.project.functions]
+        while queue:
+            cur = queue.pop()
+            if cur in seen:
+                continue
+            seen.add(cur)
+            for site in self.edges.get(cur, ()):
+                if site.callee not in seen:
+                    queue.append(site.callee)
+        return seen
+
+    def call_sites(self, caller: str) -> Iterator[CallSite]:
+        yield from self.edges.get(caller, ())

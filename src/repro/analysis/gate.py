@@ -1,11 +1,20 @@
-"""The one-shot static-analysis gate: ruff + mypy + repro-lint.
+"""The one-shot static-analysis gate: ruff + mypy + repro-lint + call graph.
 
 ``python -m repro.analysis`` (and ``tools/check.py``) call
 :func:`run_gate`.  The two external tools are *optional* — this
 reproduction runs in offline containers that may not ship them — so an
-absent tool reports ``skipped`` rather than failing the gate; repro-lint
-is in-process and always runs.  Any real finding from any tool makes the
-gate exit nonzero.
+absent tool (or one whose subprocess cannot even launch) reports
+``skipped`` rather than failing the gate; repro-lint is in-process and
+always runs.  Lint is reported as three named stages:
+
+* ``repro-lint`` — the per-module rules (RL001–RL012);
+* ``repro-lint-wp`` — the whole-program passes (RL013–RL015) over the
+  symbol-table/call-graph project;
+* ``waivers`` — stale-waiver audit: ``ok`` (with a warning listing) by
+  default, ``failed`` under ``strict_waivers``.
+
+Any ``failed`` stage makes the gate exit nonzero.  :func:`gate_to_json`
+renders the results machine-readably for ``--format json``.
 """
 
 from __future__ import annotations
@@ -13,26 +22,55 @@ from __future__ import annotations
 import importlib.util
 import subprocess
 import sys
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
-from repro.analysis.lint import Finding, lint_paths
+from repro.analysis.lint import Finding, lint_collect
 
-__all__ = ["GateResult", "repo_root", "run_gate", "run_lint", "run_mypy", "run_ruff"]
+__all__ = [
+    "GateResult",
+    "gate_to_json",
+    "repo_root",
+    "run_gate",
+    "run_lint",
+    "run_mypy",
+    "run_ruff",
+]
 
 
 @dataclass(frozen=True)
 class GateResult:
-    """Outcome of one gate stage."""
+    """Outcome of one gate stage (``findings`` feed the JSON output)."""
 
     name: str
     status: str  # "ok" | "failed" | "skipped"
     detail: str = ""
+    findings: tuple[Finding, ...] = field(default=())
 
     @property
     def failed(self) -> bool:
         return self.status == "failed"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def gate_to_json(results: Sequence[GateResult]) -> dict[str, object]:
+    """The machine-readable gate report (``--format json`` schema).
+
+    ``{"ok": bool, "stages": [{name, status, detail, findings: [{rule,
+    path, line, col, message}]}]}``.
+    """
+    return {
+        "ok": not any(r.failed for r in results),
+        "stages": [r.to_dict() for r in results],
+    }
 
 
 def repo_root() -> Path:
@@ -48,7 +86,13 @@ def _tool_available(module: str) -> bool:
 
 
 def _run_tool(name: str, argv: list[str], cwd: Path) -> GateResult:
-    proc = subprocess.run(argv, cwd=cwd, capture_output=True, text=True)
+    try:
+        proc = subprocess.run(argv, cwd=cwd, capture_output=True, text=True)
+    except (FileNotFoundError, OSError) as exc:
+        # Stripped-down containers can resolve a module spec yet fail to
+        # spawn the subprocess (no exec permissions, missing interpreter).
+        # That is an environment limitation, not a finding.
+        return GateResult(name, "skipped", f"could not launch {argv[0]}: {exc}")
     output = (proc.stdout + proc.stderr).strip()
     if proc.returncode == 0:
         return GateResult(name, "ok", output)
@@ -71,14 +115,60 @@ def run_mypy(root: Path | None = None) -> GateResult:
     return _run_tool("mypy", [sys.executable, "-m", "mypy"], root)
 
 
+def _lint_stages(
+    paths: Sequence[str] | None,
+    root: Path,
+    *,
+    strict_waivers: bool = False,
+) -> list[GateResult]:
+    """One lint run, reported as the three named lint stages."""
+    from repro.analysis.rules import program_rule_ids
+
+    targets = list(paths) if paths else [str(root / "src" / "repro")]
+    report = lint_collect(targets)
+    wp_ids = program_rule_ids()
+    per_module = tuple(f for f in report.findings if f.rule not in wp_ids)
+    whole_program = tuple(f for f in report.findings if f.rule in wp_ids)
+    target_desc = ", ".join(targets)
+
+    def stage(name: str, findings: tuple[Finding, ...], ok_detail: str) -> GateResult:
+        if not findings:
+            return GateResult(name, "ok", ok_detail, ())
+        return GateResult(name, "failed", "\n".join(f.format() for f in findings), findings)
+
+    results = [
+        stage("repro-lint", per_module, f"0 findings over {target_desc}"),
+        stage(
+            "repro-lint-wp",
+            whole_program,
+            f"0 whole-program findings (RL013–RL015) over {target_desc}",
+        ),
+    ]
+    stale = report.stale_waivers
+    if not stale:
+        results.append(GateResult("waivers", "ok", "no stale waivers", ()))
+    elif strict_waivers:
+        results.append(
+            GateResult("waivers", "failed", "\n".join(f.format() for f in stale), stale)
+        )
+    else:
+        detail = "\n".join(f.format() for f in stale) + "\n(warning only; --strict-waivers fails)"
+        results.append(GateResult("waivers", "ok", detail, stale))
+    return results
+
+
 def run_lint(paths: Sequence[str] | None = None, root: Path | None = None) -> GateResult:
-    """repro-lint over the given paths (default: ``src/repro``)."""
+    """repro-lint over the given paths (default: ``src/repro``).
+
+    Back-compat single-stage view: all rules, one combined result.  The
+    gate itself reports the split stages from :func:`_lint_stages`.
+    """
     root = root or repo_root()
     targets = list(paths) if paths else [str(root / "src" / "repro")]
-    findings: list[Finding] = lint_paths(targets)
+    findings = tuple(lint_collect(targets).findings)
     if not findings:
         return GateResult("repro-lint", "ok", f"0 findings over {', '.join(targets)}")
-    return GateResult("repro-lint", "failed", "\n".join(f.format() for f in findings))
+    return GateResult("repro-lint", "failed", "\n".join(f.format() for f in findings), findings)
 
 
 def run_gate(
@@ -87,6 +177,7 @@ def run_gate(
     with_ruff: bool = True,
     with_mypy: bool = True,
     root: Path | None = None,
+    strict_waivers: bool = False,
 ) -> list[GateResult]:
     """Run every requested stage; the gate fails if any result ``failed``."""
     root = root or repo_root()
@@ -95,5 +186,5 @@ def run_gate(
         results.append(run_ruff(root))
     if with_mypy:
         results.append(run_mypy(root))
-    results.append(run_lint(lint_targets, root))
+    results.extend(_lint_stages(lint_targets, root, strict_waivers=strict_waivers))
     return results

@@ -8,11 +8,13 @@ both read, so DESIGN.md's rule table cannot drift from the code.
 
 from __future__ import annotations
 
-from repro.analysis.rules._base import Rule
+from repro.analysis.rules._base import ProgramRule, Rule
 from repro.analysis.rules.batching import NoPerCandidateCutLoop
 from repro.analysis.rules.configuration import ConfigReadsCentralized
+from repro.analysis.rules.contract_flow import ContractFlowConsistent
 from repro.analysis.rules.determinism import NoNondeterminism
 from repro.analysis.rules.dtypes import NoSilentUpcast
+from repro.analysis.rules.exception_flow import ExceptionFlowClassified
 from repro.analysis.rules.exports import ExportListSync
 from repro.analysis.rules.fourier import CenteredFFTOnly
 from repro.analysis.rules.hygiene import FutureAnnotations
@@ -20,13 +22,18 @@ from repro.analysis.rules.kernels import KernelBoundaryContract, TwoKernelsOneTr
 from repro.analysis.rules.parallelism import MultiprocessingInParallelOnly
 from repro.analysis.rules.pruning import NoUnboundedCandidateEval
 from repro.analysis.rules.robustness import NoBareExcept
+from repro.analysis.rules.worker_safety import WorkerPathSafety
 
 __all__ = [
+    "ProgramRule",
     "Rule",
     "all_rules",
+    "program_rule_ids",
     "rule_table",
     "CenteredFFTOnly",
     "ConfigReadsCentralized",
+    "ContractFlowConsistent",
+    "ExceptionFlowClassified",
     "ExportListSync",
     "FutureAnnotations",
     "KernelBoundaryContract",
@@ -37,6 +44,7 @@ __all__ = [
     "NoSilentUpcast",
     "NoUnboundedCandidateEval",
     "TwoKernelsOneTruth",
+    "WorkerPathSafety",
 ]
 
 
@@ -55,9 +63,17 @@ def all_rules() -> list[Rule]:
         NoPerCandidateCutLoop(),
         ConfigReadsCentralized(),
         NoUnboundedCandidateEval(),
+        WorkerPathSafety(),
+        ExceptionFlowClassified(),
+        ContractFlowConsistent(),
     ]
     rules.sort(key=lambda r: r.rule_id)
     return rules
+
+
+def program_rule_ids() -> frozenset[str]:
+    """Rule ids of the whole-program passes (the gate's second stage)."""
+    return frozenset(r.rule_id for r in all_rules() if isinstance(r, ProgramRule))
 
 
 def rule_table() -> list[tuple[str, str, str]]:

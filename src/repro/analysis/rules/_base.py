@@ -3,11 +3,14 @@
 from __future__ import annotations
 
 import ast
-from typing import ClassVar, Iterator
+from typing import TYPE_CHECKING, ClassVar, Iterator
 
 from repro.analysis.lint import Finding, ModuleUnderLint
 
-__all__ = ["Rule", "attribute_chain", "walk_functions"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.callgraph import Project
+
+__all__ = ["ProgramRule", "Rule", "attribute_chain", "walk_functions"]
 
 
 class Rule:
@@ -42,6 +45,37 @@ class Rule:
             line = getattr(node, "lineno", 1)
             col = getattr(node, "col_offset", 0)
         return Finding(rule=self.rule_id, path=mod.path, line=line, col=col, message=message)
+
+
+class ProgramRule(Rule):
+    """A whole-program invariant checked against the call graph.
+
+    Unlike per-module rules, a ``ProgramRule`` sees the complete
+    :class:`~repro.analysis.callgraph.Project` (symbol table + call
+    graph) built over every linted file, so it can follow caller→callee
+    edges, pool submissions, and class hierarchies across modules.
+    Findings still carry a concrete file/line, so per-line waivers apply
+    exactly as they do for per-module rules.  :meth:`check` is never
+    invoked for these rules; the lint driver calls :meth:`check_program`
+    once per run instead.
+    """
+
+    def check(self, mod: ModuleUnderLint) -> Iterator[Finding]:  # pragma: no cover
+        return iter(())
+
+    def check_program(self, project: "Project") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self, path: str, node: ast.AST | int, message: str
+    ) -> Finding:
+        """Build a finding at an AST node (or bare line) in ``path``."""
+        if isinstance(node, int):
+            line, col = node, 0
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(rule=self.rule_id, path=path, line=line, col=col, message=message)
 
 
 def attribute_chain(node: ast.AST) -> list[str] | None:

@@ -1,0 +1,174 @@
+"""RL015: caller/callee ``@array_contract`` declarations must agree.
+
+The runtime contracts (:mod:`repro.analysis.contracts`) are zero-cost
+unless ``REPRO_CHECK_CONTRACTS=1`` — which means a shape/dtype mismatch
+between two decorated boundaries only surfaces when the checked test
+suite happens to drive that exact edge.  This pass is the static shadow:
+for every call edge between contracted functions where an argument is
+*the caller's own contracted parameter* passed through verbatim (and for
+``return g(...)`` return-flow), it unifies the two declarations.  A
+caller promising ``shape=("l","l")`` may not feed a callee demanding
+``shape=("n",)``; a ``float`` array may not flow into a ``complex``
+parameter.  Symbolic dims and wildcards unify with anything — the pass
+only reports contradictions both declarations are explicit about.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.lint import Finding
+from repro.analysis.rules._base import ProgramRule
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.callgraph import (
+        CallSite,
+        FunctionInfo,
+        Project,
+        StaticSpec,
+    )
+
+__all__ = ["ContractFlowConsistent"]
+
+#: dtype name → numpy kind-set, mirroring contracts._DTYPE_KINDS plus the
+#: concrete dtype names specs are allowed to use.
+_DTYPE_KINDS = {
+    "float": "f",
+    "complex": "c",
+    "int": "iu",
+    "bool": "b",
+    "inexact": "fc",
+    "number": "fciu",
+}
+
+
+def _kinds(dtype: str) -> str | None:
+    kinds = _DTYPE_KINDS.get(dtype)
+    if kinds is not None:
+        return kinds
+    for prefix, k in (
+        ("float", "f"),
+        ("complex", "c"),
+        ("uint", "u"),
+        ("int", "i"),
+        ("bool", "b"),
+    ):
+        if dtype.startswith(prefix):
+            return k
+    return None
+
+
+def _shape_alt_compatible(a: tuple[object, ...], b: tuple[object, ...]) -> bool:
+    if len(a) != len(b):
+        return False
+    for da, db in zip(a, b):
+        if isinstance(da, int) and isinstance(db, int) and da != db:
+            return False
+    return True
+
+
+def _fmt_shape(shape: tuple[tuple[object, ...], ...]) -> str:
+    def one(alt: tuple[object, ...]) -> str:
+        return "(" + ", ".join("*" if d is None else repr(d) for d in alt) + ")"
+
+    return " | ".join(one(alt) for alt in shape)
+
+
+def _spec_conflict(caller: "StaticSpec", callee: "StaticSpec") -> str | None:
+    """A human-readable contradiction between two specs, or ``None``."""
+    if caller.shape is not None and callee.shape is not None:
+        if not any(
+            _shape_alt_compatible(a, b)
+            for a in caller.shape
+            for b in callee.shape
+        ):
+            return (
+                f"declared shape {_fmt_shape(caller.shape)} cannot satisfy "
+                f"the callee's {_fmt_shape(callee.shape)}"
+            )
+    if caller.dtype is not None and callee.dtype is not None:
+        ka, kb = _kinds(caller.dtype), _kinds(callee.dtype)
+        if ka is not None and kb is not None and not set(ka) & set(kb):
+            return (
+                f"declared dtype `{caller.dtype}` (kinds {ka!r}) is disjoint "
+                f"from the callee's `{callee.dtype}` (kinds {kb!r})"
+            )
+    # allow_none asymmetries are deliberately not reported: the parser
+    # defaults to True for unconstrained specs, so a caller that merely
+    # omitted the flag would drown real shape/dtype findings.
+    return None
+
+
+class ContractFlowConsistent(ProgramRule):
+    rule_id = "RL015"
+    name = "contract-flow-consistent"
+    rationale = (
+        "@array_contract declarations on caller and callee must unify "
+        "along every pass-through call edge; a static contradiction means "
+        "one boundary lies about its arrays and only an opted-in "
+        "REPRO_CHECK_CONTRACTS run would ever catch it."
+    )
+    include = ("repro/",)
+
+    def check_program(self, project: "Project") -> Iterator[Finding]:
+        graph = project.graph()
+        for fn in project.functions.values():
+            if fn.contract is None:
+                continue
+            for site in graph.call_sites(fn.node_id):
+                if site.kind != "call" or site.call is None:
+                    continue
+                callee = project.functions.get(site.callee)
+                if callee is None or callee.contract is None or callee is fn:
+                    continue
+                yield from self._check_site(fn, callee, site)
+
+    def _check_site(
+        self, fn: "FunctionInfo", callee: "FunctionInfo", site: "CallSite"
+    ) -> Iterator[Finding]:
+        assert site.call is not None
+        caller_params = set(fn.param_names())
+        callee_params = callee.param_names()
+
+        def pairs() -> Iterator[tuple[str, str, ast.expr]]:
+            for idx, arg in enumerate(site.call.args):
+                if isinstance(arg, ast.Starred) or idx >= len(callee_params):
+                    break
+                yield callee_params[idx], callee_params[idx], arg
+            for kw in site.call.keywords:
+                if kw.arg is not None:
+                    yield kw.arg, kw.arg, kw.value
+
+        for callee_param, _, expr in pairs():
+            if not isinstance(expr, ast.Name) or expr.id not in caller_params:
+                continue  # only verbatim pass-through of the caller's params
+            caller_spec = (fn.contract.params or {}).get(expr.id)
+            callee_spec = (callee.contract.params or {}).get(callee_param)
+            if caller_spec is None or callee_spec is None:
+                continue
+            conflict = _spec_conflict(caller_spec, callee_spec)
+            if conflict is not None:
+                yield self.finding_at(
+                    fn.path,
+                    site.call,
+                    f"`{fn.qualname}` passes its contracted `{expr.id}` to "
+                    f"`{callee.qualname}({callee_param}=…)` but {conflict}",
+                )
+        # return-flow: `return g(...)` must not contradict the caller's ret
+        ret_caller = fn.contract.ret
+        ret_callee = callee.contract.ret
+        if ret_caller is not None and ret_callee is not None:
+            for node in ast.walk(fn.node):
+                if (
+                    isinstance(node, ast.Return)
+                    and node.value is site.call
+                ):
+                    conflict = _spec_conflict(ret_callee, ret_caller)
+                    if conflict is not None:
+                        yield self.finding_at(
+                            fn.path,
+                            site.call,
+                            f"`{fn.qualname}` returns `{callee.qualname}(…)` "
+                            f"directly but {conflict}",
+                        )

@@ -1,0 +1,106 @@
+"""RL014: every worker-reachable raise must be classifiable by RetryPolicy.
+
+The fan-out recovery loop (DESIGN.md §8) decides per exception whether a
+chunk is re-queued (retryable), the run fails (fatal), or a weaker path
+takes over (degradation).  That decision reads the
+``EXCEPTION_CLASSES`` taxonomy in :mod:`repro.faults.retry` — so an
+exception type absent from the table, raised anywhere reachable from
+worker or retry-critical code, would fall through the restart logic as
+an anonymous crash the scheduler can neither retry nor report honestly.
+This pass walks the call graph from the pool tasks and everything in
+``parallel``/``faults`` and audits each statically-typed ``raise``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.lint import Finding
+from repro.analysis.rules._base import ProgramRule, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.callgraph import FunctionInfo, Project
+
+__all__ = ["ExceptionFlowClassified"]
+
+#: modules whose every function is retry-critical (roots of the audit).
+_CRITICAL_PREFIXES = ("repro/parallel/", "repro/faults/")
+
+
+class ExceptionFlowClassified(ProgramRule):
+    rule_id = "RL014"
+    name = "exception-flow-classified"
+    rationale = (
+        "Exceptions reaching the retry loop must be classified "
+        "retryable/fatal/degradation by RetryPolicy's taxonomy; an "
+        "unclassified type falls through pool-restart logic as an "
+        "anonymous crash that can neither be retried nor degraded."
+    )
+    include = ("repro/",)
+
+    def check_program(self, project: "Project") -> Iterator[Finding]:
+        graph = project.graph()
+        roots = [
+            sub.task.node_id
+            for sub in graph.pool_submissions
+            if sub.task is not None
+        ]
+        roots += [
+            fn.node_id
+            for fn in project.functions.values()
+            if fn.rel.startswith(_CRITICAL_PREFIXES)
+        ]
+        for node_id in sorted(graph.reachable(roots)):
+            yield from self._check_function(project, project.functions[node_id])
+
+    def _check_function(
+        self, project: "Project", fn: "FunctionInfo"
+    ) -> Iterator[Finding]:
+        for node in self._own_nodes(fn.node):
+            if not isinstance(node, ast.Raise) or node.exc is None:
+                continue
+            exc = node.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            chain = attribute_chain(target)
+            if chain is None:
+                continue  # dynamic expression; nothing static to audit
+            name = chain[-1]
+            if not name[:1].isupper():
+                continue  # re-raise of a caught/local exception object
+            if self._classified(project, fn, name):
+                continue
+            yield self.finding_at(
+                fn.path,
+                node,
+                f"`{fn.qualname}` is reachable from worker/retry-critical "
+                f"code but raises `{name}`, which RetryPolicy's "
+                "EXCEPTION_CLASSES taxonomy does not classify as "
+                "retryable, fatal, or degradation",
+            )
+
+    @staticmethod
+    def _own_nodes(root: ast.AST) -> Iterator[ast.AST]:
+        """Walk a function body, skipping nested def/class bodies."""
+        for child in ast.iter_child_nodes(root):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield child
+            yield from ExceptionFlowClassified._own_nodes(child)
+
+    def _classified(self, project: "Project", fn: "FunctionInfo", name: str) -> bool:
+        from repro.faults.retry import EXCEPTION_CLASSES
+
+        if name in EXCEPTION_CLASSES:
+            return True
+        minfo = project.modules[fn.module]
+        cls = project.resolve_class_name(name, minfo)
+        seen: set[str] = set()
+        while cls is not None and cls.node_id not in seen:
+            seen.add(cls.node_id)
+            for raw in cls.bases:
+                if raw.rsplit(".", 1)[-1] in EXCEPTION_CLASSES:
+                    return True
+            bases = project.class_bases(cls)
+            cls = bases[0] if bases else None
+        return False

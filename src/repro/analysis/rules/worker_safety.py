@@ -1,0 +1,194 @@
+"""RL013: the process-pool worker path must be picklable and race-free.
+
+Every function reachable from a pool submission site crosses a process
+boundary: the task must pickle, and the code it runs executes in a child
+interpreter whose module globals are *copies* of the parent's.  A task
+that is a lambda/nested function/bound method fails at submit time; a
+reachable function that mutates module-global state silently diverges
+between parent and workers (the parent never sees the write, replays
+differ per worker count); and SharedVolume lifecycle (create/unlink of
+POSIX shared memory) belongs to the scheduler that owns the segment —
+a worker that creates or unlinks one leaks or yanks memory the other
+processes still map.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.analysis.lint import Finding
+from repro.analysis.rules._base import ProgramRule, attribute_chain
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.callgraph import FunctionInfo, Project
+
+__all__ = ["WorkerPathSafety"]
+
+#: mutating container methods — calling one on a module-global binding is
+#: a cross-process write even though the name itself is never rebound.
+_MUTATOR_METHODS = frozenset(
+    {
+        "append", "extend", "add", "update", "clear", "pop", "popitem",
+        "remove", "discard", "insert", "setdefault",
+    }
+)
+
+#: path prefixes whose pool submissions define the worker path roots.
+_POOL_ENTRY_PREFIXES = ("repro/parallel/", "repro/engine/")
+
+
+class WorkerPathSafety(ProgramRule):
+    rule_id = "RL013"
+    name = "worker-path-safety"
+    rationale = (
+        "Pool tasks must be module-level (picklable) and everything they "
+        "reach must neither mutate module-global state (each worker is a "
+        "separate interpreter; writes diverge silently) nor own "
+        "SharedVolume create/unlink (the scheduler owns segment lifecycle)."
+    )
+    include = ("repro/",)
+
+    def check_program(self, project: "Project") -> Iterator[Finding]:
+        graph = project.graph()
+        roots: list[str] = []
+        for sub in graph.pool_submissions:
+            if not sub.rel.startswith(_POOL_ENTRY_PREFIXES):
+                continue
+            if sub.task is None:
+                # Submissions of names we cannot resolve to a project
+                # function (e.g. library callables) are out of scope, but
+                # lambdas and attribute chains are definitely not
+                # module-level defs — flag those.
+                if sub.task_desc == "lambda" or "." in sub.task_desc:
+                    yield self.finding_at(
+                        sub.path,
+                        sub.line,
+                        f"pool task `{sub.task_desc}` is not a module-level "
+                        "function; it cannot pickle across the process boundary",
+                    )
+                continue
+            if not sub.task.is_module_level:
+                kind = "method" if sub.task.is_method else "nested function"
+                yield self.finding_at(
+                    sub.path,
+                    sub.line,
+                    f"pool task `{sub.task_desc}` is a {kind}; only "
+                    "module-level functions pickle across the process boundary",
+                )
+                continue
+            roots.append(sub.task.node_id)
+        for node_id in sorted(graph.reachable(roots)):
+            yield from self._check_function(project, project.functions[node_id])
+
+    def _check_function(
+        self, project: "Project", fn: "FunctionInfo"
+    ) -> Iterator[Finding]:
+        minfo = project.modules[fn.module]
+        globals_ = minfo.global_names
+
+        def root_name(expr: ast.expr) -> str | None:
+            while isinstance(expr, (ast.Subscript, ast.Attribute)):
+                expr = expr.value
+            return expr.id if isinstance(expr, ast.Name) else None
+
+        def target_globals(targets: list[ast.expr]) -> Iterator[tuple[ast.expr, str]]:
+            for target in targets:
+                if isinstance(target, (ast.Subscript, ast.Attribute)):
+                    name = root_name(target)
+                    if name is not None and name in globals_:
+                        yield target, name
+
+        def walk(node: ast.AST) -> Iterator[Finding]:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # nested defs are their own reachability nodes
+                if isinstance(child, ast.Global):
+                    names = ", ".join(child.names)
+                    yield self.finding_at(
+                        fn.path,
+                        child,
+                        f"`{fn.qualname}` is on the worker path but declares "
+                        f"`global {names}`: the rebinding happens in the worker "
+                        "interpreter only and diverges from the parent",
+                    )
+                elif isinstance(child, ast.Assign):
+                    for target, name in target_globals(child.targets):
+                        yield self.finding_at(
+                            fn.path,
+                            target,
+                            f"`{fn.qualname}` is on the worker path but writes "
+                            f"into module-global `{name}`: per-process state "
+                            "diverges silently across workers",
+                        )
+                elif isinstance(child, ast.AugAssign):
+                    for target, name in target_globals([child.target]):
+                        yield self.finding_at(
+                            fn.path,
+                            target,
+                            f"`{fn.qualname}` is on the worker path but augments "
+                            f"module-global `{name}` in place",
+                        )
+                elif isinstance(child, ast.Delete):
+                    for target, name in target_globals(child.targets):
+                        yield self.finding_at(
+                            fn.path,
+                            target,
+                            f"`{fn.qualname}` is on the worker path but deletes "
+                            f"from module-global `{name}`",
+                        )
+                elif isinstance(child, ast.Call):
+                    yield from check_call(child)
+                yield from walk(child)
+
+        def check_call(call: ast.Call) -> Iterator[Finding]:
+            chain = attribute_chain(call.func)
+            if chain is None:
+                return
+            # mutator method on a module-global container
+            if (
+                len(chain) == 2
+                and chain[0] in globals_
+                and chain[1] in _MUTATOR_METHODS
+            ):
+                yield self.finding_at(
+                    fn.path,
+                    call,
+                    f"`{fn.qualname}` is on the worker path but calls "
+                    f"`.{chain[1]}()` on module-global `{chain[0]}`: "
+                    "per-process state diverges silently across workers",
+                )
+            leaf = chain[-1]
+            # SharedVolume lifecycle outside the owning scope
+            if leaf == "SharedVolume":
+                cls = project.resolve_class_name(".".join(chain), minfo)
+                if cls is not None or chain == ["SharedVolume"]:
+                    yield self.finding_at(
+                        fn.path,
+                        call,
+                        f"`{fn.qualname}` is on the worker path but constructs a "
+                        "SharedVolume: segment creation belongs to the owning "
+                        "scheduler scope",
+                    )
+            elif leaf == "unlink":
+                yield self.finding_at(
+                    fn.path,
+                    call,
+                    f"`{fn.qualname}` is on the worker path but calls "
+                    "`.unlink()`: only the owning scope may destroy a "
+                    "shared-memory segment other processes still map",
+                )
+            elif leaf == "SharedMemory" and any(
+                kw.arg == "create"
+                and isinstance(kw.value, ast.Constant)
+                and bool(kw.value.value)
+                for kw in call.keywords
+            ):
+                yield self.finding_at(
+                    fn.path,
+                    call,
+                    f"`{fn.qualname}` is on the worker path but creates a "
+                    "SharedMemory segment: workers may only attach by name",
+                )
+
+        yield from walk(fn.node)

@@ -19,11 +19,63 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover - type-only import, avoids a cycle
     from repro.parallel.viewsched import ViewLevelResult
 
-__all__ = ["ChunkIntegrityError", "RetryPolicy", "validate_chunk_results"]
+__all__ = [
+    "ChunkIntegrityError",
+    "EXCEPTION_CLASSES",
+    "RetryPolicy",
+    "classify_exception_name",
+    "validate_chunk_results",
+]
 
 
 class ChunkIntegrityError(RuntimeError):
     """A worker returned a structurally or numerically invalid chunk result."""
+
+
+#: The retry taxonomy: every exception type that may cross the worker /
+#: scheduler boundary, mapped to how the recovery loop treats it.
+#:
+#: * ``retryable`` — transient pool faults; the chunk is re-queued with
+#:   backoff (and the pool recycled where needed).
+#: * ``fatal`` — programming or validation errors; retrying cannot help,
+#:   so they propagate (the serial fallback surfaces them deterministically).
+#: * ``degradation`` — modelled aborts that route to a weaker-but-correct
+#:   path (serial execution, checkpoint/resume) rather than failing the run.
+#:
+#: Keyed by *type name* (base classes included at lookup time) so the
+#: static RL014 pass and the runtime :meth:`RetryPolicy.classify` read the
+#: same table.  An exception whose MRO never hits this table is exactly
+#: what RL014 exists to catch: it would fall through the restart logic as
+#: an anonymous crash.
+EXCEPTION_CLASSES: dict[str, str] = {
+    # retryable — transient pool/transport faults
+    "ChunkIntegrityError": "retryable",
+    "FuturesTimeoutError": "retryable",
+    "TimeoutError": "retryable",
+    "BrokenProcessPool": "retryable",
+    "BrokenExecutor": "retryable",
+    "ConnectionError": "retryable",
+    # fatal — bugs and bad inputs; deterministic, so retrying is futile
+    "ValueError": "fatal",
+    "TypeError": "fatal",
+    "KeyError": "fatal",
+    "IndexError": "fatal",
+    "AttributeError": "fatal",
+    "RuntimeError": "fatal",
+    "NotImplementedError": "fatal",
+    "AssertionError": "fatal",
+    "OSError": "fatal",
+    "StopIteration": "fatal",
+    "SystemExit": "fatal",
+    # degradation — modelled aborts with a planned weaker path
+    "FaultInjected": "degradation",
+    "KeyboardInterrupt": "degradation",
+}
+
+
+def classify_exception_name(name: str) -> str | None:
+    """The retry class for a bare exception type name, or ``None``."""
+    return EXCEPTION_CLASSES.get(name)
 
 
 @dataclass(frozen=True)
@@ -69,6 +121,21 @@ class RetryPolicy:
         if attempt <= 0:
             return 0.0
         return float(self.backoff_s * self.backoff_factor ** (attempt - 1))
+
+    def classify(self, exc: BaseException) -> str | None:
+        """``retryable`` / ``fatal`` / ``degradation`` for a live exception.
+
+        Walks the MRO so subclasses inherit their base's class unless
+        listed themselves (``ChunkIntegrityError`` is retryable even
+        though ``RuntimeError`` is fatal).  ``None`` means the type is
+        outside the taxonomy — the static RL014 pass guarantees no such
+        raise is reachable from worker/retry-critical code.
+        """
+        for klass in type(exc).__mro__:
+            kind = EXCEPTION_CLASSES.get(klass.__name__)
+            if kind is not None:
+                return kind
+        return None
 
 
 def validate_chunk_results(

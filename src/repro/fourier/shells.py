@@ -47,6 +47,8 @@ def radial_shell_indices_2d(size: int) -> Array:
         ky, kx = np.meshgrid(k, k, indexing="ij")
         cached = np.rint(np.sqrt(ky * ky + kx * kx)).astype(np.int64, copy=False)
         cached.setflags(write=False)
+        # repro-lint: allow[RL013] pure memo of a deterministic function of
+        # `size`; identical read-only values in every process.
         _SHELL_2D_CACHE[size] = cached
     return cached
 

@@ -121,6 +121,8 @@ def frequency_grid_2d(size: int) -> tuple[IntArray, IntArray]:
         ky.setflags(write=False)
         kx.setflags(write=False)
         cached = (ky, kx)
+        # repro-lint: allow[RL013] pure memo of a deterministic function of
+        # `size`; identical read-only values in every process.
         _FREQ_2D_CACHE[size] = cached
     return cached
 

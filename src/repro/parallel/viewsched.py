@@ -247,11 +247,16 @@ def _close_worker_volumes() -> None:
             shm.close()
         except OSError:
             pass
+    # repro-lint: allow[RL013] _WORKER_VOLUMES is this worker's own attach
+    # cache; clearing it at atexit detaches mappings and never crosses back
+    # to the parent.
     _WORKER_VOLUMES.clear()
 
 
 @array_contract(ret=spec(shape=("v", "v", "v"), dtype="inexact", contiguous=True))
 def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> Array:
+    # repro-lint: allow[RL013] the cleanup flag is deliberately per-process:
+    # each worker registers its own atexit hook exactly once.
     global _WORKER_CLEANUP_REGISTERED
     name, shape, dtype = descriptor
     cached = _WORKER_VOLUMES.get(name)
@@ -263,6 +268,8 @@ def _attach_volume(descriptor: tuple[str, tuple[int, ...], str]) -> Array:
         arr = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
         arr.setflags(write=False)
         # keep the SharedMemory object alive for the array's lifetime
+        # repro-lint: allow[RL013] per-process attach cache by design: each
+        # worker maps the segment once and reuses the same read-only view.
         _WORKER_VOLUMES[name] = (shm, arr)
         return arr
     return cached[1]
@@ -300,6 +307,9 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> ChunkReturn:
     volume = _attach_volume(payload["volume"])
     spec_id = payload["spec_id"]
     if spec_id not in _WORKER_SPECS:
+        # repro-lint: allow[RL013] per-process spec memo keyed by the
+        # scheduler's spec id; workers never share it and the parent keeps
+        # the authoritative copy in the payload.
         _WORKER_SPECS[spec_id] = payload["distance_computer"]
     dc = _WORKER_SPECS[spec_id]
     indices = payload["indices"]
@@ -676,9 +686,14 @@ class ViewScheduler:
                     pool_poisoned = True
                 except Exception as exc:
                     # the worker raised (bug or corrupted payload): treat as
-                    # a chunk failure so the serial fallback surfaces it
+                    # a chunk failure so the serial fallback surfaces it.
+                    # The retry taxonomy names the class so the log shows
+                    # whether retrying could ever have helped (RL014
+                    # guarantees reachable raises classify to something).
+                    kind = policy.classify(exc) or "unclassified"
                     self.fault_log.record(
-                        "poison", site, attempts[cid], "worker-error", repr(exc)
+                        "poison", site, attempts[cid], "worker-error",
+                        f"{kind}: {exc!r}",
                     )
                     failed.append(cid)
             if pool_poisoned:

@@ -68,6 +68,8 @@ def center_offsets(shape: tuple[int, ...]) -> Array:
         offsets += g * g
     flat = offsets.ravel()
     flat.setflags(write=False)
+    # repro-lint: allow[RL013] pure memo of a deterministic function of
+    # `shape`; identical read-only values in every process.
     _OFFSET_CACHE[shape] = flat
     return flat
 

@@ -1,0 +1,22 @@
+"""Known-bad fixture: contradictory ``@array_contract`` flow (RL015).
+
+``forward_image`` promises an ``("l", "l")`` complex image and passes it
+verbatim to ``band_total``, whose contract demands a 1-D float band —
+the two declarations cannot both be true of the same array.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.contracts import array_contract, spec
+
+__all__ = ["band_total", "forward_image"]
+
+
+@array_contract(band=spec(shape=("n",), dtype="float", allow_none=False))
+def band_total(band):
+    return band.sum()
+
+
+@array_contract(image=spec(shape=("l", "l"), dtype="complex", allow_none=False))
+def forward_image(image):
+    return band_total(image)

@@ -1,0 +1,24 @@
+"""Known-bad fixture: worker-reachable raise outside the retry taxonomy (RL014).
+
+``GlitchError`` subclasses plain ``Exception``, which RetryPolicy's
+``EXCEPTION_CLASSES`` table does not classify — so a worker raising it
+would fall through the restart logic as an anonymous crash.
+"""
+
+from __future__ import annotations
+
+__all__ = ["GlitchError", "guarded_chunk", "run_guarded"]
+
+
+class GlitchError(Exception):
+    """Neither retryable, fatal, nor degradation: unclassifiable."""
+
+
+def guarded_chunk(payload):
+    if payload.get("poisoned"):
+        raise GlitchError("worker returned garbage")
+    return payload["value"]
+
+
+def run_guarded(executor, payload):
+    return executor.submit(guarded_chunk, payload)

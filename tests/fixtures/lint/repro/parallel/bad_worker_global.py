@@ -1,0 +1,26 @@
+"""Known-bad fixture: unsafe worker path (RL013).
+
+Two violations: the pool task mutates a module-global cache (per-process
+state diverges silently), and a nested function is submitted as a pool
+task (it cannot pickle across the process boundary).
+"""
+
+from __future__ import annotations
+
+__all__ = ["run_chunks", "worker_chunk"]
+
+_RESULTS_CACHE: dict[int, float] = {}
+
+
+def worker_chunk(payload):
+    _RESULTS_CACHE[payload["chunk_id"]] = float(payload["value"])
+    return payload["value"]
+
+
+def run_chunks(executor, payloads):
+    def local_task(payload):
+        return payload["value"]
+
+    futures = [executor.submit(worker_chunk, p) for p in payloads]
+    futures.append(executor.submit(local_task, payloads[0]))
+    return futures

@@ -1,0 +1,211 @@
+"""Unit tests for the symbol-table / call-graph substrate (analysis.callgraph)."""
+
+from pathlib import Path
+
+from repro.analysis.callgraph import build_project, module_name_for_rel
+from repro.analysis.lint import _module_from_source, parse_module
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def project_from(sources: dict[str, str]):
+    mods = [_module_from_source(src, rel=rel, path=rel) for rel, src in sources.items()]
+    return build_project(mods)
+
+
+def edge_pairs(project):
+    graph = project.graph()
+    return {
+        (site.caller, site.callee, site.kind)
+        for sites in graph.edges.values()
+        for site in sites
+    }
+
+
+# -- naming ------------------------------------------------------------------
+def test_module_name_for_rel():
+    assert module_name_for_rel("repro/align/fused.py") == "repro.align.fused"
+    assert module_name_for_rel("repro/align/__init__.py") == "repro.align"
+    assert module_name_for_rel("repro/__init__.py") == "repro"
+
+
+# -- resolution --------------------------------------------------------------
+def test_intra_module_call_edge():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "def g():\n    return 1\n\n\n"
+                "def f():\n    return g()\n"
+            )
+        }
+    )
+    assert ("repro.a:f", "repro.a:g", "call") in edge_pairs(project)
+
+
+def test_cross_module_call_edge_via_import():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "from repro.b import helper\n\n\n"
+                "def f():\n    return helper()\n"
+            ),
+            "repro/b.py": "def helper():\n    return 2\n",
+        }
+    )
+    assert ("repro.a:f", "repro.b:helper", "call") in edge_pairs(project)
+
+
+def test_lazy_function_local_import_resolves():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "def f():\n"
+                "    from repro.b import helper\n"
+                "    return helper()\n"
+            ),
+            "repro/b.py": "def helper():\n    return 2\n",
+        }
+    )
+    assert ("repro.a:f", "repro.b:helper", "call") in edge_pairs(project)
+
+
+def test_method_resolution_via_annotated_parameter():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "from repro.b import Engine\n\n\n"
+                "def f(eng: Engine):\n    return eng.step()\n"
+            ),
+            "repro/b.py": (
+                "class Engine:\n"
+                "    def step(self):\n        return 1\n"
+            ),
+        }
+    )
+    assert ("repro.a:f", "repro.b:Engine.step", "call") in edge_pairs(project)
+
+
+def test_self_attribute_chain_resolves_through_init_types():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "class Inner:\n"
+                "    def compute(self):\n        return 1\n\n\n"
+                "class Outer:\n"
+                "    def __init__(self, inner: Inner):\n"
+                "        self.inner = inner\n\n"
+                "    def run_all(self):\n"
+                "        return self.inner.compute()\n"
+            )
+        }
+    )
+    assert ("repro.a:Outer.run_all", "repro.a:Inner.compute", "call") in edge_pairs(project)
+
+
+def test_callback_reference_counts_as_edge():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "def cb():\n    return 1\n\n\n"
+                "def f(register):\n    register(cb)\n"
+            )
+        }
+    )
+    assert ("repro.a:f", "repro.a:cb", "ref") in edge_pairs(project)
+
+
+# -- pool submissions and reachability ---------------------------------------
+def test_pool_submission_resolves_module_level_task():
+    project = project_from(
+        {
+            "repro/parallel/a.py": (
+                "def task(x):\n    return helper(x)\n\n\n"
+                "def helper(x):\n    return x\n\n\n"
+                "def fan_out(executor, xs):\n"
+                "    return [executor.submit(task, x) for x in xs]\n"
+            )
+        }
+    )
+    graph = project.graph()
+    subs = graph.pool_submissions
+    assert len(subs) == 1
+    assert subs[0].task is not None
+    assert subs[0].task.node_id == "repro.parallel.a:task"
+    reach = graph.reachable([subs[0].task.node_id])
+    assert "repro.parallel.a:helper" in reach
+
+
+def test_real_worker_chain_is_reachable():
+    mods = [parse_module(p) for p in sorted((REPO / "src" / "repro").rglob("*.py"))]
+    project = build_project(mods)
+    graph = project.graph()
+    tasks = [s.task.node_id for s in graph.pool_submissions if s.task is not None]
+    assert "repro.parallel.viewsched:_worker_refine_chunk" in tasks
+    reach = graph.reachable(tasks)
+    # the full kernel chain crosses four packages from the pool task
+    for expected in (
+        "repro.parallel.viewsched:_attach_volume",
+        "repro.refine.single:refine_view_at_level",
+        "repro.align.fused:MatchPlan.match_window",
+        "repro.align.distance:DistanceComputer.distance_band",
+        "repro.fourier.slicing:extract_slice",
+    ):
+        assert expected in reach, expected
+
+
+# -- static contracts --------------------------------------------------------
+def test_contract_parsing_reads_shapes_and_dtypes():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "from repro.analysis.contracts import array_contract, spec\n\n\n"
+                "@array_contract(\n"
+                "    band=spec(shape=('n',), dtype='inexact', allow_none=False),\n"
+                "    rots=spec(shape=[(3, 3), (None, 3, 3)]),\n"
+                "    ret=spec(shape=('n',)),\n"
+                ")\n"
+                "def f(band, rots):\n    return band\n"
+            )
+        }
+    )
+    fn = project.functions["repro.a:f"]
+    assert fn.contract is not None
+    band = fn.contract.params["band"]
+    assert band.shape == (("n",),)
+    assert band.dtype == "inexact"
+    assert band.allow_none is False
+    rots = fn.contract.params["rots"]
+    assert rots.shape == ((3, 3), (None, 3, 3))
+    assert fn.contract.ret is not None
+    assert fn.contract.ret.shape == (("n",),)
+
+
+def test_nested_function_is_not_module_level():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "def outer():\n"
+                "    def inner():\n        return 1\n"
+                "    return inner\n"
+            )
+        }
+    )
+    inner = project.functions["repro.a:outer.<locals>.inner"]
+    assert inner.is_nested and not inner.is_module_level
+    outer = project.functions["repro.a:outer"]
+    assert outer.is_module_level
+
+
+def test_mutable_globals_are_indexed():
+    project = project_from(
+        {
+            "repro/a.py": (
+                "CACHE: dict[int, int] = {}\n"
+                "LIMIT = 3\n"
+                "NAMES = ['a']\n"
+            )
+        }
+    )
+    minfo = project.modules["repro.a"]
+    assert minfo.mutable_globals == {"CACHE", "NAMES"}
+    assert {"CACHE", "LIMIT", "NAMES"} <= minfo.global_names

@@ -1,0 +1,145 @@
+"""Tests for the gate runner: stages, JSON output, waiver strictness, speed."""
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis.__main__ import main
+from repro.analysis.gate import GateResult, _run_tool, gate_to_json, run_gate
+
+REPO = Path(__file__).resolve().parents[1]
+FIXTURES = REPO / "tests" / "fixtures" / "lint" / "repro"
+
+
+# -- stage structure ---------------------------------------------------------
+def test_gate_reports_named_lint_stages():
+    results = run_gate(root=REPO, with_ruff=False, with_mypy=False)
+    names = [r.name for r in results]
+    assert names == ["repro-lint", "repro-lint-wp", "waivers"]
+    assert all(r.status == "ok" for r in results), [(r.name, r.detail) for r in results]
+
+
+def test_whole_program_findings_land_in_wp_stage():
+    results = run_gate(
+        [str(FIXTURES / "parallel" / "bad_worker_global.py")],
+        root=REPO,
+        with_ruff=False,
+        with_mypy=False,
+    )
+    by_name = {r.name: r for r in results}
+    assert by_name["repro-lint"].status == "ok"
+    assert by_name["repro-lint-wp"].status == "failed"
+    assert all(f.rule == "RL013" for f in by_name["repro-lint-wp"].findings)
+
+
+# -- JSON format (machine-readable gate results) -----------------------------
+def _validate_schema(doc):
+    assert set(doc) == {"ok", "stages"}
+    assert isinstance(doc["ok"], bool)
+    assert isinstance(doc["stages"], list) and doc["stages"]
+    for stage in doc["stages"]:
+        assert set(stage) == {"name", "status", "detail", "findings"}
+        assert isinstance(stage["name"], str) and stage["name"]
+        assert stage["status"] in {"ok", "failed", "skipped"}
+        assert isinstance(stage["detail"], str)
+        assert isinstance(stage["findings"], list)
+        for finding in stage["findings"]:
+            assert set(finding) == {"rule", "path", "line", "col", "message"}
+            assert isinstance(finding["rule"], str)
+            assert isinstance(finding["path"], str)
+            assert isinstance(finding["line"], int)
+            assert isinstance(finding["col"], int)
+            assert isinstance(finding["message"], str)
+
+
+def test_json_format_schema_on_clean_repo(capsys):
+    rc = main(["--lint-only", "--format", "json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    _validate_schema(doc)
+    assert doc["ok"] is True
+
+
+def test_json_format_schema_with_findings(capsys):
+    rc = main(
+        ["--lint-only", "--format", "json", str(FIXTURES / "align" / "bad_contract_flow.py")]
+    )
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    _validate_schema(doc)
+    assert doc["ok"] is False
+    wp = next(s for s in doc["stages"] if s["name"] == "repro-lint-wp")
+    assert wp["status"] == "failed"
+    assert any(f["rule"] == "RL015" for f in wp["findings"])
+
+
+def test_gate_to_json_roundtrips_results():
+    results = [GateResult("x", "ok", "fine")]
+    doc = gate_to_json(results)
+    assert doc == {
+        "ok": True,
+        "stages": [{"name": "x", "status": "ok", "detail": "fine", "findings": []}],
+    }
+
+
+# -- subprocess launch failures are environment limits, not findings ---------
+def test_run_tool_reports_skipped_when_binary_is_missing(tmp_path):
+    result = _run_tool("ghost", ["/nonexistent/bin/ghost", "--version"], tmp_path)
+    assert result.status == "skipped"
+    assert "could not launch" in result.detail
+    assert not result.failed
+
+
+def test_run_tool_reports_skipped_on_non_executable(tmp_path):
+    dud = tmp_path / "dud"
+    dud.write_text("not a binary")
+    result = _run_tool("dud", [str(dud)], tmp_path)
+    assert result.status == "skipped"
+
+
+# -- stale waivers: warn by default, fail under strict -----------------------
+def _stale_tree(tmp_path):
+    pkg = tmp_path / "repro" / "align"
+    pkg.mkdir(parents=True)
+    (pkg / "stale.py").write_text(
+        "from __future__ import annotations\n\n\n"
+        "def f(a):\n"
+        "    return a + 1  # repro-lint: allow[RL002] nothing here needs it\n"
+    )
+    return pkg / "stale.py"
+
+
+def test_stale_waiver_warns_by_default(tmp_path):
+    target = _stale_tree(tmp_path)
+    results = run_gate([str(target)], root=REPO, with_ruff=False, with_mypy=False)
+    waivers = next(r for r in results if r.name == "waivers")
+    assert waivers.status == "ok"
+    assert "stale waiver" in waivers.detail
+    assert waivers.findings  # surfaced even though the stage passes
+
+
+def test_stale_waiver_fails_under_strict(tmp_path):
+    target = _stale_tree(tmp_path)
+    results = run_gate(
+        [str(target)], root=REPO, with_ruff=False, with_mypy=False, strict_waivers=True
+    )
+    waivers = next(r for r in results if r.name == "waivers")
+    assert waivers.status == "failed"
+    assert any(f.rule == "RLW01" for f in waivers.findings)
+
+
+def test_strict_waivers_cli_flag(tmp_path, capsys):
+    target = _stale_tree(tmp_path)
+    assert main(["--lint-only", str(target)]) == 0
+    capsys.readouterr()
+    assert main(["--lint-only", "--strict-waivers", str(target)]) == 1
+    assert "RLW01" in capsys.readouterr().out
+
+
+# -- the gate stays pre-commit fast ------------------------------------------
+def test_full_gate_completes_under_ten_seconds():
+    t0 = time.perf_counter()
+    results = run_gate(root=REPO)
+    elapsed = time.perf_counter() - t0
+    assert not any(r.failed for r in results), [(r.name, r.detail) for r in results]
+    assert elapsed < 10.0, f"gate took {elapsed:.1f}s; must stay a pre-commit-speed check"

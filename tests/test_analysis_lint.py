@@ -25,6 +25,9 @@ FIXTURE_RULES = {
     "align/bad_cut_loop.py": "RL010",
     "align/bad_env_read.py": "RL011",
     "refine/bad_unbounded_eval.py": "RL012",
+    "parallel/bad_worker_global.py": "RL013",
+    "parallel/bad_unclassified_raise.py": "RL014",
+    "align/bad_contract_flow.py": "RL015",
 }
 
 
@@ -36,7 +39,7 @@ def rules_hit(findings):
 def test_every_rule_has_identity():
     rules = all_rules()
     ids = [r.rule_id for r in rules]
-    assert len(ids) == len(set(ids)) == 12
+    assert len(ids) == len(set(ids)) == 15
     assert ids == sorted(ids)
     for rule_id, name, rationale in rule_table():
         assert rule_id.startswith("RL")
@@ -153,6 +156,108 @@ def test_star_waiver_suppresses_everything_on_line():
         "    return a.astype(np.complex128)  # repro-lint: allow[*] fixture\n"
     )
     assert rules_hit(lint_source(src, rel="repro/align/x.py")) == set()
+
+
+def test_multiple_rule_ids_in_one_bracket():
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    return np.fft.fft2(a)  # repro-lint: allow[RL003, RL002] both named\n"
+    )
+    assert "RL002" not in rules_hit(lint_source(src, rel="repro/align/x.py"))
+    unrelated = src.replace("RL003, RL002", "RL003, RL004")
+    assert "RL002" in rules_hit(lint_source(unrelated, rel="repro/align/x.py"))
+
+
+def test_pending_comment_attaches_to_next_code_line_not_blank_or_comment():
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    # repro-lint: allow[RL002] long justification\n"
+        "    # (continued prose, not a waiver)\n"
+        "    return np.fft.fft2(a)\n"
+    )
+    assert "RL002" not in rules_hit(lint_source(src, rel="repro/align/x.py"))
+
+
+def test_stacked_standalone_waivers_all_attach_to_next_code_line():
+    src = (
+        "from __future__ import annotations\n\n"
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    # repro-lint: allow[RL002] fft justified\n"
+        "    # repro-lint: allow[RL003] astype justified\n"
+        "    return np.fft.fft2(a).astype(np.complex128)\n"
+    )
+    assert rules_hit(lint_source(src, rel="repro/align/x.py")) == set()
+
+
+def test_waiver_inside_string_literal_is_inert():
+    src = (
+        "import numpy as np\n\n"
+        'DOC = "example: # repro-lint: allow[RL002]"\n\n\n'
+        "def f(a):\n"
+        "    return np.fft.fft2(a)\n"
+    )
+    assert "RL002" in rules_hit(lint_source(src, rel="repro/align/x.py"))
+
+
+def test_non_rule_ids_in_bracket_are_ignored():
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    return np.fft.fft2(a)  # repro-lint: allow[RLxxx] placeholder prose\n"
+    )
+    assert "RL002" in rules_hit(lint_source(src, rel="repro/align/x.py"))
+
+
+# -- stale-waiver detection ---------------------------------------------------
+def test_stale_waiver_is_reported():
+    from repro.analysis.lint import STALE_WAIVER_RULE, lint_collect
+
+    src = (
+        "from __future__ import annotations\n\n\n"
+        "def f(a):\n"
+        "    return a + 1  # repro-lint: allow[RL002] nothing to waive here\n"
+    )
+    tmp = REPO / "tests" / "fixtures" / "lint" / "repro" / "align"
+    report = lint_collect([tmp / "bad_fft.py"])
+    assert report.stale_waivers == ()  # fixture has no waivers at all
+
+    import tempfile
+    from pathlib import Path as P
+
+    with tempfile.TemporaryDirectory() as d:
+        path = P(d) / "repro" / "align"
+        path.mkdir(parents=True)
+        (path / "stale.py").write_text(src)
+        report = lint_collect([path / "stale.py"])
+    assert report.findings == ()
+    assert len(report.stale_waivers) == 1
+    stale = report.stale_waivers[0]
+    assert stale.rule == STALE_WAIVER_RULE
+    assert stale.line == 5
+    assert "RL002" in stale.message
+
+
+def test_live_waiver_is_not_stale_and_suppression_is_recorded():
+    from repro.analysis.lint import lint_collect
+
+    import tempfile
+    from pathlib import Path as P
+
+    src = (
+        "import numpy as np\n\n\n"
+        "def f(a):\n"
+        "    return np.fft.fft2(a)  # repro-lint: allow[RL002] deliberate\n"
+    )
+    with tempfile.TemporaryDirectory() as d:
+        path = P(d) / "repro" / "align"
+        path.mkdir(parents=True)
+        (path / "waived.py").write_text(src)
+        report = lint_collect([path / "waived.py"])
+    assert report.stale_waivers == ()
+    assert "RL002" in {f.rule for f in report.suppressed}
 
 
 # -- finding formatting ------------------------------------------------------

@@ -1,0 +1,62 @@
+"""Tests for the retry taxonomy: EXCEPTION_CLASSES and RetryPolicy.classify."""
+
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+
+from repro.faults.plan import FaultInjected
+from repro.faults.retry import (
+    EXCEPTION_CLASSES,
+    ChunkIntegrityError,
+    RetryPolicy,
+    classify_exception_name,
+)
+
+
+def test_every_class_is_one_of_the_three_kinds():
+    assert set(EXCEPTION_CLASSES.values()) <= {"retryable", "fatal", "degradation"}
+    assert "retryable" in EXCEPTION_CLASSES.values()
+    assert "fatal" in EXCEPTION_CLASSES.values()
+    assert "degradation" in EXCEPTION_CLASSES.values()
+
+
+def test_classify_by_name():
+    assert classify_exception_name("ChunkIntegrityError") == "retryable"
+    assert classify_exception_name("ValueError") == "fatal"
+    assert classify_exception_name("FaultInjected") == "degradation"
+    assert classify_exception_name("TotallyUnknownError") is None
+
+
+def test_classify_live_exceptions_walks_the_mro():
+    policy = RetryPolicy()
+    # listed directly
+    assert policy.classify(ChunkIntegrityError("bad chunk")) == "retryable"
+    assert policy.classify(ValueError("nope")) == "fatal"
+    assert policy.classify(FaultInjected("chaos")) == "degradation"
+    # subclass of a listed base resolves through the MRO
+    assert policy.classify(FileNotFoundError("gone")) == "fatal"  # via OSError
+
+    class CustomIntegrity(ChunkIntegrityError):
+        pass
+
+    assert policy.classify(CustomIntegrity("still retryable")) == "retryable"
+
+
+def test_subclass_listing_beats_base_listing():
+    # ChunkIntegrityError subclasses RuntimeError (fatal) but is itself
+    # listed retryable — the more specific entry must win.
+    policy = RetryPolicy()
+    assert EXCEPTION_CLASSES["RuntimeError"] == "fatal"
+    assert policy.classify(ChunkIntegrityError("x")) == "retryable"
+
+
+def test_pool_fault_types_are_retryable():
+    policy = RetryPolicy()
+    assert policy.classify(FuturesTimeoutError()) == "retryable"
+    assert policy.classify(BrokenProcessPool("pool died")) == "retryable"
+
+
+def test_unlisted_exception_classifies_to_none():
+    class Mystery(Exception):
+        pass
+
+    assert RetryPolicy().classify(Mystery()) is None

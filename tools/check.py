@@ -5,7 +5,10 @@ Runs, in order:
 
 1. ``ruff check`` (skipped when ruff is not installed),
 2. ``mypy`` over the strict-typed core (skipped when mypy is not installed),
-3. ``repro-lint`` — the AST invariant checker in :mod:`repro.analysis`,
+3. ``repro-lint`` — the AST invariant checker in :mod:`repro.analysis`:
+   the per-module rules, the whole-program call-graph passes
+   (``repro-lint-wp``, RL013–RL015), and the stale-waiver audit
+   (``waivers`` — strict here: a stale ``allow[...]`` fails the gate),
 4. ``config-gate`` — every ``examples/*.toml``/``*.json`` engine config
    must load and validate, and repro-lint RL011 must find no environment
    reads outside ``repro/engine/`` (:mod:`repro.engine.gate`),
@@ -58,7 +61,7 @@ def main(argv: list[str] | None = None) -> int:
     from repro.engine.gate import run_config_gate
 
     failed = False
-    results = list(run_gate(root=ROOT))
+    results = list(run_gate(root=ROOT, strict_waivers=True))
     results.append(run_config_gate(root=ROOT))
     for result in results:
         print(f"[{result.status:>7}] {result.name}")
