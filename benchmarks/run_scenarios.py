@@ -1,0 +1,53 @@
+"""Scenario-matrix driver: regenerate ``BENCH_scenarios.json`` standalone.
+
+Runs the default accuracy matrix (DESIGN.md §12) — the same
+:func:`repro.pipeline.scenarios.default_matrix` the ``-m scenarios``
+pytest suite gates on — and rewrites the schema-versioned trajectory at
+the repo root.  Standalone and pytest produce identical records (the
+matrix is fully seeded); only the wall-clock ``timing`` sections differ.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/run_scenarios.py
+
+or through the gated suite (same records, plus threshold assertions)::
+
+    PYTHONPATH=src python -m pytest -m scenarios -q
+
+Exit status is nonzero when any scenario trips a threshold, so the driver
+can serve as a CI gate on its own.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+if __package__ in (None, ""):  # standalone: make src/ importable
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+BENCH_FILE = REPO_ROOT / "BENCH_scenarios.json"
+
+
+def run_all() -> int:
+    from repro.pipeline.experiments import run_scenario_matrix_experiment
+
+    out = run_scenario_matrix_experiment(bench_path=str(BENCH_FILE))
+    records = out["records"]
+    for record in records:
+        status = "ok" if record.passed else "FAILED"
+        wall = record.timing.get("wall_seconds", 0.0)
+        print(f"[{status:>6}] {record.name:<22} ({record.type}, {wall:.2f}s)")
+        for failure in record.failures:
+            print(f"         {failure}")
+    print(
+        f"{out['n_passed']}/{len(records)} scenarios passed; "
+        f"trajectory written to {BENCH_FILE.name}"
+    )
+    return 1 if out["n_failed"] else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_all())

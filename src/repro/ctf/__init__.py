@@ -6,7 +6,7 @@ corrects each view's DFT before matching; views from the same micrograph
 share one CTF.
 """
 
-from repro.ctf.model import CTFParams, ctf_1d, ctf_2d
+from repro.ctf.model import CTFParams, ctf_1d, ctf_2d, defocus_group_params
 from repro.ctf.correct import apply_ctf, phase_flip, wiener_correct
 from repro.ctf.estimate import estimate_defocus, radial_power_spectrum
 
@@ -14,6 +14,7 @@ __all__ = [
     "CTFParams",
     "ctf_1d",
     "ctf_2d",
+    "defocus_group_params",
     "apply_ctf",
     "phase_flip",
     "wiener_correct",

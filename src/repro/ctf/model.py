@@ -20,7 +20,13 @@ import numpy as np
 
 from repro.fourier.transforms import fourier_center
 
-__all__ = ["CTFParams", "electron_wavelength", "ctf_1d", "ctf_2d"]
+__all__ = [
+    "CTFParams",
+    "defocus_group_params",
+    "electron_wavelength",
+    "ctf_1d",
+    "ctf_2d",
+]
 
 
 def electron_wavelength(voltage_kv: float) -> float:
@@ -71,6 +77,28 @@ class CTFParams:
     @property
     def wavelength(self) -> float:
         return electron_wavelength(self.voltage_kv)
+
+
+def defocus_group_params(
+    defoci_angstrom: tuple[float, ...] | list[float],
+    n_views: int,
+    **kwargs: float,
+) -> list[CTFParams]:
+    """Per-view CTF parameters for a dataset split into defocus groups.
+
+    Views from the same micrograph share one defocus (§3); a multi-
+    micrograph dataset is modelled as ``len(defoci_angstrom)`` groups with
+    views dealt round-robin — view ``i`` gets ``defoci_angstrom[i % g]``.
+    Extra keyword arguments are forwarded to every :class:`CTFParams`
+    (voltage, Cs, amplitude contrast, B-factor).
+    """
+    defoci = tuple(float(d) for d in defoci_angstrom)
+    if not defoci:
+        raise ValueError("need at least one defocus group")
+    if n_views < 1:
+        raise ValueError("n_views must be >= 1")
+    groups = [CTFParams(defocus_angstrom=d, **kwargs) for d in defoci]
+    return [groups[i % len(groups)] for i in range(n_views)]
 
 
 def ctf_1d(params: CTFParams, s: np.ndarray) -> np.ndarray:

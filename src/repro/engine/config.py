@@ -710,6 +710,29 @@ class EngineConfig:
         desc = json.dumps(payload, sort_keys=True)
         return hashlib.sha256(desc.encode()).hexdigest()[:16]
 
+    def merged(self, overrides: Mapping[str, Any]) -> "EngineConfig":
+        """A copy with a partial nested override dict merged on top.
+
+        ``overrides`` uses the same shape as :meth:`to_dict` but may name
+        only the fields it changes: section tables merge field-by-field
+        onto the current values, scalars replace.  Unknown fields are
+        rejected exactly as in :meth:`from_dict`, and the merged config is
+        re-validated from scratch — the scenario matrix's spelling for
+        "this scenario runs with pruning on" without restating the rest.
+        """
+        _require(isinstance(overrides, Mapping),
+                 f"overrides must be a mapping, got {overrides!r}")
+        _reject_unknown("", overrides, tuple(_SECTIONS) + _SCALARS)
+        data = self.to_dict()
+        for name, value in overrides.items():
+            if name in _SECTIONS:
+                _require(isinstance(value, Mapping),
+                         f"{name} must be a table/object, got {value!r}")
+                data[name] = {**data[name], **value}
+            else:
+                data[name] = value
+        return EngineConfig.from_dict(data)
+
     def with_schedule(self, schedule: "MultiResolutionSchedule") -> "EngineConfig":
         """A copy whose schedule section mirrors an in-memory schedule object."""
         return replace(self, schedule=ScheduleConfig.from_schedule(schedule))

@@ -7,7 +7,7 @@ re-picking whole micrographs.
 """
 
 from repro.imaging.project import fourier_project, project_map, real_project
-from repro.imaging.noise import add_noise, estimate_snr
+from repro.imaging.noise import add_noise, estimate_snr, noise_sigma_for_snr
 from repro.imaging.center import (
     center_of_mass_shift,
     cross_correlation_shift,
@@ -28,6 +28,7 @@ __all__ = [
     "project_map",
     "add_noise",
     "estimate_snr",
+    "noise_sigma_for_snr",
     "phase_shift_ft",
     "shift_image",
     "center_of_mass_shift",

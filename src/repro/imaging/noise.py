@@ -3,6 +3,14 @@
 Cryo-EM views are extremely noisy (SNR well below 1 at high frequency);
 the simulator adds white Gaussian noise scaled to a requested SNR defined
 as signal variance / noise variance, measured over the whole box.
+
+The scenario matrix (DESIGN.md §12) keys its low-SNR thresholds off this
+calibration, so the mapping from requested SNR to noise sigma is exposed
+as :func:`noise_sigma_for_snr` and pinned by a statistical test.  The
+``exact`` mode rescales the drawn noise field so its *realized* variance
+equals the requested one — removing the O(1/sqrt(npix)) sampling scatter
+when a scenario wants the SNR to be a controlled variable rather than an
+expectation.
 """
 
 from __future__ import annotations
@@ -11,27 +19,52 @@ import numpy as np
 
 from repro.utils import default_rng
 
-__all__ = ["add_noise", "estimate_snr"]
+__all__ = ["add_noise", "estimate_snr", "noise_sigma_for_snr"]
 
 
-def add_noise(
-    image: np.ndarray, snr: float, seed: int | np.random.Generator | None = 0
-) -> np.ndarray:
-    """Return ``image`` plus white Gaussian noise at the requested SNR.
+def noise_sigma_for_snr(image: np.ndarray, snr: float) -> float:
+    """The noise std-dev that realizes ``snr = var(signal) / var(noise)``.
 
-    ``snr = var(signal) / var(noise)``.  ``snr = inf`` returns a copy.
+    ``snr = inf`` maps to sigma 0.  Raises for non-positive SNR or a
+    constant image (whose signal variance cannot anchor a ratio).
     """
     img = np.asarray(image, dtype=float)
     if snr <= 0:
         raise ValueError("snr must be positive")
     if np.isinf(snr):
-        return img.copy()
+        return 0.0
     signal_var = float(img.var())
     if signal_var == 0:
         raise ValueError("cannot scale noise to a constant image")
-    sigma = np.sqrt(signal_var / snr)
+    return float(np.sqrt(signal_var / snr))
+
+
+def add_noise(
+    image: np.ndarray,
+    snr: float,
+    seed: int | np.random.Generator | None = 0,
+    exact: bool = False,
+) -> np.ndarray:
+    """Return ``image`` plus white Gaussian noise at the requested SNR.
+
+    ``snr = var(signal) / var(noise)``.  ``snr = inf`` returns a copy.
+    With ``exact=True`` the drawn noise field is recentred and rescaled so
+    its realized variance equals ``var(signal) / snr`` exactly (up to
+    float rounding), instead of only in expectation.
+    """
+    img = np.asarray(image, dtype=float)
+    sigma = noise_sigma_for_snr(img, snr)
+    if sigma == 0.0:
+        return img.copy()
     rng = default_rng(seed)
-    return img + rng.normal(0.0, sigma, size=img.shape)
+    noise = rng.normal(0.0, sigma, size=img.shape)
+    if exact:
+        noise -= noise.mean()
+        realized = float(noise.std())
+        if realized == 0:
+            raise ValueError("degenerate noise draw cannot be rescaled")
+        noise *= sigma / realized
+    return img + noise
 
 
 def estimate_snr(noisy: np.ndarray, clean: np.ndarray) -> float:

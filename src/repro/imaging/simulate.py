@@ -102,6 +102,7 @@ def simulate_views(
     orientations: list[Orientation] | None = None,
     seed: int | np.random.Generator | None = 0,
     projection_method: str = "real",
+    exact_snr: bool = False,
 ) -> SimulatedViews:
     """Generate ``n_views`` noisy views of ``density``.
 
@@ -126,6 +127,10 @@ def simulate_views(
     projection_method:
         ``"real"`` (default, independent of the Fourier machinery under
         test) or ``"fourier"``.
+    exact_snr:
+        Rescale each view's noise field so the realized per-view SNR
+        equals ``snr`` exactly rather than only in expectation (the
+        scenario matrix uses this to make SNR a controlled variable).
     """
     rng = default_rng(seed)
     if orientations is None:
@@ -152,7 +157,7 @@ def simulate_views(
             ft = apply_ctf(ft, ctf_list[i], density.apix)
         img = centered_ifft2(ft).real
         if np.isfinite(snr):
-            img = add_noise(img, snr, seed=rng)
+            img = add_noise(img, snr, seed=rng, exact=exact_snr)
         images[i] = img
         true_orients.append(orient.with_center(cx, cy))
 

@@ -8,10 +8,26 @@ example script, with identical numbers.
 from repro.pipeline.config import ExperimentConfig, MiniWorkload
 from repro.pipeline.datasets import make_dataset, reo_like_dataset, sindbis_like_dataset
 from repro.pipeline.reporting import format_curve, format_table, format_timing_table
+from repro.pipeline.scenarios import (
+    SCENARIO_SCHEMA_VERSION,
+    CostModelScenario,
+    PerturbationSpec,
+    Scenario,
+    ScenarioRecord,
+    ScenarioRunner,
+    ScenarioThresholds,
+    default_matrix,
+    load_bench,
+    perturb_orientations,
+    symmetry_group_for,
+    validate_bench_payload,
+    write_bench,
+)
 from repro.pipeline.experiments import (
     FigureCurves,
     run_figure_curves_experiment,
     run_map_comparison_experiment,
+    run_scenario_matrix_experiment,
     run_search_space_report,
     run_sliding_window_experiment,
     run_symmetry_detection_experiment,
@@ -27,9 +43,23 @@ __all__ = [
     "format_table",
     "format_curve",
     "format_timing_table",
+    "SCENARIO_SCHEMA_VERSION",
+    "CostModelScenario",
+    "PerturbationSpec",
+    "Scenario",
+    "ScenarioRecord",
+    "ScenarioRunner",
+    "ScenarioThresholds",
+    "default_matrix",
+    "load_bench",
+    "perturb_orientations",
+    "symmetry_group_for",
+    "validate_bench_payload",
+    "write_bench",
     "FigureCurves",
     "run_figure_curves_experiment",
     "run_map_comparison_experiment",
+    "run_scenario_matrix_experiment",
     "run_search_space_report",
     "run_sliding_window_experiment",
     "run_symmetry_detection_experiment",

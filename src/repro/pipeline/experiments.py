@@ -25,6 +25,14 @@ from repro.parallel.perf_model import PaperWorkload, PerformanceModel
 from repro.parallel.prefine import parallel_refine
 from repro.pipeline.config import ExperimentConfig, MiniWorkload, mini_schedule
 from repro.pipeline.datasets import make_dataset, phantom_for
+from repro.pipeline.scenarios import (
+    PerturbationSpec,
+    ScenarioRecord,
+    ScenarioRunner,
+    default_matrix,
+    perturb_orientations,
+    write_bench,
+)
 from repro.reconstruct.direct_fourier import reconstruct_from_views
 from repro.reconstruct.resolution import CorrelationCurve, correlation_curve
 from repro.refine.multires import MultiResolutionSchedule
@@ -32,12 +40,12 @@ from repro.refine.refiner import OrientationRefiner
 from repro.refine.stats import angular_errors, center_errors
 from repro.refine.symmetry_detect import detect_symmetry
 from repro.refine.window import sliding_window_search
-from repro.utils import default_rng
 
 __all__ = [
     "FigureCurves",
     "run_figure_curves_experiment",
     "run_map_comparison_experiment",
+    "run_scenario_matrix_experiment",
     "run_search_space_report",
     "run_sliding_window_experiment",
     "run_symmetry_detection_experiment",
@@ -128,17 +136,12 @@ def run_figure_curves_experiment(
     )
     views = make_dataset(wl)
     truth_map = views.ground_truth
-    rng = default_rng(seed + 1000)
-    old = [
-        Orientation(
-            o.theta + rng.normal(0.0, perturbation_deg),
-            o.phi + rng.normal(0.0, perturbation_deg),
-            o.omega + rng.normal(0.0, perturbation_deg),
-            0.0,
-            0.0,
-        )
-        for o in views.true_orientations
-    ]
+    # Same gaussian jitter the scenario matrix uses; the spec seed keeps
+    # the historical seed+1000 stream, so figure numbers are unchanged.
+    old = perturb_orientations(
+        views.true_orientations,
+        PerturbationSpec(mode="gaussian", angle_deg=perturbation_deg, seed=seed + 1000),
+    )
     cfg = config or ExperimentConfig(workload=wl)
     new, new_map = refine_from_old_orientations(views, old, cfg)
 
@@ -254,6 +257,32 @@ def run_symmetry_detection_experiment(
         density = phantom_for(kind, size, seed=seed)
         result = detect_symmetry(density, seed=seed)
         out[kind] = result.group_name
+    return out
+
+
+def run_scenario_matrix_experiment(
+    scenarios=None,
+    bench_path: str | None = None,
+    base_config: EngineConfig | None = None,
+) -> dict[str, object]:
+    """The accuracy matrix (DESIGN.md §12): run, score, optionally persist.
+
+    Runs ``scenarios`` (default: :func:`repro.pipeline.scenarios.default_matrix`)
+    through a :class:`~repro.pipeline.scenarios.ScenarioRunner`; when
+    ``bench_path`` is given the schema-versioned trajectory is written
+    there (this is what regenerates ``BENCH_scenarios.json``).
+    """
+    matrix = default_matrix() if scenarios is None else tuple(scenarios)
+    runner = ScenarioRunner(base_config=base_config)
+    records: list[ScenarioRecord] = runner.run_matrix(matrix)
+    out: dict[str, object] = {
+        "records": records,
+        "n_passed": sum(1 for r in records if r.passed),
+        "n_failed": sum(1 for r in records if not r.passed),
+        "failed": [r.name for r in records if not r.passed],
+    }
+    if bench_path is not None:
+        out["payload"] = write_bench(records, bench_path)
     return out
 
 

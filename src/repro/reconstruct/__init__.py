@@ -11,6 +11,7 @@ resolution, and the refine↔reconstruct iteration loop.
 from repro.reconstruct.direct_fourier import reconstruct_from_views
 from repro.reconstruct.resolution import (
     correlation_curve,
+    fsc_crossing,
     half_map_fsc,
     resolution_at_threshold,
     split_odd_even,
@@ -29,6 +30,7 @@ __all__ = [
     "split_odd_even",
     "half_map_fsc",
     "correlation_curve",
+    "fsc_crossing",
     "resolution_at_threshold",
     "structure_determination_loop",
     "IterationRecord",

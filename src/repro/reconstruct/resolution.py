@@ -25,6 +25,7 @@ __all__ = [
     "split_odd_even",
     "half_map_fsc",
     "correlation_curve",
+    "fsc_crossing",
     "resolution_at_threshold",
     "CorrelationCurve",
 ]
@@ -109,6 +110,26 @@ def correlation_curve(
     shells = np.arange(1, len(fsc))
     res = np.array([shell_radius_to_resolution(int(s), size, apix) for s in shells])
     return CorrelationCurve(shells=shells, resolution_angstrom=res, cc=fsc[1:], label=label)
+
+
+def fsc_crossing(
+    images: np.ndarray,
+    orientations: list[Orientation],
+    apix: float = 1.0,
+    pad_factor: int = 2,
+    ctf_params: list[CTFParams] | None = None,
+    threshold: float = 0.5,
+) -> float:
+    """The half-map FSC threshold crossing (Å) for one orientation set.
+
+    Convenience wrapper over :func:`correlation_curve` +
+    :meth:`CorrelationCurve.crossing` — the single scalar the scenario
+    matrix (DESIGN.md §12) scores a refinement's map quality with.
+    """
+    curve = correlation_curve(
+        images, orientations, apix=apix, pad_factor=pad_factor, ctf_params=ctf_params
+    )
+    return curve.crossing(threshold)
 
 
 def resolution_at_threshold(

@@ -1,0 +1,93 @@
+"""Property tests over the scenario harness's determinism contract.
+
+The load-bearing invariant: the dataset stream (phantom, projections,
+noise, boxing errors) is driven by ``Scenario.seed`` while the initial-
+orientation perturbation is driven by ``PerturbationSpec.seed`` — two
+independent RNGs.  If a refactor ever couples them (e.g. one shared
+generator feeding both, as :func:`simulate_views` does internally for its
+own convenience path), changing the perturbation seed would silently
+regenerate different *images*, and accuracy comparisons across starts
+would be comparing different datasets.  Hypothesis varies the
+perturbation seed and asserts the images stay byte-identical and the
+noiseless refinement stays accurate from every start.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.pipeline.scenarios import (
+    PerturbationSpec,
+    Scenario,
+    ScenarioRunner,
+    ScenarioThresholds,
+    perturb_orientations,
+)
+
+pytestmark = pytest.mark.scenarios
+
+#: Small enough for ~60 ms per refinement; thresholds hold for *every*
+#: perturbation seed (measured max over a 25-seed sweep: median 1.01°,
+#: p90 1.88°, vs initial medians up to 4.2°).
+TINY = Scenario(
+    name="tiny-noiseless",
+    kind="asymmetric",
+    size=16,
+    n_views=4,
+    snr=math.inf,
+    r_max=6.0,
+    max_slides=3,
+    schedule_levels=((1.0, 1.0, 2, 1), (0.5, 0.5, 2, 1)),
+    perturbation=PerturbationSpec(mode="gaussian", angle_deg=1.5, seed=0),
+    thresholds=ScenarioThresholds(
+        max_median_angular_error_deg=1.6,
+        max_p90_angular_error_deg=2.6,
+    ),
+)
+
+_RUNNER = ScenarioRunner()
+_REFERENCE_IMAGES = _RUNNER.dataset(TINY).images
+
+
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+def test_accuracy_invariant_under_perturbation_seed(seed):
+    scenario = replace(TINY, perturbation=replace(TINY.perturbation, seed=seed))
+    views = _RUNNER.dataset(scenario)
+    # the dataset must not depend on the perturbation seed, byte for byte
+    assert np.array_equal(views.images, _REFERENCE_IMAGES)
+    record = _RUNNER.run_scenario(scenario)
+    assert record.passed, (seed, record.metrics, record.failures)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mode=st.sampled_from(["gaussian", "uniform"]),
+    angle=st.floats(min_value=0.1, max_value=15.0),
+)
+def test_perturbation_bounded_and_reproducible(seed, mode, angle):
+    truth = _RUNNER.dataset(TINY).true_orientations
+    spec = PerturbationSpec(mode=mode, angle_deg=angle, seed=seed)
+    a = perturb_orientations(truth, spec)
+    b = perturb_orientations(truth, spec)
+    assert all(x == y for x, y in zip(a, b))
+    assert all(o.cx == 0.0 and o.cy == 0.0 for o in a)
+    if mode == "uniform":
+        for o, t in zip(a, truth):
+            assert abs(o.theta - t.theta) <= angle
+            assert abs(o.phi - t.phi) <= angle
+            assert abs(o.omega - t.omega) <= angle
+
+
+def test_same_scenario_yields_identical_records():
+    a = _RUNNER.run_scenario(TINY)
+    b = _RUNNER.run_scenario(TINY)
+    assert a.comparable() == b.comparable()
+    assert a.metrics == b.metrics  # exact float equality: fully seeded

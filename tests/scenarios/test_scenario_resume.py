@@ -1,0 +1,119 @@
+"""Checkpoint/resume through the scenario harness (DESIGN.md §8 + §12).
+
+A scenario killed at a level boundary and resumed from its checkpoint
+must report *identical* accuracy metrics and an identical
+``BENCH_scenarios.json`` record (under :meth:`ScenarioRecord.comparable`,
+which strips wall-clock timing and the execution-strategy engine keys —
+exactly the fields the engine fingerprint already excludes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.faults.checkpoint import load_checkpoint
+from repro.faults.plan import FaultInjected, FaultPlan, FaultSpec
+from repro.pipeline.scenarios import (
+    PerturbationSpec,
+    Scenario,
+    ScenarioRunner,
+    ScenarioThresholds,
+    write_bench,
+)
+
+pytestmark = pytest.mark.scenarios
+
+BASE = Scenario(
+    name="resume-tiny",
+    kind="asymmetric",
+    size=16,
+    n_views=4,
+    snr=math.inf,
+    r_max=6.0,
+    max_slides=3,
+    schedule_levels=((1.0, 1.0, 2, 1), (0.5, 0.5, 2, 1), (0.25, 0.25, 2, 1)),
+    perturbation=PerturbationSpec(mode="gaussian", angle_deg=1.5, seed=11),
+    thresholds=ScenarioThresholds(max_median_angular_error_deg=1.8),
+)
+
+
+def _with_checkpoint(
+    scenario: Scenario, path: str, resume: bool = False, killable: bool = False
+) -> Scenario:
+    # Fault injection rides the process backend (the serial backend has no
+    # fault fabric); all backends are bit-identical, and ``comparable()``
+    # strips the parallel/checkpoint sections anyway.
+    engine: dict = {"checkpoint": {"path": path, "resume": resume}}
+    if killable:
+        engine["parallel"] = {"backend": "process", "n_workers": 1}
+    return replace(scenario, engine=engine)
+
+
+def test_killed_then_resumed_record_is_identical(tmp_path):
+    runner = ScenarioRunner()
+    ckpt = str(tmp_path / "scenario.ckpt")
+
+    # kill at the level-1 barrier: level 0's checkpoint is on disk
+    with pytest.raises(FaultInjected):
+        runner.run_scenario(
+            _with_checkpoint(BASE, ckpt, killable=True),
+            fault_plan=FaultPlan((FaultSpec("abort-level", "level:1"),)),
+        )
+    saved = load_checkpoint(ckpt)
+    assert saved.levels_done == 1
+
+    resumed = runner.run_scenario(_with_checkpoint(BASE, ckpt, resume=True))
+    uninterrupted = runner.run_scenario(BASE)
+
+    # accuracy metrics identical to the last bit, records identical under
+    # the comparable view (timing/perf/execution-strategy stripped)
+    assert resumed.metrics == uninterrupted.metrics
+    assert resumed.fingerprint == uninterrupted.fingerprint
+    assert resumed.comparable() == uninterrupted.comparable()
+    assert resumed.passed and uninterrupted.passed
+
+
+def test_resumed_bench_record_matches_on_disk(tmp_path):
+    """The persisted BENCH record (not just the in-memory one) matches."""
+    runner = ScenarioRunner()
+    ckpt = str(tmp_path / "scenario.ckpt")
+
+    with pytest.raises(FaultInjected):
+        runner.run_scenario(
+            _with_checkpoint(BASE, ckpt, killable=True),
+            fault_plan=FaultPlan((FaultSpec("abort-level", "level:1"),)),
+        )
+    resumed = runner.run_scenario(_with_checkpoint(BASE, ckpt, resume=True))
+    uninterrupted = runner.run_scenario(BASE)
+
+    p_resumed = write_bench([resumed], tmp_path / "resumed.json")
+    p_clean = write_bench([uninterrupted], tmp_path / "clean.json")
+
+    def normalized(payload):
+        (record,) = payload["scenarios"]
+        record.pop("timing")
+        record.pop("perf")
+        record["spec"]["engine"].pop("checkpoint", None)
+        record["spec"]["engine"].pop("parallel", None)
+        return payload
+
+    assert normalized(p_resumed) == normalized(p_clean)
+
+
+def test_resume_refuses_config_mismatch(tmp_path):
+    """A checkpoint resumed under different matching knobs must refuse."""
+    from repro.faults.checkpoint import CheckpointConfigMismatch
+
+    runner = ScenarioRunner()
+    ckpt = str(tmp_path / "scenario.ckpt")
+    with pytest.raises(FaultInjected):
+        runner.run_scenario(
+            _with_checkpoint(BASE, ckpt, killable=True),
+            fault_plan=FaultPlan((FaultSpec("abort-level", "level:1"),)),
+        )
+    drifted = replace(BASE, r_max=5.0)
+    with pytest.raises(CheckpointConfigMismatch):
+        runner.run_scenario(_with_checkpoint(drifted, ckpt, resume=True))

@@ -117,3 +117,27 @@ def test_wiener_rejects_bad_snr(phantom16):
     ft = centered_fft2(phantom16.data.sum(axis=0))
     with pytest.raises(ValueError):
         wiener_correct(ft, CTFParams(), apix=2.0, snr=0.0)
+
+
+def test_defocus_group_params_round_robin():
+    from repro.ctf import defocus_group_params
+
+    params = defocus_group_params((9000.0, 15000.0), 5)
+    assert [p.defocus_angstrom for p in params] == [
+        9000.0, 15000.0, 9000.0, 15000.0, 9000.0,
+    ]
+    # views of the same group share one CTFParams object (one micrograph)
+    assert params[0] is params[2] is params[4]
+    assert params[1] is params[3]
+
+
+def test_defocus_group_params_forwards_kwargs_and_validates():
+    from repro.ctf import defocus_group_params
+
+    params = defocus_group_params([12000.0], 2, voltage_kv=200.0, bfactor=50.0)
+    assert params[0].voltage_kv == 200.0
+    assert params[0].bfactor == 50.0
+    with pytest.raises(ValueError):
+        defocus_group_params((), 3)
+    with pytest.raises(ValueError):
+        defocus_group_params((9000.0,), 0)

@@ -230,3 +230,39 @@ def test_resolve_rejects_invalid_file(tmp_path):
     path.write_text('[kernel]\nkernel = "turbo"\n')
     with pytest.raises(ConfigError):
         resolve_config(path, use_env=False)
+
+
+# -- merged() ----------------------------------------------------------------
+
+
+def test_merged_partial_section_override():
+    base = EngineConfig()
+    out = base.merged({"prune": {"enabled": True}})
+    assert out.prune.enabled is True
+    # untouched prune fields keep their values; other sections untouched
+    assert out.prune.shell_groups == base.prune.shell_groups
+    assert out.kernel == base.kernel
+    assert base.prune.enabled is False  # original unchanged (frozen)
+
+
+def test_merged_scalars_replace_and_validate():
+    base = EngineConfig(r_max=9.0)
+    out = base.merged({"max_slides": 12, "r_max": 6.5})
+    assert out.max_slides == 12 and out.r_max == 6.5
+    with pytest.raises(ConfigError):
+        base.merged({"nope": 1})
+    with pytest.raises(ConfigError):
+        base.merged({"prune": {"margin": -1.0}})
+
+
+def test_merged_revalidates_cross_constraints():
+    base = EngineConfig(kernel=KernelConfig(kernel="fused"))
+    with pytest.raises(ConfigError):
+        base.merged({"prune": {"enabled": True}})  # pruning needs batched
+
+
+def test_merged_equals_from_dict_round_trip():
+    base = EngineConfig()
+    out = base.merged({"prune": {"enabled": True}, "max_slides": 4})
+    rebuilt = EngineConfig.from_dict(out.to_dict())
+    assert out == rebuilt and out.fingerprint() == rebuilt.fingerprint()

@@ -44,3 +44,48 @@ def test_estimate_snr_perfect():
 def test_estimate_snr_shape_mismatch():
     with pytest.raises(ValueError):
         estimate_snr(np.zeros((4, 4)), np.zeros((8, 8)))
+
+
+# -- SNR calibration (the scenario matrix keys off this) ---------------------
+
+
+def test_noise_sigma_for_snr_matches_definition(phantom16):
+    from repro.imaging import noise_sigma_for_snr
+
+    img = phantom16.data.sum(axis=0)
+    sigma = noise_sigma_for_snr(img, snr=2.0)
+    assert sigma == pytest.approx(np.sqrt(img.var() / 2.0))
+    assert noise_sigma_for_snr(img, np.inf) == 0.0
+    with pytest.raises(ValueError):
+        noise_sigma_for_snr(img, 0.0)
+    with pytest.raises(ValueError):
+        noise_sigma_for_snr(np.zeros((8, 8)), 1.0)
+
+
+@pytest.mark.parametrize("snr", [0.5, 2.0, 10.0])
+def test_realized_snr_statistically_calibrated(phantom16, snr):
+    """Across seeds, the realized SNR matches the request: each draw within
+    the O(1/sqrt(npix)) sampling scatter, and the mean much tighter."""
+    img = np.tile(phantom16.data.sum(axis=0), (4, 4))  # 64x64
+    measured = np.array(
+        [estimate_snr(add_noise(img, snr, seed=s), img) for s in range(20)]
+    )
+    assert np.all(np.abs(measured / snr - 1.0) < 0.12)
+    assert abs(measured.mean() / snr - 1.0) < 0.03
+
+
+def test_exact_mode_realizes_snr_exactly(phantom16):
+    img = phantom16.data.sum(axis=0)
+    for snr in (0.5, 3.0):
+        for seed in range(5):
+            noisy = add_noise(img, snr, seed=seed, exact=True)
+            assert estimate_snr(noisy, img) == pytest.approx(snr, rel=1e-9)
+
+
+def test_exact_mode_same_noise_pattern(phantom16):
+    """Exact mode rescales the same draw, it does not redraw."""
+    img = phantom16.data.sum(axis=0)
+    plain = add_noise(img, 2.0, seed=7) - img
+    exact = add_noise(img, 2.0, seed=7, exact=True) - img
+    centered = plain - plain.mean()
+    assert np.corrcoef(centered.ravel(), exact.ravel())[0, 1] == pytest.approx(1.0)

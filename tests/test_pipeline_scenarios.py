@@ -1,0 +1,281 @@
+"""Fast unit tests for the scenario spec/schema layer (no refinements).
+
+The full matrix runs under ``-m scenarios`` (tests/scenarios/); these
+cover the declarative pieces — spec validation, the perturbation stream,
+symmetry-class parsing, engine-config merging, threshold evaluation, and
+the ``BENCH_scenarios.json`` schema validator.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.config import ConfigError
+from repro.geometry.euler import Orientation, random_orientations
+from repro.pipeline.scenarios import (
+    SCENARIO_SCHEMA_VERSION,
+    CostModelScenario,
+    PerturbationSpec,
+    Scenario,
+    ScenarioRecord,
+    ScenarioRunner,
+    ScenarioThresholds,
+    default_matrix,
+    evaluate_thresholds,
+    perturb_orientations,
+    symmetry_group_for,
+    validate_bench_payload,
+    write_bench,
+)
+
+
+# -- spec validation ---------------------------------------------------------
+
+
+def test_scenario_validation():
+    with pytest.raises(ValueError):
+        Scenario(name="")
+    with pytest.raises(ValueError):
+        Scenario(name="x", n_views=1)  # FSC needs the odd/even split
+    with pytest.raises(ValueError):
+        Scenario(name="x", snr=0.0)
+    with pytest.raises(ValueError):
+        Scenario(name="x", defocus_groups=(9000.0, -1.0))
+    with pytest.raises(ValueError):
+        Scenario(name="x", symmetry="Q")
+    with pytest.raises(ValueError):
+        CostModelScenario(name="x", workload="hiv")
+    with pytest.raises(ValueError):
+        PerturbationSpec(mode="lognormal")
+
+
+def test_symmetry_group_for_classes():
+    assert symmetry_group_for("C1") is None
+    assert symmetry_group_for("C4").order == 4
+    assert symmetry_group_for("D2").order == 4
+    assert symmetry_group_for("T").order == 12
+    assert symmetry_group_for("O").order == 24
+    assert symmetry_group_for("I").order == 60
+    with pytest.raises(ValueError):
+        symmetry_group_for("C0")
+
+
+# -- perturbation ------------------------------------------------------------
+
+
+def test_perturb_none_resets_centers_only():
+    truth = [Orientation(10.0, 20.0, 30.0, 1.5, -0.5)]
+    (out,) = perturb_orientations(truth, PerturbationSpec(mode="none"))
+    assert (out.theta, out.phi, out.omega) == (10.0, 20.0, 30.0)
+    assert out.cx == 0.0 and out.cy == 0.0
+
+
+def test_perturb_matches_historical_figure_stream():
+    """Gaussian mode reproduces the legacy experiments.py jitter exactly."""
+    from repro.utils import default_rng
+
+    truth = random_orientations(5, seed=9)
+    spec = PerturbationSpec(mode="gaussian", angle_deg=3.0, seed=1002)
+    ours = perturb_orientations(truth, spec)
+    rng = default_rng(1002)
+    legacy = [
+        Orientation(
+            o.theta + rng.normal(0.0, 3.0),
+            o.phi + rng.normal(0.0, 3.0),
+            o.omega + rng.normal(0.0, 3.0),
+            0.0,
+            0.0,
+        )
+        for o in truth
+    ]
+    assert ours == legacy
+
+
+def test_perturb_center_jitter():
+    truth = random_orientations(4, seed=0)
+    spec = PerturbationSpec(mode="uniform", angle_deg=1.0, center_px=2.0, seed=3)
+    out = perturb_orientations(truth, spec)
+    assert any(o.cx != 0.0 or o.cy != 0.0 for o in out)
+    assert all(abs(o.cx) <= 2.0 and abs(o.cy) <= 2.0 for o in out)
+
+
+# -- runner plumbing (no refinement executed) --------------------------------
+
+
+def test_engine_config_reflects_scenario():
+    s = Scenario(
+        name="x",
+        r_max=7.0,
+        max_slides=5,
+        schedule_levels=((1.0, 1.0, 2, 1),),
+        engine={"prune": {"enabled": True}},
+    )
+    cfg = ScenarioRunner().engine_config(s)
+    assert cfg.r_max == 7.0
+    assert cfg.max_slides == 5
+    assert cfg.schedule.levels == ((1.0, 1.0, 2, 1),)
+    assert cfg.prune.enabled is True
+
+
+def test_engine_override_rejects_unknown_fields():
+    s = Scenario(name="x", engine={"sharding": {"n": 4}})
+    with pytest.raises(ConfigError):
+        ScenarioRunner().engine_config(s)
+
+
+def test_dataset_streams_are_independent(phantom16):
+    """Same scenario seed + different perturbation seed -> same images."""
+    runner = ScenarioRunner()
+    base = Scenario(name="x", size=16, n_views=3, snr=2.0)
+    other = Scenario(
+        name="x",
+        size=16,
+        n_views=3,
+        snr=2.0,
+        perturbation=PerturbationSpec(seed=999),
+    )
+    a, b = runner.dataset(base), runner.dataset(other)
+    assert np.array_equal(a.images, b.images)
+    assert a.initial_orientations != b.initial_orientations
+
+
+def test_dataset_defocus_groups_round_robin():
+    s = Scenario(name="x", size=16, n_views=4, defocus_groups=(9000.0, 15000.0))
+    views = ScenarioRunner().dataset(s)
+    assert [p.defocus_angstrom for p in views.ctf_params] == [
+        9000.0, 15000.0, 9000.0, 15000.0,
+    ]
+
+
+def test_exact_snr_realized(phantom16):
+    from repro.imaging.noise import estimate_snr
+    from repro.imaging.project import project_map
+
+    s = Scenario(name="x", size=16, n_views=3, snr=0.5, exact_snr=True)
+    views = ScenarioRunner().dataset(s)
+    clean = project_map(views.ground_truth, views.true_orientations[0])
+    assert estimate_snr(views.images[0], clean) == pytest.approx(0.5, rel=1e-6)
+
+
+# -- thresholds --------------------------------------------------------------
+
+
+def test_evaluate_thresholds_directions():
+    metrics = {
+        "median_angular_error_deg": 2.0,
+        "p90_angular_error_deg": 3.0,
+        "improvement_ratio": 1.5,
+        "total_hours": 12.0,
+    }
+    t = ScenarioThresholds(
+        max_median_angular_error_deg=1.5,
+        min_improvement_ratio=2.0,
+        max_total_hours=10.0,
+        min_total_hours=1.0,
+    )
+    failures = evaluate_thresholds(metrics, t)
+    assert len(failures) == 3
+    assert any("max_median_angular_error_deg" in f for f in failures)
+    assert any("min_improvement_ratio" in f for f in failures)
+    assert any("max_total_hours" in f for f in failures)
+    assert evaluate_thresholds(metrics, ScenarioThresholds()) == []
+
+
+def test_evaluate_thresholds_missing_metric_fails_loudly():
+    failures = evaluate_thresholds({}, ScenarioThresholds(max_total_hours=1.0))
+    assert failures and "missing" in failures[0]
+
+
+# -- records & schema --------------------------------------------------------
+
+
+def _record(name="x", **over) -> ScenarioRecord:
+    base = dict(
+        name=name,
+        type="refinement",
+        spec={"engine": {"checkpoint": {"path": "x"}, "prune": {"enabled": True}}},
+        metrics={k: 1.0 for k in (
+            "n_views",
+            "median_angular_error_deg",
+            "p90_angular_error_deg",
+            "initial_median_angular_error_deg",
+            "improvement_ratio",
+            "median_center_error_px",
+            "fsc_crossing_angstrom",
+            "initial_fsc_crossing_angstrom",
+        )},
+        thresholds={},
+        failures=[],
+        passed=True,
+        fingerprint="abc",
+        perf={"backend": "serial"},
+        timing={"wall_seconds": 0.1},
+    )
+    base.update(over)
+    return ScenarioRecord(**base)
+
+
+def test_comparable_strips_execution_detail():
+    a = _record()
+    b = _record(
+        spec={"engine": {"checkpoint": {"path": "y", "resume": True},
+                         "prune": {"enabled": True}}},
+        perf={"backend": "process"},
+        timing={"wall_seconds": 9.9},
+    )
+    assert a.comparable() == b.comparable()
+    c = _record(metrics={**a.metrics, "median_angular_error_deg": 2.0})
+    assert a.comparable() != c.comparable()
+
+
+def test_write_bench_round_trip_and_validation(tmp_path):
+    payload = write_bench([_record("a"), _record("b")], tmp_path / "bench.json")
+    assert validate_bench_payload(payload) == []
+    assert payload["counts"] == {"total": 2, "passed": 2, "failed": 0}
+
+    with pytest.raises(ValueError, match="duplicate"):
+        write_bench([_record("a"), _record("a")], tmp_path / "bench.json")
+
+
+def test_validate_bench_payload_rejects_bad_shapes():
+    assert validate_bench_payload([]) != []
+    assert any("schema_version" in p for p in validate_bench_payload(
+        {"schema_version": 99, "counts": {}, "scenarios": [_record().to_dict()]}
+    ))
+    bad = _record().to_dict()
+    bad.pop("metrics")
+    bad["extra"] = 1
+    problems = validate_bench_payload(
+        {"schema_version": SCENARIO_SCHEMA_VERSION, "counts": {}, "scenarios": [bad]}
+    )
+    assert any("missing field 'metrics'" in p for p in problems)
+    assert any("unknown field(s) extra" in p for p in problems)
+
+    liar = _record().to_dict()
+    liar["failures"] = ["tripped"]
+    problems = validate_bench_payload(
+        {"schema_version": SCENARIO_SCHEMA_VERSION, "counts": {}, "scenarios": [liar]}
+    )
+    assert any("contradicts" in p for p in problems)
+
+
+def test_default_matrix_is_well_formed():
+    matrix = default_matrix()
+    assert len(matrix) >= 6
+    names = [s.name for s in matrix]
+    assert len(set(names)) == len(names)
+    # every refinement scenario's engine overrides must merge cleanly
+    runner = ScenarioRunner()
+    for s in matrix:
+        if isinstance(s, Scenario):
+            runner.engine_config(s)
+    # spec dicts are JSON-safe (inf spelled as null)
+    import json
+
+    for s in matrix:
+        json.dumps(s.spec_dict(), allow_nan=False)
+    clean = next(s for s in matrix if s.name == "clean")
+    assert math.isinf(clean.snr) and clean.spec_dict()["snr"] is None

@@ -80,3 +80,13 @@ def test_perturbed_orientations_lower_curve(phantom24):
     c_bad = correlation_curve(views.images, bad)
     mid = slice(2, 8)
     assert c_true.cc[mid].mean() > c_bad.cc[mid].mean()
+
+
+def test_fsc_crossing_matches_curve(phantom24):
+    from repro.imaging.simulate import simulate_views
+    from repro.reconstruct.resolution import correlation_curve, fsc_crossing
+
+    views = simulate_views(phantom24, 8, snr=3.0, seed=4)
+    curve = correlation_curve(views.images, views.true_orientations, apix=views.apix)
+    crossing = fsc_crossing(views.images, views.true_orientations, apix=views.apix)
+    assert crossing == curve.crossing(0.5)

@@ -24,7 +24,12 @@ Runs, in order:
    non-regression vs the brute-force fine tail + step-resolution bound,
    DESIGN.md §11), kept apart from the bit-identity suites because its
    contract is a tolerance, not equality,
-8. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
+8. the scenario matrix (``-m scenarios``, tests/scenarios/) as its own
+   named step — the accuracy-regression harness of DESIGN.md §12, which
+   rewrites ``BENCH_scenarios.json`` and fails if any workload trips its
+   thresholds; the step also asserts the suite's wall-clock budget so the
+   matrix stays cheap enough to gate every change,
+9. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
    injection kills workers and restarts pools, so it runs apart from the
    main suite but under the same runtime contracts.
 
@@ -42,10 +47,17 @@ import argparse
 import os
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parents[1]
 SRC = ROOT / "src"
+
+#: Wall-clock budget for the scenario-matrix step.  The matrix itself
+#: runs in a few seconds; the generous bound only exists to catch a
+#: scenario accidentally scaled to non-gateable size (a paper-scale l
+#: sneaking into a refinement scenario instead of the cost model).
+SCENARIOS_BUDGET_S = 420.0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -76,22 +88,31 @@ def main(argv: list[str] | None = None) -> int:
         env["REPRO_CHECK_CONTRACTS"] = "1"
         env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
         suites = [
-            ("pytest", ["-x", "-q", "-m", "not chaos"]),
+            ("pytest", ["-x", "-q", "-m", "not chaos and not scenarios"]),
             ("pytest[bench-smoke]", ["-x", "-q", "-m", "bench_smoke"]),
             ("pytest[accuracy-gate]", ["-x", "-q", "-m", "accuracy_gate"]),
+            ("pytest[scenarios]", ["-x", "-q", "-m", "scenarios"]),
         ]
         if not args.no_chaos:
             suites.append(("pytest[chaos]", ["-x", "-q", "-m", "chaos"]))
         for name, extra in suites:
             print(f"[    run] {name} (REPRO_CHECK_CONTRACTS=1)")
+            start = time.perf_counter()
             proc = subprocess.run(
                 [sys.executable, "-m", "pytest", *extra], cwd=ROOT, env=env
             )
+            wall = time.perf_counter() - start
             if proc.returncode != 0:
                 print(f"[ failed] {name}")
                 failed = True
+            elif name == "pytest[scenarios]" and wall > SCENARIOS_BUDGET_S:
+                print(
+                    f"[ failed] {name} blew its wall-clock budget: "
+                    f"{wall:.1f}s > {SCENARIOS_BUDGET_S:.0f}s"
+                )
+                failed = True
             else:
-                print(f"[     ok] {name}")
+                print(f"[     ok] {name} ({wall:.1f}s)")
 
     print("gate:", "FAILED" if failed else "ok")
     return 1 if failed else 0
