@@ -7,9 +7,12 @@ beats the fused kernel by at least 1.5× with a nonzero memo hit-rate —
 both while returning bit-identical results — and the pruned search +
 continuous polish evaluates at least 5× fewer full candidates than the
 batched engine while running at least 2× faster, never regressing any
-view's objective.  Worker scaling is recorded but only asserted on hosts
-with at least two CPUs — on a single-CPU host the measurement is skipped
-and recorded as such.
+view's objective.  The asymmetric-unit restriction on an icosahedral
+phantom must cut candidate evaluations at least 10× (it achieves the
+full |G| = 60×) with the restricted argmin equal to the exhaustive
+argmin modulo the group.  Worker scaling is recorded but only asserted
+on hosts with at least two CPUs — on a single-CPU host the measurement
+is skipped and recorded as such.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from run_bench import (
     measure_batched_vs_fused,
     measure_fused_vs_reference,
     measure_pruned_vs_batched,
+    measure_symmetric_vs_full,
     measure_worker_scaling,
 )
 
@@ -31,12 +35,14 @@ def test_fused_kernel_speedup(save_artifact):
     stats = measure_fused_vs_reference(size=64, n_views=2)
     batched = measure_batched_vs_fused(size=64, n_views=2)
     pruned = measure_pruned_vs_batched(size=64, n_views=2)
+    symmetric = measure_symmetric_vs_full(size=64)
     workers = measure_worker_scaling(size=32, n_views=8, worker_counts=(1, 2))
     data = {
         "engine_fingerprint": engine_fingerprint(),
         "fused_vs_reference": stats,
         "batched_vs_fused": batched,
         "pruned_vs_batched": pruned,
+        "symmetric_vs_full": symmetric,
         "worker_scaling": workers,
     }
     BENCH_FILE.write_text(json.dumps(data, indent=2) + "\n")
@@ -54,6 +60,13 @@ def test_fused_kernel_speedup(save_artifact):
         f"prune+polish candidate-eval reduction {pp['eval_reduction']}x < 5x"
     )
     assert pp["speedup"] >= 2.0, f"prune+polish speedup {pp['speedup']}x < 2x"
+    assert symmetric["argmin_equal_mod_group"]
+    assert symmetric["candidate_eval_reduction"] >= 10.0, (
+        f"AU restriction eval reduction {symmetric['candidate_eval_reduction']}x < 10x"
+    )
+    assert symmetric["speedup"] >= 10.0, (
+        f"AU restriction wall-clock speedup {symmetric['speedup']}x < 10x"
+    )
     if (os.cpu_count() or 1) >= 2:
         assert workers["status"] == "ok"
         assert workers["identical_results"]

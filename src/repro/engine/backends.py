@@ -46,10 +46,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports, avoids cycles
     from repro.geometry.euler import Orientation
     from repro.imaging.simulate import SimulatedViews
     from repro.parallel.prefine import ParallelRefinementReport
-    from repro.parallel.viewsched import ViewLevelResult, ViewScheduler
+    from repro.parallel.viewsched import ViewLevelResult, ViewPolishResult, ViewScheduler
     from repro.perf import PerfCounters
     from repro.refine.multires import RefinementLevel
     from repro.refine.prune import PruneParams
+    from repro.refine.restrict import SymmetryRestriction
 
 __all__ = [
     "ExecutionBackend",
@@ -92,7 +93,40 @@ class ExecutionBackend:
         counters: "PerfCounters | None" = None,
         prune: "PruneParams | None" = None,
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
+        symmetry: "SymmetryRestriction | None" = None,
     ) -> list["ViewLevelResult"]:
+        raise NotImplementedError
+
+    def run_polish(
+        self,
+        volume_ft: "Array",
+        view_fts: "Array",
+        orientations: Sequence["Orientation"],
+        distances: "Sequence[float] | Array",
+        modulations: Sequence["Array | None"] | None,
+        *,
+        distance_computer: "DistanceComputer | None" = None,
+        interpolation: str = "trilinear",
+        max_iters: int = 30,
+        tol: float = 1e-8,
+        damping: float = 1e-3,
+        n_best: int = 1,
+        seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
+        memo_store: "MemoStore | None" = None,
+        counters: "PerfCounters | None" = None,
+    ) -> list["ViewPolishResult"]:
+        """The continuous polish stage for every view (bit-identical on all
+        backends; see :func:`~repro.parallel.viewsched.polish_level_serial`)."""
+        raise NotImplementedError
+
+    def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:
+        """Apply a picklable function to independent payloads, in order.
+
+        The generic fan-out for work that carries its own data (no shared
+        D̂ replica) — e.g. the symmetry detector's axis×order scoring
+        sweep.  ``fn`` must be deterministic, so results are independent
+        of the execution strategy.
+        """
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial default
@@ -133,6 +167,7 @@ class SerialBackend(ExecutionBackend):
         counters: "PerfCounters | None" = None,
         prune: "PruneParams | None" = None,
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
+        symmetry: "SymmetryRestriction | None" = None,
     ) -> list["ViewLevelResult"]:
         from repro.parallel.viewsched import refine_level_serial
 
@@ -151,7 +186,48 @@ class SerialBackend(ExecutionBackend):
             counters=counters,
             prune=prune,
             seed_basins=seed_basins,
+            symmetry=symmetry,
         )
+
+    def run_polish(
+        self,
+        volume_ft: "Array",
+        view_fts: "Array",
+        orientations: Sequence["Orientation"],
+        distances: "Sequence[float] | Array",
+        modulations: Sequence["Array | None"] | None,
+        *,
+        distance_computer: "DistanceComputer | None" = None,
+        interpolation: str = "trilinear",
+        max_iters: int = 30,
+        tol: float = 1e-8,
+        damping: float = 1e-3,
+        n_best: int = 1,
+        seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
+        memo_store: "MemoStore | None" = None,
+        counters: "PerfCounters | None" = None,
+    ) -> list["ViewPolishResult"]:
+        from repro.parallel.viewsched import polish_level_serial
+
+        return polish_level_serial(
+            volume_ft,
+            view_fts,
+            orientations,
+            distances,
+            modulations,
+            distance_computer=distance_computer,
+            interpolation=interpolation,
+            max_iters=max_iters,
+            tol=tol,
+            damping=damping,
+            n_best=n_best,
+            seed_basins=seed_basins,
+            memo_store=memo_store,
+            counters=counters,
+        )
+
+    def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:
+        return [fn(p) for p in payloads]
 
 
 class ProcessBackend(ExecutionBackend):
@@ -217,6 +293,7 @@ class ProcessBackend(ExecutionBackend):
         counters: "PerfCounters | None" = None,
         prune: "PruneParams | None" = None,
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
+        symmetry: "SymmetryRestriction | None" = None,
     ) -> list["ViewLevelResult"]:
         return self._scheduler.run_level(
             volume_ft,
@@ -233,7 +310,46 @@ class ProcessBackend(ExecutionBackend):
             counters=counters,
             prune=prune,
             seed_basins=seed_basins,
+            symmetry=symmetry,
         )
+
+    def run_polish(
+        self,
+        volume_ft: "Array",
+        view_fts: "Array",
+        orientations: Sequence["Orientation"],
+        distances: "Sequence[float] | Array",
+        modulations: Sequence["Array | None"] | None,
+        *,
+        distance_computer: "DistanceComputer | None" = None,
+        interpolation: str = "trilinear",
+        max_iters: int = 30,
+        tol: float = 1e-8,
+        damping: float = 1e-3,
+        n_best: int = 1,
+        seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
+        memo_store: "MemoStore | None" = None,
+        counters: "PerfCounters | None" = None,
+    ) -> list["ViewPolishResult"]:
+        return self._scheduler.run_polish(
+            volume_ft,
+            view_fts,
+            orientations,
+            distances,
+            modulations,
+            distance_computer=distance_computer,
+            interpolation=interpolation,
+            max_iters=max_iters,
+            tol=tol,
+            damping=damping,
+            n_best=n_best,
+            seed_basins=seed_basins,
+            memo_store=memo_store,
+            counters=counters,
+        )
+
+    def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:
+        return self._scheduler.run_tasks(fn, payloads)
 
     def close(self) -> None:
         if self._owned:
@@ -268,6 +384,19 @@ class SimBackend(ExecutionBackend):
             "the sim backend refines whole schedules on the simulated cluster; "
             "it cannot run a single level — use RefinementEngine.run() "
             "(or parallel_refine) with parallel.backend = 'sim'"
+        )
+
+    def run_polish(self, *args: Any, **kwargs: Any) -> list["ViewPolishResult"]:
+        raise ConfigError(
+            "the sim backend refines whole schedules on the simulated cluster; "
+            "it cannot run the polish stage — use parallel.backend = 'serial' "
+            "or 'process'"
+        )
+
+    def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:
+        raise ConfigError(
+            "the sim backend models message costs, not real task execution; "
+            "use parallel.backend = 'serial' or 'process' for task fan-out"
         )
 
     def run_refinement(

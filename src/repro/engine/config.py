@@ -26,6 +26,7 @@ Sections
 ``memo``        the per-view orientation memo cache
 ``prune``       best-first early-termination pruning of candidate windows
 ``polish``      continuous least-squares polish replacing the finest levels
+``symmetry``    point-group handling: none / fixed:<group> / detect
 
 All ``repro`` imports in this module are lazy (inside methods): the
 kernel packages import :mod:`repro.engine.env` at import time, so the
@@ -55,6 +56,7 @@ __all__ = [
     "PolishConfig",
     "PruneConfig",
     "ScheduleConfig",
+    "SymmetryConfig",
     "load_config",
 ]
 
@@ -562,6 +564,98 @@ class PolishConfig:
         )
 
 
+#: Point-group names accepted by ``symmetry.mode = "fixed:<group>"``:
+#: C_n (n >= 1), D_n (n >= 2), and the polyhedral groups T, O, I.
+_GROUP_NAME_RE = r"^(C[1-9][0-9]*|D[2-9][0-9]*|D[1-9][0-9]+|T|O|I)$"
+
+
+@dataclass(frozen=True)
+class SymmetryConfig:
+    """Point-group symmetry handling for the orientation search.
+
+    ``mode`` selects how the refinement acquires a symmetry group:
+
+    - ``"none"`` — no symmetry assumption, search the full sphere (the
+      paper's baseline, and the default);
+    - ``"fixed:<group>"`` — trust a known point group (e.g. ``fixed:I``,
+      ``fixed:C5``) and restrict the candidate search to one asymmetric
+      unit, a |G|-fold candidate reduction;
+    - ``"detect"`` — run :func:`repro.refine.symmetry_detect.detect_symmetry`
+      on the current map before refining, then restrict with whatever group
+      it finds (C1 means no restriction).
+
+    The ``detect_*`` knobs mirror the detector's signature; they only
+    matter in ``detect`` mode but are always part of the fingerprint so a
+    resumed run cannot silently detect under different thresholds.
+    """
+
+    mode: str = "none"
+    detect_max_order: int = 6
+    detect_n_axes: int = 48
+    detect_accept_factor: float = 0.2
+    detect_seed: int = 0
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.mode, str), f"symmetry.mode must be a string, got {self.mode!r}")
+        if self.mode not in ("none", "detect"):
+            import re
+
+            prefix, _, group = self.mode.partition(":")
+            _require(prefix == "fixed" and re.match(_GROUP_NAME_RE, group) is not None,
+                     "symmetry.mode must be 'none', 'detect' or 'fixed:<group>' "
+                     f"with <group> one of C_n/D_n/T/O/I, got {self.mode!r}")
+        _require(isinstance(self.detect_max_order, int) and self.detect_max_order >= 2,
+                 f"symmetry.detect_max_order must be >= 2, got {self.detect_max_order!r}")
+        _require(isinstance(self.detect_n_axes, int) and self.detect_n_axes >= 4,
+                 f"symmetry.detect_n_axes must be >= 4, got {self.detect_n_axes!r}")
+        _require(isinstance(self.detect_accept_factor, (int, float))
+                 and not isinstance(self.detect_accept_factor, bool)
+                 and self.detect_accept_factor > 0,
+                 f"symmetry.detect_accept_factor must be positive, "
+                 f"got {self.detect_accept_factor!r}")
+        _require(isinstance(self.detect_seed, int) and not isinstance(self.detect_seed, bool),
+                 f"symmetry.detect_seed must be an integer, got {self.detect_seed!r}")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any symmetry handling (fixed or detected) is requested."""
+        return self.mode != "none"
+
+    def fixed_group_name(self) -> str | None:
+        """The group name of a ``fixed:<group>`` mode, else ``None``."""
+        if self.mode.startswith("fixed:"):
+            return self.mode.split(":", 1)[1]
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "detect_max_order": self.detect_max_order,
+            "detect_n_axes": self.detect_n_axes,
+            "detect_accept_factor": self.detect_accept_factor,
+            "detect_seed": self.detect_seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SymmetryConfig":
+        _reject_unknown("symmetry", data,
+                        ("mode", "detect_max_order", "detect_n_axes",
+                         "detect_accept_factor", "detect_seed"))
+        return cls(
+            mode=_coerce_str("symmetry.mode", data.get("mode", cls.mode)),
+            detect_max_order=_coerce_int(
+                "symmetry.detect_max_order",
+                data.get("detect_max_order", cls.detect_max_order)),
+            detect_n_axes=_coerce_int("symmetry.detect_n_axes",
+                                      data.get("detect_n_axes", cls.detect_n_axes)),
+            detect_accept_factor=_coerce_float(
+                "symmetry.detect_accept_factor",
+                data.get("detect_accept_factor", cls.detect_accept_factor)),
+            detect_seed=_coerce_int("symmetry.detect_seed",
+                                    data.get("detect_seed", cls.detect_seed)),
+        )
+
+
 _SECTIONS: dict[str, type] = {
     "kernel": KernelConfig,
     "schedule": ScheduleConfig,
@@ -571,6 +665,7 @@ _SECTIONS: dict[str, type] = {
     "memo": MemoConfig,
     "prune": PruneConfig,
     "polish": PolishConfig,
+    "symmetry": SymmetryConfig,
 }
 
 _SCALARS = ("r_max", "max_slides", "refine_centers", "pad_factor", "weighting",
@@ -594,6 +689,7 @@ class EngineConfig:
     memo: MemoConfig = field(default_factory=MemoConfig)
     prune: PruneConfig = field(default_factory=PruneConfig)
     polish: PolishConfig = field(default_factory=PolishConfig)
+    symmetry: SymmetryConfig = field(default_factory=SymmetryConfig)
     r_max: float | None = None
     max_slides: int = 8
     refine_centers: bool = True
@@ -643,6 +739,14 @@ class EngineConfig:
                          "polish.n_best > 1 carries basin state across the "
                          "grid→polish boundary and cannot be combined with "
                          "checkpointing")
+        # Symmetry restriction canonicalizes candidates inside the batched
+        # window engine's memo path; the fused/reference kernels and the
+        # simulated-cluster backend never see the group.
+        if self.symmetry.enabled:
+            _require(self.kernel.kernel == "batched",
+                     "symmetry.mode != 'none' requires kernel.kernel == 'batched'")
+            _require(self.parallel.backend != "sim",
+                     "symmetry.mode != 'none' is not supported on the sim backend")
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
@@ -705,6 +809,7 @@ class EngineConfig:
             "memo": self.memo.to_dict(),
             "prune": self.prune.to_dict(),
             "polish": self.polish.to_dict(),
+            "symmetry": self.symmetry.to_dict(),
             "matching": {name: getattr(self, name) for name in _SCALARS},
         }
         desc = json.dumps(payload, sort_keys=True)

@@ -55,6 +55,12 @@ class EngineRunResult:
     perf: "PerfCounters | None" = None
     result: "RefinementResult | None" = None
     report: "ParallelRefinementReport | None" = None
+    #: point group the search was restricted by (configured or detected);
+    #: ``None`` when symmetry handling was off, ``"C1"`` when detection
+    #: found nothing.  ``symmetry_order`` is |G| of the applied
+    #: restriction (1 when none was applied).
+    symmetry_group: "str | None" = None
+    symmetry_order: int = 1
 
 
 class RefinementEngine:
@@ -155,6 +161,8 @@ class RefinementEngine:
             fingerprint=cfg.fingerprint(),
             perf=result.perf,
             result=result,
+            symmetry_group=result.symmetry_group,
+            symmetry_order=result.symmetry_order,
         )
 
     # -- sim -----------------------------------------------------------------

@@ -32,6 +32,7 @@ __all__ = [
     "octahedral_group",
     "icosahedral_group",
     "identify_point_group",
+    "group_from_name",
     "reduce_to_asymmetric_unit",
     "close_group",
 ]
@@ -208,6 +209,32 @@ def identify_point_group(matrices: Array, tol_deg: float = 1.0) -> str:
         if order == 2 * n:
             return f"D{n}"
     return f"C{max_fold}"
+
+
+def group_from_name(name: str) -> SymmetryGroup:
+    """Build a symmetry group from its Schoenflies symbol.
+
+    Accepts ``C<n>`` (n >= 1), ``D<n>`` (n >= 2), ``T``, ``O`` and ``I`` —
+    the spellings allowed by ``EngineConfig``'s ``symmetry.mode =
+    "fixed:<group>"`` and the scenario matrix.  Raises :class:`ValueError`
+    on anything else.
+    """
+    symbol = name.strip()
+    if symbol == "T":
+        return tetrahedral_group()
+    if symbol == "O":
+        return octahedral_group()
+    if symbol == "I":
+        return icosahedral_group()
+    if len(symbol) >= 2 and symbol[0] in ("C", "D") and symbol[1:].isdigit():
+        n = int(symbol[1:])
+        if symbol[0] == "C" and n >= 1:
+            return cyclic_group(n)
+        if symbol[0] == "D" and n >= 2:
+            return dihedral_group(n)
+    raise ValueError(
+        f"unknown point-group name {name!r}; expected C<n>, D<n>, T, O or I"
+    )
 
 
 def reduce_to_asymmetric_unit(orientation: Orientation, group: SymmetryGroup) -> Orientation:

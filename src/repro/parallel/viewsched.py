@@ -44,7 +44,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import Any, Sequence
+from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
 
@@ -60,11 +60,16 @@ from repro.refine.multires import RefinementLevel
 from repro.refine.prune import PruneParams
 from repro.refine.single import refine_view_at_level
 
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a refine cycle)
+    from repro.refine.restrict import SymmetryRestriction
+
 __all__ = [
     "ViewLevelResult",
+    "ViewPolishResult",
     "SharedVolume",
     "ViewScheduler",
     "refine_level_serial",
+    "polish_level_serial",
     "chunk_indices",
 ]
 
@@ -126,6 +131,7 @@ def refine_level_serial(
     counters: PerfCounters | None = None,
     prune: PruneParams | None = None,
     seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
+    symmetry: "SymmetryRestriction | None" = None,
 ) -> list[ViewLevelResult]:
     """Steps f–l for a set of views at one level, serially in this process.
 
@@ -141,7 +147,9 @@ def refine_level_serial(
     ``prune`` enables the early-termination bound inside each batched
     window scan; ``seed_basins`` carries each view's previous-level basin
     centers (aligned with ``orientations``, entries may be ``None``) for
-    the multi-basin fan-out.
+    the multi-basin fan-out.  ``symmetry`` restricts the search to one
+    asymmetric unit (batched kernel only, DESIGN.md §13); it is plain
+    picklable data, so it rides worker payloads like ``prune``.
     """
     out: list[ViewLevelResult] = []
     for q in range(len(orientations)):
@@ -168,6 +176,7 @@ def refine_level_serial(
             counters=counters,
             prune=prune,
             seed_basins=None if seed_basins is None else seed_basins[q],
+            symmetry=symmetry,
         )
         out.append(
             ViewLevelResult(
@@ -336,6 +345,7 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> ChunkReturn:
         counters=counters,
         prune=payload.get("prune"),
         seed_basins=payload.get("seed_basins"),
+        symmetry=payload.get("symmetry"),
     )
     out = [replace(r, index=int(indices[r.index])) for r in results]
     if fault_plan is not None:
@@ -344,6 +354,154 @@ def _worker_refine_chunk(payload: dict[str, Any]) -> ChunkReturn:
         if fault_plan.should("crash-after", site, attempt):
             os._exit(INJECTED_CRASH_EXIT)
     return out, None if memo_store is None else memo_store.export_state(), counters
+
+
+# -- polish fan-out ----------------------------------------------------------
+@dataclass(frozen=True)
+class ViewPolishResult:
+    """Outcome of the continuous polish for one view (global index tagged).
+
+    ``orientation`` / ``distance`` are the best over the view's polish
+    starts — never worse than the incoming grid result, because the LM
+    loop only accepts strictly-improving steps and the grid value is the
+    fallback.  ``n_iterations`` sums over starts.
+    """
+
+    index: int
+    orientation: Orientation
+    distance: float
+    n_iterations: int = 0
+    converged: bool = True
+
+
+def polish_level_serial(
+    volume_ft: Array,
+    view_fts: Array,
+    orientations: Sequence[Orientation],
+    distances: Sequence[float] | Array,
+    modulations: Sequence[Array | None] | None,
+    *,
+    distance_computer: DistanceComputer | None = None,
+    interpolation: str = "trilinear",
+    max_iters: int = 30,
+    tol: float = 1e-8,
+    damping: float = 1e-3,
+    n_best: int = 1,
+    seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
+    memo_store: MemoStore | None = None,
+    view_indices: Sequence[int] | None = None,
+    counters: PerfCounters | None = None,
+) -> list[ViewPolishResult]:
+    """The Gauss–Newton polish stage for a set of views, serially.
+
+    The per-view logic is exactly the refiner's former inline loop: each
+    view starts from its current grid winner (or its ``seed_basins`` top
+    ``n_best`` starts when multi-basin pruning tracked them), polishes
+    every start, and keeps the best strictly-improving result — the grid
+    value wins ties.  Views are independent, so this is the shared kernel
+    for the serial path, the process-pool workers, and the serial
+    fallback, making every fan-out strategy bit-identical.
+    """
+    from repro.align.fused import get_match_plan
+    from repro.refine.polish import polish_view
+
+    dc = distance_computer or DistanceComputer(np.asarray(view_fts).shape[1])
+    plan = get_match_plan(dc, volume_ft.shape[0], interpolation)
+    out: list[ViewPolishResult] = []
+    for q in range(len(orientations)):
+        memo = None
+        if memo_store is not None:
+            global_q = q if view_indices is None else int(view_indices[q])
+            memo = memo_store.for_view(global_q)
+        view_band = plan.gather_view(view_fts[q])
+        starts: tuple[Orientation, ...] = (orientations[q],)
+        if seed_basins is not None and seed_basins[q]:
+            starts = tuple(seed_basins[q][:n_best]) or starts
+        best_o, best_d = orientations[q], float(distances[q])
+        n_iters = 0
+        converged = True
+        for start in starts:
+            polished = polish_view(
+                view_band,
+                volume_ft,
+                plan,
+                start,
+                cut_modulation=None if modulations is None else modulations[q],
+                max_iters=max_iters,
+                tol=tol,
+                damping=damping,
+                memo=memo,
+                counters=counters,
+            )
+            n_iters += polished.n_iterations
+            converged = converged and polished.converged
+            if polished.distance < best_d:
+                best_o, best_d = polished.orientation, polished.distance
+        out.append(
+            ViewPolishResult(
+                index=q,
+                orientation=best_o,
+                distance=best_d,
+                n_iterations=n_iters,
+                converged=converged,
+            )
+        )
+    return out
+
+
+#: What a polish worker ships back per chunk, mirroring :data:`ChunkReturn`.
+PolishChunkReturn = tuple[
+    list[ViewPolishResult], dict[int, tuple[Array, Array]] | None, PerfCounters | None
+]
+
+
+def _worker_polish_chunk(payload: dict[str, Any]) -> PolishChunkReturn:
+    """Polish one chunk of views in a worker process (module-level: picklable).
+
+    Shares the refine-chunk worker's caches: the attached D̂ replica and
+    the per-process distance-computer/plan state, so a pool that just ran
+    the grid levels polishes with zero re-setup.
+    """
+    volume = _attach_volume(payload["volume"])
+    spec_id = payload["spec_id"]
+    if spec_id not in _WORKER_SPECS:
+        # repro-lint: allow[RL013] per-process spec memo keyed by the
+        # scheduler's spec id; workers never share it and the parent keeps
+        # the authoritative copy in the payload.
+        _WORKER_SPECS[spec_id] = payload["distance_computer"]
+    dc = _WORKER_SPECS[spec_id]
+    indices = payload["indices"]
+    memo_states = payload.get("memo_states")
+    memo_store: MemoStore | None = None
+    if memo_states is not None:
+        memo_store = MemoStore()
+        memo_store.import_state(memo_states)
+    counters = PerfCounters() if payload.get("collect_perf") else None
+    results = polish_level_serial(
+        volume,
+        payload["view_fts"],
+        payload["orientations"],
+        payload["distances"],
+        payload["modulations"],
+        distance_computer=dc,
+        interpolation=payload["interpolation"],
+        max_iters=payload["max_iters"],
+        tol=payload["tol"],
+        damping=payload["damping"],
+        n_best=payload["n_best"],
+        seed_basins=payload.get("seed_basins"),
+        memo_store=memo_store,
+        view_indices=indices,
+        counters=counters,
+    )
+    out = [replace(r, index=int(indices[r.index])) for r in results]
+    return out, None if memo_store is None else memo_store.export_state(), counters
+
+
+def _run_task(payload: tuple[Any, Any]) -> Any:
+    """Apply a pickled callable to one payload (module-level: picklable)."""
+    fn, arg = payload
+    return fn(arg)
 
 
 # -- scheduler --------------------------------------------------------------
@@ -492,6 +650,7 @@ class ViewScheduler:
         counters: PerfCounters | None = None,
         prune: PruneParams | None = None,
         seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
+        symmetry: "SymmetryRestriction | None" = None,
     ) -> list[ViewLevelResult]:
         """Steps f–l for every view at one level; results ordered by view index.
 
@@ -530,6 +689,7 @@ class ViewScheduler:
             refine_centers=refine_centers,
             inner_iterations=inner_iterations,
             prune=prune,
+            symmetry=symmetry,
         )
         if self.n_workers == 1 or m < 2:
             return refine_level_serial(
@@ -601,6 +761,7 @@ class ViewScheduler:
                 "refine_centers": serial_kwargs["refine_centers"],
                 "inner_iterations": serial_kwargs["inner_iterations"],
                 "prune": serial_kwargs["prune"],
+                "symmetry": serial_kwargs["symmetry"],
                 "seed_basins": None
                 if seed_basins is None
                 else [seed_basins[i] for i in chunk],
@@ -724,3 +885,204 @@ class ViewScheduler:
         results = [r for cid in sorted(done) for r in done[cid]]
         results.sort(key=lambda r: r.index)
         return results
+
+    # -- the polish fan-out --------------------------------------------------
+    def run_polish(
+        self,
+        volume_ft: Array,
+        view_fts: Array,
+        orientations: Sequence[Orientation],
+        distances: Sequence[float] | Array,
+        modulations: Sequence[Array | None] | None,
+        *,
+        distance_computer: DistanceComputer | None = None,
+        interpolation: str = "trilinear",
+        max_iters: int = 30,
+        tol: float = 1e-8,
+        damping: float = 1e-3,
+        n_best: int = 1,
+        seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
+        memo_store: MemoStore | None = None,
+        counters: PerfCounters | None = None,
+    ) -> list[ViewPolishResult]:
+        """The continuous polish stage for every view; ordered by view index.
+
+        Views polish independently (a handful of LM iterations each), so
+        the stage fans out exactly like :meth:`run_level`: shared D̂
+        replica, contiguous chunks, per-chunk memo subset shipped out and
+        absorbed back.  Results are bit-identical to
+        :func:`polish_level_serial` regardless of worker count — the LM
+        descent is deterministic per view, and memo hits return exact
+        previous values.  A chunk that fails for any reason (dead worker,
+        timeout, pickling bug) reruns once on the in-process serial path;
+        polish chunks are not retried on the pool because the serial
+        fallback is already exact.
+        """
+        m = len(orientations)
+        kwargs: dict[str, Any] = dict(
+            distance_computer=distance_computer,
+            interpolation=interpolation,
+            max_iters=max_iters,
+            tol=tol,
+            damping=damping,
+            n_best=n_best,
+        )
+        if self.n_workers == 1 or m < 2:
+            return polish_level_serial(
+                volume_ft,
+                view_fts,
+                orientations,
+                distances,
+                modulations,
+                seed_basins=seed_basins,
+                memo_store=memo_store,
+                counters=counters,
+                **kwargs,
+            )
+        try:
+            return self._run_polish_pooled(
+                volume_ft,
+                view_fts,
+                orientations,
+                distances,
+                modulations,
+                kwargs,
+                seed_basins=seed_basins,
+                memo_store=memo_store,
+                counters=counters,
+            )
+        except BaseException:
+            self._restart_pool()
+            self._release_shared()
+            raise
+
+    def _run_polish_pooled(
+        self,
+        volume_ft: Array,
+        view_fts: Array,
+        orientations: Sequence[Orientation],
+        distances: Sequence[float] | Array,
+        modulations: Sequence[Array | None] | None,
+        kwargs: dict[str, Any],
+        seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
+        memo_store: MemoStore | None = None,
+        counters: PerfCounters | None = None,
+    ) -> list[ViewPolishResult]:
+        shared = self._share(volume_ft)
+        spec_id = self._spec_id(kwargs["distance_computer"])
+        chunks = chunk_indices(len(orientations), self.n_workers * self.chunks_per_worker)
+        view_arr = np.asarray(view_fts)
+        dist_arr = np.asarray(distances, dtype=float)
+        executor = self._ensure_executor()
+        submitted: list[tuple[int, Future[PolishChunkReturn]]] = []
+        for cid, chunk in enumerate(chunks):
+            payload = {
+                "volume": shared.descriptor(),
+                "spec_id": spec_id,
+                "distance_computer": kwargs["distance_computer"],
+                "view_fts": view_arr[chunk],
+                "orientations": [orientations[i] for i in chunk],
+                "distances": dist_arr[chunk],
+                "modulations": None
+                if modulations is None
+                else [modulations[i] for i in chunk],
+                "interpolation": kwargs["interpolation"],
+                "max_iters": kwargs["max_iters"],
+                "tol": kwargs["tol"],
+                "damping": kwargs["damping"],
+                "n_best": kwargs["n_best"],
+                "seed_basins": None
+                if seed_basins is None
+                else [seed_basins[i] for i in chunk],
+                "indices": chunk,
+                "memo_states": None
+                if memo_store is None
+                else memo_store.subset_state([int(i) for i in chunk]),
+                "collect_perf": counters is not None,
+            }
+            submitted.append((cid, executor.submit(_worker_polish_chunk, payload)))
+        done: dict[int, list[ViewPolishResult]] = {}
+        failed: list[int] = []
+        pool_poisoned = False
+        for cid, future in submitted:
+            try:
+                results, memo_state, perf = future.result(
+                    timeout=self.retry_policy.chunk_timeout_s
+                )
+                done[cid] = results
+                if memo_store is not None and memo_state is not None:
+                    memo_store.import_state(memo_state)
+                if counters is not None and perf is not None:
+                    counters.merge(perf)
+            except (FuturesTimeoutError, BrokenProcessPool) as exc:
+                self.fault_log.record(
+                    "crash-before", f"polish/{cid}", 0, "serial-fallback", repr(exc)
+                )
+                failed.append(cid)
+                pool_poisoned = True
+            except Exception as exc:
+                self.fault_log.record(
+                    "poison", f"polish/{cid}", 0, "serial-fallback", repr(exc)
+                )
+                failed.append(cid)
+        if pool_poisoned:
+            self._restart_pool()
+        for cid in failed:
+            chunk = chunks[cid]
+            sub = polish_level_serial(
+                volume_ft,
+                view_arr[chunk],
+                [orientations[i] for i in chunk],
+                dist_arr[chunk],
+                None if modulations is None else [modulations[i] for i in chunk],
+                seed_basins=None
+                if seed_basins is None
+                else [seed_basins[i] for i in chunk],
+                memo_store=memo_store,
+                view_indices=[int(i) for i in chunk],
+                counters=counters,
+                **kwargs,
+            )
+            done[cid] = [replace(r, index=int(chunk[r.index])) for r in sub]
+        results = [r for cid in sorted(done) for r in done[cid]]
+        results.sort(key=lambda r: r.index)
+        return results
+
+    # -- generic task fan-out ------------------------------------------------
+    def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:
+        """Apply a picklable function to independent payloads, in order.
+
+        The scheduler's spelling of "embarrassingly parallel, no shared
+        volume": used by the symmetry detector's axis×order scoring sweep.
+        ``fn`` must be module-level picklable and deterministic; results
+        come back in payload order.  Any worker failure reruns the failed
+        payloads serially in-process, so the call as a whole cannot fail
+        because of a pool fault.
+        """
+        items = list(payloads)
+        if self.n_workers == 1 or len(items) < 2:
+            return [fn(p) for p in items]
+        executor = self._ensure_executor()
+        futures = [executor.submit(_run_task, (fn, p)) for p in items]
+        out: list[Any] = [None] * len(items)
+        failed: list[int] = []
+        pool_poisoned = False
+        for i, future in enumerate(futures):
+            try:
+                out[i] = future.result(timeout=self.retry_policy.chunk_timeout_s)
+            except (FuturesTimeoutError, BrokenProcessPool) as exc:
+                self.fault_log.record(
+                    "crash-before", f"task/{i}", 0, "serial-fallback", repr(exc)
+                )
+                failed.append(i)
+                pool_poisoned = True
+            except Exception as exc:
+                self.fault_log.record(
+                    "poison", f"task/{i}", 0, "serial-fallback", repr(exc)
+                )
+                failed.append(i)
+        if pool_poisoned:
+            self._restart_pool()
+        for i in failed:
+            out[i] = fn(items[i])
+        return out

@@ -45,6 +45,7 @@ _REFINE_DEFAULTS: dict[str, object] = {
     "resume": False,
     "prune": False,
     "polish": False,
+    "symmetry": "none",
 }
 
 
@@ -115,6 +116,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--polish", action="store_true", default=absent,
         help="replace the finest grid levels with a continuous "
         "least-squares polish over (angles, center)",
+    )
+    ref.add_argument(
+        "--symmetry", default=absent,
+        help="restrict the search to one asymmetric unit: 'none' (default), "
+        "'detect' (find the map's point group first), or 'fixed:<group>' "
+        "with a Schoenflies symbol (C<n>, D<n>, T, O, I)",
     )
     ref.add_argument(
         "--config", dest="config_path", default=None,
@@ -279,6 +286,8 @@ def _refine_flag_overrides(
         flags["prune.enabled"] = args.prune
     if changed("polish"):
         flags["polish.enabled"] = args.polish
+    if changed("symmetry"):
+        flags["symmetry.mode"] = args.symmetry
     return flags
 
 

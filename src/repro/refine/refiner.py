@@ -42,7 +42,6 @@ from repro.refine.multires import (
     default_schedule,
     split_below,
 )
-from repro.refine.polish import polish_view
 from repro.refine.prune import PruneParams
 from repro.refine.stats import RefinementStats
 from repro.utils import StepTimer, Timer
@@ -54,6 +53,8 @@ STEP_3D_DFT = "3D DFT"
 STEP_READ_IMAGE = "Read image"
 STEP_FFT_ANALYSIS = "FFT analysis"
 STEP_REFINEMENT = "Orientation refinement"
+# Not a Table 1/2 row: symmetry handling postdates the paper's timings.
+STEP_SYMMETRY = "Symmetry detection"
 
 
 @dataclass
@@ -76,6 +77,13 @@ class RefinementResult:
     perf:
         Batched-engine perf counters (per-level wall time, gathers vs.
         memo hits, candidates/second); ``None`` for the other kernels.
+    symmetry_group:
+        Schoenflies symbol of the point group the search was restricted
+        by — configured (``fixed:<group>``) or detected.  ``None`` when
+        symmetry handling was off; ``"C1"`` when detection ran and found
+        nothing (no restriction was applied).
+    symmetry_order:
+        Order |G| of the applied restriction (1 when none was applied).
     """
 
     orientations: list[Orientation]
@@ -84,6 +92,8 @@ class RefinementResult:
     timer: StepTimer
     per_level_orientations: list[list[Orientation]] = field(default_factory=list)
     perf: PerfCounters | None = None
+    symmetry_group: str | None = None
+    symmetry_order: int = 1
 
 
 class OrientationRefiner:
@@ -437,6 +447,19 @@ class OrientationRefiner:
                 backend = ProcessBackend(scheduler=scheduler)
             else:
                 backend = make_backend(self._run_config(n_workers))
+        # Symmetry restriction (DESIGN.md §13): resolved once per iteration
+        # against the *current* map — a fixed group by name, or a detection
+        # run fanned out through the backend.  The restriction then rides
+        # every level (and memo key) below.
+        restriction = None
+        symmetry_group: str | None = None
+        if self.config.symmetry.enabled:
+            from repro.refine.restrict import resolve_restriction
+
+            with timer.step(STEP_SYMMETRY):
+                restriction, symmetry_group = resolve_restriction(
+                    self.config.symmetry, self.density, backend=backend
+                )
         basin_state: list[tuple[Orientation, ...] | None] | None = None
         try:
             for li, level in enumerate(sched):
@@ -463,6 +486,7 @@ class OrientationRefiner:
                         counters=counters,
                         prune=prune_params,
                         seed_basins=basin_state,
+                        symmetry=restriction,
                     )
                     if track_basins:
                         basin_state = [None] * len(orientations)
@@ -503,39 +527,30 @@ class OrientationRefiner:
                     )
             if polish_cfg.enabled:
                 # The continuous polish replacing the finest grid levels:
-                # serial per view (a handful of LM iterations each, nothing
-                # to fan out), monotone per start, best start wins.
-                from repro.align.fused import get_match_plan
-
+                # fanned out through the backend like every grid level
+                # (views are independent; a handful of deterministic LM
+                # iterations each), monotone per start, best start wins.
                 level_timer = Timer().start()
                 with timer.step(STEP_REFINEMENT):
-                    plan = get_match_plan(
-                        self.distance_computer, volume_ft.shape[0], self.interpolation
+                    polish_results = backend.run_polish(
+                        volume_ft,
+                        fts,
+                        orientations,
+                        distances,
+                        modulations,
+                        distance_computer=self.distance_computer,
+                        interpolation=self.interpolation,
+                        max_iters=polish_cfg.max_iters,
+                        tol=polish_cfg.tol,
+                        damping=polish_cfg.damping,
+                        n_best=polish_cfg.n_best,
+                        seed_basins=basin_state,
+                        memo_store=memo_store,
+                        counters=counters,
                     )
-                    for q in range(len(orientations)):
-                        view_band = plan.gather_view(fts[q])
-                        starts: tuple[Orientation, ...] = (orientations[q],)
-                        if basin_state is not None and basin_state[q]:
-                            starts = basin_state[q][: polish_cfg.n_best]
-                        memo = None if memo_store is None else memo_store.for_view(q)
-                        best_o, best_d = orientations[q], float(distances[q])
-                        for start in starts:
-                            polished = polish_view(
-                                view_band,
-                                volume_ft,
-                                plan,
-                                start,
-                                cut_modulation=modulations[q],
-                                max_iters=polish_cfg.max_iters,
-                                tol=polish_cfg.tol,
-                                damping=polish_cfg.damping,
-                                memo=memo,
-                                counters=counters,
-                            )
-                            if polished.distance < best_d:
-                                best_o, best_d = polished.orientation, polished.distance
-                        orientations[q] = best_o
-                        distances[q] = best_d
+                    for pres in polish_results:
+                        orientations[pres.index] = pres.orientation
+                        distances[pres.index] = pres.distance
                 if counters is not None:
                     counters.record_level("polish", level_timer.stop(), 0)
                 if keep_level_snapshots:
@@ -563,4 +578,6 @@ class OrientationRefiner:
             timer=timer,
             per_level_orientations=snapshots,
             perf=counters,
+            symmetry_group=symmetry_group,
+            symmetry_order=1 if restriction is None else restriction.order,
         )

@@ -16,6 +16,7 @@ implementation — the two produce numerically identical results.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from repro.perf import PerfCounters
 from repro.refine.center_refine import refine_center
 from repro.refine.prune import PruneParams
 from repro.refine.window import sliding_window_search
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids a refine cycle)
+    from repro.refine.restrict import SymmetryRestriction
 
 __all__ = ["ViewRefinementResult", "refine_view_at_level"]
 
@@ -75,6 +79,7 @@ def refine_view_at_level(
     counters: PerfCounters | None = None,
     prune: PruneParams | None = None,
     seed_basins: tuple[Orientation, ...] | None = None,
+    symmetry: "SymmetryRestriction | None" = None,
 ) -> ViewRefinementResult:
     """Steps f–l for one view at one (r_angular, δ_center) level.
 
@@ -103,6 +108,12 @@ def refine_view_at_level(
     ``prune.top_k``); the best seed's result wins, operation counts are
     summed over all seeds, and the winner's own basins are reported for
     the next level.
+
+    ``symmetry`` (a :class:`~repro.refine.restrict.SymmetryRestriction`,
+    batched kernel only) canonicalizes the incoming seed(s) into the
+    asymmetric unit before searching — the local window walk then stays
+    near the AU by construction — and threads the group into the window
+    search so memo keys canonicalize modulo G (DESIGN.md §13).
     """
     if inner_iterations < 1:
         raise ValueError("inner_iterations must be >= 1")
@@ -189,6 +200,7 @@ def refine_view_at_level(
                     memo_center=(current.cx, current.cy),
                     counters=counters,
                     prune=prune,
+                    symmetry=symmetry if kernel == "batched" else None,
                 )
             else:
                 corrected = view_ft
@@ -235,6 +247,8 @@ def refine_view_at_level(
     if seed_basins:
         limit = prune.top_k if prune is not None else len(seed_basins)
         seeds = tuple(seed_basins[:limit]) or seeds
+    if symmetry is not None and kernel == "batched":
+        seeds = tuple(symmetry.canonicalize(seed) for seed in seeds)
     results = [_refine_from(seed) for seed in seeds]
     best = min(results, key=lambda r: r.distance)
     if len(results) == 1:

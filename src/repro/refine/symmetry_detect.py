@@ -29,7 +29,7 @@ cost is ``1 − correlation``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -44,6 +44,9 @@ from repro.geometry.rotations import axis_angle_to_matrix
 from repro.geometry.sphere import fibonacci_sphere
 from repro.geometry.symmetry import SymmetryGroup, close_group, identify_point_group
 from repro.utils import default_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an engine cycle)
+    from repro.engine.backends import ExecutionBackend
 
 __all__ = [
     "SymmetryDetectionResult",
@@ -179,6 +182,26 @@ def _axis_score(scorer: RotationScorer, axis: Array, order: int) -> float:
     return scorer(axis_angle_to_matrix(axis, 360.0 / order))
 
 
+#: Axes per fan-out task in the coarse sweep.  Small enough that every
+#: worker gets several tasks even at the default ``n_axes``, large enough
+#: that the per-task pickling of the flattened map amortizes.
+_SWEEP_CHUNK = 16
+
+
+def _sweep_task(payload: tuple[Array, Array, int]) -> list[float]:
+    """Score one (axes-chunk, order) cell of the coarse sweep.
+
+    Module-level and pure — a function of the radially-flattened map and
+    the candidate rotations only — so it pickles into
+    :meth:`~repro.engine.backends.ExecutionBackend.run_tasks` workers and
+    returns the exact numbers the serial loop computes.
+    """
+    flat, axes, order = payload
+    return [
+        score_rotation_real(flat, axis_angle_to_matrix(a, 360.0 / order)) for a in axes
+    ]
+
+
 def _polish_axis(
     scorer: RotationScorer, axis: Array, order: int
 ) -> tuple[Array, float]:
@@ -210,6 +233,7 @@ def detect_symmetry(
     seed: int | np.random.Generator | None = 0,
     max_group_order: int = 120,
     method: str = "real",
+    backend: "ExecutionBackend | None" = None,
 ) -> SymmetryDetectionResult:
     """Detect the point group of a density map.
 
@@ -228,6 +252,14 @@ def detect_symmetry(
     method:
         Scoring backend, ``"real"`` (robust default) or ``"fourier"``
         (the paper-flavored slice test).
+    backend:
+        Optional :class:`~repro.engine.backends.ExecutionBackend` to fan
+        the axis×order coarse sweep out over
+        (:meth:`~repro.engine.backends.ExecutionBackend.run_tasks`).  The
+        sweep dominates the detector's cost; each (axes-chunk, order)
+        cell is an independent pure task, so the fanned-out scores are
+        identical to the serial ones.  ``method="real"`` only; other
+        methods sweep serially.
     """
     rng = default_rng(seed)
     scorer = make_rotation_scorer(
@@ -244,9 +276,25 @@ def detect_symmetry(
     # Coarse axis scan on the half sphere.
     axes = fibonacci_sphere(2 * n_axes)
     axes = axes[axes[:, 2] >= -1e-9][:n_axes]
+    swept: dict[int, Array] | None = None
+    if backend is not None and method == "real":
+        flat = remove_radial_average(density.data)
+        payloads: list[tuple[Array, Array, int]] = []
+        cells: list[tuple[int, int]] = []
+        for order in range(2, max_order + 1):
+            for lo in range(0, len(axes), _SWEEP_CHUNK):
+                payloads.append((flat, axes[lo : lo + _SWEEP_CHUNK], order))
+                cells.append((order, lo))
+        chunk_scores = backend.run_tasks(_sweep_task, payloads)
+        swept = {order: np.empty(len(axes)) for order in range(2, max_order + 1)}
+        for (order, lo), vals in zip(cells, chunk_scores):
+            swept[order][lo : lo + len(vals)] = vals
     found: list[tuple[Array, int, float]] = []
     for order in range(2, max_order + 1):
-        scores = np.array([_axis_score(scorer, a, order) for a in axes])
+        if swept is not None:
+            scores = swept[order]
+        else:
+            scores = np.array([_axis_score(scorer, a, order) for a in axes])
         # polish the best few candidates per order
         for i in np.argsort(scores)[:3]:
             if scores[i] > 0.8 * null_mean:

@@ -331,3 +331,26 @@ def test_resume_without_memo_is_also_bit_identical(chaos_problem, baseline, tmp_
     resumed = refiner.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)
     assert_identical(resumed, baseline)
     assert resumed.stats == baseline.stats
+
+
+def test_symmetry_mode_mismatch_fails_loudly(chaos_problem, tmp_path):
+    """A checkpoint written without a symmetry restriction must refuse to
+    resume under one (and vice versa): the restriction changes the
+    candidate space, so mixing levels across modes would silently blend
+    two different searches.  The symmetry section is part of the engine
+    fingerprint, which the checkpoint header pins."""
+    from repro.engine.config import EngineConfig
+    from repro.faults.checkpoint import CheckpointConfigMismatch
+    from repro.refine.refiner import OrientationRefiner
+
+    views, refiner, schedule = chaos_problem
+    ckpt = str(tmp_path / "run.ckpt")
+    refiner.refine(views, schedule=schedule, checkpoint_path=ckpt)
+
+    density = refiner.density
+    base = refiner.config.to_dict()
+    for mode in ("fixed:C4", "detect"):
+        cfg = EngineConfig.from_dict({**base, "symmetry": {"mode": mode}})
+        variant = OrientationRefiner(density, config=cfg)
+        with pytest.raises(CheckpointConfigMismatch):
+            variant.refine(views, schedule=schedule, checkpoint_path=ckpt, resume=True)

@@ -211,3 +211,65 @@ def test_engine_gather_chunk_scopes_to_run(phantom16, dataset, monkeypatch):
         o.as_tuple() for o in baseline.orientations
     ]
     assert np.array_equal(chunked.distances, baseline.distances)
+
+
+def test_sim_backend_refuses_polish_and_tasks():
+    cfg = EngineConfig.from_dict({
+        "schedule": {"levels": [list(l) for l in SCHED_LEVELS]},
+        "parallel": {"backend": "sim", "n_ranks": 2},
+    })
+    backend = SimBackend(cfg)
+    with pytest.raises(ConfigError):
+        backend.run_polish(None, None, [], [], None)
+    with pytest.raises(ConfigError):
+        backend.run_tasks(len, [()])
+
+
+def test_serial_and_process_run_tasks_agree(phantom16):
+    from repro.parallel.viewsched import ViewScheduler
+
+    payloads = ["a", "bb", "ccc"]
+    serial = SerialBackend()
+    assert serial.run_tasks(len, payloads) == [1, 2, 3]
+    with ViewScheduler(n_workers=2) as sched:
+        process = ProcessBackend(scheduler=sched)
+        assert process.run_tasks(len, payloads) == [1, 2, 3]
+
+
+def test_engine_symmetry_restriction_threads_through(phantom16, dataset):
+    """fixed:<G> symmetry must flow through the backend into the refiner,
+    come back out in EngineRunResult, and keep serial/process bitwise."""
+    from repro.density.phantom import symmetric_phantom
+    from repro.geometry.symmetry import cyclic_group
+
+    density = symmetric_phantom(cyclic_group(4), size=16, seed=1).normalized()
+    views = simulate_views(
+        density, 3, initial_angle_error_deg=2.0, center_sigma_px=0.0, seed=3
+    )
+    runs = {}
+    for tag, parallel in (
+        ("serial", {"backend": "serial", "n_workers": 1}),
+        ("process", {"backend": "process", "n_workers": 2}),
+    ):
+        cfg = EngineConfig.from_dict({
+            "schedule": {"levels": [list(l) for l in SCHED_LEVELS]},
+            "r_max": 6.0,
+            "max_slides": 2,
+            "symmetry": {"mode": "fixed:C4"},
+            "parallel": parallel,
+        })
+        runs[tag] = RefinementEngine(cfg).run(views, density)
+    for run in runs.values():
+        assert run.symmetry_group == "C4"
+        assert run.symmetry_order == 4
+    a, b = runs["serial"], runs["process"]
+    assert [o.as_tuple() for o in a.orientations] == [
+        o.as_tuple() for o in b.orientations
+    ]
+    assert np.array_equal(a.distances, b.distances)
+
+
+def test_engine_symmetry_off_reports_none(phantom16, dataset):
+    run = RefinementEngine(small_config()).run(dataset, phantom16)
+    assert run.symmetry_group is None
+    assert run.symmetry_order == 1

@@ -266,3 +266,38 @@ def test_merged_equals_from_dict_round_trip():
     out = base.merged({"prune": {"enabled": True}, "max_slides": 4})
     rebuilt = EngineConfig.from_dict(out.to_dict())
     assert out == rebuilt and out.fingerprint() == rebuilt.fingerprint()
+
+
+def test_fingerprint_covers_symmetry():
+    """The symmetry section changes the search space, so it must fork the
+    digest — a checkpoint written under one mode cannot resume under
+    another (the refiner turns the mismatch into CheckpointConfigMismatch)."""
+    base = EngineConfig().fingerprint()
+    variants = [
+        EngineConfig.from_dict({"symmetry": {"mode": "fixed:I"}}),
+        EngineConfig.from_dict({"symmetry": {"mode": "fixed:C4"}}),
+        EngineConfig.from_dict({"symmetry": {"mode": "detect"}}),
+        EngineConfig.from_dict({"symmetry": {"mode": "detect", "detect_max_order": 8}}),
+    ]
+    prints = {cfg.fingerprint() for cfg in variants}
+    assert base not in prints
+    assert len(prints) == len(variants)
+
+
+def test_symmetry_config_validation():
+    from repro.engine.config import SymmetryConfig
+
+    assert SymmetryConfig().mode == "none"
+    assert not SymmetryConfig().enabled
+    assert SymmetryConfig(mode="fixed:D7").fixed_group_name() == "D7"
+    with pytest.raises(ConfigError):
+        EngineConfig.from_dict({"symmetry": {"mode": "sideways"}})
+    # the restriction rides the batched window path and real backends only
+    with pytest.raises(ConfigError):
+        EngineConfig.from_dict(
+            {"symmetry": {"mode": "fixed:I"}, "kernel": {"kernel": "reference"}}
+        )
+    with pytest.raises(ConfigError):
+        EngineConfig.from_dict(
+            {"symmetry": {"mode": "detect"}, "parallel": {"backend": "sim"}}
+        )

@@ -156,3 +156,54 @@ def test_pooled_memo_and_counters_thread_through(small_problem):
     # the re-run's windows were answered from the absorbed memo
     assert counters.gathers == gathers_before
     assert counters.memo_hits > 0
+
+
+def test_run_polish_bit_identical_to_serial(small_problem):
+    """The continuous polish stage must fan out invisibly, like run_level:
+    any worker count returns bit-identical ViewPolishResults to the serial
+    kernel, including the iteration/convergence bookkeeping."""
+    from repro.parallel.viewsched import polish_level_serial
+
+    views, volume_ft, fts = small_problem
+    level = RefinementLevel(2.0, 0.5, half_steps=2)
+    orients = list(views.initial_orientations)
+    grid = refine_level_serial(volume_ft, fts, orients, None, level)
+    for res in grid:
+        orients[res.index] = res.orientation
+    distances = [res.distance for res in grid]
+    serial = polish_level_serial(volume_ft, fts, orients, distances, None)
+    with ViewScheduler(n_workers=2, chunks_per_worker=2) as sched:
+        pooled = sched.run_polish(volume_ft, fts, orients, distances, None)
+    # frozen dataclasses with float fields: == is bitwise on every field
+    assert pooled == serial
+    assert [r.index for r in pooled] == list(range(len(orients)))
+    assert any(r.n_iterations > 0 for r in pooled)
+    # the polish never regresses a grid distance
+    assert all(r.distance <= d for r, d in zip(pooled, distances))
+
+
+def test_run_polish_single_worker_uses_serial_path(small_problem):
+    views, volume_ft, fts = small_problem
+    orients = list(views.initial_orientations)
+    distances = [1.0] * len(orients)
+    from repro.parallel.viewsched import polish_level_serial
+
+    serial = polish_level_serial(volume_ft, fts, orients, distances, None)
+    with ViewScheduler(n_workers=1) as sched:
+        got = sched.run_polish(volume_ft, fts, orients, distances, None)
+    assert got == serial
+
+
+def _square_plus_one(x):
+    # module-level so the pool can pickle it (fork or spawn)
+    return x * x + 1
+
+
+def test_run_tasks_matches_serial_map():
+    """The generic fan-out: same values as a list comprehension, any pool."""
+    payloads = [1, 2, 3, 4, 5, 6, 7]
+    with ViewScheduler(n_workers=2) as sched:
+        got = sched.run_tasks(_square_plus_one, payloads)
+    assert got == [_square_plus_one(p) for p in payloads]
+    with ViewScheduler(n_workers=1) as sched:
+        assert sched.run_tasks(_square_plus_one, payloads) == got

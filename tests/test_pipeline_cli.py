@@ -282,3 +282,22 @@ def test_detect_symmetry_command(tmp_path, capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "group:" in out
+
+
+def test_refine_dry_run_symmetry_flag(capsys):
+    rc = main(REFINE_REQUIRED + ["--dry-run", "--symmetry", "fixed:I"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "symmetry.mode" in out and "'fixed:I'" in out and "[flag]" in out
+
+
+def test_refine_rejects_bad_symmetry(capsys):
+    """An unknown group name dies in config validation, before any I/O."""
+    rc_or_exc = None
+    try:
+        rc_or_exc = main(REFINE_REQUIRED + ["--dry-run", "--symmetry", "fixed:Q9"])
+    except SystemExit as exc:
+        rc_or_exc = exc.code
+    assert rc_or_exc != 0
+    err = capsys.readouterr()
+    assert "Q9" in err.err + err.out

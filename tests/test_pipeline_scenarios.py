@@ -197,16 +197,20 @@ def _record(name="x", **over) -> ScenarioRecord:
         name=name,
         type="refinement",
         spec={"engine": {"checkpoint": {"path": "x"}, "prune": {"enabled": True}}},
-        metrics={k: 1.0 for k in (
-            "n_views",
-            "median_angular_error_deg",
-            "p90_angular_error_deg",
-            "initial_median_angular_error_deg",
-            "improvement_ratio",
-            "median_center_error_px",
-            "fsc_crossing_angstrom",
-            "initial_fsc_crossing_angstrom",
-        )},
+        metrics={
+            **{k: 1.0 for k in (
+                "n_views",
+                "median_angular_error_deg",
+                "p90_angular_error_deg",
+                "initial_median_angular_error_deg",
+                "improvement_ratio",
+                "median_center_error_px",
+                "fsc_crossing_angstrom",
+                "initial_fsc_crossing_angstrom",
+                "candidate_reduction_factor",
+            )},
+            "detected_symmetry_group": None,
+        },
         thresholds={},
         failures=[],
         passed=True,

@@ -1,0 +1,226 @@
+"""The asymmetric-unit restriction (DESIGN.md §13): correctness contracts.
+
+Two layers of guarantee, tested separately:
+
+* the *geometry* is exact — vectorized canonicalization agrees
+  element-for-element with the scalar
+  :func:`~repro.geometry.symmetry.reduce_to_asymmetric_unit`, the AU mask
+  is the canonicalization fixed point, and memo keys collapse exactly the
+  G-equivalent candidates;
+* the *search* restricted to one asymmetric unit matches the exhaustive
+  search **modulo the group within interpolation tolerance** (not
+  bitwise — G-equivalent candidates gather different lattice
+  neighborhoods), across batched and pruned kernels, and stays bitwise
+  reproducible across worker counts.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.density.phantom import symmetric_phantom
+from repro.geometry import random_orientations
+from repro.geometry.euler import euler_to_matrix
+from repro.geometry.symmetry import (
+    cyclic_group,
+    dihedral_group,
+    group_from_name,
+    icosahedral_group,
+    reduce_to_asymmetric_unit,
+    tetrahedral_group,
+)
+from repro.refine.restrict import SymmetryRestriction, resolve_restriction
+
+
+def _rotation_stack(n: int, seed: int) -> np.ndarray:
+    return np.stack([o.matrix() for o in random_orientations(n, seed=seed)])
+
+
+# -- canonicalization geometry -----------------------------------------------
+@pytest.mark.parametrize("group", [cyclic_group(4), dihedral_group(7), icosahedral_group()])
+def test_canonicalize_stack_matches_scalar(group):
+    restriction = SymmetryRestriction.from_group(group)
+    orients = random_orientations(50, seed=3)
+    rots = np.stack([o.matrix() for o in orients])
+    canonical, idx = restriction.canonicalize_stack(rots)
+    for i, o in enumerate(orients):
+        scalar = reduce_to_asymmetric_unit(o, group)
+        assert np.allclose(canonical[i], scalar.matrix(), atol=1e-12)
+        assert np.allclose(canonical[i], group.matrices[idx[i]] @ rots[i], atol=1e-14)
+
+
+def test_canonicalization_is_idempotent_and_mask_is_fixed_point():
+    restriction = SymmetryRestriction.from_group(icosahedral_group())
+    rots = _rotation_stack(80, seed=5)
+    canonical, _ = restriction.canonicalize_stack(rots)
+    again, idx = restriction.canonicalize_stack(canonical)
+    assert np.allclose(again, canonical, atol=1e-12)
+    assert (idx == 0).all()  # the identity already wins
+    assert restriction.asymmetric_unit_mask(canonical).all()
+    # generic random rotations are almost never canonical for |G| = 60
+    assert restriction.asymmetric_unit_mask(rots).sum() <= len(rots) // 10
+
+
+def test_restricted_grid_and_reduction_factor():
+    restriction = SymmetryRestriction.from_group(icosahedral_group())
+    from repro.geometry.sphere import view_directions_grid
+
+    full = view_directions_grid(4.0)
+    kept = restriction.restricted_views(4.0)
+    assert 0 < len(kept) < len(full)
+    factor = restriction.reduction_factor(4.0)
+    assert factor == len(full) / len(kept)
+    assert factor >= 10.0  # the headline |G| = 60 cut, discretized
+    # every kept view is its own canonical representative
+    thetas = np.array([v[0] for v in kept])
+    phis = np.array([v[1] for v in kept])
+    rots = euler_to_matrix(thetas, phis, np.zeros_like(thetas))
+    assert restriction.asymmetric_unit_mask(rots).all()
+
+
+def test_memo_keys_collapse_equivalents_only():
+    group = tetrahedral_group()
+    restriction = SymmetryRestriction.from_group(group)
+    rots = _rotation_stack(20, seed=9)
+    keys = restriction.memo_keys(rots, (0.25, -0.5))
+    for g in group.matrices[1:]:
+        shifted = np.einsum("ij,wjk->wik", g, rots)
+        assert restriction.memo_keys(shifted, (0.25, -0.5)) == keys
+    # distinct orientations keep distinct keys, centers ride along exactly
+    assert len(set(keys)) == len(keys)
+    assert all(k[3:] == (0.25, -0.5) for k in keys)
+
+
+def test_restriction_pickles_without_cache():
+    restriction = SymmetryRestriction.from_group(icosahedral_group())
+    restriction.reduction_factor(6.0)  # populate the cache
+    clone = pickle.loads(pickle.dumps(restriction))
+    assert clone.group_name == "I"
+    assert clone._cache == {}
+    assert np.array_equal(clone.matrices, restriction.matrices)
+    rots = _rotation_stack(10, seed=1)
+    a, _ = restriction.canonicalize_stack(rots)
+    b, _ = clone.canonicalize_stack(rots)
+    assert np.array_equal(a, b)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    name=st.sampled_from(["C2", "C3", "C5", "C6", "D2", "D3", "D4", "T", "I"]),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_canonical_representative_is_in_orbit(name, seed):
+    """For any group and orientation: the canonical representative is a
+    group translate, is invariant under pre-rotation by any ``g``, and
+    passes its own AU membership test."""
+    group = group_from_name(name)
+    restriction = SymmetryRestriction.from_group(group)
+    rots = _rotation_stack(4, seed=seed)
+    canonical, idx = restriction.canonicalize_stack(rots)
+    assert np.allclose(
+        canonical, np.einsum("wij,wjk->wik", group.matrices[idx], rots), atol=1e-14
+    )
+    assert restriction.asymmetric_unit_mask(canonical).all()
+    for g in group.matrices:
+        shifted = np.einsum("ij,wjk->wik", g, rots)
+        re_canonical, _ = restriction.canonicalize_stack(shifted)
+        assert np.allclose(re_canonical, canonical, atol=1e-9)
+
+
+# -- resolve_restriction ------------------------------------------------------
+def test_resolve_modes():
+    from repro.engine.config import SymmetryConfig
+
+    assert resolve_restriction(SymmetryConfig(mode="none")) == (None, None)
+    restriction, name = resolve_restriction(SymmetryConfig(mode="fixed:I"))
+    assert name == "I" and restriction is not None and restriction.order == 60
+    # a trivial group restricts nothing but still reports its name
+    assert resolve_restriction(SymmetryConfig(mode="fixed:C1")) == (None, "C1")
+    with pytest.raises(ValueError):
+        resolve_restriction(SymmetryConfig(mode="detect"))  # no map given
+
+
+def test_resolve_detect_on_symmetric_map():
+    from repro.engine.config import SymmetryConfig
+
+    density = symmetric_phantom(cyclic_group(4), size=24, seed=0).normalized()
+    restriction, name = resolve_restriction(
+        SymmetryConfig(mode="detect", detect_max_order=5, detect_n_axes=80),
+        density,
+    )
+    assert name == "C4"
+    assert restriction is not None and restriction.order == 4
+
+
+# -- restricted search == exhaustive search, modulo the group -----------------
+@settings(
+    max_examples=5,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+@given(
+    name=st.sampled_from(["C2", "C3", "C4", "D2", "T", "I"]),
+    kernel=st.sampled_from(["batched", "pruned"]),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_restricted_search_matches_exhaustive_mod_group(name, kernel, seed):
+    """Random symmetric phantoms: refining with the AU restriction lands on
+    the same orientations as the unrestricted search *modulo the group*,
+    under both the batched and the pruned kernel, and the restricted run
+    is bitwise identical between one and two workers."""
+    from repro.engine.config import EngineConfig
+    from repro.engine.core import RefinementEngine
+    from repro.imaging.simulate import simulate_views
+    from repro.refine.stats import angular_errors
+
+    group = group_from_name(name)
+    density = symmetric_phantom(group, size=16, seed=seed).normalized()
+    views = simulate_views(
+        density, 3, initial_angle_error_deg=3.0, center_sigma_px=0.0, seed=seed
+    )
+    base = {
+        "schedule": {"levels": [[2.0, 1.0, 2, 1], [1.0, 0.5, 2, 1]]},
+        "refine_centers": False,
+        "prune": {"enabled": kernel == "pruned"},
+    }
+    runs = {}
+    for tag, sym, workers in (
+        ("full", "none", 1),
+        ("restricted", f"fixed:{name}", 1),
+        ("restricted2", f"fixed:{name}", 2),
+    ):
+        cfg = EngineConfig.from_dict({
+            **base,
+            "symmetry": {"mode": sym},
+            "parallel": {"backend": "process" if workers > 1 else "serial",
+                         "n_workers": workers},
+        })
+        runs[tag] = RefinementEngine(cfg).run(views, density)
+    full, restricted, restricted2 = (
+        runs["full"], runs["restricted"], runs["restricted2"]
+    )
+    assert restricted.symmetry_group == name
+    assert restricted.symmetry_order == group.order
+    between = angular_errors(restricted.orientations, full.orientations, symmetry=group)
+    full_errs = angular_errors(full.orientations, views.true_orientations, symmetry=group)
+    # The §13 contract: equal modulo the group *within interpolation
+    # tolerance*.  Random two-blob phantoms at l = 16 are nearly
+    # featureless for high-order groups, so the exhaustive search itself
+    # diverges on some views — the claim is conditional: wherever the
+    # exhaustive search converged (≤ 2° to truth), the restricted search
+    # settles in the same basin modulo the group.  The 4° bound is a
+    # couple of grid cells (measured max ~1.4° when conditioned) yet far
+    # inside any asymmetric unit, so a wrong-orbit landing still fails.
+    converged = full_errs <= 2.0
+    assert between[converged].max(initial=0.0) <= 4.0, (between, full_errs)
+    # worker count must not perturb a single bit of the restricted run
+    assert [o.as_tuple() for o in restricted.orientations] == [
+        o.as_tuple() for o in restricted2.orientations
+    ]
+    assert np.array_equal(restricted.distances, restricted2.distances)

@@ -110,3 +110,32 @@ def test_null_statistics_populated():
     result = detect_symmetry(m, max_order=4, n_axes=60, seed=0)
     assert result.null_mean > 0
     assert result.threshold == pytest.approx(0.2 * result.null_mean)
+
+
+def test_detect_backend_fanout_matches_serial():
+    """The axis×order sweep fanned out through an ExecutionBackend must
+    reproduce the serial detector's result and score tables exactly —
+    score_rotation_real is pure, so chunking is invisible."""
+    from repro.engine.backends import ProcessBackend, SerialBackend
+    from repro.parallel.viewsched import ViewScheduler
+
+    m = sindbis_like_phantom(24).normalized()
+    serial = detect_symmetry(m, max_order=6, n_axes=60, seed=0)
+    via_serial_backend = detect_symmetry(
+        m, max_order=6, n_axes=60, seed=0, backend=SerialBackend()
+    )
+    with ViewScheduler(n_workers=2) as sched:
+        pooled = detect_symmetry(
+            m, max_order=6, n_axes=60, seed=0, backend=ProcessBackend(scheduler=sched)
+        )
+    for result in (via_serial_backend, pooled):
+        assert result.group_name == serial.group_name
+        assert result.null_mean == serial.null_mean
+        assert result.null_std == serial.null_std
+        assert result.threshold == serial.threshold
+        assert len(result.axes) == len(serial.axes)
+        for (ax_a, order_a, score_a), (ax_b, order_b, score_b) in zip(
+            result.axes, serial.axes
+        ):
+            assert (order_a, score_a) == (order_b, score_b)
+            assert np.array_equal(ax_a, ax_b)

@@ -1,0 +1,87 @@
+"""symmetry-smoke: the tiny always-on slice of the symmetry benchmark.
+
+The full ``symmetric_vs_full`` measurement (benchmarks/run_bench.py,
+l = 64, |G| = 60) is too slow for every tier-1 run, but its correctness
+half — scoring one asymmetric unit finds the same winner as scoring the
+full orbit expansion, modulo the group — must regress loudly without
+waiting for a bench run.  This module pins that equivalence at l = 16 in
+seconds, marked ``symmetry_smoke`` so the quality gate also runs it as a
+named step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.align.distance import DistanceComputer
+from repro.align.fused import get_match_plan
+from repro.density.phantom import symmetric_phantom
+from repro.fourier.slicing import extract_slice
+from repro.geometry.euler import Orientation, euler_to_matrix
+from repro.geometry.symmetry import icosahedral_group, tetrahedral_group
+from repro.refine.restrict import SymmetryRestriction
+from repro.refine.stats import angular_errors
+
+pytestmark = pytest.mark.symmetry_smoke
+
+
+@pytest.mark.parametrize("group_fn", [tetrahedral_group, icosahedral_group])
+def test_restricted_argmin_equals_full_scan_mod_group(group_fn):
+    group = group_fn()
+    restriction = SymmetryRestriction.from_group(group)
+    size = 16
+    density = symmetric_phantom(group, size=size, seed=0).normalized()
+    volume_ft = density.fourier_oversampled(2)
+
+    res_deg = 12.0
+    views_au = restriction.restricted_views(res_deg)
+    omegas = np.arange(0.0, 360.0, 90.0)
+    thetas = np.repeat([v[0] for v in views_au], len(omegas))
+    phis = np.repeat([v[1] for v in views_au], len(omegas))
+    oms = np.tile(omegas, len(views_au))
+    rots_au = euler_to_matrix(thetas, phis, oms)
+    rots_full = np.einsum(
+        "gij,wjk->gwik", np.asarray(group.matrices), rots_au
+    ).reshape(-1, 3, 3)
+    assert len(rots_full) == group.order * len(rots_au)
+
+    dc = DistanceComputer(size)
+    plan = get_match_plan(dc, volume_ft.shape[0], "trilinear")
+    # probe view cut at a restricted grid orientation: a clean minimum
+    truth_idx = len(rots_au) // 2
+    view_band = plan.gather_view(
+        extract_slice(volume_ft, rots_au[truth_idx], out_size=size)
+    )
+    d_au = np.asarray(plan.match_window(volume_ft, view_band, rots_au))
+    d_full = np.asarray(plan.match_window(volume_ft, view_band, rots_full))
+
+    o_au = Orientation.from_matrix(rots_au[int(np.argmin(d_au))])
+    o_full = Orientation.from_matrix(rots_full[int(np.argmin(d_full))])
+    err = angular_errors([o_full], [o_au], symmetry=group)[0]
+    assert err <= 1e-6, f"argmin differs modulo the group by {err} deg"
+    assert int(np.argmin(d_au)) == truth_idx
+
+
+def test_engine_smoke_run_with_restriction():
+    """A whole tiny refinement with the restriction on runs clean and
+    reports the group it searched under."""
+    from repro.engine.config import EngineConfig
+    from repro.engine.core import RefinementEngine
+    from repro.imaging.simulate import simulate_views
+
+    group = tetrahedral_group()
+    density = symmetric_phantom(group, size=16, seed=2).normalized()
+    views = simulate_views(
+        density, 2, initial_angle_error_deg=2.0, center_sigma_px=0.0, seed=2
+    )
+    cfg = EngineConfig.from_dict({
+        "schedule": {"levels": [[2.0, 1.0, 2, 1]]},
+        "refine_centers": False,
+        "symmetry": {"mode": "fixed:T"},
+    })
+    run = RefinementEngine(cfg).run(views, density)
+    assert run.symmetry_group == "T"
+    assert run.symmetry_order == 12
+    assert len(run.orientations) == 2
+    assert np.isfinite(run.distances).all()

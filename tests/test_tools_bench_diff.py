@@ -1,0 +1,106 @@
+"""tools/bench_diff.py: benchmark trajectory diffing for CI.
+
+The tool compares two BENCH_*.json snapshots (files or git revisions) and
+classifies numeric moves by each metric's good direction; True→False flips
+of boolean gates are always regressions.  These tests pin the direction
+table, the flattening (scenario lists re-keyed by name), and the
+``--fail-on-regression`` exit contract.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import bench_diff  # noqa: E402
+
+
+def test_direction_table():
+    assert bench_diff.direction("k.restricted_seconds") == "lower"
+    assert bench_diff.direction("k.median_angular_error_deg") == "lower"
+    assert bench_diff.direction("k.speedup") == "higher"
+    assert bench_diff.direction("k.candidate_eval_reduction") == "higher"
+    assert bench_diff.direction("k.memo_hit_rate") == "higher"
+    assert bench_diff.direction("engine_fingerprint") == "neutral"
+    assert bench_diff.direction("k.size") == "neutral"
+
+
+def test_flatten_rekeys_scenario_lists_by_name():
+    payload = {
+        "scenarios": [
+            {"name": "icos", "metrics": {"median_angular_error_deg": 3.0}},
+            {"name": "clean", "metrics": {"median_angular_error_deg": 2.0}},
+        ]
+    }
+    flat = bench_diff.flatten(payload)
+    assert flat["scenarios.icos.metrics.median_angular_error_deg"] == 3.0
+    assert flat["scenarios.clean.metrics.median_angular_error_deg"] == 2.0
+
+
+def test_diff_classifies_moves():
+    old = {
+        "k": {"speedup": 5.0, "seconds": 2.0, "identical_results": True},
+        "fp": "a",
+    }
+    new = {
+        "k": {"speedup": 3.0, "seconds": 1.0, "identical_results": False},
+        "fp": "b",
+        "extra": 1,
+    }
+    lines, regressions = bench_diff.diff(old, new, threshold_pct=10.0)
+    text = "\n".join(lines)
+    assert "+ extra = 1" in text
+    assert "k.seconds: 2.0 -> 1.0" in text  # improvement, not flagged
+    assert len(regressions) == 2  # speedup -40% and the boolean flip
+    assert any("speedup" in r for r in regressions)
+    assert any("identical_results" in r for r in regressions)
+    # under a huge threshold only the boolean flip remains
+    _, loose = bench_diff.diff(old, new, threshold_pct=50.0)
+    assert len(loose) == 1
+
+
+def test_diff_threshold_suppresses_noise():
+    old = {"k": {"seconds": 2.0}}
+    new = {"k": {"seconds": 2.1}}  # +5%, inside the default 10% slack
+    _, regressions = bench_diff.diff(old, new, threshold_pct=10.0)
+    assert regressions == []
+    _, strict = bench_diff.diff(old, new, threshold_pct=1.0)
+    assert len(strict) == 1
+
+
+def test_main_exit_codes(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"k": {"speedup": 5.0}}))
+    b.write_text(json.dumps({"k": {"speedup": 1.0}}))
+    # informational mode never fails
+    assert bench_diff.main([str(a), str(b)]) == 0
+    assert bench_diff.main([str(a), str(b), "--fail-on-regression"]) == 1
+    assert bench_diff.main([str(a), str(a), "--fail-on-regression"]) == 0
+
+
+def test_load_side_from_git_revision():
+    """HEAD:BENCH_kernels.json must load through git show; a bogus spec
+    dies with a clear message instead of a stack trace."""
+    payload = bench_diff.load_side("HEAD", "BENCH_kernels.json")
+    assert "engine_fingerprint" in payload
+    with pytest.raises(SystemExit, match="neither a file nor a git revision"):
+        bench_diff.load_side("no-such-rev", "BENCH_kernels.json")
+
+
+def test_cli_entrypoint_runs():
+    proc = subprocess.run(
+        [sys.executable, str(TOOLS / "bench_diff.py"), "HEAD", "HEAD"],
+        capture_output=True,
+        text=True,
+        cwd=TOOLS.parent,
+    )
+    assert proc.returncode == 0
+    assert "bench_diff" in proc.stdout

@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Diff two benchmark JSON snapshots (files or git revisions).
+
+Both trajectory files this repo maintains — ``BENCH_kernels.json`` (kernel
+and scheduler speedups) and ``BENCH_scenarios.json`` (the scenario-matrix
+accuracy gate) — are committed alongside the code that produced them, so
+"did this change regress a benchmark" is a diff between two snapshots.
+This tool flattens either file into dotted metric paths and prints what
+moved, classifying each change by the metric's good direction:
+
+* lower-is-better — ``*_seconds``, ``*error*``, ``*_iters`` …
+* higher-is-better — ``*speedup*``, ``*reduction*``, ``*ratio*``,
+  ``*hit_rate*``, ``*per_second*`` …
+* boolean gates — ``identical_results``, ``passed``,
+  ``argmin_equal_mod_group`` — where True→False is always a regression.
+
+Either side may be a JSON file path or a git revision; revisions resolve
+through ``git show REV:FILE`` so CI can compare a regenerated snapshot
+against the committed baseline::
+
+    python tools/bench_diff.py HEAD BENCH_scenarios.json --file BENCH_scenarios.json
+
+Timing metrics are noisy across runners, so regressions only fail the
+run under ``--fail-on-regression`` (with ``--threshold`` percent slack);
+the default mode is an informational report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: substrings marking a metric where smaller numbers are better
+_LOWER_BETTER = (
+    "seconds",
+    "error",
+    "_iters",
+    "candidates_evaluated",
+    "deviation",
+    "crossing_angstrom",
+    "failed",
+)
+#: substrings marking a metric where larger numbers are better
+_HIGHER_BETTER = (
+    "speedup",
+    "reduction",
+    "ratio",
+    "hit_rate",
+    "per_second",
+    "pruned",
+    "passed",
+)
+#: structural/identity fields that are reported but never scored
+_NEUTRAL = ("fingerprint", "size", "n_views", "r_max", "seed", "order", "step")
+
+
+def load_side(spec: str, file_name: str) -> dict:
+    """A benchmark JSON from a path, or from ``git show REV:file_name``."""
+    path = Path(spec)
+    if path.is_file():
+        return json.loads(path.read_text())
+    proc = subprocess.run(
+        ["git", "show", f"{spec}:{file_name}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"bench_diff: {spec!r} is neither a file nor a git revision "
+            f"containing {file_name} ({proc.stderr.strip()})"
+        )
+    return json.loads(proc.stdout)
+
+
+def flatten(data: object, prefix: str = "") -> dict[str, object]:
+    """Nested dicts/lists to dotted scalar leaves.
+
+    The scenarios file keys its per-workload records by position; they are
+    re-keyed by scenario ``name`` so reordering the matrix doesn't read as
+    every metric changing.
+    """
+    out: dict[str, object] = {}
+    if isinstance(data, dict):
+        for key, value in sorted(data.items()):
+            out.update(flatten(value, f"{prefix}{key}."))
+    elif isinstance(data, list):
+        named = all(isinstance(v, dict) and "name" in v for v in data) and data
+        if named:
+            for v in data:
+                out.update(flatten(v, f"{prefix}{v['name']}."))
+        else:
+            for i, v in enumerate(data):
+                out.update(flatten(v, f"{prefix}{i}."))
+    else:
+        out[prefix[:-1]] = data
+    return out
+
+
+def direction(key: str) -> str:
+    """'lower', 'higher' or 'neutral' for a dotted metric path."""
+    leaf = key.rsplit(".", 1)[-1]
+    if any(tok in leaf for tok in _NEUTRAL):
+        return "neutral"
+    if any(tok in leaf for tok in _LOWER_BETTER):
+        return "lower"
+    if any(tok in leaf for tok in _HIGHER_BETTER):
+        return "higher"
+    return "neutral"
+
+
+def diff(old: dict, new: dict, threshold_pct: float) -> tuple[list[str], list[str]]:
+    """(report lines, regression lines) between two flattened snapshots."""
+    flat_old, flat_new = flatten(old), flatten(new)
+    lines: list[str] = []
+    regressions: list[str] = []
+    for key in sorted(set(flat_old) | set(flat_new)):
+        a, b = flat_old.get(key), flat_new.get(key)
+        if key not in flat_old:
+            lines.append(f"  + {key} = {b}")
+            continue
+        if key not in flat_new:
+            lines.append(f"  - {key} (was {a})")
+            continue
+        if a == b:
+            continue
+        if isinstance(a, bool) or isinstance(b, bool):
+            line = f"  ! {key}: {a} -> {b}"
+            lines.append(line)
+            if a is True and b is not True and direction(key) != "lower":
+                regressions.append(line)
+            continue
+        if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+            delta = b - a
+            pct = (delta / abs(a) * 100.0) if a else float("inf")
+            sense = direction(key)
+            worse = (sense == "lower" and delta > 0) or (sense == "higher" and delta < 0)
+            flag = "REGRESSION" if worse and abs(pct) > threshold_pct else ""
+            line = f"  {key}: {a} -> {b} ({pct:+.1f}%) {flag}".rstrip()
+            lines.append(line)
+            if flag:
+                regressions.append(line)
+            continue
+        lines.append(f"  ~ {key}: {a!r} -> {b!r}")
+    return lines, regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline: JSON file path or git revision")
+    parser.add_argument("new", help="candidate: JSON file path or git revision")
+    parser.add_argument(
+        "--file",
+        default="BENCH_kernels.json",
+        help="file name resolved inside git revisions (default BENCH_kernels.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="percent change below which a worse-direction move is not a regression",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit nonzero when any metric regressed past the threshold",
+    )
+    args = parser.parse_args(argv)
+
+    old = load_side(args.old, args.file)
+    new = load_side(args.new, args.file)
+    lines, regressions = diff(old, new, args.threshold)
+    print(f"bench_diff {args.file}: {args.old} -> {args.new}")
+    if not lines:
+        print("  (no changes)")
+    else:
+        print("\n".join(lines))
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) past {args.threshold:.0f}%:")
+        print("\n".join(regressions))
+        if args.fail_on_regression:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. `bench_diff ... | head`
+        raise SystemExit(0)

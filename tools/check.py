@@ -19,17 +19,21 @@ Runs, in order:
 6. the bench-smoke subset (``-m bench_smoke``) as its own named step — the
    tiny batched-vs-reference equivalence slice of the kernel benchmarks,
    so a kernel regression is attributed to the right gate line,
-7. the accuracy-gate subset (``-m accuracy_gate``) as its own named step —
+7. the symmetry-smoke subset (``-m symmetry_smoke``) as its own named
+   step — the tiny asymmetric-unit-restriction equivalence slice of the
+   symmetry benchmark (restricted argmin == full-orbit argmin modulo the
+   group, DESIGN.md §13),
+8. the accuracy-gate subset (``-m accuracy_gate``) as its own named step —
    the toleranced gate the continuous polish ships under (objective
    non-regression vs the brute-force fine tail + step-resolution bound,
    DESIGN.md §11), kept apart from the bit-identity suites because its
    contract is a tolerance, not equality,
-8. the scenario matrix (``-m scenarios``, tests/scenarios/) as its own
+9. the scenario matrix (``-m scenarios``, tests/scenarios/) as its own
    named step — the accuracy-regression harness of DESIGN.md §12, which
    rewrites ``BENCH_scenarios.json`` and fails if any workload trips its
    thresholds; the step also asserts the suite's wall-clock budget so the
    matrix stays cheap enough to gate every change,
-9. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
+10. the chaos subset (``-m chaos``, tests/chaos/) separately — fault
    injection kills workers and restarts pools, so it runs apart from the
    main suite but under the same runtime contracts.
 
@@ -90,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
         suites = [
             ("pytest", ["-x", "-q", "-m", "not chaos and not scenarios"]),
             ("pytest[bench-smoke]", ["-x", "-q", "-m", "bench_smoke"]),
+            ("pytest[symmetry-smoke]", ["-x", "-q", "-m", "symmetry_smoke"]),
             ("pytest[accuracy-gate]", ["-x", "-q", "-m", "accuracy_gate"]),
             ("pytest[scenarios]", ["-x", "-q", "-m", "scenarios"]),
         ]
