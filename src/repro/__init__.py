@@ -53,7 +53,9 @@ from repro.refine import (
     write_orientation_file,
 )
 from repro.reconstruct import (
+    StructureDeterminationResult,
     correlation_curve,
+    determine_structure,
     reconstruct_from_views,
     structure_determination_loop,
 )
@@ -88,6 +90,8 @@ __all__ = [
     "reconstruct_from_views",
     "correlation_curve",
     "structure_determination_loop",
+    "determine_structure",
+    "StructureDeterminationResult",
     "parallel_refine",
     "run_spmd",
     "__version__",

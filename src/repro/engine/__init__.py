@@ -35,6 +35,7 @@ from repro.engine.config import (
     ConfigError,
     EngineConfig,
     FaultConfig,
+    IterationConfig,
     KernelConfig,
     MemoConfig,
     ParallelConfig,
@@ -61,6 +62,7 @@ __all__ = [
     "ExecutionBackend",
     "FaultConfig",
     "GATHER_CHUNK_ENV",
+    "IterationConfig",
     "KernelConfig",
     "MemoConfig",
     "ParallelConfig",

@@ -33,7 +33,7 @@ importing before any of them is pulled in.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.engine.config import ConfigError, EngineConfig
 
@@ -94,6 +94,7 @@ class ExecutionBackend:
         prune: "PruneParams | None" = None,
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
         symmetry: "SymmetryRestriction | None" = None,
+        on_result: "Callable[[ViewLevelResult], None] | None" = None,
     ) -> list["ViewLevelResult"]:
         raise NotImplementedError
 
@@ -114,6 +115,7 @@ class ExecutionBackend:
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
         memo_store: "MemoStore | None" = None,
         counters: "PerfCounters | None" = None,
+        on_result: "Callable[[ViewPolishResult], None] | None" = None,
     ) -> list["ViewPolishResult"]:
         """The continuous polish stage for every view (bit-identical on all
         backends; see :func:`~repro.parallel.viewsched.polish_level_serial`)."""
@@ -168,6 +170,7 @@ class SerialBackend(ExecutionBackend):
         prune: "PruneParams | None" = None,
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
         symmetry: "SymmetryRestriction | None" = None,
+        on_result: "Callable[[ViewLevelResult], None] | None" = None,
     ) -> list["ViewLevelResult"]:
         from repro.parallel.viewsched import refine_level_serial
 
@@ -187,6 +190,7 @@ class SerialBackend(ExecutionBackend):
             prune=prune,
             seed_basins=seed_basins,
             symmetry=symmetry,
+            on_result=on_result,
         )
 
     def run_polish(
@@ -206,6 +210,7 @@ class SerialBackend(ExecutionBackend):
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
         memo_store: "MemoStore | None" = None,
         counters: "PerfCounters | None" = None,
+        on_result: "Callable[[ViewPolishResult], None] | None" = None,
     ) -> list["ViewPolishResult"]:
         from repro.parallel.viewsched import polish_level_serial
 
@@ -224,6 +229,7 @@ class SerialBackend(ExecutionBackend):
             seed_basins=seed_basins,
             memo_store=memo_store,
             counters=counters,
+            on_result=on_result,
         )
 
     def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:
@@ -294,6 +300,7 @@ class ProcessBackend(ExecutionBackend):
         prune: "PruneParams | None" = None,
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
         symmetry: "SymmetryRestriction | None" = None,
+        on_result: "Callable[[ViewLevelResult], None] | None" = None,
     ) -> list["ViewLevelResult"]:
         return self._scheduler.run_level(
             volume_ft,
@@ -311,6 +318,7 @@ class ProcessBackend(ExecutionBackend):
             prune=prune,
             seed_basins=seed_basins,
             symmetry=symmetry,
+            on_result=on_result,
         )
 
     def run_polish(
@@ -330,6 +338,7 @@ class ProcessBackend(ExecutionBackend):
         seed_basins: Sequence["tuple[Orientation, ...] | None"] | None = None,
         memo_store: "MemoStore | None" = None,
         counters: "PerfCounters | None" = None,
+        on_result: "Callable[[ViewPolishResult], None] | None" = None,
     ) -> list["ViewPolishResult"]:
         return self._scheduler.run_polish(
             volume_ft,
@@ -346,6 +355,7 @@ class ProcessBackend(ExecutionBackend):
             seed_basins=seed_basins,
             memo_store=memo_store,
             counters=counters,
+            on_result=on_result,
         )
 
     def run_tasks(self, fn: Any, payloads: Sequence[Any]) -> list[Any]:

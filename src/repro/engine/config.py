@@ -27,6 +27,7 @@ Sections
 ``prune``       best-first early-termination pruning of candidate windows
 ``polish``      continuous least-squares polish replacing the finest levels
 ``symmetry``    point-group handling: none / fixed:<group> / detect
+``iteration``   the outer refine→reconstruct loop: FSC stopping + streaming
 
 All ``repro`` imports in this module are lazy (inside methods): the
 kernel packages import :mod:`repro.engine.env` at import time, so the
@@ -50,6 +51,7 @@ __all__ = [
     "ConfigError",
     "EngineConfig",
     "FaultConfig",
+    "IterationConfig",
     "KernelConfig",
     "MemoConfig",
     "ParallelConfig",
@@ -656,6 +658,102 @@ class SymmetryConfig:
         )
 
 
+@dataclass(frozen=True)
+class IterationConfig:
+    """The outer refine→reconstruct loop (paper §3, Figure 4).
+
+    One iteration refines every orientation against the current map, then
+    rebuilds the map from the refined orientations; the odd/even half-set
+    FSC curve of the rebuilt map is the quality gate.  The loop stops when
+    the FSC crossing at ``fsc_threshold`` stops improving by at least
+    ``min_improvement_angstrom`` (checked from the second iteration on) or
+    after ``max_iterations`` passes.
+
+    ``r_max_schedule`` is the paper's resolution-increase ladder: iteration
+    ``i`` refines with ``r_max_schedule[min(i, len - 1)]`` (the last entry
+    repeats), so early iterations can match at low resolution and later
+    ones raise it; empty keeps the run-level ``r_max`` throughout.
+
+    ``streaming`` selects the incremental reconstruction path: refined
+    views are deposited into the direct-Fourier accumulator as the backend
+    emits them instead of barriering per iteration.  The deposit order is
+    forced to ascending view index by a reorder buffer, so streaming is
+    bit-identical to the barriered rebuild at any worker count — the flag
+    is a latency/memory knob, never a numerical one (DESIGN.md §14).  It
+    is still fingerprint-covered with the rest of the section so a resumed
+    loop can prove it was configured identically end to end.
+    """
+
+    max_iterations: int = 3
+    fsc_threshold: float = 0.5
+    min_improvement_angstrom: float = 0.0
+    r_max_schedule: tuple[float, ...] = ()
+    streaming: bool = True
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.max_iterations, int)
+                 and not isinstance(self.max_iterations, bool)
+                 and self.max_iterations >= 1,
+                 f"iteration.max_iterations must be >= 1, got {self.max_iterations!r}")
+        _require(isinstance(self.fsc_threshold, (int, float))
+                 and not isinstance(self.fsc_threshold, bool)
+                 and 0.0 < self.fsc_threshold < 1.0,
+                 f"iteration.fsc_threshold must be in (0, 1), "
+                 f"got {self.fsc_threshold!r}")
+        _require(isinstance(self.min_improvement_angstrom, (int, float))
+                 and not isinstance(self.min_improvement_angstrom, bool)
+                 and self.min_improvement_angstrom >= 0.0,
+                 f"iteration.min_improvement_angstrom must be >= 0, "
+                 f"got {self.min_improvement_angstrom!r}")
+        norm = []
+        for i, r in enumerate(self.r_max_schedule):
+            _require(isinstance(r, (int, float)) and not isinstance(r, bool) and r > 0,
+                     f"iteration.r_max_schedule[{i}] must be positive, got {r!r}")
+            norm.append(float(r))
+        object.__setattr__(self, "r_max_schedule", tuple(norm))
+        _require(isinstance(self.streaming, bool),
+                 f"iteration.streaming must be a boolean, got {self.streaming!r}")
+
+    def r_max_for(self, iteration: int, default: float | None) -> float | None:
+        """The ``r_max`` iteration ``iteration`` (0-based) refines with."""
+        if not self.r_max_schedule:
+            return default
+        return self.r_max_schedule[min(iteration, len(self.r_max_schedule) - 1)]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "max_iterations": self.max_iterations,
+            "fsc_threshold": self.fsc_threshold,
+            "min_improvement_angstrom": self.min_improvement_angstrom,
+            "r_max_schedule": list(self.r_max_schedule),
+            "streaming": self.streaming,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "IterationConfig":
+        _reject_unknown("iteration", data,
+                        ("max_iterations", "fsc_threshold",
+                         "min_improvement_angstrom", "r_max_schedule", "streaming"))
+        schedule = data.get("r_max_schedule", cls.r_max_schedule)
+        _require(isinstance(schedule, (list, tuple)),
+                 f"iteration.r_max_schedule must be a list, got {schedule!r}")
+        return cls(
+            max_iterations=_coerce_int(
+                "iteration.max_iterations",
+                data.get("max_iterations", cls.max_iterations)),
+            fsc_threshold=_coerce_float(
+                "iteration.fsc_threshold", data.get("fsc_threshold", cls.fsc_threshold)),
+            min_improvement_angstrom=_coerce_float(
+                "iteration.min_improvement_angstrom",
+                data.get("min_improvement_angstrom", cls.min_improvement_angstrom)),
+            r_max_schedule=tuple(
+                _coerce_float(f"iteration.r_max_schedule[{i}]", r)
+                for i, r in enumerate(schedule)),
+            streaming=_coerce_bool("iteration.streaming",
+                                   data.get("streaming", cls.streaming)),
+        )
+
+
 _SECTIONS: dict[str, type] = {
     "kernel": KernelConfig,
     "schedule": ScheduleConfig,
@@ -666,6 +764,7 @@ _SECTIONS: dict[str, type] = {
     "prune": PruneConfig,
     "polish": PolishConfig,
     "symmetry": SymmetryConfig,
+    "iteration": IterationConfig,
 }
 
 _SCALARS = ("r_max", "max_slides", "refine_centers", "pad_factor", "weighting",
@@ -690,6 +789,7 @@ class EngineConfig:
     prune: PruneConfig = field(default_factory=PruneConfig)
     polish: PolishConfig = field(default_factory=PolishConfig)
     symmetry: SymmetryConfig = field(default_factory=SymmetryConfig)
+    iteration: IterationConfig = field(default_factory=IterationConfig)
     r_max: float | None = None
     max_slides: int = 8
     refine_centers: bool = True
@@ -713,8 +813,9 @@ class EngineConfig:
         # Cross-section constraints: pruning rides the batched window engine
         # and the plain distance (the incremental shell bound is meaningless
         # after per-row normalization); neither pruning nor polish is wired
-        # through the simulated-cluster backend; top-k basin seeding keeps
-        # cross-level state that the level-granular checkpoint cannot carry.
+        # through the simulated-cluster backend.  Multi-basin state
+        # (prune.top_k / polish.n_best) rides checkpoints since the basin
+        # set was added to the checkpoint header.
         if self.prune.enabled:
             _require(self.kernel.kernel == "batched",
                      "prune.enabled requires kernel.kernel == 'batched'")
@@ -722,10 +823,6 @@ class EngineConfig:
                      "prune.enabled is incompatible with normalized_distance")
             _require(self.parallel.backend != "sim",
                      "prune.enabled is not supported on the sim backend")
-            if self.prune.top_k is not None and self.prune.top_k > 1:
-                _require(self.checkpoint.path is None,
-                         "prune.top_k > 1 keeps cross-level basin state and "
-                         "cannot be combined with checkpointing")
         if self.polish.enabled:
             _require(not self.normalized_distance,
                      "polish.enabled is incompatible with normalized_distance")
@@ -735,10 +832,6 @@ class EngineConfig:
                 _require(self.prune.enabled,
                          "polish.n_best > 1 needs prune.enabled basin tracking "
                          "to supply multiple starts")
-                _require(self.checkpoint.path is None,
-                         "polish.n_best > 1 carries basin state across the "
-                         "grid→polish boundary and cannot be combined with "
-                         "checkpointing")
         # Symmetry restriction canonicalizes candidates inside the batched
         # window engine's memo path; the fused/reference kernels and the
         # simulated-cluster backend never see the group.
@@ -790,8 +883,8 @@ class EngineConfig:
     def fingerprint(self) -> str:
         """A stable digest of every *result-relevant* setting.
 
-        Covers the schedule, the kernel, memo, prune and polish sections,
-        and the matching knobs — the fields a checkpoint must refuse to mix
+        Covers the schedule, the kernel, memo, prune, polish, symmetry and
+        iteration sections, and the matching knobs — the fields a checkpoint must refuse to mix
         across (the old
         schedule-only fingerprint silently accepted a resume under a
         different kernel or memo configuration).  Execution strategy
@@ -810,6 +903,7 @@ class EngineConfig:
             "prune": self.prune.to_dict(),
             "polish": self.polish.to_dict(),
             "symmetry": self.symmetry.to_dict(),
+            "iteration": self.iteration.to_dict(),
             "matching": {name: getattr(self, name) for name in _SCALARS},
         }
         desc = json.dumps(payload, sort_keys=True)

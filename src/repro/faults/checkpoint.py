@@ -13,10 +13,21 @@ round-trip), which is what makes a killed-then-resumed run *bit-identical*
 to a fault-free one — the chaos harness asserts exactly that.  Writes are
 atomic (temp file + :func:`os.replace` in the same directory), so a run
 killed mid-write leaves the previous checkpoint intact, never a torn file.
+
+The module also owns the *outer-loop* checkpoint of the structure
+determination loop (DESIGN.md §14): a checkpoint **directory** holding a
+``loop.json`` progress record plus one full-precision orientation file per
+completed iteration (``iter_NNN.orient``) and the in-flight iteration's
+level-granular inner checkpoint (``iter_NNN.refine.ckpt``).  The JSON
+floats round-trip exactly (Python's ``json`` emits shortest-repr float64),
+and each iteration's map is recorded as a SHA-256 digest so a resumed loop
+can *prove* its deterministic rebuild matches the killed run's map bit for
+bit.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -31,14 +42,25 @@ from repro.refine.stats import RefinementStats
 
 __all__ = [
     "CHECKPOINT_FORMAT",
+    "LOOP_CHECKPOINT_FORMAT",
     "CheckpointConfigMismatch",
+    "LoopCheckpoint",
+    "LoopIterationEntry",
     "RefinementCheckpoint",
+    "density_digest",
+    "iteration_checkpoint_path",
+    "iteration_orientations_path",
     "load_checkpoint",
+    "load_loop_checkpoint",
+    "loop_checkpoint_path",
     "save_checkpoint",
+    "save_loop_checkpoint",
     "try_load_checkpoint",
+    "try_load_loop_checkpoint",
 ]
 
 CHECKPOINT_FORMAT = "repro-checkpoint v1"
+LOOP_CHECKPOINT_FORMAT = "repro-loop-checkpoint v1"
 
 
 @dataclass(frozen=True)
@@ -73,6 +95,12 @@ class RefinementCheckpoint:
     distances: Array
     stats: RefinementStats
     memo: dict[int, tuple[Array, Array]] | None = None
+    #: Per-view multi-basin state (``prune.top_k``/``polish.n_best`` > 1):
+    #: one tuple of basin-center orientations per view, ``None`` entries
+    #: for views without tracked basins, ``None`` overall for single-basin
+    #: runs.  Stored losslessly (``float.hex``) in the ``basins`` header
+    #: tag so a resumed multi-basin run re-seeds the exact same starts.
+    basins: list[tuple[Orientation, ...] | None] | None = None
     #: :meth:`repro.engine.config.EngineConfig.fingerprint` of the run's
     #: engine config — schedule *plus* kernel/memo/matching settings.  The
     #: schedule fingerprint alone silently accepted a resume under a
@@ -108,6 +136,26 @@ def _memo_from_json(obj: dict) -> dict[int, tuple[Array, Array]]:
     return out
 
 
+def _basins_to_json(basins: list[tuple[Orientation, ...] | None]) -> str:
+    """Lossless JSON for per-view basin sets: 5-tuples of ``float.hex()``."""
+    payload = [
+        None
+        if entry is None
+        else [[float(x).hex() for x in o.as_tuple()] for o in entry]
+        for entry in basins
+    ]
+    return json.dumps(payload)
+
+
+def _basins_from_json(obj: list) -> list[tuple[Orientation, ...] | None]:
+    return [
+        None
+        if entry is None
+        else tuple(Orientation(*(float.fromhex(x) for x in row)) for row in entry)
+        for entry in obj
+    ]
+
+
 def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
     """Atomically write ``checkpoint`` to ``path``.
 
@@ -127,6 +175,8 @@ def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
     header = f"{CHECKPOINT_FORMAT}\nmeta {json.dumps(meta, sort_keys=True)}"
     if checkpoint.memo is not None:
         header += f"\nmemo {_memo_to_json(checkpoint.memo)}"
+    if checkpoint.basins is not None:
+        header += f"\nbasins {_basins_to_json(checkpoint.basins)}"
     directory = os.path.dirname(os.path.abspath(path))
     fd, tmp = tempfile.mkstemp(prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory)
     os.close(fd)
@@ -150,8 +200,8 @@ def save_checkpoint(path: str, checkpoint: RefinementCheckpoint) -> None:
 def _parse_header(path: str) -> dict[str, dict]:
     """Extract the ``# <tag> {...}`` JSON header lines from a checkpoint.
 
-    Returns a mapping of tag (``"meta"``, ``"memo"``) to the parsed JSON
-    body; scanning stops at the first non-comment line.
+    Returns a mapping of tag (``"meta"``, ``"memo"``, ``"basins"``) to the
+    parsed JSON body; scanning stops at the first non-comment line.
     """
     found: dict[str, dict] = {}
     with open(path) as fh:
@@ -160,9 +210,9 @@ def _parse_header(path: str) -> dict[str, dict]:
             if not text.startswith("#"):
                 break
             body = text.lstrip("#").strip()
-            for tag in ("meta", "memo"):
+            for tag in ("meta", "memo", "basins"):
                 if body.startswith(tag + " "):
-                    found[tag] = dict(json.loads(body[len(tag) + 1 :]))
+                    found[tag] = json.loads(body[len(tag) + 1 :])
     if "meta" not in found:
         raise ValueError(f"{path}: not a checkpoint file (no meta header)")
     return found
@@ -186,6 +236,7 @@ def load_checkpoint(path: str) -> RefinementCheckpoint:
         )
     stats = RefinementStats(**meta["stats"])
     memo = _memo_from_json(header["memo"]) if "memo" in header else None
+    basins = _basins_from_json(header["basins"]) if "basins" in header else None
     return RefinementCheckpoint(
         schedule_fingerprint=str(meta["schedule_fingerprint"]),
         levels_done=int(meta["levels_done"]),
@@ -194,6 +245,7 @@ def load_checkpoint(path: str) -> RefinementCheckpoint:
         stats=stats,
         memo=memo,
         engine_fingerprint=str(meta.get("engine_fingerprint", "")),
+        basins=basins,
     )
 
 
@@ -248,5 +300,176 @@ def try_load_checkpoint(
             f"{engine_fingerprint} (same schedule, different kernel/memo/"
             f"matching settings); refusing to resume — delete the "
             f"checkpoint or restore the original configuration"
+        )
+    return ckpt
+
+
+# -- the outer-loop (structure determination) checkpoint ----------------------
+
+
+@dataclass(frozen=True)
+class LoopIterationEntry:
+    """One completed outer-loop iteration, as recorded in ``loop.json``.
+
+    The entry holds only what the resume path cannot recompute cheaply or
+    must *verify*: the per-iteration orientations live in their own
+    full-precision orientation file, the map is deterministically rebuilt
+    from them on resume and checked against ``map_digest``.
+    """
+
+    iteration: int
+    r_max: float | None
+    resolution_angstrom: float
+    mean_distance: float
+    map_digest: str
+
+    def to_json(self) -> dict:
+        return {
+            "iteration": int(self.iteration),
+            "r_max": None if self.r_max is None else float(self.r_max),
+            "resolution_angstrom": float(self.resolution_angstrom),
+            "mean_distance": float(self.mean_distance),
+            "map_digest": self.map_digest,
+        }
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "LoopIterationEntry":
+        return cls(
+            iteration=int(obj["iteration"]),
+            r_max=None if obj["r_max"] is None else float(obj["r_max"]),
+            resolution_angstrom=float(obj["resolution_angstrom"]),
+            mean_distance=float(obj["mean_distance"]),
+            map_digest=str(obj["map_digest"]),
+        )
+
+
+@dataclass(frozen=True)
+class LoopCheckpoint:
+    """Progress record of the refine→reconstruct loop (DESIGN.md §14).
+
+    ``engine_fingerprint`` is the *base* config's
+    :meth:`~repro.engine.config.EngineConfig.fingerprint`, which covers the
+    ``iteration`` section — so a resume under a different stopping rule or
+    resolution ladder refuses loudly.  ``initial_map_digest`` pins the
+    starting map: iteration 0 refines against it, so a different initial
+    map means a different run entirely (treated like a view-count
+    mismatch: start fresh).
+    """
+
+    engine_fingerprint: str
+    n_views: int
+    initial_map_digest: str
+    iterations: tuple[LoopIterationEntry, ...] = ()
+
+    @property
+    def iterations_done(self) -> int:
+        return len(self.iterations)
+
+
+def density_digest(data: Array) -> str:
+    """SHA-256 of a density volume's exact float64 bytes (plus shape)."""
+    arr = np.ascontiguousarray(np.asarray(data, dtype=np.float64))
+    h = hashlib.sha256()
+    h.update(str(arr.shape).encode())
+    h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+def loop_checkpoint_path(directory: str) -> str:
+    """The ``loop.json`` progress record inside a loop-checkpoint dir."""
+    return os.path.join(directory, "loop.json")
+
+
+def iteration_orientations_path(directory: str, iteration: int) -> str:
+    """The full-precision orientation file of one completed iteration."""
+    return os.path.join(directory, f"iter_{int(iteration):03d}.orient")
+
+
+def iteration_checkpoint_path(directory: str, iteration: int) -> str:
+    """The level-granular inner checkpoint of one in-flight iteration.
+
+    Iteration-tagged so a finished iteration's inner checkpoint can never
+    seed the next iteration's refinement (their schedules may coincide,
+    but their input maps do not).
+    """
+    return os.path.join(directory, f"iter_{int(iteration):03d}.refine.ckpt")
+
+
+def save_loop_checkpoint(directory: str, checkpoint: LoopCheckpoint) -> None:
+    """Atomically write ``loop.json`` (creating ``directory`` if needed)."""
+    os.makedirs(directory, exist_ok=True)
+    payload = {
+        "format": LOOP_CHECKPOINT_FORMAT,
+        "engine_fingerprint": checkpoint.engine_fingerprint,
+        "n_views": int(checkpoint.n_views),
+        "initial_map_digest": checkpoint.initial_map_digest,
+        "iterations": [e.to_json() for e in checkpoint.iterations],
+    }
+    path = loop_checkpoint_path(directory)
+    fd, tmp = tempfile.mkstemp(prefix="loop.json.", suffix=".tmp", dir=directory)
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+        raise
+
+
+def load_loop_checkpoint(directory: str) -> LoopCheckpoint:
+    """Read a ``loop.json`` written by :func:`save_loop_checkpoint`."""
+    path = loop_checkpoint_path(directory)
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != LOOP_CHECKPOINT_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported loop-checkpoint format {payload.get('format')!r}"
+        )
+    return LoopCheckpoint(
+        engine_fingerprint=str(payload["engine_fingerprint"]),
+        n_views=int(payload["n_views"]),
+        initial_map_digest=str(payload["initial_map_digest"]),
+        iterations=tuple(
+            LoopIterationEntry.from_json(e) for e in payload["iterations"]
+        ),
+    )
+
+
+def try_load_loop_checkpoint(
+    directory: str,
+    engine_fingerprint: str,
+    n_views: int,
+    initial_map_digest: str,
+) -> LoopCheckpoint | None:
+    """Load the loop checkpoint if it is usable for this exact run.
+
+    Mirrors :func:`try_load_checkpoint`'s gate: missing/unparseable files
+    and view-count or initial-map mismatches mean "start fresh" (the file
+    is for another run); an engine-fingerprint mismatch — same inputs,
+    different result-relevant configuration — raises
+    :class:`CheckpointConfigMismatch` instead of silently mixing runs.
+    """
+    path = loop_checkpoint_path(directory)
+    if not os.path.exists(path):
+        return None
+    try:
+        ckpt = load_loop_checkpoint(directory)
+    except (ValueError, OSError, KeyError, json.JSONDecodeError):
+        return None
+    if ckpt.n_views != n_views or ckpt.initial_map_digest != initial_map_digest:
+        return None
+    if (
+        engine_fingerprint
+        and ckpt.engine_fingerprint
+        and ckpt.engine_fingerprint != engine_fingerprint
+    ):
+        raise CheckpointConfigMismatch(
+            f"{path}: loop checkpoint was written under engine config "
+            f"{ckpt.engine_fingerprint}, this run is configured as "
+            f"{engine_fingerprint}; refusing to resume — delete the "
+            f"checkpoint directory or restore the original configuration"
         )
     return ckpt

@@ -44,7 +44,7 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from multiprocessing import shared_memory
-from typing import TYPE_CHECKING, Any, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -132,6 +132,7 @@ def refine_level_serial(
     prune: PruneParams | None = None,
     seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
     symmetry: "SymmetryRestriction | None" = None,
+    on_result: Callable[[ViewLevelResult], None] | None = None,
 ) -> list[ViewLevelResult]:
     """Steps f–l for a set of views at one level, serially in this process.
 
@@ -150,6 +151,13 @@ def refine_level_serial(
     the multi-basin fan-out.  ``symmetry`` restricts the search to one
     asymmetric unit (batched kernel only, DESIGN.md §13); it is plain
     picklable data, so it rides worker payloads like ``prune``.
+
+    ``on_result`` fires once per view as its result is appended, carrying
+    the *local*-index :class:`ViewLevelResult` — callers that cover a
+    chunk of a larger set must re-tag indices before observing it, which
+    is why the pooled scheduler never passes it into worker payloads
+    (callbacks aren't picklable; streaming consumption is master-side
+    only, see :meth:`ViewScheduler.run_level`).
     """
     out: list[ViewLevelResult] = []
     for q in range(len(orientations)):
@@ -191,6 +199,8 @@ def refine_level_serial(
                 basins=res.basins,
             )
         )
+        if on_result is not None:
+            on_result(out[-1])
     return out
 
 
@@ -391,6 +401,7 @@ def polish_level_serial(
     memo_store: MemoStore | None = None,
     view_indices: Sequence[int] | None = None,
     counters: PerfCounters | None = None,
+    on_result: Callable[[ViewPolishResult], None] | None = None,
 ) -> list[ViewPolishResult]:
     """The Gauss–Newton polish stage for a set of views, serially.
 
@@ -446,6 +457,8 @@ def polish_level_serial(
                 converged=converged,
             )
         )
+        if on_result is not None:
+            on_result(out[-1])
     return out
 
 
@@ -651,6 +664,7 @@ class ViewScheduler:
         prune: PruneParams | None = None,
         seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
         symmetry: "SymmetryRestriction | None" = None,
+        on_result: Callable[[ViewLevelResult], None] | None = None,
     ) -> list[ViewLevelResult]:
         """Steps f–l for every view at one level; results ordered by view index.
 
@@ -673,6 +687,15 @@ class ViewScheduler:
         k-th-best tracker lives inside each view's own window search, so
         pruning decisions — like everything else — are independent of
         chunking and worker count.
+
+        ``on_result`` is the streaming hook (DESIGN.md §14): it fires on
+        the master, exactly once per view, with the globally-indexed
+        :class:`ViewLevelResult`, in whatever order chunks complete.  On
+        the pooled path a chunk's results are observed only *after*
+        :func:`validate_chunk_results` accepts them — a poisoned, retried
+        or timed-out chunk never reaches the consumer, and the serial
+        fallback fires after its indices are re-tagged to global.
+        Callbacks never enter worker payloads (they aren't picklable).
         """
         seq = self._level_seq
         self._level_seq += 1
@@ -692,6 +715,7 @@ class ViewScheduler:
             symmetry=symmetry,
         )
         if self.n_workers == 1 or m < 2:
+            # local indices are global here: the call covers the whole set
             return refine_level_serial(
                 volume_ft,
                 view_fts,
@@ -701,6 +725,7 @@ class ViewScheduler:
                 memo_store=memo_store,
                 counters=counters,
                 seed_basins=seed_basins,
+                on_result=on_result,
                 **serial_kwargs,
             )
         try:
@@ -715,6 +740,7 @@ class ViewScheduler:
                 memo_store=memo_store,
                 counters=counters,
                 seed_basins=seed_basins,
+                on_result=on_result,
             )
         except BaseException:
             # unrecoverable (attempt budgets cannot save us from e.g. a
@@ -735,6 +761,7 @@ class ViewScheduler:
         memo_store: MemoStore | None = None,
         counters: PerfCounters | None = None,
         seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
+        on_result: Callable[[ViewLevelResult], None] | None = None,
     ) -> list[ViewLevelResult]:
         """The pool fan-out with the retry/re-queue/degrade recovery loop."""
         policy = self.retry_policy
@@ -800,7 +827,11 @@ class ViewScheduler:
                 else [seed_basins[i] for i in chunk],
                 **serial_kwargs,
             )
-            return [replace(r, index=int(chunk[r.index])) for r in sub]
+            retagged = [replace(r, index=int(chunk[r.index])) for r in sub]
+            if on_result is not None:
+                for r in retagged:
+                    on_result(r)
+            return retagged
 
         attempts = [0] * len(chunks)
         done: dict[int, list[ViewLevelResult]] = {}
@@ -827,9 +858,14 @@ class ViewScheduler:
                     results, memo_state, perf = future.result(timeout=policy.chunk_timeout_s)
                     validate_chunk_results(chunks[cid], results)
                     done[cid] = results
-                    # only a validated chunk's memo/perf enters the master
-                    # state — a poisoned result must not leave side effects
+                    # only a validated chunk's memo/perf/results enter the
+                    # master state — a poisoned result must not leave side
+                    # effects, and the streaming consumer below must never
+                    # observe one (nor see an accepted chunk twice)
                     absorb_extras(memo_state, perf)
+                    if on_result is not None:
+                        for r in results:
+                            on_result(r)
                 except ChunkIntegrityError as exc:
                     self.fault_log.record(
                         "poison", site, attempts[cid], "poison-detected", str(exc)
@@ -904,6 +940,7 @@ class ViewScheduler:
         seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
         memo_store: MemoStore | None = None,
         counters: PerfCounters | None = None,
+        on_result: Callable[[ViewPolishResult], None] | None = None,
     ) -> list[ViewPolishResult]:
         """The continuous polish stage for every view; ordered by view index.
 
@@ -917,6 +954,10 @@ class ViewScheduler:
         timeout, pickling bug) reruns once on the in-process serial path;
         polish chunks are not retried on the pool because the serial
         fallback is already exact.
+
+        ``on_result`` streams globally-indexed results to the master as
+        chunks complete, with the same once-per-view guarantee as
+        :meth:`run_level`.
         """
         m = len(orientations)
         kwargs: dict[str, Any] = dict(
@@ -937,6 +978,7 @@ class ViewScheduler:
                 seed_basins=seed_basins,
                 memo_store=memo_store,
                 counters=counters,
+                on_result=on_result,
                 **kwargs,
             )
         try:
@@ -950,6 +992,7 @@ class ViewScheduler:
                 seed_basins=seed_basins,
                 memo_store=memo_store,
                 counters=counters,
+                on_result=on_result,
             )
         except BaseException:
             self._restart_pool()
@@ -967,6 +1010,7 @@ class ViewScheduler:
         seed_basins: Sequence[tuple[Orientation, ...] | None] | None = None,
         memo_store: MemoStore | None = None,
         counters: PerfCounters | None = None,
+        on_result: Callable[[ViewPolishResult], None] | None = None,
     ) -> list[ViewPolishResult]:
         shared = self._share(volume_ft)
         spec_id = self._spec_id(kwargs["distance_computer"])
@@ -1014,6 +1058,9 @@ class ViewScheduler:
                     memo_store.import_state(memo_state)
                 if counters is not None and perf is not None:
                     counters.merge(perf)
+                if on_result is not None:
+                    for r in results:
+                        on_result(r)
             except (FuturesTimeoutError, BrokenProcessPool) as exc:
                 self.fault_log.record(
                     "crash-before", f"polish/{cid}", 0, "serial-fallback", repr(exc)
@@ -1044,6 +1091,9 @@ class ViewScheduler:
                 **kwargs,
             )
             done[cid] = [replace(r, index=int(chunk[r.index])) for r in sub]
+            if on_result is not None:
+                for r in done[cid]:
+                    on_result(r)
         results = [r for cid in sorted(done) for r in done[cid]]
         results.sort(key=lambda r: r.index)
         return results

@@ -5,6 +5,7 @@ stacks and orientation files; this CLI reproduces that workflow:
 
     python -m repro.pipeline.cli simulate   --kind sindbis --size 32 ...
     python -m repro.pipeline.cli refine     --map map.mrc --stack views.mrc ...
+    python -m repro.pipeline.cli determine  --map init.mrc --stack views.mrc ...
     python -m repro.pipeline.cli reconstruct --stack views.mrc --orient o.txt ...
     python -m repro.pipeline.cli detect-symmetry --map map.mrc
     python -m repro.pipeline.cli resolution --stack views.mrc --orient o.txt
@@ -48,6 +49,19 @@ _REFINE_DEFAULTS: dict[str, object] = {
     "symmetry": "none",
 }
 
+#: Extra tunables of the determine subcommand (the outer loop's knobs),
+#: layered on top of :data:`_REFINE_DEFAULTS` minus ``ranks`` (the outer
+#: loop drives a real execution backend, not the simulated cluster).
+_DETERMINE_DEFAULTS: dict[str, object] = {
+    **{k: v for k, v in _REFINE_DEFAULTS.items() if k != "ranks"},
+    "ranks": 0,  # never a determine flag; keeps shared validation happy
+    "iterations": 3,
+    "fsc_threshold": 0.5,
+    "min_improvement": 0.0,
+    "r_max_schedule": None,
+    "no_streaming": False,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for all subcommands (exposed for doc/testing)."""
@@ -71,66 +85,107 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--out-orient", required=True)
     sim.add_argument("--out-truth-orient", default=None)
 
+    absent = argparse.SUPPRESS  # presence on the namespace == explicit flag
+
+    def add_engine_options(p: argparse.ArgumentParser, checkpoint_help: str) -> None:
+        """The tunables shared by ``refine`` and ``determine``."""
+        p.add_argument("--r-max", type=float, default=absent)
+        p.add_argument("--levels", default=absent, help="comma-separated angular steps")
+        p.add_argument("--half-steps", type=int, default=absent)
+        p.add_argument("--max-slides", type=int, default=absent)
+        p.add_argument("--no-centers", action="store_true", default=absent)
+        p.add_argument(
+            "--kernel", choices=("batched", "fused", "reference"), default=absent,
+            help="matching kernel: batched whole-window with memo (default), fused "
+            "in-band per candidate, or the reference slow path (all bit-identical)",
+        )
+        p.add_argument(
+            "--no-memo", action="store_true", default=absent,
+            help="disable the orientation memo cache (batched kernel only)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=absent,
+            help="process count for the per-view fan-out (1 = serial)",
+        )
+        p.add_argument("--checkpoint", default=absent, help=checkpoint_help)
+        p.add_argument(
+            "--resume", action="store_true", default=absent,
+            help="seed the run from --checkpoint if it matches this configuration",
+        )
+        p.add_argument(
+            "--prune", action="store_true", default=absent,
+            help="best-first early-termination pruning of candidate windows "
+            "(batched kernel only; the winner stays bit-identical)",
+        )
+        p.add_argument(
+            "--polish", action="store_true", default=absent,
+            help="replace the finest grid levels with a continuous "
+            "least-squares polish over (angles, center)",
+        )
+        p.add_argument(
+            "--symmetry", default=absent,
+            help="restrict the search to one asymmetric unit: 'none' (default), "
+            "'detect' (find the map's point group first), or 'fixed:<group>' "
+            "with a Schoenflies symbol (C<n>, D<n>, T, O, I)",
+        )
+        p.add_argument(
+            "--config", dest="config_path", default=None,
+            help="engine config file (.toml or .json); flags override its fields",
+        )
+        p.add_argument(
+            "--dry-run", action="store_true",
+            help="print the fully resolved engine config (with per-field "
+            "provenance: default/file/env/flag) and exit without running",
+        )
+
     ref = sub.add_parser("refine", help="refine orientations of a view stack against a map")
     ref.add_argument("--map", dest="map_path", required=True)
     ref.add_argument("--stack", required=True)
     ref.add_argument("--orient", required=True, help="initial orientation file")
     ref.add_argument("--out", required=True, help="refined orientation file")
-    absent = argparse.SUPPRESS  # presence on the namespace == explicit flag
-    ref.add_argument("--r-max", type=float, default=absent)
-    ref.add_argument("--levels", default=absent, help="comma-separated angular steps")
-    ref.add_argument("--half-steps", type=int, default=absent)
-    ref.add_argument("--max-slides", type=int, default=absent)
-    ref.add_argument("--no-centers", action="store_true", default=absent)
     ref.add_argument(
         "--ranks", type=int, default=absent,
         help=">0: run on the simulated cluster",
     )
-    ref.add_argument(
-        "--kernel", choices=("batched", "fused", "reference"), default=absent,
-        help="matching kernel: batched whole-window with memo (default), fused "
-        "in-band per candidate, or the reference slow path (all bit-identical)",
+    add_engine_options(
+        ref, "write a level-granular checkpoint here after every completed level"
     )
-    ref.add_argument(
-        "--no-memo", action="store_true", default=absent,
-        help="disable the orientation memo cache (batched kernel only)",
+
+    det_loop = sub.add_parser(
+        "determine",
+        help="full structure determination: iterate refine + reconstruct "
+        "until the FSC resolution stops improving",
     )
-    ref.add_argument(
-        "--workers", type=int, default=absent,
-        help="process count for the per-view fan-out (1 = serial)",
+    det_loop.add_argument("--map", dest="map_path", required=True, help="initial map")
+    det_loop.add_argument("--stack", required=True)
+    det_loop.add_argument("--orient", required=True, help="initial orientation file")
+    det_loop.add_argument("--out", required=True, help="final orientation file")
+    det_loop.add_argument("--out-map", default=None, help="final reconstructed map (MRC)")
+    det_loop.add_argument(
+        "--iterations", type=int, default=absent,
+        help="outer refine→reconstruct iteration budget",
     )
-    ref.add_argument(
-        "--checkpoint", default=absent,
-        help="write a level-granular checkpoint here after every completed level",
+    det_loop.add_argument(
+        "--fsc-threshold", type=float, default=absent,
+        help="FSC crossing threshold used for the resolution estimate",
     )
-    ref.add_argument(
-        "--resume", action="store_true", default=absent,
-        help="seed the run from --checkpoint if it matches this schedule and stack",
+    det_loop.add_argument(
+        "--min-improvement", type=float, default=absent,
+        help="stop when the resolution improves by less than this many angstrom",
     )
-    ref.add_argument(
-        "--prune", action="store_true", default=absent,
-        help="best-first early-termination pruning of candidate windows "
-        "(batched kernel only; the winner stays bit-identical)",
+    det_loop.add_argument(
+        "--r-max-schedule", default=absent,
+        help="comma-separated per-iteration r_max ladder (last entry repeats)",
     )
-    ref.add_argument(
-        "--polish", action="store_true", default=absent,
-        help="replace the finest grid levels with a continuous "
-        "least-squares polish over (angles, center)",
+    det_loop.add_argument(
+        "--no-streaming", action="store_true", default=absent,
+        help="barrier each iteration before reconstructing instead of streaming "
+        "results into the map accumulator (bit-identical either way)",
     )
-    ref.add_argument(
-        "--symmetry", default=absent,
-        help="restrict the search to one asymmetric unit: 'none' (default), "
-        "'detect' (find the map's point group first), or 'fixed:<group>' "
-        "with a Schoenflies symbol (C<n>, D<n>, T, O, I)",
-    )
-    ref.add_argument(
-        "--config", dest="config_path", default=None,
-        help="engine config file (.toml or .json); flags override its fields",
-    )
-    ref.add_argument(
-        "--dry-run", action="store_true",
-        help="print the fully resolved engine config (with per-field "
-        "provenance: default/file/env/flag) and exit without refining",
+    add_engine_options(
+        det_loop,
+        "checkpoint *directory* for the outer loop (loop.json + per-iteration "
+        "orientation files); a killed run resumes mid-loop with --resume",
     )
 
     rec = sub.add_parser("reconstruct", help="direct-Fourier reconstruction from a stack + orientations")
@@ -212,6 +267,29 @@ def validate_refine_args(parser: argparse.ArgumentParser, args: argparse.Namespa
         parser.error(str(exc))
 
 
+def _validate_determine_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Determine-subcommand validation: the shared checks plus loop knobs."""
+    validate_refine_args(parser, args)
+    if args.iterations < 1:
+        parser.error(f"--iterations must be >= 1, got {args.iterations}")
+    if not 0.0 < args.fsc_threshold < 1.0:
+        parser.error(f"--fsc-threshold must be in (0, 1), got {args.fsc_threshold}")
+    if args.min_improvement < 0.0:
+        parser.error(f"--min-improvement must be >= 0, got {args.min_improvement}")
+    if args.r_max_schedule is not None:
+        try:
+            ladder = _parse_levels(args.r_max_schedule)
+        except ValueError:
+            parser.error(
+                f"--r-max-schedule must be comma-separated positive numbers, "
+                f"got {args.r_max_schedule!r}"
+            )
+        else:
+            args.r_max_schedule = ladder
+
+
 def _load_stack(path: str) -> tuple[np.ndarray, float]:
     from repro.density import read_mrc
 
@@ -231,15 +309,17 @@ _CLI_BASE = {
 }
 
 
-def _normalize_refine_args(args: argparse.Namespace) -> set[str]:
-    """Record which refine tunables were typed, then fill in the defaults.
+def _normalize_refine_args(
+    args: argparse.Namespace, defaults: dict[str, object] = _REFINE_DEFAULTS
+) -> set[str]:
+    """Record which tunables were typed, then fill in the defaults.
 
     The parser declares tunables with ``default=argparse.SUPPRESS`` so only
     explicit options appear on the namespace; this returns that set and
     makes every remaining attribute concrete for validation and execution.
     """
-    explicit = {name for name in _REFINE_DEFAULTS if hasattr(args, name)}
-    for name, value in _REFINE_DEFAULTS.items():
+    explicit = {name for name in defaults if hasattr(args, name)}
+    for name, value in defaults.items():
         if name not in explicit:
             setattr(args, name, value)
     return explicit
@@ -278,6 +358,16 @@ def _refine_flag_overrides(
     if changed("ranks") and args.ranks > 0:
         flags["parallel.backend"] = "sim"
         flags["parallel.n_ranks"] = args.ranks
+    if changed("iterations"):
+        flags["iteration.max_iterations"] = args.iterations
+    if changed("fsc_threshold"):
+        flags["iteration.fsc_threshold"] = args.fsc_threshold
+    if changed("min_improvement"):
+        flags["iteration.min_improvement_angstrom"] = args.min_improvement
+    if changed("r_max_schedule") and args.r_max_schedule is not None:
+        flags["iteration.r_max_schedule"] = list(args.r_max_schedule)
+    if changed("no_streaming"):
+        flags["iteration.streaming"] = not args.no_streaming
     if changed("checkpoint"):
         flags["checkpoint.path"] = args.checkpoint
     if changed("resume"):
@@ -356,6 +446,52 @@ def _cmd_refine(
     return 0
 
 
+def _cmd_determine(
+    args: argparse.Namespace, parser: argparse.ArgumentParser, explicit: set[str]
+) -> int:
+    resolved = _resolve_refine_config(parser, args, explicit)
+    if args.dry_run:
+        from repro.engine.resolve import describe_environment
+
+        print(resolved.describe())
+        print(describe_environment())
+        return 0
+
+    from repro.density import DensityMap, read_mrc, write_mrc
+    from repro.reconstruct import determine_structure
+    from repro.refine import read_orientation_file, write_orientation_file
+
+    config = resolved.config
+    map_data, map_apix = read_mrc(args.map_path)
+    density = DensityMap(map_data, map_apix)
+    stack, _ = _load_stack(args.stack)
+    init, _ = read_orientation_file(args.orient)
+    result = determine_structure(
+        stack, density, config, initial_orientations=init
+    )
+    for rec in result.history:
+        tag = " (replayed)" if rec.resumed else ""
+        r_max = "full" if rec.r_max is None else f"{rec.r_max:g}"
+        print(
+            f"iteration {rec.iteration}: resolution {rec.resolution_angstrom:.2f} A "
+            f"(FSC {config.iteration.fsc_threshold:g}), mean distance "
+            f"{rec.mean_distance:.4f}, r_max {r_max}{tag}"
+        )
+    write_orientation_file(args.out, result.final_orientations)
+    wrote = args.out
+    if args.out_map:
+        final = result.final_map
+        write_mrc(args.out_map, final.data, apix=final.apix)
+        wrote = f"{args.out}, {args.out_map}"
+    print(
+        f"stopped after {len(result.history)} iteration(s): {result.stop_reason}; "
+        f"wrote {wrote}"
+    )
+    if result.perf is not None:
+        print(f"perf: {result.perf.summary()}")
+    return 0
+
+
 def _cmd_reconstruct(args: argparse.Namespace) -> int:
     from repro.density import write_mrc
     from repro.reconstruct import reconstruct_from_views
@@ -410,6 +546,10 @@ def main(argv: list[str] | None = None) -> int:
         explicit = _normalize_refine_args(args)
         validate_refine_args(parser, args)
         return _cmd_refine(args, parser, explicit)
+    if args.command == "determine":
+        explicit = _normalize_refine_args(args, _DETERMINE_DEFAULTS)
+        _validate_determine_args(parser, args)
+        return _cmd_determine(args, parser, explicit)
     handlers = {
         "simulate": _cmd_simulate,
         "reconstruct": _cmd_reconstruct,

@@ -16,8 +16,16 @@ from repro.reconstruct.resolution import (
     resolution_at_threshold,
     split_odd_even,
 )
-from repro.reconstruct.iterate import IterationRecord, structure_determination_loop
+from repro.reconstruct.iterate import (
+    IterationRecord,
+    StructureDeterminationResult,
+    determine_structure,
+    iterations_until_stop,
+    should_stop,
+    structure_determination_loop,
+)
 from repro.reconstruct.sirt import SIRTResult, sirt_reconstruct
+from repro.reconstruct.stream import HalfSetAccumulator
 from repro.reconstruct.coverage import (
     coverage_fraction,
     coverage_volume,
@@ -33,7 +41,12 @@ __all__ = [
     "fsc_crossing",
     "resolution_at_threshold",
     "structure_determination_loop",
+    "determine_structure",
+    "should_stop",
+    "iterations_until_stop",
     "IterationRecord",
+    "StructureDeterminationResult",
+    "HalfSetAccumulator",
     "sirt_reconstruct",
     "SIRTResult",
     "coverage_volume",

@@ -16,9 +16,8 @@ import numpy as np
 
 from repro.ctf.model import CTFParams
 from repro.density.map import DensityMap
-from repro.fourier.shells import fsc_curve
 from repro.geometry.euler import Orientation
-from repro.reconstruct.direct_fourier import reconstruct_from_views
+from repro.reconstruct.stream import HalfSetAccumulator
 from repro.utils import shell_radius_to_resolution
 
 __all__ = [
@@ -70,24 +69,27 @@ def half_map_fsc(
     pad_factor: int = 2,
     ctf_params: list[CTFParams] | None = None,
 ) -> tuple[np.ndarray, DensityMap, DensityMap]:
-    """Reconstruct odd/even half maps and return their FSC + both maps."""
+    """Reconstruct odd/even half maps and return their FSC + both maps.
+
+    Each view is Fourier-inserted exactly once, into its half's
+    accumulator; the old implementation ran
+    :func:`~repro.reconstruct.direct_fourier.reconstruct_from_views` once
+    per half over the split sub-stacks.  Per-half insertion order is
+    unchanged, so the maps are bit-identical to that two-pass path
+    (asserted by ``tests/test_reconstruct_stream.py``).
+    """
     imgs = np.asarray(images, dtype=float)
-    odd, even = split_odd_even(imgs.shape[0])
-    map_odd = reconstruct_from_views(
-        imgs[odd],
-        [orientations[i] for i in odd],
-        apix=apix,
-        pad_factor=pad_factor,
-        ctf_params=None if ctf_params is None else [ctf_params[i] for i in odd],
+    if imgs.ndim != 3:
+        raise ValueError("images must be a (m, l, l) stack")
+    split_odd_even(imgs.shape[0])  # n >= 2, same error as the old path
+    acc = HalfSetAccumulator(
+        imgs, apix=apix, pad_factor=pad_factor, ctf_params=ctf_params
     )
-    map_even = reconstruct_from_views(
-        imgs[even],
-        [orientations[i] for i in even],
-        apix=apix,
-        pad_factor=pad_factor,
-        ctf_params=None if ctf_params is None else [ctf_params[i] for i in even],
-    )
-    return fsc_curve(map_odd.data, map_even.data), map_odd, map_even
+    if len(orientations) != imgs.shape[0]:
+        raise ValueError("need one orientation per view")
+    acc.push_all(list(orientations))
+    map_odd, map_even = acc.half_maps()
+    return acc.fsc(), map_odd, map_even
 
 
 def correlation_curve(

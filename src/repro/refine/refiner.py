@@ -289,8 +289,19 @@ class OrientationRefiner:
         checkpoint_path: str | None = None,
         resume: bool = False,
         backend=None,
+        on_final_result=None,
     ) -> RefinementResult:
         """Run one full refinement iteration over a view set.
+
+        ``on_final_result`` is the streaming hook of the outer
+        refine→reconstruct loop (DESIGN.md §14): a master-side callback
+        fired once per view with that view's *final* per-view result —
+        attached only to the last stage (the final grid level, or the
+        polish when it is enabled), since earlier levels' orientations are
+        still provisional.  It receives
+        :class:`~repro.parallel.viewsched.ViewLevelResult` or
+        :class:`~repro.parallel.viewsched.ViewPolishResult` objects with
+        global view indices, in chunk-completion order.
 
         ``views`` may be a :class:`SimulatedViews` (orientations/CTF taken
         from it unless overridden) or a raw ``(m, l, l)`` image stack with
@@ -343,7 +354,7 @@ class OrientationRefiner:
         # finest grid levels, so the checkpointed schedule fingerprint below
         # covers only the *kept* levels; the polish itself checkpoints as
         # one extra stage.  Basin state (rank > 1) lives across stage
-        # boundaries and cannot ride the level-granular checkpoint.
+        # boundaries and rides the checkpoint header's ``basins`` tag.
         prune_cfg = self.config.prune
         polish_cfg = self.config.polish
         replaced_tail: tuple[RefinementLevel, ...] = ()
@@ -362,12 +373,6 @@ class OrientationRefiner:
                 chunk=prune_cfg.chunk,
             )
         track_basins = prune_params is not None and prune_params.rank > 1
-        if track_basins and checkpoint_path is not None:
-            raise ConfigError(
-                "multi-basin runs (prune.top_k > 1 or polish.n_best > 1) "
-                "carry state between stages that the level-granular "
-                "checkpoint cannot record; disable checkpointing"
-            )
         n_stages = len(sched) + (1 if polish_cfg.enabled else 0)
         stats = RefinementStats(n_views=images.shape[0])
         orientations = list(init)
@@ -382,6 +387,7 @@ class OrientationRefiner:
         start_level = 0
         fingerprint = ""
         engine_fingerprint = ""
+        restored_basins: list[tuple[Orientation, ...] | None] | None = None
         if checkpoint_path is not None:
             # Imported lazily: repro.faults.checkpoint reads/writes the
             # orientation-file format, which lives beside this module.
@@ -417,6 +423,11 @@ class OrientationRefiner:
                         # warm memo from the killed run: resumed levels
                         # skip the gathers the dead run already paid for
                         memo_store.import_state(found.memo)
+                    if track_basins and found.basins is not None:
+                        # multi-basin state rides the checkpoint header:
+                        # the resumed level re-seeds from the same basin
+                        # centers the dead run would have used
+                        restored_basins = list(found.basins)
         if start_level >= n_stages:
             # everything already done: no need to rebuild D̂ or transforms
             return RefinementResult(
@@ -460,7 +471,8 @@ class OrientationRefiner:
                 restriction, symmetry_group = resolve_restriction(
                     self.config.symmetry, self.density, backend=backend
                 )
-        basin_state: list[tuple[Orientation, ...] | None] | None = None
+        basin_state: list[tuple[Orientation, ...] | None] | None = restored_basins
+        final_level = len(sched) - 1
         try:
             for li, level in enumerate(sched):
                 if li < start_level:
@@ -487,6 +499,11 @@ class OrientationRefiner:
                         prune=prune_params,
                         seed_basins=basin_state,
                         symmetry=restriction,
+                        on_result=(
+                            on_final_result
+                            if li == final_level and not polish_cfg.enabled
+                            else None
+                        ),
                     )
                     if track_basins:
                         basin_state = [None] * len(orientations)
@@ -523,6 +540,7 @@ class OrientationRefiner:
                             stats=stats,
                             memo=None if memo_store is None else memo_store.export_state(),
                             engine_fingerprint=engine_fingerprint,
+                            basins=None if basin_state is None else list(basin_state),
                         ),
                     )
             if polish_cfg.enabled:
@@ -547,6 +565,7 @@ class OrientationRefiner:
                         seed_basins=basin_state,
                         memo_store=memo_store,
                         counters=counters,
+                        on_result=on_final_result,
                     )
                     for pres in polish_results:
                         orientations[pres.index] = pres.orientation
@@ -566,6 +585,7 @@ class OrientationRefiner:
                             stats=stats,
                             memo=None if memo_store is None else memo_store.export_state(),
                             engine_fingerprint=engine_fingerprint,
+                            basins=None if basin_state is None else list(basin_state),
                         ),
                     )
         finally:

@@ -40,6 +40,7 @@ REQUIRED_SCENARIOS = {
     "defocus_groups",
     "icosahedral",
     "ab_initio",
+    "loop_clean",
     "paper_scale_sindbis",
     "paper_scale_reo",
 }

@@ -1,0 +1,54 @@
+"""Scenario-level parallel-backend sweep (DESIGN.md §12 + §14).
+
+The bit-identity doctrine is asserted at the scenario level: the same
+workload run under the process backend must produce a record identical to
+the serial run under :meth:`ScenarioRecord.comparable` — every accuracy
+metric to the last bit, with only wall-clock timing, perf counters and
+the execution-strategy engine keys differing.  The sweep covers both the
+single-refinement gate scenario and the outer-loop determination
+scenario, whose streaming accumulator must be arrival-order-insensitive
+for this to hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.pipeline.scenarios import Scenario, ScenarioRunner, default_matrix
+
+pytestmark = pytest.mark.scenarios
+
+_PROCESS = {"parallel": {"backend": "process", "n_workers": 2}}
+
+
+def _scenario(name: str) -> Scenario:
+    return next(s for s in default_matrix() if s.name == name)
+
+
+def _with_engine(scenario: Scenario, overrides: dict) -> Scenario:
+    return replace(scenario, engine={**dict(scenario.engine), **overrides})
+
+
+def test_clean_scenario_process_backend_matches_serial():
+    clean = _scenario("clean")
+    runner = ScenarioRunner()
+    serial = runner.run_scenario(clean)
+    pooled = runner.run_scenario(_with_engine(clean, _PROCESS))
+    assert pooled.metrics == serial.metrics
+    assert pooled.fingerprint == serial.fingerprint
+    assert pooled.comparable() == serial.comparable()
+    assert pooled.perf["backend"] == "process"
+    assert serial.perf["backend"] == "serial"
+
+
+def test_loop_scenario_process_backend_matches_serial():
+    """The determination loop streams from pool workers bit-identically."""
+    loop = _scenario("loop_clean")
+    runner = ScenarioRunner()
+    serial = runner.run(loop)
+    pooled = runner.run(_with_engine(loop, _PROCESS))
+    assert pooled.metrics == serial.metrics
+    assert pooled.fingerprint == serial.fingerprint
+    assert pooled.comparable() == serial.comparable()

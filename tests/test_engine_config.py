@@ -10,6 +10,7 @@ import pytest
 from repro.engine import (
     ConfigError,
     EngineConfig,
+    IterationConfig,
     KernelConfig,
     MemoConfig,
     ParallelConfig,
@@ -301,3 +302,82 @@ def test_symmetry_config_validation():
         EngineConfig.from_dict(
             {"symmetry": {"mode": "detect"}, "parallel": {"backend": "sim"}}
         )
+
+
+# -- iteration section (the outer determine-structure loop) -------------------
+def test_iteration_config_defaults_and_round_trip():
+    it = IterationConfig()
+    assert (it.max_iterations, it.fsc_threshold) == (3, 0.5)
+    assert it.min_improvement_angstrom == 0.0
+    assert it.r_max_schedule == () and it.streaming is True
+
+    cfg = EngineConfig.from_dict(
+        {
+            "iteration": {
+                "max_iterations": 5,
+                "fsc_threshold": 0.143,
+                "min_improvement_angstrom": 0.25,
+                "r_max_schedule": [10, 8, 6],
+                "streaming": False,
+            }
+        }
+    )
+    # integer ladder entries normalize to floats; the round trip is identity
+    assert cfg.iteration.r_max_schedule == (10.0, 8.0, 6.0)
+    assert EngineConfig.from_dict(cfg.to_dict()) == cfg
+
+
+@pytest.mark.parametrize(
+    "tree",
+    [
+        {"iteration": {"max_iterations": 0}},
+        {"iteration": {"fsc_threshold": 0.0}},
+        {"iteration": {"fsc_threshold": 1.0}},
+        {"iteration": {"min_improvement_angstrom": -0.1}},
+        {"iteration": {"r_max_schedule": [8.0, -2.0]}},
+        {"iteration": {"r_max_schedule": 8.0}},
+        {"iteration": {"streaming": "yes"}},
+        {"iteration": {"warp": 1}},
+    ],
+)
+def test_iteration_invalid_values_rejected(tree):
+    with pytest.raises(ConfigError):
+        EngineConfig.from_dict(tree)
+
+
+def test_iteration_r_max_ladder_semantics():
+    """Iteration i refines with schedule[min(i, len-1)]; empty = run r_max."""
+    ladder = IterationConfig(r_max_schedule=(10.0, 8.0))
+    assert [ladder.r_max_for(i, 6.0) for i in range(4)] == [10.0, 8.0, 8.0, 8.0]
+    assert IterationConfig().r_max_for(3, 6.0) == 6.0
+    assert IterationConfig().r_max_for(0, None) is None
+
+
+def test_fingerprint_covers_iteration():
+    """Every iteration knob steers the loop's numbers (streaming included —
+    it must match across a resume even though it never changes a bit)."""
+    base = EngineConfig().fingerprint()
+    variants = [
+        EngineConfig(iteration=IterationConfig(max_iterations=7)),
+        EngineConfig(iteration=IterationConfig(fsc_threshold=0.143)),
+        EngineConfig(iteration=IterationConfig(min_improvement_angstrom=1.0)),
+        EngineConfig(iteration=IterationConfig(r_max_schedule=(9.0,))),
+        EngineConfig(iteration=IterationConfig(streaming=False)),
+    ]
+    prints = {cfg.fingerprint() for cfg in variants}
+    assert base not in prints
+    assert len(prints) == len(variants)
+
+
+def test_multi_basin_config_may_checkpoint():
+    """prune.top_k / polish.n_best > 1 plus a checkpoint path now validates:
+    the basin set rides the checkpoint header (DESIGN.md §14)."""
+    cfg = EngineConfig.from_dict(
+        {
+            "prune": {"enabled": True, "top_k": 2},
+            "polish": {"enabled": True, "n_best": 2},
+            "checkpoint": {"path": "run.ckpt"},
+        }
+    )
+    assert cfg.prune.top_k == 2 and cfg.polish.n_best == 2
+    assert cfg.checkpoint.path == "run.ckpt"

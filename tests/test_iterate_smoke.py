@@ -1,0 +1,71 @@
+"""iterate-smoke: the outer loop end to end in seconds (DESIGN.md §14).
+
+A tiny l = 16 two-iteration structure-determination loop, run three ways
+— streaming, barriered, and checkpointed-then-resumed — all of which must
+produce the same history bit for bit.  Marked ``iterate_smoke`` so
+``tools/check.py`` runs it as its own named quality-gate step; it also
+runs in tier-1 (the marker is additive, not excluded by default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.density import asymmetric_phantom
+from repro.engine.config import (
+    CheckpointConfig,
+    EngineConfig,
+    IterationConfig,
+    ScheduleConfig,
+)
+from repro.imaging.simulate import simulate_views
+from repro.reconstruct import determine_structure
+from repro.refine.multires import MultiResolutionSchedule, RefinementLevel
+
+pytestmark = pytest.mark.iterate_smoke
+
+
+def _config(streaming=True, path=None, resume=False):
+    sched = MultiResolutionSchedule((RefinementLevel(1.0, 1.0, half_steps=2),))
+    return EngineConfig(
+        schedule=ScheduleConfig.from_schedule(sched),
+        r_max=6.0,
+        iteration=IterationConfig(max_iterations=2, streaming=streaming),
+        checkpoint=CheckpointConfig(path=path, resume=resume),
+    )
+
+
+def _identical(a, b):
+    assert len(a) == len(b)
+    for x, y in zip(a, b):
+        assert [o.as_tuple() for o in x.orientations] == [
+            o.as_tuple() for o in y.orientations
+        ]
+        assert np.array_equal(x.density.data, y.density.data)
+        assert x.resolution_angstrom == y.resolution_angstrom
+
+
+def test_two_iteration_loop_with_resume(tmp_path):
+    density = asymmetric_phantom(16, seed=7).normalized()
+    views = simulate_views(
+        density, 6, snr=10.0, initial_angle_error_deg=2.0, seed=7
+    )
+
+    streamed = determine_structure(views, density, _config(streaming=True))
+    assert len(streamed.history) >= 1
+    assert streamed.stop_reason in ("converged", "max_iterations")
+
+    barriered = determine_structure(views, density, _config(streaming=False))
+    _identical(streamed.history, barriered.history)
+
+    ckpt = str(tmp_path / "loop")
+    first = determine_structure(
+        views, density, _config(streaming=True, path=ckpt, resume=True)
+    )
+    _identical(streamed.history, first.history)
+    resumed = determine_structure(
+        views, density, _config(streaming=True, path=ckpt, resume=True)
+    )
+    assert resumed.resumed_iterations == len(first.history)
+    _identical(first.history, resumed.history)

@@ -301,3 +301,100 @@ def test_refine_rejects_bad_symmetry(capsys):
     assert rc_or_exc != 0
     err = capsys.readouterr()
     assert "Q9" in err.err + err.out
+
+
+# -- determine (the outer refine→reconstruct loop) ----------------------------
+DETERMINE_REQUIRED = [
+    "determine", "--map", "m.mrc", "--stack", "s.mrc", "--orient", "o.txt",
+    "--out", "r.txt",
+]
+
+
+@pytest.mark.parametrize(
+    "extra, fragment",
+    [
+        (["--iterations", "0"], "--iterations must be >= 1"),
+        (["--fsc-threshold", "0"], "--fsc-threshold must be in (0, 1)"),
+        (["--fsc-threshold", "1.0"], "--fsc-threshold must be in (0, 1)"),
+        (["--min-improvement", "-0.5"], "--min-improvement must be >= 0"),
+        (["--r-max-schedule", "10,banana"], "--r-max-schedule"),
+        (["--r-max-schedule", "10,-6"], "--r-max-schedule"),
+        (["--resume"], "--resume requires --checkpoint"),
+        (["--workers", "0"], "--workers must be >= 1"),
+    ],
+)
+def test_determine_rejects_bad_arguments(extra, fragment, capsys):
+    """Malformed loop options exit 2 with a usage message, before any I/O."""
+    with pytest.raises(SystemExit) as exc:
+        main(DETERMINE_REQUIRED + extra)
+    assert exc.value.code == 2
+    assert fragment in capsys.readouterr().err
+
+
+def test_determine_dry_run_shows_iteration_provenance(capsys):
+    rc = main(
+        DETERMINE_REQUIRED
+        + ["--dry-run", "--iterations", "4", "--r-max-schedule", "10,8",
+           "--no-streaming"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "engine fingerprint:" in out
+    assert "iteration.max_iterations" in out and "[flag]" in out
+    assert "iteration.r_max_schedule" in out and "(10.0, 8.0)" in out
+    assert "iteration.streaming" in out and "False" in out
+    assert "iteration.fsc_threshold" in out and "[default]" in out
+
+
+def test_determine_end_to_end(dataset_files, capsys, tmp_path):
+    root, paths = dataset_files
+    out = str(tmp_path / "final.txt")
+    out_map = str(tmp_path / "final.mrc")
+    rc = main(
+        [
+            "determine", "--map", paths["map"], "--stack", paths["stack"],
+            "--orient", paths["orient"], "--out", out, "--out-map", out_map,
+            "--levels", "1.0", "--half-steps", "1", "--r-max", "8",
+            "--iterations", "2",
+        ]
+    )
+    assert rc == 0
+    text = capsys.readouterr().out
+    assert "iteration 0: resolution" in text
+    assert "stopped after" in text
+
+    from repro.density import read_mrc
+    from repro.refine import read_orientation_file
+
+    final, _ = read_orientation_file(out)
+    assert len(final) == 6
+    rec, _ = read_mrc(out_map)
+    assert rec.shape == (24, 24, 24)
+
+
+def test_determine_checkpoint_resume_replays(dataset_files, capsys, tmp_path):
+    """Rerunning a finished loop with --resume replays it from the
+    checkpoint directory to the same final orientations."""
+    root, paths = dataset_files
+    ckpt_dir = str(tmp_path / "loop_ckpt")
+    base_args = [
+        "determine", "--map", paths["map"], "--stack", paths["stack"],
+        "--orient", paths["orient"],
+        "--levels", "1.0", "--half-steps", "1", "--r-max", "8",
+        "--iterations", "2", "--checkpoint", ckpt_dir,
+    ]
+    out1 = str(tmp_path / "first.txt")
+    assert main(base_args + ["--out", out1]) == 0
+    first = capsys.readouterr().out
+    assert "(replayed)" not in first
+
+    out2 = str(tmp_path / "second.txt")
+    assert main(base_args + ["--out", out2, "--resume"]) == 0
+    second = capsys.readouterr().out
+    assert "(replayed)" in second
+
+    from repro.refine import read_orientation_file
+
+    want, _ = read_orientation_file(out1)
+    got, _ = read_orientation_file(out2)
+    assert [o.as_tuple() for o in got] == [o.as_tuple() for o in want]

@@ -1,0 +1,165 @@
+"""HalfSetAccumulator: streaming bit-identity and legacy equivalence.
+
+The accumulator underpins the outer loop (DESIGN.md §14); these tests pin
+its three contracts: (1) the half maps are bit-identical to the legacy
+two-pass path (one :func:`reconstruct_from_views` per odd/even
+sub-stack), (2) every output is independent of the arrival order of
+:meth:`push` — the streaming == barriered guarantee — and (3) the full
+map is numerically the direct-Fourier map of all views.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ctf.model import defocus_group_params
+from repro.density.phantom import asymmetric_phantom
+from repro.imaging.simulate import simulate_views
+from repro.reconstruct.direct_fourier import reconstruct_from_views
+from repro.reconstruct.resolution import correlation_curve, half_map_fsc, split_odd_even
+from repro.reconstruct.stream import HalfSetAccumulator
+from repro.utils import default_rng
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    density = asymmetric_phantom(16, seed=7).normalized()
+    views = simulate_views(
+        density, 7, snr=10.0, initial_angle_error_deg=2.0, seed=7,
+        ctf=defocus_group_params((9000.0, 15000.0), 7),
+    )
+    return views
+
+
+def _filled(views, **kwargs):
+    acc = HalfSetAccumulator(
+        views.images, apix=views.apix, ctf_params=views.ctf_params, **kwargs
+    )
+    return acc.push_all(list(views.true_orientations))
+
+
+def test_half_maps_bit_identical_to_two_pass(dataset):
+    views = dataset
+    acc = _filled(views)
+    map_odd, map_even = acc.half_maps()
+    odd, even = split_odd_even(views.images.shape[0])
+    for idx, got in ((odd, map_odd), (even, map_even)):
+        legacy = reconstruct_from_views(
+            views.images[idx],
+            [views.true_orientations[i] for i in idx],
+            apix=views.apix,
+            ctf_params=[views.ctf_params[i] for i in idx],
+        )
+        assert np.array_equal(got.data, legacy.data)
+        assert got.apix == legacy.apix
+
+
+def test_half_map_fsc_rides_the_accumulator(dataset):
+    """The resolution module's maps equal the accumulator's — one pass."""
+    views = dataset
+    fsc, map_odd, map_even = half_map_fsc(
+        views.images, views.true_orientations, apix=views.apix,
+        ctf_params=views.ctf_params,
+    )
+    acc = _filled(views)
+    a_odd, a_even = acc.half_maps()
+    assert np.array_equal(map_odd.data, a_odd.data)
+    assert np.array_equal(map_even.data, a_even.data)
+    assert np.array_equal(fsc, acc.fsc())
+
+
+def test_streaming_is_arrival_order_insensitive(dataset):
+    views = dataset
+    ordered = _filled(views)
+    shuffled = HalfSetAccumulator(
+        views.images, apix=views.apix, ctf_params=views.ctf_params
+    )
+    order = list(default_rng(3).permutation(views.images.shape[0]))
+    for q in order:
+        shuffled.push(int(q), views.true_orientations[q])
+    assert shuffled.complete
+    assert np.array_equal(ordered.full_map().data, shuffled.full_map().data)
+    for a, b in zip(ordered.half_maps(), shuffled.half_maps()):
+        assert np.array_equal(a.data, b.data)
+    assert np.array_equal(ordered.fsc(), shuffled.fsc())
+
+
+def test_push_remaining_completes_a_partial_stream(dataset):
+    views = dataset
+    orients = list(views.true_orientations)
+    partial = HalfSetAccumulator(
+        views.images, apix=views.apix, ctf_params=views.ctf_params
+    )
+    # stream an out-of-order prefix, leave a gap, then backfill
+    partial.push(1, orients[1])
+    partial.push(0, orients[0])
+    partial.push(4, orients[4])
+    partial.push_remaining(orients)
+    assert partial.complete
+    assert np.array_equal(partial.full_map().data, _filled(views).full_map().data)
+    # a fully streamed accumulator is left untouched
+    full = _filled(views).push_remaining(orients)
+    assert full.complete
+
+
+def test_full_map_matches_direct_fourier_numerically(dataset):
+    views = dataset
+    got = _filled(views).full_map()
+    legacy = reconstruct_from_views(
+        views.images, views.true_orientations, apix=views.apix,
+        ctf_params=views.ctf_params,
+    )
+    assert got.data.shape == legacy.data.shape
+    scale = np.max(np.abs(legacy.data))
+    assert np.allclose(got.data, legacy.data, atol=1e-9 * max(scale, 1.0))
+
+
+def test_curve_matches_correlation_curve(dataset):
+    views = dataset
+    curve = _filled(views).curve(label="x")
+    legacy = correlation_curve(
+        views.images, views.true_orientations, apix=views.apix, label="x",
+        ctf_params=views.ctf_params,
+    )
+    assert np.array_equal(curve.shells, legacy.shells)
+    assert np.array_equal(curve.resolution_angstrom, legacy.resolution_angstrom)
+    assert np.array_equal(curve.cc, legacy.cc)
+    assert curve.crossing(0.5) == legacy.crossing(0.5)
+
+
+def test_push_validation(dataset):
+    views = dataset
+    acc = HalfSetAccumulator(views.images, apix=views.apix)
+    o = views.true_orientations[0]
+    with pytest.raises(ValueError, match="outside"):
+        acc.push(99, o)
+    acc.push(0, o)
+    with pytest.raises(ValueError, match="twice"):
+        acc.push(0, o)
+    acc.push(2, o)  # pending, not yet deposited
+    with pytest.raises(ValueError, match="twice"):
+        acc.push(2, o)
+    with pytest.raises(ValueError, match="deposited"):
+        acc.full_map()
+    with pytest.raises(ValueError, match="one orientation per view"):
+        acc.push_all([o])
+    with pytest.raises(ValueError, match="one orientation per view"):
+        acc.push_remaining([o])
+
+
+def test_constructor_validation(dataset):
+    views = dataset
+    with pytest.raises(ValueError, match="stack"):
+        HalfSetAccumulator(views.images[0])
+    with pytest.raises(ValueError, match="ctf_mode"):
+        HalfSetAccumulator(views.images, ctf_mode="wiener")
+    with pytest.raises(ValueError, match="pad_factor"):
+        HalfSetAccumulator(views.images, pad_factor=0)
+    with pytest.raises(ValueError, match="CTFParams"):
+        HalfSetAccumulator(views.images, ctf_params=views.ctf_params[:2])
+    single = HalfSetAccumulator(views.images[:1]).push_all(
+        [views.true_orientations[0]]
+    )
+    with pytest.raises(ValueError, match="two views"):
+        single.half_maps()

@@ -20,7 +20,7 @@ from hypothesis import given, settings, strategies as st
 from repro.align.distance import DistanceComputer
 from repro.align.fused import get_match_plan
 from repro.density import asymmetric_phantom
-from repro.engine.config import ConfigError, EngineConfig
+from repro.engine.config import EngineConfig
 from repro.fourier import centered_fftn
 from repro.fourier.slicing import extract_slice
 from repro.geometry import Orientation, euler_to_matrix
@@ -277,14 +277,26 @@ def test_refiner_polish_runs_as_extra_stage(small_problem):
     assert len(run.per_level_orientations) == 3, "kept levels + polish snapshot"
 
 
-def test_multi_basin_checkpoint_raises(small_problem, tmp_path):
+def test_multi_basin_checkpoint_resumes_bit_identically(small_problem, tmp_path):
+    """Multi-basin runs checkpoint now: the basin set rides the checkpoint
+    header (DESIGN.md §14), so a checkpointed top_k run matches the plain
+    one and a resume from the final checkpoint returns the same bits."""
     density, views, schedule = small_problem
     config = pruned_config(OrientationRefiner(density).config, prune={"top_k": 2})
-    refiner = OrientationRefiner(density, config=config)
-    with pytest.raises(ConfigError, match="basin"):
-        refiner.refine(
-            views, schedule=schedule, checkpoint_path=str(tmp_path / "run.ckpt")
-        )
+    plain = OrientationRefiner(density, config=config).refine(views, schedule=schedule)
+
+    ckpt = str(tmp_path / "run.ckpt")
+    checkpointed = OrientationRefiner(density, config=config).refine(
+        views, schedule=schedule, checkpoint_path=ckpt
+    )
+    resumed = OrientationRefiner(density, config=config).refine(
+        views, schedule=schedule, checkpoint_path=ckpt, resume=True
+    )
+    for run in (checkpointed, resumed):
+        assert [o.as_tuple() for o in run.orientations] == [
+            o.as_tuple() for o in plain.orientations
+        ]
+        assert np.array_equal(run.distances, plain.distances)
 
 
 def test_prune_polish_config_fingerprints_are_distinct(small_problem):

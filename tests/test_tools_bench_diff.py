@@ -75,6 +75,32 @@ def test_diff_threshold_suppresses_noise():
     assert len(strict) == 1
 
 
+def test_diff_exclude_drops_matching_paths():
+    """The CI gate's ``--exclude .timing.`` must silence wall-clock noise."""
+    old = {"s": [{"name": "clean", "timing": {"wall_seconds": 1.0}, "speedup": 5.0}]}
+    new = {"s": [{"name": "clean", "timing": {"wall_seconds": 9.0}, "speedup": 1.0}]}
+    lines, regressions = bench_diff.diff(old, new, 10.0, exclude=(".timing.",))
+    assert not any("wall_seconds" in line for line in lines)
+    assert len(regressions) == 1  # the speedup drop still fails
+    # without the exclusion, the timing move is at least reported
+    lines, _ = bench_diff.diff(old, new, 10.0)
+    assert any("wall_seconds" in line for line in lines)
+
+
+def test_main_exclude_flag(tmp_path):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    a.write_text(json.dumps({"k": {"timing": {"wall_seconds": 1.0}}}))
+    b.write_text(json.dumps({"k": {"timing": {"wall_seconds": 9.0}}}))
+    assert bench_diff.main([str(a), str(b), "--fail-on-regression"]) == 1
+    assert (
+        bench_diff.main(
+            [str(a), str(b), "--fail-on-regression", "--exclude", ".timing."]
+        )
+        == 0
+    )
+
+
 def test_main_exit_codes(tmp_path):
     a = tmp_path / "a.json"
     b = tmp_path / "b.json"

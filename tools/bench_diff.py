@@ -114,12 +114,24 @@ def direction(key: str) -> str:
     return "neutral"
 
 
-def diff(old: dict, new: dict, threshold_pct: float) -> tuple[list[str], list[str]]:
-    """(report lines, regression lines) between two flattened snapshots."""
+def diff(
+    old: dict,
+    new: dict,
+    threshold_pct: float,
+    exclude: tuple[str, ...] = (),
+) -> tuple[list[str], list[str]]:
+    """(report lines, regression lines) between two flattened snapshots.
+
+    ``exclude`` substrings drop matching dotted paths from the diff
+    entirely — the CI gate excludes ``.timing.`` so wall-clock noise on
+    shared runners can never fail the deterministic-metric comparison.
+    """
     flat_old, flat_new = flatten(old), flatten(new)
     lines: list[str] = []
     regressions: list[str] = []
     for key in sorted(set(flat_old) | set(flat_new)):
+        if any(tok in key for tok in exclude):
+            continue
         a, b = flat_old.get(key), flat_new.get(key)
         if key not in flat_old:
             lines.append(f"  + {key} = {b}")
@@ -170,11 +182,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit nonzero when any metric regressed past the threshold",
     )
+    parser.add_argument(
+        "--exclude",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="drop dotted metric paths containing this substring from the "
+        "diff (repeatable; e.g. --exclude .timing. for wall-clock noise)",
+    )
     args = parser.parse_args(argv)
 
     old = load_side(args.old, args.file)
     new = load_side(args.new, args.file)
-    lines, regressions = diff(old, new, args.threshold)
+    lines, regressions = diff(old, new, args.threshold, tuple(args.exclude))
     print(f"bench_diff {args.file}: {args.old} -> {args.new}")
     if not lines:
         print("  (no changes)")

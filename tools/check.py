@@ -28,6 +28,9 @@ Runs, in order:
    non-regression vs the brute-force fine tail + step-resolution bound,
    DESIGN.md §11), kept apart from the bit-identity suites because its
    contract is a tolerance, not equality,
+8b. the iterate-smoke subset (``-m iterate_smoke``) as its own named step
+   — the tiny end-to-end slice of the outer refine↔reconstruct loop
+   (streaming == barriered == checkpoint-resumed, DESIGN.md §14),
 9. the scenario matrix (``-m scenarios``, tests/scenarios/) as its own
    named step — the accuracy-regression harness of DESIGN.md §12, which
    rewrites ``BENCH_scenarios.json`` and fails if any workload trips its
@@ -96,6 +99,7 @@ def main(argv: list[str] | None = None) -> int:
             ("pytest[bench-smoke]", ["-x", "-q", "-m", "bench_smoke"]),
             ("pytest[symmetry-smoke]", ["-x", "-q", "-m", "symmetry_smoke"]),
             ("pytest[accuracy-gate]", ["-x", "-q", "-m", "accuracy_gate"]),
+            ("pytest[iterate-smoke]", ["-x", "-q", "-m", "iterate_smoke"]),
             ("pytest[scenarios]", ["-x", "-q", "-m", "scenarios"]),
         ]
         if not args.no_chaos:
